@@ -1,0 +1,141 @@
+//! Criterion micro-benchmarks of the packing kernels themselves (no
+//! transport): the CPU-side story behind Figs 5 and 10.
+//!
+//! * hand-written packing vs. the custom-API context vs. the derived-
+//!   datatype engine (merged) vs. the convertor view (Open MPI model),
+//! * loop-nest packing via offset arithmetic vs. the suspendable cursor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpicd::types::{pack_struct_simple, StructSimple};
+use mpicd::Buffer;
+use mpicd::LoopNest;
+
+fn struct_simple_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pack/struct-simple");
+    for count in [64usize, 1024, 16 * 1024] {
+        let elems: Vec<StructSimple> = (0..count).map(StructSimple::generate).collect();
+        let bytes = 20 * count;
+        g.throughput(Throughput::Bytes(bytes as u64));
+
+        g.bench_with_input(BenchmarkId::new("manual", count), &elems, |b, e| {
+            b.iter(|| pack_struct_simple(std::hint::black_box(e)));
+        });
+
+        g.bench_with_input(BenchmarkId::new("custom-ctx", count), &elems, |b, e| {
+            let mut out = vec![0u8; bytes];
+            b.iter(|| {
+                let mut ctx = match e.send_view() {
+                    mpicd::SendView::Custom(ctx) => ctx,
+                    _ => unreachable!("struct-simple is custom"),
+                };
+                let mut off = 0;
+                while off < out.len() {
+                    off += ctx.pack(off, &mut out[off..]).expect("pack");
+                }
+                std::hint::black_box(&out);
+            });
+        });
+
+        let merged = StructSimple::datatype().commit().expect("commit");
+        g.bench_with_input(BenchmarkId::new("engine-merged", count), &elems, |b, e| {
+            let src = mpicd::types::as_bytes(e);
+            b.iter(|| {
+                merged
+                    .pack_slice(std::hint::black_box(src), count)
+                    .expect("pack")
+            });
+        });
+
+        let convertor = StructSimple::datatype().commit_convertor().expect("commit");
+        g.bench_with_input(
+            BenchmarkId::new("engine-convertor", count),
+            &elems,
+            |b, e| {
+                let src = mpicd::types::as_bytes(e);
+                b.iter(|| {
+                    convertor
+                        .pack_slice(std::hint::black_box(src), count)
+                        .expect("pack")
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn loop_nest_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pack/loop-nest");
+    // NAS_LU_y-flavoured nest: 2-deep, 40-byte runs.
+    for runs in [256usize, 4096] {
+        let nest = LoopNest::new(vec![runs / 32, 32], vec![32 * 160, 160], 40).expect("nest");
+        let span = nest.span().1 as usize;
+        let src: Vec<u8> = (0..span).map(|i| i as u8).collect();
+        let bytes = nest.packed_size();
+        g.throughput(Throughput::Bytes(bytes as u64));
+
+        g.bench_with_input(BenchmarkId::new("offset-addressed", runs), &src, |b, s| {
+            let mut out = vec![0u8; bytes];
+            b.iter(|| {
+                // SAFETY: src sized to the nest span.
+                let n = unsafe { nest.pack_segment(s.as_ptr(), 0, &mut out) };
+                std::hint::black_box(n);
+            });
+        });
+
+        g.bench_with_input(
+            BenchmarkId::new("suspendable-cursor", runs),
+            &src,
+            |b, s| {
+                let mut out = vec![0u8; bytes];
+                b.iter(|| {
+                    let mut cur = nest.cursor();
+                    // SAFETY: as above.
+                    let n = unsafe { cur.pack_into(s.as_ptr(), &mut out) };
+                    std::hint::black_box(n);
+                });
+            },
+        );
+
+        g.bench_with_input(BenchmarkId::new("fragmented-4KiB", runs), &src, |b, s| {
+            let mut frag = vec![0u8; 4096];
+            b.iter(|| {
+                let mut off = 0usize;
+                loop {
+                    // SAFETY: as above.
+                    let n = unsafe { nest.pack_segment(s.as_ptr(), off, &mut frag) };
+                    if n == 0 {
+                        break;
+                    }
+                    off += n;
+                }
+                std::hint::black_box(off);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn pickle_serialization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pack/pickle");
+    let obj = mpicd_pickle::workload::complex_object(1 << 20);
+    g.throughput(Throughput::Bytes(obj.buffer_bytes() as u64));
+    g.bench_function("dumps-inband-1MiB", |b| {
+        b.iter(|| mpicd_pickle::dumps(std::hint::black_box(&obj)));
+    });
+    g.bench_function("dumps-oob-1MiB", |b| {
+        b.iter(|| mpicd_pickle::dumps_oob(std::hint::black_box(&obj)));
+    });
+    let stream = mpicd_pickle::dumps(&obj);
+    g.bench_function("loads-inband-1MiB", |b| {
+        b.iter(|| mpicd_pickle::loads(std::hint::black_box(&stream)).expect("load"));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    struct_simple_kernels,
+    loop_nest_kernels,
+    pickle_serialization
+);
+criterion_main!(benches);

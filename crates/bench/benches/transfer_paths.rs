@@ -1,0 +1,104 @@
+//! Criterion benchmarks of complete one-way transfers over the fabric —
+//! the per-method end-to-end costs the figure binaries aggregate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpicd::types::{StructSimple, StructVec};
+use mpicd::World;
+use mpicd_bench::methods;
+use std::sync::Arc;
+
+fn transfers_64k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transfer/64KiB");
+    g.throughput(Throughput::Bytes(64 * 1024));
+
+    let world = World::new(2);
+    let (a, b) = world.pair();
+
+    // Raw bytes.
+    {
+        let src = vec![0xB7u8; 64 * 1024];
+        let mut dst = vec![0u8; 64 * 1024];
+        g.bench_function("bytes", |bch| {
+            bch.iter(|| methods::bytes_oneway(&a, &b, &src, &mut dst));
+        });
+    }
+
+    // struct-simple: pure packing, 64 KiB of packed payload.
+    {
+        let count = 64 * 1024 / 20;
+        let send: Vec<StructSimple> = (0..count).map(StructSimple::generate).collect();
+        let mut rx = vec![StructSimple::default(); count];
+        g.bench_function("struct-simple/custom", |bch| {
+            bch.iter(|| methods::ss_custom(&a, &b, &send, &mut rx));
+        });
+        g.bench_function("struct-simple/manual", |bch| {
+            bch.iter(|| methods::ss_manual(&a, &b, &send, &mut rx));
+        });
+        let ty = Arc::new(StructSimple::datatype().commit_convertor().expect("type"));
+        g.bench_function("struct-simple/typed-convertor", |bch| {
+            bch.iter(|| methods::ss_typed(&a, &b, &ty, &send, &mut rx));
+        });
+        let ty = Arc::new(StructSimple::datatype().commit().expect("type"));
+        g.bench_function("struct-simple/typed-merged", |bch| {
+            bch.iter(|| methods::ss_typed(&a, &b, &ty, &send, &mut rx));
+        });
+    }
+
+    // struct-vec: packed fields + regions.
+    {
+        let count = 8; // 8 × 8212 ≈ 64 KiB
+        let send: Vec<StructVec> = (0..count).map(StructVec::generate).collect();
+        let mut rx = vec![StructVec::default(); count];
+        g.bench_function("struct-vec/custom", |bch| {
+            bch.iter(|| methods::sv_custom(&a, &b, &send, &mut rx));
+        });
+        g.bench_function("struct-vec/manual", |bch| {
+            bch.iter(|| methods::sv_manual(&a, &b, &send, &mut rx));
+        });
+    }
+
+    // double-vec with 1 KiB subvectors.
+    {
+        let send = methods::dv_workload(64 * 1024, 1024);
+        let mut rx = methods::dv_recv_like(&send);
+        g.bench_function("double-vec/custom", |bch| {
+            bch.iter(|| methods::dv_custom(&a, &b, &send, &mut rx));
+        });
+        g.bench_function("double-vec/manual", |bch| {
+            bch.iter(|| methods::dv_manual(&a, &b, &send, &mut rx));
+        });
+    }
+
+    g.finish();
+}
+
+fn ddtbench_transfers(c: &mut Criterion) {
+    use mpicd_bench::ddt::{one_way, DdtMethod, DdtScratch};
+    let mut g = c.benchmark_group("transfer/ddtbench-64KiB");
+
+    for name in ["LAMMPS", "MILC", "NAS_MG_y"] {
+        let sender = mpicd_ddtbench::make(name, 64 * 1024);
+        g.throughput(Throughput::Bytes(sender.bytes() as u64));
+        for method in [
+            DdtMethod::Manual,
+            DdtMethod::TypedDirect,
+            DdtMethod::CustomPack,
+            DdtMethod::CustomRegion,
+        ] {
+            let world = World::new(2);
+            let (a, b) = world.pair();
+            let mut receiver = mpicd_ddtbench::make(name, 64 * 1024);
+            let mut scratch = DdtScratch::new(sender.bytes());
+            if !one_way(&a, &b, &*sender, &mut *receiver, &mut scratch, method) {
+                continue;
+            }
+            g.bench_function(BenchmarkId::new(method.label(), name), |bch| {
+                bch.iter(|| one_way(&a, &b, &*sender, &mut *receiver, &mut scratch, method));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, transfers_64k, ddtbench_transfers);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Figure 1 — latency pingpong for the double-vector type while varying
+//! the sub-vector size (64 B – 4 KiB), vs. manual packing and the raw
+//! bytes baseline.
+
+use mpicd::World;
+use mpicd_bench::methods::{bytes_oneway, dv_custom, dv_manual, dv_recv_like, dv_workload};
+use mpicd_bench::report::size_label;
+use mpicd_bench::{harness, quick_mode, size_sweep, Config, Table};
+
+fn main() {
+    let world = World::new(2);
+    let (a, b) = world.pair();
+    let hi = if quick_mode() { 8 * 1024 } else { 1 << 20 };
+    let sizes = size_sweep(64, hi);
+    let subvecs = [64usize, 256, 1024, 4096];
+
+    let mut columns: Vec<String> = subvecs.iter().map(|s| format!("custom-{s}")).collect();
+    columns.push("manual-pack-1024".into());
+    columns.push("rsmpi-bytes-baseline".into());
+    let mut table = Table::new(
+        "Fig 1: double-vec latency (varying sub-vector size)",
+        "size",
+        "us",
+        columns,
+    );
+
+    for size in sizes {
+        let cfg = Config::auto(size);
+        let mut cells = Vec::new();
+
+        for sv in subvecs {
+            let x = dv_workload(size, sv);
+            let mut y = dv_recv_like(&x);
+            let mut z = dv_recv_like(&x);
+            let s = harness::latency(world.fabric(), cfg, || {
+                dv_custom(&a, &b, &x, &mut y);
+                dv_custom(&b, &a, &y, &mut z);
+            });
+            cells.push(Some(s));
+        }
+
+        let x = dv_workload(size, 1024);
+        let mut y = dv_recv_like(&x);
+        let mut z = dv_recv_like(&x);
+        cells.push(Some(harness::latency(world.fabric(), cfg, || {
+            dv_manual(&a, &b, &x, &mut y);
+            dv_manual(&b, &a, &y, &mut z);
+        })));
+
+        let raw = vec![0x11u8; size];
+        let mut rx = vec![0u8; size];
+        let mut back = vec![0u8; size];
+        cells.push(Some(harness::latency(world.fabric(), cfg, || {
+            bytes_oneway(&a, &b, &raw, &mut rx);
+            bytes_oneway(&b, &a, &rx, &mut back);
+        })));
+
+        table.push(size_label(size), cells);
+    }
+    table.print();
+}

@@ -1,0 +1,52 @@
+//! Figure 2 — bandwidth for the double-vector type (sub-vector size fixed
+//! at 1024 bytes).
+
+use mpicd::World;
+use mpicd_bench::methods::{bytes_oneway, dv_custom, dv_manual, dv_recv_like, dv_workload};
+use mpicd_bench::report::size_label;
+use mpicd_bench::{harness, quick_mode, size_sweep, Config, Table};
+
+const SUBVEC: usize = 1024;
+
+fn main() {
+    let world = World::new(2);
+    let (a, b) = world.pair();
+    let hi = if quick_mode() { 32 * 1024 } else { 4 << 20 };
+    let sizes = size_sweep(1024, hi);
+
+    let mut table = Table::new(
+        "Fig 2: double-vec bandwidth (sub-vector = 1024 B)",
+        "size",
+        "MB/s",
+        vec![
+            "custom".into(),
+            "manual-pack".into(),
+            "rsmpi-bytes-baseline".into(),
+        ],
+    );
+
+    for size in sizes {
+        let cfg = Config::auto(size);
+        let mut cells = Vec::new();
+
+        let x = dv_workload(size, SUBVEC);
+        let mut y = dv_recv_like(&x);
+        cells.push(Some(harness::bandwidth(world.fabric(), cfg, size, || {
+            dv_custom(&a, &b, &x, &mut y);
+        })));
+
+        let mut y = dv_recv_like(&x);
+        cells.push(Some(harness::bandwidth(world.fabric(), cfg, size, || {
+            dv_manual(&a, &b, &x, &mut y);
+        })));
+
+        let raw = vec![0x22u8; size];
+        let mut rx = vec![0u8; size];
+        cells.push(Some(harness::bandwidth(world.fabric(), cfg, size, || {
+            bytes_oneway(&a, &b, &raw, &mut rx);
+        })));
+
+        table.push(size_label(size), cells);
+    }
+    table.print();
+}

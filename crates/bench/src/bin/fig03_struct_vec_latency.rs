@@ -1,0 +1,63 @@
+//! Figure 3 — latency for the struct-vec type (20 packed bytes + 8 KiB
+//! array per element): custom vs. manual packing vs. the derived-datatype
+//! baseline (possible only because the array is fixed-size).
+
+use mpicd::types::StructVec;
+use mpicd::World;
+use mpicd_bench::methods::{sv_custom, sv_manual, sv_typed};
+use mpicd_bench::report::size_label;
+use mpicd_bench::{harness, quick_mode, Config, Table};
+use std::sync::Arc;
+
+/// Packed payload bytes per element (fields + data).
+const ELEM: usize = 20 + 8192;
+
+fn main() {
+    let world = World::new(2);
+    let (a, b) = world.pair();
+    let ty = Arc::new(
+        StructVec::datatype()
+            .commit_convertor()
+            .expect("valid type"),
+    );
+    let max_count = if quick_mode() { 4 } else { 128 };
+
+    let mut table = Table::new(
+        "Fig 3: struct-vec latency",
+        "size",
+        "us",
+        vec![
+            "custom".into(),
+            "packed".into(),
+            "rsmpi-derived-datatype".into(),
+        ],
+    );
+
+    let mut count = 1usize;
+    while count <= max_count {
+        let size = count * ELEM;
+        let cfg = Config::auto(size);
+        let send: Vec<StructVec> = (0..count).map(StructVec::generate).collect();
+        let mut rx = vec![StructVec::default(); count];
+        let mut back = vec![StructVec::default(); count];
+
+        let custom = harness::latency(world.fabric(), cfg, || {
+            sv_custom(&a, &b, &send, &mut rx);
+            sv_custom(&b, &a, &rx, &mut back);
+        });
+        let packed = harness::latency(world.fabric(), cfg, || {
+            sv_manual(&a, &b, &send, &mut rx);
+            sv_manual(&b, &a, &rx, &mut back);
+        });
+        let typed = harness::latency(world.fabric(), cfg, || {
+            sv_typed(&a, &b, &ty, &send, &mut rx);
+            sv_typed(&b, &a, &ty, &rx, &mut back);
+        });
+        table.push(
+            size_label(size),
+            vec![Some(custom), Some(packed), Some(typed)],
+        );
+        count *= 2;
+    }
+    table.print();
+}

@@ -1,0 +1,57 @@
+//! Figure 4 — bandwidth for the struct-vec type (sizes are multiples of
+//! the ~8 KiB packed element, as in the paper).
+
+use mpicd::types::StructVec;
+use mpicd::World;
+use mpicd_bench::methods::{sv_custom, sv_manual, sv_typed};
+use mpicd_bench::report::size_label;
+use mpicd_bench::{harness, quick_mode, Config, Table};
+use std::sync::Arc;
+
+const ELEM: usize = 20 + 8192;
+
+fn main() {
+    let world = World::new(2);
+    let (a, b) = world.pair();
+    let ty = Arc::new(
+        StructVec::datatype()
+            .commit_convertor()
+            .expect("valid type"),
+    );
+    let max_count = if quick_mode() { 8 } else { 512 };
+
+    let mut table = Table::new(
+        "Fig 4: struct-vec bandwidth",
+        "size",
+        "MB/s",
+        vec![
+            "custom".into(),
+            "packed".into(),
+            "rsmpi-derived-datatype".into(),
+        ],
+    );
+
+    let mut count = 4usize;
+    while count <= max_count {
+        let size = count * ELEM;
+        let cfg = Config::auto(size);
+        let send: Vec<StructVec> = (0..count).map(StructVec::generate).collect();
+        let mut rx = vec![StructVec::default(); count];
+
+        let custom = harness::bandwidth(world.fabric(), cfg, size, || {
+            sv_custom(&a, &b, &send, &mut rx);
+        });
+        let packed = harness::bandwidth(world.fabric(), cfg, size, || {
+            sv_manual(&a, &b, &send, &mut rx);
+        });
+        let typed = harness::bandwidth(world.fabric(), cfg, size, || {
+            sv_typed(&a, &b, &ty, &send, &mut rx);
+        });
+        table.push(
+            size_label(size),
+            vec![Some(custom), Some(packed), Some(typed)],
+        );
+        count *= 2;
+    }
+    table.print();
+}

@@ -1,0 +1,55 @@
+//! Figure 5 — latency for the struct-simple type (gapped, pure packing):
+//! custom and manual-pack beat the derived-datatype baseline, whose engine
+//! must walk the gapped typemap element by element.
+
+use mpicd::types::StructSimple;
+use mpicd::World;
+use mpicd_bench::methods::{ss_custom, ss_manual, ss_typed};
+use mpicd_bench::report::size_label;
+use mpicd_bench::{harness, quick_mode, size_sweep, Config, Table};
+use std::sync::Arc;
+
+fn main() {
+    let world = World::new(2);
+    let (a, b) = world.pair();
+    let ty = Arc::new(
+        StructSimple::datatype()
+            .commit_convertor()
+            .expect("valid type"),
+    );
+    let hi = if quick_mode() { 4096 } else { 1 << 20 };
+    let sizes = size_sweep(32, hi);
+
+    let mut table = Table::new(
+        "Fig 5: struct-simple latency",
+        "size",
+        "us",
+        vec!["custom".into(), "manual-pack".into(), "rsmpi".into()],
+    );
+
+    for size in sizes {
+        let count = (size / 20).max(1);
+        let cfg = Config::auto(size);
+        let send: Vec<StructSimple> = (0..count).map(StructSimple::generate).collect();
+        let mut rx = vec![StructSimple::default(); count];
+        let mut back = vec![StructSimple::default(); count];
+
+        let custom = harness::latency(world.fabric(), cfg, || {
+            ss_custom(&a, &b, &send, &mut rx);
+            ss_custom(&b, &a, &rx, &mut back);
+        });
+        let manual = harness::latency(world.fabric(), cfg, || {
+            ss_manual(&a, &b, &send, &mut rx);
+            ss_manual(&b, &a, &rx, &mut back);
+        });
+        let typed = harness::latency(world.fabric(), cfg, || {
+            ss_typed(&a, &b, &ty, &send, &mut rx);
+            ss_typed(&b, &a, &ty, &rx, &mut back);
+        });
+        table.push(
+            size_label(size),
+            vec![Some(custom), Some(manual), Some(typed)],
+        );
+    }
+    table.print();
+}

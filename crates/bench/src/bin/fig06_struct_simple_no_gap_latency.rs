@@ -1,0 +1,63 @@
+//! Figure 6 — latency for struct-simple-no-gap: once the gap is removed,
+//! the derived-datatype engine detects contiguity and matches the direct
+//! paths ("RSMPI, and therefore Open MPI, performs as expected when
+//! sending contiguous types").
+
+use mpicd::types::StructSimpleNoGap;
+use mpicd::World;
+use mpicd_bench::methods::{nsg_contig, nsg_typed};
+use mpicd_bench::report::size_label;
+use mpicd_bench::{harness, quick_mode, size_sweep, Config, Table};
+use std::sync::Arc;
+
+fn main() {
+    let world = World::new(2);
+    let (a, b) = world.pair();
+    let ty = Arc::new(
+        StructSimpleNoGap::datatype()
+            .commit_convertor()
+            .expect("valid type"),
+    );
+    assert!(
+        ty.is_contiguous(),
+        "no-gap type must collapse to contiguous"
+    );
+    let hi = if quick_mode() { 4096 } else { 1 << 20 };
+    let sizes = size_sweep(32, hi);
+
+    let mut table = Table::new(
+        "Fig 6: struct-simple-no-gap latency",
+        "size",
+        "us",
+        vec!["custom".into(), "manual-pack".into(), "rsmpi".into()],
+    );
+
+    for size in sizes {
+        let count = (size / 16).max(1);
+        let cfg = Config::auto(size);
+        let send: Vec<StructSimpleNoGap> = (0..count).map(StructSimpleNoGap::generate).collect();
+        let mut rx = vec![StructSimpleNoGap::default(); count];
+        let mut back = vec![StructSimpleNoGap::default(); count];
+
+        // With no gap there is nothing to pack: "custom" and "manual" both
+        // reduce to the contiguous path (kept as separate series to mirror
+        // the figure's legend).
+        let custom = harness::latency(world.fabric(), cfg, || {
+            nsg_contig(&a, &b, &send, &mut rx);
+            nsg_contig(&b, &a, &rx, &mut back);
+        });
+        let manual = harness::latency(world.fabric(), cfg, || {
+            nsg_contig(&a, &b, &send, &mut rx);
+            nsg_contig(&b, &a, &rx, &mut back);
+        });
+        let typed = harness::latency(world.fabric(), cfg, || {
+            nsg_typed(&a, &b, &ty, &send, &mut rx);
+            nsg_typed(&b, &a, &ty, &rx, &mut back);
+        });
+        table.push(
+            size_label(size),
+            vec![Some(custom), Some(manual), Some(typed)],
+        );
+    }
+    table.print();
+}

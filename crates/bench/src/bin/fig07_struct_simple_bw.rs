@@ -1,0 +1,52 @@
+//! Figure 7 — bandwidth for struct-simple. The manual-pack series sends a
+//! contiguous buffer and therefore crosses the eager→rendezvous threshold
+//! (the dip just above 2^15 bytes); the custom series rides the iov path
+//! and is unaffected, exactly as the paper observes.
+
+use mpicd::types::StructSimple;
+use mpicd::World;
+use mpicd_bench::methods::{ss_custom, ss_manual, ss_typed};
+use mpicd_bench::report::size_label;
+use mpicd_bench::{harness, quick_mode, size_sweep, Config, Table};
+use std::sync::Arc;
+
+fn main() {
+    let world = World::new(2);
+    let (a, b) = world.pair();
+    let ty = Arc::new(
+        StructSimple::datatype()
+            .commit_convertor()
+            .expect("valid type"),
+    );
+    let hi = if quick_mode() { 64 * 1024 } else { 4 << 20 };
+    let sizes = size_sweep(1024, hi);
+
+    let mut table = Table::new(
+        "Fig 7: struct-simple bandwidth",
+        "size",
+        "MB/s",
+        vec!["custom".into(), "manual-pack".into(), "rsmpi".into()],
+    );
+
+    for size in sizes {
+        let count = (size / 20).max(1);
+        let cfg = Config::auto(size);
+        let send: Vec<StructSimple> = (0..count).map(StructSimple::generate).collect();
+        let mut rx = vec![StructSimple::default(); count];
+
+        let custom = harness::bandwidth(world.fabric(), cfg, size, || {
+            ss_custom(&a, &b, &send, &mut rx);
+        });
+        let manual = harness::bandwidth(world.fabric(), cfg, size, || {
+            ss_manual(&a, &b, &send, &mut rx);
+        });
+        let typed = harness::bandwidth(world.fabric(), cfg, size, || {
+            ss_typed(&a, &b, &ty, &send, &mut rx);
+        });
+        table.push(
+            size_label(size),
+            vec![Some(custom), Some(manual), Some(typed)],
+        );
+    }
+    table.print();
+}

@@ -1,0 +1,32 @@
+//! Figure 8 — Python pingpong bandwidth, single NumPy array: roofline vs.
+//! pickle-basic vs. pickle-oob vs. pickle-oob-cdt.
+
+use mpicd::World;
+use mpicd_bench::pickle_run::{run, Strategy};
+use mpicd_bench::report::size_label;
+use mpicd_bench::{quick_mode, size_sweep, Config, Table};
+use mpicd_pickle::workload::single_array;
+
+fn main() {
+    let world = World::new(2);
+    let hi = if quick_mode() { 64 * 1024 } else { 16 << 20 };
+    let sizes = size_sweep(4 * 1024, hi);
+
+    let mut table = Table::new(
+        "Fig 8: Python pingpong, single NumPy array",
+        "size",
+        "MB/s",
+        Strategy::all().iter().map(|s| s.label().into()).collect(),
+    );
+
+    for size in sizes {
+        let cfg = Config::auto(size);
+        let obj = single_array(size);
+        let cells = Strategy::all()
+            .iter()
+            .map(|s| Some(run(&world, *s, &obj, cfg)))
+            .collect();
+        table.push(size_label(size), cells);
+    }
+    table.print();
+}

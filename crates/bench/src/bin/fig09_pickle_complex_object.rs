@@ -1,0 +1,32 @@
+//! Figure 9 — Python pingpong bandwidth, complex object composed of
+//! multiple 128-KiB NumPy arrays summing to the x-axis total.
+
+use mpicd::World;
+use mpicd_bench::pickle_run::{run, Strategy};
+use mpicd_bench::report::size_label;
+use mpicd_bench::{quick_mode, size_sweep, Config, Table};
+use mpicd_pickle::workload::complex_object;
+
+fn main() {
+    let world = World::new(2);
+    let hi = if quick_mode() { 512 * 1024 } else { 16 << 20 };
+    let sizes = size_sweep(128 * 1024, hi);
+
+    let mut table = Table::new(
+        "Fig 9: Python pingpong, complex object of 128-KiB arrays",
+        "size",
+        "MB/s",
+        Strategy::all().iter().map(|s| s.label().into()).collect(),
+    );
+
+    for size in sizes {
+        let cfg = Config::auto(size);
+        let obj = complex_object(size);
+        let cells = Strategy::all()
+            .iter()
+            .map(|s| Some(run(&world, *s, &obj, cfg)))
+            .collect();
+        table.push(size_label(size), cells);
+    }
+    table.print();
+}

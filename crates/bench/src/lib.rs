@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+//! # mpicd-bench — the paper's evaluation harness
+//!
+//! One binary per figure/table of the paper (see `src/bin/`); this library
+//! holds the shared machinery:
+//!
+//! * [`harness`] — OSU-style latency/bandwidth pingpong measurement with
+//!   warmup, repetitions and the paper's 4-run averaging (error bars);
+//!   combines measured wall time with the fabric's modeled wire time.
+//! * [`methods`] — the Rust transfer methods of §V-A (custom /
+//!   manual-pack / derived-datatype / raw bytes) over the paper's types.
+//! * [`pickle_run`] — the threaded pingpong driver for the Python-style
+//!   strategies of §V-B.
+//! * [`ddt`] — the DDTBench method runners of §V-C.
+//! * [`report`] — aligned table output (one table per figure).
+//!
+//! All binaries accept `MPICD_BENCH_QUICK=1` to run a fast smoke sweep
+//! (used by tests) and print the same table shape as the full run.
+
+pub mod ddt;
+pub mod harness;
+pub mod methods;
+pub mod pickle_run;
+pub mod report;
+
+pub use harness::{Config, Sample};
+pub use report::Table;
+
+/// Standard power-of-two size sweep `[lo, hi]` (bytes).
+pub fn size_sweep(lo: usize, hi: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut s = lo;
+    while s <= hi {
+        v.push(s);
+        s *= 2;
+    }
+    v
+}
+
+/// Whether quick (smoke-test) mode is enabled.
+pub fn quick_mode() -> bool {
+    std::env::var("MPICD_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_powers_of_two() {
+        assert_eq!(size_sweep(64, 512), vec![64, 128, 256, 512]);
+        assert_eq!(size_sweep(1024, 1024), vec![1024]);
+    }
+}

@@ -1,0 +1,222 @@
+//! The §V-A Rust transfer methods, as one-way building blocks the figure
+//! binaries compose into pingpongs:
+//!
+//! * `*_custom` — the proposed custom datatype API,
+//! * `*_manual` — manual packing into a fresh buffer, sent as bytes (with
+//!   the matching receive-side allocation + unpack),
+//! * `*_typed`  — classic derived datatypes through the engine (the
+//!   rsmpi / Open MPI baseline),
+//! * [`bytes_oneway`] — raw preallocated bytes (the `rsmpi-bytes-baseline`
+//!   of Fig 1 and the roofline of Figs 8–9).
+
+use mpicd::types::{
+    as_bytes, pack_struct_simple, pack_struct_vec, unpack_struct_simple, unpack_struct_vec,
+    StructSimple, StructSimpleNoGap, StructVec,
+};
+use mpicd::vecvec::{pack_double_vec, unpack_double_vec};
+use mpicd::{transfer, transfer_typed, Communicator};
+use mpicd_datatype::Committed;
+use std::sync::Arc;
+
+/// Raw byte transfer (no packing anywhere).
+pub fn bytes_oneway(a: &Communicator, b: &Communicator, s: &[u8], r: &mut [u8]) {
+    transfer(a, b, s, r, 0).expect("bytes transfer");
+}
+
+// ---- double-vec ---------------------------------------------------------------
+
+/// Custom API: lengths packed, subvectors as regions, one message.
+pub fn dv_custom(a: &Communicator, b: &Communicator, s: &[Vec<i32>], r: &mut [Vec<i32>]) {
+    transfer(a, b, s, r, 0).expect("double-vec custom transfer");
+}
+
+/// Manual pack: serialize into one fresh buffer, send as bytes, allocate
+/// and unpack on the receive side.
+pub fn dv_manual(a: &Communicator, b: &Communicator, s: &[Vec<i32>], r: &mut [Vec<i32>]) {
+    let packed = pack_double_vec(s);
+    let mut rx = vec![0u8; packed.len()];
+    transfer(a, b, &packed, &mut rx, 0).expect("double-vec manual transfer");
+    unpack_double_vec(&rx, r).expect("double-vec manual unpack");
+}
+
+/// Build a double-vec of `total_bytes` split into `subvec_bytes` pieces
+/// (the paper's sub-vector length parameter; a single smaller vector when
+/// `total < subvec`).
+pub fn dv_workload(total_bytes: usize, subvec_bytes: usize) -> Vec<Vec<i32>> {
+    if total_bytes <= subvec_bytes {
+        return mpicd::vecvec::generate(1, (total_bytes / 4).max(1));
+    }
+    let n = total_bytes / subvec_bytes;
+    mpicd::vecvec::generate(n, subvec_bytes / 4)
+}
+
+/// Shape-matched empty receive buffer for a double-vec workload.
+pub fn dv_recv_like(x: &[Vec<i32>]) -> Vec<Vec<i32>> {
+    x.iter().map(|v| vec![0; v.len()]).collect()
+}
+
+// ---- struct-vec ------------------------------------------------------------------
+
+/// Custom API: 20 packed bytes + one 8 KiB region per element.
+pub fn sv_custom(a: &Communicator, b: &Communicator, s: &[StructVec], r: &mut [StructVec]) {
+    transfer(a, b, s, r, 0).expect("struct-vec custom transfer");
+}
+
+/// Manual pack of fields + data into one buffer.
+pub fn sv_manual(a: &Communicator, b: &Communicator, s: &[StructVec], r: &mut [StructVec]) {
+    let packed = pack_struct_vec(s);
+    let mut rx = vec![0u8; packed.len()];
+    transfer(a, b, &packed, &mut rx, 0).expect("struct-vec manual transfer");
+    unpack_struct_vec(&rx, r).expect("struct-vec manual unpack");
+}
+
+/// Derived datatype (possible only because `data` is a fixed array).
+pub fn sv_typed(
+    a: &Communicator,
+    b: &Communicator,
+    ty: &Arc<Committed>,
+    s: &[StructVec],
+    r: &mut [StructVec],
+) {
+    let count = s.len();
+    let sb = as_bytes(s);
+    // SAFETY: POD struct; the typemap writes only data bytes.
+    let rb = unsafe { mpicd::types::as_bytes_mut(r) };
+    transfer_typed(a, b, sb, rb, count, ty, 0).expect("struct-vec typed transfer");
+}
+
+// ---- struct-simple (and no-gap) -----------------------------------------------------
+
+/// Custom API: pure packing, 20 bytes per element.
+pub fn ss_custom(a: &Communicator, b: &Communicator, s: &[StructSimple], r: &mut [StructSimple]) {
+    transfer(a, b, s, r, 0).expect("struct-simple custom transfer");
+}
+
+/// Manual pack into a fresh dense buffer.
+pub fn ss_manual(a: &Communicator, b: &Communicator, s: &[StructSimple], r: &mut [StructSimple]) {
+    let packed = pack_struct_simple(s);
+    let mut rx = vec![0u8; packed.len()];
+    transfer(a, b, &packed, &mut rx, 0).expect("struct-simple manual transfer");
+    unpack_struct_simple(&rx, r).expect("struct-simple manual unpack");
+}
+
+/// Derived datatype: the gapped typemap path (slow in Open MPI — Fig 5).
+pub fn ss_typed(
+    a: &Communicator,
+    b: &Communicator,
+    ty: &Arc<Committed>,
+    s: &[StructSimple],
+    r: &mut [StructSimple],
+) {
+    let count = s.len();
+    let sb = as_bytes(s);
+    // SAFETY: POD struct; the typemap writes only data bytes.
+    let rb = unsafe { mpicd::types::as_bytes_mut(r) };
+    transfer_typed(a, b, sb, rb, count, ty, 0).expect("struct-simple typed transfer");
+}
+
+/// No-gap variants: the type is dense, so "custom" and the datatype path
+/// both reduce to contiguous sends.
+pub fn nsg_contig(
+    a: &Communicator,
+    b: &Communicator,
+    s: &[StructSimpleNoGap],
+    r: &mut [StructSimpleNoGap],
+) {
+    transfer(a, b, s, r, 0).expect("no-gap transfer");
+}
+
+/// No-gap through the datatype engine (detects contiguity — Fig 6's fast
+/// baseline).
+pub fn nsg_typed(
+    a: &Communicator,
+    b: &Communicator,
+    ty: &Arc<Committed>,
+    s: &[StructSimpleNoGap],
+    r: &mut [StructSimpleNoGap],
+) {
+    let count = s.len();
+    let sb = as_bytes(s);
+    // SAFETY: POD, dense.
+    let rb = unsafe { mpicd::types::as_bytes_mut(r) };
+    transfer_typed(a, b, sb, rb, count, ty, 0).expect("no-gap typed transfer");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpicd::World;
+
+    #[test]
+    fn all_struct_simple_methods_agree() {
+        let world = World::new(2);
+        let (a, b) = world.pair();
+        let ty = Arc::new(StructSimple::datatype().commit().unwrap());
+        let send: Vec<StructSimple> = (0..200).map(StructSimple::generate).collect();
+
+        let mut r1 = vec![StructSimple::default(); 200];
+        ss_custom(&a, &b, &send, &mut r1);
+        let mut r2 = vec![StructSimple::default(); 200];
+        ss_manual(&a, &b, &send, &mut r2);
+        let mut r3 = vec![StructSimple::default(); 200];
+        ss_typed(&a, &b, &ty, &send, &mut r3);
+        assert_eq!(r1, send);
+        assert_eq!(r2, send);
+        assert_eq!(r3, send);
+    }
+
+    #[test]
+    fn all_struct_vec_methods_agree() {
+        let world = World::new(2);
+        let (a, b) = world.pair();
+        let ty = Arc::new(StructVec::datatype().commit().unwrap());
+        let send: Vec<StructVec> = (0..3).map(StructVec::generate).collect();
+
+        let mut r1 = vec![StructVec::default(); 3];
+        sv_custom(&a, &b, &send, &mut r1);
+        let mut r2 = vec![StructVec::default(); 3];
+        sv_manual(&a, &b, &send, &mut r2);
+        let mut r3 = vec![StructVec::default(); 3];
+        sv_typed(&a, &b, &ty, &send, &mut r3);
+        assert_eq!(r1, send);
+        assert_eq!(r2, send);
+        assert_eq!(r3, send);
+    }
+
+    #[test]
+    fn double_vec_methods_agree() {
+        let world = World::new(2);
+        let (a, b) = world.pair();
+        let send = dv_workload(64 * 1024, 1024);
+        assert_eq!(send.len(), 64);
+        let mut r1 = dv_recv_like(&send);
+        dv_custom(&a, &b, &send, &mut r1);
+        let mut r2 = dv_recv_like(&send);
+        dv_manual(&a, &b, &send, &mut r2);
+        assert_eq!(r1, send);
+        assert_eq!(r2, send);
+    }
+
+    #[test]
+    fn dv_workload_small_sizes_single_subvector() {
+        let w = dv_workload(256, 1024);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].len(), 64);
+    }
+
+    #[test]
+    fn no_gap_methods_agree() {
+        let world = World::new(2);
+        let (a, b) = world.pair();
+        let ty = Arc::new(StructSimpleNoGap::datatype().commit().unwrap());
+        let send: Vec<StructSimpleNoGap> = (0..100).map(StructSimpleNoGap::generate).collect();
+        let mut r1 = vec![StructSimpleNoGap::default(); 100];
+        nsg_contig(&a, &b, &send, &mut r1);
+        let mut r2 = vec![StructSimpleNoGap::default(); 100];
+        nsg_typed(&a, &b, &ty, &send, &mut r2);
+        assert_eq!(r1, send);
+        assert_eq!(r2, send);
+        // Both paths were eager contiguous messages.
+        assert_eq!(world.fabric().stats().eager, 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Threaded pingpong driver for the §V-B Python-style strategies.
+//!
+//! The pickle strategies are sequences of blocking probes/sends/receives
+//! (exactly like mpi4py), so the two ranks must run on separate threads;
+//! [`crate::harness::threaded_bandwidth`] measures around them.
+
+use crate::harness::{threaded_bandwidth, Config, Sample};
+use mpicd::World;
+use mpicd_pickle::{
+    recv_pickle_basic, recv_pickle_oob, recv_pickle_oob_cdt, send_pickle_basic, send_pickle_oob,
+    send_pickle_oob_cdt, PyObject,
+};
+
+/// A named §V-B strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Raw preallocated buffers, no serialization (the roofline).
+    Roofline,
+    /// Single in-band pickle stream.
+    Basic,
+    /// Out-of-band buffers via one MPI message each.
+    Oob,
+    /// Out-of-band buffers via the custom datatype engine.
+    OobCdt,
+}
+
+impl Strategy {
+    /// Label used in the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Roofline => "roofline",
+            Self::Basic => "pickle-basic",
+            Self::Oob => "pickle-oob",
+            Self::OobCdt => "pickle-oob-cdt",
+        }
+    }
+
+    /// Every strategy, figure order.
+    pub fn all() -> [Strategy; 4] {
+        [Self::Roofline, Self::Basic, Self::Oob, Self::OobCdt]
+    }
+}
+
+/// Run the pingpong for `strategy` over `obj` and report bandwidth (MB/s).
+/// The payload accounted is the object's buffer bytes, both directions.
+pub fn run(world: &World, strategy: Strategy, obj: &PyObject, cfg: Config) -> Sample {
+    let (c0, c1) = world.pair();
+    let bytes = obj.buffer_bytes();
+
+    match strategy {
+        Strategy::Roofline => {
+            let payload = vec![0x3Cu8; bytes];
+            threaded_bandwidth(
+                world.fabric(),
+                cfg,
+                2 * bytes,
+                || {
+                    c0.send(&payload, 1, 0).expect("roofline send");
+                    let mut echo = vec![0u8; bytes];
+                    c0.recv(&mut echo, 1, 1).expect("roofline recv");
+                },
+                || {
+                    let mut buf = vec![0u8; bytes];
+                    c1.recv(&mut buf, 0, 0).expect("roofline recv");
+                    c1.send(&buf, 0, 1).expect("roofline send");
+                },
+            )
+        }
+        Strategy::Basic => threaded_bandwidth(
+            world.fabric(),
+            cfg,
+            2 * bytes,
+            || {
+                send_pickle_basic(&c0, obj, 1, 0).expect("basic send");
+                let _echo = recv_pickle_basic(&c0, 1, 1).expect("basic recv");
+            },
+            || {
+                let echo = recv_pickle_basic(&c1, 0, 0).expect("basic recv");
+                send_pickle_basic(&c1, &echo, 0, 1).expect("basic send");
+            },
+        ),
+        Strategy::Oob => threaded_bandwidth(
+            world.fabric(),
+            cfg,
+            2 * bytes,
+            || {
+                send_pickle_oob(&c0, obj, 1, 0).expect("oob send");
+                let _echo = recv_pickle_oob(&c0, 1, 1).expect("oob recv");
+            },
+            || {
+                let echo = recv_pickle_oob(&c1, 0, 0).expect("oob recv");
+                send_pickle_oob(&c1, &echo, 0, 1).expect("oob send");
+            },
+        ),
+        Strategy::OobCdt => threaded_bandwidth(
+            world.fabric(),
+            cfg,
+            2 * bytes,
+            || {
+                send_pickle_oob_cdt(&c0, obj, 1, 0).expect("oob-cdt send");
+                let _echo = recv_pickle_oob_cdt(&c0, 1, 1).expect("oob-cdt recv");
+            },
+            || {
+                let echo = recv_pickle_oob_cdt(&c1, 0, 0).expect("oob-cdt recv");
+                send_pickle_oob_cdt(&c1, &echo, 0, 1).expect("oob-cdt send");
+            },
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpicd_pickle::workload;
+
+    #[test]
+    fn every_strategy_produces_bandwidth() {
+        let cfg = Config {
+            warmup: 1,
+            reps: 2,
+            runs: 1,
+        };
+        let obj = workload::single_array(64 * 1024);
+        for s in Strategy::all() {
+            let world = World::new(2);
+            let sample = run(&world, s, &obj, cfg);
+            assert!(sample.mean > 0.0, "{}", s.label());
+        }
+    }
+}

@@ -1,0 +1,177 @@
+/*
+ * mpicd_custom.h — the proposed MPI custom datatype serialization API.
+ *
+ * C declarations matching the paper's Listings 2–5 ("Improving MPI Language
+ * Support Through Custom Datatype Serialization", SC 2024) as implemented by
+ * the mpicd-capi crate. A C translation unit including this header links
+ * against the Rust staticlib; the signatures below are the ABI the crate's
+ * `extern "C"` functions export (see crates/capi/src/).
+ *
+ * Every callback returns MPI_SUCCESS or a nonzero application error code,
+ * which the implementation propagates to the initiating call.
+ */
+
+#ifndef MPICD_CUSTOM_H
+#define MPICD_CUSTOM_H
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef int64_t MPI_Count;
+typedef int MPI_Datatype;
+typedef int MPI_Request;
+typedef int MPI_Comm;
+
+#define MPI_SUCCESS 0
+#define MPI_ERR_TYPE 3
+#define MPI_ERR_RANK 6
+#define MPI_ERR_ARG 12
+#define MPI_ERR_TRUNCATE 15
+#define MPI_ERR_INTERN 17
+#define MPI_ERR_REQUEST 19
+
+#define MPI_COMM_WORLD 91
+#define MPI_BYTE 1
+#define MPI_INT 2
+#define MPI_DOUBLE 3
+#define MPI_FLOAT 4
+#define MPI_INT64_T 5
+#define MPI_REQUEST_NULL (-1)
+#define MPI_ANY_SOURCE (-1)
+#define MPI_ANY_TAG (-2)
+
+typedef struct MPI_Status {
+    int MPI_SOURCE;
+    int MPI_TAG;
+    int MPI_ERROR;
+    MPI_Count count;
+} MPI_Status;
+
+#define MPI_STATUS_IGNORE ((MPI_Status *)0)
+
+/* ---- Listing 3: state management --------------------------------------- */
+
+/* Create per-operation state for a buffer/count pair. */
+typedef int (MPI_Type_custom_state_function)(
+    void *context,        /* context passed to the create function  */
+    const void *src,      /* buffer provided to MPI                 */
+    MPI_Count src_count,  /* count provided to MPI                  */
+    void **state);        /* out: state passed into callbacks       */
+
+/* Release per-operation state at completion. */
+typedef int (MPI_Type_custom_state_free_function)(void *state);
+
+/* ---- Listing 4: query / pack / unpack ----------------------------------- */
+
+/* Report the total packed size of the buffer. */
+typedef int (MPI_Type_custom_query_function)(
+    void *state,
+    const void *buf,
+    MPI_Count count,
+    MPI_Count *packed_size);
+
+/* Pack one fragment at a virtual byte offset; may partially fill dst. */
+typedef int (MPI_Type_custom_pack_function)(
+    void *state,
+    const void *buf,
+    MPI_Count count,
+    MPI_Count offset,     /* virtual offset into the packed buffer  */
+    void *dst,
+    MPI_Count dst_size,
+    MPI_Count *used);     /* out: bytes written                     */
+
+/* Unpack one received fragment at a virtual byte offset. */
+typedef int (MPI_Type_custom_unpack_function)(
+    void *state,
+    void *buf,
+    MPI_Count count,
+    MPI_Count offset,
+    const void *src,
+    MPI_Count src_size);
+
+/* ---- Listing 5: memory regions ------------------------------------------ */
+
+/* Report how many contiguous regions the buffer exposes. */
+typedef int (MPI_Type_custom_region_count_function)(
+    void *state,
+    void *buf,
+    MPI_Count count,
+    MPI_Count *region_count);
+
+/* Fill the per-region base/length/type arrays (region_count entries). */
+typedef int (MPI_Type_custom_region_function)(
+    void *state,
+    void *buf,
+    MPI_Count count,
+    MPI_Count region_count,
+    void *reg_bases[],
+    MPI_Count reg_lens[],
+    MPI_Datatype reg_types[]);
+
+/* ---- Listing 2: type creation ------------------------------------------- */
+
+int MPI_Type_create_custom(
+    MPI_Type_custom_state_function *statefn,
+    MPI_Type_custom_state_free_function *freefn,
+    MPI_Type_custom_query_function *queryfn,
+    MPI_Type_custom_pack_function *packfn,
+    MPI_Type_custom_unpack_function *unpackfn,
+    MPI_Type_custom_region_count_function *region_countfn,
+    MPI_Type_custom_region_function *regionfn,
+    void *context,
+    int inorder,          /* flag indicating in-order pack requirement */
+    MPI_Datatype *type);
+
+int MPI_Type_free(MPI_Datatype *datatype);
+
+/* ---- classic derived datatypes (the comparison baseline) ---------------- */
+
+int MPI_Type_contiguous(MPI_Count count, MPI_Datatype oldtype,
+                        MPI_Datatype *newtype);
+int MPI_Type_vector(MPI_Count count, MPI_Count blocklength, MPI_Count stride,
+                    MPI_Datatype oldtype, MPI_Datatype *newtype);
+int MPI_Type_create_struct(MPI_Count count, const MPI_Count blocklengths[],
+                           const MPI_Count displacements[],
+                           const MPI_Datatype types[], MPI_Datatype *newtype);
+int MPI_Type_commit(MPI_Datatype *datatype);
+int MPI_Get_count(const MPI_Status *status, MPI_Datatype datatype,
+                  MPI_Count *count);
+
+/* ---- point-to-point ------------------------------------------------------ */
+
+int MPI_Comm_rank(MPI_Comm comm, int *rank);
+int MPI_Comm_size(MPI_Comm comm, int *size);
+
+int MPI_Send(const void *buf, MPI_Count count, MPI_Datatype datatype,
+             int dest, int tag, MPI_Comm comm);
+int MPI_Recv(void *buf, MPI_Count count, MPI_Datatype datatype,
+             int source, int tag, MPI_Comm comm, MPI_Status *status);
+int MPI_Isend(const void *buf, MPI_Count count, MPI_Datatype datatype,
+              int dest, int tag, MPI_Comm comm, MPI_Request *request);
+int MPI_Irecv(void *buf, MPI_Count count, MPI_Datatype datatype,
+              int source, int tag, MPI_Comm comm, MPI_Request *request);
+int MPI_Wait(MPI_Request *request, MPI_Status *status);
+int MPI_Waitall(int count, MPI_Request requests[], MPI_Status statuses[]);
+
+int MPI_Probe_sim(int source, int tag, MPI_Comm comm, MPI_Status *status);
+int MPI_Iprobe(int source, int tag, MPI_Comm comm, int *flag,
+               MPI_Status *status);
+int MPI_Mprobe_sim(int source, int tag, MPI_Comm comm, MPI_Request *message,
+                   MPI_Status *status);
+int MPI_Mrecv_sim(void *buf, MPI_Count count, MPI_Request *message,
+                  MPI_Status *status);
+
+/* ---- simulated process model --------------------------------------------
+ * Real MPI ranks are processes; this in-process build runs them on threads:
+ * create the world once, then bind each rank thread. (Exposed from Rust as
+ * ordinary functions, not extern "C", since they exist only in simulation.)
+ * ------------------------------------------------------------------------- */
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* MPICD_CUSTOM_H */

@@ -1,0 +1,191 @@
+//! C-visible types, constants and callback signatures (Listings 2–5).
+
+use std::os::raw::{c_int, c_void};
+
+/// `MPI_Count` — large counts, as in the MPI 4 embiggened interfaces.
+pub type MPI_Count = i64;
+
+/// Datatype handle (opaque integer, as real MPI implementations use).
+pub type MPI_Datatype = c_int;
+
+/// Request handle.
+pub type MPI_Request = c_int;
+
+/// Communicator handle.
+pub type MPI_Comm = c_int;
+
+/// Success return code.
+pub const MPI_SUCCESS: c_int = 0;
+
+/// Generic internal error.
+pub const MPI_ERR_INTERN: c_int = 17;
+
+/// Invalid argument error.
+pub const MPI_ERR_ARG: c_int = 12;
+
+/// Truncated receive.
+pub const MPI_ERR_TRUNCATE: c_int = 15;
+
+/// Invalid rank.
+pub const MPI_ERR_RANK: c_int = 6;
+
+/// Invalid datatype handle.
+pub const MPI_ERR_TYPE: c_int = 3;
+
+/// Invalid request handle.
+pub const MPI_ERR_REQUEST: c_int = 19;
+
+/// The world communicator handle.
+pub const MPI_COMM_WORLD: MPI_Comm = 91;
+
+/// Predefined byte datatype handle.
+pub const MPI_BYTE: MPI_Datatype = 1;
+
+/// Predefined 32-bit integer handle.
+pub const MPI_INT: MPI_Datatype = 2;
+
+/// Predefined double-precision handle.
+pub const MPI_DOUBLE: MPI_Datatype = 3;
+
+/// Predefined single-precision handle.
+pub const MPI_FLOAT: MPI_Datatype = 4;
+
+/// Predefined 64-bit integer handle.
+pub const MPI_INT64_T: MPI_Datatype = 5;
+
+/// Null request handle.
+pub const MPI_REQUEST_NULL: MPI_Request = -1;
+
+/// Wildcard source (matches the fabric's selector encoding).
+pub const MPI_ANY_SOURCE: c_int = -1;
+
+/// Wildcard tag.
+pub const MPI_ANY_TAG: c_int = -2;
+
+/// Completion status (subset of `MPI_Status`).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MPI_Status {
+    /// Source rank of the matched message.
+    pub MPI_SOURCE: c_int,
+    /// Tag of the matched message.
+    pub MPI_TAG: c_int,
+    /// Error code associated with the operation.
+    pub MPI_ERROR: c_int,
+    /// Received byte count (retrievable via `MPI_Get_count` in real MPI).
+    pub count: MPI_Count,
+}
+
+/// Ignore-status sentinel.
+pub const MPI_STATUS_IGNORE: *mut MPI_Status = std::ptr::null_mut();
+
+// ---- Listing 3: state management ------------------------------------------
+
+/// Create per-operation state for a buffer/count pair.
+pub type MPI_Type_custom_state_function = unsafe extern "C" fn(
+    context: *mut c_void,
+    src: *const c_void,
+    src_count: MPI_Count,
+    state: *mut *mut c_void,
+) -> c_int;
+
+/// Release per-operation state.
+pub type MPI_Type_custom_state_free_function = unsafe extern "C" fn(state: *mut c_void) -> c_int;
+
+// ---- Listing 4: query / pack / unpack ---------------------------------------
+
+/// Report the total packed size of a buffer.
+pub type MPI_Type_custom_query_function = unsafe extern "C" fn(
+    state: *mut c_void,
+    buf: *const c_void,
+    count: MPI_Count,
+    packed_size: *mut MPI_Count,
+) -> c_int;
+
+/// Pack one fragment at a virtual offset; may partially fill.
+pub type MPI_Type_custom_pack_function = unsafe extern "C" fn(
+    state: *mut c_void,
+    buf: *const c_void,
+    count: MPI_Count,
+    offset: MPI_Count,
+    dst: *mut c_void,
+    dst_size: MPI_Count,
+    used: *mut MPI_Count,
+) -> c_int;
+
+/// Unpack one received fragment at a virtual offset.
+pub type MPI_Type_custom_unpack_function = unsafe extern "C" fn(
+    state: *mut c_void,
+    buf: *mut c_void,
+    count: MPI_Count,
+    offset: MPI_Count,
+    src: *const c_void,
+    src_size: MPI_Count,
+) -> c_int;
+
+// ---- Listing 5: memory regions ----------------------------------------------
+
+/// Report how many memory regions the buffer exposes.
+pub type MPI_Type_custom_region_count_function = unsafe extern "C" fn(
+    state: *mut c_void,
+    buf: *mut c_void,
+    count: MPI_Count,
+    region_count: *mut MPI_Count,
+) -> c_int;
+
+/// Fill the per-region base/length/type arrays.
+pub type MPI_Type_custom_region_function = unsafe extern "C" fn(
+    state: *mut c_void,
+    buf: *mut c_void,
+    count: MPI_Count,
+    region_count: MPI_Count,
+    reg_bases: *mut *mut c_void,
+    reg_lens: *mut MPI_Count,
+    reg_types: *mut MPI_Datatype,
+) -> c_int;
+
+/// The full callback bundle registered by `MPI_Type_create_custom`
+/// (Listing 2's argument list, minus the out parameter).
+#[derive(Clone, Copy)]
+pub struct CustomCallbacks {
+    /// Per-operation state constructor (required).
+    pub statefn: MPI_Type_custom_state_function,
+    /// State destructor, run at operation completion.
+    pub freefn: Option<MPI_Type_custom_state_free_function>,
+    /// Packed-size query (required).
+    pub queryfn: MPI_Type_custom_query_function,
+    /// Fragment packer; may be null for regions-only types.
+    pub packfn: Option<MPI_Type_custom_pack_function>,
+    /// Fragment unpacker; may be null for regions-only types.
+    pub unpackfn: Option<MPI_Type_custom_unpack_function>,
+    /// Region-count query; paired with `regionfn`.
+    pub region_countfn: Option<MPI_Type_custom_region_count_function>,
+    /// Region-array filler; paired with `region_countfn`.
+    pub regionfn: Option<MPI_Type_custom_region_function>,
+    /// Opaque application pointer passed to `statefn`.
+    pub context: *mut c_void,
+    /// Listing 2's in-order fragment delivery flag.
+    pub inorder: bool,
+}
+
+// SAFETY: the context pointer's thread affinity is the application's
+// responsibility, as in MPI itself.
+unsafe impl Send for CustomCallbacks {}
+unsafe impl Sync for CustomCallbacks {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_is_repr_c_sized() {
+        // 3 ints (+ padding) + one i64.
+        assert_eq!(std::mem::size_of::<MPI_Status>(), 24);
+    }
+
+    #[test]
+    fn constants_are_distinct() {
+        assert_ne!(MPI_SUCCESS, MPI_ERR_INTERN);
+        assert_ne!(MPI_ANY_SOURCE, MPI_ANY_TAG);
+    }
+}

@@ -1,0 +1,41 @@
+#![allow(non_camel_case_types, non_snake_case)]
+#![warn(missing_docs)]
+
+//! # mpicd-capi — the C-ABI surface of the custom datatype proposal
+//!
+//! This crate reproduces the paper's `mpicd-capi` layer: the exact
+//! `MPI_Type_create_custom` entry point of Listing 2 together with the
+//! callback typedefs of Listings 3–5, and enough of the MPI point-to-point
+//! surface (`MPI_Send`, `MPI_Recv`, `MPI_Isend`, `MPI_Irecv`, `MPI_Wait`,
+//! `MPI_Waitall`, `MPI_Probe`, `MPI_Comm_rank`, `MPI_Comm_size`) to run the
+//! paper's benchmarks from C-shaped code.
+//!
+//! Everything crosses the boundary the way a C program would see it:
+//! `extern "C"` function pointers, `void *` contexts and state objects,
+//! `MPI_Count` byte counts, and integer error codes (`MPI_SUCCESS == 0`).
+//! The tests in this crate call through those function pointers exactly as
+//! compiled C would.
+//!
+//! ## Process model
+//!
+//! Real MPI ranks are processes; this in-process reproduction runs each
+//! rank on a thread. [`mpi_init_sim`] creates the world once,
+//! [`mpi_attach_rank`] binds the calling thread to a rank (thread-local),
+//! and the `MPI_*` calls then behave exactly as they would per-process.
+
+pub mod adapter;
+pub mod ctypes;
+pub mod datatype_c;
+pub mod handles;
+pub mod pt2pt;
+
+pub use ctypes::*;
+pub use datatype_c::{
+    MPI_Get_count, MPI_Type_commit, MPI_Type_contiguous, MPI_Type_create_custom,
+    MPI_Type_create_struct, MPI_Type_free, MPI_Type_vector,
+};
+pub use handles::{mpi_attach_rank, mpi_finalize_sim, mpi_init_sim};
+pub use pt2pt::{
+    MPI_Comm_rank, MPI_Comm_size, MPI_Iprobe, MPI_Irecv, MPI_Isend, MPI_Mprobe_sim, MPI_Mrecv_sim,
+    MPI_Probe_sim, MPI_Recv, MPI_Send, MPI_Wait, MPI_Waitall,
+};

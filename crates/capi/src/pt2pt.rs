@@ -1,0 +1,553 @@
+//! Point-to-point calls over the simulated world.
+//!
+//! Buffers of `MPI_BYTE` take the contiguous fast path; custom datatype
+//! handles route through the callback adapters. `count` counts *elements of
+//! the datatype* (bytes for `MPI_BYTE`, whole application objects for
+//! custom types — the same convention the paper's prototype uses).
+
+use crate::adapter::{CCustomPack, CCustomUnpack};
+use crate::ctypes::*;
+use crate::handles::{
+    current_comm, lookup_type, register_request, take_request, RequestEntry, TypeEntry,
+};
+use mpicd::fabric::{IovEntry, IovEntryMut, RecvDesc, SendDesc};
+use std::os::raw::{c_int, c_void};
+
+/// Bytes per element for predefined handles (None = not predefined).
+fn predefined_size(datatype: MPI_Datatype) -> Option<usize> {
+    match datatype {
+        MPI_BYTE => Some(1),
+        MPI_INT | MPI_FLOAT => Some(4),
+        MPI_DOUBLE | MPI_INT64_T => Some(8),
+        _ => None,
+    }
+}
+
+fn write_status(status: *mut MPI_Status, st: mpicd::Status) {
+    if !status.is_null() {
+        // SAFETY: caller passed a valid status pointer (or IGNORE).
+        unsafe {
+            *status = MPI_Status {
+                MPI_SOURCE: st.source as c_int,
+                MPI_TAG: st.tag,
+                MPI_ERROR: MPI_SUCCESS,
+                count: st.bytes as MPI_Count,
+            };
+        }
+    }
+}
+
+/// This thread's rank in the world.
+///
+/// # Safety
+/// `rank` must be a valid pointer.
+#[allow(non_snake_case)]
+pub unsafe extern "C" fn MPI_Comm_rank(comm: MPI_Comm, rank: *mut c_int) -> c_int {
+    if comm != MPI_COMM_WORLD || rank.is_null() {
+        return MPI_ERR_ARG;
+    }
+    match current_comm() {
+        Ok(c) => {
+            *rank = c.rank() as c_int;
+            MPI_SUCCESS
+        }
+        Err(code) => code,
+    }
+}
+
+/// World size.
+///
+/// # Safety
+/// `size` must be a valid pointer.
+#[allow(non_snake_case)]
+pub unsafe extern "C" fn MPI_Comm_size(comm: MPI_Comm, size: *mut c_int) -> c_int {
+    if comm != MPI_COMM_WORLD || size.is_null() {
+        return MPI_ERR_ARG;
+    }
+    match current_comm() {
+        Ok(c) => {
+            *size = c.size() as c_int;
+            MPI_SUCCESS
+        }
+        Err(code) => code,
+    }
+}
+
+/// Blocking send.
+///
+/// # Safety
+/// `buf` must be valid for `count` elements of `datatype` for the duration
+/// of the call; callbacks must follow their contracts.
+#[allow(non_snake_case)]
+pub unsafe extern "C" fn MPI_Send(
+    buf: *const c_void,
+    count: MPI_Count,
+    datatype: MPI_Datatype,
+    dest: c_int,
+    tag: c_int,
+    comm: MPI_Comm,
+) -> c_int {
+    if comm != MPI_COMM_WORLD || dest < 0 || count < 0 {
+        return MPI_ERR_ARG;
+    }
+    let c = match current_comm() {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    if let Some(sz) = predefined_size(datatype) {
+        let req = match c.endpoint().post_send(
+            SendDesc::Contig(IovEntry {
+                ptr: buf as *const u8,
+                len: count as usize * sz,
+            }),
+            dest as usize,
+            tag,
+        ) {
+            Ok(r) => r,
+            Err(_) => return MPI_ERR_RANK,
+        };
+        return match req.wait() {
+            Ok(_) => MPI_SUCCESS,
+            Err(_) => MPI_ERR_INTERN,
+        };
+    }
+    match lookup_type(datatype) {
+        Ok(TypeEntry::Custom(cb)) => {
+            let ctx = match CCustomPack::new(cb, buf, count) {
+                Ok(ctx) => ctx,
+                Err(e) => return e.code(),
+            };
+            match c.send_custom(Box::new(ctx), dest as usize, tag) {
+                Ok(_) => MPI_SUCCESS,
+                Err(e) => e.code(),
+            }
+        }
+        Ok(TypeEntry::Committed(ty)) => {
+            let req = match c.post_typed_send(
+                buf as *const u8,
+                count as usize,
+                &ty,
+                dest as usize,
+                tag,
+            ) {
+                Ok(r) => r,
+                Err(e) => return e.code(),
+            };
+            match req.wait() {
+                Ok(_) => MPI_SUCCESS,
+                Err(_) => MPI_ERR_INTERN,
+            }
+        }
+        Ok(TypeEntry::Derived(_)) => MPI_ERR_TYPE, // must commit first
+        Err(code) => code,
+    }
+}
+
+/// Blocking receive.
+///
+/// # Safety
+/// `buf` must be valid and exclusively held for `count` elements of
+/// `datatype` for the duration of the call.
+#[allow(non_snake_case)]
+pub unsafe extern "C" fn MPI_Recv(
+    buf: *mut c_void,
+    count: MPI_Count,
+    datatype: MPI_Datatype,
+    source: c_int,
+    tag: c_int,
+    comm: MPI_Comm,
+    status: *mut MPI_Status,
+) -> c_int {
+    if comm != MPI_COMM_WORLD || count < 0 {
+        return MPI_ERR_ARG;
+    }
+    let c = match current_comm() {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    if let Some(sz) = predefined_size(datatype) {
+        let req = match c.endpoint().post_recv(
+            RecvDesc::Contig(IovEntryMut {
+                ptr: buf as *mut u8,
+                len: count as usize * sz,
+            }),
+            source,
+            tag,
+        ) {
+            Ok(r) => r,
+            Err(_) => return MPI_ERR_RANK,
+        };
+        return match req.wait() {
+            Ok(env) => {
+                write_status(status, env.into());
+                MPI_SUCCESS
+            }
+            Err(mpicd::fabric::FabricError::Truncated { .. }) => MPI_ERR_TRUNCATE,
+            Err(_) => MPI_ERR_INTERN,
+        };
+    }
+    match lookup_type(datatype) {
+        Ok(TypeEntry::Custom(cb)) => {
+            let mut ctx = match CCustomUnpack::new(cb, buf, count) {
+                Ok(ctx) => ctx,
+                Err(e) => return e.code(),
+            };
+            match c.recv_custom(&mut ctx, source, tag) {
+                Ok(st) => {
+                    write_status(status, st);
+                    MPI_SUCCESS
+                }
+                Err(e) => e.code(),
+            }
+        }
+        Ok(TypeEntry::Committed(ty)) => {
+            let req = match c.post_typed_recv(buf as *mut u8, count as usize, &ty, source, tag) {
+                Ok(r) => r,
+                Err(e) => return e.code(),
+            };
+            match req.wait() {
+                Ok(env) => {
+                    write_status(status, env.into());
+                    MPI_SUCCESS
+                }
+                Err(mpicd::fabric::FabricError::Truncated { .. }) => MPI_ERR_TRUNCATE,
+                Err(_) => MPI_ERR_INTERN,
+            }
+        }
+        Ok(TypeEntry::Derived(_)) => MPI_ERR_TYPE,
+        Err(code) => code,
+    }
+}
+
+/// Nonblocking send; complete with [`MPI_Wait`].
+///
+/// # Safety
+/// `buf` must stay valid and unmodified until the request completes.
+#[allow(non_snake_case)]
+pub unsafe extern "C" fn MPI_Isend(
+    buf: *const c_void,
+    count: MPI_Count,
+    datatype: MPI_Datatype,
+    dest: c_int,
+    tag: c_int,
+    comm: MPI_Comm,
+    request: *mut MPI_Request,
+) -> c_int {
+    if comm != MPI_COMM_WORLD || dest < 0 || count < 0 || request.is_null() {
+        return MPI_ERR_ARG;
+    }
+    let c = match current_comm() {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    if let Some(sz) = predefined_size(datatype) {
+        let req = match c.endpoint().post_send(
+            SendDesc::Contig(IovEntry {
+                ptr: buf as *const u8,
+                len: count as usize * sz,
+            }),
+            dest as usize,
+            tag,
+        ) {
+            Ok(r) => r,
+            Err(_) => return MPI_ERR_RANK,
+        };
+        *request = register_request(RequestEntry {
+            request: req,
+            send_keepalive: None,
+            recv_keepalive: None,
+        });
+        return MPI_SUCCESS;
+    }
+    let cb = match lookup_type(datatype) {
+        Ok(TypeEntry::Custom(cb)) => cb,
+        Ok(TypeEntry::Committed(ty)) => {
+            let req = match c.post_typed_send(
+                buf as *const u8,
+                count as usize,
+                &ty,
+                dest as usize,
+                tag,
+            ) {
+                Ok(r) => r,
+                Err(e) => return e.code(),
+            };
+            *request = register_request(RequestEntry {
+                request: req,
+                send_keepalive: None,
+                recv_keepalive: None,
+            });
+            return MPI_SUCCESS;
+        }
+        Ok(TypeEntry::Derived(_)) => return MPI_ERR_TYPE,
+        Err(code) => return code,
+    };
+    let ctx = match CCustomPack::new(cb, buf, count) {
+        Ok(ctx) => Box::new(ctx),
+        Err(e) => return e.code(),
+    };
+    // The adapter is 'static (raw pointers only), so it can cross into the
+    // fabric whole; we keep no second copy.
+    let req = match c.post_custom_send(ctx as Box<dyn mpicd::CustomPack>, dest as usize, tag) {
+        Ok(r) => r,
+        Err(e) => return e.code(),
+    };
+    *request = register_request(RequestEntry {
+        request: req,
+        send_keepalive: None,
+        recv_keepalive: None,
+    });
+    MPI_SUCCESS
+}
+
+/// Nonblocking receive; complete with [`MPI_Wait`].
+///
+/// # Safety
+/// `buf` must stay valid and untouched until the request completes.
+#[allow(non_snake_case)]
+pub unsafe extern "C" fn MPI_Irecv(
+    buf: *mut c_void,
+    count: MPI_Count,
+    datatype: MPI_Datatype,
+    source: c_int,
+    tag: c_int,
+    comm: MPI_Comm,
+    request: *mut MPI_Request,
+) -> c_int {
+    if comm != MPI_COMM_WORLD || count < 0 || request.is_null() {
+        return MPI_ERR_ARG;
+    }
+    let c = match current_comm() {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    if let Some(sz) = predefined_size(datatype) {
+        let req = match c.endpoint().post_recv(
+            RecvDesc::Contig(IovEntryMut {
+                ptr: buf as *mut u8,
+                len: count as usize * sz,
+            }),
+            source,
+            tag,
+        ) {
+            Ok(r) => r,
+            Err(_) => return MPI_ERR_RANK,
+        };
+        *request = register_request(RequestEntry {
+            request: req,
+            send_keepalive: None,
+            recv_keepalive: None,
+        });
+        return MPI_SUCCESS;
+    }
+    let cb = match lookup_type(datatype) {
+        Ok(TypeEntry::Custom(cb)) => cb,
+        Ok(TypeEntry::Committed(ty)) => {
+            let req = match c.post_typed_recv(buf as *mut u8, count as usize, &ty, source, tag) {
+                Ok(r) => r,
+                Err(e) => return e.code(),
+            };
+            *request = register_request(RequestEntry {
+                request: req,
+                send_keepalive: None,
+                recv_keepalive: None,
+            });
+            return MPI_SUCCESS;
+        }
+        Ok(TypeEntry::Derived(_)) => return MPI_ERR_TYPE,
+        Err(code) => return code,
+    };
+    let mut ctx = match CCustomUnpack::new(cb, buf, count) {
+        Ok(ctx) => Box::new(ctx),
+        Err(e) => return e.code(),
+    };
+    let req = match c.post_custom_recv(&mut *ctx, source, tag) {
+        Ok(r) => r,
+        Err(e) => return e.code(),
+    };
+    *request = register_request(RequestEntry {
+        request: req,
+        send_keepalive: None,
+        recv_keepalive: Some(ctx),
+    });
+    MPI_SUCCESS
+}
+
+/// Wait for one request; frees custom state objects at completion.
+///
+/// # Safety
+/// `request` must point to a live handle variable.
+#[allow(non_snake_case)]
+pub unsafe extern "C" fn MPI_Wait(request: *mut MPI_Request, status: *mut MPI_Status) -> c_int {
+    if request.is_null() {
+        return MPI_ERR_ARG;
+    }
+    let handle = *request;
+    if handle == MPI_REQUEST_NULL {
+        return MPI_SUCCESS;
+    }
+    let entry = match take_request(handle) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
+    let outcome = entry.request.wait();
+    // Dropping the keepalive boxes runs freefn on any custom state.
+    drop(entry.send_keepalive);
+    drop(entry.recv_keepalive);
+    *request = MPI_REQUEST_NULL;
+    match outcome {
+        Ok(env) => {
+            write_status(status, env.into());
+            MPI_SUCCESS
+        }
+        Err(mpicd::fabric::FabricError::Truncated { .. }) => MPI_ERR_TRUNCATE,
+        Err(mpicd::fabric::FabricError::PackFailed(c))
+        | Err(mpicd::fabric::FabricError::UnpackFailed(c)) => c,
+        Err(_) => MPI_ERR_INTERN,
+    }
+}
+
+/// Wait for an array of requests.
+///
+/// # Safety
+/// `requests` must point to `count` live handle variables; `statuses` must
+/// be null or point to `count` status slots.
+#[allow(non_snake_case)]
+pub unsafe extern "C" fn MPI_Waitall(
+    count: c_int,
+    requests: *mut MPI_Request,
+    statuses: *mut MPI_Status,
+) -> c_int {
+    if count < 0 || requests.is_null() {
+        return MPI_ERR_ARG;
+    }
+    let mut rc = MPI_SUCCESS;
+    for i in 0..count as usize {
+        let st = if statuses.is_null() {
+            MPI_STATUS_IGNORE
+        } else {
+            statuses.add(i)
+        };
+        let r = MPI_Wait(requests.add(i), st);
+        if r != MPI_SUCCESS && rc == MPI_SUCCESS {
+            rc = r;
+        }
+    }
+    rc
+}
+
+/// Blocking probe (simplified `MPI_Probe`): fills `status` with the
+/// envelope of the next matching message without receiving it.
+///
+/// # Safety
+/// `status` must be a valid pointer.
+#[allow(non_snake_case)]
+pub unsafe extern "C" fn MPI_Probe_sim(
+    source: c_int,
+    tag: c_int,
+    comm: MPI_Comm,
+    status: *mut MPI_Status,
+) -> c_int {
+    if comm != MPI_COMM_WORLD || status.is_null() {
+        return MPI_ERR_ARG;
+    }
+    let c = match current_comm() {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let st = c.probe(source, tag);
+    write_status(status, st);
+    MPI_SUCCESS
+}
+
+/// Nonblocking probe (`MPI_Iprobe`): sets `flag` and fills `status` when a
+/// matching message is pending.
+///
+/// # Safety
+/// `flag` and `status` must be valid pointers (`status` may be IGNORE).
+#[allow(non_snake_case)]
+pub unsafe extern "C" fn MPI_Iprobe(
+    source: c_int,
+    tag: c_int,
+    comm: MPI_Comm,
+    flag: *mut c_int,
+    status: *mut MPI_Status,
+) -> c_int {
+    if comm != MPI_COMM_WORLD || flag.is_null() {
+        return MPI_ERR_ARG;
+    }
+    let c = match current_comm() {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    match c.iprobe(source, tag) {
+        Some(st) => {
+            *flag = 1;
+            write_status(status, st);
+        }
+        None => *flag = 0,
+    }
+    MPI_SUCCESS
+}
+
+/// Blocking matched probe (`MPI_Mprobe`): claims the message atomically and
+/// returns a message handle for [`MPI_Mrecv_sim`]. Message handles reuse
+/// the request table.
+///
+/// # Safety
+/// `message` and `status` must be valid pointers.
+#[allow(non_snake_case)]
+pub unsafe extern "C" fn MPI_Mprobe_sim(
+    source: c_int,
+    tag: c_int,
+    comm: MPI_Comm,
+    message: *mut MPI_Request,
+    status: *mut MPI_Status,
+) -> c_int {
+    if comm != MPI_COMM_WORLD || message.is_null() {
+        return MPI_ERR_ARG;
+    }
+    let c = match current_comm() {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let (st, msg) = c.mprobe(source, tag);
+    write_status(status, st);
+    *message = crate::handles::register_message(msg);
+    MPI_SUCCESS
+}
+
+/// Receive a message claimed by [`MPI_Mprobe_sim`] into a byte buffer
+/// (`MPI_Mrecv` with `MPI_BYTE`).
+///
+/// # Safety
+/// `buf` must be valid for `count` bytes; `message` must hold a handle from
+/// `MPI_Mprobe_sim`.
+#[allow(non_snake_case)]
+pub unsafe extern "C" fn MPI_Mrecv_sim(
+    buf: *mut c_void,
+    count: MPI_Count,
+    message: *mut MPI_Request,
+    status: *mut MPI_Status,
+) -> c_int {
+    if buf.is_null() || message.is_null() || count < 0 {
+        return MPI_ERR_ARG;
+    }
+    let c = match current_comm() {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let msg = match crate::handles::take_message(*message) {
+        Ok(m) => m,
+        Err(code) => return code,
+    };
+    *message = MPI_REQUEST_NULL;
+    let slice = std::slice::from_raw_parts_mut(buf as *mut u8, count as usize);
+    match c.mrecv(slice, msg) {
+        Ok(st) => {
+            write_status(status, st);
+            MPI_SUCCESS
+        }
+        Err(e) => e.code(),
+    }
+}

@@ -1,0 +1,212 @@
+//! How values expose themselves to MPI operations.
+//!
+//! `mpicd` keeps the paper's two-level scheme: a buffer is either
+//! *contiguous* (predefined-type fast path — sent as raw bytes) or *custom*
+//! (serialized through the callback interface of [`crate::datatype`]).
+//! This corresponds to the `Buffer`/`PackMethod` traits of the original
+//! mpicd prototype.
+
+use crate::datatype::{CustomPack, CustomUnpack};
+use crate::error::Result;
+use mpicd_datatype::primitive::Scalar;
+
+/// Send-side view of a value.
+pub enum SendView<'a> {
+    /// The value is a dense byte sequence; send directly.
+    Contiguous(&'a [u8]),
+    /// The value needs custom serialization.
+    Custom(Box<dyn CustomPack + 'a>),
+}
+
+/// Receive-side view of a value.
+pub enum RecvView<'a> {
+    /// Receive directly into this dense byte buffer.
+    Contiguous(&'a mut [u8]),
+    /// Reconstruct through custom deserialization.
+    Custom(Box<dyn CustomUnpack + 'a>),
+}
+
+/// A value that can be sent.
+///
+/// # Safety
+/// A `Custom` view's pack context must only reference memory that stays
+/// valid (and unmodified by anyone else) for the view's lifetime — in
+/// particular the [`SendRegion`](crate::SendRegion)s it exposes.
+pub unsafe trait Buffer {
+    /// Describe this value for one send operation.
+    fn send_view(&self) -> SendView<'_>;
+}
+
+/// A value that can be received into.
+///
+/// # Safety
+/// A `Custom` view's unpack context must only reference memory exclusively
+/// reachable through `self` for the view's lifetime — in particular the
+/// [`RecvRegion`](crate::RecvRegion)s it exposes.
+pub unsafe trait BufferMut {
+    /// Describe this value for one receive operation.
+    fn recv_view(&mut self) -> RecvView<'_>;
+}
+
+// ---- contiguous implementations --------------------------------------------
+
+/// View a scalar slice as raw bytes.
+pub fn scalar_bytes<T: Scalar>(s: &[T]) -> &[u8] {
+    // SAFETY: Scalar guarantees plain-old-data with no padding.
+    unsafe { std::slice::from_raw_parts(s.as_ptr().cast(), std::mem::size_of_val(s)) }
+}
+
+/// View a mutable scalar slice as raw bytes.
+pub fn scalar_bytes_mut<T: Scalar>(s: &mut [T]) -> &mut [u8] {
+    // SAFETY: Scalar guarantees plain-old-data; any bit pattern is valid.
+    unsafe { std::slice::from_raw_parts_mut(s.as_mut_ptr().cast(), std::mem::size_of_val(s)) }
+}
+
+// Concrete impls per scalar type (rather than a blanket over `T: Scalar`)
+// so that container types like `Vec<Vec<T>>` can carry their own custom
+// `Buffer` impls without coherence conflicts.
+macro_rules! impl_scalar_buffers {
+    ($($t:ty),* $(,)?) => {
+        $(
+            // SAFETY: a scalar slice exposes no regions beyond itself.
+            unsafe impl Buffer for [$t] {
+                fn send_view(&self) -> SendView<'_> {
+                    SendView::Contiguous(scalar_bytes(self))
+                }
+            }
+
+            // SAFETY: as above.
+            unsafe impl BufferMut for [$t] {
+                fn recv_view(&mut self) -> RecvView<'_> {
+                    RecvView::Contiguous(scalar_bytes_mut(self))
+                }
+            }
+
+            // SAFETY: delegates to the slice implementation.
+            unsafe impl Buffer for Vec<$t> {
+                fn send_view(&self) -> SendView<'_> {
+                    SendView::Contiguous(scalar_bytes(self))
+                }
+            }
+
+            // SAFETY: as above.
+            unsafe impl BufferMut for Vec<$t> {
+                fn recv_view(&mut self) -> RecvView<'_> {
+                    RecvView::Contiguous(scalar_bytes_mut(self))
+                }
+            }
+
+            // SAFETY: fixed-size arrays are dense scalar storage.
+            unsafe impl<const N: usize> Buffer for [$t; N] {
+                fn send_view(&self) -> SendView<'_> {
+                    SendView::Contiguous(scalar_bytes(self))
+                }
+            }
+
+            // SAFETY: as above.
+            unsafe impl<const N: usize> BufferMut for [$t; N] {
+                fn recv_view(&mut self) -> RecvView<'_> {
+                    RecvView::Contiguous(scalar_bytes_mut(self))
+                }
+            }
+        )*
+    };
+}
+
+impl_scalar_buffers!(u8, i8, i16, i32, i64, f32, f64);
+
+/// Wrap any `CustomPack` constructor as a sendable buffer.
+///
+/// The constructed context must own its data (`'static`); for borrowing
+/// contexts implement [`Buffer`] directly (see `mpicd::vecvec` for a
+/// worked example).
+///
+/// ```
+/// use mpicd::buffer::{CustomBuffer, SendView, Buffer};
+/// use mpicd::datatype::HeaderAndRegion;
+///
+/// static BODY: [u8; 64] = [7; 64];
+/// let buf = CustomBuffer::new(|| HeaderAndRegion::new(vec![1, 2], &BODY));
+/// assert!(matches!(buf.send_view(), SendView::Custom(_)));
+/// ```
+pub struct CustomBuffer<F> {
+    make: F,
+}
+
+impl<F> CustomBuffer<F> {
+    /// Wrap a context constructor.
+    pub fn new(make: F) -> Self {
+        Self { make }
+    }
+}
+
+// SAFETY: the constructed context is bound to `&self`'s lifetime, so the
+// regions it references outlive the view by the constructor's own borrows.
+unsafe impl<F, C> Buffer for CustomBuffer<F>
+where
+    F: Fn() -> C,
+    C: CustomPack + 'static,
+{
+    fn send_view(&self) -> SendView<'_> {
+        SendView::Custom(Box::new((self.make)()))
+    }
+}
+
+impl SendView<'_> {
+    /// Total bytes this view will put on the wire.
+    pub fn wire_bytes(&self) -> Result<usize> {
+        match self {
+            SendView::Contiguous(b) => Ok(b.len()),
+            SendView::Custom(ctx) => {
+                // Regions are not yet queried here; packed size only. The
+                // communicator adds region lengths when it builds the
+                // descriptor.
+                ctx.packed_size()
+            }
+        }
+    }
+
+    /// Whether this view uses custom serialization.
+    pub fn is_custom(&self) -> bool {
+        matches!(self, SendView::Custom(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_slices_are_contiguous() {
+        let v = vec![1i32, 2, 3];
+        match v.send_view() {
+            SendView::Contiguous(b) => assert_eq!(b.len(), 12),
+            _ => panic!("expected contiguous"),
+        };
+    }
+
+    #[test]
+    fn scalar_bytes_roundtrip() {
+        let mut v = vec![0i64; 4];
+        let b = scalar_bytes_mut(&mut v);
+        b[0] = 7;
+        assert_eq!(v[0], 7);
+        assert_eq!(scalar_bytes(&v).len(), 32);
+    }
+
+    #[test]
+    fn arrays_are_buffers() {
+        let a = [1.0f64; 8];
+        match a.send_view() {
+            SendView::Contiguous(b) => assert_eq!(b.len(), 64),
+            _ => panic!("expected contiguous"),
+        };
+    }
+
+    #[test]
+    fn wire_bytes_for_contiguous() {
+        let v = vec![0u8; 10];
+        assert_eq!(v.send_view().wire_bytes().unwrap(), 10);
+        assert!(!v.send_view().is_custom());
+    }
+}

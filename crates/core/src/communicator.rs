@@ -1,0 +1,939 @@
+//! Point-to-point communication: worlds, communicators, blocking and scoped
+//! nonblocking operations.
+//!
+//! Three send/receive paths exist, matching the methods compared throughout
+//! the paper's evaluation:
+//!
+//! 1. **contiguous** — the buffer is already dense bytes ([`Buffer`] yields
+//!    [`SendView::Contiguous`]); sent directly (the `rsmpi-bytes-baseline`).
+//! 2. **custom** — the buffer serializes through the callback interface;
+//!    the wire carries *one* message whose scatter/gather list is
+//!    `[packed stream, region…]` (the paper's proposal).
+//! 3. **typed** — classic MPI derived datatypes via the `mpicd-datatype`
+//!    engine ([`Communicator::send_typed`]); contiguous committed types are
+//!    sent directly, gapped ones stream through the type-map pack engine
+//!    (the `rsmpi`/Open MPI baseline).
+
+use crate::buffer::{Buffer, BufferMut, RecvView, SendView};
+use crate::datatype::{
+    recv_regions_to_iov, send_regions_to_iov, CustomPack, CustomUnpack, PackAdapter,
+};
+use crate::error::{Error, Result};
+use mpicd_datatype::engine::{DatatypePacker, DatatypeUnpacker};
+use mpicd_datatype::Committed;
+use mpicd_fabric::{
+    Endpoint, Fabric, FragmentPacker, FragmentUnpacker, IovEntry, IovEntryMut, RecvDesc, Request,
+    SendDesc, Tag, WireModel,
+};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Completion information (MPI's `MPI_Status`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Rank of the peer that sent the message.
+    pub source: usize,
+    /// Message tag.
+    pub tag: Tag,
+    /// Payload bytes transferred.
+    pub bytes: usize,
+}
+
+impl From<mpicd_fabric::matching::Envelope> for Status {
+    fn from(e: mpicd_fabric::matching::Envelope) -> Self {
+        Self {
+            source: e.source,
+            tag: e.tag,
+            bytes: e.bytes,
+        }
+    }
+}
+
+/// Tag reserved for [`Communicator::barrier`].
+const BARRIER_TAG: Tag = i32::MAX - 7;
+
+/// An in-process MPI world (all ranks share one simulated fabric).
+pub struct World {
+    fabric: Fabric,
+}
+
+impl World {
+    /// A world of `size` ranks with the default wire model.
+    pub fn new(size: usize) -> Self {
+        Self {
+            fabric: Fabric::new(size),
+        }
+    }
+
+    /// A world with an explicit wire model (latency, bandwidth, thresholds).
+    pub fn with_model(size: usize, model: WireModel) -> Self {
+        Self {
+            fabric: Fabric::with_model(size, model),
+        }
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.fabric.size()
+    }
+
+    /// The underlying fabric (wire ledger, traffic statistics).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Communicator for `rank`.
+    pub fn comm(&self, rank: usize) -> Communicator {
+        Communicator {
+            ep: self.fabric.endpoint(rank).expect("rank in range"),
+        }
+    }
+
+    /// Convenience: communicators for ranks 0 and 1 (the pingpong pair).
+    pub fn pair(&self) -> (Communicator, Communicator) {
+        assert!(self.size() >= 2, "pair() needs at least two ranks");
+        (self.comm(0), self.comm(1))
+    }
+
+    /// Communicators for every rank, in rank order.
+    pub fn comms(&self) -> Vec<Communicator> {
+        (0..self.size()).map(|r| self.comm(r)).collect()
+    }
+}
+
+/// A rank's handle for point-to-point communication.
+#[derive(Clone)]
+pub struct Communicator {
+    ep: Endpoint,
+}
+
+impl Communicator {
+    /// This rank.
+    pub fn rank(&self) -> usize {
+        self.ep.rank()
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.ep.size()
+    }
+
+    /// Access to the underlying fabric endpoint (statistics, wire ledger).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.ep
+    }
+
+    // ---- blocking operations -----------------------------------------------
+
+    /// Blocking send of any [`Buffer`].
+    pub fn send<B: Buffer + ?Sized>(&self, buf: &B, dest: usize, tag: Tag) -> Result<Status> {
+        let req = match buf.send_view() {
+            SendView::Contiguous(bytes) => {
+                // SAFETY: we wait below, so `bytes` outlives the operation.
+                unsafe {
+                    self.ep
+                        .post_send(SendDesc::Contig(IovEntry::from_slice(bytes)), dest, tag)?
+                }
+            }
+            SendView::Custom(ctx) => {
+                // SAFETY: we wait below, so the context (and the regions it
+                // references) outlive the operation.
+                unsafe { self.post_custom_send(ctx, dest, tag)? }
+            }
+        };
+        Ok(req.wait()?.into())
+    }
+
+    /// Blocking receive into any [`BufferMut`].
+    pub fn recv<B: BufferMut + ?Sized>(
+        &self,
+        buf: &mut B,
+        source: i32,
+        tag: Tag,
+    ) -> Result<Status> {
+        match buf.recv_view() {
+            RecvView::Contiguous(bytes) => {
+                // SAFETY: we wait before returning.
+                let req = unsafe {
+                    self.ep.post_recv(
+                        RecvDesc::Contig(IovEntryMut::from_slice(bytes)),
+                        source,
+                        tag,
+                    )?
+                };
+                Ok(req.wait()?.into())
+            }
+            RecvView::Custom(mut ctx) => {
+                // SAFETY: `ctx` stays alive on this stack frame until after
+                // the wait; the fabric stops using the pointer at completion.
+                let req = unsafe { self.post_custom_recv(&mut *ctx, source, tag)? };
+                let env = req.wait()?;
+                ctx.finish()?;
+                Ok(env.into())
+            }
+        }
+    }
+
+    /// Blocking send through an explicit custom-serialization context
+    /// (bypassing the [`Buffer`] trait — used by the C API and protocol
+    /// layers that assemble contexts at runtime).
+    pub fn send_custom(
+        &self,
+        ctx: Box<dyn CustomPack + '_>,
+        dest: usize,
+        tag: Tag,
+    ) -> Result<Status> {
+        // SAFETY: we wait below, so the context and its regions outlive the
+        // operation.
+        let req = unsafe { self.post_custom_send(ctx, dest, tag)? };
+        Ok(req.wait()?.into())
+    }
+
+    /// Blocking receive through an explicit custom-deserialization context.
+    /// Runs `finish()` after completion.
+    pub fn recv_custom(
+        &self,
+        ctx: &mut (dyn CustomUnpack + '_),
+        source: i32,
+        tag: Tag,
+    ) -> Result<Status> {
+        // SAFETY: `ctx` outlives the wait below.
+        let req = unsafe { self.post_custom_recv(ctx, source, tag)? };
+        let env = req.wait()?;
+        ctx.finish()?;
+        Ok(env.into())
+    }
+
+    /// Blocking send with a classic derived datatype (the Open MPI/rsmpi
+    /// baseline). `region` is the memory holding `count` elements laid out
+    /// with the committed type's extent.
+    pub fn send_typed(
+        &self,
+        region: &[u8],
+        count: usize,
+        ty: &Arc<Committed>,
+        dest: usize,
+        tag: Tag,
+    ) -> Result<Status> {
+        ty.check_bounds(count, region.len())?;
+        // SAFETY: we wait below, so `region` outlives the operation.
+        let req = unsafe { self.post_typed_send(region.as_ptr(), count, ty, dest, tag)? };
+        Ok(req.wait()?.into())
+    }
+
+    /// Blocking receive with a classic derived datatype.
+    pub fn recv_typed(
+        &self,
+        region: &mut [u8],
+        count: usize,
+        ty: &Arc<Committed>,
+        source: i32,
+        tag: Tag,
+    ) -> Result<Status> {
+        ty.check_bounds(count, region.len())?;
+        // SAFETY: we wait below.
+        let req = unsafe { self.post_typed_recv(region.as_mut_ptr(), count, ty, source, tag)? };
+        Ok(req.wait()?.into())
+    }
+
+    /// Nonblocking probe (like `MPI_Iprobe`).
+    pub fn iprobe(&self, source: i32, tag: Tag) -> Option<Status> {
+        self.ep.iprobe(source, tag).map(Into::into)
+    }
+
+    /// Blocking probe (like `MPI_Probe`).
+    pub fn probe(&self, source: i32, tag: Tag) -> Status {
+        self.ep.probe(source, tag).into()
+    }
+
+    /// Nonblocking matched probe (`MPI_Improbe`): atomically claims the
+    /// earliest matching message so a later [`Self::mrecv`] cannot race
+    /// with other threads of this rank (the locking problem the paper
+    /// attributes to probe-based multi-message protocols, §II-C/§VI).
+    pub fn improbe(&self, source: i32, tag: Tag) -> Option<(Status, MatchedMessage)> {
+        self.ep
+            .improbe(source, tag)
+            .map(|(env, msg)| (env.into(), MatchedMessage { msg }))
+    }
+
+    /// Blocking matched probe (`MPI_Mprobe`).
+    pub fn mprobe(&self, source: i32, tag: Tag) -> (Status, MatchedMessage) {
+        let (env, msg) = self.ep.mprobe(source, tag);
+        (env.into(), MatchedMessage { msg })
+    }
+
+    /// Receive a matched message into a contiguous buffer (`MPI_Mrecv`).
+    pub fn mrecv(&self, buf: &mut [u8], msg: MatchedMessage) -> Result<Status> {
+        // SAFETY: we wait before returning.
+        let req = unsafe {
+            self.ep
+                .post_mrecv(RecvDesc::Contig(IovEntryMut::from_slice(buf)), msg.msg)?
+        };
+        Ok(req.wait()?.into())
+    }
+
+    /// Combined send + receive (`MPI_Sendrecv`): posts both nonblocking,
+    /// then waits — deadlock-free regardless of peer ordering, the idiom
+    /// halo-exchange codes rely on.
+    pub fn sendrecv<S, R>(
+        &self,
+        sbuf: &S,
+        dest: usize,
+        stag: Tag,
+        rbuf: &mut R,
+        source: i32,
+        rtag: Tag,
+    ) -> Result<Status>
+    where
+        S: Buffer + ?Sized,
+        R: BufferMut + ?Sized,
+    {
+        // Post the receive first, then the send, then wait on both — all
+        // borrows live until the end of this call.
+        match rbuf.recv_view() {
+            RecvView::Contiguous(bytes) => {
+                // SAFETY: waited below.
+                let rreq = unsafe {
+                    self.ep.post_recv(
+                        RecvDesc::Contig(IovEntryMut::from_slice(bytes)),
+                        source,
+                        rtag,
+                    )?
+                };
+                let sreq = self.post_any_send(sbuf, dest, stag)?;
+                let status = rreq.wait()?.into();
+                sreq.wait()?;
+                Ok(status)
+            }
+            RecvView::Custom(mut ctx) => {
+                // SAFETY: ctx outlives the waits below.
+                let rreq = unsafe { self.post_custom_recv(&mut *ctx, source, rtag)? };
+                let sreq = self.post_any_send(sbuf, dest, stag)?;
+                let env = rreq.wait()?;
+                ctx.finish()?;
+                sreq.wait()?;
+                Ok(env.into())
+            }
+        }
+    }
+
+    /// Post a send for any [`Buffer`] view (helper for [`Self::sendrecv`]).
+    fn post_any_send<S: Buffer + ?Sized>(
+        &self,
+        sbuf: &S,
+        dest: usize,
+        tag: Tag,
+    ) -> Result<Request> {
+        match sbuf.send_view() {
+            SendView::Contiguous(bytes) => {
+                // SAFETY: callers wait before the borrow ends.
+                Ok(unsafe {
+                    self.ep
+                        .post_send(SendDesc::Contig(IovEntry::from_slice(bytes)), dest, tag)?
+                })
+            }
+            // SAFETY: as above.
+            SendView::Custom(ctx) => unsafe { self.post_custom_send(ctx, dest, tag) },
+        }
+    }
+
+    /// Block until every rank has entered the barrier. Requires ranks to be
+    /// driven by concurrent threads (a central gather-then-release).
+    pub fn barrier(&self) -> Result<()> {
+        let n = self.size();
+        if n == 1 {
+            return Ok(());
+        }
+        let mut byte = [0u8; 1];
+        if self.rank() == 0 {
+            for src in 1..n {
+                self.ep.recv_bytes(&mut byte, src as i32, BARRIER_TAG)?;
+            }
+            for dst in 1..n {
+                self.ep.send_bytes(&byte, dst, BARRIER_TAG)?;
+            }
+        } else {
+            self.ep.send_bytes(&byte, 0, BARRIER_TAG)?;
+            self.ep.recv_bytes(&mut byte, 0, BARRIER_TAG)?;
+        }
+        Ok(())
+    }
+
+    // ---- scoped nonblocking operations --------------------------------------
+
+    /// Run `f` with a [`Scope`] for nonblocking operations. Every operation
+    /// posted in the scope is waited before `scope` returns, which is what
+    /// makes lending buffers to the fabric sound.
+    ///
+    /// ```
+    /// use mpicd::World;
+    /// let world = World::new(2);
+    /// let (c0, c1) = world.pair();
+    /// let data = vec![1i32, 2, 3];
+    /// let mut out = vec![0i32; 3];
+    /// // Single-threaded nonblocking pingpong (deterministic benchmarking).
+    /// c0.scope(|s| s.isend(&data, 1, 0)).unwrap();
+    /// c1.scope(|s| s.irecv(&mut out, 0, 0)).unwrap();
+    /// assert_eq!(out, data);
+    /// ```
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&mut Scope<'env, '_>) -> Result<R>) -> Result<R> {
+        let mut scope = Scope {
+            comm: self,
+            pending: Vec::new(),
+            _env: PhantomData,
+        };
+        let r = f(&mut scope);
+        let waited = scope.finish_all();
+        match (r, waited) {
+            (Ok(v), Ok(())) => Ok(v),
+            (Err(e), _) => Err(e),
+            (_, Err(e)) => Err(e),
+        }
+    }
+
+    // ---- descriptor builders (shared by blocking + scoped paths) -----------
+
+    /// Post a nonblocking custom-serialization send without a scope (used
+    /// by the C API, whose callers manage buffer lifetimes manually).
+    ///
+    /// # Safety
+    /// The context and all regions it references must outlive the request.
+    pub unsafe fn post_custom_send<'a>(
+        &self,
+        mut ctx: Box<dyn CustomPack + 'a>,
+        dest: usize,
+        tag: Tag,
+    ) -> Result<Request> {
+        let packed_size = ctx.packed_size()?;
+        let regions = ctx.regions()?;
+        let inorder = ctx.inorder();
+        let iov = send_regions_to_iov(&regions);
+        let packer: Box<dyn FragmentPacker + 'a> = Box::new(PackAdapter(ctx));
+        // SAFETY: lifetime extension justified by this function's contract.
+        let packer: Box<dyn FragmentPacker + 'static> = std::mem::transmute(packer);
+        Ok(self.ep.post_send(
+            SendDesc::Generic {
+                packer,
+                packed_size,
+                regions: iov,
+                inorder,
+            },
+            dest,
+            tag,
+        )?)
+    }
+
+    /// Post a nonblocking custom-deserialization receive without a scope.
+    /// The caller must keep `ctx` alive and untouched until the request
+    /// completes (and run `finish()` itself if desired).
+    ///
+    /// # Safety
+    /// `ctx` must outlive the request and not be accessed until it completes.
+    pub unsafe fn post_custom_recv(
+        &self,
+        ctx: &mut (dyn CustomUnpack + '_),
+        source: i32,
+        tag: Tag,
+    ) -> Result<Request> {
+        let packed_size = ctx.packed_size()?;
+        let regions = ctx.regions()?;
+        let iov = recv_regions_to_iov(&regions);
+        let ptr: *mut (dyn CustomUnpack + '_) = ctx;
+        // SAFETY: lifetime extension justified by this function's contract.
+        let ptr: *mut (dyn CustomUnpack + 'static) = std::mem::transmute(ptr);
+        Ok(self.ep.post_recv(
+            RecvDesc::Generic {
+                unpacker: Box::new(UnpackPtr(ptr)),
+                packed_size,
+                regions: iov,
+            },
+            source,
+            tag,
+        )?)
+    }
+
+    /// Post a nonblocking derived-datatype send without a scope (used by
+    /// the benchmark harness and the C API).
+    ///
+    /// # Safety
+    /// `base` must stay valid for reads of `count` elements of `ty` until
+    /// the request completes.
+    pub unsafe fn post_typed_send(
+        &self,
+        base: *const u8,
+        count: usize,
+        ty: &Arc<Committed>,
+        dest: usize,
+        tag: Tag,
+    ) -> Result<Request> {
+        if ty.is_contiguous() {
+            // Fast path: dense types go out as raw bytes (what Open MPI does
+            // for `struct-simple-no-gap` in Fig 6).
+            let entry = IovEntry {
+                ptr: base,
+                len: ty.size() * count,
+            };
+            Ok(self.ep.post_send(SendDesc::Contig(entry), dest, tag)?)
+        } else {
+            // Gapped types stream through the type-map pack engine, fragment
+            // by fragment — Open MPI's convertor behaviour (slow in Fig 5).
+            let packer = DatatypePacker::new(Arc::clone(ty), base, count);
+            let packed_size = packer.packed_size();
+            Ok(self.ep.post_send(
+                SendDesc::Generic {
+                    packer: Box::new(DtPack(packer)),
+                    packed_size,
+                    regions: Vec::new(),
+                    inorder: true,
+                },
+                dest,
+                tag,
+            )?)
+        }
+    }
+
+    /// Post a nonblocking derived-datatype receive without a scope.
+    ///
+    /// # Safety
+    /// `base` must stay valid for writes of `count` elements of `ty` until
+    /// the request completes, with no other access in between.
+    pub unsafe fn post_typed_recv(
+        &self,
+        base: *mut u8,
+        count: usize,
+        ty: &Arc<Committed>,
+        source: i32,
+        tag: Tag,
+    ) -> Result<Request> {
+        if ty.is_contiguous() {
+            let entry = IovEntryMut {
+                ptr: base,
+                len: ty.size() * count,
+            };
+            Ok(self.ep.post_recv(RecvDesc::Contig(entry), source, tag)?)
+        } else {
+            let unpacker = DatatypeUnpacker::new(Arc::clone(ty), base, count);
+            let packed_size = unpacker.packed_size();
+            Ok(self.ep.post_recv(
+                RecvDesc::Generic {
+                    unpacker: Box::new(DtUnpack(unpacker)),
+                    packed_size,
+                    regions: Vec::new(),
+                },
+                source,
+                tag,
+            )?)
+        }
+    }
+}
+
+/// A message claimed by a matched probe, consumable only via
+/// [`Communicator::mrecv`].
+#[derive(Debug)]
+pub struct MatchedMessage {
+    msg: mpicd_fabric::fabric::Message,
+}
+
+/// Fabric adapter for the derived-datatype pack engine.
+struct DtPack(DatatypePacker);
+
+impl FragmentPacker for DtPack {
+    fn pack(&mut self, offset: usize, dst: &mut [u8]) -> std::result::Result<usize, i32> {
+        Ok(self.0.pack(offset, dst))
+    }
+}
+
+/// Fabric adapter for the derived-datatype unpack engine.
+struct DtUnpack(DatatypeUnpacker);
+
+impl FragmentUnpacker for DtUnpack {
+    fn unpack(&mut self, offset: usize, src: &[u8]) -> std::result::Result<(), i32> {
+        self.0.unpack(offset, src);
+        Ok(())
+    }
+}
+
+/// Fabric adapter delivering fragments through a raw context pointer whose
+/// owner outlives the request (see `post_custom_recv`).
+struct UnpackPtr(*mut (dyn CustomUnpack + 'static));
+
+// SAFETY: exclusive access alternates between poster and fabric; the post
+// contract forbids concurrent use.
+unsafe impl Send for UnpackPtr {}
+
+impl FragmentUnpacker for UnpackPtr {
+    fn unpack(&mut self, offset: usize, src: &[u8]) -> std::result::Result<(), i32> {
+        // SAFETY: the owner keeps the context alive and untouched until
+        // completion.
+        unsafe { (*self.0).unpack(offset, src) }.map_err(|e| e.code())
+    }
+}
+
+/// A pending operation inside a [`Scope`].
+struct PendingOp<'env> {
+    request: Request,
+    /// Receive contexts are kept here so `finish()` can run after completion.
+    recv_ctx: Option<Box<dyn CustomUnpack + 'env>>,
+}
+
+/// Collects nonblocking operations; everything is waited when the scope
+/// ends (or cancelled-then-waited if the closure errors or panics).
+pub struct Scope<'env, 'c> {
+    comm: &'c Communicator,
+    pending: Vec<PendingOp<'env>>,
+    _env: PhantomData<&'env mut ()>,
+}
+
+impl<'env> Scope<'env, '_> {
+    /// Nonblocking send (like `MPI_Isend`).
+    pub fn isend<B: Buffer + ?Sized>(&mut self, buf: &'env B, dest: usize, tag: Tag) -> Result<()> {
+        let request = match buf.send_view() {
+            SendView::Contiguous(bytes) => {
+                // SAFETY: the borrow lasts for 'env, which outlives the
+                // enclosing `scope` call, which waits.
+                unsafe {
+                    self.comm.ep.post_send(
+                        SendDesc::Contig(IovEntry::from_slice(bytes)),
+                        dest,
+                        tag,
+                    )?
+                }
+            }
+            // SAFETY: as above.
+            SendView::Custom(ctx) => unsafe { self.comm.post_custom_send(ctx, dest, tag)? },
+        };
+        self.pending.push(PendingOp {
+            request,
+            recv_ctx: None,
+        });
+        Ok(())
+    }
+
+    /// Nonblocking receive (like `MPI_Irecv`).
+    pub fn irecv<B: BufferMut + ?Sized>(
+        &mut self,
+        buf: &'env mut B,
+        source: i32,
+        tag: Tag,
+    ) -> Result<()> {
+        match buf.recv_view() {
+            RecvView::Contiguous(bytes) => {
+                // SAFETY: see `isend`.
+                let request = unsafe {
+                    self.comm.ep.post_recv(
+                        RecvDesc::Contig(IovEntryMut::from_slice(bytes)),
+                        source,
+                        tag,
+                    )?
+                };
+                self.pending.push(PendingOp {
+                    request,
+                    recv_ctx: None,
+                });
+            }
+            RecvView::Custom(mut ctx) => {
+                // SAFETY: the context is stored in `pending` and outlives
+                // the request; `finish_all` runs `finish()` after the wait.
+                let request = unsafe { self.comm.post_custom_recv(&mut *ctx, source, tag)? };
+                self.pending.push(PendingOp {
+                    request,
+                    recv_ctx: Some(ctx),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Nonblocking derived-datatype send.
+    pub fn isend_typed(
+        &mut self,
+        region: &'env [u8],
+        count: usize,
+        ty: &Arc<Committed>,
+        dest: usize,
+        tag: Tag,
+    ) -> Result<()> {
+        ty.check_bounds(count, region.len())?;
+        // SAFETY: see `isend`.
+        let request = unsafe {
+            self.comm
+                .post_typed_send(region.as_ptr(), count, ty, dest, tag)?
+        };
+        self.pending.push(PendingOp {
+            request,
+            recv_ctx: None,
+        });
+        Ok(())
+    }
+
+    /// Nonblocking derived-datatype receive.
+    pub fn irecv_typed(
+        &mut self,
+        region: &'env mut [u8],
+        count: usize,
+        ty: &Arc<Committed>,
+        source: i32,
+        tag: Tag,
+    ) -> Result<()> {
+        ty.check_bounds(count, region.len())?;
+        // SAFETY: see `isend`.
+        let request = unsafe {
+            self.comm
+                .post_typed_recv(region.as_mut_ptr(), count, ty, source, tag)?
+        };
+        self.pending.push(PendingOp {
+            request,
+            recv_ctx: None,
+        });
+        Ok(())
+    }
+
+    /// Nonblocking send through an explicit custom-serialization context.
+    pub fn isend_custom(
+        &mut self,
+        ctx: Box<dyn CustomPack + 'env>,
+        dest: usize,
+        tag: Tag,
+    ) -> Result<()> {
+        // SAFETY: 'env outlives the enclosing `scope` call, which waits.
+        let request = unsafe { self.comm.post_custom_send(ctx, dest, tag)? };
+        self.pending.push(PendingOp {
+            request,
+            recv_ctx: None,
+        });
+        Ok(())
+    }
+
+    /// Nonblocking receive through an explicit custom-deserialization
+    /// context; `finish()` runs when the scope waits.
+    pub fn irecv_custom(
+        &mut self,
+        mut ctx: Box<dyn CustomUnpack + 'env>,
+        source: i32,
+        tag: Tag,
+    ) -> Result<()> {
+        // SAFETY: the context is stored in `pending` until the wait.
+        let request = unsafe { self.comm.post_custom_recv(&mut *ctx, source, tag)? };
+        self.pending.push(PendingOp {
+            request,
+            recv_ctx: Some(ctx),
+        });
+        Ok(())
+    }
+
+    /// Number of not-yet-waited operations.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Wait for every pending operation; first error wins but everything is
+    /// drained (so no buffer stays lent to the fabric).
+    fn finish_all(&mut self) -> Result<()> {
+        let mut first_err: Option<Error> = None;
+        for mut op in self.pending.drain(..) {
+            match op.request.wait() {
+                Ok(_) => {
+                    if let Some(ctx) = op.recv_ctx.as_mut() {
+                        if let Err(e) = ctx.finish() {
+                            first_err.get_or_insert(e);
+                        }
+                    }
+                }
+                Err(e) => {
+                    first_err.get_or_insert(Error::Fabric(e));
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for Scope<'_, '_> {
+    fn drop(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        // The closure panicked (normal exits drain via finish_all): cancel
+        // what we can, then wait so no borrowed buffer stays lent out.
+        for op in &self.pending {
+            op.request.cancel();
+        }
+        for op in self.pending.drain(..) {
+            let _ = op.request.wait();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpicd_datatype::Datatype;
+
+    #[test]
+    fn contiguous_send_recv() {
+        let world = World::new(2);
+        let (c0, c1) = world.pair();
+        let data = vec![1i32, 2, 3, 4];
+        let mut out = vec![0i32; 4];
+        c0.scope(|s| s.isend(&data, 1, 0)).unwrap();
+        let st = c1.recv(&mut out, 0, 0).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(st.bytes, 16);
+        assert_eq!(st.source, 0);
+    }
+
+    #[test]
+    fn scoped_pingpong_single_thread() {
+        let world = World::new(2);
+        let (c0, c1) = world.pair();
+        let data = vec![0.5f64; 128];
+        let mut echo = vec![0f64; 128];
+        for _ in 0..10 {
+            c0.scope(|s| s.isend(&data, 1, 0)).unwrap();
+            let mut tmp = vec![0f64; 128];
+            c1.recv(&mut tmp, 0, 0).unwrap();
+            c1.scope(|s| s.isend(&tmp, 0, 1)).unwrap();
+            c0.recv(&mut echo, 1, 1).unwrap();
+        }
+        assert_eq!(echo, data);
+    }
+
+    #[test]
+    fn typed_gapped_roundtrip() {
+        // struct-simple over the derived-datatype engine.
+        let ty = Arc::new(
+            Datatype::structure(vec![
+                (3, 0, Datatype::of::<i32>()),
+                (1, 16, Datatype::of::<f64>()),
+            ])
+            .commit()
+            .unwrap(),
+        );
+        assert!(!ty.is_contiguous());
+        let world = World::new(2);
+        let (c0, c1) = world.pair();
+        let src: Vec<u8> = (0..240).map(|i| i as u8).collect(); // 10 elements
+        let mut dst = vec![0u8; 240];
+        std::thread::scope(|s| {
+            s.spawn(|| c0.send_typed(&src, 10, &ty, 1, 0).unwrap());
+            s.spawn(|| c1.recv_typed(&mut dst, 10, &ty, 0, 0).unwrap());
+        });
+        for e in 0..10 {
+            let b = e * 24;
+            assert_eq!(&dst[b..b + 12], &src[b..b + 12], "ints of element {e}");
+            assert_eq!(&dst[b + 16..b + 24], &src[b + 16..b + 24], "double of {e}");
+        }
+        // Gap bytes were never written.
+        assert_eq!(&dst[12..16], &[0u8; 4]);
+    }
+
+    #[test]
+    fn typed_contiguous_uses_fast_path() {
+        let ty = Arc::new(
+            Datatype::structure(vec![
+                (2, 0, Datatype::of::<i32>()),
+                (1, 8, Datatype::of::<f64>()),
+            ])
+            .commit()
+            .unwrap(),
+        );
+        assert!(ty.is_contiguous());
+        let world = World::new(2);
+        let (c0, c1) = world.pair();
+        let src = vec![7u8; 160];
+        let mut dst = vec![0u8; 160];
+        std::thread::scope(|s| {
+            s.spawn(|| c0.send_typed(&src, 10, &ty, 1, 0).unwrap());
+            s.spawn(|| c1.recv_typed(&mut dst, 10, &ty, 0, 0).unwrap());
+        });
+        assert_eq!(dst, src);
+        // Fast path = eager contiguous message.
+        assert_eq!(world.fabric().stats().eager, 1);
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_ranks() {
+        let world = World::new(4);
+        let comms = world.comms();
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for c in &comms {
+                s.spawn(|| {
+                    counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    c.barrier().unwrap();
+                    assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 4);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn probe_sees_pending_message() {
+        let world = World::new(2);
+        let (c0, c1) = world.pair();
+        assert!(c1.iprobe(-1, -2).is_none());
+        c0.scope(|s| s.isend(&[1u8, 2, 3][..], 1, 5)).unwrap();
+        let st = c1.iprobe(0, 5).expect("message pending");
+        assert_eq!(st.bytes, 3);
+        let mut out = [0u8; 3];
+        c1.recv(&mut out[..], 0, 5).unwrap();
+    }
+
+    #[test]
+    fn sendrecv_ring_does_not_deadlock() {
+        // Every rank sendrecvs simultaneously around a ring — the pattern
+        // that deadlocks with naive blocking send+recv.
+        let world = World::new(4);
+        let comms = world.comms();
+        std::thread::scope(|s| {
+            for c in &comms {
+                s.spawn(|| {
+                    let right = (c.rank() + 1) % 4;
+                    let left = (c.rank() + 3) % 4;
+                    // Rendezvous-sized so no eager buffering can hide a deadlock.
+                    let send = vec![c.rank() as i64; 50_000];
+                    let mut recv = vec![0i64; 50_000];
+                    let st = c
+                        .sendrecv(&send, right, 5, &mut recv, left as i32, 5)
+                        .unwrap();
+                    assert_eq!(st.source, left);
+                    assert!(recv.iter().all(|v| *v == left as i64));
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn sendrecv_custom_types() {
+        let world = World::new(2);
+        let comms = world.comms();
+        std::thread::scope(|s| {
+            for c in &comms {
+                s.spawn(|| {
+                    let peer = 1 - c.rank();
+                    let send: Vec<Vec<i32>> = vec![vec![c.rank() as i32; 10]];
+                    let mut recv: Vec<Vec<i32>> = vec![vec![-1; 10]];
+                    c.sendrecv(&send, peer, 0, &mut recv, peer as i32, 0)
+                        .unwrap();
+                    assert_eq!(recv[0], vec![peer as i32; 10]);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn status_reports_wildcard_matches() {
+        let world = World::new(3);
+        let c2 = world.comm(2);
+        world.comm(1).scope(|s| s.isend(&[9u8][..], 2, 42)).unwrap();
+        let mut b = [0u8; 1];
+        let st = c2
+            .recv(&mut b[..], mpicd_fabric::ANY_SOURCE, mpicd_fabric::ANY_TAG)
+            .unwrap();
+        assert_eq!(st.source, 1);
+        assert_eq!(st.tag, 42);
+    }
+}

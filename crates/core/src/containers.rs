@@ -1,0 +1,196 @@
+//! Custom serialization for further standard containers — the paper's
+//! §II-B scenario verbatim: "in a list of vectors
+//! (`std::list<std::vector<int>>` in C++) each vector is a contiguous
+//! memory region that can be transferred by MPI individually. However, a
+//! list itself is a non-contiguous container."
+//!
+//! [`LinkedList<Vec<T>>`] and [`VecDeque<Vec<T>>`] get the same treatment
+//! as `Vec<Vec<T>>` (see [`crate::vecvec`]): element byte-lengths pack
+//! in-band, each node's storage travels as a zero-copy region, and the
+//! receive side validates the incoming shape against its preallocated
+//! nodes in `finish()` — the serialize/deserialize flow §II-B describes
+//! ("storing the size of each vector… resizing each vector to be able to
+//! hold the data").
+
+use crate::buffer::{Buffer, BufferMut, RecvView, SendView};
+use crate::datatype::{CustomPack, CustomUnpack, RecvRegion, SendRegion};
+use crate::error::{Error, Result};
+use crate::vecvec::{decode_header, header_len};
+use mpicd_datatype::primitive::Scalar;
+use std::collections::{LinkedList, VecDeque};
+
+/// Shared pack context over any iterable of `Vec<T>` nodes.
+struct NodesPack<'a, T: Scalar> {
+    header: Vec<u8>,
+    nodes: Vec<&'a Vec<T>>,
+}
+
+impl<'a, T: Scalar> NodesPack<'a, T> {
+    fn new(nodes: Vec<&'a Vec<T>>) -> Self {
+        let mut header = Vec::with_capacity(header_len(nodes.len()));
+        header.extend_from_slice(&(nodes.len() as u64).to_le_bytes());
+        for v in &nodes {
+            header.extend_from_slice(&((std::mem::size_of::<T>() * v.len()) as u64).to_le_bytes());
+        }
+        Self { header, nodes }
+    }
+}
+
+impl<T: Scalar> CustomPack for NodesPack<'_, T> {
+    fn packed_size(&self) -> Result<usize> {
+        Ok(self.header.len())
+    }
+    fn pack(&mut self, offset: usize, dst: &mut [u8]) -> Result<usize> {
+        let n = dst.len().min(self.header.len() - offset);
+        dst[..n].copy_from_slice(&self.header[offset..offset + n]);
+        Ok(n)
+    }
+    fn regions(&mut self) -> Result<Vec<SendRegion>> {
+        Ok(self
+            .nodes
+            .iter()
+            .map(|v| SendRegion::from_typed(v))
+            .collect())
+    }
+    fn inorder(&self) -> bool {
+        false
+    }
+}
+
+/// Shared unpack context over mutable `Vec<T>` nodes.
+struct NodesUnpack<'a, T: Scalar> {
+    header: Vec<u8>,
+    nodes: Vec<&'a mut Vec<T>>,
+}
+
+impl<T: Scalar> CustomUnpack for NodesUnpack<'_, T> {
+    fn packed_size(&self) -> Result<usize> {
+        Ok(header_len(self.nodes.len()))
+    }
+    fn unpack(&mut self, offset: usize, src: &[u8]) -> Result<()> {
+        if offset + src.len() > self.header.len() {
+            return Err(Error::InvalidHeader("list-of-vectors header overflow"));
+        }
+        self.header[offset..offset + src.len()].copy_from_slice(src);
+        Ok(())
+    }
+    fn regions(&mut self) -> Result<Vec<RecvRegion>> {
+        Ok(self
+            .nodes
+            .iter_mut()
+            .map(|v| RecvRegion::from_typed(v.as_mut_slice()))
+            .collect())
+    }
+    fn finish(&mut self) -> Result<()> {
+        let lens = decode_header(&self.header)?;
+        if lens.len() != self.nodes.len() {
+            return Err(Error::LengthMismatch {
+                expected: self.nodes.len(),
+                got: lens.len(),
+            });
+        }
+        for (len, v) in lens.iter().zip(self.nodes.iter()) {
+            let have = std::mem::size_of::<T>() * v.len();
+            if *len != have {
+                return Err(Error::LengthMismatch {
+                    expected: have,
+                    got: *len,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+macro_rules! impl_list_buffers {
+    ($($container:ident),*) => {
+        $(
+            // SAFETY: the context references only node storage borrowed
+            // from `self` for the view's lifetime.
+            unsafe impl<T: Scalar> Buffer for $container<Vec<T>> {
+                fn send_view(&self) -> SendView<'_> {
+                    SendView::Custom(Box::new(NodesPack::new(self.iter().collect())))
+                }
+            }
+
+            // SAFETY: as above, exclusively borrowed.
+            unsafe impl<T: Scalar> BufferMut for $container<Vec<T>> {
+                fn recv_view(&mut self) -> RecvView<'_> {
+                    let nodes: Vec<&mut Vec<T>> = self.iter_mut().collect();
+                    let header = vec![0u8; header_len(nodes.len())];
+                    RecvView::Custom(Box::new(NodesUnpack { header, nodes }))
+                }
+            }
+        )*
+    };
+}
+
+impl_list_buffers!(LinkedList, VecDeque);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::communicator::World;
+
+    #[test]
+    fn linked_list_of_vectors_roundtrips() {
+        // The paper's §II-B type, one MPI message.
+        let world = World::new(2);
+        let (a, b) = world.pair();
+        let send: LinkedList<Vec<i32>> = [
+            (0..100).collect::<Vec<i32>>(),
+            vec![7; 3],
+            (0..1000).map(|x| -x).collect(),
+        ]
+        .into_iter()
+        .collect();
+        let mut recv: LinkedList<Vec<i32>> = [vec![0; 100], vec![0; 3], vec![0; 1000]]
+            .into_iter()
+            .collect();
+        std::thread::scope(|s| {
+            s.spawn(|| a.send(&send, 1, 0).unwrap());
+            s.spawn(|| {
+                b.recv(&mut recv, 0, 0).unwrap();
+            });
+        });
+        assert_eq!(recv, send);
+        assert_eq!(world.fabric().stats().messages, 1);
+        assert_eq!(world.fabric().stats().regions, 4, "header + 3 nodes");
+    }
+
+    #[test]
+    fn deque_of_vectors_roundtrips() {
+        let world = World::new(2);
+        let (a, b) = world.pair();
+        let send: VecDeque<Vec<f64>> = vec![vec![1.5; 64], vec![], vec![2.5; 8]].into();
+        let mut recv: VecDeque<Vec<f64>> = vec![vec![0.0; 64], vec![], vec![0.0; 8]].into();
+        std::thread::scope(|s| {
+            s.spawn(|| a.send(&send, 1, 0).unwrap());
+            s.spawn(|| {
+                b.recv(&mut recv, 0, 0).unwrap();
+            });
+        });
+        assert_eq!(recv, send);
+    }
+
+    #[test]
+    fn node_count_mismatch_fails() {
+        let world = World::new(2);
+        let (a, b) = world.pair();
+        let send: LinkedList<Vec<i32>> = [vec![1, 2], vec![3, 4]].into_iter().collect();
+        // Same total bytes, different node count.
+        let mut recv: LinkedList<Vec<i32>> = [vec![0; 4]].into_iter().collect();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _ = a.send(&send, 1, 0);
+            });
+            s.spawn(|| {
+                let err = b.recv(&mut recv, 0, 0).unwrap_err();
+                assert!(matches!(
+                    err,
+                    Error::LengthMismatch { .. } | Error::Fabric(_)
+                ));
+            });
+        });
+    }
+}

@@ -1,0 +1,127 @@
+//! Error handling for mpicd operations.
+//!
+//! The paper makes error propagation a first-class design point: "each
+//! callback returns either MPI_SUCCESS or an error value indicating a
+//! failure. Error handling is crucial for serialization libraries that can
+//! fail in the case of invalid data." Application callbacks here return
+//! [`Result`]; error codes cross the C API boundary as plain integers.
+
+use mpicd_datatype::DatatypeError;
+use mpicd_fabric::FabricError;
+use std::fmt;
+
+/// Result alias for mpicd operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by mpicd operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Transport-level failure (truncation, invalid rank, shutdown, …).
+    Fabric(FabricError),
+    /// Derived-datatype engine failure.
+    Datatype(DatatypeError),
+    /// An application serialization callback failed with this code
+    /// (anything nonzero; the C API maps it straight through).
+    Serialization(i32),
+    /// A received header describes a shape that does not match the posted
+    /// receive buffer (e.g. double-vec subvector count or lengths differ).
+    LengthMismatch {
+        /// What the local buffer provides.
+        expected: usize,
+        /// What the peer described.
+        got: usize,
+    },
+    /// A received header is structurally invalid.
+    InvalidHeader(&'static str),
+    /// Operation not supported by this buffer/datatype combination.
+    Unsupported(&'static str),
+}
+
+impl Error {
+    /// Stable integer code for the C API (`MPI_SUCCESS == 0`).
+    pub fn code(&self) -> i32 {
+        match self {
+            Self::Fabric(FabricError::Truncated { .. }) => 101,
+            Self::Fabric(FabricError::InvalidRank { .. }) => 102,
+            Self::Fabric(FabricError::Cancelled) => 103,
+            Self::Fabric(FabricError::ShutDown) => 104,
+            Self::Fabric(FabricError::PackFailed(c))
+            | Self::Fabric(FabricError::UnpackFailed(c))
+            | Self::Fabric(FabricError::QueryFailed(c))
+            | Self::Fabric(FabricError::RegionFailed(c)) => *c,
+            Self::Fabric(_) => 105,
+            Self::Datatype(_) => 110,
+            Self::Serialization(c) => *c,
+            Self::LengthMismatch { .. } => 120,
+            Self::InvalidHeader(_) => 121,
+            Self::Unsupported(_) => 122,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Fabric(e) => write!(f, "transport: {e}"),
+            Self::Datatype(e) => write!(f, "datatype: {e}"),
+            Self::Serialization(code) => write!(f, "serialization callback failed: code {code}"),
+            Self::LengthMismatch { expected, got } => {
+                write!(f, "length mismatch: expected {expected}, got {got}")
+            }
+            Self::InvalidHeader(what) => write!(f, "invalid header: {what}"),
+            Self::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Fabric(e) => Some(e),
+            Self::Datatype(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FabricError> for Error {
+    fn from(e: FabricError) -> Self {
+        Self::Fabric(e)
+    }
+}
+
+impl From<DatatypeError> for Error {
+    fn from(e: DatatypeError) -> Self {
+        Self::Datatype(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_code_roundtrips() {
+        assert_eq!(Error::Serialization(77).code(), 77);
+    }
+
+    #[test]
+    fn fabric_callback_codes_pass_through() {
+        assert_eq!(Error::Fabric(FabricError::PackFailed(42)).code(), 42);
+        assert_eq!(Error::Fabric(FabricError::UnpackFailed(9)).code(), 9);
+    }
+
+    #[test]
+    fn conversions() {
+        let e: Error = FabricError::Cancelled.into();
+        assert_eq!(e, Error::Fabric(FabricError::Cancelled));
+        let e: Error = DatatypeError::InvalidArgument("x").into();
+        assert!(matches!(e, Error::Datatype(_)));
+    }
+
+    #[test]
+    fn display_nests() {
+        let e = Error::Fabric(FabricError::Cancelled);
+        assert!(e.to_string().contains("transport"));
+    }
+}

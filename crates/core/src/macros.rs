@@ -1,0 +1,308 @@
+//! `custom_struct!` — generated packing, the paper's anticipated ergonomic
+//! layer: "In practice an extended Rust MPI implementation supporting our
+//! new type interface may implement macros to automatically generate
+//! manual packing" (§VII).
+//!
+//! The macro declares a struct with two field groups and derives the
+//! [`Buffer`](crate::Buffer)/[`BufferMut`](crate::BufferMut)
+//! implementations:
+//!
+//! * `scalars { … }` — plain-old-data fields, packed in-band (gap-free,
+//!   regardless of the struct's memory layout);
+//! * `regions { … }` — `Vec<T>` fields sent/received as zero-copy memory
+//!   regions, with length validation on the receive side.
+//!
+//! ```
+//! mpicd::custom_struct! {
+//!     /// A halo exchange record.
+//!     pub struct Halo {
+//!         scalars { step: u64, dt: f64 }
+//!         regions { left: Vec<f64>, right: Vec<f64> }
+//!     }
+//! }
+//!
+//! let world = mpicd::World::new(2);
+//! let (c0, c1) = world.pair();
+//! let send = Halo { step: 7, dt: 0.5, left: vec![1.0; 256], right: vec![2.0; 256] };
+//! let mut recv = Halo { step: 0, dt: 0.0, left: vec![0.0; 256], right: vec![0.0; 256] };
+//! mpicd::transfer(&c0, &c1, &send, &mut recv, 0).unwrap();
+//! assert_eq!(recv.step, 7);
+//! assert_eq!(recv.left, send.left);
+//! ```
+
+/// Marker for field types the generated packers may copy bytewise.
+///
+/// # Safety
+/// Implementors must be plain-old-data: no padding, no pointers, every bit
+/// pattern valid.
+pub unsafe trait PodField: Copy + Send + Sync + 'static {}
+
+macro_rules! impl_pod {
+    ($($t:ty),*) => {
+        $(
+            // SAFETY: primitive numeric types are POD.
+            unsafe impl PodField for $t {}
+        )*
+    };
+}
+
+impl_pod!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64, bool);
+
+/// Element types allowed in `regions { … }` fields.
+///
+/// # Safety
+/// Same contract as [`PodField`].
+pub unsafe trait RegionElem: Copy + Send + Sync + 'static {}
+
+macro_rules! impl_region_elem {
+    ($($t:ty),*) => {
+        $(
+            // SAFETY: primitive numeric types are POD.
+            unsafe impl RegionElem for $t {}
+        )*
+    };
+}
+
+impl_region_elem!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+/// Declare a struct with generated custom-serialization support. See the
+/// [module documentation](self) for syntax and an example.
+#[macro_export]
+macro_rules! custom_struct {
+    (
+        $(#[$meta:meta])*
+        $vis:vis struct $name:ident {
+            scalars { $($sf:ident : $st:ty),* $(,)? }
+            regions { $($rf:ident : Vec<$rt:ty>),* $(,)? }
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, PartialEq, Default)]
+        $vis struct $name {
+            $(pub $sf: $st,)*
+            $(pub $rf: Vec<$rt>,)*
+        }
+
+        const _: () = {
+            use $crate::datatype::{CustomPack, CustomUnpack, RecvRegion, SendRegion};
+
+            #[allow(dead_code)]
+            fn __assert_pod() {
+                fn pod<T: $crate::macros::PodField>() {}
+                fn elem<T: $crate::macros::RegionElem>() {}
+                $(pod::<$st>();)*
+                $(elem::<$rt>();)*
+            }
+
+            /// Packed in-band bytes of the scalar group.
+            const SCALAR_BYTES: usize = 0 $(+ ::std::mem::size_of::<$st>())*;
+
+            #[allow(unused_variables, unused_mut)]
+            fn encode_header(v: &$name) -> Vec<u8> {
+                let mut h = Vec::with_capacity(SCALAR_BYTES);
+                $(
+                    // SAFETY: PodField guarantees a padding-free bytewise view.
+                    h.extend_from_slice(unsafe {
+                        ::std::slice::from_raw_parts(
+                            &v.$sf as *const $st as *const u8,
+                            ::std::mem::size_of::<$st>(),
+                        )
+                    });
+                )*
+                h
+            }
+
+            struct Pack<'a> {
+                header: Vec<u8>,
+                #[allow(dead_code)] // unread when the regions group is empty
+                owner: &'a $name,
+            }
+
+            impl CustomPack for Pack<'_> {
+                fn packed_size(&self) -> $crate::Result<usize> {
+                    Ok(self.header.len())
+                }
+                fn pack(&mut self, offset: usize, dst: &mut [u8]) -> $crate::Result<usize> {
+                    let n = dst.len().min(self.header.len() - offset);
+                    dst[..n].copy_from_slice(&self.header[offset..offset + n]);
+                    Ok(n)
+                }
+                fn regions(&mut self) -> $crate::Result<Vec<SendRegion>> {
+                    Ok(vec![$(SendRegion::from_typed(self.owner.$rf.as_slice()),)*])
+                }
+                fn inorder(&self) -> bool {
+                    false
+                }
+            }
+
+            // SAFETY: the context references only memory owned by the
+            // borrowed value.
+            unsafe impl $crate::Buffer for $name {
+                fn send_view(&self) -> $crate::SendView<'_> {
+                    __assert_pod();
+                    $crate::SendView::Custom(Box::new(Pack {
+                        header: encode_header(self),
+                        owner: self,
+                    }))
+                }
+            }
+
+            struct Unpack<'a> {
+                header: Vec<u8>,
+                owner: &'a mut $name,
+            }
+
+            impl CustomUnpack for Unpack<'_> {
+                fn packed_size(&self) -> $crate::Result<usize> {
+                    Ok(SCALAR_BYTES)
+                }
+                fn unpack(&mut self, offset: usize, src: &[u8]) -> $crate::Result<()> {
+                    if offset + src.len() > self.header.len() {
+                        return Err($crate::Error::InvalidHeader(concat!(
+                            stringify!($name),
+                            ": scalar header overflow"
+                        )));
+                    }
+                    self.header[offset..offset + src.len()].copy_from_slice(src);
+                    Ok(())
+                }
+                fn regions(&mut self) -> $crate::Result<Vec<RecvRegion>> {
+                    Ok(vec![$(RecvRegion::from_typed(self.owner.$rf.as_mut_slice()),)*])
+                }
+                fn finish(&mut self) -> $crate::Result<()> {
+                    let mut __at = 0usize;
+                    $(
+                        {
+                            let size = ::std::mem::size_of::<$st>();
+                            // SAFETY: PodField; header sized to SCALAR_BYTES.
+                            unsafe {
+                                ::std::ptr::copy_nonoverlapping(
+                                    self.header.as_ptr().add(__at),
+                                    &mut self.owner.$sf as *mut $st as *mut u8,
+                                    size,
+                                );
+                            }
+                            __at += size;
+                        }
+                    )*
+                    let _ = __at;
+                    Ok(())
+                }
+            }
+
+            // SAFETY: the context references only memory exclusively owned
+            // by the borrowed value.
+            unsafe impl $crate::BufferMut for $name {
+                fn recv_view(&mut self) -> $crate::RecvView<'_> {
+                    __assert_pod();
+                    $crate::RecvView::Custom(Box::new(Unpack {
+                        header: vec![0u8; SCALAR_BYTES],
+                        owner: self,
+                    }))
+                }
+            }
+        };
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::communicator::World;
+
+    crate::custom_struct! {
+        /// Test record with every field category.
+        pub struct Record {
+            scalars { id: u64, weight: f64, flag: bool }
+            regions { values: Vec<f64>, tags: Vec<i32> }
+        }
+    }
+
+    crate::custom_struct! {
+        struct ScalarsOnly {
+            scalars { a: i32, b: i32 }
+            regions { }
+        }
+    }
+
+    crate::custom_struct! {
+        pub struct RegionsOnly {
+            scalars { }
+            regions { payload: Vec<u8> }
+        }
+    }
+
+    #[test]
+    fn roundtrip_full_record() {
+        let world = World::new(2);
+        let (a, b) = world.pair();
+        let send = Record {
+            id: 12345,
+            weight: 2.75,
+            flag: true,
+            values: (0..300).map(|i| i as f64 * 0.5).collect(),
+            tags: (0..77).collect(),
+        };
+        let mut recv = Record {
+            values: vec![0.0; 300],
+            tags: vec![0; 77],
+            ..Record::default()
+        };
+        crate::transfer(&a, &b, &send, &mut recv, 0).unwrap();
+        assert_eq!(recv, send);
+        // One message: scalars in-band + two regions.
+        let stats = world.fabric().stats();
+        assert_eq!(stats.messages, 1);
+        assert_eq!(stats.regions, 3);
+    }
+
+    #[test]
+    fn scalars_only_struct() {
+        let world = World::new(2);
+        let (a, b) = world.pair();
+        let send = ScalarsOnly { a: -7, b: 9 };
+        let mut recv = ScalarsOnly::default();
+        crate::transfer(&a, &b, &send, &mut recv, 0).unwrap();
+        assert_eq!(recv, send);
+        assert_eq!(world.fabric().stats().bytes, 8);
+    }
+
+    #[test]
+    fn regions_only_struct() {
+        let world = World::new(2);
+        let (a, b) = world.pair();
+        let send = RegionsOnly {
+            payload: (0..255).collect(),
+        };
+        let mut recv = RegionsOnly {
+            payload: vec![0; 255],
+        };
+        crate::transfer(&a, &b, &send, &mut recv, 0).unwrap();
+        assert_eq!(recv, send);
+    }
+
+    #[test]
+    fn region_length_mismatch_truncates() {
+        let world = World::new(2);
+        let (a, b) = world.pair();
+        let send = RegionsOnly {
+            payload: vec![1; 100],
+        };
+        let mut recv = RegionsOnly {
+            payload: vec![0; 50],
+        };
+        let err = crate::transfer(&a, &b, &send, &mut recv, 0).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::Error::Fabric(crate::fabric::FabricError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn generated_structs_are_plain_rust() {
+        // Clone/Debug/PartialEq/Default all derive.
+        let r = Record::default();
+        let r2 = r.clone();
+        assert_eq!(r, r2);
+        assert!(format!("{r:?}").contains("Record"));
+    }
+}

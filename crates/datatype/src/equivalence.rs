@@ -1,0 +1,169 @@
+//! Datatype equivalence and signatures.
+//!
+//! Determining when two MPI datatypes "match" is subtle enough to have its
+//! own literature (Kimpe, Goodell, Ross — EuroMPI'10, cited by the paper).
+//! MPI distinguishes:
+//!
+//! * **type signature** — the sequence of primitive types, ignoring
+//!   displacements. Send/receive pairs must have compatible signatures.
+//! * **type map** — primitives *with* displacements. Two types with equal
+//!   maps are interchangeable on the same buffer.
+//!
+//! Both are derived here by full expansion, which also powers the
+//! marshalling check in [`mod@crate::marshal`].
+
+use crate::primitive::Primitive;
+use crate::typ::Datatype;
+
+/// Expand the full type map: `(primitive, byte displacement)` in pack order.
+pub fn type_map(t: &Datatype) -> Vec<(Primitive, isize)> {
+    let mut out = Vec::new();
+    expand(t, 0, &mut out);
+    out
+}
+
+fn expand(t: &Datatype, base: isize, out: &mut Vec<(Primitive, isize)>) {
+    match t {
+        Datatype::Predefined(p) => out.push((*p, base)),
+        _ => {
+            // Reuse the generic walker for structure, but we need primitive
+            // identities: recurse manually over each constructor.
+            match t {
+                Datatype::Predefined(_) => unreachable!(),
+                Datatype::Contiguous { count, child } => {
+                    let ext = child.extent() as isize;
+                    for i in 0..*count {
+                        expand(child, base + ext * i as isize, out);
+                    }
+                }
+                Datatype::Vector {
+                    count,
+                    blocklength,
+                    stride,
+                    child,
+                } => {
+                    let ext = child.extent() as isize;
+                    for i in 0..*count {
+                        let start = base + *stride * i as isize * ext;
+                        for j in 0..*blocklength {
+                            expand(child, start + ext * j as isize, out);
+                        }
+                    }
+                }
+                Datatype::Hvector {
+                    count,
+                    blocklength,
+                    stride_bytes,
+                    child,
+                } => {
+                    let ext = child.extent() as isize;
+                    for i in 0..*count {
+                        let start = base + *stride_bytes * i as isize;
+                        for j in 0..*blocklength {
+                            expand(child, start + ext * j as isize, out);
+                        }
+                    }
+                }
+                Datatype::Indexed { blocks, child } => {
+                    let ext = child.extent() as isize;
+                    for (bl, displ) in blocks {
+                        let start = base + *displ * ext;
+                        for j in 0..*bl {
+                            expand(child, start + ext * j as isize, out);
+                        }
+                    }
+                }
+                Datatype::Hindexed { blocks, child } => {
+                    let ext = child.extent() as isize;
+                    for (bl, displ) in blocks {
+                        let start = base + *displ;
+                        for j in 0..*bl {
+                            expand(child, start + ext * j as isize, out);
+                        }
+                    }
+                }
+                Datatype::Struct { fields } => {
+                    for (bl, displ, ft) in fields {
+                        let ext = ft.extent() as isize;
+                        for j in 0..*bl {
+                            expand(ft, base + displ + ext * j as isize, out);
+                        }
+                    }
+                }
+                Datatype::Resized { child, .. } => expand(child, base, out),
+            }
+        }
+    }
+}
+
+/// The type signature: primitives in pack order, displacements ignored.
+pub fn signature(t: &Datatype) -> Vec<Primitive> {
+    type_map(t).into_iter().map(|(p, _)| p).collect()
+}
+
+/// Same type map ⇒ interchangeable descriptions of the same memory.
+pub fn equivalent(a: &Datatype, b: &Datatype) -> bool {
+    type_map(a) == type_map(b)
+}
+
+/// Same signature ⇒ a send with `a` may be received with `b`
+/// (MPI's matching rule; layouts may differ).
+pub fn compatible(a: &Datatype, b: &Datatype) -> bool {
+    signature(a) == signature(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int() -> Datatype {
+        Datatype::of::<i32>()
+    }
+    fn dbl() -> Datatype {
+        Datatype::of::<f64>()
+    }
+
+    #[test]
+    fn different_constructors_same_map() {
+        // contiguous(4, int) == vector(2, 2, 2, int) == indexed[(4, 0)]
+        let a = Datatype::contiguous(4, int());
+        let b = Datatype::vector(2, 2, 2, int());
+        let c = Datatype::indexed(vec![(4, 0)], int());
+        assert!(equivalent(&a, &b));
+        assert!(equivalent(&b, &c));
+    }
+
+    #[test]
+    fn gap_changes_map_not_signature() {
+        let packed = Datatype::structure(vec![(3, 0, int()), (1, 12, dbl())]);
+        let gapped = Datatype::structure(vec![(3, 0, int()), (1, 16, dbl())]);
+        assert!(!equivalent(&packed, &gapped));
+        assert!(compatible(&packed, &gapped), "same primitives in order");
+    }
+
+    #[test]
+    fn signature_ordering_matters() {
+        let id = Datatype::structure(vec![(1, 0, int()), (1, 8, dbl())]);
+        let di = Datatype::structure(vec![(1, 0, dbl()), (1, 8, int())]);
+        assert!(!compatible(&id, &di));
+    }
+
+    #[test]
+    fn resized_preserves_map() {
+        let t = Datatype::contiguous(2, int());
+        let r = Datatype::resized(0, 64, Datatype::contiguous(2, int()));
+        assert!(equivalent(&t, &r), "resizing changes extent, not the map");
+        assert_ne!(t.extent(), r.extent());
+    }
+
+    #[test]
+    fn map_matches_walk_totals() {
+        let t = Datatype::structure(vec![
+            (2, 0, Datatype::vector(2, 1, 2, int())),
+            (1, 64, dbl()),
+        ]);
+        let map = type_map(&t);
+        let bytes: usize = map.iter().map(|(p, _)| p.size()).sum();
+        assert_eq!(bytes, t.size());
+    }
+}

@@ -1,0 +1,113 @@
+//! Predefined (basic) MPI datatypes.
+//!
+//! These are the leaves of every type map: fixed-size machine types with a
+//! natural alignment. The alignment participates in the MPI extent rule for
+//! `MPI_Type_create_struct` (the "alignment epsilon").
+
+/// A predefined MPI datatype (the usual C correspondents).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Primitive {
+    /// `MPI_BYTE` / `MPI_CHAR` / Rust `u8`/`i8`.
+    Byte,
+    /// `MPI_INT16_T` / Rust `i16`.
+    Int16,
+    /// `MPI_INT` (`MPI_INT32_T`) / Rust `i32` — the paper's `i32` fields.
+    Int32,
+    /// `MPI_INT64_T` / Rust `i64`.
+    Int64,
+    /// `MPI_FLOAT` / Rust `f32`.
+    Float,
+    /// `MPI_DOUBLE` / Rust `f64` — the paper's `f64` fields.
+    Double,
+}
+
+impl Primitive {
+    /// Size in bytes.
+    pub const fn size(self) -> usize {
+        match self {
+            Self::Byte => 1,
+            Self::Int16 => 2,
+            Self::Int32 | Self::Float => 4,
+            Self::Int64 | Self::Double => 8,
+        }
+    }
+
+    /// Natural alignment in bytes (equals size for these types on the
+    /// paper's x86-64 testbed).
+    pub const fn alignment(self) -> usize {
+        self.size()
+    }
+
+    /// Canonical name, MPI-style.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Byte => "MPI_BYTE",
+            Self::Int16 => "MPI_INT16_T",
+            Self::Int32 => "MPI_INT",
+            Self::Int64 => "MPI_INT64_T",
+            Self::Float => "MPI_FLOAT",
+            Self::Double => "MPI_DOUBLE",
+        }
+    }
+}
+
+/// Rust scalar types that map directly onto a [`Primitive`].
+///
+/// # Safety
+/// Implementors must be plain-old-data with no padding and with the exact
+/// size/alignment of the named primitive.
+pub unsafe trait Scalar: Copy + Send + Sync + 'static {
+    /// The corresponding predefined MPI datatype.
+    const PRIMITIVE: Primitive;
+}
+
+macro_rules! impl_scalar {
+    ($($t:ty => $p:ident),* $(,)?) => {
+        $(
+            // SAFETY: these are the exact machine types the primitives name.
+            unsafe impl Scalar for $t {
+                const PRIMITIVE: Primitive = Primitive::$p;
+            }
+        )*
+    };
+}
+
+impl_scalar! {
+    u8 => Byte,
+    i8 => Byte,
+    i16 => Int16,
+    i32 => Int32,
+    i64 => Int64,
+    f32 => Float,
+    f64 => Double,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_rust() {
+        assert_eq!(Primitive::Int32.size(), std::mem::size_of::<i32>());
+        assert_eq!(Primitive::Double.size(), std::mem::size_of::<f64>());
+        assert_eq!(Primitive::Byte.size(), 1);
+    }
+
+    #[test]
+    fn alignment_matches_rust() {
+        assert_eq!(Primitive::Double.alignment(), std::mem::align_of::<f64>());
+        assert_eq!(Primitive::Int32.alignment(), std::mem::align_of::<i32>());
+    }
+
+    #[test]
+    fn scalar_mapping() {
+        assert_eq!(<i32 as Scalar>::PRIMITIVE, Primitive::Int32);
+        assert_eq!(<f64 as Scalar>::PRIMITIVE, Primitive::Double);
+        assert_eq!(<u8 as Scalar>::PRIMITIVE, Primitive::Byte);
+    }
+
+    #[test]
+    fn names_are_mpi_style() {
+        assert_eq!(Primitive::Double.name(), "MPI_DOUBLE");
+    }
+}

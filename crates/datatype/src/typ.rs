@@ -1,0 +1,672 @@
+//! Derived datatype constructors and layout rules (MPI 4.1 §5.1).
+//!
+//! A [`Datatype`] is a tree whose leaves are [`Primitive`] types and whose
+//! inner nodes are the standard MPI type constructors. Each type defines:
+//!
+//! * a **type map** — the ordered sequence of `(primitive, displacement)`
+//!   pairs describing which bytes of memory participate, in pack order;
+//! * a **size** — the number of data bytes (sum of primitive sizes);
+//! * an **extent** — the span from lower to upper bound, including the
+//!   struct alignment epsilon, used to place consecutive elements.
+
+use crate::error::{DatatypeError, DatatypeResult};
+use crate::primitive::Primitive;
+use std::sync::Arc;
+
+/// A (derived) MPI datatype.
+#[derive(Debug, Clone)]
+pub enum Datatype {
+    /// A predefined type.
+    Predefined(Primitive),
+    /// `MPI_Type_contiguous`: `count` consecutive elements of `child`.
+    Contiguous {
+        /// Number of consecutive elements.
+        count: usize,
+        /// Element type.
+        child: Arc<Datatype>,
+    },
+    /// `MPI_Type_vector`: `count` blocks of `blocklength` children, with a
+    /// stride of `stride` *child extents* between block starts.
+    Vector {
+        /// Number of blocks.
+        count: usize,
+        /// Elements per block.
+        blocklength: usize,
+        /// Block-start spacing, in child extents.
+        stride: isize,
+        /// Element type.
+        child: Arc<Datatype>,
+    },
+    /// `MPI_Type_create_hvector`: like `Vector` but the stride is in bytes.
+    Hvector {
+        /// Number of blocks.
+        count: usize,
+        /// Elements per block.
+        blocklength: usize,
+        /// Block-start spacing, in bytes.
+        stride_bytes: isize,
+        /// Element type.
+        child: Arc<Datatype>,
+    },
+    /// `MPI_Type_indexed`: blocks of `(blocklength, displacement)` where the
+    /// displacement is in child extents.
+    Indexed {
+        /// `(blocklength, displacement-in-child-extents)` per block.
+        blocks: Vec<(usize, isize)>,
+        /// Element type.
+        child: Arc<Datatype>,
+    },
+    /// `MPI_Type_create_hindexed`: displacements in bytes.
+    Hindexed {
+        /// `(blocklength, byte displacement)` per block.
+        blocks: Vec<(usize, isize)>,
+        /// Element type.
+        child: Arc<Datatype>,
+    },
+    /// `MPI_Type_create_struct`: fields of `(blocklength, byte displacement,
+    /// field type)`.
+    Struct {
+        /// `(blocklength, byte displacement, field type)` per field.
+        fields: Vec<(usize, isize, Arc<Datatype>)>,
+    },
+    /// `MPI_Type_create_resized`: override lower bound and extent.
+    Resized {
+        /// Overridden lower bound, in bytes.
+        lb: isize,
+        /// Overridden extent, in bytes.
+        extent: usize,
+        /// The underlying type.
+        child: Arc<Datatype>,
+    },
+}
+
+impl Datatype {
+    // ---- constructors ----------------------------------------------------
+
+    /// A predefined type.
+    pub fn predefined(p: Primitive) -> Self {
+        Self::Predefined(p)
+    }
+
+    /// `MPI_Type_contiguous`.
+    pub fn contiguous(count: usize, child: Datatype) -> Self {
+        Self::Contiguous {
+            count,
+            child: Arc::new(child),
+        }
+    }
+
+    /// `MPI_Type_vector` (stride in elements of `child`).
+    pub fn vector(count: usize, blocklength: usize, stride: isize, child: Datatype) -> Self {
+        Self::Vector {
+            count,
+            blocklength,
+            stride,
+            child: Arc::new(child),
+        }
+    }
+
+    /// `MPI_Type_create_hvector` (stride in bytes).
+    pub fn hvector(count: usize, blocklength: usize, stride_bytes: isize, child: Datatype) -> Self {
+        Self::Hvector {
+            count,
+            blocklength,
+            stride_bytes,
+            child: Arc::new(child),
+        }
+    }
+
+    /// `MPI_Type_indexed` (displacements in elements of `child`).
+    pub fn indexed(blocks: Vec<(usize, isize)>, child: Datatype) -> Self {
+        Self::Indexed {
+            blocks,
+            child: Arc::new(child),
+        }
+    }
+
+    /// `MPI_Type_create_hindexed` (displacements in bytes).
+    pub fn hindexed(blocks: Vec<(usize, isize)>, child: Datatype) -> Self {
+        Self::Hindexed {
+            blocks,
+            child: Arc::new(child),
+        }
+    }
+
+    /// `MPI_Type_create_indexed_block` (uniform block length, displacements
+    /// in elements of `child`).
+    pub fn indexed_block(blocklength: usize, displs: Vec<isize>, child: Datatype) -> Self {
+        Self::Indexed {
+            blocks: displs.into_iter().map(|d| (blocklength, d)).collect(),
+            child: Arc::new(child),
+        }
+    }
+
+    /// `MPI_Type_create_struct`.
+    pub fn structure(fields: Vec<(usize, isize, Datatype)>) -> Self {
+        Self::Struct {
+            fields: fields
+                .into_iter()
+                .map(|(bl, d, t)| (bl, d, Arc::new(t)))
+                .collect(),
+        }
+    }
+
+    /// `MPI_Type_create_resized`.
+    pub fn resized(lb: isize, extent: usize, child: Datatype) -> Self {
+        Self::Resized {
+            lb,
+            extent,
+            child: Arc::new(child),
+        }
+    }
+
+    // ---- layout queries ---------------------------------------------------
+
+    /// Number of data bytes (`MPI_Type_size`).
+    pub fn size(&self) -> usize {
+        match self {
+            Self::Predefined(p) => p.size(),
+            Self::Contiguous { count, child } => count * child.size(),
+            Self::Vector {
+                count,
+                blocklength,
+                child,
+                ..
+            }
+            | Self::Hvector {
+                count,
+                blocklength,
+                child,
+                ..
+            } => count * blocklength * child.size(),
+            Self::Indexed { blocks, child } | Self::Hindexed { blocks, child } => {
+                blocks.iter().map(|(bl, _)| bl * child.size()).sum()
+            }
+            Self::Struct { fields } => fields.iter().map(|(bl, _, t)| bl * t.size()).sum(),
+            Self::Resized { child, .. } => child.size(),
+        }
+    }
+
+    /// Maximum alignment of any constituent primitive (the struct epsilon).
+    pub fn alignment(&self) -> usize {
+        match self {
+            Self::Predefined(p) => p.alignment(),
+            Self::Contiguous { child, .. }
+            | Self::Vector { child, .. }
+            | Self::Hvector { child, .. }
+            | Self::Indexed { child, .. }
+            | Self::Hindexed { child, .. }
+            | Self::Resized { child, .. } => child.alignment(),
+            Self::Struct { fields } => fields
+                .iter()
+                .map(|(_, _, t)| t.alignment())
+                .max()
+                .unwrap_or(1),
+        }
+    }
+
+    /// `(lb, ub)` — lower and upper bound in bytes, before resizing.
+    ///
+    /// For `Struct`, the upper bound is padded to the type's alignment (the
+    /// MPI "epsilon"), matching what a C compiler does for the
+    /// corresponding struct — this is what makes `struct-simple` have
+    /// extent 24 with a trailing gap-free layout of 20 data bytes.
+    pub fn bounds(&self) -> (isize, isize) {
+        match self {
+            Self::Predefined(p) => (0, p.size() as isize),
+            Self::Contiguous { count, child } => {
+                let (lb, _) = child.bounds();
+                let ext = child.extent() as isize;
+                if *count == 0 {
+                    (0, 0)
+                } else {
+                    (lb, lb + ext * *count as isize)
+                }
+            }
+            Self::Vector {
+                count,
+                blocklength,
+                stride,
+                child,
+            } => span_blocks(
+                (0..*count).map(|i| (*blocklength, *stride * i as isize)),
+                child,
+                child.extent() as isize,
+            ),
+            Self::Hvector {
+                count,
+                blocklength,
+                stride_bytes,
+                child,
+            } => span_blocks_bytes(
+                (0..*count).map(|i| (*blocklength, *stride_bytes * i as isize)),
+                child,
+            ),
+            Self::Indexed { blocks, child } => {
+                span_blocks(blocks.iter().copied(), child, child.extent() as isize)
+            }
+            Self::Hindexed { blocks, child } => span_blocks_bytes(blocks.iter().copied(), child),
+            Self::Struct { fields } => {
+                let mut lb = isize::MAX;
+                let mut ub = isize::MIN;
+                for (bl, displ, t) in fields {
+                    if *bl == 0 {
+                        continue;
+                    }
+                    let (clb, _) = t.bounds();
+                    let ext = t.extent() as isize;
+                    lb = lb.min(displ + clb);
+                    ub = ub.max(displ + clb + ext * *bl as isize);
+                }
+                if lb == isize::MAX {
+                    return (0, 0);
+                }
+                // Alignment epsilon.
+                let align = self.alignment() as isize;
+                let span = ub - lb;
+                let padded = (span + align - 1) / align * align;
+                (lb, lb + padded)
+            }
+            Self::Resized { lb, extent, .. } => (*lb, *lb + *extent as isize),
+        }
+    }
+
+    /// `MPI_Type_get_extent`'s extent: `ub - lb`.
+    pub fn extent(&self) -> usize {
+        let (lb, ub) = self.bounds();
+        (ub - lb) as usize
+    }
+
+    /// Lower bound in bytes.
+    pub fn lb(&self) -> isize {
+        self.bounds().0
+    }
+
+    /// Walk the type map in pack order, emitting `(byte offset, byte len)`
+    /// contiguous runs of primitives (not yet merged).
+    pub fn walk(&self, base: isize, f: &mut impl FnMut(isize, usize)) {
+        match self {
+            Self::Predefined(p) => f(base, p.size()),
+            Self::Contiguous { count, child } => {
+                let ext = child.extent() as isize;
+                for i in 0..*count {
+                    child.walk(base + ext * i as isize, f);
+                }
+            }
+            Self::Vector {
+                count,
+                blocklength,
+                stride,
+                child,
+            } => {
+                let ext = child.extent() as isize;
+                for i in 0..*count {
+                    let start = base + *stride * i as isize * ext;
+                    for j in 0..*blocklength {
+                        child.walk(start + ext * j as isize, f);
+                    }
+                }
+            }
+            Self::Hvector {
+                count,
+                blocklength,
+                stride_bytes,
+                child,
+            } => {
+                let ext = child.extent() as isize;
+                for i in 0..*count {
+                    let start = base + *stride_bytes * i as isize;
+                    for j in 0..*blocklength {
+                        child.walk(start + ext * j as isize, f);
+                    }
+                }
+            }
+            Self::Indexed { blocks, child } => {
+                let ext = child.extent() as isize;
+                for (bl, displ) in blocks {
+                    let start = base + *displ * ext;
+                    for j in 0..*bl {
+                        child.walk(start + ext * j as isize, f);
+                    }
+                }
+            }
+            Self::Hindexed { blocks, child } => {
+                let ext = child.extent() as isize;
+                for (bl, displ) in blocks {
+                    let start = base + *displ;
+                    for j in 0..*bl {
+                        child.walk(start + ext * j as isize, f);
+                    }
+                }
+            }
+            Self::Struct { fields } => {
+                for (bl, displ, t) in fields {
+                    let ext = t.extent() as isize;
+                    for j in 0..*bl {
+                        t.walk(base + displ + ext * j as isize, f);
+                    }
+                }
+            }
+            Self::Resized { child, .. } => child.walk(base, f),
+        }
+    }
+
+    /// Walk the type map at *described-block* granularity: one emitted run
+    /// per `(primitive, blocklength)` entry of the constructors — the
+    /// resolution at which a generalized convertor (Open MPI) interprets a
+    /// committed type. Contrast with [`Self::walk`], which emits one run
+    /// per primitive.
+    pub fn walk_blocks(&self, base: isize, f: &mut impl FnMut(isize, usize)) {
+        // A leaf primitive child lets a blocklength collapse into one run.
+        fn leaf_size(t: &Datatype) -> Option<usize> {
+            match t {
+                Datatype::Predefined(p) => Some(p.size()),
+                Datatype::Resized { child, .. } => leaf_size(child),
+                _ => None,
+            }
+        }
+        match self {
+            Self::Predefined(p) => f(base, p.size()),
+            Self::Contiguous { count, child } => {
+                if let Some(sz) = leaf_size(child) {
+                    if *count > 0 {
+                        f(base, count * sz);
+                    }
+                    return;
+                }
+                let ext = child.extent() as isize;
+                for i in 0..*count {
+                    child.walk_blocks(base + ext * i as isize, f);
+                }
+            }
+            Self::Vector {
+                count,
+                blocklength,
+                stride,
+                child,
+            } => {
+                let ext = child.extent() as isize;
+                for i in 0..*count {
+                    let start = base + *stride * i as isize * ext;
+                    if let Some(sz) = leaf_size(child) {
+                        if *blocklength > 0 {
+                            f(start, blocklength * sz);
+                        }
+                    } else {
+                        for j in 0..*blocklength {
+                            child.walk_blocks(start + ext * j as isize, f);
+                        }
+                    }
+                }
+            }
+            Self::Hvector {
+                count,
+                blocklength,
+                stride_bytes,
+                child,
+            } => {
+                let ext = child.extent() as isize;
+                for i in 0..*count {
+                    let start = base + *stride_bytes * i as isize;
+                    if let Some(sz) = leaf_size(child) {
+                        if *blocklength > 0 {
+                            f(start, blocklength * sz);
+                        }
+                    } else {
+                        for j in 0..*blocklength {
+                            child.walk_blocks(start + ext * j as isize, f);
+                        }
+                    }
+                }
+            }
+            Self::Indexed { blocks, child } => {
+                let ext = child.extent() as isize;
+                for (bl, displ) in blocks {
+                    let start = base + *displ * ext;
+                    if let Some(sz) = leaf_size(child) {
+                        if *bl > 0 {
+                            f(start, bl * sz);
+                        }
+                    } else {
+                        for j in 0..*bl {
+                            child.walk_blocks(start + ext * j as isize, f);
+                        }
+                    }
+                }
+            }
+            Self::Hindexed { blocks, child } => {
+                let ext = child.extent() as isize;
+                for (bl, displ) in blocks {
+                    let start = base + *displ;
+                    if let Some(sz) = leaf_size(child) {
+                        if *bl > 0 {
+                            f(start, bl * sz);
+                        }
+                    } else {
+                        for j in 0..*bl {
+                            child.walk_blocks(start + ext * j as isize, f);
+                        }
+                    }
+                }
+            }
+            Self::Struct { fields } => {
+                for (bl, displ, t) in fields {
+                    let start = base + displ;
+                    if let Some(sz) = leaf_size(t) {
+                        if *bl > 0 {
+                            f(start, bl * sz);
+                        }
+                    } else {
+                        let ext = t.extent() as isize;
+                        for j in 0..*bl {
+                            t.walk_blocks(start + ext * j as isize, f);
+                        }
+                    }
+                }
+            }
+            Self::Resized { child, .. } => child.walk_blocks(base, f),
+        }
+    }
+
+    /// Commit the type: flatten and optimize (see [`crate::Committed`]).
+    pub fn commit(&self) -> DatatypeResult<crate::Committed> {
+        crate::Committed::new(self)
+    }
+
+    /// Commit without block merging — the generalized-convertor view that
+    /// models Open MPI's engine (see [`crate::Committed::new_convertor`]).
+    pub fn commit_convertor(&self) -> DatatypeResult<crate::Committed> {
+        crate::Committed::new_convertor(self)
+    }
+
+    /// Helper: the predefined type for a Rust scalar.
+    pub fn of<T: crate::primitive::Scalar>() -> Self {
+        Self::Predefined(T::PRIMITIVE)
+    }
+}
+
+/// Span of element-indexed blocks (displacement unit = `unit` bytes).
+fn span_blocks(
+    blocks: impl Iterator<Item = (usize, isize)>,
+    child: &Datatype,
+    unit: isize,
+) -> (isize, isize) {
+    let ext = child.extent() as isize;
+    let (clb, _) = child.bounds();
+    let mut lb = isize::MAX;
+    let mut ub = isize::MIN;
+    for (bl, displ) in blocks {
+        if bl == 0 {
+            continue;
+        }
+        let start = displ * unit;
+        lb = lb.min(start + clb);
+        ub = ub.max(start + clb + ext * bl as isize);
+    }
+    if lb == isize::MAX {
+        (0, 0)
+    } else {
+        (lb, ub)
+    }
+}
+
+/// Span of byte-indexed blocks.
+fn span_blocks_bytes(
+    blocks: impl Iterator<Item = (usize, isize)>,
+    child: &Datatype,
+) -> (isize, isize) {
+    let ext = child.extent() as isize;
+    let (clb, _) = child.bounds();
+    let mut lb = isize::MAX;
+    let mut ub = isize::MIN;
+    for (bl, displ) in blocks {
+        if bl == 0 {
+            continue;
+        }
+        lb = lb.min(displ + clb);
+        ub = ub.max(displ + clb + ext * bl as isize);
+    }
+    if lb == isize::MAX {
+        (0, 0)
+    } else {
+        (lb, ub)
+    }
+}
+
+/// Reject constructors whose arguments cannot describe a type.
+pub fn validate_vector(count: usize, blocklength: usize, stride: isize) -> DatatypeResult<()> {
+    if blocklength > 0 && count > 1 && stride.unsigned_abs() < blocklength {
+        return Err(DatatypeError::InvalidArgument(
+            "vector stride smaller than blocklength would overlap blocks",
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int() -> Datatype {
+        Datatype::of::<i32>()
+    }
+    fn dbl() -> Datatype {
+        Datatype::of::<f64>()
+    }
+
+    #[test]
+    fn predefined_layout() {
+        assert_eq!(int().size(), 4);
+        assert_eq!(int().extent(), 4);
+        assert_eq!(int().lb(), 0);
+    }
+
+    #[test]
+    fn contiguous_layout() {
+        let t = Datatype::contiguous(5, int());
+        assert_eq!(t.size(), 20);
+        assert_eq!(t.extent(), 20);
+    }
+
+    #[test]
+    fn vector_layout() {
+        // 3 blocks of 2 ints, stride 4 ints: |xx..|xx..|xx|
+        let t = Datatype::vector(3, 2, 4, int());
+        assert_eq!(t.size(), 24);
+        assert_eq!(t.extent(), (2 * 4 + 2) * 4); // last block start 8 elems in, +2 elems
+    }
+
+    #[test]
+    fn struct_simple_matches_paper_listing7() {
+        // struct { i32 a, b, c; f64 d; } — repr(C): gap at bytes 12..16.
+        let t = Datatype::structure(vec![(3, 0, int()), (1, 16, dbl())]);
+        assert_eq!(t.size(), 20, "20 data bytes");
+        assert_eq!(t.extent(), 24, "extent includes the gap + epsilon");
+    }
+
+    #[test]
+    fn struct_simple_no_gap_matches_paper_listing8() {
+        // struct { i32 a, b; f64 c; } — contiguous 16 bytes.
+        let t = Datatype::structure(vec![(2, 0, int()), (1, 8, dbl())]);
+        assert_eq!(t.size(), 16);
+        assert_eq!(t.extent(), 16);
+    }
+
+    #[test]
+    fn struct_epsilon_padding() {
+        // One i32 then one f64 at byte 8 → span 16, already aligned.
+        // One f64 then one i32 at byte 8 → span 12, padded to 16.
+        let t = Datatype::structure(vec![(1, 0, dbl()), (1, 8, int())]);
+        assert_eq!(t.size(), 12);
+        assert_eq!(t.extent(), 16, "epsilon pads to f64 alignment");
+    }
+
+    #[test]
+    fn indexed_layout_with_negative_displacement() {
+        let t = Datatype::indexed(vec![(1, -2), (2, 3)], int());
+        let (lb, ub) = t.bounds();
+        assert_eq!(lb, -8);
+        assert_eq!(ub, 20);
+        assert_eq!(t.size(), 12);
+    }
+
+    #[test]
+    fn resized_overrides_extent() {
+        let t = Datatype::resized(0, 32, Datatype::contiguous(3, int()));
+        assert_eq!(t.extent(), 32);
+        assert_eq!(t.size(), 12);
+    }
+
+    #[test]
+    fn walk_emits_pack_order() {
+        let t = Datatype::structure(vec![(3, 0, int()), (1, 16, dbl())]);
+        let mut runs = Vec::new();
+        t.walk(0, &mut |off, len| runs.push((off, len)));
+        assert_eq!(runs, vec![(0, 4), (4, 4), (8, 4), (16, 8)]);
+    }
+
+    #[test]
+    fn hvector_strides_in_bytes() {
+        let t = Datatype::hvector(2, 1, 100, int());
+        let mut runs = Vec::new();
+        t.walk(0, &mut |off, len| runs.push((off, len)));
+        assert_eq!(runs, vec![(0, 4), (100, 4)]);
+        assert_eq!(t.extent(), 104);
+    }
+
+    #[test]
+    fn nested_vector_of_struct() {
+        let elem = Datatype::structure(vec![(3, 0, int()), (1, 16, dbl())]);
+        let t = Datatype::vector(2, 1, 2, elem);
+        // Two struct elements, stride 2 extents (48 bytes) apart.
+        let mut runs = Vec::new();
+        t.walk(0, &mut |off, len| runs.push((off, len)));
+        assert_eq!(
+            runs,
+            vec![
+                (0, 4),
+                (4, 4),
+                (8, 4),
+                (16, 8),
+                (48, 4),
+                (52, 4),
+                (56, 4),
+                (64, 8)
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_count_types_are_empty() {
+        let t = Datatype::contiguous(0, int());
+        assert_eq!(t.size(), 0);
+        assert_eq!(t.extent(), 0);
+    }
+
+    #[test]
+    fn validate_vector_rejects_overlap() {
+        assert!(validate_vector(4, 3, 2).is_err());
+        assert!(validate_vector(4, 3, 3).is_ok());
+        assert!(validate_vector(1, 3, 0).is_ok());
+    }
+}

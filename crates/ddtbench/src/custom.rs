@@ -1,0 +1,372 @@
+//! Reusable custom-API contexts for the DDTBench patterns.
+//!
+//! * [`NestPack`]/[`NestUnpack`] — packing through a [`LoopNest`], the
+//!   suspendable nested-loop traversal (the paper's coroutine experiment).
+//! * [`RunsPack`]/[`RunsUnpack`] — packing an explicit run list (LAMMPS's
+//!   irregular index gather).
+//! * [`RegionsPack`]/[`RegionsUnpack`] — no packing at all: every
+//!   contiguous run is exposed as a memory region (the "custom regions"
+//!   variant of Fig 10).
+
+use mpicd::datatype::{CustomPack, CustomUnpack, RecvRegion, SendRegion};
+use mpicd::{Error, LoopNest, Result};
+use std::marker::PhantomData;
+
+/// Pack context driving a [`LoopNest`].
+pub struct NestPack<'a> {
+    nest: LoopNest,
+    base: *const u8,
+    _borrow: PhantomData<&'a [u8]>,
+}
+
+unsafe impl Send for NestPack<'_> {}
+
+impl<'a> NestPack<'a> {
+    /// Pack the nest's runs out of `slab`.
+    pub fn new(nest: LoopNest, slab: &'a [u8]) -> Self {
+        let (min, max) = nest.span();
+        assert!(min >= 0 && max as usize <= slab.len(), "nest within slab");
+        Self {
+            nest,
+            base: slab.as_ptr(),
+            _borrow: PhantomData,
+        }
+    }
+}
+
+impl CustomPack for NestPack<'_> {
+    fn packed_size(&self) -> Result<usize> {
+        Ok(self.nest.packed_size())
+    }
+    fn pack(&mut self, offset: usize, dst: &mut [u8]) -> Result<usize> {
+        // SAFETY: span checked against the borrowed slab in `new`.
+        Ok(unsafe { self.nest.pack_segment(self.base, offset, dst) })
+    }
+    fn inorder(&self) -> bool {
+        false
+    }
+}
+
+/// Unpack context driving a [`LoopNest`].
+pub struct NestUnpack<'a> {
+    nest: LoopNest,
+    base: *mut u8,
+    _borrow: PhantomData<&'a mut [u8]>,
+}
+
+unsafe impl Send for NestUnpack<'_> {}
+
+impl<'a> NestUnpack<'a> {
+    /// Scatter incoming runs into `slab`.
+    pub fn new(nest: LoopNest, slab: &'a mut [u8]) -> Self {
+        let (min, max) = nest.span();
+        assert!(min >= 0 && max as usize <= slab.len(), "nest within slab");
+        Self {
+            nest,
+            base: slab.as_mut_ptr(),
+            _borrow: PhantomData,
+        }
+    }
+}
+
+impl CustomUnpack for NestUnpack<'_> {
+    fn packed_size(&self) -> Result<usize> {
+        Ok(self.nest.packed_size())
+    }
+    fn unpack(&mut self, offset: usize, src: &[u8]) -> Result<()> {
+        // SAFETY: span checked in `new`; exclusive borrow held for 'a.
+        unsafe { self.nest.unpack_segment(self.base, offset, src) };
+        Ok(())
+    }
+}
+
+/// Pack context over an explicit, uniform-length run list.
+pub struct RunsPack<'a> {
+    offsets: Vec<isize>,
+    run_len: usize,
+    base: *const u8,
+    _borrow: PhantomData<&'a [u8]>,
+}
+
+unsafe impl Send for RunsPack<'_> {}
+
+impl<'a> RunsPack<'a> {
+    /// Pack `offsets.len()` runs of `run_len` bytes out of `slab`.
+    pub fn new(offsets: Vec<isize>, run_len: usize, slab: &'a [u8]) -> Self {
+        debug_assert!(offsets
+            .iter()
+            .all(|o| *o >= 0 && (*o as usize + run_len) <= slab.len()));
+        Self {
+            offsets,
+            run_len,
+            base: slab.as_ptr(),
+            _borrow: PhantomData,
+        }
+    }
+
+    fn total(&self) -> usize {
+        self.offsets.len() * self.run_len
+    }
+}
+
+impl CustomPack for RunsPack<'_> {
+    fn packed_size(&self) -> Result<usize> {
+        Ok(self.total())
+    }
+
+    fn pack(&mut self, offset: usize, dst: &mut [u8]) -> Result<usize> {
+        if self.run_len == 0 {
+            return Ok(0);
+        }
+        let total = self.total();
+        let mut at = offset;
+        let mut done = 0usize;
+        while at < total && done < dst.len() {
+            let run = at / self.run_len;
+            let within = at % self.run_len;
+            let n = (self.run_len - within).min(dst.len() - done);
+            // SAFETY: offsets validated against the slab in `new`.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    self.base.offset(self.offsets[run] + within as isize),
+                    dst.as_mut_ptr().add(done),
+                    n,
+                );
+            }
+            at += n;
+            done += n;
+        }
+        Ok(done)
+    }
+
+    fn inorder(&self) -> bool {
+        false
+    }
+}
+
+/// Unpack counterpart of [`RunsPack`].
+pub struct RunsUnpack<'a> {
+    offsets: Vec<isize>,
+    run_len: usize,
+    base: *mut u8,
+    _borrow: PhantomData<&'a mut [u8]>,
+}
+
+unsafe impl Send for RunsUnpack<'_> {}
+
+impl<'a> RunsUnpack<'a> {
+    /// Scatter incoming runs into `slab`.
+    pub fn new(offsets: Vec<isize>, run_len: usize, slab: &'a mut [u8]) -> Self {
+        debug_assert!(offsets
+            .iter()
+            .all(|o| *o >= 0 && (*o as usize + run_len) <= slab.len()));
+        Self {
+            offsets,
+            run_len,
+            base: slab.as_mut_ptr(),
+            _borrow: PhantomData,
+        }
+    }
+}
+
+impl CustomUnpack for RunsUnpack<'_> {
+    fn packed_size(&self) -> Result<usize> {
+        Ok(self.offsets.len() * self.run_len)
+    }
+
+    fn unpack(&mut self, offset: usize, src: &[u8]) -> Result<()> {
+        if self.run_len == 0 {
+            return Ok(());
+        }
+        let total = self.offsets.len() * self.run_len;
+        if offset + src.len() > total {
+            return Err(Error::InvalidHeader("run-list unpack overflow"));
+        }
+        let mut at = offset;
+        let mut done = 0usize;
+        while done < src.len() {
+            let run = at / self.run_len;
+            let within = at % self.run_len;
+            let n = (self.run_len - within).min(src.len() - done);
+            // SAFETY: offsets validated in `new`; exclusive borrow.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    src.as_ptr().add(done),
+                    self.base.offset(self.offsets[run] + within as isize),
+                    n,
+                );
+            }
+            at += n;
+            done += n;
+        }
+        Ok(())
+    }
+}
+
+/// Merge adjacent `(offset, len)` runs (fewer, larger regions).
+pub fn merge_runs(mut runs: Vec<(isize, usize)>) -> Vec<(isize, usize)> {
+    let mut out: Vec<(isize, usize)> = Vec::with_capacity(runs.len());
+    for (off, len) in runs.drain(..) {
+        match out.last_mut() {
+            Some((o, l)) if *o + *l as isize == off => *l += len,
+            _ => out.push((off, len)),
+        }
+    }
+    out
+}
+
+/// Region-only pack context: nothing is packed; every run is a region.
+pub struct RegionsPack<'a> {
+    runs: Vec<(isize, usize)>,
+    base: *const u8,
+    _borrow: PhantomData<&'a [u8]>,
+}
+
+unsafe impl Send for RegionsPack<'_> {}
+
+impl<'a> RegionsPack<'a> {
+    /// Expose `runs` of `slab` as regions.
+    pub fn new(runs: Vec<(isize, usize)>, slab: &'a [u8]) -> Self {
+        debug_assert!(runs
+            .iter()
+            .all(|(o, l)| *o >= 0 && (*o as usize + l) <= slab.len()));
+        Self {
+            runs,
+            base: slab.as_ptr(),
+            _borrow: PhantomData,
+        }
+    }
+}
+
+impl CustomPack for RegionsPack<'_> {
+    fn packed_size(&self) -> Result<usize> {
+        Ok(0)
+    }
+    fn pack(&mut self, _offset: usize, _dst: &mut [u8]) -> Result<usize> {
+        Ok(0) // nothing in the packed stream
+    }
+    fn regions(&mut self) -> Result<Vec<SendRegion>> {
+        Ok(self
+            .runs
+            .iter()
+            .map(|(off, len)| SendRegion {
+                // SAFETY: runs validated in `new`.
+                ptr: unsafe { self.base.offset(*off) },
+                len: *len,
+            })
+            .collect())
+    }
+    fn inorder(&self) -> bool {
+        false
+    }
+}
+
+/// Region-only unpack context.
+pub struct RegionsUnpack<'a> {
+    runs: Vec<(isize, usize)>,
+    base: *mut u8,
+    _borrow: PhantomData<&'a mut [u8]>,
+}
+
+unsafe impl Send for RegionsUnpack<'_> {}
+
+impl<'a> RegionsUnpack<'a> {
+    /// Receive directly into `runs` of `slab`.
+    pub fn new(runs: Vec<(isize, usize)>, slab: &'a mut [u8]) -> Self {
+        debug_assert!(runs
+            .iter()
+            .all(|(o, l)| *o >= 0 && (*o as usize + l) <= slab.len()));
+        Self {
+            runs,
+            base: slab.as_mut_ptr(),
+            _borrow: PhantomData,
+        }
+    }
+}
+
+impl CustomUnpack for RegionsUnpack<'_> {
+    fn packed_size(&self) -> Result<usize> {
+        Ok(0)
+    }
+    fn unpack(&mut self, _offset: usize, _src: &[u8]) -> Result<()> {
+        Err(Error::InvalidHeader(
+            "regions-only receive got packed bytes",
+        ))
+    }
+    fn regions(&mut self) -> Result<Vec<RecvRegion>> {
+        Ok(self
+            .runs
+            .iter()
+            .map(|(off, len)| RecvRegion {
+                // SAFETY: runs validated in `new`; exclusive borrow.
+                ptr: unsafe { self.base.offset(*off) },
+                len: *len,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_pack_gathers_in_order() {
+        let slab: Vec<u8> = (0..32).collect();
+        let mut p = RunsPack::new(vec![8, 0, 24], 4, &slab);
+        assert_eq!(p.packed_size().unwrap(), 12);
+        let mut out = vec![0u8; 12];
+        assert_eq!(p.pack(0, &mut out).unwrap(), 12);
+        assert_eq!(out, vec![8, 9, 10, 11, 0, 1, 2, 3, 24, 25, 26, 27]);
+    }
+
+    #[test]
+    fn runs_pack_partial_offsets() {
+        let slab: Vec<u8> = (0..32).collect();
+        let mut p = RunsPack::new(vec![0, 16], 8, &slab);
+        let mut out = vec![0u8; 5];
+        assert_eq!(p.pack(6, &mut out).unwrap(), 5);
+        assert_eq!(out, vec![6, 7, 16, 17, 18]);
+    }
+
+    #[test]
+    fn runs_unpack_inverts() {
+        let src: Vec<u8> = (0..12).collect();
+        let mut slab = vec![0xAAu8; 32];
+        {
+            let mut u = RunsUnpack::new(vec![8, 0, 24], 4, &mut slab);
+            u.unpack(0, &src).unwrap();
+        }
+        assert_eq!(&slab[8..12], &[0, 1, 2, 3]);
+        assert_eq!(&slab[0..4], &[4, 5, 6, 7]);
+        assert_eq!(&slab[24..28], &[8, 9, 10, 11]);
+        assert_eq!(slab[4], 0xAA, "untouched bytes preserved");
+    }
+
+    #[test]
+    fn merge_runs_collapses_adjacent() {
+        assert_eq!(
+            merge_runs(vec![(0, 4), (4, 4), (16, 8), (24, 8), (40, 4)]),
+            vec![(0, 8), (16, 16), (40, 4)]
+        );
+    }
+
+    #[test]
+    fn regions_pack_exposes_runs() {
+        let slab: Vec<u8> = (0..64).collect();
+        let mut p = RegionsPack::new(vec![(0, 16), (32, 8)], &slab);
+        assert_eq!(p.packed_size().unwrap(), 0);
+        let regions = p.regions().unwrap();
+        assert_eq!(regions.len(), 2);
+        assert_eq!(regions[0].len, 16);
+        assert_eq!(regions[1].len, 8);
+        assert_eq!(regions[0].ptr, slab.as_ptr());
+    }
+
+    #[test]
+    fn regions_unpack_rejects_packed_bytes() {
+        let mut slab = vec![0u8; 16];
+        let mut u = RegionsUnpack::new(vec![(0, 16)], &mut slab);
+        assert!(u.unpack(0, &[1, 2]).is_err());
+    }
+}

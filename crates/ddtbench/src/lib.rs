@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+//! # mpicd-ddtbench — the DDTBench subset of the paper (§V-C)
+//!
+//! DDTBench (Schneider, Gerstenberger, Hoefler — EuroMPI 2012) collects the
+//! data-access patterns of real MPI applications as pingpong
+//! micro-benchmarks. The paper reproduces a subset and compares, per
+//! pattern: manual packing, MPI-datatype packing, direct MPI-datatype
+//! communication, and the proposed custom datatype API with packing and/or
+//! memory regions. This crate implements the same patterns (Table I):
+//!
+//! | benchmark | MPI datatypes | loop structure | memory regions |
+//! |---|---|---|---|
+//! | LAMMPS    | indexed, struct | single loop, 6 arrays (non-unit stride) | — |
+//! | MILC      | strided vector  | 5 nested loops (non-unit stride)        | ✓ |
+//! | NAS_LU_x  | contiguous      | 2 nested loops                          | ✓ |
+//! | NAS_LU_y  | strided vector  | 2 nested loops (non-contiguous)         | ✓ |
+//! | NAS_MG_x  | strided vector  | 2 nested loops (non-contiguous)         | ✓ |
+//! | NAS_MG_y  | strided vector  | 2 nested loops (non-contiguous)         | ✓ |
+//! | WRF_x_vec | struct of strided vectors | 3/4 nested loops (non-contiguous) | — |
+//! | WRF_y_vec | struct of strided vectors | 4/5 nested loops (non-contiguous) | — |
+//!
+//! Every pattern provides all transfer methods over identical data, so the
+//! harness (and the tests here) can check that each method moves exactly
+//! the same bytes.
+
+pub mod custom;
+pub mod lammps;
+pub mod milc;
+pub mod nas_lu;
+pub mod nas_mg;
+pub mod nestpat;
+pub mod pattern;
+pub mod wrf;
+
+pub use pattern::{table1, Pattern, PatternInfo};
+
+/// Every benchmark name, in the paper's Fig 10 order.
+pub const BENCHMARKS: [&str; 8] = [
+    "LAMMPS",
+    "MILC",
+    "NAS_LU_x",
+    "NAS_LU_y",
+    "NAS_MG_x",
+    "NAS_MG_y",
+    "WRF_x_vec",
+    "WRF_y_vec",
+];
+
+/// Instantiate a benchmark pattern targeting roughly `target_bytes` of
+/// communicated payload. Panics on an unknown name (see [`BENCHMARKS`]).
+pub fn make(name: &str, target_bytes: usize) -> Box<dyn Pattern> {
+    match name {
+        "LAMMPS" => Box::new(lammps::Lammps::new(target_bytes)),
+        "MILC" => Box::new(milc::Milc::new(target_bytes)),
+        "NAS_LU_x" => Box::new(nas_lu::NasLuX::new(target_bytes)),
+        "NAS_LU_y" => Box::new(nas_lu::NasLuY::new(target_bytes)),
+        "NAS_MG_x" => Box::new(nas_mg::NasMgX::new(target_bytes)),
+        "NAS_MG_y" => Box::new(nas_mg::NasMgY::new(target_bytes)),
+        "WRF_x_vec" => Box::new(wrf::WrfXVec::new(target_bytes)),
+        "WRF_y_vec" => Box::new(wrf::WrfYVec::new(target_bytes)),
+        other => panic!("unknown DDTBench pattern {other:?}"),
+    }
+}

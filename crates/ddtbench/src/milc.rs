@@ -1,0 +1,90 @@
+//! MILC su3 lattice-QCD face exchange: a five-deep loop nest (four
+//! dimension loops over a contiguous run of su3 vectors) with a non-unit
+//! stride at the innermost dimension — DDTBench's `MILC_su3_zdown`.
+//!
+//! The four outer dimensions are small (2×2×2×2), so the nest decomposes
+//! into a *small number of large* contiguous regions: the case where the
+//! paper finds memory regions beat packing (Fig 10).
+
+use crate::nestpat::NestPattern;
+use crate::pattern::PatternInfo;
+use mpicd::LoopNest;
+
+/// Bytes of one su3 vector (three complex doubles).
+pub const SU3_VECTOR: usize = 48;
+
+/// Trip count of each of the four outer loops.
+pub const OUTER_DIM: usize = 2;
+
+/// The MILC face-exchange pattern.
+pub struct Milc;
+
+impl Milc {
+    /// Build a workload of roughly `target_bytes` payload.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(target_bytes: usize) -> NestPattern {
+        let cells = OUTER_DIM.pow(4); // 16 contiguous runs
+                                      // Run length: a block of contiguous su3 vectors per innermost
+                                      // iteration, sized so 16 runs reach the target.
+        let run = ((target_bytes / cells).max(SU3_VECTOR) / SU3_VECTOR) * SU3_VECTOR;
+        // Innermost stride skips every other block (non-unit stride); the
+        // outer dimensions are dense over the strided sub-lattice.
+        let s2 = 2 * run as isize;
+        let s3 = OUTER_DIM as isize * s2;
+        let s4 = OUTER_DIM as isize * s3;
+        let s5 = OUTER_DIM as isize * s4;
+        let nest = LoopNest::new(
+            vec![OUTER_DIM, OUTER_DIM, OUTER_DIM, OUTER_DIM],
+            vec![s5, s4, s3, s2],
+            run,
+        )
+        .expect("valid nest");
+        let dt = NestPattern::nest_datatype(&nest);
+        NestPattern::new(
+            PatternInfo {
+                name: "MILC",
+                mpi_datatypes: "strided vector",
+                loop_structure: "5 nested loops (non-unit stride)",
+                memory_regions: true,
+            },
+            nest,
+            dt,
+            0x3A1C,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+
+    #[test]
+    fn payload_close_to_target() {
+        let p = Milc::new(1 << 20);
+        let b = p.bytes();
+        assert!(((1 << 20) * 9 / 10..=1 << 20).contains(&b), "bytes = {b}");
+    }
+
+    #[test]
+    fn few_large_regions() {
+        let p = Milc::new(1 << 20);
+        let runs = p.region_runs();
+        assert_eq!(runs.len(), 16, "2^4 contiguous runs, none mergeable");
+        assert!(runs[0].1 >= 48 * 1000, "large runs");
+    }
+
+    #[test]
+    fn five_loop_structure() {
+        let p = Milc::new(4096);
+        // 4 explicit dims + the contiguous run = the paper's 5 loops.
+        assert_eq!(p.nest().depth(), 4);
+        assert_eq!(p.bytes() % SU3_VECTOR, 0);
+    }
+
+    #[test]
+    fn minimum_size_still_valid() {
+        let p = Milc::new(1);
+        assert_eq!(p.bytes(), 16 * SU3_VECTOR);
+    }
+}

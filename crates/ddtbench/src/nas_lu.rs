@@ -1,0 +1,104 @@
+//! NAS LU face exchanges.
+//!
+//! * `NAS_LU_x` — the x-direction face is **contiguous** in memory (the
+//!   derived datatype collapses to `MPI_Type_contiguous`); manual code
+//!   still writes 2 nested loops. One giant region.
+//! * `NAS_LU_y` — the y-direction face gathers 5-double flux vectors at a
+//!   non-contiguous stride: many tiny runs, the case where the paper finds
+//!   region transfer *loses* to packing (Fig 10).
+
+use crate::nestpat::NestPattern;
+use crate::pattern::PatternInfo;
+use mpicd::LoopNest;
+use mpicd_datatype::{Datatype, Primitive};
+
+/// Bytes of one flux vector (5 doubles), the LU unit of transfer.
+pub const FLUX: usize = 40;
+
+/// The contiguous x-face.
+pub struct NasLuX;
+
+impl NasLuX {
+    /// Build a workload of roughly `target_bytes` payload.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(target_bytes: usize) -> NestPattern {
+        let bytes = (target_bytes.max(FLUX) / FLUX) * FLUX;
+        // The whole face is one contiguous run.
+        let nest = LoopNest::new(vec![1], vec![0], bytes).expect("valid nest");
+        // What the application declares: MPI_Type_contiguous over doubles.
+        let dt = Datatype::contiguous(bytes / 8, Datatype::Predefined(Primitive::Double));
+        NestPattern::new(
+            PatternInfo {
+                name: "NAS_LU_x",
+                mpi_datatypes: "contiguous",
+                loop_structure: "2 nested loops",
+                memory_regions: true,
+            },
+            nest,
+            dt,
+            0x1B01,
+        )
+    }
+}
+
+/// The strided y-face.
+pub struct NasLuY;
+
+impl NasLuY {
+    /// Build a workload of roughly `target_bytes` payload.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(target_bytes: usize) -> NestPattern {
+        // ny flux vectors per plane, nz planes; each flux vector strided by
+        // 4 flux widths in x (non-contiguous).
+        let ny = 32usize;
+        let nz = (target_bytes / (FLUX * ny)).max(1);
+        let s_j = 4 * FLUX as isize; // gap between flux vectors in a plane
+        let s_k = ny as isize * s_j; // plane stride
+        let nest = LoopNest::new(vec![nz, ny], vec![s_k, s_j], FLUX).expect("valid nest");
+        let dt = NestPattern::nest_datatype(&nest);
+        NestPattern::new(
+            PatternInfo {
+                name: "NAS_LU_y",
+                mpi_datatypes: "strided vector",
+                loop_structure: "2 nested loops (non-contiguous)",
+                memory_regions: true,
+            },
+            nest,
+            dt,
+            0x1B02,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+
+    #[test]
+    fn lu_x_is_contiguous() {
+        let p = NasLuX::new(64 * 1024);
+        assert!(p.committed().is_contiguous());
+        assert_eq!(p.region_runs().len(), 1, "one giant region");
+        assert_eq!(p.bytes() % FLUX, 0);
+    }
+
+    #[test]
+    fn lu_y_is_gapped_with_many_small_regions() {
+        let p = NasLuY::new(64 * 1024);
+        assert!(!p.committed().is_contiguous());
+        let runs = p.region_runs();
+        assert!(runs.len() > 1000, "many regions: {}", runs.len());
+        assert!(runs.iter().all(|(_, l)| *l == FLUX), "each tiny");
+    }
+
+    #[test]
+    fn payloads_near_target() {
+        for target in [4096usize, 1 << 16, 1 << 20] {
+            let x = NasLuX::new(target).bytes();
+            let y = NasLuY::new(target).bytes();
+            assert!(x.abs_diff(target) <= FLUX, "x: {x} vs {target}");
+            assert!(y.abs_diff(target) <= FLUX * 32, "y: {y} vs {target}");
+        }
+    }
+}

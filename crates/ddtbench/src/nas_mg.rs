@@ -1,0 +1,98 @@
+//! NAS MG ghost-cell exchanges.
+//!
+//! * `NAS_MG_x` — the x-face gathers *single doubles* down a row stride:
+//!   the worst case for memory regions (thousands of 8-byte regions).
+//! * `NAS_MG_y` — the y-face gathers whole contiguous rows: a small number
+//!   of multi-KiB regions, where region transfer wins (Fig 10).
+
+use crate::nestpat::NestPattern;
+use crate::pattern::PatternInfo;
+use mpicd::LoopNest;
+
+/// The x-face: strided single doubles.
+pub struct NasMgX;
+
+impl NasMgX {
+    /// Build a workload of roughly `target_bytes` payload.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(target_bytes: usize) -> NestPattern {
+        let ny = 32usize;
+        let nx = 16usize; // row length the face column strides across
+        let nz = (target_bytes / (8 * ny)).max(1);
+        let s_j = (nx * 8) as isize; // one double per row
+        let s_k = ny as isize * s_j;
+        let nest = LoopNest::new(vec![nz, ny], vec![s_k, s_j], 8).expect("valid nest");
+        let dt = NestPattern::nest_datatype(&nest);
+        NestPattern::new(
+            PatternInfo {
+                name: "NAS_MG_x",
+                mpi_datatypes: "strided vector",
+                loop_structure: "2 nested loops (non-contiguous)",
+                memory_regions: true,
+            },
+            nest,
+            dt,
+            0x2C01,
+        )
+    }
+}
+
+/// The y-face: contiguous rows at a plane stride.
+pub struct NasMgY;
+
+impl NasMgY {
+    /// Build a workload of roughly `target_bytes` payload.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(target_bytes: usize) -> NestPattern {
+        let row = 4096usize; // one contiguous x-row of 512 doubles
+        let nz = (target_bytes / row).max(1);
+        let s_k = (2 * row) as isize; // planes are twice the row apart
+        let nest = LoopNest::new(vec![nz], vec![s_k], row).expect("valid nest");
+        let dt = NestPattern::nest_datatype(&nest);
+        NestPattern::new(
+            PatternInfo {
+                name: "NAS_MG_y",
+                mpi_datatypes: "strided vector",
+                loop_structure: "2 nested loops (non-contiguous)",
+                memory_regions: true,
+            },
+            nest,
+            dt,
+            0x2C02,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+
+    #[test]
+    fn mg_x_has_many_tiny_regions() {
+        let p = NasMgX::new(1 << 16);
+        let runs = p.region_runs();
+        assert_eq!(runs.len(), p.bytes() / 8);
+        assert!(runs.len() > 4000);
+        assert!(runs.iter().all(|(_, l)| *l == 8));
+    }
+
+    #[test]
+    fn mg_y_has_few_large_regions() {
+        let p = NasMgY::new(1 << 20);
+        let runs = p.region_runs();
+        assert_eq!(runs.len(), 256);
+        assert!(runs.iter().all(|(_, l)| *l == 4096));
+    }
+
+    #[test]
+    fn roundtrip_via_typed_pack() {
+        for make in [NasMgX::new as fn(usize) -> NestPattern, NasMgY::new] {
+            let p = make(32 * 1024);
+            let mut manual = Vec::new();
+            p.pack_manual(&mut manual);
+            let typed = p.committed().pack_slice(p.base(), 1).unwrap();
+            assert_eq!(manual, typed);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! WRF halo exchanges: a *struct of strided vectors* — several 3-D fields,
+//! each contributing a strided sub-volume to the same message. The loop
+//! nests run 3–5 deep and are non-contiguous, which (per Table I) makes
+//! memory regions impracticable; the custom datatype uses packing only.
+
+use crate::nestpat::NestPattern;
+use crate::pattern::PatternInfo;
+use mpicd::LoopNest;
+use mpicd_datatype::Datatype;
+
+/// Number of 3-D fields in the halo (e.g. u and v wind components).
+pub const FIELDS: usize = 2;
+
+/// Build the struct-of-nests datatype: one nested-hvector sub-type per
+/// field, placed at the field's slab displacement via
+/// `MPI_Type_create_struct`.
+fn struct_of_nests(per_field: &LoopNest, field_stride: isize) -> Datatype {
+    let sub = NestPattern::nest_datatype(per_field);
+    Datatype::structure(
+        (0..FIELDS)
+            .map(|f| (1usize, f as isize * field_stride, sub.clone()))
+            .collect(),
+    )
+}
+
+/// Wrap a per-field nest into the full pattern (field loop outermost).
+fn build(
+    name: &'static str,
+    loops: &'static str,
+    per_field: LoopNest,
+    field_stride: isize,
+    seed: u64,
+) -> NestPattern {
+    let mut dims = vec![FIELDS];
+    dims.extend_from_slice(per_field.dims());
+    let mut strides = vec![field_stride];
+    strides.extend_from_slice(per_field.strides());
+    let nest = LoopNest::new(dims, strides, per_field.run_len()).expect("valid nest");
+    let dt = struct_of_nests(&per_field, field_stride);
+    NestPattern::new(
+        PatternInfo {
+            name,
+            mpi_datatypes: "struct of strided vectors",
+            loop_structure: loops,
+            memory_regions: false,
+        },
+        nest,
+        dt,
+        seed,
+    )
+}
+
+/// The x-direction halo: ghost-width runs of 4 doubles, strided in y and z.
+pub struct WrfXVec;
+
+impl WrfXVec {
+    /// Build a workload of roughly `target_bytes` payload.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(target_bytes: usize) -> NestPattern {
+        let ghost = 32usize; // bytes per run (4 doubles)
+        let ny = 16usize;
+        let nz = (target_bytes / (FIELDS * ny * ghost)).max(1);
+        let s_j = 4 * ghost as isize; // row stride (gap after the ghost run)
+        let s_k = ny as isize * s_j;
+        let per_field = LoopNest::new(vec![nz, ny], vec![s_k, s_j], ghost).expect("valid nest");
+        let field_stride = nz as isize * s_k;
+        build(
+            "WRF_x_vec",
+            "3/4 nested loops (non-contiguous)",
+            per_field,
+            field_stride,
+            0x4D01,
+        )
+    }
+}
+
+/// The y-direction halo: whole x-rows for a 2-row ghost band, strided in z.
+pub struct WrfYVec;
+
+impl WrfYVec {
+    /// Build a workload of roughly `target_bytes` payload.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(target_bytes: usize) -> NestPattern {
+        let row = 512usize; // contiguous x-row bytes (64 doubles)
+        let ghost_j = 2usize;
+        let nz = (target_bytes / (FIELDS * ghost_j * row)).max(1);
+        let s_j = 2 * row as isize; // ghost rows are every other row
+        let s_k = 8 * row as isize; // plane stride
+        let per_field = LoopNest::new(vec![nz, ghost_j], vec![s_k, s_j], row).expect("valid nest");
+        let field_stride = nz as isize * s_k;
+        build(
+            "WRF_y_vec",
+            "4/5 nested loops (non-contiguous)",
+            per_field,
+            field_stride,
+            0x4D02,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+
+    #[test]
+    fn struct_datatype_matches_nest_order() {
+        for make in [WrfXVec::new as fn(usize) -> NestPattern, WrfYVec::new] {
+            let p = make(64 * 1024);
+            let mut manual = Vec::new();
+            p.pack_manual(&mut manual);
+            let typed = p.committed().pack_slice(p.base(), 1).unwrap();
+            assert_eq!(manual, typed, "{}", p.info().name);
+        }
+    }
+
+    #[test]
+    fn regions_are_disabled() {
+        let mut p = WrfXVec::new(4096);
+        assert!(p.region_pack_ctx().is_none());
+        assert!(p.region_unpack_ctx().is_none());
+    }
+
+    #[test]
+    fn both_fields_contribute() {
+        let p = WrfYVec::new(1 << 16);
+        assert_eq!(p.nest().dims()[0], FIELDS);
+        assert_eq!(p.bytes() % FIELDS, 0);
+    }
+
+    #[test]
+    fn loop_depths_match_table1() {
+        assert_eq!(WrfXVec::new(4096).nest().depth(), 3);
+        assert_eq!(WrfYVec::new(4096).nest().depth(), 3);
+    }
+}

@@ -1,0 +1,134 @@
+//! Modeled wire-time ledger.
+//!
+//! Wall-clock time on a loopback fabric captures every CPU cost (packing,
+//! copying, allocation) but none of the network costs. The ledger records
+//! the modeled wire time of every completed message so benchmark harnesses
+//! can combine the two:
+//!
+//! * latency pingpong (strictly alternating): `total = wall + wire`,
+//! * windowed bandwidth test (wire overlaps CPU): `total = max(wall, wire) + α`.
+//!
+//! Times are stored in femtoseconds-free integer nanoseconds×1024 to keep
+//! sub-nanosecond model contributions from rounding to zero on small
+//! messages while staying on a single atomic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixed-point scale: ledger units per nanosecond.
+const SCALE: f64 = 1024.0;
+
+/// Accumulates modeled wire time across messages.
+///
+/// Thread-safe; `snapshot`/`delta` let a harness bracket a measurement
+/// region without resetting global state.
+#[derive(Debug, Default)]
+pub struct WireLedger {
+    units: AtomicU64,
+    messages: AtomicU64,
+}
+
+impl WireLedger {
+    /// New ledger at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one message's modeled wire time (nanoseconds).
+    pub fn add_ns(&self, ns: f64) {
+        debug_assert!(ns >= 0.0, "wire time must be non-negative");
+        self.units
+            .fetch_add((ns * SCALE).round() as u64, Ordering::Relaxed);
+        self.messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total modeled nanoseconds so far.
+    pub fn total_ns(&self) -> f64 {
+        self.units.load(Ordering::Relaxed) as f64 / SCALE
+    }
+
+    /// Number of messages recorded so far.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Opaque snapshot for later [`Self::delta_ns`].
+    pub fn snapshot(&self) -> LedgerSnapshot {
+        LedgerSnapshot {
+            units: self.units.load(Ordering::Relaxed),
+            messages: self.messages.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Modeled nanoseconds recorded since `snap`.
+    pub fn delta_ns(&self, snap: &LedgerSnapshot) -> f64 {
+        (self.units.load(Ordering::Relaxed) - snap.units) as f64 / SCALE
+    }
+
+    /// Messages recorded since `snap`.
+    pub fn delta_messages(&self, snap: &LedgerSnapshot) -> u64 {
+        self.messages.load(Ordering::Relaxed) - snap.messages
+    }
+}
+
+/// A point-in-time view of a [`WireLedger`].
+#[derive(Debug, Clone, Copy)]
+pub struct LedgerSnapshot {
+    units: u64,
+    messages: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let l = WireLedger::new();
+        l.add_ns(100.0);
+        l.add_ns(50.5);
+        assert!((l.total_ns() - 150.5).abs() < 0.01);
+        assert_eq!(l.messages(), 2);
+    }
+
+    #[test]
+    fn subnanosecond_contributions_survive() {
+        let l = WireLedger::new();
+        for _ in 0..1000 {
+            l.add_ns(0.25);
+        }
+        assert!((l.total_ns() - 250.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let l = WireLedger::new();
+        l.add_ns(10.0);
+        let snap = l.snapshot();
+        l.add_ns(5.0);
+        l.add_ns(5.0);
+        assert!((l.delta_ns(&snap) - 10.0).abs() < 0.01);
+        assert_eq!(l.delta_messages(&snap), 2);
+        assert!((l.total_ns() - 20.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn concurrent_adds() {
+        use std::sync::Arc;
+        let l = Arc::new(WireLedger::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        l.add_ns(1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!((l.total_ns() - 4000.0).abs() < 0.5);
+        assert_eq!(l.messages(), 4000);
+    }
+}

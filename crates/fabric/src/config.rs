@@ -1,0 +1,216 @@
+//! Wire cost model for the simulated interconnect.
+//!
+//! The defaults approximate the paper's testbed: two nodes connected by
+//! ConnectX-5 InfiniBand configured for 100 Gbps, driven through UCX 1.12.
+//! Only the *shape* of results depends on these constants (who wins, where
+//! crossovers fall); absolute values are not a reproduction target.
+
+/// Parameters of the modeled network wire.
+///
+/// Each completed message adds modeled time to the fabric's
+/// [`WireLedger`](crate::clock::WireLedger):
+///
+/// ```text
+/// wire(msg) = latency_ns
+///           + bytes / bandwidth_bytes_per_ns
+///           + regions  * per_region_overhead_ns
+///           + fragments * per_fragment_overhead_ns
+///           + (2 * latency_ns   if rendezvous handshake was required)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireModel {
+    /// One-way base latency `α` in nanoseconds (default 1300 ns — small-message
+    /// MPI latency on the paper's IB testbed is a couple of microseconds).
+    pub latency_ns: f64,
+    /// Link bandwidth `β` in bytes per nanosecond (default 12.5 = 100 Gbps).
+    pub bandwidth_bytes_per_ns: f64,
+    /// Fixed cost `γ` charged per scatter/gather (iov) entry beyond the
+    /// first. Models NIC descriptor setup; makes many small regions slower
+    /// than one packed buffer, as observed for NAS_LU_y / NAS_MG_x in Fig 10.
+    pub per_region_overhead_ns: f64,
+    /// Fixed cost `δ` charged per pipeline fragment beyond the first.
+    pub per_fragment_overhead_ns: f64,
+    /// Messages whose contiguous payload exceeds this many bytes switch from
+    /// the eager protocol (bounce-buffer copy at post time) to rendezvous
+    /// (handshake plus zero-copy transfer at match time). UCX on the paper's
+    /// testbed switches at 32 KiB (the Fig 7 manual-pack dip at 2^15 bytes).
+    pub rndv_threshold: usize,
+    /// Pipeline fragment size for rendezvous transfers and for
+    /// generic-datatype (callback) packing. UCX uses 64 KiB fragments.
+    pub frag_size: usize,
+    /// Deliver generic-datatype fragments to the unpack callback in a
+    /// deterministic non-monotonic offset order. Models transports that
+    /// complete fragments out of order; senders that set the paper's
+    /// `inorder` flag suppress this (the engine then forces in-order
+    /// delivery regardless of this setting).
+    pub out_of_order_fragments: bool,
+}
+
+impl Default for WireModel {
+    fn default() -> Self {
+        Self {
+            latency_ns: 1300.0,
+            bandwidth_bytes_per_ns: 12.5,
+            per_region_overhead_ns: 200.0,
+            per_fragment_overhead_ns: 150.0,
+            rndv_threshold: 32 * 1024,
+            frag_size: 64 * 1024,
+            out_of_order_fragments: false,
+        }
+    }
+}
+
+impl WireModel {
+    /// The paper's testbed: ConnectX-5 InfiniBand at 100 Gbps through
+    /// UCX 1.12 (this is [`Default::default`], spelled out).
+    pub fn infiniband_100g() -> Self {
+        Self::default()
+    }
+
+    /// A next-generation 200 Gbps link: half the per-byte cost, slightly
+    /// lower base latency, same protocol structure. For what-if sweeps.
+    pub fn infiniband_200g() -> Self {
+        Self {
+            latency_ns: 1000.0,
+            bandwidth_bytes_per_ns: 25.0,
+            per_region_overhead_ns: 150.0,
+            per_fragment_overhead_ns: 100.0,
+            rndv_threshold: 64 * 1024,
+            frag_size: 64 * 1024,
+            out_of_order_fragments: false,
+        }
+    }
+
+    /// Commodity 10 GbE with kernel networking: high latency, modest
+    /// bandwidth, expensive scatter/gather — the regime where packing beats
+    /// regions almost everywhere.
+    pub fn ethernet_10g() -> Self {
+        Self {
+            latency_ns: 15_000.0,
+            bandwidth_bytes_per_ns: 1.25,
+            per_region_overhead_ns: 1_000.0,
+            per_fragment_overhead_ns: 500.0,
+            rndv_threshold: 64 * 1024,
+            frag_size: 64 * 1024,
+            out_of_order_fragments: false,
+        }
+    }
+
+    /// A model with zero modeled cost — useful in unit tests that assert on
+    /// data movement only.
+    pub fn zero_cost() -> Self {
+        Self {
+            latency_ns: 0.0,
+            bandwidth_bytes_per_ns: f64::INFINITY,
+            per_region_overhead_ns: 0.0,
+            per_fragment_overhead_ns: 0.0,
+            rndv_threshold: 32 * 1024,
+            frag_size: 64 * 1024,
+            out_of_order_fragments: false,
+        }
+    }
+
+    /// Serial wire time of transferring `bytes` payload bytes.
+    pub fn byte_time_ns(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.bandwidth_bytes_per_ns
+    }
+
+    /// Whether a contiguous payload of `bytes` uses the rendezvous protocol.
+    pub fn is_rendezvous(&self, bytes: usize) -> bool {
+        bytes > self.rndv_threshold
+    }
+
+    /// Number of pipeline fragments a transfer of `bytes` is split into.
+    pub fn fragments(&self, bytes: usize) -> usize {
+        if bytes == 0 {
+            1
+        } else {
+            bytes.div_ceil(self.frag_size)
+        }
+    }
+
+    /// Full modeled wire time of one message.
+    ///
+    /// `regions` counts scatter/gather entries (0 or 1 both mean "a single
+    /// contiguous payload"); `rendezvous` selects the handshake surcharge.
+    pub fn message_time_ns(&self, bytes: usize, regions: usize, rendezvous: bool) -> f64 {
+        let frags = self.fragments(bytes);
+        let mut t = self.latency_ns + self.byte_time_ns(bytes);
+        t += regions.saturating_sub(1) as f64 * self.per_region_overhead_ns;
+        t += frags.saturating_sub(1) as f64 * self.per_fragment_overhead_ns;
+        if rendezvous {
+            t += 2.0 * self.latency_ns;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_testbed() {
+        let m = WireModel::default();
+        assert_eq!(m.rndv_threshold, 32 * 1024);
+        // 100 Gbps == 12.5 bytes/ns.
+        assert!((m.bandwidth_bytes_per_ns - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn byte_time_scales_linearly() {
+        let m = WireModel::default();
+        let t1 = m.byte_time_ns(1 << 20);
+        let t2 = m.byte_time_ns(1 << 21);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rendezvous_switch_is_strictly_above_threshold() {
+        let m = WireModel::default();
+        assert!(!m.is_rendezvous(32 * 1024));
+        assert!(m.is_rendezvous(32 * 1024 + 1));
+    }
+
+    #[test]
+    fn fragment_count() {
+        let m = WireModel::default();
+        assert_eq!(m.fragments(0), 1);
+        assert_eq!(m.fragments(1), 1);
+        assert_eq!(m.fragments(64 * 1024), 1);
+        assert_eq!(m.fragments(64 * 1024 + 1), 2);
+        assert_eq!(m.fragments(256 * 1024), 4);
+    }
+
+    #[test]
+    fn handshake_surcharge_applied_only_for_rendezvous() {
+        let m = WireModel::default();
+        let eager = m.message_time_ns(1024, 1, false);
+        let rndv = m.message_time_ns(1024, 1, true);
+        assert!((rndv - eager - 2.0 * m.latency_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn region_overhead_charged_beyond_first() {
+        let m = WireModel::default();
+        let one = m.message_time_ns(4096, 1, false);
+        let four = m.message_time_ns(4096, 4, false);
+        assert!((four - one - 3.0 * m.per_region_overhead_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn presets_are_ordered_by_speed() {
+        let ib100 = WireModel::infiniband_100g();
+        let ib200 = WireModel::infiniband_200g();
+        let eth = WireModel::ethernet_10g();
+        let t = |m: &WireModel| m.message_time_ns(1 << 20, 4, true);
+        assert!(t(&ib200) < t(&ib100));
+        assert!(t(&ib100) < t(&eth));
+    }
+
+    #[test]
+    fn zero_cost_model_is_free() {
+        let m = WireModel::zero_cost();
+        assert_eq!(m.message_time_ns(1 << 20, 8, true), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Error types for fabric operations.
+//!
+//! The paper stresses that the custom datatype API propagates callback
+//! failures through return codes ("Error handling is crucial for
+//! serialization libraries that can fail in the case of invalid data").
+//! The fabric therefore threads a typed error from every pack/unpack
+//! callback invocation back to the request that triggered it.
+
+use std::fmt;
+
+/// Result alias used throughout the fabric.
+pub type FabricResult<T> = Result<T, FabricError>;
+
+/// Errors surfaced by fabric operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// A destination or source rank outside the fabric's world.
+    InvalidRank {
+        /// The offending rank.
+        rank: usize,
+        /// World size.
+        world: usize,
+    },
+    /// The posted receive buffer is smaller than the matched message.
+    Truncated {
+        /// Incoming payload bytes.
+        received: usize,
+        /// Posted buffer capacity.
+        capacity: usize,
+    },
+    /// A pack callback reported failure (code carried from the application).
+    PackFailed(i32),
+    /// An unpack callback reported failure.
+    UnpackFailed(i32),
+    /// A query (packed-size) callback reported failure.
+    QueryFailed(i32),
+    /// A region callback reported failure.
+    RegionFailed(i32),
+    /// A pack callback made no forward progress (returned `used == 0` for a
+    /// non-empty fragment), which would loop forever.
+    PackStalled {
+        /// Packed-stream offset at the stall.
+        offset: usize,
+        /// Bytes still to pack.
+        remaining: usize,
+    },
+    /// The iov layouts of sender and receiver disagree in total length.
+    IovMismatch {
+        /// Total bytes the sender provides.
+        send_bytes: usize,
+        /// Total bytes the receiver expects.
+        recv_bytes: usize,
+    },
+    /// The request was cancelled before completion.
+    Cancelled,
+    /// The fabric was shut down while requests were pending.
+    ShutDown,
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidRank { rank, world } => {
+                write!(f, "rank {rank} outside world of size {world}")
+            }
+            Self::Truncated { received, capacity } => write!(
+                f,
+                "message truncated: {received} bytes arrived for a {capacity}-byte buffer"
+            ),
+            Self::PackFailed(code) => write!(f, "pack callback failed with code {code}"),
+            Self::UnpackFailed(code) => write!(f, "unpack callback failed with code {code}"),
+            Self::QueryFailed(code) => write!(f, "query callback failed with code {code}"),
+            Self::RegionFailed(code) => write!(f, "region callback failed with code {code}"),
+            Self::PackStalled { offset, remaining } => write!(
+                f,
+                "pack callback stalled at offset {offset} with {remaining} bytes remaining"
+            ),
+            Self::IovMismatch {
+                send_bytes,
+                recv_bytes,
+            } => write!(
+                f,
+                "iov length mismatch: sender provides {send_bytes} bytes, receiver expects {recv_bytes}"
+            ),
+            Self::Cancelled => write!(f, "request cancelled"),
+            Self::ShutDown => write!(f, "fabric shut down with pending requests"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FabricError::Truncated {
+            received: 100,
+            capacity: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100"));
+        assert!(s.contains("64"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(FabricError::PackFailed(3), FabricError::PackFailed(3));
+        assert_ne!(FabricError::PackFailed(3), FabricError::UnpackFailed(3));
+    }
+}

@@ -1,0 +1,924 @@
+//! The fabric proper: a world of ranks, tag matching with MPI's
+//! non-overtaking order, and the eager/rendezvous protocol split.
+//!
+//! Protocol rules (modeled on UCX over the paper's 100 Gbps testbed):
+//!
+//! * **Contiguous payloads ≤ rendezvous threshold** go *eager*: the payload
+//!   is copied into a bounce buffer at post time (a real memcpy — this is the
+//!   extra copy that penalizes manual packing), the send completes
+//!   immediately, and the data is delivered when a matching receive arrives.
+//! * **Contiguous payloads above the threshold** use *rendezvous*: the send
+//!   stays pending until matched, data moves directly from the source buffer
+//!   (one copy), and the modeled wire charges an extra handshake round-trip —
+//!   the Fig 7 bandwidth dip at 2^15 bytes.
+//! * **Iov and Generic payloads** (the custom-datatype path) always use the
+//!   pipelined scatter/gather transfer: no bounce copy, no handshake
+//!   surcharge, but per-region and per-fragment wire overheads. This matches
+//!   the paper's note that the custom path "uses the UCX iovec API
+//!   internally" and is unaffected by the eager/rendezvous switch.
+
+use crate::clock::WireLedger;
+use crate::config::WireModel;
+use crate::error::{FabricError, FabricResult};
+use crate::matching::{Envelope, Selector, Tag};
+use crate::payload::{IovEntry, IovEntryMut, RecvDesc, SendDesc};
+use crate::request::{ReqState, Request};
+use crate::stats::{FabricStats, StatsView};
+use crate::transfer::{copy_stream, DstSeg, SrcSeg};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// A pending (unmatched) send sitting in the unexpected queue.
+struct PendingSend {
+    source: usize,
+    tag: Tag,
+    total: usize,
+    kind: PendKind,
+}
+
+enum PendKind {
+    /// Eager: payload already gathered into a bounce buffer; the send
+    /// request has already completed.
+    Eager { data: Vec<u8> },
+    /// Rendezvous / pipelined: the descriptor (and thus the source buffers)
+    /// stays referenced until a receive matches.
+    Deferred { desc: SendDesc, req: Arc<ReqState> },
+}
+
+/// A posted receive waiting for a matching send.
+struct PostedRecv {
+    sel: Selector,
+    desc: RecvDesc,
+    req: Arc<ReqState>,
+}
+
+struct MatchState {
+    /// Unexpected sends, indexed by destination rank, in arrival order.
+    unexpected: Vec<Vec<PendingSend>>,
+    /// Posted receives, indexed by receiving rank, in post order.
+    posted: Vec<Vec<PostedRecv>>,
+    /// Bounce-buffer freelist (eager protocol) to keep allocator noise out
+    /// of latency measurements, like UCX's preregistered eager buffers.
+    bounce_pool: Vec<Vec<u8>>,
+}
+
+struct Inner {
+    model: WireModel,
+    size: usize,
+    ledger: WireLedger,
+    stats: FabricStats,
+    state: Mutex<MatchState>,
+    arrivals: Condvar,
+}
+
+/// An in-process world of communicating ranks.
+///
+/// Cloning is cheap (shared handle). Create per-rank [`Endpoint`]s with
+/// [`Fabric::endpoint`].
+#[derive(Clone)]
+pub struct Fabric {
+    inner: Arc<Inner>,
+}
+
+impl Fabric {
+    /// A world of `size` ranks with the default (100 Gbps IB-like) wire model.
+    pub fn new(size: usize) -> Self {
+        Self::with_model(size, WireModel::default())
+    }
+
+    /// A world of `size` ranks with an explicit wire model.
+    pub fn with_model(size: usize, model: WireModel) -> Self {
+        assert!(size > 0, "fabric needs at least one rank");
+        Self {
+            inner: Arc::new(Inner {
+                model,
+                size,
+                ledger: WireLedger::new(),
+                stats: FabricStats::default(),
+                state: Mutex::new(MatchState {
+                    unexpected: (0..size).map(|_| Vec::new()).collect(),
+                    posted: (0..size).map(|_| Vec::new()).collect(),
+                    bounce_pool: Vec::new(),
+                }),
+                arrivals: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.inner.size
+    }
+
+    /// The wire model in effect.
+    pub fn model(&self) -> &WireModel {
+        &self.inner.model
+    }
+
+    /// The modeled wire-time ledger.
+    pub fn ledger(&self) -> &WireLedger {
+        &self.inner.ledger
+    }
+
+    /// Snapshot of traffic counters.
+    pub fn stats(&self) -> StatsView {
+        self.inner.stats.view()
+    }
+
+    /// Endpoint for `rank`.
+    pub fn endpoint(&self, rank: usize) -> FabricResult<Endpoint> {
+        if rank >= self.inner.size {
+            return Err(FabricError::InvalidRank {
+                rank,
+                world: self.inner.size,
+            });
+        }
+        Ok(Endpoint {
+            inner: Arc::clone(&self.inner),
+            rank,
+        })
+    }
+
+    /// Endpoints for every rank, in rank order.
+    pub fn endpoints(&self) -> Vec<Endpoint> {
+        (0..self.inner.size)
+            .map(|r| self.endpoint(r).expect("rank in range"))
+            .collect()
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // Fail any requests still pending so waiters on other threads wake.
+        let state = self.state.get_mut();
+        for q in &state.unexpected {
+            for p in q {
+                if let PendKind::Deferred { req, .. } = &p.kind {
+                    req.complete(Err(FabricError::ShutDown));
+                }
+            }
+        }
+        for q in &state.posted {
+            for r in q {
+                r.req.complete(Err(FabricError::ShutDown));
+            }
+        }
+    }
+}
+
+/// A single rank's interface to the fabric (UCP endpoint + worker in one).
+#[derive(Clone)]
+pub struct Endpoint {
+    inner: Arc<Inner>,
+    rank: usize,
+}
+
+impl Endpoint {
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.inner.size
+    }
+
+    /// The wire model in effect.
+    pub fn model(&self) -> &WireModel {
+        &self.inner.model
+    }
+
+    /// The fabric's modeled wire-time ledger.
+    pub fn ledger(&self) -> &WireLedger {
+        &self.inner.ledger
+    }
+
+    /// Snapshot of the fabric's traffic counters.
+    pub fn stats(&self) -> StatsView {
+        self.inner.stats.view()
+    }
+
+    /// Post a nonblocking send.
+    ///
+    /// # Safety
+    /// Every memory region referenced by `desc` must stay valid, and must
+    /// not be mutated, until the returned request completes. Pack callbacks
+    /// must not re-enter the fabric.
+    pub unsafe fn post_send(&self, desc: SendDesc, dest: usize, tag: Tag) -> FabricResult<Request> {
+        if dest >= self.inner.size {
+            return Err(FabricError::InvalidRank {
+                rank: dest,
+                world: self.inner.size,
+            });
+        }
+        let total = desc.total_bytes();
+        let mut state = self.inner.state.lock();
+
+        // Try to match an already-posted receive (earliest first).
+        let posted = &mut state.posted[dest];
+        let mut idx = 0;
+        while idx < posted.len() {
+            if posted[idx].req.is_done() {
+                // Cancelled receive: drop it lazily.
+                posted.remove(idx);
+                continue;
+            }
+            if posted[idx].sel.matches(self.rank, tag) {
+                let recv = posted.remove(idx);
+                let outcome = self.inner.run_matched_transfer(
+                    self.rank,
+                    tag,
+                    SendSide::Direct(desc),
+                    recv.desc,
+                    &mut state,
+                );
+                recv.req.complete(outcome.clone());
+                return Ok(match outcome {
+                    Ok(env) => Request::ready(env),
+                    Err(e) => {
+                        let st = ReqState::new();
+                        st.complete(Err(e));
+                        Request::new(st)
+                    }
+                });
+            }
+            idx += 1;
+        }
+
+        // No receive yet: eager-copy small contiguous payloads, defer the rest.
+        match desc {
+            SendDesc::Contig(entry) if total <= self.inner.model.rndv_threshold => {
+                let mut bounce = state.bounce_pool.pop().unwrap_or_default();
+                bounce.clear();
+                // SAFETY: caller guarantees the region is live (post contract).
+                bounce.extend_from_slice(unsafe { entry.as_slice() });
+                state.unexpected[dest].push(PendingSend {
+                    source: self.rank,
+                    tag,
+                    total,
+                    kind: PendKind::Eager { data: bounce },
+                });
+                self.inner.stats.record_unexpected();
+                self.inner.arrivals.notify_all();
+                Ok(Request::ready(Envelope {
+                    source: self.rank,
+                    tag,
+                    bytes: total,
+                }))
+            }
+            desc => {
+                let req = ReqState::new();
+                state.unexpected[dest].push(PendingSend {
+                    source: self.rank,
+                    tag,
+                    total,
+                    kind: PendKind::Deferred {
+                        desc,
+                        req: Arc::clone(&req),
+                    },
+                });
+                self.inner.stats.record_unexpected();
+                self.inner.arrivals.notify_all();
+                Ok(Request::new(req))
+            }
+        }
+    }
+
+    /// Post a nonblocking receive. `source` may be [`crate::ANY_SOURCE`] and
+    /// `tag` may be [`crate::ANY_TAG`].
+    ///
+    /// # Safety
+    /// Every memory region referenced by `desc` must stay valid and
+    /// exclusively available to the fabric until the returned request
+    /// completes. Unpack callbacks must not re-enter the fabric.
+    pub unsafe fn post_recv(&self, desc: RecvDesc, source: i32, tag: Tag) -> FabricResult<Request> {
+        let sel = Selector::new(source, tag);
+        let mut state = self.inner.state.lock();
+
+        // Try to match the earliest unexpected send, dropping cancelled
+        // deferred sends along the way (their buffers may be gone).
+        let queue = &mut state.unexpected[self.rank];
+        queue.retain(|p| match &p.kind {
+            PendKind::Deferred { req, .. } => !req.is_done(),
+            PendKind::Eager { .. } => true,
+        });
+        if let Some(pos) = queue.iter().position(|p| sel.matches(p.source, p.tag)) {
+            let pending = queue.remove(pos);
+            let (send_side, send_req) = match pending.kind {
+                PendKind::Eager { data } => (SendSide::Bounce { data }, None),
+                PendKind::Deferred { desc, req } => (SendSide::Direct(desc), Some(req)),
+            };
+            let outcome = self.inner.run_matched_transfer(
+                pending.source,
+                pending.tag,
+                send_side,
+                desc,
+                &mut state,
+            );
+            if let Some(req) = send_req {
+                req.complete(match &outcome {
+                    // The sender's data went out even if the receiver
+                    // truncated; only callback failures abort the send too.
+                    Ok(env) => Ok(*env),
+                    Err(FabricError::Truncated { .. }) => Ok(Envelope {
+                        source: pending.source,
+                        tag: pending.tag,
+                        bytes: pending.total,
+                    }),
+                    Err(e) => Err(e.clone()),
+                });
+            }
+            let req = ReqState::new();
+            req.complete(outcome);
+            return Ok(Request::new(req));
+        }
+
+        let req = ReqState::new();
+        state.posted[self.rank].push(PostedRecv {
+            sel,
+            desc,
+            req: Arc::clone(&req),
+        });
+        Ok(Request::new(req))
+    }
+
+    /// Nonblocking probe: envelope of the earliest matching unexpected send.
+    pub fn iprobe(&self, source: i32, tag: Tag) -> Option<Envelope> {
+        let sel = Selector::new(source, tag);
+        let state = self.inner.state.lock();
+        state.unexpected[self.rank]
+            .iter()
+            .find(|p| {
+                sel.matches(p.source, p.tag)
+                    && !matches!(&p.kind, PendKind::Deferred { req, .. } if req.is_done())
+            })
+            .map(|p| Envelope {
+                source: p.source,
+                tag: p.tag,
+                bytes: p.total,
+            })
+    }
+
+    /// Blocking probe: wait until a matching send arrives (like `MPI_Probe`).
+    pub fn probe(&self, source: i32, tag: Tag) -> Envelope {
+        let sel = Selector::new(source, tag);
+        let mut state = self.inner.state.lock();
+        loop {
+            if let Some(p) = state.unexpected[self.rank].iter().find(|p| {
+                sel.matches(p.source, p.tag)
+                    && !matches!(&p.kind, PendKind::Deferred { req, .. } if req.is_done())
+            }) {
+                return Envelope {
+                    source: p.source,
+                    tag: p.tag,
+                    bytes: p.total,
+                };
+            }
+            self.inner.arrivals.wait(&mut state);
+        }
+    }
+
+    /// Matched probe (`MPI_Improbe`): atomically *removes* the earliest
+    /// matching unexpected send and returns it as a [`Message`] that only
+    /// [`Endpoint::post_mrecv`] can consume. This closes the probe→receive
+    /// race that forces multithreaded mpi4py-style code to lock around
+    /// plain probe + receive (paper §II-C).
+    pub fn improbe(&self, source: i32, tag: Tag) -> Option<(Envelope, Message)> {
+        let sel = Selector::new(source, tag);
+        let mut state = self.inner.state.lock();
+        let queue = &mut state.unexpected[self.rank];
+        let pos = queue.iter().position(|p| {
+            sel.matches(p.source, p.tag)
+                && !matches!(&p.kind, PendKind::Deferred { req, .. } if req.is_done())
+        })?;
+        let pending = queue.remove(pos);
+        let env = Envelope {
+            source: pending.source,
+            tag: pending.tag,
+            bytes: pending.total,
+        };
+        Some((
+            env,
+            Message {
+                pending: Some(pending),
+            },
+        ))
+    }
+
+    /// Blocking matched probe (`MPI_Mprobe`).
+    pub fn mprobe(&self, source: i32, tag: Tag) -> (Envelope, Message) {
+        loop {
+            if let Some(hit) = self.improbe(source, tag) {
+                return hit;
+            }
+            // Wait for the next arrival, then retry.
+            let mut state = self.inner.state.lock();
+            let sel = Selector::new(source, tag);
+            let available = state.unexpected[self.rank]
+                .iter()
+                .any(|p| sel.matches(p.source, p.tag));
+            if !available {
+                self.inner.arrivals.wait(&mut state);
+            }
+        }
+    }
+
+    /// Receive a message previously matched by [`Self::improbe`] /
+    /// [`Self::mprobe`] (`MPI_Mrecv`).
+    ///
+    /// # Safety
+    /// Same buffer contract as [`Self::post_recv`].
+    pub unsafe fn post_mrecv(&self, desc: RecvDesc, msg: Message) -> FabricResult<Request> {
+        let mut state = self.inner.state.lock();
+        let pending = msg.take();
+        let (send_side, send_req) = match pending.kind {
+            PendKind::Eager { data } => (SendSide::Bounce { data }, None),
+            PendKind::Deferred { desc, req } => (SendSide::Direct(desc), Some(req)),
+        };
+        let outcome = self.inner.run_matched_transfer(
+            pending.source,
+            pending.tag,
+            send_side,
+            desc,
+            &mut state,
+        );
+        if let Some(req) = send_req {
+            req.complete(match &outcome {
+                Ok(env) => Ok(*env),
+                Err(FabricError::Truncated { .. }) => Ok(Envelope {
+                    source: pending.source,
+                    tag: pending.tag,
+                    bytes: pending.total,
+                }),
+                Err(e) => Err(e.clone()),
+            });
+        }
+        let req = ReqState::new();
+        req.complete(outcome);
+        Ok(Request::new(req))
+    }
+
+    /// Blocking convenience send of a byte slice.
+    pub fn send_bytes(&self, data: &[u8], dest: usize, tag: Tag) -> FabricResult<()> {
+        // SAFETY: we wait before returning, so `data` outlives the operation.
+        let req =
+            unsafe { self.post_send(SendDesc::Contig(IovEntry::from_slice(data)), dest, tag)? };
+        req.wait().map(|_| ())
+    }
+
+    /// Blocking convenience receive into a byte slice. Returns the envelope.
+    pub fn recv_bytes(&self, buf: &mut [u8], source: i32, tag: Tag) -> FabricResult<Envelope> {
+        // SAFETY: we wait before returning, so `buf` outlives the operation.
+        let req =
+            unsafe { self.post_recv(RecvDesc::Contig(IovEntryMut::from_slice(buf)), source, tag)? };
+        req.wait()
+    }
+}
+
+/// A message detached from the unexpected queue by a matched probe; can
+/// only be consumed by [`Endpoint::post_mrecv`]. Dropping it without
+/// receiving fails the sender's request (the message is gone).
+pub struct Message {
+    pending: Option<PendingSend>,
+}
+
+impl Message {
+    fn take(mut self) -> PendingSend {
+        self.pending.take().expect("message not yet consumed")
+    }
+}
+
+impl Drop for Message {
+    fn drop(&mut self) {
+        if let Some(PendingSend {
+            kind: PendKind::Deferred { req, .. },
+            ..
+        }) = &self.pending
+        {
+            req.complete(Err(FabricError::Cancelled));
+        }
+    }
+}
+
+impl std::fmt::Debug for Message {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.pending {
+            Some(p) => write!(f, "Message(from {} tag {} {} B)", p.source, p.tag, p.total),
+            None => write!(f, "Message(consumed)"),
+        }
+    }
+}
+
+/// What the transfer engine reads from.
+enum SendSide {
+    Bounce { data: Vec<u8> },
+    Direct(SendDesc),
+}
+
+impl Inner {
+    /// Execute a matched transfer. Called with the match lock held; user
+    /// callbacks therefore must not re-enter the fabric (documented on the
+    /// post functions), the same rule UCX imposes inside progress callbacks.
+    fn run_matched_transfer(
+        &self,
+        source: usize,
+        tag: Tag,
+        send: SendSide,
+        mut recv: RecvDesc,
+        state: &mut MatchState,
+    ) -> FabricResult<Envelope> {
+        let (total, send_regions, rendezvous) = match &send {
+            SendSide::Bounce { data } => (data.len(), 1, false),
+            SendSide::Direct(desc) => {
+                let t = desc.total_bytes();
+                let rndv = matches!(desc, SendDesc::Contig(_)) && self.model.is_rendezvous(t);
+                (t, desc.region_count(), rndv)
+            }
+        };
+        if total > recv.capacity() {
+            return Err(FabricError::Truncated {
+                received: total,
+                capacity: recv.capacity(),
+            });
+        }
+
+        let inorder = match &send {
+            SendSide::Direct(SendDesc::Generic { inorder, .. }) => *inorder,
+            _ => false,
+        };
+        let allow_ooo = self.model.out_of_order_fragments && !inorder;
+        let regions = send_regions.max(recv.region_count());
+
+        // Build segment lists and stream the bytes.
+        let result = {
+            let mut src_segs: Vec<SrcSeg<'_>> = Vec::new();
+            let mut send = send;
+            match &mut send {
+                SendSide::Bounce { data } => {
+                    src_segs.push(SrcSeg::Mem(IovEntry::from_slice(data)));
+                }
+                SendSide::Direct(desc) => match desc {
+                    SendDesc::Contig(e) => src_segs.push(SrcSeg::Mem(*e)),
+                    SendDesc::Iov(v) => src_segs.extend(v.iter().map(|e| SrcSeg::Mem(*e))),
+                    SendDesc::Generic {
+                        packer,
+                        packed_size,
+                        regions,
+                        ..
+                    } => {
+                        src_segs.push(SrcSeg::Packer {
+                            packer: packer.as_mut(),
+                            len: *packed_size,
+                        });
+                        src_segs.extend(regions.iter().map(|e| SrcSeg::Mem(*e)));
+                    }
+                },
+            }
+
+            let mut dst_segs: Vec<DstSeg<'_>> = Vec::new();
+            match &mut recv {
+                RecvDesc::Contig(e) => dst_segs.push(DstSeg::Mem(*e)),
+                RecvDesc::Iov(v) => dst_segs.extend(v.iter().map(|e| DstSeg::Mem(*e))),
+                RecvDesc::Generic {
+                    unpacker,
+                    packed_size,
+                    regions,
+                } => {
+                    dst_segs.push(DstSeg::Unpacker {
+                        unpacker: unpacker.as_mut(),
+                        len: *packed_size,
+                    });
+                    dst_segs.extend(regions.iter().map(|e| DstSeg::Mem(*e)));
+                }
+            }
+
+            let r = copy_stream(&self.model, &mut src_segs, &mut dst_segs, allow_ooo);
+            drop(src_segs);
+            // Recycle the bounce buffer.
+            if let SendSide::Bounce { data } = send {
+                if state.bounce_pool.len() < 64 {
+                    state.bounce_pool.push(data);
+                }
+            }
+            r
+        }?;
+        debug_assert_eq!(result, total, "stream moved every byte");
+
+        // Wire accounting: one message.
+        let frags = self.model.fragments(total);
+        self.ledger
+            .add_ns(self.model.message_time_ns(total, regions, rendezvous));
+        self.stats.record_message(total, rendezvous, frags, regions);
+
+        Ok(Envelope {
+            source,
+            tag,
+            bytes: total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{ANY_SOURCE, ANY_TAG};
+
+    #[test]
+    fn eager_send_recv_roundtrip() {
+        let fabric = Fabric::new(2);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        a.send_bytes(b"hello fabric", 1, 7).unwrap();
+        let mut buf = [0u8; 32];
+        let env = b.recv_bytes(&mut buf, 0, 7).unwrap();
+        assert_eq!(env.bytes, 12);
+        assert_eq!(env.source, 0);
+        assert_eq!(&buf[..12], b"hello fabric");
+    }
+
+    #[test]
+    fn recv_posted_first_nonblocking() {
+        let fabric = Fabric::new(2);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        let mut buf = [0u8; 8];
+        let recv = unsafe {
+            b.post_recv(
+                RecvDesc::Contig(IovEntryMut::from_slice(&mut buf)),
+                ANY_SOURCE,
+                ANY_TAG,
+            )
+            .unwrap()
+        };
+        assert!(!recv.is_done());
+        a.send_bytes(&[1, 2, 3, 4], 1, 0).unwrap();
+        let env = recv.wait().unwrap();
+        assert_eq!(env.bytes, 4);
+        assert_eq!(&buf[..4], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rendezvous_send_defers_until_matched() {
+        let fabric = Fabric::new(2);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        let big = vec![0xabu8; 64 * 1024]; // above the 32 KiB threshold
+        let send = unsafe {
+            a.post_send(SendDesc::Contig(IovEntry::from_slice(&big)), 1, 3)
+                .unwrap()
+        };
+        assert!(!send.is_done(), "rendezvous send pends until matched");
+        let mut out = vec![0u8; 64 * 1024];
+        b.recv_bytes(&mut out, 0, 3).unwrap();
+        assert!(send.is_done());
+        assert_eq!(out, big);
+        let stats = fabric.stats();
+        assert_eq!(stats.rendezvous, 1);
+        assert_eq!(stats.eager, 0);
+    }
+
+    #[test]
+    fn eager_send_completes_immediately() {
+        let fabric = Fabric::new(2);
+        let a = fabric.endpoint(0).unwrap();
+        let small = [5u8; 128];
+        let send = unsafe {
+            a.post_send(SendDesc::Contig(IovEntry::from_slice(&small)), 1, 0)
+                .unwrap()
+        };
+        assert!(send.is_done(), "eager send buffers and completes");
+        let mut out = [0u8; 128];
+        fabric
+            .endpoint(1)
+            .unwrap()
+            .recv_bytes(&mut out, 0, 0)
+            .unwrap();
+        assert_eq!(out, small);
+        assert_eq!(fabric.stats().eager, 1);
+    }
+
+    #[test]
+    fn non_overtaking_order_same_tag() {
+        let fabric = Fabric::new(2);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        a.send_bytes(&[1], 1, 5).unwrap();
+        a.send_bytes(&[2], 1, 5).unwrap();
+        let mut x = [0u8; 1];
+        let mut y = [0u8; 1];
+        b.recv_bytes(&mut x, 0, 5).unwrap();
+        b.recv_bytes(&mut y, 0, 5).unwrap();
+        assert_eq!((x[0], y[0]), (1, 2));
+    }
+
+    #[test]
+    fn tag_selective_matching() {
+        let fabric = Fabric::new(2);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        a.send_bytes(&[10], 1, 100).unwrap();
+        a.send_bytes(&[20], 1, 200).unwrap();
+        let mut buf = [0u8; 1];
+        b.recv_bytes(&mut buf, 0, 200).unwrap();
+        assert_eq!(buf[0], 20);
+        b.recv_bytes(&mut buf, 0, 100).unwrap();
+        assert_eq!(buf[0], 10);
+    }
+
+    #[test]
+    fn truncation_errors_receiver_not_sender() {
+        let fabric = Fabric::new(2);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        a.send_bytes(&[0u8; 100], 1, 0).unwrap();
+        let mut small = [0u8; 10];
+        let err = b.recv_bytes(&mut small, 0, 0).unwrap_err();
+        assert!(matches!(err, FabricError::Truncated { .. }));
+    }
+
+    #[test]
+    fn iov_send_to_contig_recv() {
+        let fabric = Fabric::new(2);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        let p1 = [1u8, 2];
+        let p2 = [3u8, 4, 5];
+        let mut out = [0u8; 5];
+        let recv = unsafe {
+            b.post_recv(RecvDesc::Contig(IovEntryMut::from_slice(&mut out)), 0, 0)
+                .unwrap()
+        };
+        let send = unsafe {
+            a.post_send(
+                SendDesc::Iov(vec![IovEntry::from_slice(&p1), IovEntry::from_slice(&p2)]),
+                1,
+                0,
+            )
+            .unwrap()
+        };
+        send.wait().unwrap();
+        recv.wait().unwrap();
+        assert_eq!(out, [1, 2, 3, 4, 5]);
+        assert_eq!(fabric.stats().regions, 2);
+    }
+
+    #[test]
+    fn generic_send_with_regions_single_message() {
+        let fabric = Fabric::new(2);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        let header = [9u8, 8, 7, 6];
+        let body = vec![0x55u8; 1000];
+        let mut out_header = [0u8; 4];
+        let mut out_body = vec![0u8; 1000];
+
+        struct HeaderUnpack(*mut u8);
+        unsafe impl Send for HeaderUnpack {}
+        impl crate::payload::FragmentUnpacker for HeaderUnpack {
+            fn unpack(&mut self, offset: usize, src: &[u8]) -> Result<(), i32> {
+                unsafe {
+                    std::ptr::copy_nonoverlapping(src.as_ptr(), self.0.add(offset), src.len());
+                }
+                Ok(())
+            }
+        }
+
+        let recv = unsafe {
+            b.post_recv(
+                RecvDesc::Generic {
+                    unpacker: Box::new(HeaderUnpack(out_header.as_mut_ptr())),
+                    packed_size: 4,
+                    regions: vec![IovEntryMut::from_slice(&mut out_body)],
+                },
+                0,
+                1,
+            )
+            .unwrap()
+        };
+
+        let hdr = header;
+        let send = unsafe {
+            a.post_send(
+                SendDesc::Generic {
+                    packer: Box::new(move |offset: usize, dst: &mut [u8]| {
+                        let n = dst.len().min(4 - offset);
+                        dst[..n].copy_from_slice(&hdr[offset..offset + n]);
+                        Ok(n)
+                    }),
+                    packed_size: 4,
+                    regions: vec![IovEntry::from_slice(&body)],
+                    inorder: true,
+                },
+                1,
+                1,
+            )
+            .unwrap()
+        };
+        send.wait().unwrap();
+        let env = recv.wait().unwrap();
+        assert_eq!(env.bytes, 1004);
+        assert_eq!(out_header, header);
+        assert_eq!(out_body, body);
+        // The whole thing was ONE message — the paper's key property.
+        assert_eq!(fabric.stats().messages, 1);
+    }
+
+    #[test]
+    fn probe_reports_envelope() {
+        let fabric = Fabric::new(2);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        assert!(b.iprobe(ANY_SOURCE, ANY_TAG).is_none());
+        a.send_bytes(&[0u8; 42], 1, 9).unwrap();
+        let env = b.iprobe(ANY_SOURCE, ANY_TAG).unwrap();
+        assert_eq!(env.bytes, 42);
+        assert_eq!(env.tag, 9);
+        assert_eq!(env.source, 0);
+        // Probing does not consume the message.
+        let mut buf = [0u8; 42];
+        b.recv_bytes(&mut buf, 0, 9).unwrap();
+    }
+
+    #[test]
+    fn blocking_probe_from_other_thread() {
+        let fabric = Fabric::new(2);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        let t = std::thread::spawn(move || b.probe(ANY_SOURCE, ANY_TAG));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        a.send_bytes(&[1, 2, 3], 1, 4).unwrap();
+        let env = t.join().unwrap();
+        assert_eq!(env.bytes, 3);
+    }
+
+    #[test]
+    fn threaded_pingpong() {
+        let fabric = Fabric::new(2);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        let t = std::thread::spawn(move || {
+            let mut buf = vec![0u8; 1024];
+            for _ in 0..100 {
+                b.recv_bytes(&mut buf, 0, 0).unwrap();
+                b.send_bytes(&buf, 0, 1).unwrap();
+            }
+        });
+        let msg = vec![7u8; 1024];
+        let mut echo = vec![0u8; 1024];
+        for _ in 0..100 {
+            a.send_bytes(&msg, 1, 0).unwrap();
+            a.recv_bytes(&mut echo, 1, 1).unwrap();
+        }
+        t.join().unwrap();
+        assert_eq!(echo, msg);
+        assert_eq!(fabric.stats().messages, 200);
+    }
+
+    #[test]
+    fn invalid_rank_rejected() {
+        let fabric = Fabric::new(2);
+        let a = fabric.endpoint(0).unwrap();
+        assert!(matches!(
+            a.send_bytes(&[1], 5, 0),
+            Err(FabricError::InvalidRank { rank: 5, world: 2 })
+        ));
+        assert!(fabric.endpoint(2).is_err());
+    }
+
+    #[test]
+    fn wire_ledger_accumulates_per_message() {
+        let fabric = Fabric::new(2);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        let snap = fabric.ledger().snapshot();
+        a.send_bytes(&[0u8; 1024], 1, 0).unwrap();
+        let mut buf = [0u8; 1024];
+        b.recv_bytes(&mut buf, 0, 0).unwrap();
+        let expected = fabric.model().message_time_ns(1024, 1, false);
+        assert!((fabric.ledger().delta_ns(&snap) - expected).abs() < 0.01);
+        assert_eq!(fabric.ledger().delta_messages(&snap), 1);
+    }
+
+    #[test]
+    fn cancelled_recv_is_skipped() {
+        let fabric = Fabric::new(2);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        let mut buf1 = [0u8; 4];
+        let r1 = unsafe {
+            b.post_recv(RecvDesc::Contig(IovEntryMut::from_slice(&mut buf1)), 0, 0)
+                .unwrap()
+        };
+        r1.cancel();
+        let mut buf2 = [0u8; 4];
+        let r2 = unsafe {
+            b.post_recv(RecvDesc::Contig(IovEntryMut::from_slice(&mut buf2)), 0, 0)
+                .unwrap()
+        };
+        a.send_bytes(&[1, 2, 3, 4], 1, 0).unwrap();
+        r2.wait().unwrap();
+        assert_eq!(buf2, [1, 2, 3, 4]);
+        assert_eq!(buf1, [0; 4], "cancelled receive got no data");
+    }
+}

@@ -1,0 +1,85 @@
+//! MPI-style tag matching: `(source, tag)` selectors with wildcards and
+//! non-overtaking order.
+//!
+//! Messages between a given pair of ranks with matching tags are delivered
+//! in the order they were posted (MPI's non-overtaking guarantee); the
+//! fabric achieves this by keeping per-destination FIFO queues and always
+//! matching the earliest entry.
+
+/// Message tag type (an `int` in MPI).
+pub type Tag = i32;
+
+/// Wildcard source selector (like `MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: i32 = -1;
+
+/// Wildcard tag selector (like `MPI_ANY_TAG`).
+pub const ANY_TAG: Tag = -2;
+
+/// A receive's matching criteria.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Selector {
+    /// Required source rank, or [`ANY_SOURCE`].
+    pub source: i32,
+    /// Required tag, or [`ANY_TAG`].
+    pub tag: Tag,
+}
+
+impl Selector {
+    /// Build a selector; negative values select the corresponding wildcard.
+    pub fn new(source: i32, tag: Tag) -> Self {
+        Self { source, tag }
+    }
+
+    /// Does a message from `source` with `tag` match?
+    pub fn matches(&self, source: usize, tag: Tag) -> bool {
+        (self.source == ANY_SOURCE || self.source == source as i32)
+            && (self.tag == ANY_TAG || self.tag == tag)
+    }
+}
+
+/// Envelope information returned by probes and completions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending rank.
+    pub source: usize,
+    /// Message tag.
+    pub tag: Tag,
+    /// Total payload bytes.
+    pub bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match() {
+        let s = Selector::new(3, 7);
+        assert!(s.matches(3, 7));
+        assert!(!s.matches(2, 7));
+        assert!(!s.matches(3, 8));
+    }
+
+    #[test]
+    fn any_source() {
+        let s = Selector::new(ANY_SOURCE, 7);
+        assert!(s.matches(0, 7));
+        assert!(s.matches(9, 7));
+        assert!(!s.matches(9, 8));
+    }
+
+    #[test]
+    fn any_tag() {
+        let s = Selector::new(1, ANY_TAG);
+        assert!(s.matches(1, 0));
+        assert!(s.matches(1, i32::MAX));
+        assert!(!s.matches(2, 0));
+    }
+
+    #[test]
+    fn full_wildcard() {
+        let s = Selector::new(ANY_SOURCE, ANY_TAG);
+        assert!(s.matches(0, 0));
+        assert!(s.matches(7, 42));
+    }
+}

@@ -1,0 +1,157 @@
+//! Completion tracking for nonblocking operations.
+//!
+//! Every posted send/receive returns a [`Request`]. Requests support
+//! nonblocking polling (`test`) and blocking waits (`wait`), from any
+//! thread. Completion carries the matched [`Envelope`] (source, tag, byte
+//! count) or the error that aborted the transfer.
+
+use crate::error::{FabricError, FabricResult};
+use crate::matching::Envelope;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// Shared completion state between the fabric and a request handle.
+#[derive(Debug)]
+pub(crate) struct ReqState {
+    slot: Mutex<Option<FabricResult<Envelope>>>,
+    cond: Condvar,
+}
+
+impl ReqState {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self {
+            slot: Mutex::new(None),
+            cond: Condvar::new(),
+        })
+    }
+
+    /// Mark complete (idempotent: first outcome wins) and wake waiters.
+    pub(crate) fn complete(&self, outcome: FabricResult<Envelope>) {
+        let mut slot = self.slot.lock();
+        if slot.is_none() {
+            *slot = Some(outcome);
+            self.cond.notify_all();
+        }
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.slot.lock().is_some()
+    }
+}
+
+/// Handle to a posted nonblocking operation.
+///
+/// Dropping a request without waiting is allowed (the operation still
+/// completes inside the fabric), but the *caller-side buffer contract* of
+/// the unsafe post functions requires the buffers to outlive completion, so
+/// well-behaved code waits.
+#[derive(Debug, Clone)]
+pub struct Request {
+    state: Arc<ReqState>,
+}
+
+impl Request {
+    pub(crate) fn new(state: Arc<ReqState>) -> Self {
+        Self { state }
+    }
+
+    /// A request that is already complete (used for eager sends, and by
+    /// layers that must hand back a request for work done synchronously).
+    pub fn ready(envelope: Envelope) -> Self {
+        let state = ReqState::new();
+        state.complete(Ok(envelope));
+        Self { state }
+    }
+
+    /// Nonblocking completion check; returns the outcome when done.
+    pub fn test(&self) -> Option<FabricResult<Envelope>> {
+        self.state.slot.lock().clone()
+    }
+
+    /// Has the operation finished (successfully or not)?
+    pub fn is_done(&self) -> bool {
+        self.state.is_done()
+    }
+
+    /// Block until completion; returns the envelope or the error.
+    pub fn wait(&self) -> FabricResult<Envelope> {
+        let mut slot = self.state.slot.lock();
+        while slot.is_none() {
+            self.state.cond.wait(&mut slot);
+        }
+        slot.clone().expect("slot populated")
+    }
+
+    /// Cancel the request if it has not completed yet.
+    ///
+    /// Unlike MPI_Cancel this always "succeeds" locally: a later match will
+    /// see the request already completed and skip it.
+    pub fn cancel(&self) {
+        self.state.complete(Err(FabricError::Cancelled));
+    }
+}
+
+/// Wait for every request; returns the envelopes in order or the first error.
+pub fn wait_all(requests: &[Request]) -> FabricResult<Vec<Envelope>> {
+    requests.iter().map(|r| r.wait()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(bytes: usize) -> Envelope {
+        Envelope {
+            source: 0,
+            tag: 0,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn ready_request_is_done() {
+        let r = Request::ready(env(5));
+        assert!(r.is_done());
+        assert_eq!(r.wait().unwrap().bytes, 5);
+        assert_eq!(r.test().unwrap().unwrap().bytes, 5);
+    }
+
+    #[test]
+    fn completion_wakes_waiter() {
+        let state = ReqState::new();
+        let r = Request::new(Arc::clone(&state));
+        assert!(!r.is_done());
+        let t = std::thread::spawn({
+            let r = r.clone();
+            move || r.wait()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        state.complete(Ok(env(77)));
+        assert_eq!(t.join().unwrap().unwrap().bytes, 77);
+    }
+
+    #[test]
+    fn first_completion_wins() {
+        let state = ReqState::new();
+        state.complete(Err(FabricError::Cancelled));
+        state.complete(Ok(env(1)));
+        let r = Request::new(state);
+        assert_eq!(r.wait(), Err(FabricError::Cancelled));
+    }
+
+    #[test]
+    fn cancel_marks_error() {
+        let state = ReqState::new();
+        let r = Request::new(state);
+        r.cancel();
+        assert_eq!(r.wait(), Err(FabricError::Cancelled));
+    }
+
+    #[test]
+    fn wait_all_collects() {
+        let rs = vec![Request::ready(env(1)), Request::ready(env(2))];
+        let envs = wait_all(&rs).unwrap();
+        assert_eq!(envs[0].bytes, 1);
+        assert_eq!(envs[1].bytes, 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Fabric traffic counters.
+//!
+//! Tests (and EXPERIMENTS.md claims) rely on counting *how* data moved:
+//! e.g. a pickle out-of-band transfer issues one message per buffer while
+//! the custom-datatype path folds everything into a single message, and
+//! eager messages pay a bounce-buffer copy that rendezvous avoids.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing all traffic a [`Fabric`](crate::Fabric)
+/// has carried.
+#[derive(Debug, Default)]
+pub struct FabricStats {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    eager: AtomicU64,
+    rendezvous: AtomicU64,
+    fragments: AtomicU64,
+    regions: AtomicU64,
+    unexpected: AtomicU64,
+}
+
+/// A copied-out, plain view of [`FabricStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsView {
+    /// Completed messages.
+    pub messages: u64,
+    /// Total payload bytes carried.
+    pub bytes: u64,
+    /// Messages carried with the eager protocol.
+    pub eager: u64,
+    /// Messages carried with the rendezvous protocol.
+    pub rendezvous: u64,
+    /// Pipeline fragments transferred.
+    pub fragments: u64,
+    /// Scatter/gather entries transferred.
+    pub regions: u64,
+    /// Messages that arrived before a matching receive was posted.
+    pub unexpected: u64,
+}
+
+impl FabricStats {
+    pub(crate) fn record_message(
+        &self,
+        bytes: usize,
+        rendezvous: bool,
+        fragments: usize,
+        regions: usize,
+    ) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        if rendezvous {
+            self.rendezvous.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.eager.fetch_add(1, Ordering::Relaxed);
+        }
+        self.fragments
+            .fetch_add(fragments as u64, Ordering::Relaxed);
+        self.regions.fetch_add(regions as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_unexpected(&self) {
+        self.unexpected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy out the current counter values.
+    pub fn view(&self) -> StatsView {
+        StatsView {
+            messages: self.messages.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            eager: self.eager.load(Ordering::Relaxed),
+            rendezvous: self.rendezvous.load(Ordering::Relaxed),
+            fragments: self.fragments.load(Ordering::Relaxed),
+            regions: self.regions.load(Ordering::Relaxed),
+            unexpected: self.unexpected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsView {
+    /// Difference between two views taken from the same fabric.
+    pub fn since(&self, earlier: &StatsView) -> StatsView {
+        StatsView {
+            messages: self.messages - earlier.messages,
+            bytes: self.bytes - earlier.bytes,
+            eager: self.eager - earlier.eager,
+            rendezvous: self.rendezvous - earlier.rendezvous,
+            fragments: self.fragments - earlier.fragments,
+            regions: self.regions - earlier.regions,
+            unexpected: self.unexpected - earlier.unexpected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_views() {
+        let s = FabricStats::default();
+        s.record_message(1024, false, 1, 1);
+        s.record_message(1 << 20, true, 16, 3);
+        s.record_unexpected();
+        let v = s.view();
+        assert_eq!(v.messages, 2);
+        assert_eq!(v.bytes, 1024 + (1 << 20));
+        assert_eq!(v.eager, 1);
+        assert_eq!(v.rendezvous, 1);
+        assert_eq!(v.fragments, 17);
+        assert_eq!(v.regions, 4);
+        assert_eq!(v.unexpected, 1);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let s = FabricStats::default();
+        s.record_message(10, false, 1, 1);
+        let a = s.view();
+        s.record_message(20, false, 1, 1);
+        let b = s.view();
+        let d = b.since(&a);
+        assert_eq!(d.messages, 1);
+        assert_eq!(d.bytes, 20);
+    }
+}

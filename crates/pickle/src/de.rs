@@ -1,0 +1,310 @@
+//! Deserialization — including the receive-side allocation behaviour the
+//! paper calls out: reconstructing an object **always** allocates its
+//! buffers on the receiving process, which is why no pickle strategy
+//! reaches the raw roofline in Figs 8–9.
+
+use crate::error::{PickleError, PickleResult};
+use crate::object::{DType, NdArray, PyObject};
+use crate::ser::*;
+use std::sync::Arc;
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Out-of-band buffers; the first reference adopts the storage into an
+    /// `Arc`, later references (memoized sharing) clone the `Arc`.
+    oob: Vec<OobSlot>,
+}
+
+enum OobSlot {
+    Pending(Vec<u8>),
+    Adopted(Arc<Vec<u8>>),
+    Empty,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> PickleResult<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(PickleError::Truncated {
+                at: self.pos,
+                needed: self.pos + n - self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> PickleResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> PickleResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> PickleResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn expect(&mut self, lit: &'static [u8], what: &'static str) -> PickleResult<()> {
+        let _ = what;
+        let got = self.take(lit.len())?;
+        if got != lit {
+            return Err(PickleError::Protocol(what));
+        }
+        Ok(())
+    }
+
+    /// Array metadata (everything but the payload).
+    fn array_header(&mut self) -> PickleResult<(Vec<usize>, DType, usize)> {
+        self.expect(ARRAY_PREAMBLE, "bad ndarray reconstruct preamble")?;
+        self.expect(DTYPE_PREAMBLE, "bad dtype preamble")?;
+        let descr_len = self.u8()? as usize;
+        let descr = self.take(descr_len)?;
+        let dtype = match descr {
+            b"|u1" => DType::U8,
+            b"<i4" => DType::I32,
+            b"<i8" => DType::I64,
+            b"<f4" => DType::F32,
+            b"<f8" => DType::F64,
+            _ => return Err(PickleError::Protocol("unknown dtype descriptor")),
+        };
+        let order = self.u8()?;
+        if order != b'C' {
+            return Err(PickleError::Protocol("only C order supported"));
+        }
+        let ndim = self.u8()? as usize;
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(self.u64()? as usize);
+        }
+        let nbytes = self.u64()? as usize;
+        // Checked arithmetic: corrupted shapes must error, not overflow.
+        let expect = shape
+            .iter()
+            .try_fold(dtype.itemsize(), |acc, d| acc.checked_mul(*d))
+            .ok_or(PickleError::Protocol("shape product overflows"))?;
+        if nbytes != expect {
+            return Err(PickleError::Protocol("shape and byte count disagree"));
+        }
+        Ok((shape, dtype, nbytes))
+    }
+
+    fn value(&mut self) -> PickleResult<PyObject> {
+        let at = self.pos;
+        let tag = self.u8()?;
+        Ok(match tag {
+            TAG_NONE => PyObject::None,
+            TAG_TRUE => PyObject::Bool(true),
+            TAG_FALSE => PyObject::Bool(false),
+            TAG_INT => PyObject::Int(i64::from_le_bytes(self.take(8)?.try_into().unwrap())),
+            TAG_FLOAT => PyObject::Float(f64::from_le_bytes(self.take(8)?.try_into().unwrap())),
+            TAG_STR => {
+                let n = self.u64()? as usize;
+                let s =
+                    std::str::from_utf8(self.take(n)?).map_err(|_| PickleError::BadUtf8 { at })?;
+                PyObject::Str(s.to_owned())
+            }
+            TAG_BYTES => {
+                let n = self.u64()? as usize;
+                PyObject::Bytes(self.take(n)?.to_vec())
+            }
+            TAG_LIST => {
+                let n = self.u64()? as usize;
+                let mut v = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    v.push(self.value()?);
+                }
+                PyObject::List(v)
+            }
+            TAG_TUPLE => {
+                let n = self.u64()? as usize;
+                let mut v = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    v.push(self.value()?);
+                }
+                PyObject::Tuple(v)
+            }
+            TAG_DICT => {
+                let n = self.u64()? as usize;
+                let mut kv = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let k = self.value()?;
+                    let v = self.value()?;
+                    kv.push((k, v));
+                }
+                PyObject::Dict(kv)
+            }
+            TAG_ARRAY_INBAND => {
+                let (shape, dtype, nbytes) = self.array_header()?;
+                // Receive-side allocation: the buffer is copied out of the
+                // stream into fresh storage.
+                let data = self.take(nbytes)?.to_vec();
+                PyObject::Array(NdArray {
+                    shape,
+                    dtype,
+                    data: Arc::new(data),
+                })
+            }
+            TAG_ARRAY_OOB => {
+                let (shape, dtype, nbytes) = self.array_header()?;
+                let index = self.u32()? as usize;
+                let slot = self.oob.get_mut(index).ok_or(PickleError::MissingBuffer {
+                    index,
+                    available: 0,
+                })?;
+                let data = match std::mem::replace(slot, OobSlot::Empty) {
+                    OobSlot::Pending(v) => {
+                        let arc = Arc::new(v);
+                        *slot = OobSlot::Adopted(Arc::clone(&arc));
+                        arc
+                    }
+                    OobSlot::Adopted(arc) => {
+                        // Memoized sharing: later references clone the Arc.
+                        *slot = OobSlot::Adopted(Arc::clone(&arc));
+                        arc
+                    }
+                    OobSlot::Empty => {
+                        return Err(PickleError::Protocol("corrupt out-of-band slot"))
+                    }
+                };
+                if data.len() != nbytes {
+                    return Err(PickleError::BufferLength {
+                        index,
+                        expected: nbytes,
+                        got: data.len(),
+                    });
+                }
+                PyObject::Array(NdArray { shape, dtype, data })
+            }
+            _ => return Err(PickleError::BadTag { at, tag }),
+        })
+    }
+}
+
+/// Deserialize an in-band stream.
+pub fn loads(bytes: &[u8]) -> PickleResult<PyObject> {
+    let mut r = Reader {
+        buf: bytes,
+        pos: 0,
+        oob: Vec::new(),
+    };
+    // An in-band stream that references out-of-band buffers fails inside
+    // value() with MissingBuffer (the reader was given none).
+    let v = r.value()?;
+    if r.pos != bytes.len() {
+        return Err(PickleError::Protocol("trailing bytes after value"));
+    }
+    Ok(v)
+}
+
+/// Deserialize a protocol-5 stream, adopting `buffers` (each consumed
+/// exactly once, zero further copies).
+pub fn loads_oob(bytes: &[u8], buffers: Vec<Vec<u8>>) -> PickleResult<PyObject> {
+    let available = buffers.len();
+    let mut r = Reader {
+        buf: bytes,
+        pos: 0,
+        oob: buffers.into_iter().map(OobSlot::Pending).collect(),
+    };
+    let v = r.value().map_err(|e| match e {
+        PickleError::MissingBuffer { index, .. } => PickleError::MissingBuffer { index, available },
+        other => other,
+    })?;
+    if r.pos != bytes.len() {
+        return Err(PickleError::Protocol("trailing bytes after value"));
+    }
+    if r.oob.iter().any(|s| matches!(s, OobSlot::Pending(_))) {
+        return Err(PickleError::Protocol("unused out-of-band buffers"));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ser::{dumps, dumps_oob};
+
+    fn sample() -> PyObject {
+        PyObject::Dict(vec![
+            (PyObject::Str("name".into()), PyObject::Str("mesh".into())),
+            (PyObject::Str("step".into()), PyObject::Int(42)),
+            (PyObject::Str("dt".into()), PyObject::Float(0.125)),
+            (PyObject::Str("ok".into()), PyObject::Bool(true)),
+            (PyObject::Str("blob".into()), PyObject::Bytes(vec![1, 2, 3])),
+            (
+                PyObject::Str("fields".into()),
+                PyObject::List(vec![
+                    PyObject::Array(NdArray::f64_1d(64, 1)),
+                    PyObject::Tuple(vec![
+                        PyObject::None,
+                        PyObject::Array(NdArray::f64_1d(32, 2)),
+                    ]),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn inband_roundtrip() {
+        let obj = sample();
+        assert_eq!(loads(&dumps(&obj)).unwrap(), obj);
+    }
+
+    #[test]
+    fn oob_roundtrip() {
+        let obj = sample();
+        let (stream, bufs) = dumps_oob(&obj);
+        // Model the receive side: buffers arrive as fresh allocations.
+        let received: Vec<Vec<u8>> = bufs.iter().map(|b| b.as_slice().to_vec()).collect();
+        assert_eq!(loads_oob(&stream, received).unwrap(), obj);
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let obj = sample();
+        let stream = dumps(&obj);
+        let err = loads(&stream[..stream.len() - 3]).unwrap_err();
+        assert!(matches!(err, PickleError::Truncated { .. }));
+    }
+
+    #[test]
+    fn bad_tag_detected() {
+        assert!(matches!(
+            loads(&[0xFFu8]),
+            Err(PickleError::BadTag { tag: 0xFF, .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_buffer_length_detected() {
+        let obj = PyObject::Array(NdArray::f64_1d(10, 0));
+        let (stream, _) = dumps_oob(&obj);
+        let err = loads_oob(&stream, vec![vec![0u8; 3]]).unwrap_err();
+        assert!(matches!(err, PickleError::BufferLength { .. }));
+    }
+
+    #[test]
+    fn missing_buffer_detected() {
+        let obj = PyObject::Array(NdArray::f64_1d(10, 0));
+        let (stream, _) = dumps_oob(&obj);
+        let err = loads_oob(&stream, vec![]).unwrap_err();
+        assert!(matches!(err, PickleError::MissingBuffer { .. }));
+    }
+
+    #[test]
+    fn unused_buffers_detected() {
+        let obj = PyObject::Int(5);
+        let (stream, _) = dumps_oob(&obj);
+        let err = loads_oob(&stream, vec![vec![1, 2]]).unwrap_err();
+        assert!(matches!(err, PickleError::Protocol(_)));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut stream = dumps(&PyObject::Int(1));
+        stream.push(0);
+        assert!(matches!(loads(&stream), Err(PickleError::Protocol(_))));
+    }
+}

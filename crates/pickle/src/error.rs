@@ -1,0 +1,107 @@
+//! Pickle (de)serialization errors.
+
+use std::fmt;
+
+/// Result alias for pickle operations.
+pub type PickleResult<T> = Result<T, PickleError>;
+
+/// Errors raised while serializing, deserializing or transferring objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PickleError {
+    /// The stream ended in the middle of a value.
+    Truncated {
+        /// Byte position where input ran out.
+        at: usize,
+        /// Additional bytes required.
+        needed: usize,
+    },
+    /// An unknown tag byte.
+    BadTag {
+        /// Byte position of the tag.
+        at: usize,
+        /// The unrecognized tag value.
+        tag: u8,
+    },
+    /// An out-of-band buffer index with no corresponding buffer.
+    MissingBuffer {
+        /// The referenced buffer index.
+        index: usize,
+        /// How many buffers were provided.
+        available: usize,
+    },
+    /// An out-of-band buffer has the wrong length for its array.
+    BufferLength {
+        /// The buffer index.
+        index: usize,
+        /// Bytes the array header demands.
+        expected: usize,
+        /// Bytes the buffer actually holds.
+        got: usize,
+    },
+    /// A UTF-8 string failed to decode.
+    BadUtf8 {
+        /// Byte position of the string.
+        at: usize,
+    },
+    /// Mixed protocol error: in-band stream contained an out-of-band marker
+    /// (or vice versa).
+    Protocol(&'static str),
+    /// Transport failure, carried up from mpicd.
+    Transport(String),
+}
+
+impl fmt::Display for PickleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated { at, needed } => {
+                write!(f, "stream truncated at byte {at} (needed {needed} more)")
+            }
+            Self::BadTag { at, tag } => write!(f, "unknown tag {tag:#04x} at byte {at}"),
+            Self::MissingBuffer { index, available } => write!(
+                f,
+                "out-of-band buffer {index} requested but only {available} provided"
+            ),
+            Self::BufferLength {
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "out-of-band buffer {index}: expected {expected} bytes, got {got}"
+            ),
+            Self::BadUtf8 { at } => write!(f, "invalid UTF-8 in string at byte {at}"),
+            Self::Protocol(what) => write!(f, "protocol violation: {what}"),
+            Self::Transport(what) => write!(f, "transport: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PickleError {}
+
+impl From<mpicd::Error> for PickleError {
+    fn from(e: mpicd::Error) -> Self {
+        Self::Transport(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PickleError::BufferLength {
+            index: 2,
+            expected: 100,
+            got: 50,
+        };
+        let s = e.to_string();
+        assert!(s.contains('2') && s.contains("100") && s.contains("50"));
+    }
+
+    #[test]
+    fn transport_conversion() {
+        let e: PickleError = mpicd::Error::Serialization(9).into();
+        assert!(matches!(e, PickleError::Transport(_)));
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! # mpicd-pickle — pickle-style object serialization over mpicd
+//!
+//! Reproduces the Python side of the paper's evaluation (§V-B) without
+//! CPython: a [`PyObject`] model (including NumPy-style arrays with the
+//! ~120-byte metadata headers the paper mentions), a pickle-like binary
+//! format with both **in-band** serialization and **protocol-5 out-of-band
+//! buffers** (PEP 574), and the three transfer strategies compared in
+//! Figs 8–9:
+//!
+//! | strategy | wire traffic |
+//! |---|---|
+//! | `pickle-basic`   | one message carrying the full in-band stream (data copied through an intermediate buffer on both sides) |
+//! | `pickle-oob`     | header-stream message + buffer-lengths message + one message **per** out-of-band buffer (mpi4py's approach) |
+//! | `pickle-oob-cdt` | lengths message + **one** custom-datatype message whose regions are the out-of-band buffers (this paper's approach) |
+//!
+//! The costs the paper attributes to each strategy are all real here:
+//! `pickle-basic` allocates and copies a full-size intermediate stream,
+//! `pickle-oob` multiplies small messages, and every receive allocates its
+//! buffers before data can land (the receive-side allocation the paper says
+//! keeps all strategies below the raw roofline).
+
+pub mod de;
+pub mod error;
+pub mod object;
+pub mod ser;
+pub mod transfer;
+pub mod workload;
+
+pub use de::{loads, loads_oob};
+pub use error::{PickleError, PickleResult};
+pub use object::{DType, NdArray, PyObject};
+pub use ser::{dumps, dumps_oob, OobBuffer};
+pub use transfer::{
+    recv_pickle_basic, recv_pickle_oob, recv_pickle_oob_cdt, send_pickle_basic, send_pickle_oob,
+    send_pickle_oob_cdt,
+};

@@ -1,0 +1,202 @@
+//! A Python-ish object model, including NumPy-style arrays.
+
+use std::sync::Arc;
+
+/// Element type of an [`NdArray`] (NumPy dtype subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DType {
+    /// `uint8`
+    U8,
+    /// `int32`
+    I32,
+    /// `int64`
+    I64,
+    /// `float32`
+    F32,
+    /// `float64`
+    F64,
+}
+
+impl DType {
+    /// Item size in bytes.
+    pub const fn itemsize(self) -> usize {
+        match self {
+            Self::U8 => 1,
+            Self::I32 | Self::F32 => 4,
+            Self::I64 | Self::F64 => 8,
+        }
+    }
+
+    /// NumPy-style descriptor string (little-endian).
+    pub const fn descr(self) -> &'static str {
+        match self {
+            Self::U8 => "|u1",
+            Self::I32 => "<i4",
+            Self::I64 => "<i8",
+            Self::F32 => "<f4",
+            Self::F64 => "<f8",
+        }
+    }
+
+    /// Stable byte code for wire headers.
+    pub const fn code(self) -> u8 {
+        match self {
+            Self::U8 => 0,
+            Self::I32 => 1,
+            Self::I64 => 2,
+            Self::F32 => 3,
+            Self::F64 => 4,
+        }
+    }
+
+    /// Inverse of [`Self::code`].
+    pub fn from_code(c: u8) -> Option<Self> {
+        Some(match c {
+            0 => Self::U8,
+            1 => Self::I32,
+            2 => Self::I64,
+            3 => Self::F32,
+            4 => Self::F64,
+            _ => return None,
+        })
+    }
+}
+
+/// A NumPy-style n-dimensional array: metadata plus one contiguous
+/// (C-order) buffer, shared via `Arc` so out-of-band serialization is
+/// genuinely zero-copy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NdArray {
+    /// Dimension sizes.
+    pub shape: Vec<usize>,
+    /// Element type.
+    pub dtype: DType,
+    /// Raw buffer (row-major), `len == shape.product() * itemsize`.
+    pub data: Arc<Vec<u8>>,
+}
+
+impl NdArray {
+    /// Build an array, checking the buffer length.
+    pub fn new(shape: Vec<usize>, dtype: DType, data: Vec<u8>) -> Self {
+        let expect: usize = shape.iter().product::<usize>() * dtype.itemsize();
+        assert_eq!(data.len(), expect, "buffer length must match shape × dtype");
+        Self {
+            shape,
+            dtype,
+            data: Arc::new(data),
+        }
+    }
+
+    /// 1-D `float64` array with a deterministic fill (workload helper).
+    pub fn f64_1d(len: usize, seed: u64) -> Self {
+        let mut data = Vec::with_capacity(len * 8);
+        for i in 0..len {
+            let v = (seed as f64) + i as f64 * 0.001;
+            data.extend_from_slice(&v.to_le_bytes());
+        }
+        Self::new(vec![len], DType::F64, data)
+    }
+
+    /// Total bytes of the buffer.
+    pub fn nbytes(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// A Python-ish value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PyObject {
+    /// `None`
+    None,
+    /// `bool`
+    Bool(bool),
+    /// `int` (bounded to i64 here)
+    Int(i64),
+    /// `float`
+    Float(f64),
+    /// `str`
+    Str(String),
+    /// `bytes`
+    Bytes(Vec<u8>),
+    /// `list`
+    List(Vec<PyObject>),
+    /// `tuple`
+    Tuple(Vec<PyObject>),
+    /// `dict` (association list; Python dicts preserve insertion order)
+    Dict(Vec<(PyObject, PyObject)>),
+    /// `numpy.ndarray`
+    Array(NdArray),
+}
+
+impl PyObject {
+    /// Sum of all array-buffer bytes in the object graph (what out-of-band
+    /// pickling avoids copying).
+    pub fn buffer_bytes(&self) -> usize {
+        match self {
+            Self::Array(a) => a.nbytes(),
+            Self::List(v) | Self::Tuple(v) => v.iter().map(Self::buffer_bytes).sum(),
+            Self::Dict(kv) => kv
+                .iter()
+                .map(|(k, v)| k.buffer_bytes() + v.buffer_bytes())
+                .sum(),
+            _ => 0,
+        }
+    }
+
+    /// Number of arrays in the object graph.
+    pub fn array_count(&self) -> usize {
+        match self {
+            Self::Array(_) => 1,
+            Self::List(v) | Self::Tuple(v) => v.iter().map(Self::array_count).sum(),
+            Self::Dict(kv) => kv
+                .iter()
+                .map(|(k, v)| k.array_count() + v.array_count())
+                .sum(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::F64.itemsize(), 8);
+        assert_eq!(DType::U8.itemsize(), 1);
+        assert_eq!(DType::F64.descr(), "<f8");
+        for c in 0..5u8 {
+            assert_eq!(DType::from_code(c).unwrap().code(), c);
+        }
+        assert!(DType::from_code(9).is_none());
+    }
+
+    #[test]
+    fn ndarray_shape_check() {
+        let a = NdArray::new(vec![2, 3], DType::I32, vec![0; 24]);
+        assert_eq!(a.nbytes(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn ndarray_rejects_bad_length() {
+        NdArray::new(vec![2, 3], DType::I32, vec![0; 10]);
+    }
+
+    #[test]
+    fn buffer_accounting_recurses() {
+        let obj = PyObject::Dict(vec![
+            (
+                PyObject::Str("xs".into()),
+                PyObject::List(vec![
+                    PyObject::Array(NdArray::f64_1d(10, 0)),
+                    PyObject::Array(NdArray::f64_1d(20, 1)),
+                ]),
+            ),
+            (PyObject::Str("flag".into()), PyObject::Bool(true)),
+        ]);
+        assert_eq!(obj.buffer_bytes(), 240);
+        assert_eq!(obj.array_count(), 2);
+    }
+}

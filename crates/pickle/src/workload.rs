@@ -1,0 +1,64 @@
+//! Workload generators for the paper's Python pingpong tests.
+
+use crate::object::{NdArray, PyObject};
+
+/// Size of each array in the complex-object workload (the paper uses
+/// multiple 128-KiB NumPy arrays).
+pub const COMPLEX_CHUNK: usize = 128 * 1024;
+
+/// Fig 8 workload: a single 1-D `float64` NumPy array of `nbytes`.
+pub fn single_array(nbytes: usize) -> PyObject {
+    let len = (nbytes / 8).max(1);
+    PyObject::Array(NdArray::f64_1d(len, 0xC0FFEE))
+}
+
+/// Fig 9 workload: a complex user-defined object holding multiple 128-KiB
+/// arrays summing to `total_bytes`, wrapped in realistic metadata.
+pub fn complex_object(total_bytes: usize) -> PyObject {
+    let n = (total_bytes / COMPLEX_CHUNK).max(1);
+    let arrays: Vec<PyObject> = (0..n)
+        .map(|i| PyObject::Array(NdArray::f64_1d(COMPLEX_CHUNK / 8, i as u64)))
+        .collect();
+    PyObject::Dict(vec![
+        (
+            PyObject::Str("class".into()),
+            PyObject::Str("SimulationState".into()),
+        ),
+        (PyObject::Str("step".into()), PyObject::Int(12345)),
+        (PyObject::Str("time".into()), PyObject::Float(6.5)),
+        (
+            PyObject::Str("meta".into()),
+            PyObject::Dict(vec![
+                (PyObject::Str("rank_of_origin".into()), PyObject::Int(0)),
+                (PyObject::Str("compressed".into()), PyObject::Bool(false)),
+            ]),
+        ),
+        (PyObject::Str("fields".into()), PyObject::List(arrays)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_array_sizes() {
+        let obj = single_array(1 << 20);
+        assert_eq!(obj.buffer_bytes(), 1 << 20);
+        assert_eq!(obj.array_count(), 1);
+    }
+
+    #[test]
+    fn complex_object_chunking() {
+        let obj = complex_object(1 << 20); // 8 × 128 KiB
+        assert_eq!(obj.array_count(), 8);
+        assert_eq!(obj.buffer_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn complex_object_minimum_one_chunk() {
+        let obj = complex_object(1000);
+        assert_eq!(obj.array_count(), 1);
+        assert_eq!(obj.buffer_bytes(), COMPLEX_CHUNK);
+    }
+}

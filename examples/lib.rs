@@ -1,0 +1,11 @@
+//! Examples for the mpicd custom-datatype-serialization workspace.
+//!
+//! Run any of them with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p mpicd-examples --example quickstart
+//! cargo run --release -p mpicd-examples --example particle_exchange
+//! cargo run --release -p mpicd-examples --example python_objects
+//! cargo run --release -p mpicd-examples --example capi_demo
+//! cargo run --release -p mpicd-examples --example coroutine_packing
+//! ```

@@ -1,0 +1,169 @@
+//! Ordering and out-of-order-delivery semantics.
+//!
+//! * MPI's non-overtaking guarantee across many interleaved tags,
+//! * the `inorder` flag (Listing 2): offset-addressed unpackers tolerate
+//!   out-of-order fragment delivery, in-order unpackers demand (and get)
+//!   monotonic offsets when the flag is set.
+
+use mpicd::datatype::{CustomPack, CustomUnpack};
+use mpicd::fabric::WireModel;
+use mpicd::{Result, World};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+#[test]
+fn non_overtaking_across_interleaved_tags() {
+    let world = World::new(2);
+    let (a, b) = world.pair();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 0..100u8 {
+                let tag = (i % 3) as i32;
+                a.send(&[i][..], 1, tag).unwrap();
+            }
+        });
+        s.spawn(|| {
+            // Per tag, messages must arrive in send order.
+            let mut last: [i16; 3] = [-1; 3];
+            for _ in 0..100 {
+                let st = b.probe(0, mpicd::fabric::ANY_TAG);
+                let mut v = [0u8; 1];
+                b.recv(&mut v[..], 0, st.tag).unwrap();
+                let t = st.tag as usize;
+                assert!(
+                    (v[0] as i16) > last[t],
+                    "tag {t}: {} arrived after {}",
+                    v[0],
+                    last[t]
+                );
+                last[t] = v[0] as i16;
+            }
+        });
+    });
+}
+
+/// Offset-recording unpacker.
+struct OffsetRecorder {
+    expected: usize,
+    offsets: Vec<usize>,
+}
+
+impl CustomUnpack for OffsetRecorder {
+    fn packed_size(&self) -> Result<usize> {
+        Ok(self.expected)
+    }
+    fn unpack(&mut self, offset: usize, _src: &[u8]) -> Result<()> {
+        self.offsets.push(offset);
+        Ok(())
+    }
+}
+
+/// Trivial streaming packer over owned data.
+struct StreamPack {
+    data: Vec<u8>,
+    inorder: bool,
+}
+
+impl CustomPack for StreamPack {
+    fn packed_size(&self) -> Result<usize> {
+        Ok(self.data.len())
+    }
+    fn pack(&mut self, offset: usize, dst: &mut [u8]) -> Result<usize> {
+        let n = dst.len().min(self.data.len() - offset);
+        dst[..n].copy_from_slice(&self.data[offset..offset + n]);
+        Ok(n)
+    }
+    fn inorder(&self) -> bool {
+        self.inorder
+    }
+}
+
+fn run_fragmented(inorder: bool, ooo_wire: bool) -> Vec<usize> {
+    let model = WireModel {
+        frag_size: 256,
+        out_of_order_fragments: ooo_wire,
+        ..WireModel::default()
+    };
+    let world = World::with_model(2, model);
+    let (a, b) = world.pair();
+    let sctx = Box::new(StreamPack {
+        data: (0..2048u32).map(|i| i as u8).collect(),
+        inorder,
+    });
+    let mut rctx = OffsetRecorder {
+        expected: 2048,
+        offsets: Vec::new(),
+    };
+    mpicd::transfer_custom(&a, &b, sctx, &mut rctx, 0).unwrap();
+    rctx.offsets
+}
+
+#[test]
+fn inorder_flag_forces_monotonic_fragments_even_on_ooo_wire() {
+    let offsets = run_fragmented(true, true);
+    assert_eq!(offsets.len(), 8, "2048 B in 256 B fragments");
+    assert!(
+        offsets.windows(2).all(|w| w[0] < w[1]),
+        "monotonic: {offsets:?}"
+    );
+}
+
+#[test]
+fn ooo_wire_reorders_when_allowed() {
+    let offsets = run_fragmented(false, true);
+    assert_eq!(offsets.len(), 8);
+    assert!(
+        offsets.windows(2).any(|w| w[0] > w[1]),
+        "expected reordering: {offsets:?}"
+    );
+    // Every fragment still delivered exactly once.
+    let mut sorted = offsets.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, vec![0, 256, 512, 768, 1024, 1280, 1536, 1792]);
+}
+
+#[test]
+fn in_order_wire_is_monotonic_regardless() {
+    let offsets = run_fragmented(false, false);
+    assert!(offsets.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
+fn wildcard_receives_match_in_arrival_order() {
+    let world = World::new(3);
+    let comms = world.comms();
+    let first_done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let c1 = &comms[1];
+        let c2 = &comms[2];
+        let flag = &first_done;
+        s.spawn(move || {
+            c1.send(&[11u8][..], 0, 5).unwrap();
+            flag.store(true, Ordering::SeqCst);
+        });
+        s.spawn(move || {
+            // Ensure rank 1's message lands first.
+            while !flag.load(Ordering::SeqCst) {
+                std::hint::spin_loop();
+            }
+            c2.send(&[22u8][..], 0, 5).unwrap();
+        });
+        s.spawn(|| {
+            let c0 = &comms[0];
+            // Wait until both are queued, then match with wildcards.
+            while c0.iprobe(2, 5).is_none() || c0.iprobe(1, 5).is_none() {
+                std::hint::spin_loop();
+            }
+            let mut v = [0u8; 1];
+            let st = c0
+                .recv(
+                    &mut v[..],
+                    mpicd::fabric::ANY_SOURCE,
+                    mpicd::fabric::ANY_TAG,
+                )
+                .unwrap();
+            assert_eq!((st.source, v[0]), (1, 11), "earliest arrival matches first");
+            c0.recv(&mut v[..], mpicd::fabric::ANY_SOURCE, 5).unwrap();
+            assert_eq!(v[0], 22);
+        });
+    });
+}

@@ -1,0 +1,158 @@
+//! Property tests for the derived-datatype engine: random type trees,
+//! random fragmentations, and the merged-vs-convertor equivalence.
+
+use mpicd_datatype::{Datatype, Primitive};
+use proptest::prelude::*;
+
+/// Random leaf primitive.
+fn prim() -> impl Strategy<Value = Datatype> {
+    prop_oneof![
+        Just(Datatype::Predefined(Primitive::Byte)),
+        Just(Datatype::Predefined(Primitive::Int32)),
+        Just(Datatype::Predefined(Primitive::Double)),
+    ]
+}
+
+/// Random non-negative-lb datatype tree of bounded depth/size.
+fn datatype(depth: u32) -> impl Strategy<Value = Datatype> {
+    let leaf = prim();
+    leaf.prop_recursive(depth, 64, 4, |inner| {
+        prop_oneof![
+            (1usize..5, inner.clone())
+                .prop_map(|(count, child)| Datatype::contiguous(count, child)),
+            (1usize..4, 1usize..3, inner.clone()).prop_map(|(count, bl, child)| {
+                // Stride ≥ blocklength keeps blocks disjoint and lb = 0.
+                let stride = (bl + 1) as isize;
+                Datatype::vector(count, bl, stride, child)
+            }),
+            (1usize..4, inner.clone()).prop_map(|(count, child)| {
+                // Disjoint ascending displacements (in child extents).
+                let blocks = (0..count).map(|i| (1usize, (i * 2) as isize)).collect();
+                Datatype::indexed(blocks, child)
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
+                // Two fields, second placed past the first's span.
+                let off = (a.extent() as isize).max(8);
+                Datatype::structure(vec![(1, 0, a), (1, off, b)])
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pack_unpack_roundtrip(t in datatype(3), count in 1usize..4) {
+        let c = t.commit().unwrap();
+        prop_assume!(c.size() > 0);
+        let span = c.required_span(count);
+        let src: Vec<u8> = (0..span).map(|i| (i % 251) as u8).collect();
+        let packed = c.pack_slice(&src, count).unwrap();
+        prop_assert_eq!(packed.len(), c.size() * count);
+
+        let mut dst = vec![0u8; span];
+        c.unpack_slice(&packed, &mut dst, count).unwrap();
+        // Repacking the unpacked buffer reproduces the stream.
+        let repacked = c.pack_slice(&dst, count).unwrap();
+        prop_assert_eq!(repacked, packed);
+    }
+
+    #[test]
+    fn convertor_and_merged_commits_agree(t in datatype(3), count in 1usize..3) {
+        let merged = t.commit().unwrap();
+        let convertor = t.commit_convertor().unwrap();
+        prop_assert_eq!(merged.size(), convertor.size());
+        prop_assert_eq!(merged.extent(), convertor.extent());
+        if merged.size() == 0 { return Ok(()); }
+        let span = merged.required_span(count);
+        let src: Vec<u8> = (0..span).map(|i| (i * 7 % 256) as u8).collect();
+        prop_assert_eq!(
+            merged.pack_slice(&src, count).unwrap(),
+            convertor.pack_slice(&src, count).unwrap()
+        );
+    }
+
+    #[test]
+    fn segmented_pack_reassembles(t in datatype(3), frag in 1usize..40) {
+        let c = t.commit().unwrap();
+        prop_assume!(c.size() > 0);
+        let count = 3usize;
+        let span = c.required_span(count);
+        let src: Vec<u8> = (0..span).map(|i| (i % 255) as u8).collect();
+        let full = c.pack_slice(&src, count).unwrap();
+
+        let mut acc = Vec::new();
+        let mut off = 0usize;
+        loop {
+            let mut buf = vec![0u8; frag];
+            let n = unsafe { c.pack_segment(src.as_ptr(), count, off, &mut buf) };
+            if n == 0 { break; }
+            acc.extend_from_slice(&buf[..n]);
+            off += n;
+        }
+        prop_assert_eq!(acc, full);
+    }
+
+    #[test]
+    fn out_of_order_unpack_segments(t in datatype(2), seed in 0u64..1000) {
+        let c = t.commit().unwrap();
+        prop_assume!(c.size() > 0);
+        let count = 2usize;
+        let span = c.required_span(count);
+        let src: Vec<u8> = (0..span).map(|i| (i % 250) as u8).collect();
+        let packed = c.pack_slice(&src, count).unwrap();
+
+        // Split the packed stream at a pseudo-random point; deliver the
+        // second half before the first.
+        let cut = (seed as usize) % (packed.len().max(1));
+        let mut dst = vec![0u8; span];
+        unsafe {
+            c.unpack_segment(dst.as_mut_ptr(), count, cut, &packed[cut..]);
+            c.unpack_segment(dst.as_mut_ptr(), count, 0, &packed[..cut]);
+        }
+        prop_assert_eq!(c.pack_slice(&dst, count).unwrap(), packed);
+    }
+
+    #[test]
+    fn extent_is_at_least_size_for_nonneg_lb(t in datatype(3)) {
+        // All generated types have lb == 0, so the span from 0 to ub must
+        // cover every data byte.
+        prop_assert!(t.extent() >= t.size());
+    }
+
+    #[test]
+    fn flatten_count_covers_exactly_size_bytes(t in datatype(2), count in 1usize..4) {
+        let c = t.commit().unwrap();
+        let total: usize = c.flatten_count(count).iter().map(|(_, l)| l).sum();
+        prop_assert_eq!(total, c.size() * count);
+    }
+
+    #[test]
+    fn marshal_roundtrip_preserves_semantics(t in datatype(3)) {
+        use mpicd_datatype::{equivalent, marshal, unmarshal};
+        let bytes = marshal(&t);
+        let back = unmarshal(&bytes).unwrap();
+        prop_assert!(equivalent(&t, &back));
+        prop_assert_eq!(t.extent(), back.extent());
+        // Canonical: re-marshalling is byte-identical.
+        prop_assert_eq!(marshal(&back), bytes);
+    }
+
+    #[test]
+    fn marshal_truncation_never_panics(t in datatype(2), frac in 0.0f64..1.0) {
+        use mpicd_datatype::{marshal, unmarshal};
+        let bytes = marshal(&t);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(unmarshal(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn signature_is_stable_under_marshal(t in datatype(2)) {
+        use mpicd_datatype::{marshal, signature, unmarshal};
+        let back = unmarshal(&marshal(&t)).unwrap();
+        prop_assert_eq!(signature(&t), signature(&back));
+    }
+}

@@ -1,0 +1,189 @@
+//! Property tests for the fabric: arbitrary scatter/gather splits on both
+//! sides must move the same byte stream; protocol selection must follow
+//! the threshold; arbitrary fragment sizes must not change results.
+
+use mpicd_fabric::{Fabric, IovEntry, IovEntryMut, RecvDesc, SendDesc, WireModel};
+use proptest::prelude::*;
+
+/// Split `total` bytes into 1..=6 chunks.
+fn splits(total: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..=total.max(1), 1..6).prop_map(move |cuts| {
+        let mut remaining = total;
+        let mut out = Vec::new();
+        for c in cuts {
+            if remaining == 0 {
+                break;
+            }
+            let take = c.min(remaining);
+            out.push(take);
+            remaining -= take;
+        }
+        if remaining > 0 {
+            out.push(remaining);
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn iov_to_iov_streams_bytes(
+        total in 1usize..5000,
+        send_split_seed in any::<u64>(),
+        frag in prop_oneof![Just(16usize), Just(64), Just(1024), Just(64*1024)],
+    ) {
+        // Derive both splits deterministically from the seed.
+        let model = WireModel { frag_size: frag, ..WireModel::zero_cost() };
+        let fabric = Fabric::with_model(2, model);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+
+        let payload: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+
+        // Pseudo-random contiguous split of the send and recv sides.
+        let mut rng = send_split_seed | 1;
+        let mut next = move |max: usize| {
+            rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17;
+            1 + (rng as usize) % max
+        };
+        let mut send_chunks: Vec<&[u8]> = Vec::new();
+        let mut rest = &payload[..];
+        while !rest.is_empty() {
+            let n = next(rest.len().min(977)).min(rest.len());
+            let (head, tail) = rest.split_at(n);
+            send_chunks.push(head);
+            rest = tail;
+        }
+
+        let mut out = vec![0u8; total];
+        let mut recv_chunks: Vec<IovEntryMut> = Vec::new();
+        {
+            let mut rest: &mut [u8] = &mut out;
+            while !rest.is_empty() {
+                let n = next(rest.len().min(661)).min(rest.len());
+                let (head, tail) = rest.split_at_mut(n);
+                recv_chunks.push(IovEntryMut::from_slice(head));
+                rest = tail;
+            }
+        }
+
+        let rreq = unsafe { b.post_recv(RecvDesc::Iov(recv_chunks), 0, 0).unwrap() };
+        let entries: Vec<IovEntry> = send_chunks.iter().map(|c| IovEntry::from_slice(c)).collect();
+        let sreq = unsafe { a.post_send(SendDesc::Iov(entries), 1, 0).unwrap() };
+        sreq.wait().unwrap();
+        rreq.wait().unwrap();
+        prop_assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn protocol_follows_threshold(size in 1usize..200_000) {
+        let fabric = Fabric::new(2);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        let payload = vec![0xA5u8; size];
+        let mut out = vec![0u8; size];
+        std::thread::scope(|s| {
+            s.spawn(|| a.send_bytes(&payload, 1, 0).unwrap());
+            s.spawn(|| { b.recv_bytes(&mut out, 0, 0).unwrap(); });
+        });
+        let stats = fabric.stats();
+        if size > fabric.model().rndv_threshold {
+            prop_assert_eq!(stats.rendezvous, 1);
+        } else {
+            prop_assert_eq!(stats.eager, 1);
+        }
+        prop_assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn generic_pack_survives_any_fragmentation(
+        packed in 1usize..4000,
+        frag in 1usize..700,
+        region_split in splits(2048),
+    ) {
+        let model = WireModel { frag_size: frag, ..WireModel::zero_cost() };
+        let fabric = Fabric::with_model(2, model);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+
+        let header: Vec<u8> = (0..packed).map(|i| (i * 3 % 256) as u8).collect();
+        let body: Vec<u8> = (0..2048u32).map(|i| (i % 241) as u8).collect();
+
+        let mut out_header = vec![0u8; packed];
+        let mut out_body = vec![0u8; 2048];
+
+        // Receiver scatters the body across the generated split.
+        let mut regions = Vec::new();
+        {
+            let mut rest: &mut [u8] = &mut out_body;
+            for len in &region_split {
+                if rest.is_empty() { break; }
+                let take = (*len).min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                regions.push(IovEntryMut::from_slice(head));
+                rest = tail;
+            }
+            if !rest.is_empty() {
+                regions.push(IovEntryMut::from_slice(rest));
+            }
+        }
+
+        struct CollectUnpack(*mut u8, usize);
+        unsafe impl Send for CollectUnpack {}
+        impl mpicd_fabric::FragmentUnpacker for CollectUnpack {
+            fn unpack(&mut self, offset: usize, src: &[u8]) -> Result<(), i32> {
+                assert!(offset + src.len() <= self.1);
+                unsafe {
+                    std::ptr::copy_nonoverlapping(src.as_ptr(), self.0.add(offset), src.len());
+                }
+                Ok(())
+            }
+        }
+
+        let rreq = unsafe {
+            b.post_recv(
+                RecvDesc::Generic {
+                    unpacker: Box::new(CollectUnpack(out_header.as_mut_ptr(), packed)),
+                    packed_size: packed,
+                    regions,
+                },
+                0,
+                0,
+            ).unwrap()
+        };
+
+        let hdr = header.clone();
+        let sreq = unsafe {
+            a.post_send(
+                SendDesc::Generic {
+                    packer: Box::new(move |off: usize, dst: &mut [u8]| {
+                        let n = dst.len().min(hdr.len() - off);
+                        dst[..n].copy_from_slice(&hdr[off..off + n]);
+                        Ok(n)
+                    }),
+                    packed_size: packed,
+                    regions: vec![IovEntry::from_slice(&body)],
+                    inorder: true,
+                },
+                1,
+                0,
+            ).unwrap()
+        };
+        sreq.wait().unwrap();
+        rreq.wait().unwrap();
+        prop_assert_eq!(out_header, header);
+        prop_assert_eq!(out_body, body);
+    }
+
+    #[test]
+    fn wire_time_monotonic_in_bytes(a in 1usize..1_000_000, b in 1usize..1_000_000) {
+        let m = WireModel::default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            m.message_time_ns(lo, 1, m.is_rendezvous(lo))
+                <= m.message_time_ns(hi, 1, m.is_rendezvous(hi)) + 2.0 * m.latency_ns
+        );
+    }
+}

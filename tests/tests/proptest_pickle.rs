@@ -1,0 +1,97 @@
+//! Property tests for the pickle layer: arbitrary object graphs roundtrip
+//! through both serialization modes, and malformed input errors instead of
+//! panicking.
+
+use mpicd_pickle::{dumps, dumps_oob, loads, loads_oob, DType, NdArray, PyObject};
+use proptest::prelude::*;
+
+fn dtype() -> impl Strategy<Value = DType> {
+    prop_oneof![
+        Just(DType::U8),
+        Just(DType::I32),
+        Just(DType::I64),
+        Just(DType::F32),
+        Just(DType::F64),
+    ]
+}
+
+fn ndarray() -> impl Strategy<Value = NdArray> {
+    (dtype(), prop::collection::vec(0usize..5, 1..3)).prop_flat_map(|(dt, shape)| {
+        let n: usize = shape.iter().product::<usize>() * dt.itemsize();
+        prop::collection::vec(any::<u8>(), n..=n)
+            .prop_map(move |data| NdArray::new(shape.clone(), dt, data))
+    })
+}
+
+fn pyobject(depth: u32) -> impl Strategy<Value = PyObject> {
+    let leaf = prop_oneof![
+        Just(PyObject::None),
+        any::<bool>().prop_map(PyObject::Bool),
+        any::<i64>().prop_map(PyObject::Int),
+        any::<f64>()
+            .prop_filter("NaN breaks equality", |f| !f.is_nan())
+            .prop_map(PyObject::Float),
+        "[a-z]{0,12}".prop_map(PyObject::Str),
+        prop::collection::vec(any::<u8>(), 0..32).prop_map(PyObject::Bytes),
+        ndarray().prop_map(PyObject::Array),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(PyObject::List),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(PyObject::Tuple),
+            prop::collection::vec(("[a-z]{1,6}".prop_map(PyObject::Str), inner.clone()), 0..3)
+                .prop_map(PyObject::Dict),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn inband_roundtrip(obj in pyobject(3)) {
+        let stream = dumps(&obj);
+        prop_assert_eq!(loads(&stream).unwrap(), obj);
+    }
+
+    #[test]
+    fn oob_roundtrip(obj in pyobject(3)) {
+        let (stream, bufs) = dumps_oob(&obj);
+        // The stream never carries buffer payloads (each out-of-band array
+        // costs a 4-byte index instead of its data, so empty arrays may make
+        // the oob stream marginally longer).
+        let payload: usize = obj.buffer_bytes();
+        prop_assert!(stream.len() <= dumps(&obj).len() + 4 * obj.array_count());
+        prop_assert_eq!(stream.len() + payload, dumps(&obj).len() + 4 * obj.array_count());
+        let received: Vec<Vec<u8>> = bufs.iter().map(|b| b.as_slice().to_vec()).collect();
+        let total: usize = received.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, payload);
+        prop_assert_eq!(loads_oob(&stream, received).unwrap(), obj);
+    }
+
+    #[test]
+    fn truncation_never_panics(obj in pyobject(2), cut_fraction in 0.0f64..1.0) {
+        let stream = dumps(&obj);
+        if stream.len() <= 1 { return Ok(()); }
+        let cut = ((stream.len() as f64) * cut_fraction) as usize;
+        if cut >= stream.len() { return Ok(()); }
+        // Must be an error (truncated/protocol), never a panic, never Ok
+        // with trailing garbage semantics.
+        let _ = loads(&stream[..cut]);
+    }
+
+    #[test]
+    fn corrupted_tag_never_panics(obj in pyobject(2), at_seed in any::<u32>(), val in any::<u8>()) {
+        let mut stream = dumps(&obj);
+        if stream.is_empty() { return Ok(()); }
+        let at = (at_seed as usize) % stream.len();
+        stream[at] = val;
+        let _ = loads(&stream); // error or different object; no panic
+    }
+
+    #[test]
+    fn oob_buffer_count_matches_array_count(obj in pyobject(3)) {
+        let (_, bufs) = dumps_oob(&obj);
+        prop_assert_eq!(bufs.len(), obj.array_count());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests over the paper's evaluation types and the loop-nest
+//! machinery: random shapes, random fragmentation, cross-engine agreement.
+
+use mpicd::types::{
+    pack_struct_simple, pack_struct_vec, unpack_struct_simple, unpack_struct_vec, StructSimple,
+    StructVec,
+};
+use mpicd::vecvec::{pack_double_vec, unpack_double_vec};
+use mpicd::{Buffer, LoopNest, SendView, World};
+use proptest::prelude::*;
+
+fn drive_pack(view: SendView<'_>, total: usize, frag: usize) -> Vec<u8> {
+    match view {
+        SendView::Contiguous(b) => b.to_vec(),
+        SendView::Custom(mut ctx) => {
+            assert_eq!(ctx.packed_size().unwrap(), total);
+            let mut out = vec![0u8; total];
+            let mut off = 0usize;
+            while off < total {
+                let end = (off + frag.max(1)).min(total);
+                let n = ctx.pack(off, &mut out[off..end]).unwrap();
+                assert!(n > 0, "progress");
+                off += n;
+            }
+            out
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn struct_simple_custom_equals_manual(count in 1usize..300, frag in 1usize..64) {
+        let elems: Vec<StructSimple> = (0..count).map(StructSimple::generate).collect();
+        let manual = pack_struct_simple(&elems);
+        let custom = drive_pack(elems.send_view(), 20 * count, frag);
+        prop_assert_eq!(custom, manual);
+    }
+
+    #[test]
+    fn struct_simple_manual_roundtrip(count in 1usize..200) {
+        let elems: Vec<StructSimple> = (0..count).map(StructSimple::generate).collect();
+        let packed = pack_struct_simple(&elems);
+        let mut out = vec![StructSimple::default(); count];
+        unpack_struct_simple(&packed, &mut out).unwrap();
+        prop_assert_eq!(out, elems);
+    }
+
+    #[test]
+    fn struct_vec_manual_roundtrip(count in 1usize..6) {
+        let elems: Vec<StructVec> = (0..count).map(StructVec::generate).collect();
+        let packed = pack_struct_vec(&elems);
+        let mut out = vec![StructVec::default(); count];
+        unpack_struct_vec(&packed, &mut out).unwrap();
+        prop_assert_eq!(out, elems);
+    }
+
+    #[test]
+    fn double_vec_roundtrip_random_shapes(lens in prop::collection::vec(0usize..200, 0..12)) {
+        let vecs: Vec<Vec<i32>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (0..*l as i32).map(|x| x * (i as i32 + 1)).collect())
+            .collect();
+        let packed = pack_double_vec(&vecs);
+        let mut out: Vec<Vec<i32>> = lens.iter().map(|l| vec![0; *l]).collect();
+        unpack_double_vec(&packed, &mut out).unwrap();
+        prop_assert_eq!(out, vecs);
+    }
+
+    #[test]
+    fn double_vec_transfer_random_shapes(lens in prop::collection::vec(0usize..100, 1..8)) {
+        let send: Vec<Vec<i32>> = lens
+            .iter()
+            .map(|l| (0..*l as i32).map(|x| x * 7 - 3).collect())
+            .collect();
+        let mut recv: Vec<Vec<i32>> = lens.iter().map(|l| vec![0; *l]).collect();
+        let world = World::new(2);
+        let (a, b) = world.pair();
+        mpicd::transfer(&a, &b, &send, &mut recv, 0).unwrap();
+        prop_assert_eq!(recv, send);
+    }
+
+    #[test]
+    fn loop_nest_offset_and_cursor_agree(
+        dims in prop::collection::vec(1usize..5, 1..4),
+        run_pow in 0u32..6,
+        gap in 1usize..4,
+    ) {
+        let run = 1usize << run_pow;
+        // Build strictly-nesting strides: innermost stride = run * gap.
+        let mut strides = vec![0isize; dims.len()];
+        let mut s = (run * gap) as isize;
+        for d in (0..dims.len()).rev() {
+            strides[d] = s;
+            s *= dims[d] as isize;
+        }
+        let nest = LoopNest::new(dims, strides, run).unwrap();
+        let span = nest.span().1 as usize;
+        let src: Vec<u8> = (0..span).map(|i| (i % 253) as u8).collect();
+
+        let reference = nest.pack_slice(&src).unwrap();
+
+        let mut cur = nest.cursor();
+        let mut acc = Vec::new();
+        let mut frag = 3usize;
+        while !cur.is_finished() {
+            let mut buf = vec![0u8; frag];
+            // SAFETY: src spans the nest.
+            let n = unsafe { cur.pack_into(src.as_ptr(), &mut buf) };
+            acc.extend_from_slice(&buf[..n]);
+            frag = frag % 7 + 1;
+        }
+        prop_assert_eq!(acc, reference);
+    }
+
+    #[test]
+    fn loop_nest_matches_derived_datatype(
+        d0 in 1usize..4,
+        d1 in 1usize..6,
+        run_words in 1usize..4,
+    ) {
+        use mpicd_ddtbench::nestpat::NestPattern;
+        let run = run_words * 8;
+        let s1 = (2 * run) as isize;
+        let s0 = d1 as isize * s1;
+        let nest = LoopNest::new(vec![d0, d1], vec![s0, s1], run).unwrap();
+        let dt = NestPattern::nest_datatype(&nest);
+        let committed = dt.commit().unwrap();
+        prop_assert_eq!(committed.size(), nest.packed_size());
+
+        let span = nest.span().1 as usize;
+        let src: Vec<u8> = (0..span).map(|i| (i * 11 % 256) as u8).collect();
+        prop_assert_eq!(
+            nest.pack_slice(&src).unwrap(),
+            committed.pack_slice(&src, 1).unwrap()
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Thread-safety stress: the paper's motivation includes avoiding
+//! "higher-level locking mechanisms… per communicator and per tag" that
+//! multi-message protocols force on bindings. Here many threads hammer the
+//! same rank pair concurrently — with matched probes and single-message
+//! custom datatypes, no application locking is needed.
+
+use mpicd::World;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn concurrent_senders_and_receivers_on_one_pair() {
+    const THREADS: usize = 4;
+    const MSGS: usize = 50;
+
+    let world = World::new(2);
+    let received = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        // Sender threads on rank 0: each owns a tag lane.
+        for t in 0..THREADS {
+            let c0 = world.comm(0);
+            s.spawn(move || {
+                for i in 0..MSGS {
+                    let payload: Vec<Vec<i32>> =
+                        vec![vec![(t * 1000 + i) as i32; 16], vec![i as i32; 7]];
+                    c0.send(&payload, 1, t as i32).unwrap();
+                }
+            });
+        }
+        // Receiver threads on rank 1: one per lane.
+        for t in 0..THREADS {
+            let c1 = world.comm(1);
+            let received = &received;
+            s.spawn(move || {
+                for i in 0..MSGS {
+                    let mut buf: Vec<Vec<i32>> = vec![vec![0; 16], vec![0; 7]];
+                    c1.recv(&mut buf, 0, t as i32).unwrap();
+                    assert_eq!(buf[0], vec![(t * 1000 + i) as i32; 16], "lane {t} msg {i}");
+                    received.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(received.load(Ordering::Relaxed), THREADS * MSGS);
+    assert_eq!(world.fabric().stats().messages as usize, THREADS * MSGS);
+}
+
+#[test]
+fn mixed_probe_and_matched_probe_threads() {
+    // Two receiver threads race on ANY_TAG with matched probes: every
+    // message is claimed exactly once (plain probe + recv would race).
+    const MSGS: usize = 120;
+
+    let world = World::new(2);
+    let claimed = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        let c0 = world.comm(0);
+        s.spawn(move || {
+            for i in 0..MSGS {
+                let data = vec![i as u8; 64];
+                c0.send(&data, 1, (i % 5) as i32).unwrap();
+            }
+        });
+        for _ in 0..2 {
+            let c1 = world.comm(1);
+            let claimed = &claimed;
+            s.spawn(move || loop {
+                if claimed.load(Ordering::SeqCst) >= MSGS {
+                    break;
+                }
+                if let Some((st, msg)) =
+                    c1.improbe(mpicd::fabric::ANY_SOURCE, mpicd::fabric::ANY_TAG)
+                {
+                    let mut buf = vec![0u8; st.bytes];
+                    c1.mrecv(&mut buf, msg).unwrap();
+                    assert!(buf.iter().all(|b| *b == buf[0]), "message intact");
+                    claimed.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    std::hint::spin_loop();
+                }
+            });
+        }
+    });
+    assert_eq!(claimed.load(Ordering::SeqCst), MSGS);
+}
+
+#[test]
+fn all_pairs_all_to_all_bytes() {
+    const N: usize = 4;
+    let world = World::new(N);
+    let comms = world.comms();
+    std::thread::scope(|s| {
+        for comm in &comms {
+            s.spawn(move || {
+                let me = comm.rank();
+                // Send to everyone (tag = receiver), then receive from everyone.
+                for dst in 0..N {
+                    if dst != me {
+                        let data = vec![(me * 16 + dst) as u8; 128];
+                        comm.send(&data, dst, dst as i32).unwrap();
+                    }
+                }
+                for src in 0..N {
+                    if src != me {
+                        let mut buf = vec![0u8; 128];
+                        comm.recv(&mut buf, src as i32, me as i32).unwrap();
+                        assert_eq!(buf[0], (src * 16 + me) as u8);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(world.fabric().stats().messages as usize, N * (N - 1));
+}
+
+#[test]
+fn rendezvous_storm_completes() {
+    // Many large (rendezvous) custom sends queued before any receive.
+    let world = World::new(2);
+    let c0 = world.comm(0);
+    let c1 = world.comm(1);
+    const K: usize = 8;
+    let payloads: Vec<Vec<Vec<i32>>> = (0..K)
+        .map(|i| vec![vec![i as i32; 20_000], vec![-(i as i32); 123]])
+        .collect();
+
+    std::thread::scope(|s| {
+        let pr = &payloads;
+        s.spawn(move || {
+            for p in pr {
+                c0.send(p, 1, 3).unwrap();
+            }
+        });
+        s.spawn(move || {
+            // Delay so every send queues as unexpected first.
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            for i in 0..K {
+                let mut buf: Vec<Vec<i32>> = vec![vec![0; 20_000], vec![0; 123]];
+                c1.recv(&mut buf, 0, 3).unwrap();
+                assert_eq!(buf[0][0], i as i32, "non-overtaking order");
+            }
+        });
+    });
+}
