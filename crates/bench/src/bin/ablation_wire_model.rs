@@ -133,4 +133,5 @@ fn main() {
     rndv_threshold_ablation();
     println!();
     frag_size_ablation();
+    mpicd_bench::obs_finish();
 }

@@ -64,4 +64,5 @@ fn main() {
         std::process::exit(1);
     }
     println!("\nall outputs in {}", out_dir.display());
+    mpicd_bench::obs_finish();
 }

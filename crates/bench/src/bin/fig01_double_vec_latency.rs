@@ -5,7 +5,7 @@
 use mpicd::World;
 use mpicd_bench::methods::{bytes_oneway, dv_custom, dv_manual, dv_recv_like, dv_workload};
 use mpicd_bench::report::size_label;
-use mpicd_bench::{harness, quick_mode, size_sweep, Config, Table};
+use mpicd_bench::{harness, quick_mode, size_sweep, Config, PhaseProbe, PhaseTable, Table};
 
 fn main() {
     let world = World::new(2);
@@ -13,6 +13,8 @@ fn main() {
     let hi = if quick_mode() { 8 * 1024 } else { 1 << 20 };
     let sizes = size_sweep(64, hi);
     let subvecs = [64usize, 256, 1024, 4096];
+    let mut probe = PhaseProbe::new();
+    let mut phases = PhaseTable::new("Fig 1 phase breakdown");
 
     let mut columns: Vec<String> = subvecs.iter().map(|s| format!("custom-{s}")).collect();
     columns.push("manual-pack-1024".into());
@@ -32,30 +34,38 @@ fn main() {
             let x = dv_workload(size, sv);
             let mut y = dv_recv_like(&x);
             let mut z = dv_recv_like(&x);
+            probe.delta();
             let s = harness::latency(world.fabric(), cfg, || {
                 dv_custom(&a, &b, &x, &mut y);
                 dv_custom(&b, &a, &y, &mut z);
             });
+            phases.push(format!("{}/custom-{sv}", size_label(size)), probe.delta());
             cells.push(Some(s));
         }
 
         let x = dv_workload(size, 1024);
         let mut y = dv_recv_like(&x);
         let mut z = dv_recv_like(&x);
+        probe.delta();
         cells.push(Some(harness::latency(world.fabric(), cfg, || {
             dv_manual(&a, &b, &x, &mut y);
             dv_manual(&b, &a, &y, &mut z);
         })));
+        phases.push(format!("{}/manual-pack", size_label(size)), probe.delta());
 
         let raw = vec![0x11u8; size];
         let mut rx = vec![0u8; size];
         let mut back = vec![0u8; size];
+        probe.delta();
         cells.push(Some(harness::latency(world.fabric(), cfg, || {
             bytes_oneway(&a, &b, &raw, &mut rx);
             bytes_oneway(&b, &a, &rx, &mut back);
         })));
+        phases.push(format!("{}/bytes", size_label(size)), probe.delta());
 
         table.push(size_label(size), cells);
     }
     table.print();
+    phases.print();
+    mpicd_bench::obs_finish();
 }

@@ -54,4 +54,5 @@ fn main() {
         count *= 2;
     }
     table.print();
+    mpicd_bench::obs_finish();
 }

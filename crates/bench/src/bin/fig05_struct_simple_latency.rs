@@ -52,4 +52,5 @@ fn main() {
         );
     }
     table.print();
+    mpicd_bench::obs_finish();
 }

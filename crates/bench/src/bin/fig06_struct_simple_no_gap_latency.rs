@@ -60,4 +60,5 @@ fn main() {
         );
     }
     table.print();
+    mpicd_bench::obs_finish();
 }

@@ -49,4 +49,5 @@ fn main() {
         );
     }
     table.print();
+    mpicd_bench::obs_finish();
 }

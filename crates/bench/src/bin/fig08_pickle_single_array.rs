@@ -29,4 +29,5 @@ fn main() {
         table.push(size_label(size), cells);
     }
     table.print();
+    mpicd_bench::obs_finish();
 }

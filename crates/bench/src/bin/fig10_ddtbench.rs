@@ -43,4 +43,5 @@ fn main() {
         table.push(name, cells);
     }
     table.print();
+    mpicd_bench::obs_finish();
 }

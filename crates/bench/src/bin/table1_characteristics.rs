@@ -30,4 +30,5 @@ fn main() {
             regions
         );
     }
+    mpicd_bench::obs_finish();
 }

@@ -13,18 +13,33 @@
 //!   strategies of §V-B.
 //! * [`ddt`] — the DDTBench method runners of §V-C.
 //! * [`report`] — aligned table output (one table per figure).
+//! * [`phase`] — per-phase breakdown (pack/unpack CPU, wire, copies)
+//!   snapshotted from the `mpicd-obs` registry per measured cell.
 //!
 //! All binaries accept `MPICD_BENCH_QUICK=1` to run a fast smoke sweep
-//! (used by tests) and print the same table shape as the full run.
+//! (used by tests) and print the same table shape as the full run. With
+//! `MPICD_TRACE=1` they additionally write a Chrome trace (see
+//! [`obs_finish`]) and populate the CPU columns of the phase tables.
 
 pub mod ddt;
 pub mod harness;
 pub mod methods;
+pub mod phase;
 pub mod pickle_run;
 pub mod report;
 
 pub use harness::{Config, Sample};
+pub use phase::{PhaseProbe, PhaseTable, Phases};
 pub use report::Table;
+
+/// End-of-run observability flush, called by every figure binary: when
+/// tracing is enabled this writes the Chrome trace file and prints the
+/// metric summary to stderr; when disabled it does nothing.
+pub fn obs_finish() {
+    if let Some(path) = mpicd_obs::flush() {
+        eprintln!("wrote Chrome trace to {}", path.display());
+    }
+}
 
 /// Standard power-of-two size sweep `[lo, hi]` (bytes).
 pub fn size_sweep(lo: usize, hi: usize) -> Vec<usize> {

@@ -51,7 +51,7 @@ pub(crate) static GLOBAL: once_lock::GlobalLock = once_lock::GlobalLock::new();
 /// is not const).
 pub(crate) mod once_lock {
     use super::Global;
-    use parking_lot::{Mutex, MutexGuard};
+    use mpicd_obs::sync::{Mutex, MutexGuard};
     use std::sync::OnceLock;
 
     pub(crate) struct GlobalLock(OnceLock<Mutex<Global>>);
@@ -192,9 +192,9 @@ pub(crate) fn take_request(handle: MPI_Request) -> Result<RequestEntry, c_int> {
 
 // ---- matched-message handles (MPI_Mprobe / MPI_Mrecv) -----------------------
 
-use parking_lot::Mutex as PlMutex;
+use mpicd_obs::sync::Mutex as ObsMutex;
 
-static MESSAGES: PlMutex<Vec<Option<mpicd::MatchedMessage>>> = PlMutex::new(Vec::new());
+static MESSAGES: ObsMutex<Vec<Option<mpicd::MatchedMessage>>> = ObsMutex::new(Vec::new());
 
 /// Store a matched message, returning its handle (disjoint from request
 /// handles by construction: encoded as a negative number below -1).

@@ -90,6 +90,7 @@ pub unsafe extern "C" fn MPI_Send(
     if comm != MPI_COMM_WORLD || dest < 0 || count < 0 {
         return MPI_ERR_ARG;
     }
+    let _sp = mpicd_obs::span!("MPI_Send", "capi");
     let c = match current_comm() {
         Ok(c) => c,
         Err(code) => return code,
@@ -161,6 +162,7 @@ pub unsafe extern "C" fn MPI_Recv(
     if comm != MPI_COMM_WORLD || count < 0 {
         return MPI_ERR_ARG;
     }
+    let _sp = mpicd_obs::span!("MPI_Recv", "capi");
     let c = match current_comm() {
         Ok(c) => c,
         Err(code) => return code,
@@ -236,6 +238,7 @@ pub unsafe extern "C" fn MPI_Isend(
     if comm != MPI_COMM_WORLD || dest < 0 || count < 0 || request.is_null() {
         return MPI_ERR_ARG;
     }
+    let _sp = mpicd_obs::span!("MPI_Isend", "capi");
     let c = match current_comm() {
         Ok(c) => c,
         Err(code) => return code,
@@ -317,6 +320,7 @@ pub unsafe extern "C" fn MPI_Irecv(
     if comm != MPI_COMM_WORLD || count < 0 || request.is_null() {
         return MPI_ERR_ARG;
     }
+    let _sp = mpicd_obs::span!("MPI_Irecv", "capi");
     let c = match current_comm() {
         Ok(c) => c,
         Err(code) => return code,
@@ -382,6 +386,7 @@ pub unsafe extern "C" fn MPI_Wait(request: *mut MPI_Request, status: *mut MPI_St
     if request.is_null() {
         return MPI_ERR_ARG;
     }
+    let _sp = mpicd_obs::span!("MPI_Wait", "capi");
     let handle = *request;
     if handle == MPI_REQUEST_NULL {
         return MPI_SUCCESS;

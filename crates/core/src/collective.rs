@@ -45,6 +45,7 @@ pub fn bcast<B: Buffer + BufferMut + ?Sized>(
     if size == 1 {
         return Ok(());
     }
+    let _sp = mpicd_obs::span!("coll.bcast", "core");
     // Rotate ranks so the root is virtual rank 0 (MPICH's binomial tree).
     let vrank = (comm.rank() + size - root) % size;
 
@@ -81,6 +82,7 @@ pub fn gather_bytes(
     root: usize,
 ) -> Result<()> {
     let size = comm.size();
+    let _sp = mpicd_obs::span!("coll.gather", "core", send.len());
     if comm.rank() == root {
         let out = recv.ok_or(Error::Unsupported("root must supply a receive buffer"))?;
         out.clear();
@@ -114,6 +116,7 @@ pub fn scatter_bytes(
     root: usize,
 ) -> Result<()> {
     let size = comm.size();
+    let _sp = mpicd_obs::span!("coll.scatter", "core", recv.len());
     if comm.rank() == root {
         let all = send.ok_or(Error::Unsupported("root must supply the send buffer"))?;
         if all.len() != size * recv.len() {
@@ -170,6 +173,7 @@ pub fn allreduce_f64(comm: &Communicator, buf: &mut [f64], op: ReduceOp) -> Resu
     if size == 1 {
         return Ok(());
     }
+    let _sp = mpicd_obs::span!("coll.allreduce", "core", buf.len() * 8);
     if comm.rank() == 0 {
         let mut incoming = vec![0f64; buf.len()];
         for r in 1..size {

@@ -127,6 +127,7 @@ impl Communicator {
 
     /// Blocking send of any [`Buffer`].
     pub fn send<B: Buffer + ?Sized>(&self, buf: &B, dest: usize, tag: Tag) -> Result<Status> {
+        let _sp = mpicd_obs::span!("comm.send", "core");
         let req = match buf.send_view() {
             SendView::Contiguous(bytes) => {
                 // SAFETY: we wait below, so `bytes` outlives the operation.
@@ -151,6 +152,7 @@ impl Communicator {
         source: i32,
         tag: Tag,
     ) -> Result<Status> {
+        let _sp = mpicd_obs::span!("comm.recv", "core");
         match buf.recv_view() {
             RecvView::Contiguous(bytes) => {
                 // SAFETY: we wait before returning.
@@ -183,6 +185,7 @@ impl Communicator {
         dest: usize,
         tag: Tag,
     ) -> Result<Status> {
+        let _sp = mpicd_obs::span!("comm.send_custom", "core");
         // SAFETY: we wait below, so the context and its regions outlive the
         // operation.
         let req = unsafe { self.post_custom_send(ctx, dest, tag)? };
@@ -197,6 +200,7 @@ impl Communicator {
         source: i32,
         tag: Tag,
     ) -> Result<Status> {
+        let _sp = mpicd_obs::span!("comm.recv_custom", "core");
         // SAFETY: `ctx` outlives the wait below.
         let req = unsafe { self.post_custom_recv(ctx, source, tag)? };
         let env = req.wait()?;
@@ -216,6 +220,7 @@ impl Communicator {
         tag: Tag,
     ) -> Result<Status> {
         ty.check_bounds(count, region.len())?;
+        let _sp = mpicd_obs::span!("comm.send_typed", "core", ty.size() * count);
         // SAFETY: we wait below, so `region` outlives the operation.
         let req = unsafe { self.post_typed_send(region.as_ptr(), count, ty, dest, tag)? };
         Ok(req.wait()?.into())
@@ -231,6 +236,7 @@ impl Communicator {
         tag: Tag,
     ) -> Result<Status> {
         ty.check_bounds(count, region.len())?;
+        let _sp = mpicd_obs::span!("comm.recv_typed", "core", ty.size() * count);
         // SAFETY: we wait below.
         let req = unsafe { self.post_typed_recv(region.as_mut_ptr(), count, ty, source, tag)? };
         Ok(req.wait()?.into())
@@ -264,6 +270,7 @@ impl Communicator {
 
     /// Receive a matched message into a contiguous buffer (`MPI_Mrecv`).
     pub fn mrecv(&self, buf: &mut [u8], msg: MatchedMessage) -> Result<Status> {
+        let _sp = mpicd_obs::span!("comm.mrecv", "core", buf.len());
         // SAFETY: we wait before returning.
         let req = unsafe {
             self.ep
@@ -288,6 +295,7 @@ impl Communicator {
         S: Buffer + ?Sized,
         R: BufferMut + ?Sized,
     {
+        let _sp = mpicd_obs::span!("comm.sendrecv", "core");
         // Post the receive first, then the send, then wait on both — all
         // borrows live until the end of this call.
         match rbuf.recv_view() {
@@ -344,6 +352,7 @@ impl Communicator {
         if n == 1 {
             return Ok(());
         }
+        let _sp = mpicd_obs::span!("comm.barrier", "core");
         let mut byte = [0u8; 1];
         if self.rank() == 0 {
             for src in 1..n {
@@ -729,6 +738,7 @@ impl<'env> Scope<'env, '_> {
     /// Wait for every pending operation; first error wins but everything is
     /// drained (so no buffer stays lent to the fabric).
     fn finish_all(&mut self) -> Result<()> {
+        let _sp = mpicd_obs::span!("comm.wait", "core");
         let mut first_err: Option<Error> = None;
         for mut op in self.pending.drain(..) {
             match op.request.wait() {

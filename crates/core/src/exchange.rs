@@ -27,6 +27,7 @@ where
     B: Buffer + ?Sized,
     C: BufferMut + ?Sized,
 {
+    let _sp = mpicd_obs::span!("comm.transfer", "core");
     // Post the send first (it pends until matched for custom/rendezvous
     // payloads), then the receive, which triggers the matched transfer.
     let sreq = match sbuf.send_view() {
@@ -79,6 +80,7 @@ pub fn transfer_typed(
 ) -> Result<Status> {
     ty.check_bounds(count, sregion.len())?;
     ty.check_bounds(count, rregion.len())?;
+    let _sp = mpicd_obs::span!("comm.transfer_typed", "core", ty.size() * count);
     // SAFETY: waited below; regions borrowed for the whole call.
     let sreq = unsafe { a.post_typed_send(sregion.as_ptr(), count, ty, b.rank(), tag)? };
     let rreq = unsafe { b.post_typed_recv(rregion.as_mut_ptr(), count, ty, a.rank() as i32, tag)? };
@@ -96,6 +98,7 @@ pub fn transfer_custom(
     rctx: &mut (dyn crate::CustomUnpack + '_),
     tag: Tag,
 ) -> Result<Status> {
+    let _sp = mpicd_obs::span!("comm.transfer_custom", "core");
     // SAFETY: waited below; contexts outlive the call.
     let sreq = unsafe { a.post_custom_send(sctx, b.rank(), tag)? };
     let rreq = unsafe { b.post_custom_recv(rctx, a.rank() as i32, tag)? };

@@ -45,6 +45,7 @@ fn prim_from(c: u8) -> Option<Primitive> {
 
 /// Serialize a datatype description.
 pub fn marshal(t: &Datatype) -> Vec<u8> {
+    let _sp = mpicd_obs::span!("dt.marshal", "datatype");
     let mut out = Vec::new();
     encode(t, &mut out);
     out
@@ -126,6 +127,7 @@ fn encode(t: &Datatype, out: &mut Vec<u8>) {
 
 /// Reconstruct a datatype description.
 pub fn unmarshal(bytes: &[u8]) -> DatatypeResult<Datatype> {
+    let _sp = mpicd_obs::span!("dt.unmarshal", "datatype", bytes.len());
     let mut pos = 0usize;
     let t = decode(bytes, &mut pos, 0)?;
     if pos != bytes.len() {

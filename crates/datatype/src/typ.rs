@@ -470,12 +470,14 @@ impl Datatype {
 
     /// Commit the type: flatten and optimize (see [`crate::Committed`]).
     pub fn commit(&self) -> DatatypeResult<crate::Committed> {
+        let _sp = mpicd_obs::span!("dt.commit", "datatype", self.size());
         crate::Committed::new(self)
     }
 
     /// Commit without block merging — the generalized-convertor view that
     /// models Open MPI's engine (see [`crate::Committed::new_convertor`]).
     pub fn commit_convertor(&self) -> DatatypeResult<crate::Committed> {
+        let _sp = mpicd_obs::span!("dt.commit_convertor", "datatype", self.size());
         crate::Committed::new_convertor(self)
     }
 

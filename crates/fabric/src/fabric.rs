@@ -23,9 +23,9 @@ use crate::error::{FabricError, FabricResult};
 use crate::matching::{Envelope, Selector, Tag};
 use crate::payload::{IovEntry, IovEntryMut, RecvDesc, SendDesc};
 use crate::request::{ReqState, Request};
-use crate::stats::{FabricStats, StatsView};
+use crate::stats::{FabricMetrics, FabricStats, StatsView};
 use crate::transfer::{copy_stream, DstSeg, SrcSeg};
-use parking_lot::{Condvar, Mutex};
+use mpicd_obs::sync::{Condvar, Mutex};
 use std::sync::Arc;
 
 /// A pending (unmatched) send sitting in the unexpected queue.
@@ -67,6 +67,9 @@ struct Inner {
     size: usize,
     ledger: WireLedger,
     stats: FabricStats,
+    /// Mirror of the traffic counters into the process-global obs registry,
+    /// plus the span-fed phase-time counters.
+    metrics: FabricMetrics,
     state: Mutex<MatchState>,
     arrivals: Condvar,
 }
@@ -95,6 +98,7 @@ impl Fabric {
                 size,
                 ledger: WireLedger::new(),
                 stats: FabricStats::default(),
+                metrics: FabricMetrics::from_global(),
                 state: Mutex::new(MatchState {
                     unexpected: (0..size).map(|_| Vec::new()).collect(),
                     posted: (0..size).map(|_| Vec::new()).collect(),
@@ -251,8 +255,15 @@ impl Endpoint {
             SendDesc::Contig(entry) if total <= self.inner.model.rndv_threshold => {
                 let mut bounce = state.bounce_pool.pop().unwrap_or_default();
                 bounce.clear();
-                // SAFETY: caller guarantees the region is live (post contract).
-                bounce.extend_from_slice(unsafe { entry.as_slice() });
+                {
+                    // The eager bounce copy — the extra memcpy the custom
+                    // datatype path exists to avoid. Counted always; traced
+                    // as a span when tracing is on.
+                    let _sp = mpicd_obs::trace::span("bounce_copy", "fabric", total as u64);
+                    // SAFETY: caller guarantees the region is live (post contract).
+                    bounce.extend_from_slice(unsafe { entry.as_slice() });
+                }
+                self.inner.metrics.copy_bytes.add(total as u64);
                 state.unexpected[dest].push(PendingSend {
                     source: self.rank,
                     tag,
@@ -260,6 +271,7 @@ impl Endpoint {
                     kind: PendKind::Eager { data: bounce },
                 });
                 self.inner.stats.record_unexpected();
+                self.inner.metrics.unexpected.inc();
                 self.inner.arrivals.notify_all();
                 Ok(Request::ready(Envelope {
                     source: self.rank,
@@ -279,6 +291,7 @@ impl Endpoint {
                     },
                 });
                 self.inner.stats.record_unexpected();
+                self.inner.metrics.unexpected.inc();
                 self.inner.arrivals.notify_all();
                 Ok(Request::new(req))
             }
@@ -375,7 +388,7 @@ impl Endpoint {
                     bytes: p.total,
                 };
             }
-            self.inner.arrivals.wait(&mut state);
+            state = self.inner.arrivals.wait(state);
         }
     }
 
@@ -413,13 +426,13 @@ impl Endpoint {
                 return hit;
             }
             // Wait for the next arrival, then retry.
-            let mut state = self.inner.state.lock();
+            let state = self.inner.state.lock();
             let sel = Selector::new(source, tag);
             let available = state.unexpected[self.rank]
                 .iter()
                 .any(|p| sel.matches(p.source, p.tag));
             if !available {
-                self.inner.arrivals.wait(&mut state);
+                drop(self.inner.arrivals.wait(state));
             }
         }
     }
@@ -550,6 +563,14 @@ impl Inner {
         let allow_ooo = self.model.out_of_order_fragments && !inorder;
         let regions = send_regions.max(recv.region_count());
 
+        // The synthetic wire span starts at match time; its duration is the
+        // modeled wire time, recorded below once the transfer size is final.
+        let match_start_ns = if mpicd_obs::enabled() {
+            mpicd_obs::now_ns()
+        } else {
+            0
+        };
+
         // Build segment lists and stream the bytes.
         let result = {
             let mut src_segs: Vec<SrcSeg<'_>> = Vec::new();
@@ -593,7 +614,13 @@ impl Inner {
                 }
             }
 
-            let r = copy_stream(&self.model, &mut src_segs, &mut dst_segs, allow_ooo);
+            let r = copy_stream(
+                &self.model,
+                &mut src_segs,
+                &mut dst_segs,
+                allow_ooo,
+                &self.metrics,
+            );
             drop(src_segs);
             // Recycle the bounce buffer.
             if let SendSide::Bounce { data } = send {
@@ -607,9 +634,20 @@ impl Inner {
 
         // Wire accounting: one message.
         let frags = self.model.fragments(total);
-        self.ledger
-            .add_ns(self.model.message_time_ns(total, regions, rendezvous));
+        let wire_ns = self.model.message_time_ns(total, regions, rendezvous);
+        self.ledger.add_ns(wire_ns);
         self.stats.record_message(total, rendezvous, frags, regions);
+        self.metrics
+            .record_message(total, rendezvous, frags, regions, wire_ns);
+        // Synthetic span: the wire is modeled, not executed, so its duration
+        // is the modeled time anchored at the moment the match ran.
+        mpicd_obs::trace::record(
+            "wire",
+            "fabric",
+            match_start_ns,
+            wire_ns as u64,
+            total as u64,
+        );
 
         Ok(Envelope {
             source,

@@ -7,7 +7,7 @@
 
 use crate::error::{FabricError, FabricResult};
 use crate::matching::Envelope;
-use parking_lot::{Condvar, Mutex};
+use mpicd_obs::sync::{Condvar, Mutex};
 use std::sync::Arc;
 
 /// Shared completion state between the fabric and a request handle.
@@ -77,7 +77,7 @@ impl Request {
     pub fn wait(&self) -> FabricResult<Envelope> {
         let mut slot = self.state.slot.lock();
         while slot.is_none() {
-            self.state.cond.wait(&mut slot);
+            slot = self.state.cond.wait(slot);
         }
         slot.clone().expect("slot populated")
     }

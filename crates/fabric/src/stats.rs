@@ -4,8 +4,16 @@
 //! e.g. a pickle out-of-band transfer issues one message per buffer while
 //! the custom-datatype path folds everything into a single message, and
 //! eager messages pay a bounce-buffer copy that rendezvous avoids.
+//!
+//! [`FabricStats`] keeps the per-fabric counters the public API exposes;
+//! the crate-private `FabricMetrics` mirrors the same traffic into the process-global
+//! `mpicd-obs` registry (plus phase-time counters fed by spans) so the
+//! benchmark harness can take registry snapshots without holding a fabric
+//! handle.
 
+use mpicd_obs::metrics::{global, Counter, Histogram};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Monotonic counters describing all traffic a [`Fabric`](crate::Fabric)
 /// has carried.
@@ -78,17 +86,111 @@ impl FabricStats {
 }
 
 impl StatsView {
-    /// Difference between two views taken from the same fabric.
+    /// Difference between two views. Saturating: callers sometimes compare
+    /// views from different fabrics or across a counter reset, and a
+    /// nonsensical ordering must degrade to zero, not panic in debug builds.
     pub fn since(&self, earlier: &StatsView) -> StatsView {
         StatsView {
-            messages: self.messages - earlier.messages,
-            bytes: self.bytes - earlier.bytes,
-            eager: self.eager - earlier.eager,
-            rendezvous: self.rendezvous - earlier.rendezvous,
-            fragments: self.fragments - earlier.fragments,
-            regions: self.regions - earlier.regions,
-            unexpected: self.unexpected - earlier.unexpected,
+            messages: self.messages.saturating_sub(earlier.messages),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+            eager: self.eager.saturating_sub(earlier.eager),
+            rendezvous: self.rendezvous.saturating_sub(earlier.rendezvous),
+            fragments: self.fragments.saturating_sub(earlier.fragments),
+            regions: self.regions.saturating_sub(earlier.regions),
+            unexpected: self.unexpected.saturating_sub(earlier.unexpected),
         }
+    }
+}
+
+/// Handles into the process-global `mpicd-obs` registry for everything the
+/// fabric reports. Created once per [`Fabric`](crate::Fabric); all fabrics
+/// share the same underlying registry entries (get-or-create by name).
+///
+/// The `*_ns` phase counters are fed by `span_acc` guards and therefore
+/// only advance while tracing is enabled; the traffic counters and the
+/// modeled `wire_ns` are always on (same cost class as [`FabricStats`]).
+#[derive(Debug, Clone)]
+pub(crate) struct FabricMetrics {
+    pub messages: Arc<Counter>,
+    pub bytes: Arc<Counter>,
+    pub eager: Arc<Counter>,
+    pub rendezvous: Arc<Counter>,
+    pub fragments: Arc<Counter>,
+    pub regions: Arc<Counter>,
+    pub unexpected: Arc<Counter>,
+    /// Modeled wire time (always on).
+    pub wire_ns: Arc<Counter>,
+    /// Wall time spent inside pack callbacks (tracing only).
+    pub pack_ns: Arc<Counter>,
+    /// Wall time spent inside unpack callbacks (tracing only).
+    pub unpack_ns: Arc<Counter>,
+    /// Bytes copied into eager bounce buffers (the copy the custom path avoids).
+    pub copy_bytes: Arc<Counter>,
+    /// Message-size distribution.
+    pub msg_size: Arc<Histogram>,
+}
+
+impl FabricMetrics {
+    /// Handles into the process-global registry under `fabric.*` names.
+    pub(crate) fn from_global() -> Self {
+        let r = global();
+        Self {
+            messages: r.counter("fabric.messages"),
+            bytes: r.counter("fabric.bytes"),
+            eager: r.counter("fabric.eager"),
+            rendezvous: r.counter("fabric.rendezvous"),
+            fragments: r.counter("fabric.fragments"),
+            regions: r.counter("fabric.regions"),
+            unexpected: r.counter("fabric.unexpected"),
+            wire_ns: r.counter("fabric.wire_ns"),
+            pack_ns: r.counter("fabric.pack_ns"),
+            unpack_ns: r.counter("fabric.unpack_ns"),
+            copy_bytes: r.counter("fabric.copy_bytes"),
+            msg_size: r.histogram("fabric.msg_size"),
+        }
+    }
+
+    /// Standalone handles not registered anywhere — for unit tests that
+    /// must not see cross-test traffic through the global registry.
+    #[cfg(test)]
+    pub(crate) fn detached() -> Self {
+        Self {
+            messages: Arc::new(Counter::new()),
+            bytes: Arc::new(Counter::new()),
+            eager: Arc::new(Counter::new()),
+            rendezvous: Arc::new(Counter::new()),
+            fragments: Arc::new(Counter::new()),
+            regions: Arc::new(Counter::new()),
+            unexpected: Arc::new(Counter::new()),
+            wire_ns: Arc::new(Counter::new()),
+            pack_ns: Arc::new(Counter::new()),
+            unpack_ns: Arc::new(Counter::new()),
+            copy_bytes: Arc::new(Counter::new()),
+            msg_size: Arc::new(Histogram::new()),
+        }
+    }
+
+    /// Mirror of [`FabricStats::record_message`], plus modeled wire time
+    /// and the message-size histogram.
+    pub(crate) fn record_message(
+        &self,
+        bytes: usize,
+        rendezvous: bool,
+        fragments: usize,
+        regions: usize,
+        wire_ns: f64,
+    ) {
+        self.messages.inc();
+        self.bytes.add(bytes as u64);
+        if rendezvous {
+            self.rendezvous.inc();
+        } else {
+            self.eager.inc();
+        }
+        self.fragments.add(fragments as u64);
+        self.regions.add(regions as u64);
+        self.wire_ns.add(wire_ns as u64);
+        self.msg_size.record(bytes as u64);
     }
 }
 
@@ -122,5 +224,39 @@ mod tests {
         let d = b.since(&a);
         assert_eq!(d.messages, 1);
         assert_eq!(d.bytes, 20);
+    }
+
+    #[test]
+    fn since_saturates_instead_of_panicking() {
+        // Regression: `since` across a reset (or with views from different
+        // fabrics) used plain subtraction and panicked in debug builds.
+        let busy = StatsView {
+            messages: 5,
+            bytes: 100,
+            eager: 3,
+            rendezvous: 2,
+            fragments: 7,
+            regions: 9,
+            unexpected: 1,
+        };
+        let fresh = StatsView::default();
+        let d = fresh.since(&busy);
+        assert_eq!(d, StatsView::default(), "negative deltas clamp to zero");
+        // The sane direction still subtracts exactly.
+        assert_eq!(busy.since(&fresh), busy);
+    }
+
+    #[test]
+    fn metrics_mirror_counts() {
+        let m = FabricMetrics::detached();
+        m.record_message(4096, true, 2, 3, 1500.9);
+        assert_eq!(m.messages.get(), 1);
+        assert_eq!(m.bytes.get(), 4096);
+        assert_eq!(m.rendezvous.get(), 1);
+        assert_eq!(m.eager.get(), 0);
+        assert_eq!(m.fragments.get(), 2);
+        assert_eq!(m.regions.get(), 3);
+        assert_eq!(m.wire_ns.get(), 1500);
+        assert_eq!(m.msg_size.summary().count, 1);
     }
 }

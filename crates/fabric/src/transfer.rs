@@ -10,6 +10,8 @@
 use crate::config::WireModel;
 use crate::error::{FabricError, FabricResult};
 use crate::payload::{FragmentPacker, FragmentUnpacker, IovEntry, IovEntryMut};
+use crate::stats::FabricMetrics;
+use mpicd_obs::trace::span_acc;
 
 /// A readable segment of the send-side stream.
 pub(crate) enum SrcSeg<'a> {
@@ -69,6 +71,7 @@ pub(crate) fn copy_stream(
     src_segs: &mut [SrcSeg<'_>],
     dst_segs: &mut [DstSeg<'_>],
     allow_ooo: bool,
+    metrics: &FabricMetrics,
 ) -> FabricResult<usize> {
     let total: usize = src_segs.iter().map(|s| s.len()).sum();
     let frag = model.frag_size.max(1);
@@ -117,6 +120,7 @@ pub(crate) fn copy_stream(
                 if allow_ooo {
                     ooo_frags.push((d_off, bytes.to_vec()));
                 } else {
+                    let _sp = span_acc("unpack", "fabric", want as u64, &metrics.unpack_ns);
                     unpacker
                         .unpack(d_off, bytes)
                         .map_err(FabricError::UnpackFailed)?;
@@ -126,7 +130,11 @@ pub(crate) fn copy_stream(
             (SrcSeg::Packer { packer, .. }, DstSeg::Mem(d)) => {
                 // SAFETY: as above; `want` stays within the destination region.
                 let dst = unsafe { std::slice::from_raw_parts_mut(d.ptr.add(d_off), want) };
-                let used = packer.pack(s_off, dst).map_err(FabricError::PackFailed)?;
+                let used = {
+                    let _sp = span_acc("pack", "fabric", want as u64, &metrics.pack_ns);
+                    packer.pack(s_off, dst)
+                }
+                .map_err(FabricError::PackFailed)?;
                 debug_assert!(used <= want, "packer overreported bytes used");
                 let used = used.min(want);
                 if used == 0 {
@@ -139,9 +147,11 @@ pub(crate) fn copy_stream(
             }
             (SrcSeg::Packer { packer, .. }, DstSeg::Unpacker { unpacker, .. }) => {
                 scratch.resize(want, 0);
-                let used = packer
-                    .pack(s_off, &mut scratch[..want])
-                    .map_err(FabricError::PackFailed)?;
+                let used = {
+                    let _sp = span_acc("pack", "fabric", want as u64, &metrics.pack_ns);
+                    packer.pack(s_off, &mut scratch[..want])
+                }
+                .map_err(FabricError::PackFailed)?;
                 debug_assert!(used <= want, "packer overreported bytes used");
                 let used = used.min(want);
                 if used == 0 {
@@ -153,6 +163,7 @@ pub(crate) fn copy_stream(
                 if allow_ooo {
                     ooo_frags.push((d_off, scratch[..used].to_vec()));
                 } else {
+                    let _sp = span_acc("unpack", "fabric", used as u64, &metrics.unpack_ns);
                     unpacker
                         .unpack(d_off, &scratch[..used])
                         .map_err(FabricError::UnpackFailed)?;
@@ -178,6 +189,7 @@ pub(crate) fn copy_stream(
             })
             .expect("ooo fragments imply an unpacker segment");
         for (off, data) in ooo_frags.into_iter().rev() {
+            let _sp = span_acc("unpack", "fabric", data.len() as u64, &metrics.unpack_ns);
             unpacker
                 .unpack(off, &data)
                 .map_err(FabricError::UnpackFailed)?;
@@ -213,7 +225,7 @@ mod tests {
             DstSeg::Mem(IovEntryMut::from_slice(&mut out1)),
             DstSeg::Mem(IovEntryMut::from_slice(&mut out2)),
         ];
-        let moved = copy_stream(&model, &mut src, &mut dst, false).unwrap();
+        let moved = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached()).unwrap();
         assert_eq!(moved, 8);
         assert_eq!(out1, [1, 2]);
         assert_eq!(out2, [3, 4, 5, 6, 7, 8]);
@@ -236,7 +248,7 @@ mod tests {
             len: 20,
         }];
         let mut dst = [DstSeg::Mem(IovEntryMut::from_slice(&mut out))];
-        let moved = copy_stream(&model, &mut src, &mut dst, false).unwrap();
+        let moved = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached()).unwrap();
         assert_eq!(moved, 20);
         assert_eq!(out, data);
     }
@@ -252,8 +264,8 @@ mod tests {
             Ok(n)
         };
         let mut received = vec![0u8; 50];
-        let out = std::sync::Arc::new(parking_lot::Mutex::new(vec![0u8; 50]));
-        struct U(std::sync::Arc<parking_lot::Mutex<Vec<u8>>>);
+        let out = std::sync::Arc::new(mpicd_obs::sync::Mutex::new(vec![0u8; 50]));
+        struct U(std::sync::Arc<mpicd_obs::sync::Mutex<Vec<u8>>>);
         impl FragmentUnpacker for U {
             fn unpack(&mut self, offset: usize, src: &[u8]) -> Result<(), i32> {
                 self.0.lock()[offset..offset + src.len()].copy_from_slice(src);
@@ -269,7 +281,7 @@ mod tests {
             unpacker: &mut unpacker,
             len: 50,
         }];
-        let moved = copy_stream(&model, &mut src, &mut dst, false).unwrap();
+        let moved = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached()).unwrap();
         assert_eq!(moved, 50);
         received.copy_from_slice(&out.lock());
         assert_eq!(received, data);
@@ -300,7 +312,7 @@ mod tests {
             unpacker: &mut unpacker,
             len: 32,
         }];
-        copy_stream(&model, &mut src, &mut dst, true).unwrap();
+        copy_stream(&model, &mut src, &mut dst, true, &FabricMetrics::detached()).unwrap();
         assert_eq!(unpacker.out, data, "offset-addressed unpack reassembles");
         assert_eq!(offsets_seen, vec![24, 16, 8, 0], "reverse-order delivery");
     }
@@ -315,7 +327,7 @@ mod tests {
             len: 16,
         }];
         let mut dst = [DstSeg::Mem(IovEntryMut::from_slice(&mut out))];
-        let err = copy_stream(&model, &mut src, &mut dst, false).unwrap_err();
+        let err = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached()).unwrap_err();
         assert!(matches!(err, FabricError::PackStalled { .. }));
     }
 
@@ -336,7 +348,7 @@ mod tests {
             len: 16,
         }];
         assert_eq!(
-            copy_stream(&model, &mut src, &mut dst, false),
+            copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached()),
             Err(FabricError::UnpackFailed(42))
         );
     }
@@ -346,6 +358,6 @@ mod tests {
         let model = model_with_frag(8);
         let mut src: [SrcSeg<'_>; 0] = [];
         let mut dst: [DstSeg<'_>; 0] = [];
-        assert_eq!(copy_stream(&model, &mut src, &mut dst, false).unwrap(), 0);
+        assert_eq!(copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached()).unwrap(), 0);
     }
 }

@@ -10,13 +10,13 @@ use mpicd_fabric::{
 /// Collects the packed stream into shared storage (offset addressed).
 #[derive(Clone)]
 struct Sink {
-    out: std::sync::Arc<parking_lot::Mutex<Vec<u8>>>,
+    out: std::sync::Arc<mpicd_obs::sync::Mutex<Vec<u8>>>,
 }
 
 impl Sink {
     fn new(len: usize) -> Self {
         Self {
-            out: std::sync::Arc::new(parking_lot::Mutex::new(vec![0u8; len])),
+            out: std::sync::Arc::new(mpicd_obs::sync::Mutex::new(vec![0u8; len])),
         }
     }
     fn bytes(&self) -> Vec<u8> {

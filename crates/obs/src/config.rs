@@ -1,0 +1,130 @@
+//! Observability configuration: environment variables and a builder.
+//!
+//! Environment (read once, at first use):
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `MPICD_TRACE` | enable span tracing (`1`/`true`/`on`) | off |
+//! | `MPICD_TRACE_FILE` | Chrome trace output path | `mpicd-trace.json` |
+//! | `MPICD_TRACE_CAP` | per-thread ring-buffer capacity (events) | `65536` |
+//!
+//! Programmatic control overrides the environment:
+//! [`ObsConfig::install`] (builder) or [`crate::set_enabled`] (toggle only).
+
+use crate::sync::Mutex;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// Default per-thread ring-buffer capacity (events).
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+/// Observability settings.
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Whether span tracing is enabled.
+    pub enabled: bool,
+    /// Chrome trace output path used by [`crate::flush`].
+    pub trace_file: Option<PathBuf>,
+    /// Per-thread ring-buffer capacity in events (power of two is not
+    /// required). Applies to ring buffers created after installation.
+    pub ring_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            trace_file: None,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Settings from the `MPICD_TRACE*` environment variables.
+    pub fn from_env() -> Self {
+        let enabled = std::env::var("MPICD_TRACE")
+            .map(|v| {
+                let v = v.trim().to_ascii_lowercase();
+                !v.is_empty() && v != "0" && v != "false" && v != "off"
+            })
+            .unwrap_or(false);
+        let trace_file = std::env::var("MPICD_TRACE_FILE").ok().map(PathBuf::from);
+        let ring_capacity = std::env::var("MPICD_TRACE_CAP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|c| *c > 0)
+            .unwrap_or(DEFAULT_RING_CAPACITY);
+        Self {
+            enabled,
+            trace_file,
+            ring_capacity,
+        }
+    }
+
+    /// Builder: enable/disable tracing.
+    pub fn enabled(mut self, on: bool) -> Self {
+        self.enabled = on;
+        self
+    }
+
+    /// Builder: trace output path.
+    pub fn trace_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_file = Some(path.into());
+        self
+    }
+
+    /// Builder: ring-buffer capacity.
+    pub fn ring_capacity(mut self, cap: usize) -> Self {
+        self.ring_capacity = cap.max(1);
+        self
+    }
+
+    /// The trace output path ([`Self::trace_file`] or the default).
+    pub fn trace_path(&self) -> PathBuf {
+        self.trace_file
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("mpicd-trace.json"))
+    }
+
+    /// Install as the process-wide configuration (overrides the
+    /// environment) and apply the enable flag.
+    pub fn install(self) {
+        crate::trace::set_enabled(self.enabled);
+        *store().lock() = self;
+    }
+}
+
+fn store() -> &'static Mutex<ObsConfig> {
+    static STORE: OnceLock<Mutex<ObsConfig>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(ObsConfig::from_env()))
+}
+
+/// The current process-wide configuration.
+pub fn current() -> ObsConfig {
+    store().lock().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        let c = ObsConfig::default();
+        assert!(!c.enabled);
+        assert_eq!(c.ring_capacity, DEFAULT_RING_CAPACITY);
+        assert_eq!(c.trace_path(), PathBuf::from("mpicd-trace.json"));
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = ObsConfig::default()
+            .enabled(true)
+            .trace_file("/tmp/t.json")
+            .ring_capacity(16);
+        assert!(c.enabled);
+        assert_eq!(c.trace_path(), PathBuf::from("/tmp/t.json"));
+        assert_eq!(c.ring_capacity, 16);
+    }
+}

@@ -1,0 +1,206 @@
+//! Exporters: Chrome trace-event JSON and a human-readable summary table.
+//!
+//! The Chrome format is the trace-event "JSON object format": an object
+//! with a `traceEvents` array of complete (`"ph":"X"`) events, loadable in
+//! `chrome://tracing` or <https://ui.perfetto.dev>. Timestamps are
+//! microseconds (fractional, preserving ns resolution).
+
+use crate::metrics::{self, HistSummary};
+use crate::trace::{self, Event};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Minimal JSON string escaping (names/categories are ASCII literals, but
+/// be correct anyway).
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render `events` as Chrome trace-event JSON.
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{\"name\":\"");
+        escape(e.name, &mut out);
+        out.push_str("\",\"cat\":\"");
+        escape(e.cat, &mut out);
+        // ts/dur in microseconds with ns resolution kept as fraction.
+        let _ = write!(
+            out,
+            "\",\"ph\":\"X\",\"ts\":{}.{:03},\"dur\":{}.{:03},\"pid\":0,\"tid\":{}",
+            e.start_ns / 1000,
+            e.start_ns % 1000,
+            e.dur_ns / 1000,
+            e.dur_ns % 1000,
+            e.tid
+        );
+        if e.bytes > 0 {
+            let _ = write!(out, ",\"args\":{{\"bytes\":{}}}", e.bytes);
+        }
+        out.push('}');
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Drain all recorded spans and write them to `path` as Chrome trace JSON.
+/// Returns the number of events written.
+pub fn write_chrome_trace(path: &Path) -> std::io::Result<usize> {
+    let events = trace::take_events();
+    let json = chrome_trace_json(&events);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(json.as_bytes())?;
+    Ok(events.len())
+}
+
+fn render_hist_row(out: &mut String, name: &str, h: &HistSummary, unit: &str) {
+    let _ = writeln!(
+        out,
+        "  {name:<34} n={:<10} mean={:<12.1} p50={:<10} p99={:<10} max={} {unit}",
+        h.count,
+        h.mean(),
+        h.p50(),
+        h.p99(),
+        h.max,
+    );
+}
+
+/// Render a summary of `snapshot` for humans.
+pub fn summary_of(snapshot: &metrics::Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str("== mpicd-obs metrics summary ==\n");
+    if !snapshot.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, v) in &snapshot.counters {
+            let _ = writeln!(out, "  {name:<34} {v}");
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        for (name, h) in &snapshot.histograms {
+            let unit = if name.ends_with("_ns") || name.contains("_ns_") {
+                "ns"
+            } else if name.contains("bytes") || name.contains("size") {
+                "B"
+            } else {
+                ""
+            };
+            render_hist_row(&mut out, name, h, unit);
+        }
+    }
+    let dropped = trace::dropped_events();
+    if dropped > 0 {
+        let _ = writeln!(out, "(trace ring buffers overwrote {dropped} events)");
+    }
+    out
+}
+
+/// Summary of the process-global registry.
+pub fn summary() -> String {
+    summary_of(&metrics::global().snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn ev(name: &'static str, start: u64, dur: u64, bytes: u64, tid: u64) -> Event {
+        Event {
+            name,
+            cat: "test",
+            start_ns: start,
+            dur_ns: dur,
+            bytes,
+            tid,
+        }
+    }
+
+    /// A tiny structural JSON validator: walks the string and checks
+    /// balanced braces/brackets outside string literals.
+    fn assert_balanced_json(s: &str) {
+        let mut depth: i64 = 0;
+        let mut in_str = false;
+        let mut esc = false;
+        for c in s.chars() {
+            if in_str {
+                if esc {
+                    esc = false;
+                } else if c == '\\' {
+                    esc = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced close");
+                }
+                _ => {}
+            }
+        }
+        assert!(!in_str, "unterminated string");
+        assert_eq!(depth, 0, "unbalanced JSON");
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let events = vec![ev("pack", 1500, 250, 64, 0), ev("wire", 2000, 1300, 64, 1)];
+        let json = chrome_trace_json(&events);
+        assert_balanced_json(&json);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"pack\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        // 1500 ns == 1.500 µs.
+        assert!(json.contains("\"ts\":1.500"), "{json}");
+        assert!(json.contains("\"args\":{\"bytes\":64}"));
+        assert!(json.trim_end().ends_with("\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn chrome_json_empty() {
+        let json = chrome_trace_json(&[]);
+        assert_balanced_json(&json);
+        assert!(json.contains("\"traceEvents\":["));
+    }
+
+    #[test]
+    fn chrome_json_escapes_names() {
+        let mut s = String::new();
+        escape("a\"b\\c\nd", &mut s);
+        assert_eq!(s, "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn summary_renders_counters_and_hists() {
+        let r = Registry::new();
+        r.counter("fabric.messages").add(7);
+        r.histogram("fabric.pack_frag_ns").record(1000);
+        let s = summary_of(&r.snapshot());
+        assert!(s.contains("fabric.messages"));
+        assert!(s.contains('7'));
+        assert!(s.contains("fabric.pack_frag_ns"));
+        assert!(s.contains("p99"));
+    }
+}

@@ -1,0 +1,105 @@
+#![warn(missing_docs)]
+//! # mpicd-obs — tracing & metrics for the mpicd stack
+//!
+//! The paper's argument is a *breakdown* claim: custom serialization wins
+//! because it trades per-buffer messages and bounce-buffer copies for packed
+//! fragments plus zero-copy regions. Verifying that claim requires
+//! attributing time to pack vs. wire vs. copy — which is exactly what this
+//! crate provides, as an always-available, near-zero-overhead substrate:
+//!
+//! * [`trace`] — lightweight span/event tracing. [`span!`]-style RAII
+//!   guards record monotonic start/stop into per-thread ring buffers.
+//!   Unless tracing is enabled (`MPICD_TRACE=1` or
+//!   [`config::ObsConfig::install`]), a span is a single relaxed atomic
+//!   load — no clock read, no allocation.
+//! * [`metrics`] — a process-global registry of named [`Counter`]s and
+//!   log2-bucketed [`Histogram`]s with p50/p99/max summaries. Counters are
+//!   plain relaxed atomics and stay on even when tracing is off (they are
+//!   the same cost class as the fabric's existing `FabricStats`).
+//! * [`export`] — a human-readable summary table and Chrome trace-event
+//!   JSON (loadable in `chrome://tracing` / Perfetto).
+//! * [`rng`] — a tiny seeded xorshift64* PRNG, shared by tests and
+//!   benchmarks now that the workspace carries no external dependencies.
+//! * [`sync`] — poison-ignoring wrappers over `std::sync` primitives,
+//!   the workspace's replacement for `parking_lot`.
+//!
+//! ## Usage
+//!
+//! ```
+//! use mpicd_obs as obs;
+//!
+//! // Programmatic enable (benchmarks honour MPICD_TRACE instead).
+//! obs::set_enabled(true);
+//!
+//! {
+//!     let _span = obs::span!("pack", "demo", 4096);
+//!     // ... work ...
+//! } // span recorded on drop
+//!
+//! let packed = obs::metrics::global().counter("demo.packed_bytes");
+//! packed.add(4096);
+//!
+//! let summary = obs::export::summary();
+//! assert!(summary.contains("demo.packed_bytes"));
+//! obs::set_enabled(false);
+//! ```
+
+pub mod config;
+pub mod export;
+pub mod metrics;
+pub mod rng;
+pub mod sync;
+pub mod time;
+pub mod trace;
+
+pub use config::ObsConfig;
+pub use metrics::{global, Counter, Histogram, Registry, Snapshot};
+pub use rng::XorShift64Star;
+pub use time::now_ns;
+pub use trace::{enabled, set_enabled, SpanGuard};
+
+/// Record a span over the enclosing scope.
+///
+/// Forms:
+/// * `span!("name")` — category defaults to `"mpicd"`, zero bytes.
+/// * `span!("name", category)` — explicit category, zero bytes.
+/// * `span!("name", category, bytes)` — byte count attached to the event.
+///
+/// Returns a [`SpanGuard`]; bind it (`let _span = ...`) so it drops at end
+/// of scope. When tracing is disabled this is one relaxed atomic load.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::span($name, "mpicd", 0)
+    };
+    ($name:expr, $cat:expr) => {
+        $crate::trace::span($name, $cat, 0)
+    };
+    ($name:expr, $cat:expr, $bytes:expr) => {
+        $crate::trace::span($name, $cat, $bytes as u64)
+    };
+}
+
+/// Flush observability output: when tracing is enabled, write the Chrome
+/// trace-event file (path from [`ObsConfig`], default `mpicd-trace.json`)
+/// and print the metrics summary table to stderr. No-op when disabled.
+///
+/// Returns the trace file path if one was written.
+pub fn flush() -> Option<std::path::PathBuf> {
+    if !enabled() {
+        return None;
+    }
+    let path = config::current().trace_path();
+    let written = match export::write_chrome_trace(&path) {
+        Ok(n) => {
+            eprintln!("[mpicd-obs] wrote {n} trace events to {}", path.display());
+            true
+        }
+        Err(e) => {
+            eprintln!("[mpicd-obs] failed to write {}: {e}", path.display());
+            false
+        }
+    };
+    eprintln!("{}", export::summary());
+    written.then_some(path)
+}

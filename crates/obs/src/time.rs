@@ -1,0 +1,36 @@
+//! Monotonic process clock.
+//!
+//! All trace timestamps are nanoseconds since the first call to
+//! [`now_ns`] in this process, so spans recorded on different threads
+//! share one timeline (what Chrome's trace viewer expects).
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process trace epoch (monotonic).
+#[inline]
+pub fn now_ns() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn advances() {
+        let a = now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(now_ns() - a >= 1_000_000, "at least 1ms elapsed");
+    }
+}

@@ -1,0 +1,282 @@
+//! Span/event tracer with per-thread ring buffers.
+//!
+//! A span is opened with [`crate::span!`] (or [`span`]/[`span_acc`]) and
+//! recorded when its RAII guard drops. Events land in a per-thread ring
+//! buffer (capacity from [`crate::ObsConfig::ring_capacity`]); when a ring
+//! fills, the oldest events are overwritten and counted as dropped, so a
+//! long benchmark can always keep its *most recent* window.
+//!
+//! **Cost model.** When tracing is disabled (the default), opening a span
+//! performs one relaxed atomic load and the guard's drop does nothing —
+//! no clock read, no allocation, no locking. When enabled, a span costs
+//! two monotonic clock reads plus one push into an uncontended per-thread
+//! mutex (only the exporter ever takes it from another thread).
+
+use crate::metrics::Counter;
+use crate::sync::Mutex;
+use crate::time::now_ns;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Once, OnceLock};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+
+fn init_from_env() {
+    ENV_INIT.call_once(|| {
+        if crate::config::current().enabled {
+            ENABLED.store(true, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Whether span tracing is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    init_from_env();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enable or disable span tracing at runtime (overrides `MPICD_TRACE`).
+pub fn set_enabled(on: bool) {
+    ENV_INIT.call_once(|| {});
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Span name (e.g. `"pack"`).
+    pub name: &'static str,
+    /// Category (e.g. `"fabric"`); becomes the Chrome trace `cat`.
+    pub cat: &'static str,
+    /// Start, nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Payload bytes attached to the span (0 if not applicable).
+    pub bytes: u64,
+    /// Recording thread (sequential id, stable per thread).
+    pub tid: u64,
+}
+
+struct Ring {
+    events: Vec<Event>,
+    cap: usize,
+    /// Next overwrite position once the ring is full.
+    next: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, ev: Event) {
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            self.events[self.next] = ev;
+            self.next = (self.next + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Drain in chronological order.
+    fn drain(&mut self) -> Vec<Event> {
+        let mut out = std::mem::take(&mut self.events);
+        out.rotate_left(self.next);
+        self.next = 0;
+        out
+    }
+}
+
+struct ThreadBuf {
+    tid: u64,
+    ring: Mutex<Ring>,
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static BUFS: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+    BUFS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: std::cell::OnceCell<Arc<ThreadBuf>> = const { std::cell::OnceCell::new() };
+}
+
+fn with_local(f: impl FnOnce(&ThreadBuf)) {
+    LOCAL.with(|cell| {
+        let buf = cell.get_or_init(|| {
+            static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+            let buf = Arc::new(ThreadBuf {
+                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                ring: Mutex::new(Ring {
+                    events: Vec::new(),
+                    cap: crate::config::current().ring_capacity.max(1),
+                    next: 0,
+                    dropped: 0,
+                }),
+            });
+            registry().lock().push(Arc::clone(&buf));
+            buf
+        });
+        f(buf);
+    });
+}
+
+/// Record a completed span directly (used by the guard; public so layers
+/// with externally-measured durations — e.g. modeled wire time — can emit
+/// synthetic spans onto the same timeline).
+pub fn record(name: &'static str, cat: &'static str, start_ns: u64, dur_ns: u64, bytes: u64) {
+    if !enabled() {
+        return;
+    }
+    with_local(|buf| {
+        buf.ring.lock().push(Event {
+            name,
+            cat,
+            start_ns,
+            dur_ns,
+            bytes,
+            tid: buf.tid,
+        });
+    });
+}
+
+/// Drain every thread's ring buffer, returning all events sorted by start
+/// time. Events recorded after this call accumulate afresh.
+pub fn take_events() -> Vec<Event> {
+    let bufs = registry().lock();
+    let mut out = Vec::new();
+    for buf in bufs.iter() {
+        out.extend(buf.ring.lock().drain());
+    }
+    out.sort_by_key(|e| (e.start_ns, e.tid));
+    out
+}
+
+/// Total events overwritten (lost) across all ring buffers so far.
+pub fn dropped_events() -> u64 {
+    registry().lock().iter().map(|b| b.ring.lock().dropped).sum()
+}
+
+struct ActiveSpan<'a> {
+    name: &'static str,
+    cat: &'static str,
+    bytes: u64,
+    start_ns: u64,
+    acc: Option<&'a Counter>,
+}
+
+/// RAII guard recording a span on drop. Created by [`crate::span!`],
+/// [`span`] or [`span_acc`]; inert when tracing is disabled.
+pub struct SpanGuard<'a> {
+    inner: Option<ActiveSpan<'a>>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(active) = self.inner.take() {
+            let dur = now_ns().saturating_sub(active.start_ns);
+            if let Some(c) = active.acc {
+                c.add(dur);
+            }
+            record(active.name, active.cat, active.start_ns, dur, active.bytes);
+        }
+    }
+}
+
+/// Open a span. Prefer the [`crate::span!`] macro at call sites.
+#[inline]
+pub fn span(name: &'static str, cat: &'static str, bytes: u64) -> SpanGuard<'static> {
+    if !enabled() {
+        return SpanGuard { inner: None };
+    }
+    SpanGuard {
+        inner: Some(ActiveSpan {
+            name,
+            cat,
+            bytes,
+            start_ns: now_ns(),
+            acc: None,
+        }),
+    }
+}
+
+/// Open a span that also adds its duration (ns) to `acc` on drop — the
+/// bridge between tracing and the metrics registry used for per-phase
+/// breakdowns (pack-ns / wire-ns) without draining the trace.
+#[inline]
+pub fn span_acc<'a>(name: &'static str, cat: &'static str, bytes: u64, acc: &'a Counter) -> SpanGuard<'a> {
+    if !enabled() {
+        return SpanGuard { inner: None };
+    }
+    SpanGuard {
+        inner: Some(ActiveSpan {
+            name,
+            cat,
+            bytes,
+            start_ns: now_ns(),
+            acc: Some(acc),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tracing state is process-global; unit tests here only exercise the
+    // pieces that are safe under parallel test threads (ring mechanics and
+    // the disabled fast path). Enabled end-to-end behaviour is covered by
+    // the crate's integration tests, which each run in their own process.
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut ring = Ring {
+            events: Vec::new(),
+            cap: 3,
+            next: 0,
+            dropped: 0,
+        };
+        for i in 0..5u64 {
+            ring.push(Event {
+                name: "x",
+                cat: "t",
+                start_ns: i,
+                dur_ns: 0,
+                bytes: 0,
+                tid: 0,
+            });
+        }
+        assert_eq!(ring.dropped, 2);
+        let drained = ring.drain();
+        let starts: Vec<u64> = drained.iter().map(|e| e.start_ns).collect();
+        assert_eq!(starts, vec![2, 3, 4], "oldest two were overwritten");
+    }
+
+    #[test]
+    fn ring_drain_resets() {
+        let mut ring = Ring {
+            events: Vec::new(),
+            cap: 4,
+            next: 0,
+            dropped: 0,
+        };
+        ring.push(Event {
+            name: "a",
+            cat: "t",
+            start_ns: 1,
+            dur_ns: 2,
+            bytes: 3,
+            tid: 0,
+        });
+        assert_eq!(ring.drain().len(), 1);
+        assert!(ring.drain().is_empty());
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        // Regardless of what other tests do with the global flag, a guard
+        // constructed while disabled records nothing and touches no clock.
+        let g = SpanGuard { inner: None };
+        drop(g);
+    }
+}

@@ -1,0 +1,50 @@
+//! Disabled-mode behaviour — runs in its own process (no other test here
+//! may enable tracing) so the default-off state is actually observable.
+
+use mpicd_obs::trace;
+
+#[test]
+fn disabled_spans_record_nothing() {
+    assert!(!mpicd_obs::enabled(), "tracing must default to off");
+
+    {
+        let _sp = mpicd_obs::span!("invisible", "test", 42);
+    }
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                let _sp = mpicd_obs::span!("worker", "test");
+            });
+        }
+    });
+    trace::record("direct", "test", 1, 2, 3);
+
+    assert!(trace::take_events().is_empty(), "no events when disabled");
+    assert_eq!(trace::dropped_events(), 0);
+}
+
+#[test]
+fn disabled_span_acc_leaves_counter_at_zero() {
+    let c = mpicd_obs::Counter::new();
+    {
+        let _sp = trace::span_acc("timed", "test", 0, &c);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert_eq!(c.get(), 0, "span_acc must not time while disabled");
+}
+
+#[test]
+fn disabled_flush_is_noop() {
+    assert!(mpicd_obs::flush().is_none(), "flush writes nothing when off");
+}
+
+#[test]
+fn summary_of_empty_registry_is_zeroed() {
+    let reg = mpicd_obs::Registry::new();
+    reg.counter("untouched");
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("untouched"), 0);
+    let text = mpicd_obs::export::summary_of(&snap);
+    assert!(text.contains("untouched"));
+    assert!(text.contains('0'));
+}

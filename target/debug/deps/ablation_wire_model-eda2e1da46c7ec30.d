@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_wire_model-eda2e1da46c7ec30.d: crates/bench/src/bin/ablation_wire_model.rs
+
+/root/repo/target/debug/deps/ablation_wire_model-eda2e1da46c7ec30: crates/bench/src/bin/ablation_wire_model.rs
+
+crates/bench/src/bin/ablation_wire_model.rs:

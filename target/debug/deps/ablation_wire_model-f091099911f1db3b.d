@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_wire_model-f091099911f1db3b.d: crates/bench/src/bin/ablation_wire_model.rs
+
+/root/repo/target/debug/deps/ablation_wire_model-f091099911f1db3b: crates/bench/src/bin/ablation_wire_model.rs
+
+crates/bench/src/bin/ablation_wire_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_all-30e24a661f16ee26.d: crates/bench/src/bin/bench_all.rs
+
+/root/repo/target/debug/deps/bench_all-30e24a661f16ee26: crates/bench/src/bin/bench_all.rs
+
+crates/bench/src/bin/bench_all.rs:

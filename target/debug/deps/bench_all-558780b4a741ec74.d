@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_all-558780b4a741ec74.d: crates/bench/src/bin/bench_all.rs
+
+/root/repo/target/debug/deps/bench_all-558780b4a741ec74: crates/bench/src/bin/bench_all.rs
+
+crates/bench/src/bin/bench_all.rs:

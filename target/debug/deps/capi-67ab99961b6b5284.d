@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capi-67ab99961b6b5284.d: crates/capi/tests/capi.rs
+
+/root/repo/target/debug/deps/capi-67ab99961b6b5284: crates/capi/tests/capi.rs
+
+crates/capi/tests/capi.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disabled-4ea3e9a2221e0692.d: crates/obs/tests/disabled.rs
+
+/root/repo/target/debug/deps/disabled-4ea3e9a2221e0692: crates/obs/tests/disabled.rs
+
+crates/obs/tests/disabled.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-19f8ea38187ce1fe.d: tests/tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-19f8ea38187ce1fe: tests/tests/edge_cases.rs
+
+tests/tests/edge_cases.rs:

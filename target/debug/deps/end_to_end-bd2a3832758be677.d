@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-bd2a3832758be677.d: tests/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-bd2a3832758be677: tests/tests/end_to_end.rs
+
+tests/tests/end_to_end.rs:

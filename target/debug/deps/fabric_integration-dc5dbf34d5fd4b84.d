@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fabric_integration-dc5dbf34d5fd4b84.d: crates/fabric/tests/fabric_integration.rs
+
+/root/repo/target/debug/deps/fabric_integration-dc5dbf34d5fd4b84: crates/fabric/tests/fabric_integration.rs
+
+crates/fabric/tests/fabric_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-8b57aab08b82db5b.d: tests/tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-8b57aab08b82db5b: tests/tests/failure_injection.rs
+
+tests/tests/failure_injection.rs:

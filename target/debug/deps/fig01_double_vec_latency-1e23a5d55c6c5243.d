@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_double_vec_latency-1e23a5d55c6c5243.d: crates/bench/src/bin/fig01_double_vec_latency.rs
+
+/root/repo/target/debug/deps/fig01_double_vec_latency-1e23a5d55c6c5243: crates/bench/src/bin/fig01_double_vec_latency.rs
+
+crates/bench/src/bin/fig01_double_vec_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_double_vec_latency-d0d441268f86db2b.d: crates/bench/src/bin/fig01_double_vec_latency.rs
+
+/root/repo/target/debug/deps/fig01_double_vec_latency-d0d441268f86db2b: crates/bench/src/bin/fig01_double_vec_latency.rs
+
+crates/bench/src/bin/fig01_double_vec_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_double_vec_bw-7691bc343c8daba3.d: crates/bench/src/bin/fig02_double_vec_bw.rs
+
+/root/repo/target/debug/deps/fig02_double_vec_bw-7691bc343c8daba3: crates/bench/src/bin/fig02_double_vec_bw.rs
+
+crates/bench/src/bin/fig02_double_vec_bw.rs:

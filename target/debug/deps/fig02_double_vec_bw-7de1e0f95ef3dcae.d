@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_double_vec_bw-7de1e0f95ef3dcae.d: crates/bench/src/bin/fig02_double_vec_bw.rs
+
+/root/repo/target/debug/deps/fig02_double_vec_bw-7de1e0f95ef3dcae: crates/bench/src/bin/fig02_double_vec_bw.rs
+
+crates/bench/src/bin/fig02_double_vec_bw.rs:

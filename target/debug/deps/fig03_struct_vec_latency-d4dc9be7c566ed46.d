@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_struct_vec_latency-d4dc9be7c566ed46.d: crates/bench/src/bin/fig03_struct_vec_latency.rs
+
+/root/repo/target/debug/deps/fig03_struct_vec_latency-d4dc9be7c566ed46: crates/bench/src/bin/fig03_struct_vec_latency.rs
+
+crates/bench/src/bin/fig03_struct_vec_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_struct_vec_latency-ee9152d14f592a95.d: crates/bench/src/bin/fig03_struct_vec_latency.rs
+
+/root/repo/target/debug/deps/fig03_struct_vec_latency-ee9152d14f592a95: crates/bench/src/bin/fig03_struct_vec_latency.rs
+
+crates/bench/src/bin/fig03_struct_vec_latency.rs:

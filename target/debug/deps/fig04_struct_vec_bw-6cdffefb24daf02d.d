@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_struct_vec_bw-6cdffefb24daf02d.d: crates/bench/src/bin/fig04_struct_vec_bw.rs
+
+/root/repo/target/debug/deps/fig04_struct_vec_bw-6cdffefb24daf02d: crates/bench/src/bin/fig04_struct_vec_bw.rs
+
+crates/bench/src/bin/fig04_struct_vec_bw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_struct_vec_bw-c74259ed334426c9.d: crates/bench/src/bin/fig04_struct_vec_bw.rs
+
+/root/repo/target/debug/deps/fig04_struct_vec_bw-c74259ed334426c9: crates/bench/src/bin/fig04_struct_vec_bw.rs
+
+crates/bench/src/bin/fig04_struct_vec_bw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_struct_simple_latency-99771a56e6807d01.d: crates/bench/src/bin/fig05_struct_simple_latency.rs
+
+/root/repo/target/debug/deps/fig05_struct_simple_latency-99771a56e6807d01: crates/bench/src/bin/fig05_struct_simple_latency.rs
+
+crates/bench/src/bin/fig05_struct_simple_latency.rs:

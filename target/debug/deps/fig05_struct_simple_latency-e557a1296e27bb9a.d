@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_struct_simple_latency-e557a1296e27bb9a.d: crates/bench/src/bin/fig05_struct_simple_latency.rs
+
+/root/repo/target/debug/deps/fig05_struct_simple_latency-e557a1296e27bb9a: crates/bench/src/bin/fig05_struct_simple_latency.rs
+
+crates/bench/src/bin/fig05_struct_simple_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_struct_simple_no_gap_latency-614858b3ff97bed3.d: crates/bench/src/bin/fig06_struct_simple_no_gap_latency.rs
+
+/root/repo/target/debug/deps/fig06_struct_simple_no_gap_latency-614858b3ff97bed3: crates/bench/src/bin/fig06_struct_simple_no_gap_latency.rs
+
+crates/bench/src/bin/fig06_struct_simple_no_gap_latency.rs:

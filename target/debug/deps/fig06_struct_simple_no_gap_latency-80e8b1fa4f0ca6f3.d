@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_struct_simple_no_gap_latency-80e8b1fa4f0ca6f3.d: crates/bench/src/bin/fig06_struct_simple_no_gap_latency.rs
+
+/root/repo/target/debug/deps/fig06_struct_simple_no_gap_latency-80e8b1fa4f0ca6f3: crates/bench/src/bin/fig06_struct_simple_no_gap_latency.rs
+
+crates/bench/src/bin/fig06_struct_simple_no_gap_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_struct_simple_bw-834c8c387ef62579.d: crates/bench/src/bin/fig07_struct_simple_bw.rs
+
+/root/repo/target/debug/deps/fig07_struct_simple_bw-834c8c387ef62579: crates/bench/src/bin/fig07_struct_simple_bw.rs
+
+crates/bench/src/bin/fig07_struct_simple_bw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_struct_simple_bw-8dba1d78e85c3c3c.d: crates/bench/src/bin/fig07_struct_simple_bw.rs
+
+/root/repo/target/debug/deps/fig07_struct_simple_bw-8dba1d78e85c3c3c: crates/bench/src/bin/fig07_struct_simple_bw.rs
+
+crates/bench/src/bin/fig07_struct_simple_bw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_pickle_single_array-2b096c574037f3b1.d: crates/bench/src/bin/fig08_pickle_single_array.rs
+
+/root/repo/target/debug/deps/fig08_pickle_single_array-2b096c574037f3b1: crates/bench/src/bin/fig08_pickle_single_array.rs
+
+crates/bench/src/bin/fig08_pickle_single_array.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_pickle_single_array-7b6c520bf55f1f7b.d: crates/bench/src/bin/fig08_pickle_single_array.rs
+
+/root/repo/target/debug/deps/fig08_pickle_single_array-7b6c520bf55f1f7b: crates/bench/src/bin/fig08_pickle_single_array.rs
+
+crates/bench/src/bin/fig08_pickle_single_array.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_pickle_complex_object-904957a7d075d0c6.d: crates/bench/src/bin/fig09_pickle_complex_object.rs
+
+/root/repo/target/debug/deps/fig09_pickle_complex_object-904957a7d075d0c6: crates/bench/src/bin/fig09_pickle_complex_object.rs
+
+crates/bench/src/bin/fig09_pickle_complex_object.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_pickle_complex_object-be3e8229e2235915.d: crates/bench/src/bin/fig09_pickle_complex_object.rs
+
+/root/repo/target/debug/deps/fig09_pickle_complex_object-be3e8229e2235915: crates/bench/src/bin/fig09_pickle_complex_object.rs
+
+crates/bench/src/bin/fig09_pickle_complex_object.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_ddtbench-2262b2826797434a.d: crates/bench/src/bin/fig10_ddtbench.rs
+
+/root/repo/target/debug/deps/fig10_ddtbench-2262b2826797434a: crates/bench/src/bin/fig10_ddtbench.rs
+
+crates/bench/src/bin/fig10_ddtbench.rs:

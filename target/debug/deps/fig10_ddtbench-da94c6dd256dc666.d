@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_ddtbench-da94c6dd256dc666.d: crates/bench/src/bin/fig10_ddtbench.rs
+
+/root/repo/target/debug/deps/fig10_ddtbench-da94c6dd256dc666: crates/bench/src/bin/fig10_ddtbench.rs
+
+crates/bench/src/bin/fig10_ddtbench.rs:

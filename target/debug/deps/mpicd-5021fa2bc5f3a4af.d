@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mpicd-5021fa2bc5f3a4af.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/collective.rs crates/core/src/communicator.rs crates/core/src/containers.rs crates/core/src/datatype.rs crates/core/src/error.rs crates/core/src/exchange.rs crates/core/src/macros.rs crates/core/src/resumable.rs crates/core/src/types.rs crates/core/src/vecvec.rs
+
+/root/repo/target/debug/deps/libmpicd-5021fa2bc5f3a4af.rlib: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/collective.rs crates/core/src/communicator.rs crates/core/src/containers.rs crates/core/src/datatype.rs crates/core/src/error.rs crates/core/src/exchange.rs crates/core/src/macros.rs crates/core/src/resumable.rs crates/core/src/types.rs crates/core/src/vecvec.rs
+
+/root/repo/target/debug/deps/libmpicd-5021fa2bc5f3a4af.rmeta: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/collective.rs crates/core/src/communicator.rs crates/core/src/containers.rs crates/core/src/datatype.rs crates/core/src/error.rs crates/core/src/exchange.rs crates/core/src/macros.rs crates/core/src/resumable.rs crates/core/src/types.rs crates/core/src/vecvec.rs
+
+crates/core/src/lib.rs:
+crates/core/src/buffer.rs:
+crates/core/src/collective.rs:
+crates/core/src/communicator.rs:
+crates/core/src/containers.rs:
+crates/core/src/datatype.rs:
+crates/core/src/error.rs:
+crates/core/src/exchange.rs:
+crates/core/src/macros.rs:
+crates/core/src/resumable.rs:
+crates/core/src/types.rs:
+crates/core/src/vecvec.rs:

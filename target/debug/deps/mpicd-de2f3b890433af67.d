@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mpicd-de2f3b890433af67.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/collective.rs crates/core/src/communicator.rs crates/core/src/containers.rs crates/core/src/datatype.rs crates/core/src/error.rs crates/core/src/exchange.rs crates/core/src/macros.rs crates/core/src/resumable.rs crates/core/src/types.rs crates/core/src/vecvec.rs
+
+/root/repo/target/debug/deps/mpicd-de2f3b890433af67: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/collective.rs crates/core/src/communicator.rs crates/core/src/containers.rs crates/core/src/datatype.rs crates/core/src/error.rs crates/core/src/exchange.rs crates/core/src/macros.rs crates/core/src/resumable.rs crates/core/src/types.rs crates/core/src/vecvec.rs
+
+crates/core/src/lib.rs:
+crates/core/src/buffer.rs:
+crates/core/src/collective.rs:
+crates/core/src/communicator.rs:
+crates/core/src/containers.rs:
+crates/core/src/datatype.rs:
+crates/core/src/error.rs:
+crates/core/src/exchange.rs:
+crates/core/src/macros.rs:
+crates/core/src/resumable.rs:
+crates/core/src/types.rs:
+crates/core/src/vecvec.rs:

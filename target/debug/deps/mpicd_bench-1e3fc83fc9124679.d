@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mpicd_bench-1e3fc83fc9124679.d: crates/bench/src/lib.rs crates/bench/src/ddt.rs crates/bench/src/harness.rs crates/bench/src/methods.rs crates/bench/src/phase.rs crates/bench/src/pickle_run.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libmpicd_bench-1e3fc83fc9124679.rmeta: crates/bench/src/lib.rs crates/bench/src/ddt.rs crates/bench/src/harness.rs crates/bench/src/methods.rs crates/bench/src/phase.rs crates/bench/src/pickle_run.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ddt.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/methods.rs:
+crates/bench/src/phase.rs:
+crates/bench/src/pickle_run.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mpicd_bench-336b5420df6da0fb.d: crates/bench/src/lib.rs crates/bench/src/ddt.rs crates/bench/src/harness.rs crates/bench/src/methods.rs crates/bench/src/phase.rs crates/bench/src/pickle_run.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/mpicd_bench-336b5420df6da0fb: crates/bench/src/lib.rs crates/bench/src/ddt.rs crates/bench/src/harness.rs crates/bench/src/methods.rs crates/bench/src/phase.rs crates/bench/src/pickle_run.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ddt.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/methods.rs:
+crates/bench/src/phase.rs:
+crates/bench/src/pickle_run.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mpicd_bench-79f02df1acf9e357.d: crates/bench/src/lib.rs crates/bench/src/ddt.rs crates/bench/src/harness.rs crates/bench/src/methods.rs crates/bench/src/phase.rs crates/bench/src/pickle_run.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libmpicd_bench-79f02df1acf9e357.rlib: crates/bench/src/lib.rs crates/bench/src/ddt.rs crates/bench/src/harness.rs crates/bench/src/methods.rs crates/bench/src/phase.rs crates/bench/src/pickle_run.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libmpicd_bench-79f02df1acf9e357.rmeta: crates/bench/src/lib.rs crates/bench/src/ddt.rs crates/bench/src/harness.rs crates/bench/src/methods.rs crates/bench/src/phase.rs crates/bench/src/pickle_run.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ddt.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/methods.rs:
+crates/bench/src/phase.rs:
+crates/bench/src/pickle_run.rs:
+crates/bench/src/report.rs:

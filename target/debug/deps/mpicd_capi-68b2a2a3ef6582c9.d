@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpicd_capi-68b2a2a3ef6582c9.d: crates/capi/src/lib.rs crates/capi/src/adapter.rs crates/capi/src/ctypes.rs crates/capi/src/datatype_c.rs crates/capi/src/handles.rs crates/capi/src/pt2pt.rs
+
+/root/repo/target/debug/deps/mpicd_capi-68b2a2a3ef6582c9: crates/capi/src/lib.rs crates/capi/src/adapter.rs crates/capi/src/ctypes.rs crates/capi/src/datatype_c.rs crates/capi/src/handles.rs crates/capi/src/pt2pt.rs
+
+crates/capi/src/lib.rs:
+crates/capi/src/adapter.rs:
+crates/capi/src/ctypes.rs:
+crates/capi/src/datatype_c.rs:
+crates/capi/src/handles.rs:
+crates/capi/src/pt2pt.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mpicd_capi-78756a6ef88dd0e9.d: crates/capi/src/lib.rs crates/capi/src/adapter.rs crates/capi/src/ctypes.rs crates/capi/src/datatype_c.rs crates/capi/src/handles.rs crates/capi/src/pt2pt.rs
+
+/root/repo/target/debug/deps/libmpicd_capi-78756a6ef88dd0e9.rlib: crates/capi/src/lib.rs crates/capi/src/adapter.rs crates/capi/src/ctypes.rs crates/capi/src/datatype_c.rs crates/capi/src/handles.rs crates/capi/src/pt2pt.rs
+
+/root/repo/target/debug/deps/libmpicd_capi-78756a6ef88dd0e9.rmeta: crates/capi/src/lib.rs crates/capi/src/adapter.rs crates/capi/src/ctypes.rs crates/capi/src/datatype_c.rs crates/capi/src/handles.rs crates/capi/src/pt2pt.rs
+
+crates/capi/src/lib.rs:
+crates/capi/src/adapter.rs:
+crates/capi/src/ctypes.rs:
+crates/capi/src/datatype_c.rs:
+crates/capi/src/handles.rs:
+crates/capi/src/pt2pt.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mpicd_datatype-38ef8c5031f0ddd9.d: crates/datatype/src/lib.rs crates/datatype/src/committed.rs crates/datatype/src/engine.rs crates/datatype/src/equivalence.rs crates/datatype/src/error.rs crates/datatype/src/marshal.rs crates/datatype/src/primitive.rs crates/datatype/src/typ.rs
+
+/root/repo/target/debug/deps/libmpicd_datatype-38ef8c5031f0ddd9.rmeta: crates/datatype/src/lib.rs crates/datatype/src/committed.rs crates/datatype/src/engine.rs crates/datatype/src/equivalence.rs crates/datatype/src/error.rs crates/datatype/src/marshal.rs crates/datatype/src/primitive.rs crates/datatype/src/typ.rs
+
+crates/datatype/src/lib.rs:
+crates/datatype/src/committed.rs:
+crates/datatype/src/engine.rs:
+crates/datatype/src/equivalence.rs:
+crates/datatype/src/error.rs:
+crates/datatype/src/marshal.rs:
+crates/datatype/src/primitive.rs:
+crates/datatype/src/typ.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mpicd_datatype-f9c219504cc884e4.d: crates/datatype/src/lib.rs crates/datatype/src/committed.rs crates/datatype/src/engine.rs crates/datatype/src/equivalence.rs crates/datatype/src/error.rs crates/datatype/src/marshal.rs crates/datatype/src/primitive.rs crates/datatype/src/typ.rs
+
+/root/repo/target/debug/deps/libmpicd_datatype-f9c219504cc884e4.rlib: crates/datatype/src/lib.rs crates/datatype/src/committed.rs crates/datatype/src/engine.rs crates/datatype/src/equivalence.rs crates/datatype/src/error.rs crates/datatype/src/marshal.rs crates/datatype/src/primitive.rs crates/datatype/src/typ.rs
+
+/root/repo/target/debug/deps/libmpicd_datatype-f9c219504cc884e4.rmeta: crates/datatype/src/lib.rs crates/datatype/src/committed.rs crates/datatype/src/engine.rs crates/datatype/src/equivalence.rs crates/datatype/src/error.rs crates/datatype/src/marshal.rs crates/datatype/src/primitive.rs crates/datatype/src/typ.rs
+
+crates/datatype/src/lib.rs:
+crates/datatype/src/committed.rs:
+crates/datatype/src/engine.rs:
+crates/datatype/src/equivalence.rs:
+crates/datatype/src/error.rs:
+crates/datatype/src/marshal.rs:
+crates/datatype/src/primitive.rs:
+crates/datatype/src/typ.rs:

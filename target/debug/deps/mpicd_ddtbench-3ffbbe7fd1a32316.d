@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mpicd_ddtbench-3ffbbe7fd1a32316.d: crates/ddtbench/src/lib.rs crates/ddtbench/src/custom.rs crates/ddtbench/src/lammps.rs crates/ddtbench/src/milc.rs crates/ddtbench/src/nas_lu.rs crates/ddtbench/src/nas_mg.rs crates/ddtbench/src/nestpat.rs crates/ddtbench/src/pattern.rs crates/ddtbench/src/wrf.rs
+
+/root/repo/target/debug/deps/libmpicd_ddtbench-3ffbbe7fd1a32316.rlib: crates/ddtbench/src/lib.rs crates/ddtbench/src/custom.rs crates/ddtbench/src/lammps.rs crates/ddtbench/src/milc.rs crates/ddtbench/src/nas_lu.rs crates/ddtbench/src/nas_mg.rs crates/ddtbench/src/nestpat.rs crates/ddtbench/src/pattern.rs crates/ddtbench/src/wrf.rs
+
+/root/repo/target/debug/deps/libmpicd_ddtbench-3ffbbe7fd1a32316.rmeta: crates/ddtbench/src/lib.rs crates/ddtbench/src/custom.rs crates/ddtbench/src/lammps.rs crates/ddtbench/src/milc.rs crates/ddtbench/src/nas_lu.rs crates/ddtbench/src/nas_mg.rs crates/ddtbench/src/nestpat.rs crates/ddtbench/src/pattern.rs crates/ddtbench/src/wrf.rs
+
+crates/ddtbench/src/lib.rs:
+crates/ddtbench/src/custom.rs:
+crates/ddtbench/src/lammps.rs:
+crates/ddtbench/src/milc.rs:
+crates/ddtbench/src/nas_lu.rs:
+crates/ddtbench/src/nas_mg.rs:
+crates/ddtbench/src/nestpat.rs:
+crates/ddtbench/src/pattern.rs:
+crates/ddtbench/src/wrf.rs:

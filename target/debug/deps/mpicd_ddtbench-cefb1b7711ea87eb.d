@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mpicd_ddtbench-cefb1b7711ea87eb.d: crates/ddtbench/src/lib.rs crates/ddtbench/src/custom.rs crates/ddtbench/src/lammps.rs crates/ddtbench/src/milc.rs crates/ddtbench/src/nas_lu.rs crates/ddtbench/src/nas_mg.rs crates/ddtbench/src/nestpat.rs crates/ddtbench/src/pattern.rs crates/ddtbench/src/wrf.rs
+
+/root/repo/target/debug/deps/libmpicd_ddtbench-cefb1b7711ea87eb.rmeta: crates/ddtbench/src/lib.rs crates/ddtbench/src/custom.rs crates/ddtbench/src/lammps.rs crates/ddtbench/src/milc.rs crates/ddtbench/src/nas_lu.rs crates/ddtbench/src/nas_mg.rs crates/ddtbench/src/nestpat.rs crates/ddtbench/src/pattern.rs crates/ddtbench/src/wrf.rs
+
+crates/ddtbench/src/lib.rs:
+crates/ddtbench/src/custom.rs:
+crates/ddtbench/src/lammps.rs:
+crates/ddtbench/src/milc.rs:
+crates/ddtbench/src/nas_lu.rs:
+crates/ddtbench/src/nas_mg.rs:
+crates/ddtbench/src/nestpat.rs:
+crates/ddtbench/src/pattern.rs:
+crates/ddtbench/src/wrf.rs:

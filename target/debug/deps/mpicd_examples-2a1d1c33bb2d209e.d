@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpicd_examples-2a1d1c33bb2d209e.d: examples/lib.rs
+
+/root/repo/target/debug/deps/mpicd_examples-2a1d1c33bb2d209e: examples/lib.rs
+
+examples/lib.rs:

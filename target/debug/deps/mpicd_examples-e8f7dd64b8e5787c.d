@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mpicd_examples-e8f7dd64b8e5787c.d: examples/lib.rs
+
+/root/repo/target/debug/deps/libmpicd_examples-e8f7dd64b8e5787c.rlib: examples/lib.rs
+
+/root/repo/target/debug/deps/libmpicd_examples-e8f7dd64b8e5787c.rmeta: examples/lib.rs
+
+examples/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mpicd_fabric-08cfbb44ba7b02eb.d: crates/fabric/src/lib.rs crates/fabric/src/clock.rs crates/fabric/src/config.rs crates/fabric/src/error.rs crates/fabric/src/fabric.rs crates/fabric/src/matching.rs crates/fabric/src/payload.rs crates/fabric/src/request.rs crates/fabric/src/stats.rs crates/fabric/src/transfer.rs
+
+/root/repo/target/debug/deps/mpicd_fabric-08cfbb44ba7b02eb: crates/fabric/src/lib.rs crates/fabric/src/clock.rs crates/fabric/src/config.rs crates/fabric/src/error.rs crates/fabric/src/fabric.rs crates/fabric/src/matching.rs crates/fabric/src/payload.rs crates/fabric/src/request.rs crates/fabric/src/stats.rs crates/fabric/src/transfer.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/clock.rs:
+crates/fabric/src/config.rs:
+crates/fabric/src/error.rs:
+crates/fabric/src/fabric.rs:
+crates/fabric/src/matching.rs:
+crates/fabric/src/payload.rs:
+crates/fabric/src/request.rs:
+crates/fabric/src/stats.rs:
+crates/fabric/src/transfer.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mpicd_fabric-b3421e4e01364fc8.d: crates/fabric/src/lib.rs crates/fabric/src/clock.rs crates/fabric/src/config.rs crates/fabric/src/error.rs crates/fabric/src/fabric.rs crates/fabric/src/matching.rs crates/fabric/src/payload.rs crates/fabric/src/request.rs crates/fabric/src/stats.rs crates/fabric/src/transfer.rs
+
+/root/repo/target/debug/deps/libmpicd_fabric-b3421e4e01364fc8.rlib: crates/fabric/src/lib.rs crates/fabric/src/clock.rs crates/fabric/src/config.rs crates/fabric/src/error.rs crates/fabric/src/fabric.rs crates/fabric/src/matching.rs crates/fabric/src/payload.rs crates/fabric/src/request.rs crates/fabric/src/stats.rs crates/fabric/src/transfer.rs
+
+/root/repo/target/debug/deps/libmpicd_fabric-b3421e4e01364fc8.rmeta: crates/fabric/src/lib.rs crates/fabric/src/clock.rs crates/fabric/src/config.rs crates/fabric/src/error.rs crates/fabric/src/fabric.rs crates/fabric/src/matching.rs crates/fabric/src/payload.rs crates/fabric/src/request.rs crates/fabric/src/stats.rs crates/fabric/src/transfer.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/clock.rs:
+crates/fabric/src/config.rs:
+crates/fabric/src/error.rs:
+crates/fabric/src/fabric.rs:
+crates/fabric/src/matching.rs:
+crates/fabric/src/payload.rs:
+crates/fabric/src/request.rs:
+crates/fabric/src/stats.rs:
+crates/fabric/src/transfer.rs:

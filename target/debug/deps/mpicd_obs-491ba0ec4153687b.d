@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mpicd_obs-491ba0ec4153687b.d: crates/obs/src/lib.rs crates/obs/src/config.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/rng.rs crates/obs/src/sync.rs crates/obs/src/time.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/mpicd_obs-491ba0ec4153687b: crates/obs/src/lib.rs crates/obs/src/config.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/rng.rs crates/obs/src/sync.rs crates/obs/src/time.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/config.rs:
+crates/obs/src/export.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/rng.rs:
+crates/obs/src/sync.rs:
+crates/obs/src/time.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mpicd_obs-6fa019729347681e.d: crates/obs/src/lib.rs crates/obs/src/config.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/rng.rs crates/obs/src/sync.rs crates/obs/src/time.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libmpicd_obs-6fa019729347681e.rlib: crates/obs/src/lib.rs crates/obs/src/config.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/rng.rs crates/obs/src/sync.rs crates/obs/src/time.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libmpicd_obs-6fa019729347681e.rmeta: crates/obs/src/lib.rs crates/obs/src/config.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/rng.rs crates/obs/src/sync.rs crates/obs/src/time.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/config.rs:
+crates/obs/src/export.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/rng.rs:
+crates/obs/src/sync.rs:
+crates/obs/src/time.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mpicd_pickle-ca354b09bd72f884.d: crates/pickle/src/lib.rs crates/pickle/src/de.rs crates/pickle/src/error.rs crates/pickle/src/object.rs crates/pickle/src/ser.rs crates/pickle/src/transfer.rs crates/pickle/src/workload.rs
+
+/root/repo/target/debug/deps/libmpicd_pickle-ca354b09bd72f884.rmeta: crates/pickle/src/lib.rs crates/pickle/src/de.rs crates/pickle/src/error.rs crates/pickle/src/object.rs crates/pickle/src/ser.rs crates/pickle/src/transfer.rs crates/pickle/src/workload.rs
+
+crates/pickle/src/lib.rs:
+crates/pickle/src/de.rs:
+crates/pickle/src/error.rs:
+crates/pickle/src/object.rs:
+crates/pickle/src/ser.rs:
+crates/pickle/src/transfer.rs:
+crates/pickle/src/workload.rs:

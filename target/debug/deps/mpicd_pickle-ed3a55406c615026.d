@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mpicd_pickle-ed3a55406c615026.d: crates/pickle/src/lib.rs crates/pickle/src/de.rs crates/pickle/src/error.rs crates/pickle/src/object.rs crates/pickle/src/ser.rs crates/pickle/src/transfer.rs crates/pickle/src/workload.rs
+
+/root/repo/target/debug/deps/libmpicd_pickle-ed3a55406c615026.rlib: crates/pickle/src/lib.rs crates/pickle/src/de.rs crates/pickle/src/error.rs crates/pickle/src/object.rs crates/pickle/src/ser.rs crates/pickle/src/transfer.rs crates/pickle/src/workload.rs
+
+/root/repo/target/debug/deps/libmpicd_pickle-ed3a55406c615026.rmeta: crates/pickle/src/lib.rs crates/pickle/src/de.rs crates/pickle/src/error.rs crates/pickle/src/object.rs crates/pickle/src/ser.rs crates/pickle/src/transfer.rs crates/pickle/src/workload.rs
+
+crates/pickle/src/lib.rs:
+crates/pickle/src/de.rs:
+crates/pickle/src/error.rs:
+crates/pickle/src/object.rs:
+crates/pickle/src/ser.rs:
+crates/pickle/src/transfer.rs:
+crates/pickle/src/workload.rs:

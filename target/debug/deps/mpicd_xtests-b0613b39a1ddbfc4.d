@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpicd_xtests-b0613b39a1ddbfc4.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/mpicd_xtests-b0613b39a1ddbfc4: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mpicd_xtests-b1425ae6ae9600be.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libmpicd_xtests-b1425ae6ae9600be.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libmpicd_xtests-b1425ae6ae9600be.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

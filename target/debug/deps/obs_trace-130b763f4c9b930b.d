@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_trace-130b763f4c9b930b.d: crates/fabric/tests/obs_trace.rs
+
+/root/repo/target/debug/deps/obs_trace-130b763f4c9b930b: crates/fabric/tests/obs_trace.rs
+
+crates/fabric/tests/obs_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ordering-c73e1bdedf0b0685.d: tests/tests/ordering.rs
+
+/root/repo/target/debug/deps/ordering-c73e1bdedf0b0685: tests/tests/ordering.rs
+
+tests/tests/ordering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_datatype-adb8cc51faa96d8a.d: tests/tests/proptest_datatype.rs
+
+/root/repo/target/debug/deps/proptest_datatype-adb8cc51faa96d8a: tests/tests/proptest_datatype.rs
+
+tests/tests/proptest_datatype.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_fabric-3ba0ada5a9f2feb3.d: tests/tests/proptest_fabric.rs
+
+/root/repo/target/debug/deps/proptest_fabric-3ba0ada5a9f2feb3: tests/tests/proptest_fabric.rs
+
+tests/tests/proptest_fabric.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_pickle-bbe9d2f5860684db.d: tests/tests/proptest_pickle.rs
+
+/root/repo/target/debug/deps/proptest_pickle-bbe9d2f5860684db: tests/tests/proptest_pickle.rs
+
+tests/tests/proptest_pickle.rs:

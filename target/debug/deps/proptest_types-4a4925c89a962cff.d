@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_types-4a4925c89a962cff.d: tests/tests/proptest_types.rs
+
+/root/repo/target/debug/deps/proptest_types-4a4925c89a962cff: tests/tests/proptest_types.rs
+
+tests/tests/proptest_types.rs:

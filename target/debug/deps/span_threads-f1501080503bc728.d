@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/span_threads-f1501080503bc728.d: crates/obs/tests/span_threads.rs
+
+/root/repo/target/debug/deps/span_threads-f1501080503bc728: crates/obs/tests/span_threads.rs
+
+crates/obs/tests/span_threads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-998577f026e64dc3.d: tests/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-998577f026e64dc3: tests/tests/stress.rs
+
+tests/tests/stress.rs:

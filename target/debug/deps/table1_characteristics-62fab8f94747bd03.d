@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_characteristics-62fab8f94747bd03.d: crates/bench/src/bin/table1_characteristics.rs
+
+/root/repo/target/debug/deps/table1_characteristics-62fab8f94747bd03: crates/bench/src/bin/table1_characteristics.rs
+
+crates/bench/src/bin/table1_characteristics.rs:

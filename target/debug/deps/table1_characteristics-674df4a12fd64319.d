@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_characteristics-674df4a12fd64319.d: crates/bench/src/bin/table1_characteristics.rs
+
+/root/repo/target/debug/deps/table1_characteristics-674df4a12fd64319: crates/bench/src/bin/table1_characteristics.rs
+
+crates/bench/src/bin/table1_characteristics.rs:

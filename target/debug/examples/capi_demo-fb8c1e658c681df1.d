@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capi_demo-fb8c1e658c681df1.d: examples/capi_demo.rs
+
+/root/repo/target/debug/examples/capi_demo-fb8c1e658c681df1: examples/capi_demo.rs
+
+examples/capi_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/coroutine_packing-63f9c4325122c866.d: examples/coroutine_packing.rs
+
+/root/repo/target/debug/examples/coroutine_packing-63f9c4325122c866: examples/coroutine_packing.rs
+
+examples/coroutine_packing.rs:

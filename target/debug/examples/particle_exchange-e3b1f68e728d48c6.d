@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/particle_exchange-e3b1f68e728d48c6.d: examples/particle_exchange.rs
+
+/root/repo/target/debug/examples/particle_exchange-e3b1f68e728d48c6: examples/particle_exchange.rs
+
+examples/particle_exchange.rs:

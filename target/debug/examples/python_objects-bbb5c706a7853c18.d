@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/python_objects-bbb5c706a7853c18.d: examples/python_objects.rs
+
+/root/repo/target/debug/examples/python_objects-bbb5c706a7853c18: examples/python_objects.rs
+
+examples/python_objects.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c0e82991b47ce486.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c0e82991b47ce486: examples/quickstart.rs
+
+examples/quickstart.rs:

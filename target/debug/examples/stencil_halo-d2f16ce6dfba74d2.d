@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stencil_halo-d2f16ce6dfba74d2.d: examples/stencil_halo.rs
+
+/root/repo/target/debug/examples/stencil_halo-d2f16ce6dfba74d2: examples/stencil_halo.rs
+
+examples/stencil_halo.rs:

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["mpicd",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"mpicd/error/enum.Error.html\" title=\"enum mpicd::error::Error\">Error</a>",0]]],["mpicd_datatype",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"mpicd_datatype/error/enum.DatatypeError.html\" title=\"enum mpicd_datatype::error::DatatypeError\">DatatypeError</a>",0]]],["mpicd_fabric",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"mpicd_fabric/error/enum.FabricError.html\" title=\"enum mpicd_fabric::error::FabricError\">FabricError</a>",0]]],["mpicd_pickle",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"mpicd_pickle/error/enum.PickleError.html\" title=\"enum mpicd_pickle::error::PickleError\">PickleError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[260,312,300,300]}

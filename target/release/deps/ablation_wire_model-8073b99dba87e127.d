@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_wire_model-8073b99dba87e127.d: crates/bench/src/bin/ablation_wire_model.rs
+
+/root/repo/target/release/deps/ablation_wire_model-8073b99dba87e127: crates/bench/src/bin/ablation_wire_model.rs
+
+crates/bench/src/bin/ablation_wire_model.rs:

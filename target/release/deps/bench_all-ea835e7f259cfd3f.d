@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_all-ea835e7f259cfd3f.d: crates/bench/src/bin/bench_all.rs
+
+/root/repo/target/release/deps/bench_all-ea835e7f259cfd3f: crates/bench/src/bin/bench_all.rs
+
+crates/bench/src/bin/bench_all.rs:

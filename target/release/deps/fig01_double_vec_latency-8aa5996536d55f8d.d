@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_double_vec_latency-8aa5996536d55f8d.d: crates/bench/src/bin/fig01_double_vec_latency.rs
+
+/root/repo/target/release/deps/fig01_double_vec_latency-8aa5996536d55f8d: crates/bench/src/bin/fig01_double_vec_latency.rs
+
+crates/bench/src/bin/fig01_double_vec_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_double_vec_bw-d9bc62a8ef19ea32.d: crates/bench/src/bin/fig02_double_vec_bw.rs
+
+/root/repo/target/release/deps/fig02_double_vec_bw-d9bc62a8ef19ea32: crates/bench/src/bin/fig02_double_vec_bw.rs
+
+crates/bench/src/bin/fig02_double_vec_bw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_struct_vec_latency-3acba2f23730d79f.d: crates/bench/src/bin/fig03_struct_vec_latency.rs
+
+/root/repo/target/release/deps/fig03_struct_vec_latency-3acba2f23730d79f: crates/bench/src/bin/fig03_struct_vec_latency.rs
+
+crates/bench/src/bin/fig03_struct_vec_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_struct_vec_bw-307e9e4afe2eee45.d: crates/bench/src/bin/fig04_struct_vec_bw.rs
+
+/root/repo/target/release/deps/fig04_struct_vec_bw-307e9e4afe2eee45: crates/bench/src/bin/fig04_struct_vec_bw.rs
+
+crates/bench/src/bin/fig04_struct_vec_bw.rs:

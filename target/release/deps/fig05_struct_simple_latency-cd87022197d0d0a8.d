@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_struct_simple_latency-cd87022197d0d0a8.d: crates/bench/src/bin/fig05_struct_simple_latency.rs
+
+/root/repo/target/release/deps/fig05_struct_simple_latency-cd87022197d0d0a8: crates/bench/src/bin/fig05_struct_simple_latency.rs
+
+crates/bench/src/bin/fig05_struct_simple_latency.rs:

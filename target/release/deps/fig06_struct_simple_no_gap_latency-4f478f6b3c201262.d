@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_struct_simple_no_gap_latency-4f478f6b3c201262.d: crates/bench/src/bin/fig06_struct_simple_no_gap_latency.rs
+
+/root/repo/target/release/deps/fig06_struct_simple_no_gap_latency-4f478f6b3c201262: crates/bench/src/bin/fig06_struct_simple_no_gap_latency.rs
+
+crates/bench/src/bin/fig06_struct_simple_no_gap_latency.rs:

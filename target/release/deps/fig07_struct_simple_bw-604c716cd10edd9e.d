@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_struct_simple_bw-604c716cd10edd9e.d: crates/bench/src/bin/fig07_struct_simple_bw.rs
+
+/root/repo/target/release/deps/fig07_struct_simple_bw-604c716cd10edd9e: crates/bench/src/bin/fig07_struct_simple_bw.rs
+
+crates/bench/src/bin/fig07_struct_simple_bw.rs:

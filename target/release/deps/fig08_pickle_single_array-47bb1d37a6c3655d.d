@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_pickle_single_array-47bb1d37a6c3655d.d: crates/bench/src/bin/fig08_pickle_single_array.rs
+
+/root/repo/target/release/deps/fig08_pickle_single_array-47bb1d37a6c3655d: crates/bench/src/bin/fig08_pickle_single_array.rs
+
+crates/bench/src/bin/fig08_pickle_single_array.rs:

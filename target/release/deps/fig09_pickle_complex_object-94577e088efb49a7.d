@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_pickle_complex_object-94577e088efb49a7.d: crates/bench/src/bin/fig09_pickle_complex_object.rs
+
+/root/repo/target/release/deps/fig09_pickle_complex_object-94577e088efb49a7: crates/bench/src/bin/fig09_pickle_complex_object.rs
+
+crates/bench/src/bin/fig09_pickle_complex_object.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_ddtbench-0edae9a83c6497e8.d: crates/bench/src/bin/fig10_ddtbench.rs
+
+/root/repo/target/release/deps/fig10_ddtbench-0edae9a83c6497e8: crates/bench/src/bin/fig10_ddtbench.rs
+
+crates/bench/src/bin/fig10_ddtbench.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mpicd_bench-ca30eb556ec06ece.d: crates/bench/src/lib.rs crates/bench/src/ddt.rs crates/bench/src/harness.rs crates/bench/src/methods.rs crates/bench/src/phase.rs crates/bench/src/pickle_run.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libmpicd_bench-ca30eb556ec06ece.rlib: crates/bench/src/lib.rs crates/bench/src/ddt.rs crates/bench/src/harness.rs crates/bench/src/methods.rs crates/bench/src/phase.rs crates/bench/src/pickle_run.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libmpicd_bench-ca30eb556ec06ece.rmeta: crates/bench/src/lib.rs crates/bench/src/ddt.rs crates/bench/src/harness.rs crates/bench/src/methods.rs crates/bench/src/phase.rs crates/bench/src/pickle_run.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ddt.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/methods.rs:
+crates/bench/src/phase.rs:
+crates/bench/src/pickle_run.rs:
+crates/bench/src/report.rs:

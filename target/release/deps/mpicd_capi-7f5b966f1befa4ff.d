@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mpicd_capi-7f5b966f1befa4ff.d: crates/capi/src/lib.rs crates/capi/src/adapter.rs crates/capi/src/ctypes.rs crates/capi/src/datatype_c.rs crates/capi/src/handles.rs crates/capi/src/pt2pt.rs
+
+/root/repo/target/release/deps/libmpicd_capi-7f5b966f1befa4ff.rlib: crates/capi/src/lib.rs crates/capi/src/adapter.rs crates/capi/src/ctypes.rs crates/capi/src/datatype_c.rs crates/capi/src/handles.rs crates/capi/src/pt2pt.rs
+
+/root/repo/target/release/deps/libmpicd_capi-7f5b966f1befa4ff.rmeta: crates/capi/src/lib.rs crates/capi/src/adapter.rs crates/capi/src/ctypes.rs crates/capi/src/datatype_c.rs crates/capi/src/handles.rs crates/capi/src/pt2pt.rs
+
+crates/capi/src/lib.rs:
+crates/capi/src/adapter.rs:
+crates/capi/src/ctypes.rs:
+crates/capi/src/datatype_c.rs:
+crates/capi/src/handles.rs:
+crates/capi/src/pt2pt.rs:

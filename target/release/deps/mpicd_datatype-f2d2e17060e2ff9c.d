@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mpicd_datatype-f2d2e17060e2ff9c.d: crates/datatype/src/lib.rs crates/datatype/src/committed.rs crates/datatype/src/engine.rs crates/datatype/src/equivalence.rs crates/datatype/src/error.rs crates/datatype/src/marshal.rs crates/datatype/src/primitive.rs crates/datatype/src/typ.rs
+
+/root/repo/target/release/deps/libmpicd_datatype-f2d2e17060e2ff9c.rlib: crates/datatype/src/lib.rs crates/datatype/src/committed.rs crates/datatype/src/engine.rs crates/datatype/src/equivalence.rs crates/datatype/src/error.rs crates/datatype/src/marshal.rs crates/datatype/src/primitive.rs crates/datatype/src/typ.rs
+
+/root/repo/target/release/deps/libmpicd_datatype-f2d2e17060e2ff9c.rmeta: crates/datatype/src/lib.rs crates/datatype/src/committed.rs crates/datatype/src/engine.rs crates/datatype/src/equivalence.rs crates/datatype/src/error.rs crates/datatype/src/marshal.rs crates/datatype/src/primitive.rs crates/datatype/src/typ.rs
+
+crates/datatype/src/lib.rs:
+crates/datatype/src/committed.rs:
+crates/datatype/src/engine.rs:
+crates/datatype/src/equivalence.rs:
+crates/datatype/src/error.rs:
+crates/datatype/src/marshal.rs:
+crates/datatype/src/primitive.rs:
+crates/datatype/src/typ.rs:

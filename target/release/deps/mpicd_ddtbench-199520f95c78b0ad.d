@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mpicd_ddtbench-199520f95c78b0ad.d: crates/ddtbench/src/lib.rs crates/ddtbench/src/custom.rs crates/ddtbench/src/lammps.rs crates/ddtbench/src/milc.rs crates/ddtbench/src/nas_lu.rs crates/ddtbench/src/nas_mg.rs crates/ddtbench/src/nestpat.rs crates/ddtbench/src/pattern.rs crates/ddtbench/src/wrf.rs
+
+/root/repo/target/release/deps/libmpicd_ddtbench-199520f95c78b0ad.rlib: crates/ddtbench/src/lib.rs crates/ddtbench/src/custom.rs crates/ddtbench/src/lammps.rs crates/ddtbench/src/milc.rs crates/ddtbench/src/nas_lu.rs crates/ddtbench/src/nas_mg.rs crates/ddtbench/src/nestpat.rs crates/ddtbench/src/pattern.rs crates/ddtbench/src/wrf.rs
+
+/root/repo/target/release/deps/libmpicd_ddtbench-199520f95c78b0ad.rmeta: crates/ddtbench/src/lib.rs crates/ddtbench/src/custom.rs crates/ddtbench/src/lammps.rs crates/ddtbench/src/milc.rs crates/ddtbench/src/nas_lu.rs crates/ddtbench/src/nas_mg.rs crates/ddtbench/src/nestpat.rs crates/ddtbench/src/pattern.rs crates/ddtbench/src/wrf.rs
+
+crates/ddtbench/src/lib.rs:
+crates/ddtbench/src/custom.rs:
+crates/ddtbench/src/lammps.rs:
+crates/ddtbench/src/milc.rs:
+crates/ddtbench/src/nas_lu.rs:
+crates/ddtbench/src/nas_mg.rs:
+crates/ddtbench/src/nestpat.rs:
+crates/ddtbench/src/pattern.rs:
+crates/ddtbench/src/wrf.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mpicd_examples-6e0143b99d880664.d: examples/lib.rs
+
+/root/repo/target/release/deps/libmpicd_examples-6e0143b99d880664.rlib: examples/lib.rs
+
+/root/repo/target/release/deps/libmpicd_examples-6e0143b99d880664.rmeta: examples/lib.rs
+
+examples/lib.rs:

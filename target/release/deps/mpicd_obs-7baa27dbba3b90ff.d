@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mpicd_obs-7baa27dbba3b90ff.d: crates/obs/src/lib.rs crates/obs/src/config.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/rng.rs crates/obs/src/sync.rs crates/obs/src/time.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libmpicd_obs-7baa27dbba3b90ff.rlib: crates/obs/src/lib.rs crates/obs/src/config.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/rng.rs crates/obs/src/sync.rs crates/obs/src/time.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libmpicd_obs-7baa27dbba3b90ff.rmeta: crates/obs/src/lib.rs crates/obs/src/config.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/rng.rs crates/obs/src/sync.rs crates/obs/src/time.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/config.rs:
+crates/obs/src/export.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/rng.rs:
+crates/obs/src/sync.rs:
+crates/obs/src/time.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mpicd_pickle-558f531e38350e79.d: crates/pickle/src/lib.rs crates/pickle/src/de.rs crates/pickle/src/error.rs crates/pickle/src/object.rs crates/pickle/src/ser.rs crates/pickle/src/transfer.rs crates/pickle/src/workload.rs
+
+/root/repo/target/release/deps/libmpicd_pickle-558f531e38350e79.rlib: crates/pickle/src/lib.rs crates/pickle/src/de.rs crates/pickle/src/error.rs crates/pickle/src/object.rs crates/pickle/src/ser.rs crates/pickle/src/transfer.rs crates/pickle/src/workload.rs
+
+/root/repo/target/release/deps/libmpicd_pickle-558f531e38350e79.rmeta: crates/pickle/src/lib.rs crates/pickle/src/de.rs crates/pickle/src/error.rs crates/pickle/src/object.rs crates/pickle/src/ser.rs crates/pickle/src/transfer.rs crates/pickle/src/workload.rs
+
+crates/pickle/src/lib.rs:
+crates/pickle/src/de.rs:
+crates/pickle/src/error.rs:
+crates/pickle/src/object.rs:
+crates/pickle/src/ser.rs:
+crates/pickle/src/transfer.rs:
+crates/pickle/src/workload.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mpicd_xtests-5c444b541c1147fa.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libmpicd_xtests-5c444b541c1147fa.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libmpicd_xtests-5c444b541c1147fa.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

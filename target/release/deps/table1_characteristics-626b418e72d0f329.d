@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_characteristics-626b418e72d0f329.d: crates/bench/src/bin/table1_characteristics.rs
+
+/root/repo/target/release/deps/table1_characteristics-626b418e72d0f329: crates/bench/src/bin/table1_characteristics.rs
+
+crates/bench/src/bin/table1_characteristics.rs:

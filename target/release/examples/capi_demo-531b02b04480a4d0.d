@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/capi_demo-531b02b04480a4d0.d: examples/capi_demo.rs
+
+/root/repo/target/release/examples/capi_demo-531b02b04480a4d0: examples/capi_demo.rs
+
+examples/capi_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-abe60060c3c455f9.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-abe60060c3c455f9: examples/quickstart.rs
+
+examples/quickstart.rs:

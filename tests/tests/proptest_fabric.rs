@@ -1,41 +1,35 @@
-//! Property tests for the fabric: arbitrary scatter/gather splits on both
-//! sides must move the same byte stream; protocol selection must follow
-//! the threshold; arbitrary fragment sizes must not change results.
+//! Property-style tests for the fabric, driven by the workspace's seeded
+//! xorshift64* PRNG (`mpicd_obs::XorShift64Star`): arbitrary scatter/gather
+//! splits on both sides must move the same byte stream; protocol selection
+//! must follow the threshold; arbitrary fragment sizes must not change
+//! results. Deterministic per seed, so every failure is reproducible.
 
 use mpicd_fabric::{Fabric, IovEntry, IovEntryMut, RecvDesc, SendDesc, WireModel};
-use proptest::prelude::*;
+use mpicd_obs::XorShift64Star;
 
-/// Split `total` bytes into 1..=6 chunks.
-fn splits(total: usize) -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(1usize..=total.max(1), 1..6).prop_map(move |cuts| {
-        let mut remaining = total;
-        let mut out = Vec::new();
-        for c in cuts {
-            if remaining == 0 {
-                break;
-            }
-            let take = c.min(remaining);
-            out.push(take);
-            remaining -= take;
-        }
-        if remaining > 0 {
-            out.push(remaining);
-        }
-        out
-    })
+/// Split `total` bytes into a pseudo-random list of chunk lengths.
+fn splits(rng: &mut XorShift64Star, total: usize, max_chunk: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut remaining = total;
+    while remaining > 0 {
+        let take = rng.range(1, remaining.min(max_chunk) + 1);
+        out.push(take);
+        remaining -= take;
+    }
+    out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn iov_to_iov_streams_bytes(
-        total in 1usize..5000,
-        send_split_seed in any::<u64>(),
-        frag in prop_oneof![Just(16usize), Just(64), Just(1024), Just(64*1024)],
-    ) {
-        // Derive both splits deterministically from the seed.
-        let model = WireModel { frag_size: frag, ..WireModel::zero_cost() };
+#[test]
+fn iov_to_iov_streams_bytes() {
+    let frags = [16usize, 64, 1024, 64 * 1024];
+    let mut rng = XorShift64Star::new(0x5EED_FAB1);
+    for case in 0..48 {
+        let total = rng.range(1, 5000);
+        let frag = frags[case % frags.len()];
+        let model = WireModel {
+            frag_size: frag,
+            ..WireModel::zero_cost()
+        };
         let fabric = Fabric::with_model(2, model);
         let a = fabric.endpoint(0).unwrap();
         let b = fabric.endpoint(1).unwrap();
@@ -43,15 +37,10 @@ proptest! {
         let payload: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
 
         // Pseudo-random contiguous split of the send and recv sides.
-        let mut rng = send_split_seed | 1;
-        let mut next = move |max: usize| {
-            rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17;
-            1 + (rng as usize) % max
-        };
         let mut send_chunks: Vec<&[u8]> = Vec::new();
         let mut rest = &payload[..];
         while !rest.is_empty() {
-            let n = next(rest.len().min(977)).min(rest.len());
+            let n = rng.range(1, rest.len().min(977) + 1);
             let (head, tail) = rest.split_at(n);
             send_chunks.push(head);
             rest = tail;
@@ -62,7 +51,7 @@ proptest! {
         {
             let mut rest: &mut [u8] = &mut out;
             while !rest.is_empty() {
-                let n = next(rest.len().min(661)).min(rest.len());
+                let n = rng.range(1, rest.len().min(661) + 1);
                 let (head, tail) = rest.split_at_mut(n);
                 recv_chunks.push(IovEntryMut::from_slice(head));
                 rest = tail;
@@ -74,11 +63,18 @@ proptest! {
         let sreq = unsafe { a.post_send(SendDesc::Iov(entries), 1, 0).unwrap() };
         sreq.wait().unwrap();
         rreq.wait().unwrap();
-        prop_assert_eq!(out, payload);
+        assert_eq!(out, payload, "case {case}: total={total} frag={frag}");
     }
+}
 
-    #[test]
-    fn protocol_follows_threshold(size in 1usize..200_000) {
+#[test]
+fn protocol_follows_threshold() {
+    let mut rng = XorShift64Star::new(0x7407_0C01);
+    let threshold = Fabric::new(2).model().rndv_threshold;
+    // Random sizes plus the boundary itself from both sides.
+    let mut sizes: Vec<usize> = (0..20).map(|_| rng.range(1, 200_000)).collect();
+    sizes.extend([1, threshold - 1, threshold, threshold + 1, 200_000 - 1]);
+    for size in sizes {
         let fabric = Fabric::new(2);
         let a = fabric.endpoint(0).unwrap();
         let b = fabric.endpoint(1).unwrap();
@@ -86,24 +82,31 @@ proptest! {
         let mut out = vec![0u8; size];
         std::thread::scope(|s| {
             s.spawn(|| a.send_bytes(&payload, 1, 0).unwrap());
-            s.spawn(|| { b.recv_bytes(&mut out, 0, 0).unwrap(); });
+            s.spawn(|| {
+                b.recv_bytes(&mut out, 0, 0).unwrap();
+            });
         });
         let stats = fabric.stats();
         if size > fabric.model().rndv_threshold {
-            prop_assert_eq!(stats.rendezvous, 1);
+            assert_eq!(stats.rendezvous, 1, "size={size}");
         } else {
-            prop_assert_eq!(stats.eager, 1);
+            assert_eq!(stats.eager, 1, "size={size}");
         }
-        prop_assert_eq!(out, payload);
+        assert_eq!(out, payload);
     }
+}
 
-    #[test]
-    fn generic_pack_survives_any_fragmentation(
-        packed in 1usize..4000,
-        frag in 1usize..700,
-        region_split in splits(2048),
-    ) {
-        let model = WireModel { frag_size: frag, ..WireModel::zero_cost() };
+#[test]
+fn generic_pack_survives_any_fragmentation() {
+    let mut rng = XorShift64Star::new(0x9E4E_21C0);
+    for case in 0..48 {
+        let packed = rng.range(1, 4000);
+        let frag = rng.range(1, 700);
+        let region_split = splits(&mut rng, 2048, 977);
+        let model = WireModel {
+            frag_size: frag,
+            ..WireModel::zero_cost()
+        };
         let fabric = Fabric::with_model(2, model);
         let a = fabric.endpoint(0).unwrap();
         let b = fabric.endpoint(1).unwrap();
@@ -119,7 +122,9 @@ proptest! {
         {
             let mut rest: &mut [u8] = &mut out_body;
             for len in &region_split {
-                if rest.is_empty() { break; }
+                if rest.is_empty() {
+                    break;
+                }
                 let take = (*len).min(rest.len());
                 let (head, tail) = rest.split_at_mut(take);
                 regions.push(IovEntryMut::from_slice(head));
@@ -151,7 +156,8 @@ proptest! {
                 },
                 0,
                 0,
-            ).unwrap()
+            )
+            .unwrap()
         };
 
         let hdr = header.clone();
@@ -169,21 +175,28 @@ proptest! {
                 },
                 1,
                 0,
-            ).unwrap()
+            )
+            .unwrap()
         };
         sreq.wait().unwrap();
         rreq.wait().unwrap();
-        prop_assert_eq!(out_header, header);
-        prop_assert_eq!(out_body, body);
+        assert_eq!(out_header, header, "case {case}: packed={packed} frag={frag}");
+        assert_eq!(out_body, body, "case {case}: packed={packed} frag={frag}");
     }
+}
 
-    #[test]
-    fn wire_time_monotonic_in_bytes(a in 1usize..1_000_000, b in 1usize..1_000_000) {
-        let m = WireModel::default();
+#[test]
+fn wire_time_monotonic_in_bytes() {
+    let m = WireModel::default();
+    let mut rng = XorShift64Star::new(0x3173_0411);
+    for _ in 0..200 {
+        let a = rng.range(1, 1_000_000);
+        let b = rng.range(1, 1_000_000);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(
+        assert!(
             m.message_time_ns(lo, 1, m.is_rendezvous(lo))
-                <= m.message_time_ns(hi, 1, m.is_rendezvous(hi)) + 2.0 * m.latency_ns
+                <= m.message_time_ns(hi, 1, m.is_rendezvous(hi)) + 2.0 * m.latency_ns,
+            "lo={lo} hi={hi}"
         );
     }
 }

@@ -1,97 +1,145 @@
-//! Property tests for the pickle layer: arbitrary object graphs roundtrip
-//! through both serialization modes, and malformed input errors instead of
-//! panicking.
+//! Property-style tests for the pickle layer, driven by the workspace's
+//! seeded xorshift64* PRNG: arbitrary object graphs roundtrip through both
+//! serialization modes, and malformed input errors instead of panicking.
 
+use mpicd_obs::XorShift64Star;
 use mpicd_pickle::{dumps, dumps_oob, loads, loads_oob, DType, NdArray, PyObject};
-use proptest::prelude::*;
 
-fn dtype() -> impl Strategy<Value = DType> {
-    prop_oneof![
-        Just(DType::U8),
-        Just(DType::I32),
-        Just(DType::I64),
-        Just(DType::F32),
-        Just(DType::F64),
-    ]
-}
-
-fn ndarray() -> impl Strategy<Value = NdArray> {
-    (dtype(), prop::collection::vec(0usize..5, 1..3)).prop_flat_map(|(dt, shape)| {
-        let n: usize = shape.iter().product::<usize>() * dt.itemsize();
-        prop::collection::vec(any::<u8>(), n..=n)
-            .prop_map(move |data| NdArray::new(shape.clone(), dt, data))
-    })
-}
-
-fn pyobject(depth: u32) -> impl Strategy<Value = PyObject> {
-    let leaf = prop_oneof![
-        Just(PyObject::None),
-        any::<bool>().prop_map(PyObject::Bool),
-        any::<i64>().prop_map(PyObject::Int),
-        any::<f64>()
-            .prop_filter("NaN breaks equality", |f| !f.is_nan())
-            .prop_map(PyObject::Float),
-        "[a-z]{0,12}".prop_map(PyObject::Str),
-        prop::collection::vec(any::<u8>(), 0..32).prop_map(PyObject::Bytes),
-        ndarray().prop_map(PyObject::Array),
-    ];
-    leaf.prop_recursive(depth, 24, 4, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..4).prop_map(PyObject::List),
-            prop::collection::vec(inner.clone(), 0..4).prop_map(PyObject::Tuple),
-            prop::collection::vec(("[a-z]{1,6}".prop_map(PyObject::Str), inner.clone()), 0..3)
-                .prop_map(PyObject::Dict),
-        ]
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn inband_roundtrip(obj in pyobject(3)) {
-        let stream = dumps(&obj);
-        prop_assert_eq!(loads(&stream).unwrap(), obj);
+fn dtype(rng: &mut XorShift64Star) -> DType {
+    match rng.range(0, 5) {
+        0 => DType::U8,
+        1 => DType::I32,
+        2 => DType::I64,
+        3 => DType::F32,
+        _ => DType::F64,
     }
+}
 
-    #[test]
-    fn oob_roundtrip(obj in pyobject(3)) {
+fn ndarray(rng: &mut XorShift64Star) -> NdArray {
+    let dt = dtype(rng);
+    let shape: Vec<usize> = (0..rng.range(1, 3)).map(|_| rng.range(0, 5)).collect();
+    let n: usize = shape.iter().product::<usize>() * dt.itemsize();
+    let data = rng.bytes(n);
+    NdArray::new(shape, dt, data)
+}
+
+fn ascii_lower(rng: &mut XorShift64Star, min: usize, max: usize) -> String {
+    let len = rng.range(min, max + 1);
+    (0..len)
+        .map(|_| (b'a' + rng.range(0, 26) as u8) as char)
+        .collect()
+}
+
+fn pyobject(rng: &mut XorShift64Star, depth: u32) -> PyObject {
+    // Mix leaves and containers like the old proptest strategy did; at
+    // depth 0 only leaves remain.
+    if depth == 0 || rng.chance(7, 10) {
+        return match rng.range(0, 7) {
+            0 => PyObject::None,
+            1 => PyObject::Bool(rng.chance(1, 2)),
+            2 => PyObject::Int(rng.next_u64() as i64),
+            3 => {
+                // Finite floats only: NaN breaks equality.
+                PyObject::Float((rng.next_f64() - 0.5) * 1e12)
+            }
+            4 => PyObject::Str(ascii_lower(rng, 0, 12)),
+            5 => {
+                let len = rng.range(0, 32);
+                PyObject::Bytes(rng.bytes(len))
+            }
+            _ => PyObject::Array(ndarray(rng)),
+        };
+    }
+    match rng.range(0, 3) {
+        0 => PyObject::List((0..rng.range(0, 4)).map(|_| pyobject(rng, depth - 1)).collect()),
+        1 => PyObject::Tuple((0..rng.range(0, 4)).map(|_| pyobject(rng, depth - 1)).collect()),
+        _ => PyObject::Dict(
+            (0..rng.range(0, 3))
+                .map(|_| {
+                    (
+                        PyObject::Str(ascii_lower(rng, 1, 6)),
+                        pyobject(rng, depth - 1),
+                    )
+                })
+                .collect(),
+        ),
+    }
+}
+
+#[test]
+fn inband_roundtrip() {
+    let mut rng = XorShift64Star::new(0x81C7_1E01);
+    for case in 0..64 {
+        let obj = pyobject(&mut rng, 3);
+        let stream = dumps(&obj);
+        assert_eq!(loads(&stream).unwrap(), obj, "case {case}");
+    }
+}
+
+#[test]
+fn oob_roundtrip() {
+    let mut rng = XorShift64Star::new(0x81C7_1E02);
+    for case in 0..64 {
+        let obj = pyobject(&mut rng, 3);
         let (stream, bufs) = dumps_oob(&obj);
         // The stream never carries buffer payloads (each out-of-band array
         // costs a 4-byte index instead of its data, so empty arrays may make
         // the oob stream marginally longer).
         let payload: usize = obj.buffer_bytes();
-        prop_assert!(stream.len() <= dumps(&obj).len() + 4 * obj.array_count());
-        prop_assert_eq!(stream.len() + payload, dumps(&obj).len() + 4 * obj.array_count());
+        assert!(stream.len() <= dumps(&obj).len() + 4 * obj.array_count());
+        assert_eq!(
+            stream.len() + payload,
+            dumps(&obj).len() + 4 * obj.array_count(),
+            "case {case}"
+        );
         let received: Vec<Vec<u8>> = bufs.iter().map(|b| b.as_slice().to_vec()).collect();
         let total: usize = received.iter().map(Vec::len).sum();
-        prop_assert_eq!(total, payload);
-        prop_assert_eq!(loads_oob(&stream, received).unwrap(), obj);
+        assert_eq!(total, payload);
+        assert_eq!(loads_oob(&stream, received).unwrap(), obj, "case {case}");
     }
+}
 
-    #[test]
-    fn truncation_never_panics(obj in pyobject(2), cut_fraction in 0.0f64..1.0) {
+#[test]
+fn truncation_never_panics() {
+    let mut rng = XorShift64Star::new(0x81C7_1E03);
+    for _ in 0..64 {
+        let obj = pyobject(&mut rng, 2);
+        let cut_fraction = rng.next_f64();
         let stream = dumps(&obj);
-        if stream.len() <= 1 { return Ok(()); }
+        if stream.len() <= 1 {
+            continue;
+        }
         let cut = ((stream.len() as f64) * cut_fraction) as usize;
-        if cut >= stream.len() { return Ok(()); }
+        if cut >= stream.len() {
+            continue;
+        }
         // Must be an error (truncated/protocol), never a panic, never Ok
         // with trailing garbage semantics.
         let _ = loads(&stream[..cut]);
     }
+}
 
-    #[test]
-    fn corrupted_tag_never_panics(obj in pyobject(2), at_seed in any::<u32>(), val in any::<u8>()) {
+#[test]
+fn corrupted_tag_never_panics() {
+    let mut rng = XorShift64Star::new(0x81C7_1E04);
+    for _ in 0..64 {
+        let obj = pyobject(&mut rng, 2);
         let mut stream = dumps(&obj);
-        if stream.is_empty() { return Ok(()); }
-        let at = (at_seed as usize) % stream.len();
-        stream[at] = val;
+        if stream.is_empty() {
+            continue;
+        }
+        let at = rng.range(0, stream.len());
+        stream[at] = rng.next_u64() as u8;
         let _ = loads(&stream); // error or different object; no panic
     }
+}
 
-    #[test]
-    fn oob_buffer_count_matches_array_count(obj in pyobject(3)) {
+#[test]
+fn oob_buffer_count_matches_array_count() {
+    let mut rng = XorShift64Star::new(0x81C7_1E05);
+    for _ in 0..64 {
+        let obj = pyobject(&mut rng, 3);
         let (_, bufs) = dumps_oob(&obj);
-        prop_assert_eq!(bufs.len(), obj.array_count());
+        assert_eq!(bufs.len(), obj.array_count());
     }
 }

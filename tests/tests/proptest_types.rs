@@ -1,5 +1,6 @@
-//! Property tests over the paper's evaluation types and the loop-nest
-//! machinery: random shapes, random fragmentation, cross-engine agreement.
+//! Property-style tests over the paper's evaluation types and the
+//! loop-nest machinery, driven by the workspace's seeded xorshift64* PRNG:
+//! random shapes, random fragmentation, cross-engine agreement.
 
 use mpicd::types::{
     pack_struct_simple, pack_struct_vec, unpack_struct_simple, unpack_struct_vec, StructSimple,
@@ -7,7 +8,7 @@ use mpicd::types::{
 };
 use mpicd::vecvec::{pack_double_vec, unpack_double_vec};
 use mpicd::{Buffer, LoopNest, SendView, World};
-use proptest::prelude::*;
+use mpicd_obs::XorShift64Star;
 
 fn drive_pack(view: SendView<'_>, total: usize, frag: usize) -> Vec<u8> {
     match view {
@@ -27,37 +28,50 @@ fn drive_pack(view: SendView<'_>, total: usize, frag: usize) -> Vec<u8> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn struct_simple_custom_equals_manual(count in 1usize..300, frag in 1usize..64) {
+#[test]
+fn struct_simple_custom_equals_manual() {
+    let mut rng = XorShift64Star::new(0x51AB_1E01);
+    for _ in 0..32 {
+        let count = rng.range(1, 300);
+        let frag = rng.range(1, 64);
         let elems: Vec<StructSimple> = (0..count).map(StructSimple::generate).collect();
         let manual = pack_struct_simple(&elems);
         let custom = drive_pack(elems.send_view(), 20 * count, frag);
-        prop_assert_eq!(custom, manual);
+        assert_eq!(custom, manual, "count={count} frag={frag}");
     }
+}
 
-    #[test]
-    fn struct_simple_manual_roundtrip(count in 1usize..200) {
+#[test]
+fn struct_simple_manual_roundtrip() {
+    let mut rng = XorShift64Star::new(0x51AB_1E02);
+    for _ in 0..32 {
+        let count = rng.range(1, 200);
         let elems: Vec<StructSimple> = (0..count).map(StructSimple::generate).collect();
         let packed = pack_struct_simple(&elems);
         let mut out = vec![StructSimple::default(); count];
         unpack_struct_simple(&packed, &mut out).unwrap();
-        prop_assert_eq!(out, elems);
+        assert_eq!(out, elems, "count={count}");
     }
+}
 
-    #[test]
-    fn struct_vec_manual_roundtrip(count in 1usize..6) {
+#[test]
+fn struct_vec_manual_roundtrip() {
+    let mut rng = XorShift64Star::new(0x51AB_1E03);
+    for _ in 0..32 {
+        let count = rng.range(1, 6);
         let elems: Vec<StructVec> = (0..count).map(StructVec::generate).collect();
         let packed = pack_struct_vec(&elems);
         let mut out = vec![StructVec::default(); count];
         unpack_struct_vec(&packed, &mut out).unwrap();
-        prop_assert_eq!(out, elems);
+        assert_eq!(out, elems, "count={count}");
     }
+}
 
-    #[test]
-    fn double_vec_roundtrip_random_shapes(lens in prop::collection::vec(0usize..200, 0..12)) {
+#[test]
+fn double_vec_roundtrip_random_shapes() {
+    let mut rng = XorShift64Star::new(0xD0B1_E001);
+    for _ in 0..32 {
+        let lens: Vec<usize> = (0..rng.range(0, 12)).map(|_| rng.range(0, 200)).collect();
         let vecs: Vec<Vec<i32>> = lens
             .iter()
             .enumerate()
@@ -66,11 +80,15 @@ proptest! {
         let packed = pack_double_vec(&vecs);
         let mut out: Vec<Vec<i32>> = lens.iter().map(|l| vec![0; *l]).collect();
         unpack_double_vec(&packed, &mut out).unwrap();
-        prop_assert_eq!(out, vecs);
+        assert_eq!(out, vecs, "lens={lens:?}");
     }
+}
 
-    #[test]
-    fn double_vec_transfer_random_shapes(lens in prop::collection::vec(0usize..100, 1..8)) {
+#[test]
+fn double_vec_transfer_random_shapes() {
+    let mut rng = XorShift64Star::new(0xD0B1_E002);
+    for _ in 0..32 {
+        let lens: Vec<usize> = (0..rng.range(1, 8)).map(|_| rng.range(0, 100)).collect();
         let send: Vec<Vec<i32>> = lens
             .iter()
             .map(|l| (0..*l as i32).map(|x| x * 7 - 3).collect())
@@ -79,16 +97,17 @@ proptest! {
         let world = World::new(2);
         let (a, b) = world.pair();
         mpicd::transfer(&a, &b, &send, &mut recv, 0).unwrap();
-        prop_assert_eq!(recv, send);
+        assert_eq!(recv, send, "lens={lens:?}");
     }
+}
 
-    #[test]
-    fn loop_nest_offset_and_cursor_agree(
-        dims in prop::collection::vec(1usize..5, 1..4),
-        run_pow in 0u32..6,
-        gap in 1usize..4,
-    ) {
-        let run = 1usize << run_pow;
+#[test]
+fn loop_nest_offset_and_cursor_agree() {
+    let mut rng = XorShift64Star::new(0x100_9E57);
+    for case in 0..32 {
+        let dims: Vec<usize> = (0..rng.range(1, 4)).map(|_| rng.range(1, 5)).collect();
+        let run = 1usize << rng.range(0, 6);
+        let gap = rng.range(1, 4);
         // Build strictly-nesting strides: innermost stride = run * gap.
         let mut strides = vec![0isize; dims.len()];
         let mut s = (run * gap) as isize;
@@ -96,7 +115,7 @@ proptest! {
             strides[d] = s;
             s *= dims[d] as isize;
         }
-        let nest = LoopNest::new(dims, strides, run).unwrap();
+        let nest = LoopNest::new(dims.clone(), strides, run).unwrap();
         let span = nest.span().1 as usize;
         let src: Vec<u8> = (0..span).map(|i| (i % 253) as u8).collect();
 
@@ -112,29 +131,32 @@ proptest! {
             acc.extend_from_slice(&buf[..n]);
             frag = frag % 7 + 1;
         }
-        prop_assert_eq!(acc, reference);
+        assert_eq!(acc, reference, "case {case}: dims={dims:?} run={run} gap={gap}");
     }
+}
 
-    #[test]
-    fn loop_nest_matches_derived_datatype(
-        d0 in 1usize..4,
-        d1 in 1usize..6,
-        run_words in 1usize..4,
-    ) {
-        use mpicd_ddtbench::nestpat::NestPattern;
+#[test]
+fn loop_nest_matches_derived_datatype() {
+    use mpicd_ddtbench::nestpat::NestPattern;
+    let mut rng = XorShift64Star::new(0x100_9E58);
+    for case in 0..32 {
+        let d0 = rng.range(1, 4);
+        let d1 = rng.range(1, 6);
+        let run_words = rng.range(1, 4);
         let run = run_words * 8;
         let s1 = (2 * run) as isize;
         let s0 = d1 as isize * s1;
         let nest = LoopNest::new(vec![d0, d1], vec![s0, s1], run).unwrap();
         let dt = NestPattern::nest_datatype(&nest);
         let committed = dt.commit().unwrap();
-        prop_assert_eq!(committed.size(), nest.packed_size());
+        assert_eq!(committed.size(), nest.packed_size());
 
         let span = nest.span().1 as usize;
         let src: Vec<u8> = (0..span).map(|i| (i * 11 % 256) as u8).collect();
-        prop_assert_eq!(
+        assert_eq!(
             nest.pack_slice(&src).unwrap(),
-            committed.pack_slice(&src, 1).unwrap()
+            committed.pack_slice(&src, 1).unwrap(),
+            "case {case}: d0={d0} d1={d1} run={run}"
         );
     }
 }
