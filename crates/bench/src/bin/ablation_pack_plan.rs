@@ -1,0 +1,163 @@
+//! Ablation: interpreted vs. compiled packing across the DDTBench patterns.
+//!
+//! Each pattern's derived datatype is committed three ways and driven
+//! through the same resumable fragment loop the fabric uses:
+//!
+//! * **convertor** — `commit_convertor()`, the Open MPI-style per-block
+//!   interpreter (the paper's baseline; untouched by the plan compiler);
+//! * **interpreted** — `commit_interpreted()`, the merged-block engine
+//!   without a compiled plan (this workspace's pre-plan behavior);
+//! * **compiled** — `commit()`, the pack-plan compiler with strided ops
+//!   and fixed-block copy kernels (see `mpicd_datatype::plan`).
+//!
+//! The table reports pack throughput per engine plus the compiled/
+//! interpreted and compiled/convertor speedups, and a second table shows
+//! how far each plan canonicalizes the layout (merged blocks → plan ops).
+//! Byte-identity across all three engines is asserted on every pattern
+//! before anything is timed.
+
+use mpicd_bench::harness::Sample;
+use mpicd_bench::{obs_finish, quick_mode, Table};
+use mpicd_datatype::Committed;
+use std::time::Instant;
+
+/// Fragment size of the timed pack loop — the fabric's generic-payload
+/// default granularity.
+const FRAG: usize = 64 * 1024;
+
+/// Pack the full stream once through `FRAG`-sized fragments.
+fn pack_once(c: &Committed, base: &[u8], buf: &mut [u8]) -> usize {
+    let mut off = 0usize;
+    loop {
+        // SAFETY: `base` spans the committed type (asserted by the caller
+        // via `required_span` before timing).
+        let n = unsafe { c.pack_segment(base.as_ptr(), 1, off, buf) };
+        if n == 0 {
+            return off;
+        }
+        off += n;
+    }
+}
+
+/// Mean pack throughput in MB/s over `runs` timed repetitions.
+fn throughput(c: &Committed, base: &[u8], reps: usize, runs: usize) -> Sample {
+    let mut buf = vec![0u8; FRAG];
+    let bytes = (c.size() * reps) as f64;
+    let vals: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(pack_once(c, base, &mut buf));
+            }
+            bytes / t0.elapsed().as_secs_f64() / 1e6
+        })
+        .collect();
+    Sample::from_values(&vals)
+}
+
+fn main() {
+    let target = if quick_mode() { 128 * 1024 } else { 1 << 20 };
+    let runs = 4; // the paper's 4-run averaging
+    let mut tput = Table::new(
+        &format!("Ablation: pack engine throughput ({target} B payloads)"),
+        "pattern",
+        "MB/s",
+        vec![
+            "convertor".into(),
+            "interpreted".into(),
+            "compiled".into(),
+            "× vs interp".into(),
+            "× vs convertor".into(),
+        ],
+    );
+    let mut shape = Table::new(
+        "Plan canonicalization (per element)",
+        "pattern",
+        "count",
+        vec!["merged blocks".into(), "plan ops".into()],
+    );
+
+    for name in mpicd_ddtbench::BENCHMARKS {
+        let p = mpicd_ddtbench::make(name, target);
+        let dt = p.datatype();
+        let convertor = dt.commit_convertor().expect("valid datatype");
+        let interpreted = dt.commit_interpreted().expect("valid datatype");
+        let compiled = dt.commit().expect("valid datatype");
+        let base = p.base();
+        assert!(compiled.required_span(1) <= base.len());
+
+        // Byte-identity across all three engines before timing anything.
+        let reference = convertor.pack_slice(base, 1).expect("convertor pack");
+        assert_eq!(
+            interpreted.pack_slice(base, 1).expect("interpreted pack"),
+            reference,
+            "{name}: interpreted engine diverges"
+        );
+        assert_eq!(
+            compiled.pack_slice(base, 1).expect("compiled pack"),
+            reference,
+            "{name}: compiled plan diverges"
+        );
+
+        // Calibrate repetitions to ~payload-independent wall time.
+        let reps = if quick_mode() {
+            4
+        } else {
+            ((256 << 20) / compiled.size().max(1)).clamp(8, 512)
+        };
+        let conv = throughput(&convertor, base, reps, runs);
+        let interp = throughput(&interpreted, base, reps, runs);
+        let comp = throughput(&compiled, base, reps, runs);
+        let vs_interp = Sample {
+            mean: comp.mean / interp.mean,
+            std: 0.0,
+        };
+        let vs_conv = Sample {
+            mean: comp.mean / conv.mean,
+            std: 0.0,
+        };
+        tput.push(
+            name,
+            vec![
+                Some(conv),
+                Some(interp),
+                Some(comp),
+                Some(vs_interp),
+                Some(vs_conv),
+            ],
+        );
+        let plan = compiled.plan().expect("commit() compiles a plan");
+        shape.push(
+            name,
+            vec![
+                Some(Sample {
+                    mean: interpreted.block_count() as f64,
+                    std: 0.0,
+                }),
+                Some(Sample {
+                    mean: plan.op_count() as f64,
+                    std: 0.0,
+                }),
+            ],
+        );
+    }
+
+    tput.print();
+    shape.print();
+
+    // Plan observability: cache traffic and per-kernel byte attribution.
+    let snap = mpicd_obs::global().snapshot();
+    println!("# plan counters");
+    for name in [
+        "plan.cache.hits",
+        "plan.cache.misses",
+        "plan.kernel.memcpy_bytes",
+        "plan.kernel.fixed4_bytes",
+        "plan.kernel.fixed8_bytes",
+        "plan.kernel.fixed16_bytes",
+        "plan.kernel.generic_bytes",
+    ] {
+        println!("{name:<28} {}", snap.counter(name));
+    }
+    obs_finish();
+}

@@ -82,6 +82,61 @@ impl RecvRegion {
 /// Regions returned by [`Self::regions`] must point into memory owned by
 /// (or borrowed by) this context and stay valid until the context is
 /// dropped.
+///
+/// # Example
+///
+/// The paper's canonical shape — a small packed header plus a zero-copy
+/// payload region — sent as **one** message through
+/// [`Communicator::send_custom`](crate::Communicator::send_custom):
+///
+/// ```
+/// use mpicd::{CustomPack, CustomUnpack, RecvRegion, Result, SendRegion, World};
+///
+/// /// Sends an 8-byte length header in-band; the payload travels as a
+/// /// zero-copy memory region after the packed stream.
+/// struct Pack<'a> { data: &'a [u8] }
+///
+/// impl CustomPack for Pack<'_> {
+///     fn packed_size(&self) -> Result<usize> { Ok(8) }
+///     fn pack(&mut self, offset: usize, dst: &mut [u8]) -> Result<usize> {
+///         let hdr = (self.data.len() as u64).to_le_bytes();
+///         let n = dst.len().min(8 - offset);
+///         dst[..n].copy_from_slice(&hdr[offset..offset + n]);
+///         Ok(n)
+///     }
+///     fn regions(&mut self) -> Result<Vec<SendRegion>> {
+///         Ok(vec![SendRegion::from_slice(self.data)])
+///     }
+/// }
+///
+/// struct Unpack<'a> { len: u64, data: &'a mut [u8] }
+///
+/// impl CustomUnpack for Unpack<'_> {
+///     fn packed_size(&self) -> Result<usize> { Ok(8) }
+///     fn unpack(&mut self, offset: usize, src: &[u8]) -> Result<()> {
+///         let mut hdr = self.len.to_le_bytes();
+///         hdr[offset..offset + src.len()].copy_from_slice(src);
+///         self.len = u64::from_le_bytes(hdr);
+///         Ok(())
+///     }
+///     fn regions(&mut self) -> Result<Vec<RecvRegion>> {
+///         Ok(vec![RecvRegion::from_slice(self.data)])
+///     }
+/// }
+///
+/// let world = World::new(2);
+/// let (rank0, rank1) = world.pair();
+/// let payload = vec![7u8; 4096];
+/// let mut recv = vec![0u8; 4096];
+/// let mut ctx = Unpack { len: 0, data: &mut recv };
+/// std::thread::scope(|s| {
+///     s.spawn(|| rank0.send_custom(Box::new(Pack { data: &payload }), 1, 0).unwrap());
+///     s.spawn(|| rank1.recv_custom(&mut ctx, 0, 0).unwrap());
+/// });
+/// assert_eq!(ctx.len, 4096);
+/// drop(ctx);
+/// assert_eq!(recv, payload);
+/// ```
 pub trait CustomPack: Send {
     /// Total number of bytes [`Self::pack`] will produce (`queryfn`).
     fn packed_size(&self) -> Result<usize>;

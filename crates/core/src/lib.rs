@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! # mpicd — MPI with custom datatype serialization
 //!
 //! Rust reproduction of the prototype from *"Improving MPI Language Support
@@ -68,6 +68,13 @@ pub use exchange::{transfer, transfer_custom, transfer_typed};
 pub use resumable::LoopNest;
 
 /// Re-export of the derived-datatype engine (the classic-MPI baseline).
+///
+/// Typed sends of derived datatypes go through the engine's resumable
+/// pack path; a [`Datatype::commit`](mpicd_datatype::Datatype::commit)
+/// additionally compiles a cached pack *plan* (strided-copy program, see
+/// [`mpicd_datatype::plan`]) that the fragment packer executes, while
+/// [`commit_convertor`](mpicd_datatype::Datatype::commit_convertor)
+/// remains the paper-faithful interpreted baseline.
 pub use mpicd_datatype as derived;
 /// Re-export of the transport substrate for harnesses that need wire-model
 /// control or traffic statistics.

@@ -8,7 +8,9 @@
 //! fragment protocols need.
 
 use crate::error::{DatatypeError, DatatypeResult};
+use crate::plan::{self, PackPlan};
 use crate::typ::Datatype;
+use std::sync::Arc;
 
 /// A committed datatype: flattened block list plus derived layout facts.
 #[derive(Debug, Clone)]
@@ -29,11 +31,30 @@ pub struct Committed {
     /// routing each block through an uninlined dynamic dispatch, the way a
     /// generalized engine walks its description stack.
     convertor: bool,
+    /// Compiled pack plan (see [`mod@crate::plan`]); `None` on the
+    /// interpreted and convertor paths.
+    plan: Option<Arc<PackPlan>>,
 }
 
 impl Committed {
-    /// Flatten and optimize `t` (adjacent typemap runs merged).
+    /// Flatten and optimize `t`: adjacent typemap runs are merged, then
+    /// the block list is compiled into a strided-kernel pack plan (shared
+    /// through the process-wide plan registry; see [`mod@crate::plan`]).
     pub fn new(t: &Datatype) -> DatatypeResult<Self> {
+        let mut c = Self::build(t, true)?;
+        if plan::planning_enabled() && c.size > 0 {
+            c.plan = Some(plan::lookup_or_compile(t, &c.blocks, c.size, c.extent));
+        }
+        Ok(c)
+    }
+
+    /// Flatten and optimize `t` like [`Self::new`], but skip pack-plan
+    /// compilation: packing runs the interpreted merged-block engine.
+    ///
+    /// This is the pre-plan behavior, kept as the middle rung of the
+    /// interpreted-vs-compiled ablation (`ablation_pack_plan`) and for
+    /// byte-identity property tests.
+    pub fn new_interpreted(t: &Datatype) -> DatatypeResult<Self> {
         Self::build(t, true)
     }
 
@@ -99,7 +120,14 @@ impl Committed {
             lb: t.lb(),
             max_end,
             convertor: false,
+            plan: None,
         })
+    }
+
+    /// The compiled pack plan, when this commit went through the plan
+    /// compiler (convertor and interpreted commits have none).
+    pub fn plan(&self) -> Option<&Arc<PackPlan>> {
+        self.plan.as_ref()
     }
 
     /// Packed bytes per element.
@@ -183,6 +211,9 @@ impl Committed {
         packed_off: usize,
         dst: &mut [u8],
     ) -> usize {
+        if let Some(plan) = &self.plan {
+            return plan.pack_segment(base, count, packed_off, dst);
+        }
         self.segment_op(count, packed_off, dst.len(), |mem_off, seg_off, n| {
             std::ptr::copy_nonoverlapping(base.offset(mem_off), dst.as_mut_ptr().add(seg_off), n);
         })
@@ -201,6 +232,9 @@ impl Committed {
         packed_off: usize,
         src: &[u8],
     ) -> usize {
+        if let Some(plan) = &self.plan {
+            return plan.unpack_segment(base, count, packed_off, src);
+        }
         self.segment_op(count, packed_off, src.len(), |mem_off, seg_off, n| {
             std::ptr::copy_nonoverlapping(src.as_ptr().add(seg_off), base.offset(mem_off), n);
         })

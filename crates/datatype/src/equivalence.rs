@@ -112,6 +112,29 @@ pub fn compatible(a: &Datatype, b: &Datatype) -> bool {
     signature(a) == signature(b)
 }
 
+/// A hashable structural identity: the full type map plus the placement
+/// facts (extent, lower bound) that govern multi-element packing.
+///
+/// Two types with equal keys are interchangeable descriptions of the same
+/// memory *and* place consecutive elements identically, so they can share
+/// one compiled pack plan (the [`mod@crate::plan`] registry keys on this).
+/// `equivalent(a, b)` plus equal extents implies equal keys.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StructuralKey {
+    map: Vec<(Primitive, isize)>,
+    extent: usize,
+    lb: isize,
+}
+
+/// Compute the [`StructuralKey`] of a datatype by full expansion.
+pub fn structural_key(t: &Datatype) -> StructuralKey {
+    StructuralKey {
+        map: type_map(t),
+        extent: t.extent(),
+        lb: t.lb(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +177,20 @@ mod tests {
         let r = Datatype::resized(0, 64, Datatype::contiguous(2, int()));
         assert!(equivalent(&t, &r), "resizing changes extent, not the map");
         assert_ne!(t.extent(), r.extent());
+    }
+
+    #[test]
+    fn structural_key_tracks_map_and_extent() {
+        let t = Datatype::contiguous(2, int());
+        let r = Datatype::resized(0, 64, Datatype::contiguous(2, int()));
+        assert!(equivalent(&t, &r));
+        assert_ne!(
+            structural_key(&t),
+            structural_key(&r),
+            "resizing changes element placement, so plans cannot be shared"
+        );
+        let v = Datatype::vector(1, 2, 2, int());
+        assert_eq!(structural_key(&t), structural_key(&v));
     }
 
     #[test]

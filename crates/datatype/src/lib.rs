@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! # mpicd-datatype — an MPI derived-datatype engine
 //!
 //! This crate implements the *classic* MPI datatype machinery that the
@@ -30,12 +30,14 @@ pub mod engine;
 pub mod equivalence;
 pub mod error;
 pub mod marshal;
+pub mod plan;
 pub mod primitive;
 pub mod typ;
 
 pub use committed::Committed;
-pub use equivalence::{compatible, equivalent, signature, type_map};
+pub use equivalence::{compatible, equivalent, signature, structural_key, type_map, StructuralKey};
 pub use error::{DatatypeError, DatatypeResult};
 pub use marshal::{marshal, unmarshal};
+pub use plan::{Kernel, PackPlan, PlanOp};
 pub use primitive::Primitive;
 pub use typ::Datatype;

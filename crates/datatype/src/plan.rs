@@ -1,0 +1,791 @@
+//! Commit-time pack-plan compilation.
+//!
+//! The interpreted engine in [`crate::committed`] walks the merged block
+//! list one `(offset, len)` run at a time — every run pays the same loop
+//! bookkeeping and a variable-length `memcpy`, no matter how regular the
+//! layout is. Real datatype engines recover the regularity instead:
+//! TEMPI (Pearson et al., ICS'22) canonicalizes MPI derived datatypes into
+//! strided-copy kernels, and Träff et al. show derived-datatype performance
+//! hinges on exactly this normalization step.
+//!
+//! This module does the same at `commit()` time:
+//!
+//! 1. **Lower** the flattened block list into a short canonical list of
+//!    [`PlanOp`]s — contiguous run, 1-D constant-stride block array, or 2-D
+//!    nest of block arrays. A million-block NAS face collapses to one op.
+//! 2. **Select a copy kernel** per op at compile time: a straight `memcpy`
+//!    for contiguous runs, fixed-size copies for the ubiquitous 4/8/16-byte
+//!    blocks (a single load/store pair instead of a variable-length copy),
+//!    and a generic fallback for everything else.
+//! 3. **Cache** compiled plans in a process-wide registry keyed by the
+//!    structural type signature ([`crate::equivalence::structural_key`]),
+//!    so recommitting an equivalent type — benchmark harnesses and
+//!    long-running applications do this constantly — skips compilation.
+//!
+//! The executor keeps the engine's resumable contract: any byte range of
+//! the packed stream can be produced or consumed independently, so plans
+//! drop straight into the fabric's fragmented generic-payload path.
+//!
+//! Observability: `plan.cache.hits` / `plan.cache.misses` count registry
+//! lookups and `plan.kernel.*_bytes` attribute every copied byte to the
+//! kernel that moved it (see `mpicd-obs`). Knobs: `MPICD_PLAN=0` disables
+//! compilation (interpreted engine everywhere), `MPICD_PLAN_CACHE=0`
+//! disables only the registry, `MPICD_PLAN_CACHE_CAP` bounds it
+//! (default 1024 plans).
+
+use crate::equivalence::{structural_key, StructuralKey};
+use crate::typ::Datatype;
+use mpicd_obs::metrics::Counter;
+use mpicd_obs::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// Copy kernel selected for an op when the plan is compiled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Unit-stride run: one `memcpy` of the whole op.
+    Memcpy,
+    /// Strided copy of 4-byte blocks (one `u32` load/store per block).
+    Fixed4,
+    /// Strided copy of 8-byte blocks (one `u64` load/store per block).
+    Fixed8,
+    /// Strided copy of 16-byte blocks (one 16-byte load/store per block).
+    Fixed16,
+    /// Strided copy of arbitrary-length blocks (variable-length copy).
+    Generic,
+}
+
+impl Kernel {
+    /// Kernel for a strided op whose blocks are `block` bytes long.
+    fn for_block(block: usize) -> Self {
+        match block {
+            4 => Kernel::Fixed4,
+            8 => Kernel::Fixed8,
+            16 => Kernel::Fixed16,
+            _ => Kernel::Generic,
+        }
+    }
+
+    /// Stable index into the per-kernel byte tallies.
+    fn index(self) -> usize {
+        match self {
+            Kernel::Memcpy => 0,
+            Kernel::Fixed4 => 1,
+            Kernel::Fixed8 => 2,
+            Kernel::Fixed16 => 3,
+            Kernel::Generic => 4,
+        }
+    }
+
+    /// Human-readable name (matches the obs counter suffix).
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Memcpy => "memcpy",
+            Kernel::Fixed4 => "fixed4",
+            Kernel::Fixed8 => "fixed8",
+            Kernel::Fixed16 => "fixed16",
+            Kernel::Generic => "generic",
+        }
+    }
+}
+
+/// Number of distinct [`Kernel`]s (size of the byte tallies).
+const KERNELS: usize = 5;
+
+/// One strided-copy operation of a compiled plan, relative to the element
+/// base address. Ops appear in pack order; their packed lengths sum to the
+/// type's size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanOp {
+    /// A single contiguous run of `len` bytes at memory offset `mem`.
+    Contig {
+        /// Byte offset from the element base.
+        mem: isize,
+        /// Run length in bytes.
+        len: usize,
+    },
+    /// `count` blocks of `block` bytes, block `i` at `mem + i * stride`.
+    Strided {
+        /// Byte offset of block 0 from the element base.
+        mem: isize,
+        /// Distance between consecutive block starts, in bytes.
+        stride: isize,
+        /// Bytes per block.
+        block: usize,
+        /// Number of blocks.
+        count: usize,
+        /// Copy kernel selected for the block length.
+        kernel: Kernel,
+    },
+    /// `rows` repetitions of a strided block array — the doubly-nested
+    /// loop shape of the NAS/MILC/WRF face exchanges.
+    Nest2 {
+        /// Byte offset of row 0, block 0 from the element base.
+        mem: isize,
+        /// Distance between consecutive rows, in bytes.
+        row_stride: isize,
+        /// Number of rows.
+        rows: usize,
+        /// Distance between consecutive blocks within a row, in bytes.
+        col_stride: isize,
+        /// Blocks per row.
+        cols: usize,
+        /// Bytes per block.
+        block: usize,
+        /// Copy kernel selected for the block length.
+        kernel: Kernel,
+    },
+}
+
+impl PlanOp {
+    /// Packed bytes this op produces.
+    pub fn packed_len(&self) -> usize {
+        match *self {
+            PlanOp::Contig { len, .. } => len,
+            PlanOp::Strided { block, count, .. } => block * count,
+            PlanOp::Nest2 {
+                rows, cols, block, ..
+            } => rows * cols * block,
+        }
+    }
+
+    /// The copy kernel this op executes with.
+    pub fn kernel(&self) -> Kernel {
+        match *self {
+            PlanOp::Contig { .. } => Kernel::Memcpy,
+            PlanOp::Strided { kernel, .. } | PlanOp::Nest2 { kernel, .. } => kernel,
+        }
+    }
+}
+
+/// A compiled pack plan: the canonical op list for one element, plus the
+/// placement facts needed to execute over `count` consecutive elements.
+///
+/// Byte-for-byte, a plan's output is identical to the interpreted engine's
+/// (asserted by the workspace property tests); only the loop structure and
+/// copy kernels differ.
+#[derive(Debug)]
+pub struct PackPlan {
+    ops: Vec<PlanOp>,
+    /// `prefix[i]` = packed bytes preceding op `i` within one element.
+    prefix: Vec<usize>,
+    /// Packed bytes per element.
+    size: usize,
+    /// Element-to-element spacing in memory.
+    extent: usize,
+}
+
+impl PackPlan {
+    /// Compile a plan from a merged block list (see
+    /// [`crate::Committed::blocks`]): coalesce adjacent runs, recognize
+    /// 1-D and 2-D strided groups, and select copy kernels.
+    pub fn compile(blocks: &[(isize, usize)], size: usize, extent: usize) -> Self {
+        let _sp = mpicd_obs::span!("dt.plan_compile", "datatype", size);
+        // Pass 0: re-coalesce defensively (inputs from `Committed::new` are
+        // already merged; raw callers may not be).
+        let mut runs: Vec<(isize, usize)> = Vec::with_capacity(blocks.len());
+        for &(off, len) in blocks {
+            if len == 0 {
+                continue;
+            }
+            match runs.last_mut() {
+                Some((lo, ll)) if *lo + *ll as isize == off => *ll += len,
+                _ => runs.push((off, len)),
+            }
+        }
+
+        // Pass 1: group equal-length, constant-stride run sequences into
+        // `Strided` ops; everything else stays `Contig`.
+        let mut ops: Vec<PlanOp> = Vec::new();
+        let mut i = 0usize;
+        while i < runs.len() {
+            let (mem, block) = runs[i];
+            let mut n = 1usize;
+            if i + 1 < runs.len() && runs[i + 1].1 == block {
+                let stride = runs[i + 1].0 - mem;
+                while i + n < runs.len()
+                    && runs[i + n].1 == block
+                    && runs[i + n].0 - runs[i + n - 1].0 == stride
+                {
+                    n += 1;
+                }
+                if n >= 2 {
+                    ops.push(PlanOp::Strided {
+                        mem,
+                        stride,
+                        block,
+                        count: n,
+                        kernel: Kernel::for_block(block),
+                    });
+                    i += n;
+                    continue;
+                }
+            }
+            ops.push(PlanOp::Contig { mem, len: block });
+            i += n;
+        }
+
+        // Pass 2: fold repeated identical `Strided` ops at a constant row
+        // stride into `Nest2` — the doubly-nested loop of a face exchange.
+        let mut folded: Vec<PlanOp> = Vec::new();
+        let mut i = 0usize;
+        while i < ops.len() {
+            if let PlanOp::Strided {
+                mem,
+                stride,
+                block,
+                count,
+                kernel,
+            } = ops[i]
+            {
+                let same = |op: &PlanOp| {
+                    matches!(*op, PlanOp::Strided { stride: s, block: b, count: c, .. }
+                        if s == stride && b == block && c == count)
+                };
+                let mut rows = 1usize;
+                if i + 1 < ops.len() && same(&ops[i + 1]) {
+                    let row_stride = strided_mem(&ops[i + 1]) - mem;
+                    while i + rows < ops.len()
+                        && same(&ops[i + rows])
+                        && strided_mem(&ops[i + rows]) - strided_mem(&ops[i + rows - 1])
+                            == row_stride
+                    {
+                        rows += 1;
+                    }
+                    if rows >= 2 {
+                        folded.push(PlanOp::Nest2 {
+                            mem,
+                            row_stride,
+                            rows,
+                            col_stride: stride,
+                            cols: count,
+                            block,
+                            kernel,
+                        });
+                        i += rows;
+                        continue;
+                    }
+                }
+            }
+            folded.push(ops[i].clone());
+            i += 1;
+        }
+
+        let mut prefix = Vec::with_capacity(folded.len());
+        let mut acc = 0usize;
+        for op in &folded {
+            prefix.push(acc);
+            acc += op.packed_len();
+        }
+        debug_assert_eq!(acc, size, "plan covers exactly the packed size");
+        Self {
+            ops: folded,
+            prefix,
+            size,
+            extent,
+        }
+    }
+
+    /// The canonical op list for one element, in pack order.
+    pub fn ops(&self) -> &[PlanOp] {
+        &self.ops
+    }
+
+    /// Number of ops per element (the interpreted engine executes
+    /// [`crate::Committed::block_count`] runs instead).
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Packed bytes per element.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Produce packed bytes `[packed_off, packed_off + dst.len())` of the
+    /// stream for `count` elements based at `base`; returns bytes written.
+    ///
+    /// # Safety
+    /// `base` must be valid for reads over every typemap block of all
+    /// `count` elements.
+    pub unsafe fn pack_segment(
+        &self,
+        base: *const u8,
+        count: usize,
+        packed_off: usize,
+        dst: &mut [u8],
+    ) -> usize {
+        self.run::<true>(base as *mut u8, count, packed_off, dst.as_mut_ptr(), dst.len())
+    }
+
+    /// Consume packed bytes `[packed_off, packed_off + src.len())`,
+    /// scattering them into `count` elements based at `base`.
+    ///
+    /// # Safety
+    /// `base` must be valid for writes over every typemap block of all
+    /// `count` elements.
+    pub unsafe fn unpack_segment(
+        &self,
+        base: *mut u8,
+        count: usize,
+        packed_off: usize,
+        src: &[u8],
+    ) -> usize {
+        self.run::<false>(base, count, packed_off, src.as_ptr() as *mut u8, src.len())
+    }
+
+    /// Shared resumable executor. `PACK` selects copy direction
+    /// (memory → buffer or buffer → memory); the buffer is never read when
+    /// packing nor written when unpacking.
+    unsafe fn run<const PACK: bool>(
+        &self,
+        base: *mut u8,
+        count: usize,
+        packed_off: usize,
+        mut buf: *mut u8,
+        buf_len: usize,
+    ) -> usize {
+        if self.size == 0 || count == 0 {
+            return 0;
+        }
+        let total = self.size * count;
+        if packed_off >= total {
+            return 0;
+        }
+        let goal = buf_len.min(total - packed_off);
+        let mut remaining = goal;
+        let mut tally = [0u64; KERNELS];
+
+        let mut elem = packed_off / self.size;
+        let mut within = packed_off % self.size;
+        // Locate the entry op once; the walk is sequential afterwards.
+        let mut oi = match self.prefix.binary_search(&within) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        while remaining > 0 && elem < count {
+            let elem_base = base.offset((elem * self.extent) as isize);
+            while remaining > 0 && oi < self.ops.len() {
+                let skip = within - self.prefix[oi];
+                let op = &self.ops[oi];
+                let n = exec_op::<PACK>(op, elem_base, skip, buf, remaining, &mut tally);
+                buf = buf.add(n);
+                remaining -= n;
+                within += n;
+                if within == self.prefix[oi] + op.packed_len() {
+                    oi += 1;
+                }
+            }
+            if oi == self.ops.len() {
+                elem += 1;
+                within = 0;
+                oi = 0;
+            }
+        }
+        flush_tally(&tally);
+        goal - remaining
+    }
+}
+
+/// `mem` of a `Strided` op (helper for the `Nest2` fold).
+fn strided_mem(op: &PlanOp) -> isize {
+    match *op {
+        PlanOp::Strided { mem, .. } => mem,
+        _ => unreachable!("caller matched Strided"),
+    }
+}
+
+/// Direction-parametric byte copy between memory and the packed buffer.
+#[inline(always)]
+unsafe fn copy<const PACK: bool>(mem: *mut u8, buf: *mut u8, n: usize) {
+    if PACK {
+        std::ptr::copy_nonoverlapping(mem as *const u8, buf, n);
+    } else {
+        std::ptr::copy_nonoverlapping(buf as *const u8, mem, n);
+    }
+}
+
+/// Fixed-block strided copy: the specialized kernel. With `N` a compile
+/// time constant the body is a single `N`-byte load/store per block.
+#[inline(always)]
+unsafe fn strided_fixed<const N: usize, const PACK: bool>(
+    mut mem: *mut u8,
+    stride: isize,
+    blocks: usize,
+    mut buf: *mut u8,
+) {
+    for _ in 0..blocks {
+        copy::<PACK>(mem, buf, N);
+        mem = mem.offset(stride);
+        buf = buf.add(N);
+    }
+}
+
+/// Variable-block strided copy: the generic fallback kernel.
+#[inline(always)]
+unsafe fn strided_generic<const PACK: bool>(
+    mut mem: *mut u8,
+    stride: isize,
+    block: usize,
+    blocks: usize,
+    mut buf: *mut u8,
+) {
+    for _ in 0..blocks {
+        copy::<PACK>(mem, buf, block);
+        mem = mem.offset(stride);
+        buf = buf.add(block);
+    }
+}
+
+/// Execute (part of) one strided block array: skip `skip` packed bytes in,
+/// move at most `want` bytes, return bytes moved. Partial head/tail blocks
+/// go through the generic copy; whole blocks through the selected kernel.
+unsafe fn strided_part<const PACK: bool>(
+    mem0: *mut u8,
+    stride: isize,
+    block: usize,
+    count: usize,
+    kernel: Kernel,
+    skip: usize,
+    want: usize,
+    mut buf: *mut u8,
+    tally: &mut [u64; KERNELS],
+) -> usize {
+    let avail = block * count - skip;
+    let want = want.min(avail);
+    let mut done = 0usize;
+    let mut bi = skip / block;
+    let brem = skip % block;
+    // Head: finish a partially consumed block.
+    if brem != 0 {
+        let n = (block - brem).min(want);
+        copy::<PACK>(mem0.offset(bi as isize * stride + brem as isize), buf, n);
+        tally[Kernel::Generic.index()] += n as u64;
+        done += n;
+        buf = buf.add(n);
+        if brem + n == block {
+            bi += 1;
+        }
+    }
+    // Body: whole blocks through the specialized kernel.
+    let full = (want - done) / block;
+    if full > 0 {
+        let mem = mem0.offset(bi as isize * stride);
+        match kernel {
+            Kernel::Fixed4 => strided_fixed::<4, PACK>(mem, stride, full, buf),
+            Kernel::Fixed8 => strided_fixed::<8, PACK>(mem, stride, full, buf),
+            Kernel::Fixed16 => strided_fixed::<16, PACK>(mem, stride, full, buf),
+            _ => strided_generic::<PACK>(mem, stride, block, full, buf),
+        }
+        tally[kernel.index()] += (full * block) as u64;
+        done += full * block;
+        buf = buf.add(full * block);
+        bi += full;
+    }
+    // Tail: start of the next block.
+    if done < want {
+        let n = want - done;
+        copy::<PACK>(mem0.offset(bi as isize * stride), buf, n);
+        tally[Kernel::Generic.index()] += n as u64;
+        done += n;
+    }
+    done
+}
+
+/// Execute (part of) one op at `skip` packed bytes in; returns bytes moved
+/// (`> 0` whenever `want > 0` and the op has bytes past `skip`).
+unsafe fn exec_op<const PACK: bool>(
+    op: &PlanOp,
+    elem_base: *mut u8,
+    skip: usize,
+    buf: *mut u8,
+    want: usize,
+    tally: &mut [u64; KERNELS],
+) -> usize {
+    match *op {
+        PlanOp::Contig { mem, len } => {
+            let n = (len - skip).min(want);
+            copy::<PACK>(elem_base.offset(mem + skip as isize), buf, n);
+            tally[Kernel::Memcpy.index()] += n as u64;
+            n
+        }
+        PlanOp::Strided {
+            mem,
+            stride,
+            block,
+            count,
+            kernel,
+        } => strided_part::<PACK>(
+            elem_base.offset(mem),
+            stride,
+            block,
+            count,
+            kernel,
+            skip,
+            want,
+            buf,
+            tally,
+        ),
+        PlanOp::Nest2 {
+            mem,
+            row_stride,
+            rows,
+            col_stride,
+            cols,
+            block,
+            kernel,
+        } => {
+            let row_len = cols * block;
+            let mut row = skip / row_len;
+            let mut rskip = skip % row_len;
+            let mut done = 0usize;
+            while done < want && row < rows {
+                let m = elem_base.offset(mem + row as isize * row_stride);
+                done += strided_part::<PACK>(
+                    m,
+                    col_stride,
+                    block,
+                    cols,
+                    kernel,
+                    rskip,
+                    want - done,
+                    buf.add(done),
+                    tally,
+                );
+                rskip = 0;
+                row += 1;
+            }
+            done
+        }
+    }
+}
+
+// ---- observability ---------------------------------------------------------
+
+/// Cached `Arc<Counter>` handles so the hot path pays one relaxed atomic
+/// add per kernel per segment, not a registry lookup.
+struct PlanCounters {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    kernel_bytes: [Arc<Counter>; KERNELS],
+}
+
+fn counters() -> &'static PlanCounters {
+    static C: OnceLock<PlanCounters> = OnceLock::new();
+    C.get_or_init(|| {
+        let r = mpicd_obs::global();
+        PlanCounters {
+            hits: r.counter("plan.cache.hits"),
+            misses: r.counter("plan.cache.misses"),
+            kernel_bytes: [
+                r.counter("plan.kernel.memcpy_bytes"),
+                r.counter("plan.kernel.fixed4_bytes"),
+                r.counter("plan.kernel.fixed8_bytes"),
+                r.counter("plan.kernel.fixed16_bytes"),
+                r.counter("plan.kernel.generic_bytes"),
+            ],
+        }
+    })
+}
+
+/// Add a segment's per-kernel byte tallies to the global counters.
+fn flush_tally(tally: &[u64; KERNELS]) {
+    let c = counters();
+    for (k, &bytes) in tally.iter().enumerate() {
+        if bytes != 0 {
+            c.kernel_bytes[k].add(bytes);
+        }
+    }
+}
+
+// ---- process-wide plan cache -----------------------------------------------
+
+/// Runtime knobs, read once from the environment.
+struct PlanConfig {
+    /// `MPICD_PLAN` != "0": compile plans at `commit()` at all.
+    enabled: bool,
+    /// `MPICD_PLAN_CACHE` != "0": share compiled plans across commits.
+    cache: bool,
+    /// `MPICD_PLAN_CACHE_CAP`: max cached plans (insertions stop beyond it).
+    cache_cap: usize,
+}
+
+fn config() -> &'static PlanConfig {
+    static CFG: OnceLock<PlanConfig> = OnceLock::new();
+    CFG.get_or_init(|| {
+        let off = |var: &str| std::env::var(var).is_ok_and(|v| v == "0");
+        PlanConfig {
+            enabled: !off("MPICD_PLAN"),
+            cache: !off("MPICD_PLAN_CACHE"),
+            cache_cap: std::env::var("MPICD_PLAN_CACHE_CAP")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1024),
+        }
+    })
+}
+
+/// Whether `commit()` compiles plans in this process (`MPICD_PLAN=0`
+/// turns the compiler off and every commit runs the interpreted engine).
+pub fn planning_enabled() -> bool {
+    config().enabled
+}
+
+fn cache() -> &'static Mutex<HashMap<StructuralKey, Arc<PackPlan>>> {
+    static CACHE: OnceLock<Mutex<HashMap<StructuralKey, Arc<PackPlan>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Number of plans currently in the process-wide registry.
+pub fn cache_len() -> usize {
+    cache().lock().len()
+}
+
+/// Fetch the compiled plan for `t`, compiling and caching on first sight.
+///
+/// `blocks`/`size`/`extent` are the already-flattened facts from
+/// [`crate::Committed`] (so a cache miss does not re-walk the tree). Two
+/// structurally equivalent types — same type map, extent and lower bound,
+/// regardless of which constructors described them — share one plan.
+pub fn lookup_or_compile(
+    t: &Datatype,
+    blocks: &[(isize, usize)],
+    size: usize,
+    extent: usize,
+) -> Arc<PackPlan> {
+    if !config().cache {
+        counters().misses.inc();
+        return Arc::new(PackPlan::compile(blocks, size, extent));
+    }
+    let key = structural_key(t);
+    if let Some(plan) = cache().lock().get(&key) {
+        counters().hits.inc();
+        return Arc::clone(plan);
+    }
+    counters().misses.inc();
+    let plan = Arc::new(PackPlan::compile(blocks, size, extent));
+    let mut map = cache().lock();
+    if map.len() < config().cache_cap {
+        map.insert(key, Arc::clone(&plan));
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitive::Primitive;
+
+    fn plan_of(t: &Datatype) -> PackPlan {
+        let c = crate::Committed::new(t).unwrap();
+        PackPlan::compile(c.blocks(), c.size(), c.extent())
+    }
+
+    #[test]
+    fn contiguous_compiles_to_one_memcpy_op() {
+        let t = Datatype::contiguous(64, Datatype::Predefined(Primitive::Int32));
+        let p = plan_of(&t);
+        assert_eq!(p.ops(), &[PlanOp::Contig { mem: 0, len: 256 }]);
+    }
+
+    #[test]
+    fn vector_compiles_to_one_strided_op() {
+        // 16 blocks of 2 doubles, stride 4 doubles.
+        let t = Datatype::vector(16, 2, 4, Datatype::Predefined(Primitive::Double));
+        let p = plan_of(&t);
+        assert_eq!(
+            p.ops(),
+            &[PlanOp::Strided {
+                mem: 0,
+                stride: 32,
+                block: 16,
+                count: 16,
+                kernel: Kernel::Fixed16,
+            }]
+        );
+    }
+
+    #[test]
+    fn nested_hvector_compiles_to_nest2() {
+        // rows of strided doubles, repeated at a row stride — 2-D nest.
+        let inner = Datatype::hvector(8, 1, 16, Datatype::Predefined(Primitive::Double));
+        let t = Datatype::hvector(4, 1, 256, inner);
+        let p = plan_of(&t);
+        assert_eq!(
+            p.ops(),
+            &[PlanOp::Nest2 {
+                mem: 0,
+                row_stride: 256,
+                rows: 4,
+                col_stride: 16,
+                cols: 8,
+                block: 8,
+                kernel: Kernel::Fixed8,
+            }]
+        );
+    }
+
+    #[test]
+    fn irregular_indexed_falls_back_to_contig_ops() {
+        let t = Datatype::hindexed(
+            vec![(1, 0), (2, 16), (1, 100)],
+            Datatype::Predefined(Primitive::Int32),
+        );
+        let p = plan_of(&t);
+        assert_eq!(p.op_count(), 3);
+        assert_eq!(p.size(), 16);
+    }
+
+    #[test]
+    fn plan_pack_matches_interpreted_pack() {
+        let t = Datatype::structure(vec![
+            (3, 0, Datatype::Predefined(Primitive::Int32)),
+            (1, 16, Datatype::Predefined(Primitive::Double)),
+        ]);
+        let c = crate::Committed::new_interpreted(&t).unwrap();
+        let p = plan_of(&t);
+        let src: Vec<u8> = (0..240).map(|i| i as u8).collect();
+        let reference = c.pack_slice(&src, 10).unwrap();
+        let mut out = vec![0u8; reference.len()];
+        let n = unsafe { p.pack_segment(src.as_ptr(), 10, 0, &mut out) };
+        assert_eq!(n, out.len());
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn resumable_at_every_offset() {
+        // A shape that exercises Contig, Strided and partial blocks.
+        let t = Datatype::structure(vec![
+            (1, 0, Datatype::vector(5, 1, 3, Datatype::Predefined(Primitive::Int32))),
+            (3, 64, Datatype::Predefined(Primitive::Double)),
+        ]);
+        let c = crate::Committed::new_interpreted(&t).unwrap();
+        let p = plan_of(&t);
+        let count = 3;
+        let span = c.required_span(count);
+        let src: Vec<u8> = (0..span).map(|i| (i % 253) as u8).collect();
+        let full = c.pack_slice(&src, count).unwrap();
+        for cut in 0..full.len() {
+            let mut out = vec![0u8; full.len()];
+            unsafe {
+                p.pack_segment(src.as_ptr(), count, cut, &mut out[cut..]);
+                p.pack_segment(src.as_ptr(), count, 0, &mut out[..cut]);
+            }
+            assert_eq!(out, full, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn cache_hits_on_equivalent_types() {
+        // contiguous(4, int) and vector(2,2,2, int) share a type map.
+        let a = Datatype::contiguous(4, Datatype::Predefined(Primitive::Int32));
+        let b = Datatype::vector(2, 2, 2, Datatype::Predefined(Primitive::Int32));
+        let ca = crate::Committed::new(&a).unwrap();
+        let before = mpicd_obs::global().snapshot().counter("plan.cache.hits");
+        let pa = lookup_or_compile(&a, ca.blocks(), ca.size(), ca.extent());
+        let pb = lookup_or_compile(&b, ca.blocks(), ca.size(), ca.extent());
+        let after = mpicd_obs::global().snapshot().counter("plan.cache.hits");
+        assert!(Arc::ptr_eq(&pa, &pb), "equivalent types share one plan");
+        assert!(after >= before + 1, "second lookup hit the cache");
+    }
+}

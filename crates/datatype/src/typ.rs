@@ -361,7 +361,13 @@ impl Datatype {
         fn leaf_size(t: &Datatype) -> Option<usize> {
             match t {
                 Datatype::Predefined(p) => Some(p.size()),
-                Datatype::Resized { child, .. } => leaf_size(child),
+                // A resize only collapses when it is dense (lb 0, extent ==
+                // size): padding between elements spaces a blocklength run
+                // at the child extent, so it must be walked, not collapsed.
+                Datatype::Resized { child, .. } => {
+                    let sz = leaf_size(child)?;
+                    (t.lb() == 0 && t.extent() == sz).then_some(sz)
+                }
                 _ => None,
             }
         }
@@ -468,7 +474,27 @@ impl Datatype {
         }
     }
 
-    /// Commit the type: flatten and optimize (see [`crate::Committed`]).
+    /// Commit the type: flatten, merge adjacent runs, and compile a
+    /// strided-kernel pack plan (see [`crate::Committed`] and
+    /// [`mod@crate::plan`]). This is what `MPI_Type_commit` maps to.
+    ///
+    /// ```
+    /// use mpicd_datatype::Datatype;
+    ///
+    /// // A 4×2 column slice of an 8-wide matrix of i32s.
+    /// let column = Datatype::vector(4, 2, 8, Datatype::of::<i32>());
+    /// let committed = column.commit()?;
+    /// assert_eq!(committed.size(), 32);    // packed bytes per element
+    /// assert_eq!(committed.extent(), 104); // memory span per element
+    ///
+    /// // Pack one element out of a matrix of 26 ints (104 bytes).
+    /// let matrix: Vec<i32> = (0..26).collect();
+    /// let bytes: Vec<u8> = matrix.iter().flat_map(|v| v.to_ne_bytes()).collect();
+    /// let packed = committed.pack_slice(&bytes, 1)?;
+    /// assert_eq!(&packed[..8], &bytes[..8]);    // row 0: ints 0, 1
+    /// assert_eq!(&packed[8..16], &bytes[32..40]); // row 1: ints 8, 9
+    /// # Ok::<(), mpicd_datatype::DatatypeError>(())
+    /// ```
     pub fn commit(&self) -> DatatypeResult<crate::Committed> {
         let _sp = mpicd_obs::span!("dt.commit", "datatype", self.size());
         crate::Committed::new(self)
@@ -479,6 +505,14 @@ impl Datatype {
     pub fn commit_convertor(&self) -> DatatypeResult<crate::Committed> {
         let _sp = mpicd_obs::span!("dt.commit_convertor", "datatype", self.size());
         crate::Committed::new_convertor(self)
+    }
+
+    /// Commit with merging but without pack-plan compilation — the
+    /// interpreted engine (see [`crate::Committed::new_interpreted`]),
+    /// kept for the interpreted-vs-compiled ablation and equivalence tests.
+    pub fn commit_interpreted(&self) -> DatatypeResult<crate::Committed> {
+        let _sp = mpicd_obs::span!("dt.commit_interpreted", "datatype", self.size());
+        crate::Committed::new_interpreted(self)
     }
 
     /// Helper: the predefined type for a Rust scalar.

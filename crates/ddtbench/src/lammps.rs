@@ -104,6 +104,11 @@ impl Pattern for Lammps {
         Arc::clone(&self.committed)
     }
 
+    fn datatype(&self) -> Datatype {
+        let blocks: Vec<(usize, isize)> = self.offsets.iter().map(|o| (1usize, *o)).collect();
+        Datatype::hindexed(blocks, Datatype::Predefined(Primitive::Double))
+    }
+
     fn base(&self) -> &[u8] {
         &self.slab
     }

@@ -15,6 +15,7 @@ pub struct NestPattern {
     info: PatternInfo,
     slab: Vec<u8>,
     nest: LoopNest,
+    datatype: Datatype,
     committed: Arc<Committed>,
 }
 
@@ -39,6 +40,7 @@ impl NestPattern {
             info,
             slab,
             nest,
+            datatype,
             committed,
         }
     }
@@ -103,6 +105,10 @@ impl Pattern for NestPattern {
 
     fn committed(&self) -> Arc<Committed> {
         Arc::clone(&self.committed)
+    }
+
+    fn datatype(&self) -> Datatype {
+        self.datatype.clone()
     }
 
     fn base(&self) -> &[u8] {

@@ -2,7 +2,7 @@
 //! Table I metadata.
 
 use mpicd::datatype::{CustomPack, CustomUnpack};
-use mpicd_datatype::Committed;
+use mpicd_datatype::{Committed, Datatype};
 use std::sync::Arc;
 
 /// One row of the paper's Table I.
@@ -99,6 +99,11 @@ pub trait Pattern: Send {
     /// The derived datatype describing one face/exchange (count = 1),
     /// relative to [`Self::base`].
     fn committed(&self) -> Arc<Committed>;
+
+    /// The uncommitted datatype tree behind [`Self::committed`], so
+    /// callers (the pack-plan ablation) can recommit it with a different
+    /// engine flavor (`commit` / `commit_interpreted` / `commit_convertor`).
+    fn datatype(&self) -> Datatype;
 
     /// The raw application state the datatype addresses.
     fn base(&self) -> &[u8];

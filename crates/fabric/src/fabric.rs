@@ -209,6 +209,48 @@ impl Endpoint {
     /// Every memory region referenced by `desc` must stay valid, and must
     /// not be mutated, until the returned request completes. Pack callbacks
     /// must not re-enter the fabric.
+    ///
+    /// # Example
+    ///
+    /// A callback-packed stream (the generic-datatype path — the entry
+    /// point a committed datatype's pack engine plugs into, fragment by
+    /// fragment) received into a contiguous buffer:
+    ///
+    /// ```
+    /// use mpicd_fabric::{Fabric, IovEntryMut, RecvDesc, SendDesc};
+    ///
+    /// let fabric = Fabric::new(2);
+    /// let (a, b) = (fabric.endpoint(0)?, fabric.endpoint(1)?);
+    ///
+    /// let data: Vec<u8> = (0..=255).collect();
+    /// let src = data.clone();
+    /// let packer = move |offset: usize, dst: &mut [u8]| {
+    ///     let n = dst.len().min(src.len() - offset);
+    ///     dst[..n].copy_from_slice(&src[offset..offset + n]);
+    ///     Ok(n)
+    /// };
+    /// // SAFETY: everything the descriptors reference outlives the waits.
+    /// let send = unsafe {
+    ///     a.post_send(
+    ///         SendDesc::Generic {
+    ///             packer: Box::new(packer),
+    ///             packed_size: data.len(),
+    ///             regions: Vec::new(),
+    ///             inorder: true,
+    ///         },
+    ///         1,
+    ///         7,
+    ///     )?
+    /// };
+    /// let mut buf = vec![0u8; 256];
+    /// // SAFETY: `buf` lives until the wait below.
+    /// let recv =
+    ///     unsafe { b.post_recv(RecvDesc::Contig(IovEntryMut::from_slice(&mut buf)), 0, 7)? };
+    /// recv.wait()?;
+    /// send.wait()?;
+    /// assert_eq!(buf, data);
+    /// # Ok::<(), mpicd_fabric::FabricError>(())
+    /// ```
     pub unsafe fn post_send(&self, desc: SendDesc, dest: usize, tag: Tag) -> FabricResult<Request> {
         if dest >= self.inner.size {
             return Err(FabricError::InvalidRank {

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! # mpicd-fabric — UCP-like transport substrate
 //!
 //! This crate stands in for UCX/UCP in the paper *"Improving MPI Language
