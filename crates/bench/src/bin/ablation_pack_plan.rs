@@ -17,7 +17,7 @@
 //! before anything is timed.
 
 use mpicd_bench::harness::Sample;
-use mpicd_bench::{obs_finish, quick_mode, Table};
+use mpicd_bench::{emit_json, obs_finish, quick_mode, Table};
 use mpicd_datatype::Committed;
 use std::time::Instant;
 
@@ -144,6 +144,8 @@ fn main() {
 
     tput.print();
     shape.print();
+    emit_json("ablation_pack_plan", &tput);
+    emit_json("ablation_pack_plan_shape", &shape);
 
     // Plan observability: cache traffic and per-kernel byte attribution.
     let snap = mpicd_obs::global().snapshot();

@@ -1,0 +1,144 @@
+//! Ablation: serial vs. parallel fragment pipeline across DDTBench patterns.
+//!
+//! Every cell moves the same pattern face through the custom-datatype pack
+//! path (`transfer_custom`) over a zero-cost wire model, so the measured
+//! time is the CPU-side pack → copy → unpack work the pipeline
+//! parallelizes. Configurations:
+//!
+//! * **serial** — `PipelineConfig::serial()`, the pre-pipeline engine
+//!   (`MPICD_PIPELINE=0` equivalent);
+//! * **pipe×1 / pipe×2 / pipe×4** — the fragment pipeline with 1, 2 and 4
+//!   threads (×1 exercises the machinery with the posting thread alone and
+//!   should be neutral vs. serial).
+//!
+//! The sweep crosses each pattern with {16 KiB, 64 KiB} fragment sizes.
+//! Byte identity against the pattern's reference checksum is asserted for
+//! every cell before anything is timed, and the `pipelined` transfer
+//! counter is checked so a silently-serial cell cannot masquerade as a
+//! pipeline measurement.
+
+use mpicd::fabric::{PipelineConfig, WireModel};
+use mpicd::{transfer_custom, World};
+use mpicd_bench::harness::Sample;
+use mpicd_bench::report::size_label;
+use mpicd_bench::{emit_json, obs_finish, quick_mode, Table};
+use mpicd_ddtbench::Pattern;
+use std::time::Instant;
+
+/// Fragment sizes crossed with every pattern (the fabric default is 64 KiB;
+/// 16 KiB produces 4× as many fragments for the pool to chew on).
+const FRAG_SIZES: [usize; 2] = [16 * 1024, 64 * 1024];
+
+/// One full one-way custom-pack transfer of the pattern face.
+fn one_transfer(world: &World, sender: &dyn Pattern, receiver: &mut dyn Pattern) {
+    let (a, b) = world.pair();
+    let sctx = sender.custom_pack_ctx();
+    let mut rctx = receiver.custom_unpack_ctx();
+    transfer_custom(&a, &b, sctx, &mut *rctx, 0).expect("custom transfer");
+}
+
+/// Mean one-way throughput in MB/s over `runs` timed repetitions.
+fn throughput(
+    world: &World,
+    sender: &dyn Pattern,
+    receiver: &mut dyn Pattern,
+    reps: usize,
+    runs: usize,
+) -> Sample {
+    let bytes = (sender.bytes() * reps) as f64;
+    let vals: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                one_transfer(world, sender, receiver);
+            }
+            bytes / t0.elapsed().as_secs_f64() / 1e6
+        })
+        .collect();
+    Sample::from_values(&vals)
+}
+
+fn main() {
+    let target = if quick_mode() { 128 * 1024 } else { 1 << 20 };
+    let runs = 4; // the paper's 4-run averaging
+    let configs: [(&str, PipelineConfig); 4] = [
+        ("serial", PipelineConfig::serial()),
+        ("pipe×1", PipelineConfig::with_threads(1)),
+        ("pipe×2", PipelineConfig::with_threads(2)),
+        ("pipe×4", PipelineConfig::with_threads(4)),
+    ];
+    let mut table = Table::new(
+        &format!("Ablation: fragment pipeline throughput ({target} B faces)"),
+        "pattern/frag",
+        "MB/s",
+        configs
+            .iter()
+            .map(|(label, _)| label.to_string())
+            .chain(std::iter::once("×4 vs serial".into()))
+            .collect(),
+    );
+
+    for name in mpicd_ddtbench::BENCHMARKS {
+        let sender = mpicd_ddtbench::make(name, target);
+        let expect = sender.checksum();
+        let reps = if quick_mode() {
+            4
+        } else {
+            ((256 << 20) / sender.bytes().max(1)).clamp(8, 256)
+        };
+
+        for frag in FRAG_SIZES {
+            let model = WireModel {
+                frag_size: frag,
+                ..WireModel::zero_cost()
+            };
+            let mut cells: Vec<Option<Sample>> = Vec::new();
+            for (label, cfg) in configs {
+                let world = World::with_model_and_pipeline(2, model, cfg);
+                let mut receiver = mpicd_ddtbench::make(name, target);
+
+                // Byte identity before timing: the cell's engine must
+                // reconstruct the exact face the reference checksum hashes.
+                receiver.clear();
+                one_transfer(&world, &*sender, &mut *receiver);
+                assert_eq!(
+                    receiver.checksum(),
+                    expect,
+                    "{name}/{frag}: {label} engine diverges"
+                );
+                let pipelined = world.fabric().stats().pipelined;
+                if cfg.enabled && sender.bytes() > frag {
+                    assert!(pipelined > 0, "{name}/{frag}: {label} fell back to serial");
+                } else if !cfg.enabled {
+                    assert_eq!(pipelined, 0, "{name}/{frag}: serial config pipelined");
+                }
+
+                cells.push(Some(throughput(&world, &*sender, &mut *receiver, reps, runs)));
+            }
+            let speedup = Sample {
+                mean: cells[3].as_ref().unwrap().mean / cells[0].as_ref().unwrap().mean,
+                std: 0.0,
+            };
+            cells.push(Some(speedup));
+            table.push(format!("{name}/{}", size_label(frag)), cells);
+        }
+    }
+
+    table.print();
+    emit_json("ablation_pipeline", &table);
+
+    // Pipeline observability: how much work actually went parallel. The
+    // `.ns` accumulator follows the span cost model and stays 0 unless
+    // tracing is on (`MPICD_TRACE=1`).
+    let snap = mpicd_obs::global().snapshot();
+    println!("# pipeline counters");
+    for name in [
+        "fabric.pipeline.transfers",
+        "fabric.pipeline.frags",
+        "fabric.pipeline.threads",
+        "fabric.pipeline.ns",
+    ] {
+        println!("{name:<28} {}", snap.counter(name));
+    }
+    obs_finish();
+}

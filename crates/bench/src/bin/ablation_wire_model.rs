@@ -53,6 +53,7 @@ fn region_overhead_ablation() {
         table.push(format!("{gamma}"), cells);
     }
     table.print();
+    mpicd_bench::emit_json("ablation_wire_model_gamma", &table);
 }
 
 fn rndv_threshold_ablation() {
@@ -98,6 +99,7 @@ fn rndv_threshold_ablation() {
         size *= 2;
     }
     table.print();
+    mpicd_bench::emit_json("ablation_wire_model_rndv", &table);
 }
 
 fn frag_size_ablation() {
@@ -125,6 +127,7 @@ fn frag_size_ablation() {
         table.push(size_label(frag), vec![Some(sample)]);
     }
     table.print();
+    mpicd_bench::emit_json("ablation_wire_model_frag", &table);
 }
 
 fn main() {

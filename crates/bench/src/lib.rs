@@ -41,6 +41,34 @@ pub fn obs_finish() {
     }
 }
 
+/// Write a table as `BENCH_<stem>.json` when `MPICD_BENCH_JSON` is set
+/// (to a directory path, or `1` for the current directory). CI sets this
+/// and uploads the emitted files as a workflow artifact; locally it is a
+/// no-op unless asked for. Returns the path written, if any.
+pub fn emit_json(stem: &str, table: &Table) -> Option<std::path::PathBuf> {
+    let dest = std::env::var("MPICD_BENCH_JSON").ok()?;
+    if dest.is_empty() || dest == "0" {
+        return None;
+    }
+    let dir = if dest == "1" {
+        std::path::PathBuf::from(".")
+    } else {
+        std::path::PathBuf::from(dest)
+    };
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("BENCH_{stem}.json"));
+    match std::fs::write(&path, table.render_json()) {
+        Ok(()) => {
+            eprintln!("wrote {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("could not write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
 /// Standard power-of-two size sweep `[lo, hi]` (bytes).
 pub fn size_sweep(lo: usize, hi: usize) -> Vec<usize> {
     let mut v = Vec::new();

@@ -91,6 +91,56 @@ impl Table {
         println!("{}", self.render());
         println!("--- csv ---\n{}", self.render_csv());
     }
+
+    /// Render as a JSON document (hand-rolled — the workspace has no JSON
+    /// dependency) so CI can publish results as artifacts.
+    pub fn render_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"title\": \"{}\",\n", esc(&self.title)));
+        out.push_str(&format!("  \"xlabel\": \"{}\",\n", esc(&self.xlabel)));
+        out.push_str(&format!("  \"unit\": \"{}\",\n", esc(&self.unit)));
+        out.push_str("  \"columns\": [");
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\"", esc(c)));
+        }
+        out.push_str("],\n  \"rows\": [\n");
+        for (ri, (x, cells)) in self.rows.iter().enumerate() {
+            out.push_str(&format!("    {{\"x\": \"{}\", \"cells\": [", esc(x)));
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                match cell {
+                    Some(s) => out.push_str(&format!(
+                        "{{\"mean\": {}, \"std\": {}}}",
+                        num(s.mean),
+                        num(s.std)
+                    )),
+                    None => out.push_str("null"),
+                }
+            }
+            out.push_str("]}");
+            if ri + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
 }
 
 /// Human-friendly byte-size label (`64`, `4K`, `2M`).

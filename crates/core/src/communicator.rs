@@ -72,6 +72,19 @@ impl World {
         }
     }
 
+    /// A world with an explicit wire model *and* fragment-pipeline
+    /// configuration, overriding the `MPICD_PIPELINE*` environment knobs
+    /// (used by the ablation harness to sweep thread counts).
+    pub fn with_model_and_pipeline(
+        size: usize,
+        model: WireModel,
+        pipeline: mpicd_fabric::PipelineConfig,
+    ) -> Self {
+        Self {
+            fabric: Fabric::with_model_and_pipeline(size, model, pipeline),
+        }
+    }
+
     /// World size.
     pub fn size(&self) -> usize {
         self.fabric.size()
@@ -488,12 +501,15 @@ impl Communicator {
             // by fragment — Open MPI's convertor behaviour (slow in Fig 5).
             let packer = DatatypePacker::new(Arc::clone(ty), base, count);
             let packed_size = packer.packed_size();
+            // `inorder: false`: the type-map engine addresses any stream
+            // offset directly, so fragments may arrive (or be produced by
+            // the parallel pipeline) in any order.
             Ok(self.ep.post_send(
                 SendDesc::Generic {
                     packer: Box::new(DtPack(packer)),
                     packed_size,
                     regions: Vec::new(),
-                    inorder: true,
+                    inorder: false,
                 },
                 dest,
                 tag,
@@ -543,21 +559,46 @@ pub struct MatchedMessage {
     msg: mpicd_fabric::fabric::Message,
 }
 
-/// Fabric adapter for the derived-datatype pack engine.
+/// Fabric adapter for the derived-datatype pack engine. Opts into the
+/// parallel fragment pipeline: the committed plan addresses any stream
+/// offset directly, so disjoint fragments can be packed concurrently.
 struct DtPack(DatatypePacker);
 
 impl FragmentPacker for DtPack {
     fn pack(&mut self, offset: usize, dst: &mut [u8]) -> std::result::Result<usize, i32> {
         Ok(self.0.pack(offset, dst))
     }
+
+    fn random_access(&self) -> Option<&dyn mpicd_fabric::RandomAccessPacker> {
+        Some(self)
+    }
 }
 
-/// Fabric adapter for the derived-datatype unpack engine.
+impl mpicd_fabric::RandomAccessPacker for DtPack {
+    fn pack_at(&self, offset: usize, dst: &mut [u8]) -> std::result::Result<usize, i32> {
+        Ok(self.0.pack_at(offset, dst))
+    }
+}
+
+/// Fabric adapter for the derived-datatype unpack engine. Opts into the
+/// parallel pipeline: disjoint packed ranges scatter to disjoint typemap
+/// blocks, so concurrent unpacking is safe.
 struct DtUnpack(DatatypeUnpacker);
 
 impl FragmentUnpacker for DtUnpack {
     fn unpack(&mut self, offset: usize, src: &[u8]) -> std::result::Result<(), i32> {
         self.0.unpack(offset, src);
+        Ok(())
+    }
+
+    fn random_access(&self) -> Option<&dyn mpicd_fabric::RandomAccessUnpacker> {
+        Some(self)
+    }
+}
+
+impl mpicd_fabric::RandomAccessUnpacker for DtUnpack {
+    fn unpack_at(&self, offset: usize, src: &[u8]) -> std::result::Result<(), i32> {
+        self.0.unpack_at(offset, src);
         Ok(())
     }
 }
@@ -575,6 +616,11 @@ impl FragmentUnpacker for UnpackPtr {
         // SAFETY: the owner keeps the context alive and untouched until
         // completion.
         unsafe { (*self.0).unpack(offset, src) }.map_err(|e| e.code())
+    }
+
+    fn random_access(&self) -> Option<&dyn mpicd_fabric::RandomAccessUnpacker> {
+        // SAFETY: as above; the view borrows from the live context.
+        unsafe { (*self.0).random_access() }
     }
 }
 

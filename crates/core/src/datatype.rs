@@ -10,6 +10,7 @@
 
 use crate::error::Result;
 use mpicd_fabric::{FragmentPacker, IovEntry, IovEntryMut};
+pub use mpicd_fabric::{RandomAccessPacker, RandomAccessUnpacker};
 
 /// A contiguous memory region exposed for zero-copy sending
 /// (one entry of `regionfn`'s output arrays).
@@ -161,6 +162,17 @@ pub trait CustomPack: Send {
     fn inorder(&self) -> bool {
         true
     }
+
+    /// Offset-addressed concurrent view of this context, if it has one.
+    ///
+    /// Returning `Some` asserts that [`RandomAccessPacker::pack_at`] calls
+    /// with disjoint offset ranges may run concurrently from several
+    /// threads; the fabric's parallel fragment pipeline then packs this
+    /// send's fragments in parallel. The default (`None`) keeps the context
+    /// on the serial engine — correct for any stateful/streaming packer.
+    fn random_access(&self) -> Option<&dyn RandomAccessPacker> {
+        None
+    }
 }
 
 /// Receive-side custom serialization context (unpack state).
@@ -184,6 +196,16 @@ pub trait CustomUnpack: Send {
     fn finish(&mut self) -> Result<()> {
         Ok(())
     }
+
+    /// Offset-addressed concurrent view of this context, if it has one.
+    ///
+    /// Returning `Some` asserts that [`RandomAccessUnpacker::unpack_at`]
+    /// calls with disjoint packed-stream ranges write disjoint memory and
+    /// may run concurrently. The default (`None`) keeps the context on the
+    /// serial engine.
+    fn random_access(&self) -> Option<&dyn RandomAccessUnpacker> {
+        None
+    }
 }
 
 // ---- adapters into the fabric's generic-datatype path ----------------------
@@ -194,6 +216,10 @@ pub(crate) struct PackAdapter<'a>(pub Box<dyn CustomPack + 'a>);
 impl FragmentPacker for PackAdapter<'_> {
     fn pack(&mut self, offset: usize, dst: &mut [u8]) -> std::result::Result<usize, i32> {
         self.0.pack(offset, dst).map_err(|e| e.code())
+    }
+
+    fn random_access(&self) -> Option<&dyn RandomAccessPacker> {
+        self.0.random_access()
     }
 }
 

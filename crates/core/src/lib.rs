@@ -62,7 +62,9 @@ pub mod vecvec;
 pub use buffer::{Buffer, BufferMut, RecvView, SendView};
 pub use collective::{allreduce_f64, bcast, gather_bytes, scatter_bytes, ReduceOp};
 pub use communicator::{Communicator, MatchedMessage, Scope, Status, World};
-pub use datatype::{CustomPack, CustomUnpack, RecvRegion, SendRegion};
+pub use datatype::{
+    CustomPack, CustomUnpack, RandomAccessPacker, RandomAccessUnpacker, RecvRegion, SendRegion,
+};
 pub use error::{Error, Result};
 pub use exchange::{transfer, transfer_custom, transfer_typed};
 pub use resumable::LoopNest;

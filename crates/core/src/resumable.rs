@@ -28,6 +28,11 @@ pub struct LoopNest {
     dims: Vec<usize>,
     strides: Vec<isize>,
     run_len: usize,
+    /// `suffix[d]` = product of `dims[d+1..]` — how many runs one step of
+    /// dimension `d` spans. Precomputed at construction so the per-fragment
+    /// random-access path decomposes a flat run index with one div/mod
+    /// chain instead of re-deriving the radices every call.
+    suffix: Vec<usize>,
 }
 
 impl LoopNest {
@@ -36,10 +41,15 @@ impl LoopNest {
         if dims.len() != strides.len() {
             return Err(Error::Unsupported("dims/strides length mismatch"));
         }
+        let mut suffix = vec![1usize; dims.len()];
+        for d in (0..dims.len().saturating_sub(1)).rev() {
+            suffix[d] = suffix[d + 1] * dims[d + 1];
+        }
         Ok(Self {
             dims,
             strides,
             run_len,
+            suffix,
         })
     }
 
@@ -74,12 +84,12 @@ impl LoopNest {
     }
 
     /// Byte offset (from base) of run `run` (mixed-radix decomposition of
-    /// the flat run index).
+    /// the flat run index, using the precomputed suffix products).
     pub fn offset_of_run(&self, mut run: usize) -> isize {
         let mut off = 0isize;
-        for d in (0..self.dims.len()).rev() {
-            let idx = run % self.dims[d];
-            run /= self.dims[d];
+        for d in 0..self.dims.len() {
+            let idx = (run / self.suffix[d]) % self.dims[d];
+            run %= self.suffix[d];
             off += idx as isize * self.strides[d];
         }
         off
@@ -139,16 +149,37 @@ impl LoopNest {
         }
         let mut run = offset / self.run_len;
         let mut within = offset % self.run_len;
+        // Decompose the starting run once (suffix-product div/mod chain),
+        // then advance odometer-style — subsequent runs cost a few adds,
+        // not a full mixed-radix decomposition each.
+        let mut indices = vec![0usize; self.dims.len()];
+        let mut mem = 0isize;
+        let mut r = run;
+        for d in 0..self.dims.len() {
+            let idx = (r / self.suffix[d]) % self.dims[d];
+            r %= self.suffix[d];
+            indices[d] = idx;
+            mem += idx as isize * self.strides[d];
+        }
         let mut done = 0usize;
         let runs = self.total_runs();
         while run < runs && done < seg_len {
             let n = (self.run_len - within).min(seg_len - done);
-            op(self.offset_of_run(run) + within as isize, done, n);
+            op(mem + within as isize, done, n);
             done += n;
             within += n;
             if within == self.run_len {
                 run += 1;
                 within = 0;
+                for d in (0..indices.len()).rev() {
+                    indices[d] += 1;
+                    mem += self.strides[d];
+                    if indices[d] < self.dims[d] {
+                        break;
+                    }
+                    mem -= self.dims[d] as isize * self.strides[d];
+                    indices[d] = 0;
+                }
             }
         }
         done
@@ -323,6 +354,37 @@ mod tests {
         assert_eq!(nest.offset_of_run(2), 20);
         assert_eq!(nest.offset_of_run(3), 100);
         assert_eq!(nest.offset_of_run(5), 120);
+    }
+
+    /// The naive per-call decomposition `offset_of_run` used before the
+    /// suffix products were hoisted to construction time.
+    fn naive_offset_of_run(nest: &LoopNest, mut run: usize) -> isize {
+        let mut off = 0isize;
+        for d in (0..nest.dims().len()).rev() {
+            let idx = run % nest.dims()[d];
+            run /= nest.dims()[d];
+            off += idx as isize * nest.strides()[d];
+        }
+        off
+    }
+
+    #[test]
+    fn suffix_products_match_naive_decomposition() {
+        for nest in [
+            LoopNest::new(vec![2, 3], vec![100, 10], 4).unwrap(),
+            LoopNest::new(vec![5, 4, 3, 2], vec![-700, 130, -17, 8], 3).unwrap(),
+            LoopNest::new(vec![7], vec![32], 16).unwrap(),
+            LoopNest::new(Vec::new(), Vec::new(), 8).unwrap(),
+        ] {
+            for run in 0..nest.total_runs() {
+                assert_eq!(
+                    nest.offset_of_run(run),
+                    naive_offset_of_run(&nest, run),
+                    "dims {:?} run {run}",
+                    nest.dims()
+                );
+            }
+        }
     }
 
     #[test]

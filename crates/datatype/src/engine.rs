@@ -21,6 +21,11 @@ pub struct DatatypePacker {
 // valid and immutable for the adapter's lifetime, on whichever thread uses it.
 unsafe impl Send for DatatypePacker {}
 
+// SAFETY: `pack_at` only reads — from the committed plan (immutable) and the
+// source buffer (immutable per `new`'s contract) — so concurrent calls from
+// the fabric's parallel fragment pipeline are safe.
+unsafe impl Sync for DatatypePacker {}
+
 impl DatatypePacker {
     /// Create a packer over `count` elements based at `base`.
     ///
@@ -42,6 +47,14 @@ impl DatatypePacker {
 
     /// Produce packed bytes starting at `offset`; returns bytes written.
     pub fn pack(&mut self, offset: usize, dst: &mut [u8]) -> usize {
+        self.pack_at(offset, dst)
+    }
+
+    /// [`Self::pack`] through a shared reference. Packing is stateless per
+    /// call (the committed plan addresses any offset directly), so disjoint
+    /// fragments may be produced concurrently — this is what lets the
+    /// fabric's parallel pipeline drive a typed send from several threads.
+    pub fn pack_at(&self, offset: usize, dst: &mut [u8]) -> usize {
         // SAFETY: `new`'s contract.
         unsafe {
             self.committed
@@ -60,6 +73,11 @@ pub struct DatatypeUnpacker {
 
 // SAFETY: see `DatatypePacker`.
 unsafe impl Send for DatatypeUnpacker {}
+
+// SAFETY: `unpack_at` writes only the typemap blocks addressed by the byte
+// range it is handed; the fabric's parallel pipeline guarantees concurrent
+// calls receive disjoint stream ranges, which map to disjoint memory.
+unsafe impl Sync for DatatypeUnpacker {}
 
 impl DatatypeUnpacker {
     /// Create an unpacker over `count` elements based at `base`.
@@ -83,7 +101,14 @@ impl DatatypeUnpacker {
 
     /// Consume packed bytes whose first byte is stream offset `offset`.
     pub fn unpack(&mut self, offset: usize, src: &[u8]) -> usize {
-        // SAFETY: `new`'s contract.
+        self.unpack_at(offset, src)
+    }
+
+    /// [`Self::unpack`] through a shared reference, for concurrent
+    /// scattering of *disjoint* stream ranges (disjoint packed offsets map
+    /// to disjoint typemap blocks in memory).
+    pub fn unpack_at(&self, offset: usize, src: &[u8]) -> usize {
+        // SAFETY: `new`'s contract plus range disjointness (see `Sync`).
         unsafe {
             self.committed
                 .unpack_segment(self.base, self.count, offset, src)

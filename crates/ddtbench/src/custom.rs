@@ -8,7 +8,9 @@
 //!   contiguous run is exposed as a memory region (the "custom regions"
 //!   variant of Fig 10).
 
-use mpicd::datatype::{CustomPack, CustomUnpack, RecvRegion, SendRegion};
+use mpicd::datatype::{
+    CustomPack, CustomUnpack, RandomAccessPacker, RandomAccessUnpacker, RecvRegion, SendRegion,
+};
 use mpicd::{Error, LoopNest, Result};
 use std::marker::PhantomData;
 
@@ -20,6 +22,10 @@ pub struct NestPack<'a> {
 }
 
 unsafe impl Send for NestPack<'_> {}
+
+// SAFETY: packing only reads the borrowed slab; concurrent `pack_at` calls
+// are safe on any ranges.
+unsafe impl Sync for NestPack<'_> {}
 
 impl<'a> NestPack<'a> {
     /// Pack the nest's runs out of `slab`.
@@ -45,6 +51,18 @@ impl CustomPack for NestPack<'_> {
     fn inorder(&self) -> bool {
         false
     }
+    fn random_access(&self) -> Option<&dyn RandomAccessPacker> {
+        Some(self)
+    }
+}
+
+impl RandomAccessPacker for NestPack<'_> {
+    fn pack_at(&self, offset: usize, dst: &mut [u8]) -> std::result::Result<usize, i32> {
+        // SAFETY: span checked against the borrowed slab in `new`; the nest
+        // addresses any packed offset directly, so disjoint fragments can
+        // be produced concurrently.
+        Ok(unsafe { self.nest.pack_segment(self.base, offset, dst) })
+    }
 }
 
 /// Unpack context driving a [`LoopNest`].
@@ -55,6 +73,11 @@ pub struct NestUnpack<'a> {
 }
 
 unsafe impl Send for NestUnpack<'_> {}
+
+// SAFETY: `unpack_at` writes only the runs addressed by the packed range it
+// is handed; the parallel engine guarantees disjoint ranges, which map to
+// disjoint runs of the slab.
+unsafe impl Sync for NestUnpack<'_> {}
 
 impl<'a> NestUnpack<'a> {
     /// Scatter incoming runs into `slab`.
@@ -78,6 +101,18 @@ impl CustomUnpack for NestUnpack<'_> {
         unsafe { self.nest.unpack_segment(self.base, offset, src) };
         Ok(())
     }
+    fn random_access(&self) -> Option<&dyn RandomAccessUnpacker> {
+        Some(self)
+    }
+}
+
+impl RandomAccessUnpacker for NestUnpack<'_> {
+    fn unpack_at(&self, offset: usize, src: &[u8]) -> std::result::Result<(), i32> {
+        // SAFETY: span checked in `new`; disjoint packed ranges scatter to
+        // disjoint runs (see the `Sync` justification).
+        unsafe { self.nest.unpack_segment(self.base, offset, src) };
+        Ok(())
+    }
 }
 
 /// Pack context over an explicit, uniform-length run list.
@@ -89,6 +124,9 @@ pub struct RunsPack<'a> {
 }
 
 unsafe impl Send for RunsPack<'_> {}
+
+// SAFETY: packing only reads the borrowed slab.
+unsafe impl Sync for RunsPack<'_> {}
 
 impl<'a> RunsPack<'a> {
     /// Pack `offsets.len()` runs of `run_len` bytes out of `slab`.
@@ -107,16 +145,11 @@ impl<'a> RunsPack<'a> {
     fn total(&self) -> usize {
         self.offsets.len() * self.run_len
     }
-}
 
-impl CustomPack for RunsPack<'_> {
-    fn packed_size(&self) -> Result<usize> {
-        Ok(self.total())
-    }
-
-    fn pack(&mut self, offset: usize, dst: &mut [u8]) -> Result<usize> {
+    /// Stateless gather of `[offset, offset + dst)` of the packed stream.
+    fn gather(&self, offset: usize, dst: &mut [u8]) -> usize {
         if self.run_len == 0 {
-            return Ok(0);
+            return 0;
         }
         let total = self.total();
         let mut at = offset;
@@ -136,11 +169,31 @@ impl CustomPack for RunsPack<'_> {
             at += n;
             done += n;
         }
-        Ok(done)
+        done
+    }
+}
+
+impl CustomPack for RunsPack<'_> {
+    fn packed_size(&self) -> Result<usize> {
+        Ok(self.total())
+    }
+
+    fn pack(&mut self, offset: usize, dst: &mut [u8]) -> Result<usize> {
+        Ok(self.gather(offset, dst))
     }
 
     fn inorder(&self) -> bool {
         false
+    }
+
+    fn random_access(&self) -> Option<&dyn RandomAccessPacker> {
+        Some(self)
+    }
+}
+
+impl RandomAccessPacker for RunsPack<'_> {
+    fn pack_at(&self, offset: usize, dst: &mut [u8]) -> std::result::Result<usize, i32> {
+        Ok(self.gather(offset, dst))
     }
 }
 
@@ -153,6 +206,10 @@ pub struct RunsUnpack<'a> {
 }
 
 unsafe impl Send for RunsUnpack<'_> {}
+
+// SAFETY: disjoint packed ranges scatter to disjoint runs of the slab (the
+// parallel engine's contract), so concurrent `unpack_at` calls are safe.
+unsafe impl Sync for RunsUnpack<'_> {}
 
 impl<'a> RunsUnpack<'a> {
     /// Scatter incoming runs into `slab`.
@@ -167,14 +224,9 @@ impl<'a> RunsUnpack<'a> {
             _borrow: PhantomData,
         }
     }
-}
 
-impl CustomUnpack for RunsUnpack<'_> {
-    fn packed_size(&self) -> Result<usize> {
-        Ok(self.offsets.len() * self.run_len)
-    }
-
-    fn unpack(&mut self, offset: usize, src: &[u8]) -> Result<()> {
+    /// Stateless scatter of a packed-stream range into the run list.
+    fn scatter(&self, offset: usize, src: &[u8]) -> Result<()> {
         if self.run_len == 0 {
             return Ok(());
         }
@@ -200,6 +252,26 @@ impl CustomUnpack for RunsUnpack<'_> {
             done += n;
         }
         Ok(())
+    }
+}
+
+impl CustomUnpack for RunsUnpack<'_> {
+    fn packed_size(&self) -> Result<usize> {
+        Ok(self.offsets.len() * self.run_len)
+    }
+
+    fn unpack(&mut self, offset: usize, src: &[u8]) -> Result<()> {
+        self.scatter(offset, src)
+    }
+
+    fn random_access(&self) -> Option<&dyn RandomAccessUnpacker> {
+        Some(self)
+    }
+}
+
+impl RandomAccessUnpacker for RunsUnpack<'_> {
+    fn unpack_at(&self, offset: usize, src: &[u8]) -> std::result::Result<(), i32> {
+        self.scatter(offset, src).map_err(|e| e.code())
     }
 }
 

@@ -145,9 +145,108 @@ impl WireModel {
     }
 }
 
+/// Configuration of the parallel fragment pipeline (the `pipeline` module
+/// in the crate sources).
+///
+/// Environment knobs, read once per process by [`PipelineConfig::from_env`]:
+///
+/// * `MPICD_PIPELINE` — `0` disables the parallel engine entirely (the
+///   serial `copy_stream` runs for every transfer, exactly as before the
+///   pipeline existed). Default: enabled.
+/// * `MPICD_PIPELINE_THREADS` — total worker concurrency, including the
+///   posting thread. Default: `min(4, available_parallelism)`.
+/// * `MPICD_PIPELINE_DEPTH` — bound on the ring of pooled per-fragment
+///   scratch buffers (only packer→unpacker fragments need staging).
+///   Default: `2 × threads`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Whether eligible transfers may use the parallel engine at all.
+    pub enabled: bool,
+    /// Total fragment-working threads, counting the thread that posted the
+    /// transfer (which always participates). `1` means the parallel engine
+    /// runs but spawns no workers.
+    pub threads: usize,
+    /// Maximum pooled scratch buffers checked out at once.
+    pub depth: usize,
+}
+
+impl PipelineConfig {
+    /// The process-wide default, from the `MPICD_PIPELINE*` environment
+    /// knobs (read once and cached, like the `MPICD_PLAN*` family).
+    pub fn from_env() -> Self {
+        static CFG: std::sync::OnceLock<PipelineConfig> = std::sync::OnceLock::new();
+        *CFG.get_or_init(|| {
+            let off = |k: &str| std::env::var(k).is_ok_and(|v| v == "0");
+            let num = |k: &str| {
+                std::env::var(k)
+                    .ok()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+            };
+            let threads = num("MPICD_PIPELINE_THREADS").unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(4)
+            });
+            PipelineConfig {
+                enabled: !off("MPICD_PIPELINE"),
+                threads,
+                depth: num("MPICD_PIPELINE_DEPTH").unwrap_or(2 * threads),
+            }
+        })
+    }
+
+    /// A configuration that never uses the parallel engine — today's serial
+    /// `copy_stream` for every transfer.
+    pub fn serial() -> Self {
+        Self {
+            enabled: false,
+            threads: 1,
+            depth: 1,
+        }
+    }
+
+    /// An explicit parallel configuration (mostly for benchmarks and tests
+    /// that sweep thread counts without touching the environment).
+    pub fn with_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
+        Self {
+            enabled: true,
+            threads,
+            depth: 2 * threads,
+        }
+    }
+}
+
+/// Bound on the eager bounce-buffer freelist (buffer count). A burst of
+/// eager sends would otherwise retain peak memory forever. Knob:
+/// `MPICD_BOUNCE_POOL_CAP` (read once per process; default 64, `0` disables
+/// pooling).
+pub(crate) fn bounce_pool_cap() -> usize {
+    static CAP: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("MPICD_BOUNCE_POOL_CAP")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(64)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pipeline_config_constructors() {
+        let s = PipelineConfig::serial();
+        assert!(!s.enabled);
+        let p = PipelineConfig::with_threads(4);
+        assert!(p.enabled);
+        assert_eq!(p.threads, 4);
+        assert_eq!(p.depth, 8);
+        assert_eq!(PipelineConfig::with_threads(0).threads, 1);
+    }
 
     #[test]
     fn default_matches_testbed() {

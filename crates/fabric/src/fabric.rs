@@ -18,15 +18,16 @@
 //!   internally" and is unaffected by the eager/rendezvous switch.
 
 use crate::clock::WireLedger;
-use crate::config::WireModel;
+use crate::config::{bounce_pool_cap, PipelineConfig, WireModel};
 use crate::error::{FabricError, FabricResult};
 use crate::matching::{Envelope, Selector, Tag};
 use crate::payload::{IovEntry, IovEntryMut, RecvDesc, SendDesc};
+use crate::pipeline::{self, PipelinePool};
 use crate::request::{ReqState, Request};
 use crate::stats::{FabricMetrics, FabricStats, StatsView};
-use crate::transfer::{copy_stream, DstSeg, SrcSeg};
+use crate::transfer::{copy_stream, DstSeg, SrcSeg, TransferScratch};
 use mpicd_obs::sync::{Condvar, Mutex};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A pending (unmatched) send sitting in the unexpected queue.
 struct PendingSend {
@@ -59,7 +60,12 @@ struct MatchState {
     posted: Vec<Vec<PostedRecv>>,
     /// Bounce-buffer freelist (eager protocol) to keep allocator noise out
     /// of latency measurements, like UCX's preregistered eager buffers.
+    /// Bounded by `MPICD_BOUNCE_POOL_CAP` (default 64 buffers).
     bounce_pool: Vec<Vec<u8>>,
+    /// Recycled serial-engine scratch (staging buffer, out-of-order
+    /// fragment buffers). Transfers run with the match lock held, so one
+    /// set per fabric suffices.
+    xfer_scratch: TransferScratch,
 }
 
 struct Inner {
@@ -72,6 +78,12 @@ struct Inner {
     metrics: FabricMetrics,
     state: Mutex<MatchState>,
     arrivals: Condvar,
+    /// Parallel fragment pipeline configuration (env knobs unless the
+    /// fabric was built with [`Fabric::with_model_and_pipeline`]).
+    pipeline_cfg: PipelineConfig,
+    /// The worker pool, spawned lazily on the first eligible transfer and
+    /// joined when the fabric drops.
+    pipeline: OnceLock<PipelinePool>,
 }
 
 /// An in-process world of communicating ranks.
@@ -89,8 +101,17 @@ impl Fabric {
         Self::with_model(size, WireModel::default())
     }
 
-    /// A world of `size` ranks with an explicit wire model.
+    /// A world of `size` ranks with an explicit wire model. The parallel
+    /// fragment pipeline follows the `MPICD_PIPELINE*` environment knobs.
     pub fn with_model(size: usize, model: WireModel) -> Self {
+        Self::with_model_and_pipeline(size, model, PipelineConfig::from_env())
+    }
+
+    /// A world of `size` ranks with an explicit wire model *and* an
+    /// explicit pipeline configuration, ignoring the environment knobs.
+    /// Benchmarks and tests use this to sweep thread counts;
+    /// [`PipelineConfig::serial`] pins every transfer to the serial engine.
+    pub fn with_model_and_pipeline(size: usize, model: WireModel, pipeline: PipelineConfig) -> Self {
         assert!(size > 0, "fabric needs at least one rank");
         Self {
             inner: Arc::new(Inner {
@@ -103,8 +124,11 @@ impl Fabric {
                     unexpected: (0..size).map(|_| Vec::new()).collect(),
                     posted: (0..size).map(|_| Vec::new()).collect(),
                     bounce_pool: Vec::new(),
+                    xfer_scratch: TransferScratch::default(),
                 }),
                 arrivals: Condvar::new(),
+                pipeline_cfg: pipeline,
+                pipeline: OnceLock::new(),
             }),
         }
     }
@@ -117,6 +141,11 @@ impl Fabric {
     /// The wire model in effect.
     pub fn model(&self) -> &WireModel {
         &self.inner.model
+    }
+
+    /// The parallel-pipeline configuration in effect.
+    pub fn pipeline_config(&self) -> PipelineConfig {
+        self.inner.pipeline_cfg
     }
 
     /// The modeled wire-time ledger.
@@ -656,17 +685,42 @@ impl Inner {
                 }
             }
 
-            let r = copy_stream(
-                &self.model,
-                &mut src_segs,
-                &mut dst_segs,
-                allow_ooo,
-                &self.metrics,
-            );
+            // Dispatch seam: eligible transfers go through the parallel
+            // fragment pipeline, everything else through the serial engine.
+            // Eligibility: pipeline enabled, the sender did not demand
+            // in-order callback delivery, the payload splits into at least
+            // two fragments, and every callback segment is random-access.
+            let mut parallel: Option<FabricResult<usize>> = None;
+            if self.pipeline_cfg.enabled && !inorder && total > self.model.frag_size {
+                if let Some((ps, pd)) = pipeline::parallel_view(&src_segs, &dst_segs) {
+                    let pool = self
+                        .pipeline
+                        .get_or_init(|| PipelinePool::spawn(self.pipeline_cfg, &self.metrics));
+                    self.stats.record_pipelined();
+                    parallel = Some(pipeline::run_parallel(
+                        pool,
+                        self.model.frag_size,
+                        ps,
+                        pd,
+                        &self.metrics,
+                    ));
+                }
+            }
+            let r = match parallel {
+                Some(r) => r,
+                None => copy_stream(
+                    &self.model,
+                    &mut src_segs,
+                    &mut dst_segs,
+                    allow_ooo,
+                    &self.metrics,
+                    &mut state.xfer_scratch,
+                ),
+            };
             drop(src_segs);
             // Recycle the bounce buffer.
             if let SendSide::Bounce { data } = send {
-                if state.bounce_pool.len() < 64 {
+                if state.bounce_pool.len() < bounce_pool_cap() {
                     state.bounce_pool.push(data);
                 }
             }

@@ -41,15 +41,19 @@ pub mod error;
 pub mod fabric;
 pub mod matching;
 pub mod payload;
+mod pipeline;
 pub mod request;
 pub mod stats;
 mod transfer;
 
 pub use clock::WireLedger;
-pub use config::WireModel;
+pub use config::{PipelineConfig, WireModel};
 pub use error::{FabricError, FabricResult};
 pub use fabric::{Endpoint, Fabric, Message};
 pub use matching::{Tag, ANY_SOURCE, ANY_TAG};
-pub use payload::{FragmentPacker, FragmentUnpacker, IovEntry, IovEntryMut, RecvDesc, SendDesc};
+pub use payload::{
+    FragmentPacker, FragmentUnpacker, IovEntry, IovEntryMut, RandomAccessPacker,
+    RandomAccessUnpacker, RecvDesc, SendDesc,
+};
 pub use request::Request;
 pub use stats::FabricStats;

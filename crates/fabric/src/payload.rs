@@ -90,6 +90,35 @@ impl fmt::Debug for IovEntryMut {
     }
 }
 
+/// Shared, offset-addressed view of a packer — the *random access*
+/// capability that admits a packer to the parallel fragment pipeline.
+///
+/// Implementations promise that `pack_at` is a pure function of `offset`:
+/// any byte range of the packed stream can be produced independently, in
+/// any order, from any thread (`Sync`). Plan-backed datatype engines and
+/// `LoopNest` traversals satisfy this; stateful streaming callbacks do not.
+pub trait RandomAccessPacker: Sync {
+    /// Produce packed bytes starting at virtual byte `offset` into `dst`.
+    ///
+    /// Same partial-fill contract as [`FragmentPacker::pack`], but callable
+    /// concurrently: the engine guarantees concurrent calls use disjoint
+    /// offset ranges.
+    fn pack_at(&self, offset: usize, dst: &mut [u8]) -> Result<usize, i32>;
+}
+
+/// Shared, offset-addressed view of an unpacker (see [`RandomAccessPacker`]).
+///
+/// Implementations additionally promise that fragments at disjoint packed
+/// offsets land in disjoint memory, so concurrent delivery is race-free —
+/// true of typemap-driven scatters, where each packed byte maps to exactly
+/// one destination byte.
+pub trait RandomAccessUnpacker: Sync {
+    /// Consume `src`, whose first byte is virtual offset `offset` of the
+    /// packed stream. The engine guarantees concurrent calls use disjoint
+    /// offset ranges.
+    fn unpack_at(&self, offset: usize, src: &[u8]) -> Result<(), i32>;
+}
+
 /// Application-side packer invoked fragment by fragment
 /// (`UCP_DATATYPE_GENERIC` pack / Listing 4 `MPI_Type_custom_pack_function`).
 pub trait FragmentPacker: Send {
@@ -103,6 +132,13 @@ pub trait FragmentPacker: Send {
     /// aborts the operation and surfaces
     /// [`FabricError::PackFailed`](crate::FabricError::PackFailed).
     fn pack(&mut self, offset: usize, dst: &mut [u8]) -> Result<usize, i32>;
+
+    /// Opt into the parallel fragment pipeline by exposing a shared
+    /// offset-addressed view, or `None` (the default) to stay on the serial
+    /// engine. Non-random-access callbacks must leave this as `None`.
+    fn random_access(&self) -> Option<&dyn RandomAccessPacker> {
+        None
+    }
 }
 
 /// Application-side unpacker invoked once per received fragment
@@ -113,6 +149,12 @@ pub trait FragmentUnpacker: Send {
     /// sender cleared `inorder` *and* the wire model enables out-of-order
     /// delivery.
     fn unpack(&mut self, offset: usize, src: &[u8]) -> Result<(), i32>;
+
+    /// Opt into the parallel fragment pipeline (see
+    /// [`FragmentPacker::random_access`]). Default: serial only.
+    fn random_access(&self) -> Option<&dyn RandomAccessUnpacker> {
+        None
+    }
 }
 
 /// Closure adapter: any `FnMut(usize, &mut [u8]) -> Result<usize, i32>` is a

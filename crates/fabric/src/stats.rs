@@ -26,6 +26,7 @@ pub struct FabricStats {
     fragments: AtomicU64,
     regions: AtomicU64,
     unexpected: AtomicU64,
+    pipelined: AtomicU64,
 }
 
 /// A copied-out, plain view of [`FabricStats`].
@@ -45,6 +46,9 @@ pub struct StatsView {
     pub regions: u64,
     /// Messages that arrived before a matching receive was posted.
     pub unexpected: u64,
+    /// Messages whose payload moved through the parallel fragment pipeline
+    /// (zero whenever `MPICD_PIPELINE=0` or the transfer was ineligible).
+    pub pipelined: u64,
 }
 
 impl FabricStats {
@@ -71,6 +75,10 @@ impl FabricStats {
         self.unexpected.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_pipelined(&self) {
+        self.pipelined.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copy out the current counter values.
     pub fn view(&self) -> StatsView {
         StatsView {
@@ -81,6 +89,7 @@ impl FabricStats {
             fragments: self.fragments.load(Ordering::Relaxed),
             regions: self.regions.load(Ordering::Relaxed),
             unexpected: self.unexpected.load(Ordering::Relaxed),
+            pipelined: self.pipelined.load(Ordering::Relaxed),
         }
     }
 }
@@ -98,6 +107,7 @@ impl StatsView {
             fragments: self.fragments.saturating_sub(earlier.fragments),
             regions: self.regions.saturating_sub(earlier.regions),
             unexpected: self.unexpected.saturating_sub(earlier.unexpected),
+            pipelined: self.pipelined.saturating_sub(earlier.pipelined),
         }
     }
 }
@@ -128,6 +138,15 @@ pub(crate) struct FabricMetrics {
     pub copy_bytes: Arc<Counter>,
     /// Message-size distribution.
     pub msg_size: Arc<Histogram>,
+    /// Transfers executed by the parallel fragment pipeline (always on).
+    pub pipeline_transfers: Arc<Counter>,
+    /// Fragments executed by the parallel engine (always on).
+    pub pipeline_frags: Arc<Counter>,
+    /// Worker threads spawned by pipeline pools (recorded once per pool).
+    pub pipeline_threads: Arc<Counter>,
+    /// Wall time inside the parallel engine, submit to completion
+    /// (tracing only, fed by a `span_acc` guard like `pack_ns`).
+    pub pipeline_ns: Arc<Counter>,
 }
 
 impl FabricMetrics {
@@ -147,6 +166,10 @@ impl FabricMetrics {
             unpack_ns: r.counter("fabric.unpack_ns"),
             copy_bytes: r.counter("fabric.copy_bytes"),
             msg_size: r.histogram("fabric.msg_size"),
+            pipeline_transfers: r.counter("fabric.pipeline.transfers"),
+            pipeline_frags: r.counter("fabric.pipeline.frags"),
+            pipeline_threads: r.counter("fabric.pipeline.threads"),
+            pipeline_ns: r.counter("fabric.pipeline.ns"),
         }
     }
 
@@ -167,6 +190,10 @@ impl FabricMetrics {
             unpack_ns: Arc::new(Counter::new()),
             copy_bytes: Arc::new(Counter::new()),
             msg_size: Arc::new(Histogram::new()),
+            pipeline_transfers: Arc::new(Counter::new()),
+            pipeline_frags: Arc::new(Counter::new()),
+            pipeline_threads: Arc::new(Counter::new()),
+            pipeline_ns: Arc::new(Counter::new()),
         }
     }
 
@@ -238,6 +265,7 @@ mod tests {
             fragments: 7,
             regions: 9,
             unexpected: 1,
+            pipelined: 4,
         };
         let fresh = StatsView::default();
         let d = fresh.since(&busy);

@@ -53,6 +53,47 @@ impl DstSeg<'_> {
     }
 }
 
+/// Per-transfer allocations of [`copy_stream`], recycled across transfers.
+///
+/// Every matched transfer used to heap-allocate a fresh staging buffer and
+/// a fresh out-of-order fragment list; the fabric now keeps one of these in
+/// its match state (mirroring the eager bounce-buffer freelist) and hands
+/// it to every serial transfer.
+#[derive(Default)]
+pub(crate) struct TransferScratch {
+    /// Packer→unpacker staging buffer (capacity kept across transfers).
+    buf: Vec<u8>,
+    /// Out-of-order delivery list: (local offset, data). Drained after use;
+    /// entries left behind by an error return are reclaimed on reuse.
+    ooo: Vec<(usize, Vec<u8>)>,
+    /// Freelist of fragment buffers for the `ooo` list.
+    spare: Vec<Vec<u8>>,
+}
+
+/// Cap on pooled ooo fragment buffers — bounds retained memory to
+/// `SPARE_CAP × frag_size` per fabric.
+const SPARE_CAP: usize = 64;
+
+impl TransferScratch {
+    /// Prepare for a new transfer: recycle anything a previous transfer
+    /// (possibly one that errored mid-stream) left behind.
+    fn reset(&mut self) {
+        while let Some((_, data)) = self.ooo.pop() {
+            if self.spare.len() < SPARE_CAP {
+                self.spare.push(data);
+            }
+        }
+    }
+}
+
+/// Copy `bytes` into a (possibly recycled) fragment buffer.
+fn fill_frag_buf(spare: &mut Vec<Vec<u8>>, bytes: &[u8]) -> Vec<u8> {
+    let mut b = spare.pop().unwrap_or_default();
+    b.clear();
+    b.extend_from_slice(bytes);
+    b
+}
+
 /// Move the full send stream into the receive stream.
 ///
 /// * Fragmentation: no single callback invocation or memcpy spans more than
@@ -72,13 +113,12 @@ pub(crate) fn copy_stream(
     dst_segs: &mut [DstSeg<'_>],
     allow_ooo: bool,
     metrics: &FabricMetrics,
+    scratch: &mut TransferScratch,
 ) -> FabricResult<usize> {
     let total: usize = src_segs.iter().map(|s| s.len()).sum();
     let frag = model.frag_size.max(1);
 
-    let mut scratch: Vec<u8> = Vec::new();
-    // Buffered fragments for out-of-order unpacker delivery: (local offset, data).
-    let mut ooo_frags: Vec<(usize, Vec<u8>)> = Vec::new();
+    scratch.reset();
 
     let (mut si, mut s_off) = (0usize, 0usize);
     let (mut di, mut d_off) = (0usize, 0usize);
@@ -118,7 +158,8 @@ pub(crate) fn copy_stream(
                 // SAFETY: as above.
                 let bytes = unsafe { std::slice::from_raw_parts(s.ptr.add(s_off), want) };
                 if allow_ooo {
-                    ooo_frags.push((d_off, bytes.to_vec()));
+                    let b = fill_frag_buf(&mut scratch.spare, bytes);
+                    scratch.ooo.push((d_off, b));
                 } else {
                     let _sp = span_acc("unpack", "fabric", want as u64, &metrics.unpack_ns);
                     unpacker
@@ -146,10 +187,10 @@ pub(crate) fn copy_stream(
                 used
             }
             (SrcSeg::Packer { packer, .. }, DstSeg::Unpacker { unpacker, .. }) => {
-                scratch.resize(want, 0);
+                scratch.buf.resize(want, 0);
                 let used = {
                     let _sp = span_acc("pack", "fabric", want as u64, &metrics.pack_ns);
-                    packer.pack(s_off, &mut scratch[..want])
+                    packer.pack(s_off, &mut scratch.buf[..want])
                 }
                 .map_err(FabricError::PackFailed)?;
                 debug_assert!(used <= want, "packer overreported bytes used");
@@ -161,11 +202,12 @@ pub(crate) fn copy_stream(
                     });
                 }
                 if allow_ooo {
-                    ooo_frags.push((d_off, scratch[..used].to_vec()));
+                    let b = fill_frag_buf(&mut scratch.spare, &scratch.buf[..used]);
+                    scratch.ooo.push((d_off, b));
                 } else {
                     let _sp = span_acc("unpack", "fabric", used as u64, &metrics.unpack_ns);
                     unpacker
-                        .unpack(d_off, &scratch[..used])
+                        .unpack(d_off, &scratch.buf[..used])
                         .map_err(FabricError::UnpackFailed)?;
                 }
                 used
@@ -179,8 +221,10 @@ pub(crate) fn copy_stream(
 
     // Deliver buffered out-of-order fragments (reverse offset order) to the
     // unpacker segment. At most one unpacker segment exists by construction
-    // (the packed stream is always the leading segment).
-    if !ooo_frags.is_empty() {
+    // (the packed stream is always the leading segment). Popping walks the
+    // list in reverse; an error return leaves the remainder in `scratch`,
+    // where the next transfer's `reset` reclaims the buffers.
+    if !scratch.ooo.is_empty() {
         let unpacker = dst_segs
             .iter_mut()
             .find_map(|d| match d {
@@ -188,11 +232,16 @@ pub(crate) fn copy_stream(
                 _ => None,
             })
             .expect("ooo fragments imply an unpacker segment");
-        for (off, data) in ooo_frags.into_iter().rev() {
-            let _sp = span_acc("unpack", "fabric", data.len() as u64, &metrics.unpack_ns);
-            unpacker
-                .unpack(off, &data)
-                .map_err(FabricError::UnpackFailed)?;
+        while let Some((off, data)) = scratch.ooo.pop() {
+            {
+                let _sp = span_acc("unpack", "fabric", data.len() as u64, &metrics.unpack_ns);
+                unpacker
+                    .unpack(off, &data)
+                    .map_err(FabricError::UnpackFailed)?;
+            }
+            if scratch.spare.len() < SPARE_CAP {
+                scratch.spare.push(data);
+            }
         }
     }
 
@@ -225,7 +274,7 @@ mod tests {
             DstSeg::Mem(IovEntryMut::from_slice(&mut out1)),
             DstSeg::Mem(IovEntryMut::from_slice(&mut out2)),
         ];
-        let moved = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached()).unwrap();
+        let moved = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default()).unwrap();
         assert_eq!(moved, 8);
         assert_eq!(out1, [1, 2]);
         assert_eq!(out2, [3, 4, 5, 6, 7, 8]);
@@ -248,7 +297,7 @@ mod tests {
             len: 20,
         }];
         let mut dst = [DstSeg::Mem(IovEntryMut::from_slice(&mut out))];
-        let moved = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached()).unwrap();
+        let moved = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default()).unwrap();
         assert_eq!(moved, 20);
         assert_eq!(out, data);
     }
@@ -281,7 +330,7 @@ mod tests {
             unpacker: &mut unpacker,
             len: 50,
         }];
-        let moved = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached()).unwrap();
+        let moved = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default()).unwrap();
         assert_eq!(moved, 50);
         received.copy_from_slice(&out.lock());
         assert_eq!(received, data);
@@ -312,7 +361,7 @@ mod tests {
             unpacker: &mut unpacker,
             len: 32,
         }];
-        copy_stream(&model, &mut src, &mut dst, true, &FabricMetrics::detached()).unwrap();
+        copy_stream(&model, &mut src, &mut dst, true, &FabricMetrics::detached(), &mut TransferScratch::default()).unwrap();
         assert_eq!(unpacker.out, data, "offset-addressed unpack reassembles");
         assert_eq!(offsets_seen, vec![24, 16, 8, 0], "reverse-order delivery");
     }
@@ -327,7 +376,7 @@ mod tests {
             len: 16,
         }];
         let mut dst = [DstSeg::Mem(IovEntryMut::from_slice(&mut out))];
-        let err = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached()).unwrap_err();
+        let err = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default()).unwrap_err();
         assert!(matches!(err, FabricError::PackStalled { .. }));
     }
 
@@ -348,9 +397,43 @@ mod tests {
             len: 16,
         }];
         assert_eq!(
-            copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached()),
+            copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default()),
             Err(FabricError::UnpackFailed(42))
         );
+    }
+
+    #[test]
+    fn scratch_freelist_recycles_ooo_buffers() {
+        let model = model_with_frag(8);
+        let data: Vec<u8> = (0..32u8).collect();
+        struct U(Vec<u8>);
+        impl FragmentUnpacker for U {
+            fn unpack(&mut self, offset: usize, src: &[u8]) -> Result<(), i32> {
+                self.0[offset..offset + src.len()].copy_from_slice(src);
+                Ok(())
+            }
+        }
+        let mut scratch = TransferScratch::default();
+        for round in 0..3 {
+            let mut unpacker = U(vec![0u8; 32]);
+            let mut src = [SrcSeg::Mem(IovEntry::from_slice(&data))];
+            let mut dst = [DstSeg::Unpacker {
+                unpacker: &mut unpacker,
+                len: 32,
+            }];
+            copy_stream(
+                &model,
+                &mut src,
+                &mut dst,
+                true,
+                &FabricMetrics::detached(),
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(unpacker.0, data, "round {round}");
+        }
+        // 4 ooo fragments per round were pooled and reused, not reallocated.
+        assert_eq!(scratch.spare.len(), 4, "fragment buffers returned to pool");
     }
 
     #[test]
@@ -358,6 +441,6 @@ mod tests {
         let model = model_with_frag(8);
         let mut src: [SrcSeg<'_>; 0] = [];
         let mut dst: [DstSeg<'_>; 0] = [];
-        assert_eq!(copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached()).unwrap(), 0);
+        assert_eq!(copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default()).unwrap(), 0);
     }
 }

@@ -141,7 +141,7 @@ fn ethernet_preset_flips_region_verdict() {
     // ablation claim as a test, using the wire presets.
     use mpicd::fabric::WireModel;
     let size = 64 * 1024;
-    let mut wire_ns = |model: WireModel, regions: usize| {
+    let wire_ns = |model: WireModel, regions: usize| {
         let world = mpicd::World::with_model(2, model);
         let (a, b) = world.pair();
         let sender = mpicd_ddtbench::make("MILC", size);
