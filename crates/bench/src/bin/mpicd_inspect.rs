@@ -1,0 +1,67 @@
+//! `mpicd-inspect` — offline analyzer for flight-recorder dumps.
+//!
+//! Reads a JSONL dump written by the flight recorder (`MPICD_FLIGHT=1`,
+//! `MPICD_FLIGHT_PATH=...`), reconstructs per-transfer timelines, and
+//! prints latency attribution (wait / pack / wire / unpack / copy),
+//! per-method percentiles, the slowest transfers with their critical
+//! path, and straggler flags.
+//!
+//! ```text
+//! mpicd-inspect <dump.jsonl> [--top N] [--straggler-factor F]
+//! ```
+//!
+//! Exit codes: 0 = healthy dump, 1 = usage or I/O error, 2 = the dump
+//! parsed but contains malformed timelines (CI treats this as a failure).
+
+use mpicd_bench::flight::{analyze, read_dump, render_report, ReportOptions};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: mpicd-inspect <dump.jsonl> [--top N] [--straggler-factor F]";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut path: Option<PathBuf> = None;
+    let mut opts = ReportOptions::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--top" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.top = n,
+                None => return usage_error("--top needs an integer"),
+            },
+            "--straggler-factor" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(f) if f > 1.0 => opts.straggler_factor = f,
+                _ => return usage_error("--straggler-factor needs a number > 1"),
+            },
+            _ if path.is_none() && !arg.starts_with('-') => path = Some(PathBuf::from(arg)),
+            _ => return usage_error(&format!("unexpected argument `{arg}`")),
+        }
+    }
+    let Some(path) = path else {
+        return usage_error("missing dump path");
+    };
+
+    let dump = match read_dump(&path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("mpicd-inspect: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let analysis = analyze(&dump);
+    print!("{}", render_report(&analysis, &opts, &path.display().to_string()));
+    if analysis.malformed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("mpicd-inspect: {msg}\n{USAGE}");
+    ExitCode::FAILURE
+}

@@ -15,6 +15,9 @@
 //! * [`report`] — aligned table output (one table per figure).
 //! * [`phase`] — per-phase breakdown (pack/unpack CPU, wire, copies)
 //!   snapshotted from the `mpicd-obs` registry per measured cell.
+//! * [`flight`] — flight-recorder dump analysis behind the
+//!   `mpicd-inspect` binary: timeline reconstruction, per-transfer
+//!   latency attribution, and the straggler report.
 //!
 //! All binaries accept `MPICD_BENCH_QUICK=1` to run a fast smoke sweep
 //! (used by tests) and print the same table shape as the full run. With
@@ -22,6 +25,7 @@
 //! [`obs_finish`]) and populate the CPU columns of the phase tables.
 
 pub mod ddt;
+pub mod flight;
 pub mod harness;
 pub mod methods;
 pub mod phase;

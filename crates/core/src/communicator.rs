@@ -52,6 +52,24 @@ impl From<mpicd_fabric::matching::Envelope> for Status {
 /// Tag reserved for [`Communicator::barrier`].
 const BARRIER_TAG: Tag = i32::MAX - 7;
 
+/// Flight-recorder `Error` aux code for a receive whose `finish()` hook
+/// failed *after* the wire transfer completed. Kept above the
+/// `FabricError::flight_code` range (1–10) so analyzers can tell transport
+/// failures from receiver-side deserialization failures.
+const FLIGHT_FINISH_FAILED: u64 = 100;
+
+/// Record a flight `Error` event against `req`'s transfer id (no-op when
+/// the recorder was off at post time).
+fn flight_finish_error(req: &Request) {
+    let fid = req.flight_id();
+    if fid != 0 {
+        mpicd_obs::flight::record(
+            mpicd_obs::flight::FlightEvent::new(mpicd_obs::flight::EventKind::Error, fid)
+                .aux(FLIGHT_FINISH_FAILED),
+        );
+    }
+}
+
 /// An in-process MPI world (all ranks share one simulated fabric).
 pub struct World {
     fabric: Fabric,
@@ -183,7 +201,10 @@ impl Communicator {
                 // the wait; the fabric stops using the pointer at completion.
                 let req = unsafe { self.post_custom_recv(&mut *ctx, source, tag)? };
                 let env = req.wait()?;
-                ctx.finish()?;
+                if let Err(e) = ctx.finish() {
+                    flight_finish_error(&req);
+                    return Err(e);
+                }
                 Ok(env.into())
             }
         }
@@ -217,7 +238,10 @@ impl Communicator {
         // SAFETY: `ctx` outlives the wait below.
         let req = unsafe { self.post_custom_recv(ctx, source, tag)? };
         let env = req.wait()?;
-        ctx.finish()?;
+        if let Err(e) = ctx.finish() {
+            flight_finish_error(&req);
+            return Err(e);
+        }
         Ok(env.into())
     }
 
@@ -331,7 +355,12 @@ impl Communicator {
                 let rreq = unsafe { self.post_custom_recv(&mut *ctx, source, rtag)? };
                 let sreq = self.post_any_send(sbuf, dest, stag)?;
                 let env = rreq.wait()?;
-                ctx.finish()?;
+                if let Err(e) = ctx.finish() {
+                    flight_finish_error(&rreq);
+                    // Drain the send so the borrow is not left lent out.
+                    let _ = sreq.wait();
+                    return Err(e);
+                }
                 sreq.wait()?;
                 Ok(env.into())
             }
@@ -791,6 +820,7 @@ impl<'env> Scope<'env, '_> {
                 Ok(_) => {
                     if let Some(ctx) = op.recv_ctx.as_mut() {
                         if let Err(e) = ctx.finish() {
+                            flight_finish_error(&op.request);
                             first_err.get_or_insert(e);
                         }
                     }

@@ -17,6 +17,32 @@
 //!   packers use for their 2–5-deep nests.
 
 use crate::error::{Error, Result};
+use mpicd_obs::Counter;
+use std::sync::{Arc, OnceLock};
+
+/// Process-global counters for the suspendable cursor — how many
+/// fragment-granular pack/unpack calls the Listing 9 analogue served, and
+/// how many of them *suspended mid-nest* (fragment boundary fell inside the
+/// loop nest) rather than finishing the traversal. Plain relaxed counters,
+/// always on; they surface in `mpicd_obs::export::summary()` and the
+/// `MPICD_METRICS_JSON` snapshot.
+struct CursorMetrics {
+    pack_calls: Arc<Counter>,
+    unpack_calls: Arc<Counter>,
+    suspensions: Arc<Counter>,
+}
+
+fn cursor_metrics() -> &'static CursorMetrics {
+    static METRICS: OnceLock<CursorMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let g = mpicd_obs::global();
+        CursorMetrics {
+            pack_calls: g.counter("core.cursor.pack_calls"),
+            unpack_calls: g.counter("core.cursor.unpack_calls"),
+            suspensions: g.counter("core.cursor.suspensions"),
+        }
+    })
+}
 
 /// A rectangular loop nest over contiguous runs of bytes.
 ///
@@ -268,6 +294,8 @@ impl SuspendableCursor<'_> {
     /// # Safety
     /// `base` must be valid for reads over the nest's whole span.
     pub unsafe fn pack_into(&mut self, base: *const u8, dst: &mut [u8]) -> usize {
+        let m = cursor_metrics();
+        m.pack_calls.inc();
         let mut done = 0usize;
         while !self.finished && done < dst.len() {
             let n = (self.nest.run_len - self.within).min(dst.len() - done);
@@ -283,6 +311,9 @@ impl SuspendableCursor<'_> {
                 self.advance();
             }
         }
+        if !self.finished {
+            m.suspensions.inc();
+        }
         done
     }
 
@@ -291,6 +322,8 @@ impl SuspendableCursor<'_> {
     /// # Safety
     /// `base` must be valid for writes over the nest's whole span.
     pub unsafe fn unpack_from(&mut self, base: *mut u8, src: &[u8]) -> usize {
+        let m = cursor_metrics();
+        m.unpack_calls.inc();
         let mut done = 0usize;
         while !self.finished && done < src.len() {
             let n = (self.nest.run_len - self.within).min(src.len() - done);
@@ -305,6 +338,9 @@ impl SuspendableCursor<'_> {
                 self.within = 0;
                 self.advance();
             }
+        }
+        if !self.finished {
+            m.suspensions.inc();
         }
         done
     }
@@ -481,6 +517,26 @@ mod tests {
         let mut buf = vec![0u8; 48];
         unsafe { cur.pack_into(src.as_ptr(), &mut buf) };
         assert_eq!(cur.indices(), &[0, 3]);
+    }
+
+    #[test]
+    fn cursor_counters_track_calls_and_suspensions() {
+        let nest = LoopNest::new(vec![2, 4], vec![64, 16], 16).unwrap();
+        let src = vec![1u8; 256];
+        let m = cursor_metrics();
+        let (calls0, susp0) = (m.pack_calls.get(), m.suspensions.get());
+        let mut cur = nest.cursor();
+        // Two partial fragments (suspended mid-nest), then the remainder.
+        let mut buf = vec![0u8; 48];
+        unsafe { cur.pack_into(src.as_ptr(), &mut buf) };
+        unsafe { cur.pack_into(src.as_ptr(), &mut buf) };
+        let mut rest = vec![0u8; 128];
+        unsafe { cur.pack_into(src.as_ptr(), &mut rest) };
+        assert!(cur.is_finished());
+        // Other tests exercise cursors concurrently, so the deltas are lower
+        // bounds on the process-global counters.
+        assert!(m.pack_calls.get() - calls0 >= 3);
+        assert!(m.suspensions.get() - susp0 >= 2);
     }
 
     #[test]

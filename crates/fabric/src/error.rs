@@ -88,6 +88,26 @@ impl fmt::Display for FabricError {
     }
 }
 
+impl FabricError {
+    /// Stable numeric code carried in flight-recorder `Error` events
+    /// (`aux` word), so dumps identify the failure class without string
+    /// parsing. Codes are append-only.
+    pub fn flight_code(&self) -> u64 {
+        match self {
+            Self::InvalidRank { .. } => 1,
+            Self::Truncated { .. } => 2,
+            Self::PackFailed(_) => 3,
+            Self::UnpackFailed(_) => 4,
+            Self::QueryFailed(_) => 5,
+            Self::RegionFailed(_) => 6,
+            Self::PackStalled { .. } => 7,
+            Self::IovMismatch { .. } => 8,
+            Self::Cancelled => 9,
+            Self::ShutDown => 10,
+        }
+    }
+}
+
 impl std::error::Error for FabricError {}
 
 #[cfg(test)]
@@ -103,6 +123,36 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("100"));
         assert!(s.contains("64"));
+    }
+
+    #[test]
+    fn flight_codes_are_distinct() {
+        let all = [
+            FabricError::InvalidRank { rank: 9, world: 2 },
+            FabricError::Truncated {
+                received: 2,
+                capacity: 1,
+            },
+            FabricError::PackFailed(1),
+            FabricError::UnpackFailed(1),
+            FabricError::QueryFailed(1),
+            FabricError::RegionFailed(1),
+            FabricError::PackStalled {
+                offset: 0,
+                remaining: 1,
+            },
+            FabricError::IovMismatch {
+                send_bytes: 1,
+                recv_bytes: 2,
+            },
+            FabricError::Cancelled,
+            FabricError::ShutDown,
+        ];
+        let mut codes: Vec<u64> = all.iter().map(|e| e.flight_code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len(), "flight codes must be unique");
+        assert!(codes.iter().all(|&c| c > 0), "0 is reserved for 'no code'");
     }
 
     #[test]

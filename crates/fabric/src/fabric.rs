@@ -26,6 +26,7 @@ use crate::pipeline::{self, PipelinePool};
 use crate::request::{ReqState, Request};
 use crate::stats::{FabricMetrics, FabricStats, StatsView};
 use crate::transfer::{copy_stream, DstSeg, SrcSeg, TransferScratch};
+use mpicd_obs::flight::{self, EventKind, FlightEvent, Method};
 use mpicd_obs::sync::{Condvar, Mutex};
 use std::sync::{Arc, OnceLock};
 
@@ -34,6 +35,8 @@ struct PendingSend {
     source: usize,
     tag: Tag,
     total: usize,
+    /// Flight-recorder transfer id allocated at post time (0 = off).
+    fid: u64,
     kind: PendKind,
 }
 
@@ -51,6 +54,8 @@ struct PostedRecv {
     sel: Selector,
     desc: RecvDesc,
     req: Arc<ReqState>,
+    /// Flight-recorder id of the receive post (0 = off).
+    fid: u64,
 }
 
 struct MatchState {
@@ -187,12 +192,24 @@ impl Drop for Inner {
         for q in &state.unexpected {
             for p in q {
                 if let PendKind::Deferred { req, .. } = &p.kind {
+                    if !req.is_done() && p.fid != 0 {
+                        flight::record(
+                            FlightEvent::new(EventKind::Error, p.fid)
+                                .aux(FabricError::ShutDown.flight_code()),
+                        );
+                    }
                     req.complete(Err(FabricError::ShutDown));
                 }
             }
         }
         for q in &state.posted {
             for r in q {
+                if !r.req.is_done() && r.fid != 0 {
+                    flight::record(
+                        FlightEvent::new(EventKind::Error, r.fid)
+                            .aux(FabricError::ShutDown.flight_code()),
+                    );
+                }
                 r.req.complete(Err(FabricError::ShutDown));
             }
         }
@@ -288,6 +305,23 @@ impl Endpoint {
             });
         }
         let total = desc.total_bytes();
+        // Flight: allocate the send-side transfer id (the canonical id every
+        // lifecycle event of this transfer is keyed by) and log the post.
+        let fid = flight::next_id();
+        if fid != 0 {
+            let method = match &desc {
+                SendDesc::Contig(_) if self.inner.model.is_rendezvous(total) => Method::Rendezvous,
+                SendDesc::Contig(_) => Method::Eager,
+                _ => Method::Pipelined,
+            };
+            flight::record(
+                FlightEvent::new(EventKind::PostSend, fid)
+                    .ranks(self.rank as i32, dest as i32)
+                    .tag(tag)
+                    .bytes(total as u64)
+                    .method(method),
+            );
+        }
         let mut state = self.inner.state.lock();
 
         // Try to match an already-posted receive (earliest first).
@@ -303,18 +337,21 @@ impl Endpoint {
                 let recv = posted.remove(idx);
                 let outcome = self.inner.run_matched_transfer(
                     self.rank,
+                    dest,
                     tag,
                     SendSide::Direct(desc),
                     recv.desc,
                     &mut state,
+                    fid,
+                    recv.fid,
                 );
                 recv.req.complete(outcome.clone());
                 return Ok(match outcome {
-                    Ok(env) => Request::ready(env),
+                    Ok(env) => Request::ready(env).with_flight(fid),
                     Err(e) => {
                         let st = ReqState::new();
                         st.complete(Err(e));
-                        Request::new(st)
+                        Request::new(st).with_flight(fid)
                     }
                 });
             }
@@ -339,6 +376,7 @@ impl Endpoint {
                     source: self.rank,
                     tag,
                     total,
+                    fid,
                     kind: PendKind::Eager { data: bounce },
                 });
                 self.inner.stats.record_unexpected();
@@ -348,7 +386,8 @@ impl Endpoint {
                     source: self.rank,
                     tag,
                     bytes: total,
-                }))
+                })
+                .with_flight(fid))
             }
             desc => {
                 let req = ReqState::new();
@@ -356,6 +395,7 @@ impl Endpoint {
                     source: self.rank,
                     tag,
                     total,
+                    fid,
                     kind: PendKind::Deferred {
                         desc,
                         req: Arc::clone(&req),
@@ -364,7 +404,7 @@ impl Endpoint {
                 self.inner.stats.record_unexpected();
                 self.inner.metrics.unexpected.inc();
                 self.inner.arrivals.notify_all();
-                Ok(Request::new(req))
+                Ok(Request::new(req).with_flight(fid))
             }
         }
     }
@@ -378,6 +418,17 @@ impl Endpoint {
     /// completes. Unpack callbacks must not re-enter the fabric.
     pub unsafe fn post_recv(&self, desc: RecvDesc, source: i32, tag: Tag) -> FabricResult<Request> {
         let sel = Selector::new(source, tag);
+        // Flight: the receive post gets its own id; the match event on the
+        // send-side id carries this id in `aux`, joining the two timelines.
+        let rfid = flight::next_id();
+        if rfid != 0 {
+            flight::record(
+                FlightEvent::new(EventKind::PostRecv, rfid)
+                    .ranks(source, self.rank as i32)
+                    .tag(tag)
+                    .bytes(desc.capacity() as u64),
+            );
+        }
         let mut state = self.inner.state.lock();
 
         // Try to match the earliest unexpected send, dropping cancelled
@@ -395,10 +446,13 @@ impl Endpoint {
             };
             let outcome = self.inner.run_matched_transfer(
                 pending.source,
+                self.rank,
                 pending.tag,
                 send_side,
                 desc,
                 &mut state,
+                pending.fid,
+                rfid,
             );
             if let Some(req) = send_req {
                 req.complete(match &outcome {
@@ -415,7 +469,7 @@ impl Endpoint {
             }
             let req = ReqState::new();
             req.complete(outcome);
-            return Ok(Request::new(req));
+            return Ok(Request::new(req).with_flight(rfid));
         }
 
         let req = ReqState::new();
@@ -423,8 +477,9 @@ impl Endpoint {
             sel,
             desc,
             req: Arc::clone(&req),
+            fid: rfid,
         });
-        Ok(Request::new(req))
+        Ok(Request::new(req).with_flight(rfid))
     }
 
     /// Nonblocking probe: envelope of the earliest matching unexpected send.
@@ -514,6 +569,17 @@ impl Endpoint {
     /// # Safety
     /// Same buffer contract as [`Self::post_recv`].
     pub unsafe fn post_mrecv(&self, desc: RecvDesc, msg: Message) -> FabricResult<Request> {
+        // Flight: the matched receive is posted here, so the PostRecv event
+        // is logged here (the probe that detached the message has no buffer).
+        let rfid = flight::next_id();
+        if rfid != 0 {
+            flight::record(
+                FlightEvent::new(EventKind::PostRecv, rfid)
+                    .ranks(msg.pending.as_ref().map_or(-1, |p| p.source as i32), self.rank as i32)
+                    .tag(msg.pending.as_ref().map_or(0, |p| p.tag))
+                    .bytes(desc.capacity() as u64),
+            );
+        }
         let mut state = self.inner.state.lock();
         let pending = msg.take();
         let (send_side, send_req) = match pending.kind {
@@ -522,10 +588,13 @@ impl Endpoint {
         };
         let outcome = self.inner.run_matched_transfer(
             pending.source,
+            self.rank,
             pending.tag,
             send_side,
             desc,
             &mut state,
+            pending.fid,
+            rfid,
         );
         if let Some(req) = send_req {
             req.complete(match &outcome {
@@ -540,7 +609,7 @@ impl Endpoint {
         }
         let req = ReqState::new();
         req.complete(outcome);
-        Ok(Request::new(req))
+        Ok(Request::new(req).with_flight(rfid))
     }
 
     /// Blocking convenience send of a byte slice.
@@ -576,10 +645,17 @@ impl Message {
 impl Drop for Message {
     fn drop(&mut self) {
         if let Some(PendingSend {
+            fid,
             kind: PendKind::Deferred { req, .. },
             ..
         }) = &self.pending
         {
+            if !req.is_done() && *fid != 0 {
+                flight::record(
+                    FlightEvent::new(EventKind::Error, *fid)
+                        .aux(FabricError::Cancelled.flight_code()),
+                );
+            }
             req.complete(Err(FabricError::Cancelled));
         }
     }
@@ -607,10 +683,13 @@ impl Inner {
     fn run_matched_transfer(
         &self,
         source: usize,
+        dest: usize,
         tag: Tag,
         send: SendSide,
         mut recv: RecvDesc,
         state: &mut MatchState,
+        send_fid: u64,
+        recv_fid: u64,
     ) -> FabricResult<Envelope> {
         let (total, send_regions, rendezvous) = match &send {
             SendSide::Bounce { data } => (data.len(), 1, false),
@@ -620,11 +699,57 @@ impl Inner {
                 (t, desc.region_count(), rndv)
             }
         };
+
+        // Flight: every lifecycle event of the matched transfer is keyed by
+        // the send-side id; the match event's `aux` carries the receive-post
+        // id so an analyzer can join both timelines.
+        let method = match &send {
+            SendSide::Bounce { .. } => Method::Eager,
+            SendSide::Direct(SendDesc::Contig(_)) if rendezvous => Method::Rendezvous,
+            SendSide::Direct(SendDesc::Contig(_)) => Method::Eager,
+            SendSide::Direct(_) => Method::Pipelined,
+        };
+        let flight_on = send_fid != 0 && flight::enabled();
+
+        // The synthetic wire span starts at match time; its duration is the
+        // modeled wire time, recorded below once the transfer size is final.
+        let match_start_ns = if mpicd_obs::enabled() || flight_on {
+            mpicd_obs::now_ns()
+        } else {
+            0
+        };
+        if flight_on {
+            flight::record(
+                FlightEvent::new(EventKind::Match, send_fid)
+                    .at(match_start_ns)
+                    .ranks(source as i32, dest as i32)
+                    .tag(tag)
+                    .bytes(total as u64)
+                    .method(method)
+                    .aux(recv_fid),
+            );
+        }
+        // Every error exit funnels through here so a failing transfer always
+        // leaves a terminal Error event (and, when armed, a black-box dump).
+        let fail = |e: FabricError| {
+            if flight_on {
+                flight::record(
+                    FlightEvent::new(EventKind::Error, send_fid)
+                        .ranks(source as i32, dest as i32)
+                        .tag(tag)
+                        .bytes(total as u64)
+                        .method(method)
+                        .aux(e.flight_code()),
+                );
+            }
+            e
+        };
+
         if total > recv.capacity() {
-            return Err(FabricError::Truncated {
+            return Err(fail(FabricError::Truncated {
                 received: total,
                 capacity: recv.capacity(),
-            });
+            }));
         }
 
         let inorder = match &send {
@@ -633,14 +758,6 @@ impl Inner {
         };
         let allow_ooo = self.model.out_of_order_fragments && !inorder;
         let regions = send_regions.max(recv.region_count());
-
-        // The synthetic wire span starts at match time; its duration is the
-        // modeled wire time, recorded below once the transfer size is final.
-        let match_start_ns = if mpicd_obs::enabled() {
-            mpicd_obs::now_ns()
-        } else {
-            0
-        };
 
         // Build segment lists and stream the bytes.
         let result = {
@@ -703,6 +820,7 @@ impl Inner {
                         ps,
                         pd,
                         &self.metrics,
+                        send_fid,
                     ));
                 }
             }
@@ -715,6 +833,7 @@ impl Inner {
                     allow_ooo,
                     &self.metrics,
                     &mut state.xfer_scratch,
+                    send_fid,
                 ),
             };
             drop(src_segs);
@@ -725,7 +844,8 @@ impl Inner {
                 }
             }
             r
-        }?;
+        }
+        .map_err(&fail)?;
         debug_assert_eq!(result, total, "stream moved every byte");
 
         // Wire accounting: one message.
@@ -744,6 +864,24 @@ impl Inner {
             wire_ns as u64,
             total as u64,
         );
+        if flight_on {
+            flight::record(
+                FlightEvent::new(EventKind::WireModeled, send_fid)
+                    .at(match_start_ns)
+                    .dur(wire_ns as u64)
+                    .ranks(source as i32, dest as i32)
+                    .tag(tag)
+                    .bytes(total as u64)
+                    .method(method),
+            );
+            flight::record(
+                FlightEvent::new(EventKind::Complete, send_fid)
+                    .ranks(source as i32, dest as i32)
+                    .tag(tag)
+                    .bytes(total as u64)
+                    .method(method),
+            );
+        }
 
         Ok(Envelope {
             source,

@@ -36,6 +36,7 @@ use crate::error::{FabricError, FabricResult};
 use crate::payload::{IovEntry, IovEntryMut, RandomAccessPacker, RandomAccessUnpacker};
 use crate::stats::FabricMetrics;
 use crate::transfer::{DstSeg, SrcSeg};
+use mpicd_obs::flight::{self, EventKind};
 use mpicd_obs::sync::{Condvar, Mutex};
 use mpicd_obs::trace::span_acc;
 use std::collections::VecDeque;
@@ -175,6 +176,8 @@ struct JobShared<'a> {
     dst_prefix: Vec<usize>,
     scratch: &'a ScratchRing,
     metrics: &'a FabricMetrics,
+    /// Flight-recorder transfer id (0 = not recording).
+    fid: u64,
     /// Lowest-stream-position callback error (position, error).
     error: Mutex<Option<(usize, FabricError)>>,
     /// Fragments not yet finished; guarded decrement, last one notifies.
@@ -235,29 +238,60 @@ impl JobShared<'_> {
                 (ParSrc::Mem(s), ParDst::Unpacker { unpacker, .. }) => {
                     // SAFETY: as above.
                     let bytes = unsafe { std::slice::from_raw_parts(s.ptr.add(s_off), n) };
-                    let _sp = span_acc("unpack", "fabric", n as u64, &self.metrics.unpack_ns);
-                    unpacker
-                        .unpack_at(d_off, bytes)
-                        .map_err(|c| (pos, FabricError::UnpackFailed(c)))?;
+                    let t0 = flight::clock(self.fid);
+                    {
+                        let _sp = span_acc("unpack", "fabric", n as u64, &self.metrics.unpack_ns);
+                        unpacker
+                            .unpack_at(d_off, bytes)
+                            .map_err(|c| (pos, FabricError::UnpackFailed(c)))?;
+                    }
+                    flight::record_frag(
+                        EventKind::FragUnpacked,
+                        self.fid,
+                        t0,
+                        n as u64,
+                        d_off as u64,
+                    );
                 }
                 (ParSrc::Packer { packer, len }, ParDst::Mem(d)) => {
                     // SAFETY: `n` stays within the destination region.
                     let out = unsafe { std::slice::from_raw_parts_mut(d.ptr.add(d_off), n) };
+                    let t0 = flight::clock(self.fid);
                     self.pack_fill(*packer, s_off, out, *len)
                         .map_err(|(rel, e)| (pos + rel, e))?;
+                    flight::record_frag(EventKind::FragPacked, self.fid, t0, n as u64, s_off as u64);
                 }
                 (ParSrc::Packer { packer, len }, ParDst::Unpacker { unpacker, .. }) => {
                     let mut buf = self.scratch.checkout();
                     buf.resize(n, 0);
+                    let t0 = flight::clock(self.fid);
                     let r = self
                         .pack_fill(*packer, s_off, &mut buf[..n], *len)
                         .map_err(|(rel, e)| (pos + rel, e))
                         .and_then(|()| {
-                            let _sp =
-                                span_acc("unpack", "fabric", n as u64, &self.metrics.unpack_ns);
-                            unpacker
-                                .unpack_at(d_off, &buf[..n])
-                                .map_err(|c| (pos, FabricError::UnpackFailed(c)))
+                            flight::record_frag(
+                                EventKind::FragPacked,
+                                self.fid,
+                                t0,
+                                n as u64,
+                                s_off as u64,
+                            );
+                            let t1 = flight::clock(self.fid);
+                            {
+                                let _sp =
+                                    span_acc("unpack", "fabric", n as u64, &self.metrics.unpack_ns);
+                                unpacker
+                                    .unpack_at(d_off, &buf[..n])
+                                    .map_err(|c| (pos, FabricError::UnpackFailed(c)))?;
+                            }
+                            flight::record_frag(
+                                EventKind::FragUnpacked,
+                                self.fid,
+                                t1,
+                                n as u64,
+                                d_off as u64,
+                            );
+                            Ok(())
                         });
                     self.scratch.checkin(buf);
                     r?;
@@ -437,12 +471,16 @@ fn worker_loop(shared: &PoolShared) {
 /// Run one eligible transfer through the pool. Blocks (while participating
 /// in the fragment work) until every fragment completes; returns the bytes
 /// moved or the lowest-stream-position callback error.
+///
+/// `fid` is the send-side flight-recorder transfer id (0 = no recording);
+/// workers emit `FragPacked`/`FragUnpacked` events against it.
 pub(crate) fn run_parallel(
     pool: &PipelinePool,
     frag_size: usize,
     src: Vec<ParSrc<'_>>,
     dst: Vec<ParDst<'_>>,
     metrics: &FabricMetrics,
+    fid: u64,
 ) -> FabricResult<usize> {
     let total: usize = src.iter().map(src_len).sum();
     let frag = frag_size.max(1);
@@ -475,6 +513,7 @@ pub(crate) fn run_parallel(
         dst_prefix,
         scratch: &pool.scratch,
         metrics,
+        fid,
         error: Mutex::new(None),
         remaining: Mutex::new(frags),
         done: Condvar::new(),
@@ -758,11 +797,12 @@ mod tests {
                 false,
                 &metrics,
                 &mut TransferScratch::default(),
+                0,
             ),
             Some(pool) => {
                 let (ps, pd) =
                     parallel_view(&src_segs, &dst_segs).expect("test segments are random-access");
-                run_parallel(pool, model.frag_size, ps, pd, &metrics)
+                run_parallel(pool, model.frag_size, ps, pd, &metrics, 0)
             }
         };
         drop(src_segs);
@@ -862,7 +902,7 @@ mod tests {
             len: 64,
         }];
         let dst = vec![ParDst::Mem(IovEntryMut::from_slice(&mut out))];
-        let err = run_parallel(&pool, 16, src, dst, &metrics).unwrap_err();
+        let err = run_parallel(&pool, 16, src, dst, &metrics, 0).unwrap_err();
         assert!(matches!(err, FabricError::PackStalled { .. }));
     }
 }

@@ -48,11 +48,15 @@ impl ReqState {
 #[derive(Debug, Clone)]
 pub struct Request {
     state: Arc<ReqState>,
+    flight_id: u64,
 }
 
 impl Request {
     pub(crate) fn new(state: Arc<ReqState>) -> Self {
-        Self { state }
+        Self {
+            state,
+            flight_id: 0,
+        }
     }
 
     /// A request that is already complete (used for eager sends, and by
@@ -60,7 +64,23 @@ impl Request {
     pub fn ready(envelope: Envelope) -> Self {
         let state = ReqState::new();
         state.complete(Ok(envelope));
-        Self { state }
+        Self {
+            state,
+            flight_id: 0,
+        }
+    }
+
+    /// Attach the flight-recorder transfer id this request belongs to.
+    pub(crate) fn with_flight(mut self, fid: u64) -> Self {
+        self.flight_id = fid;
+        self
+    }
+
+    /// The flight-recorder transfer id of this operation, or 0 when the
+    /// recorder was disabled at post time. Use it to correlate a request
+    /// with its lifecycle events in a flight dump.
+    pub fn flight_id(&self) -> u64 {
+        self.flight_id
     }
 
     /// Nonblocking completion check; returns the outcome when done.
@@ -114,6 +134,15 @@ mod tests {
         assert!(r.is_done());
         assert_eq!(r.wait().unwrap().bytes, 5);
         assert_eq!(r.test().unwrap().unwrap().bytes, 5);
+    }
+
+    #[test]
+    fn flight_id_defaults_to_zero_and_sticks() {
+        let r = Request::ready(env(1));
+        assert_eq!(r.flight_id(), 0);
+        let r = r.with_flight(42);
+        assert_eq!(r.flight_id(), 42);
+        assert_eq!(r.clone().flight_id(), 42);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::config::WireModel;
 use crate::error::{FabricError, FabricResult};
 use crate::payload::{FragmentPacker, FragmentUnpacker, IovEntry, IovEntryMut};
 use crate::stats::FabricMetrics;
+use mpicd_obs::flight::{self, EventKind};
 use mpicd_obs::trace::span_acc;
 
 /// A readable segment of the send-side stream.
@@ -107,6 +108,10 @@ fn fill_frag_buf(spare: &mut Vec<Vec<u8>>, bytes: &[u8]) -> Vec<u8> {
 ///
 /// Returns the number of bytes moved. The caller has already verified the
 /// receive side has sufficient capacity.
+///
+/// `fid` is the send-side flight-recorder transfer id; pack/unpack callback
+/// invocations emit `FragPacked`/`FragUnpacked` events against it (0 = no
+/// recording, the cost of one relaxed load per fragment).
 pub(crate) fn copy_stream(
     model: &WireModel,
     src_segs: &mut [SrcSeg<'_>],
@@ -114,6 +119,7 @@ pub(crate) fn copy_stream(
     allow_ooo: bool,
     metrics: &FabricMetrics,
     scratch: &mut TransferScratch,
+    fid: u64,
 ) -> FabricResult<usize> {
     let total: usize = src_segs.iter().map(|s| s.len()).sum();
     let frag = model.frag_size.max(1);
@@ -161,16 +167,21 @@ pub(crate) fn copy_stream(
                     let b = fill_frag_buf(&mut scratch.spare, bytes);
                     scratch.ooo.push((d_off, b));
                 } else {
-                    let _sp = span_acc("unpack", "fabric", want as u64, &metrics.unpack_ns);
-                    unpacker
-                        .unpack(d_off, bytes)
-                        .map_err(FabricError::UnpackFailed)?;
+                    let t0 = flight::clock(fid);
+                    {
+                        let _sp = span_acc("unpack", "fabric", want as u64, &metrics.unpack_ns);
+                        unpacker
+                            .unpack(d_off, bytes)
+                            .map_err(FabricError::UnpackFailed)?;
+                    }
+                    flight::record_frag(EventKind::FragUnpacked, fid, t0, want as u64, d_off as u64);
                 }
                 want
             }
             (SrcSeg::Packer { packer, .. }, DstSeg::Mem(d)) => {
                 // SAFETY: as above; `want` stays within the destination region.
                 let dst = unsafe { std::slice::from_raw_parts_mut(d.ptr.add(d_off), want) };
+                let t0 = flight::clock(fid);
                 let used = {
                     let _sp = span_acc("pack", "fabric", want as u64, &metrics.pack_ns);
                     packer.pack(s_off, dst)
@@ -184,10 +195,12 @@ pub(crate) fn copy_stream(
                         remaining: s_rem,
                     });
                 }
+                flight::record_frag(EventKind::FragPacked, fid, t0, used as u64, s_off as u64);
                 used
             }
             (SrcSeg::Packer { packer, .. }, DstSeg::Unpacker { unpacker, .. }) => {
                 scratch.buf.resize(want, 0);
+                let t0 = flight::clock(fid);
                 let used = {
                     let _sp = span_acc("pack", "fabric", want as u64, &metrics.pack_ns);
                     packer.pack(s_off, &mut scratch.buf[..want])
@@ -201,14 +214,19 @@ pub(crate) fn copy_stream(
                         remaining: s_rem,
                     });
                 }
+                flight::record_frag(EventKind::FragPacked, fid, t0, used as u64, s_off as u64);
                 if allow_ooo {
                     let b = fill_frag_buf(&mut scratch.spare, &scratch.buf[..used]);
                     scratch.ooo.push((d_off, b));
                 } else {
-                    let _sp = span_acc("unpack", "fabric", used as u64, &metrics.unpack_ns);
-                    unpacker
-                        .unpack(d_off, &scratch.buf[..used])
-                        .map_err(FabricError::UnpackFailed)?;
+                    let t1 = flight::clock(fid);
+                    {
+                        let _sp = span_acc("unpack", "fabric", used as u64, &metrics.unpack_ns);
+                        unpacker
+                            .unpack(d_off, &scratch.buf[..used])
+                            .map_err(FabricError::UnpackFailed)?;
+                    }
+                    flight::record_frag(EventKind::FragUnpacked, fid, t1, used as u64, d_off as u64);
                 }
                 used
             }
@@ -233,12 +251,14 @@ pub(crate) fn copy_stream(
             })
             .expect("ooo fragments imply an unpacker segment");
         while let Some((off, data)) = scratch.ooo.pop() {
+            let t0 = flight::clock(fid);
             {
                 let _sp = span_acc("unpack", "fabric", data.len() as u64, &metrics.unpack_ns);
                 unpacker
                     .unpack(off, &data)
                     .map_err(FabricError::UnpackFailed)?;
             }
+            flight::record_frag(EventKind::FragUnpacked, fid, t0, data.len() as u64, off as u64);
             if scratch.spare.len() < SPARE_CAP {
                 scratch.spare.push(data);
             }
@@ -274,7 +294,7 @@ mod tests {
             DstSeg::Mem(IovEntryMut::from_slice(&mut out1)),
             DstSeg::Mem(IovEntryMut::from_slice(&mut out2)),
         ];
-        let moved = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default()).unwrap();
+        let moved = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default(), 0).unwrap();
         assert_eq!(moved, 8);
         assert_eq!(out1, [1, 2]);
         assert_eq!(out2, [3, 4, 5, 6, 7, 8]);
@@ -297,7 +317,7 @@ mod tests {
             len: 20,
         }];
         let mut dst = [DstSeg::Mem(IovEntryMut::from_slice(&mut out))];
-        let moved = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default()).unwrap();
+        let moved = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default(), 0).unwrap();
         assert_eq!(moved, 20);
         assert_eq!(out, data);
     }
@@ -330,7 +350,7 @@ mod tests {
             unpacker: &mut unpacker,
             len: 50,
         }];
-        let moved = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default()).unwrap();
+        let moved = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default(), 0).unwrap();
         assert_eq!(moved, 50);
         received.copy_from_slice(&out.lock());
         assert_eq!(received, data);
@@ -361,7 +381,7 @@ mod tests {
             unpacker: &mut unpacker,
             len: 32,
         }];
-        copy_stream(&model, &mut src, &mut dst, true, &FabricMetrics::detached(), &mut TransferScratch::default()).unwrap();
+        copy_stream(&model, &mut src, &mut dst, true, &FabricMetrics::detached(), &mut TransferScratch::default(), 0).unwrap();
         assert_eq!(unpacker.out, data, "offset-addressed unpack reassembles");
         assert_eq!(offsets_seen, vec![24, 16, 8, 0], "reverse-order delivery");
     }
@@ -376,7 +396,7 @@ mod tests {
             len: 16,
         }];
         let mut dst = [DstSeg::Mem(IovEntryMut::from_slice(&mut out))];
-        let err = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default()).unwrap_err();
+        let err = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default(), 0).unwrap_err();
         assert!(matches!(err, FabricError::PackStalled { .. }));
     }
 
@@ -397,7 +417,7 @@ mod tests {
             len: 16,
         }];
         assert_eq!(
-            copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default()),
+            copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default(), 0),
             Err(FabricError::UnpackFailed(42))
         );
     }
@@ -428,6 +448,7 @@ mod tests {
                 true,
                 &FabricMetrics::detached(),
                 &mut scratch,
+                0,
             )
             .unwrap();
             assert_eq!(unpacker.0, data, "round {round}");
@@ -441,6 +462,6 @@ mod tests {
         let model = model_with_frag(8);
         let mut src: [SrcSeg<'_>; 0] = [];
         let mut dst: [DstSeg<'_>; 0] = [];
-        assert_eq!(copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default()).unwrap(), 0);
+        assert_eq!(copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default(), 0).unwrap(), 0);
     }
 }

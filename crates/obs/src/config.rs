@@ -7,9 +7,14 @@
 //! | `MPICD_TRACE` | enable span tracing (`1`/`true`/`on`) | off |
 //! | `MPICD_TRACE_FILE` | Chrome trace output path | `mpicd-trace.json` |
 //! | `MPICD_TRACE_CAP` | per-thread ring-buffer capacity (events) | `65536` |
+//! | `MPICD_FLIGHT` | enable the per-transfer flight recorder, with dump-on-error and a panic-hook dump | off |
+//! | `MPICD_FLIGHT_PATH` | flight-recorder JSONL dump path | `mpicd-flight.jsonl` |
+//! | `MPICD_FLIGHT_CAP` | flight ring capacity (events, process-global) | `65536` |
+//! | `MPICD_METRICS_JSON` | write the metrics snapshot as JSON at flush (a path, or `1` for `mpicd-metrics.json`) | off |
 //!
 //! Programmatic control overrides the environment:
-//! [`ObsConfig::install`] (builder) or [`crate::set_enabled`] (toggle only).
+//! [`ObsConfig::install`] (builder) or [`crate::set_enabled`] /
+//! [`crate::flight::set_enabled`] (toggles only).
 
 use crate::sync::Mutex;
 use std::path::PathBuf;
@@ -17,6 +22,16 @@ use std::sync::OnceLock;
 
 /// Default per-thread ring-buffer capacity (events).
 pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+/// Default flight-recorder ring capacity (events, whole process).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 65_536;
+
+/// `1`/`true`/`on`-style boolean environment parse (empty/`0`/`false`/
+/// `off` are false).
+fn env_flag(value: &str) -> bool {
+    let v = value.trim().to_ascii_lowercase();
+    !v.is_empty() && v != "0" && v != "false" && v != "off"
+}
 
 /// Observability settings.
 #[derive(Debug, Clone)]
@@ -28,6 +43,17 @@ pub struct ObsConfig {
     /// Per-thread ring-buffer capacity in events (power of two is not
     /// required). Applies to ring buffers created after installation.
     pub ring_capacity: usize,
+    /// Whether the per-transfer flight recorder is enabled.
+    pub flight: bool,
+    /// Flight-recorder JSONL dump path used by [`crate::flush`], the
+    /// dump-on-error path and the panic hook.
+    pub flight_file: Option<PathBuf>,
+    /// Flight ring capacity in events (one ring for the whole process).
+    /// Applies only before the first flight event is recorded.
+    pub flight_capacity: usize,
+    /// Metrics-snapshot JSON path written by [`crate::flush`]
+    /// (`None` disables the file).
+    pub metrics_file: Option<PathBuf>,
 }
 
 impl Default for ObsConfig {
@@ -36,18 +62,20 @@ impl Default for ObsConfig {
             enabled: false,
             trace_file: None,
             ring_capacity: DEFAULT_RING_CAPACITY,
+            flight: false,
+            flight_file: None,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            metrics_file: None,
         }
     }
 }
 
 impl ObsConfig {
-    /// Settings from the `MPICD_TRACE*` environment variables.
+    /// Settings from the `MPICD_TRACE*` / `MPICD_FLIGHT*` /
+    /// `MPICD_METRICS_JSON` environment variables.
     pub fn from_env() -> Self {
         let enabled = std::env::var("MPICD_TRACE")
-            .map(|v| {
-                let v = v.trim().to_ascii_lowercase();
-                !v.is_empty() && v != "0" && v != "false" && v != "off"
-            })
+            .map(|v| env_flag(&v))
             .unwrap_or(false);
         let trace_file = std::env::var("MPICD_TRACE_FILE").ok().map(PathBuf::from);
         let ring_capacity = std::env::var("MPICD_TRACE_CAP")
@@ -55,10 +83,35 @@ impl ObsConfig {
             .and_then(|v| v.parse().ok())
             .filter(|c| *c > 0)
             .unwrap_or(DEFAULT_RING_CAPACITY);
+        let flight = std::env::var("MPICD_FLIGHT")
+            .map(|v| env_flag(&v))
+            .unwrap_or(false);
+        let flight_file = std::env::var("MPICD_FLIGHT_PATH").ok().map(PathBuf::from);
+        let flight_capacity = std::env::var("MPICD_FLIGHT_CAP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|c| *c > 0)
+            .unwrap_or(DEFAULT_FLIGHT_CAPACITY);
+        // MPICD_METRICS_JSON is a path, or a bare truthy flag for the
+        // default filename.
+        let metrics_file = std::env::var("MPICD_METRICS_JSON").ok().and_then(|v| {
+            let t = v.trim().to_ascii_lowercase();
+            if t.is_empty() || t == "0" || t == "false" || t == "off" {
+                None
+            } else if t == "1" || t == "true" || t == "on" {
+                Some(PathBuf::from("mpicd-metrics.json"))
+            } else {
+                Some(PathBuf::from(v))
+            }
+        });
         Self {
             enabled,
             trace_file,
             ring_capacity,
+            flight,
+            flight_file,
+            flight_capacity,
+            metrics_file,
         }
     }
 
@@ -80,6 +133,30 @@ impl ObsConfig {
         self
     }
 
+    /// Builder: enable/disable the flight recorder.
+    pub fn flight(mut self, on: bool) -> Self {
+        self.flight = on;
+        self
+    }
+
+    /// Builder: flight-recorder dump path.
+    pub fn flight_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.flight_file = Some(path.into());
+        self
+    }
+
+    /// Builder: flight ring capacity.
+    pub fn flight_capacity(mut self, cap: usize) -> Self {
+        self.flight_capacity = cap.max(1);
+        self
+    }
+
+    /// Builder: metrics-snapshot JSON path.
+    pub fn metrics_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.metrics_file = Some(path.into());
+        self
+    }
+
     /// The trace output path ([`Self::trace_file`] or the default).
     pub fn trace_path(&self) -> PathBuf {
         self.trace_file
@@ -87,10 +164,18 @@ impl ObsConfig {
             .unwrap_or_else(|| PathBuf::from("mpicd-trace.json"))
     }
 
+    /// The flight dump path ([`Self::flight_file`] or the default).
+    pub fn flight_path(&self) -> PathBuf {
+        self.flight_file
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("mpicd-flight.jsonl"))
+    }
+
     /// Install as the process-wide configuration (overrides the
-    /// environment) and apply the enable flag.
+    /// environment) and apply the enable flags.
     pub fn install(self) {
         crate::trace::set_enabled(self.enabled);
+        crate::flight::set_enabled(self.flight);
         *store().lock() = self;
     }
 }
@@ -113,8 +198,12 @@ mod tests {
     fn default_is_disabled() {
         let c = ObsConfig::default();
         assert!(!c.enabled);
+        assert!(!c.flight);
         assert_eq!(c.ring_capacity, DEFAULT_RING_CAPACITY);
+        assert_eq!(c.flight_capacity, DEFAULT_FLIGHT_CAPACITY);
         assert_eq!(c.trace_path(), PathBuf::from("mpicd-trace.json"));
+        assert_eq!(c.flight_path(), PathBuf::from("mpicd-flight.jsonl"));
+        assert!(c.metrics_file.is_none());
     }
 
     #[test]
@@ -122,9 +211,27 @@ mod tests {
         let c = ObsConfig::default()
             .enabled(true)
             .trace_file("/tmp/t.json")
-            .ring_capacity(16);
+            .ring_capacity(16)
+            .flight(true)
+            .flight_file("/tmp/f.jsonl")
+            .flight_capacity(32)
+            .metrics_file("/tmp/m.json");
         assert!(c.enabled);
+        assert!(c.flight);
         assert_eq!(c.trace_path(), PathBuf::from("/tmp/t.json"));
+        assert_eq!(c.flight_path(), PathBuf::from("/tmp/f.jsonl"));
         assert_eq!(c.ring_capacity, 16);
+        assert_eq!(c.flight_capacity, 32);
+        assert_eq!(c.metrics_file, Some(PathBuf::from("/tmp/m.json")));
+    }
+
+    #[test]
+    fn env_flag_parses() {
+        for on in ["1", "true", "ON", " yes "] {
+            assert!(env_flag(on), "{on:?}");
+        }
+        for off in ["", "0", "false", "OFF"] {
+            assert!(!env_flag(off), "{off:?}");
+        }
     }
 }

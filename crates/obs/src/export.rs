@@ -109,12 +109,58 @@ pub fn summary_of(snapshot: &metrics::Snapshot) -> String {
     if dropped > 0 {
         let _ = writeln!(out, "(trace ring buffers overwrote {dropped} events)");
     }
+    let lost = crate::flight::overflowed();
+    if lost > 0 {
+        let _ = writeln!(out, "(flight ring overwrote {lost} events)");
+    }
     out
 }
 
 /// Summary of the process-global registry.
 pub fn summary() -> String {
     summary_of(&metrics::global().snapshot())
+}
+
+/// Render a metrics [`metrics::Snapshot`] as a JSON object:
+/// `{"counters":{name:value,...},"histograms":{name:{count,mean,p50,p99,max},...}}`.
+pub fn metrics_json(snapshot: &metrics::Snapshot) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"counters\":{");
+    for (i, (name, v)) in snapshot.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape(name, &mut out);
+        let _ = write!(out, "\":{v}");
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snapshot.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape(name, &mut out);
+        let _ = write!(
+            out,
+            "\":{{\"count\":{},\"mean\":{:.3},\"p50\":{},\"p99\":{},\"max\":{}}}",
+            h.count,
+            h.mean(),
+            h.p50(),
+            h.p99(),
+            h.max,
+        );
+    }
+    out.push_str("}}\n");
+    out
+}
+
+/// Write the process-global metrics snapshot to `path` as JSON
+/// (the `MPICD_METRICS_JSON` artifact).
+pub fn write_metrics_json(path: &Path) -> std::io::Result<()> {
+    let json = metrics_json(&metrics::global().snapshot());
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(json.as_bytes())
 }
 
 #[cfg(test)]
@@ -190,6 +236,26 @@ mod tests {
         let mut s = String::new();
         escape("a\"b\\c\nd", &mut s);
         assert_eq!(s, "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn metrics_json_shape() {
+        let r = Registry::new();
+        r.counter("fabric.messages").add(7);
+        r.histogram("fabric.msg_bytes").record(4096);
+        let json = metrics_json(&r.snapshot());
+        assert_balanced_json(&json);
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"fabric.messages\":7"));
+        assert!(json.contains("\"fabric.msg_bytes\":{\"count\":1,"));
+        assert!(json.contains("\"max\":4096"));
+    }
+
+    #[test]
+    fn metrics_json_empty_registry() {
+        let json = metrics_json(&Registry::new().snapshot());
+        assert_balanced_json(&json);
+        assert_eq!(json.trim(), "{\"counters\":{},\"histograms\":{}}");
     }
 
     #[test]

@@ -1,0 +1,673 @@
+//! Per-transfer flight recorder: a lock-free bounded ring of structured
+//! lifecycle events.
+//!
+//! The span tracer answers "where did this *process* spend time"; the
+//! flight recorder answers "what happened to this *transfer*". Every
+//! send/recv posted through the fabric gets a process-unique transfer id,
+//! and the fabric emits one [`FlightEvent`] per lifecycle step —
+//! post, match, each packed/unpacked fragment, the modeled wire time, and
+//! completion or error — into a single process-global ring. A crashed or
+//! slow run leaves a black box behind: the ring can be dumped as JSON
+//! lines ([`dump_jsonl`]) and replayed by the `mpicd-inspect` analyzer to
+//! reconstruct each transfer's timeline and attribute its latency to
+//! wait-for-match / pack / wire / unpack.
+//!
+//! **Cost model.** Disabled (the default), every entry point is one
+//! relaxed atomic load — the same discipline as [`crate::span!`]; no
+//! clock read, no allocation, no id allocation ([`next_id`] returns 0 and
+//! every recording call short-circuits on id 0). Enabled, recording an
+//! event is a clock read plus a handful of atomic stores into a
+//! pre-allocated slot — no locks, no allocation, wait-free for writers.
+//!
+//! **Ring protocol.** Each slot holds a sequence word and the event
+//! payload as plain atomics. A writer claims a global ticket
+//! (`fetch_add`), then claims the slot via a single `compare_exchange` of
+//! the sequence word to the odd value `2·ticket+1`; if another writer is
+//! mid-write in that slot (it would take a full lap of the ring to
+//! collide), the event is *dropped* and counted instead of torn. The
+//! payload words are stored relaxed behind a release fence and the
+//! sequence is published as the even value `2·ticket+2`. Readers validate
+//! the sequence on both sides of the payload read (tickets are unique, so
+//! ABA is impossible) and discard in-flight slots. The whole ring is
+//! safe-code atomics — no `unsafe`, no locks, torn events are impossible.
+//!
+//! Enabling via the `MPICD_FLIGHT` environment variable (as opposed to
+//! [`set_enabled`]) additionally arms *black-box* behaviour: recording an
+//! [`EventKind::Error`] event dumps the ring to the configured path, and a
+//! panic-hook dump is installed so aborts leave a readable trace.
+
+use crate::time::now_ns;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::{Once, OnceLock};
+
+/// Payload words per ring slot (one encoded [`FlightEvent`]).
+const WORDS: usize = 8;
+
+// ---- enable flag ------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+/// Dump-on-error / panic-hook behaviour; armed only by `MPICD_FLIGHT`
+/// (environment) so programmatic test toggles never write files.
+static AUTODUMP: AtomicBool = AtomicBool::new(false);
+
+fn init_from_env() {
+    ENV_INIT.call_once(|| {
+        if crate::config::current().flight {
+            ENABLED.store(true, Ordering::Relaxed);
+            AUTODUMP.store(true, Ordering::Relaxed);
+            install_panic_hook();
+        }
+    });
+}
+
+/// Whether the flight recorder is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    init_from_env();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enable or disable the flight recorder at runtime (overrides
+/// `MPICD_FLIGHT`). Unlike the environment knob this does *not* arm the
+/// dump-on-error and panic-hook behaviour.
+pub fn set_enabled(on: bool) {
+    ENV_INIT.call_once(|| {});
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+fn install_panic_hook() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if let Some((path, n)) = dump_to_configured() {
+            eprintln!(
+                "[mpicd-obs] panic: dumped {n} flight events to {}",
+                path.display()
+            );
+        }
+        prev(info);
+    }));
+}
+
+// ---- event model ------------------------------------------------------------
+
+/// The lifecycle step a [`FlightEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A send was posted (`id` is the canonical transfer id from here on).
+    PostSend = 0,
+    /// A receive was posted (`id` is the receive-post id; the transfer's
+    /// [`EventKind::Match`] event carries it in `aux` to join the two).
+    PostRecv = 1,
+    /// Send and receive matched; `aux` holds the receive-post id.
+    Match = 2,
+    /// One pack-callback fragment; `dur_ns` is callback time, `aux` the
+    /// segment-local offset.
+    FragPacked = 3,
+    /// One unpack-callback fragment (same fields as [`Self::FragPacked`]).
+    FragUnpacked = 4,
+    /// The modeled wire time for the message: `t_ns` anchors at the match,
+    /// `dur_ns` is the modeled duration (simulated, not CPU time).
+    WireModeled = 5,
+    /// The transfer finished; end of its timeline.
+    Complete = 6,
+    /// The transfer failed; `aux` carries a stable error code.
+    Error = 7,
+}
+
+impl EventKind {
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0 => Self::PostSend,
+            1 => Self::PostRecv,
+            2 => Self::Match,
+            3 => Self::FragPacked,
+            4 => Self::FragUnpacked,
+            5 => Self::WireModeled,
+            6 => Self::Complete,
+            7 => Self::Error,
+            _ => return None,
+        })
+    }
+
+    /// Stable snake_case name used in the JSONL dump.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::PostSend => "post_send",
+            Self::PostRecv => "post_recv",
+            Self::Match => "match",
+            Self::FragPacked => "frag_packed",
+            Self::FragUnpacked => "frag_unpacked",
+            Self::WireModeled => "wire_modeled",
+            Self::Complete => "complete",
+            Self::Error => "error",
+        }
+    }
+}
+
+/// The protocol a transfer used, as decided at post/match time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Method {
+    /// Not applicable / not yet decided (e.g. receive posts).
+    Unknown = 0,
+    /// Eager protocol: bounce-buffer copy at post time.
+    Eager = 1,
+    /// Rendezvous protocol: deferred until matched, handshake surcharge.
+    Rendezvous = 2,
+    /// Pipelined scatter/gather (the custom-datatype iov path).
+    Pipelined = 3,
+}
+
+impl Method {
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0 => Self::Unknown,
+            1 => Self::Eager,
+            2 => Self::Rendezvous,
+            3 => Self::Pipelined,
+            _ => return None,
+        })
+    }
+
+    /// Stable name used in the JSONL dump.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Unknown => "unknown",
+            Self::Eager => "eager",
+            Self::Rendezvous => "rendezvous",
+            Self::Pipelined => "pipelined",
+        }
+    }
+}
+
+/// One structured lifecycle event. Fixed-size, encodable into 8 atomic
+/// words (the ring's slot payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Lifecycle step.
+    pub kind: EventKind,
+    /// Process-unique transfer id (from [`next_id`]); never 0 in the ring.
+    pub id: u64,
+    /// Event timestamp, ns since the process trace epoch ([`now_ns`]).
+    pub t_ns: u64,
+    /// Duration in ns where meaningful (fragments, modeled wire), else 0.
+    pub dur_ns: u64,
+    /// Source rank (-1 for wildcard receive posts).
+    pub src: i32,
+    /// Destination rank.
+    pub dst: i32,
+    /// Message tag (may be the wildcard on receive posts).
+    pub tag: i32,
+    /// Payload bytes this event covers.
+    pub bytes: u64,
+    /// Transfer protocol.
+    pub method: Method,
+    /// Kind-specific extra: receive-post id on `Match`, segment offset on
+    /// fragments, error code on `Error`.
+    pub aux: u64,
+}
+
+impl FlightEvent {
+    /// A zeroed event of `kind` for transfer `id`; chain the builder
+    /// setters, then [`record`] it. `t_ns == 0` means "stamp at record".
+    pub fn new(kind: EventKind, id: u64) -> Self {
+        Self {
+            kind,
+            id,
+            t_ns: 0,
+            dur_ns: 0,
+            src: -1,
+            dst: -1,
+            tag: 0,
+            bytes: 0,
+            method: Method::Unknown,
+            aux: 0,
+        }
+    }
+
+    /// Builder: explicit timestamp (ns since the trace epoch).
+    pub fn at(mut self, t_ns: u64) -> Self {
+        self.t_ns = t_ns;
+        self
+    }
+
+    /// Builder: duration.
+    pub fn dur(mut self, dur_ns: u64) -> Self {
+        self.dur_ns = dur_ns;
+        self
+    }
+
+    /// Builder: source and destination ranks.
+    pub fn ranks(mut self, src: i32, dst: i32) -> Self {
+        self.src = src;
+        self.dst = dst;
+        self
+    }
+
+    /// Builder: message tag.
+    pub fn tag(mut self, tag: i32) -> Self {
+        self.tag = tag;
+        self
+    }
+
+    /// Builder: payload bytes.
+    pub fn bytes(mut self, bytes: u64) -> Self {
+        self.bytes = bytes;
+        self
+    }
+
+    /// Builder: transfer protocol.
+    pub fn method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Builder: kind-specific extra word.
+    pub fn aux(mut self, aux: u64) -> Self {
+        self.aux = aux;
+        self
+    }
+
+    fn encode(&self) -> [u64; WORDS] {
+        [
+            self.id,
+            self.t_ns,
+            self.dur_ns,
+            self.bytes,
+            self.aux,
+            (self.kind as u64) | ((self.method as u64) << 8),
+            (self.src as u32 as u64) | ((self.dst as u32 as u64) << 32),
+            self.tag as i64 as u64,
+        ]
+    }
+
+    fn decode(w: &[u64; WORDS]) -> Option<Self> {
+        Some(Self {
+            id: w[0],
+            t_ns: w[1],
+            dur_ns: w[2],
+            bytes: w[3],
+            aux: w[4],
+            kind: EventKind::from_u8((w[5] & 0xff) as u8)?,
+            method: Method::from_u8(((w[5] >> 8) & 0xff) as u8)?,
+            src: w[6] as u32 as i32,
+            dst: (w[6] >> 32) as u32 as i32,
+            tag: (w[7] as i64) as i32,
+        })
+    }
+
+    /// Render as one JSON object (no trailing newline). All fields are
+    /// numeric or fixed enum names, so no string escaping is needed.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"kind\":\"{}\",\"id\":{},\"t_ns\":{},\"dur_ns\":{},\"src\":{},\"dst\":{},\"tag\":{},\"bytes\":{},\"method\":\"{}\",\"aux\":{}}}",
+            self.kind.as_str(),
+            self.id,
+            self.t_ns,
+            self.dur_ns,
+            self.src,
+            self.dst,
+            self.tag,
+            self.bytes,
+            self.method.as_str(),
+            self.aux,
+        )
+    }
+}
+
+// ---- the ring ---------------------------------------------------------------
+
+struct Slot {
+    /// `2·ticket+1` while a writer owns the slot, `2·ticket+2` once the
+    /// payload for `ticket` is published, 0 when never written.
+    seq: AtomicU64,
+    words: [AtomicU64; WORDS],
+}
+
+struct Ring {
+    slots: Box<[Slot]>,
+    /// Next ticket; ticket `n` lives in slot `n % capacity`.
+    head: AtomicU64,
+    /// Events dropped because the claiming CAS lost (a writer was lapped
+    /// mid-write — requires a full ring lap during one record).
+    contended: AtomicU64,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        let slots = (0..cap)
+            .map(|_| Slot {
+                seq: AtomicU64::new(0),
+                words: std::array::from_fn(|_| AtomicU64::new(0)),
+            })
+            .collect();
+        Self {
+            slots,
+            head: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, words: [u64; WORDS]) {
+        let n = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(n % self.slots.len() as u64) as usize];
+        let cur = slot.seq.load(Ordering::Relaxed);
+        let claimed = cur & 1 == 0
+            && slot
+                .seq
+                .compare_exchange(
+                    cur,
+                    n.wrapping_mul(2).wrapping_add(1),
+                    Ordering::Acquire,
+                    Ordering::Relaxed,
+                )
+                .is_ok();
+        if !claimed {
+            // Another writer owns the slot (we were lapped); drop rather
+            // than tear.
+            self.contended.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        fence(Ordering::Release);
+        for (w, v) in slot.words.iter().zip(words) {
+            w.store(v, Ordering::Relaxed);
+        }
+        slot.seq
+            .store(n.wrapping_mul(2).wrapping_add(2), Ordering::Release);
+    }
+
+    /// Read the payload published for ticket `n`, if still intact.
+    fn read(&self, n: u64) -> Option<[u64; WORDS]> {
+        let slot = &self.slots[(n % self.slots.len() as u64) as usize];
+        let expect = n.wrapping_mul(2).wrapping_add(2);
+        if slot.seq.load(Ordering::Acquire) != expect {
+            return None;
+        }
+        let words = std::array::from_fn(|i| slot.words[i].load(Ordering::Relaxed));
+        fence(Ordering::Acquire);
+        // Tickets are unique, so seeing `expect` again proves no writer
+        // touched the payload in between.
+        if slot.seq.load(Ordering::Relaxed) != expect {
+            return None;
+        }
+        Some(words)
+    }
+
+    /// Decode every intact event with ticket >= `mark`, oldest first.
+    fn snapshot_since(&self, mark: u64) -> Vec<FlightEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let lo = head
+            .saturating_sub(self.slots.len() as u64)
+            .max(mark)
+            .min(head);
+        (lo..head)
+            .filter_map(|n| self.read(n))
+            .filter_map(|w| FlightEvent::decode(&w))
+            .collect()
+    }
+
+    /// Events overwritten by the bounded ring plus contention drops.
+    fn lost(&self) -> u64 {
+        let overwritten = self
+            .head
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.slots.len() as u64);
+        overwritten + self.contended.load(Ordering::Relaxed)
+    }
+}
+
+static RING: OnceLock<Ring> = OnceLock::new();
+
+fn ring() -> &'static Ring {
+    RING.get_or_init(|| Ring::new(crate::config::current().flight_capacity))
+}
+
+// ---- recording API ----------------------------------------------------------
+
+/// Allocate a process-unique transfer id, or 0 when the recorder is
+/// disabled (id 0 short-circuits every later recording call, keeping the
+/// disabled hot path at one relaxed atomic load per call site).
+pub fn next_id() -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Timestamp helper for externally-timed events (fragments): returns
+/// [`now_ns`] when an event for `id` would be recorded, else 0 without
+/// touching the clock.
+#[inline]
+pub fn clock(id: u64) -> u64 {
+    if id != 0 && enabled() {
+        now_ns()
+    } else {
+        0
+    }
+}
+
+/// Record an event. No-op when the recorder is disabled or `ev.id == 0`.
+/// A zero `t_ns` is stamped with [`now_ns`] at record time. Recording an
+/// [`EventKind::Error`] event while the recorder was armed by
+/// `MPICD_FLIGHT` dumps the ring (the black-box behaviour).
+pub fn record(mut ev: FlightEvent) {
+    if ev.id == 0 || !enabled() {
+        return;
+    }
+    if ev.t_ns == 0 {
+        ev.t_ns = now_ns();
+    }
+    ring().push(ev.encode());
+    if ev.kind == EventKind::Error && AUTODUMP.load(Ordering::Relaxed) {
+        if let Some((path, n)) = dump_to_configured() {
+            eprintln!(
+                "[mpicd-obs] transfer {} failed (code {}): dumped {n} flight events to {}",
+                ev.id,
+                ev.aux,
+                path.display()
+            );
+        }
+    }
+}
+
+/// Record one pack/unpack fragment with an externally-measured start
+/// (`start_ns` from [`clock`]). No-op when disabled or `id == 0`.
+#[inline]
+pub fn record_frag(kind: EventKind, id: u64, start_ns: u64, bytes: u64, offset: u64) {
+    if id == 0 || !enabled() {
+        return;
+    }
+    let now = now_ns();
+    let dur = if start_ns == 0 {
+        0
+    } else {
+        now.saturating_sub(start_ns)
+    };
+    record(
+        FlightEvent::new(kind, id)
+            .at(if start_ns == 0 { now } else { start_ns })
+            .dur(dur)
+            .bytes(bytes)
+            .aux(offset),
+    );
+}
+
+// ---- reading & dumping ------------------------------------------------------
+
+/// Current ring position; pass to [`events_since`] to scope a window.
+pub fn mark() -> u64 {
+    match RING.get() {
+        Some(r) => r.head.load(Ordering::Acquire),
+        None => 0,
+    }
+}
+
+/// Decode every intact event currently in the ring, oldest first.
+pub fn events() -> Vec<FlightEvent> {
+    events_since(0)
+}
+
+/// Decode events recorded at or after `mark` (from [`mark`]).
+pub fn events_since(mark: u64) -> Vec<FlightEvent> {
+    match RING.get() {
+        Some(r) => r.snapshot_since(mark),
+        None => Vec::new(),
+    }
+}
+
+/// Total events lost so far: overwritten by the bounded ring, plus the
+/// (vanishingly rare) contention drops. Surfaced by
+/// [`crate::export::summary_of`] and the dump's meta line so a truncated
+/// recording is never silently read as complete.
+pub fn overflowed() -> u64 {
+    match RING.get() {
+        Some(r) => r.lost(),
+        None => 0,
+    }
+}
+
+/// Write the ring to `path` as JSON lines: one `flight_meta` header line
+/// (event count, overflow count, trace-ring drops), then one line per
+/// event in timestamp order. Returns the number of events written.
+pub fn dump_jsonl(path: &Path) -> std::io::Result<usize> {
+    use std::io::Write as _;
+    let mut evs = events();
+    evs.sort_by_key(|e| (e.t_ns, e.id));
+    let mut out = String::with_capacity(128 + evs.len() * 128);
+    out.push_str(&format!(
+        "{{\"kind\":\"flight_meta\",\"version\":1,\"events\":{},\"overflowed\":{},\"trace_dropped\":{}}}\n",
+        evs.len(),
+        overflowed(),
+        crate::trace::dropped_events(),
+    ));
+    for e in &evs {
+        out.push_str(&e.to_json());
+        out.push('\n');
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(out.as_bytes())?;
+    Ok(evs.len())
+}
+
+/// Dump to the configured path (`MPICD_FLIGHT_PATH` or the default).
+/// Returns the path and event count on success; errors are swallowed
+/// (this runs from panic hooks and error paths).
+pub fn dump_to_configured() -> Option<(PathBuf, usize)> {
+    let path = crate::config::current().flight_path();
+    dump_jsonl(&path).ok().map(|n| (path, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The enable flag and global ring are process-wide; unit tests here
+    // exercise only local `Ring` instances and pure encode/decode, which
+    // are safe under parallel test threads. Enabled end-to-end behaviour
+    // lives in the crate's integration tests (own processes).
+
+    fn ev(kind: EventKind, id: u64) -> FlightEvent {
+        FlightEvent::new(kind, id)
+            .at(123_456)
+            .dur(789)
+            .ranks(0, 3)
+            .tag(-7)
+            .bytes(4096)
+            .method(Method::Pipelined)
+            .aux(99)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for kind in [
+            EventKind::PostSend,
+            EventKind::PostRecv,
+            EventKind::Match,
+            EventKind::FragPacked,
+            EventKind::FragUnpacked,
+            EventKind::WireModeled,
+            EventKind::Complete,
+            EventKind::Error,
+        ] {
+            let e = ev(kind, 42);
+            assert_eq!(FlightEvent::decode(&e.encode()), Some(e));
+        }
+        // Negative ranks and tags survive the packing.
+        let e = FlightEvent::new(EventKind::PostRecv, 1).ranks(-1, 5).tag(-2);
+        let d = FlightEvent::decode(&e.encode()).unwrap();
+        assert_eq!((d.src, d.dst, d.tag), (-1, 5, -2));
+    }
+
+    #[test]
+    fn decode_rejects_garbage_kind() {
+        let mut w = ev(EventKind::Match, 1).encode();
+        w[5] = 0xff; // invalid kind byte
+        assert_eq!(FlightEvent::decode(&w), None);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_window() {
+        let r = Ring::new(4);
+        for i in 0..10u64 {
+            r.push(ev(EventKind::Complete, i + 1).encode());
+        }
+        let evs = r.snapshot_since(0);
+        let ids: Vec<u64> = evs.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![7, 8, 9, 10], "oldest six were overwritten");
+        assert_eq!(r.lost(), 6);
+    }
+
+    #[test]
+    fn ring_snapshot_since_scopes_window() {
+        let r = Ring::new(16);
+        r.push(ev(EventKind::PostSend, 1).encode());
+        let mark = r.head.load(Ordering::Acquire);
+        r.push(ev(EventKind::Complete, 2).encode());
+        let evs = r.snapshot_since(mark);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].id, 2);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_tear() {
+        // Hammer a tiny ring from several threads; every event that
+        // survives must decode to one of the written payloads intact.
+        let r = Ring::new(8);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let r = &r;
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        let id = t * 1_000_000 + i + 1;
+                        r.push(
+                            FlightEvent::new(EventKind::Complete, id)
+                                .at(id)
+                                .bytes(id)
+                                .aux(id)
+                                .encode(),
+                        );
+                    }
+                });
+            }
+        });
+        for e in r.snapshot_since(0) {
+            assert_eq!(e.t_ns, e.id, "payload words all from one event");
+            assert_eq!(e.bytes, e.id);
+            assert_eq!(e.aux, e.id);
+        }
+    }
+
+    #[test]
+    fn json_line_shape() {
+        let s = ev(EventKind::FragPacked, 9).to_json();
+        assert!(s.starts_with("{\"kind\":\"frag_packed\",\"id\":9,"));
+        assert!(s.contains("\"tag\":-7"));
+        assert!(s.contains("\"method\":\"pipelined\""));
+        assert!(s.ends_with("\"aux\":99}"));
+    }
+}

@@ -12,6 +12,13 @@
 //!   Unless tracing is enabled (`MPICD_TRACE=1` or
 //!   [`config::ObsConfig::install`]), a span is a single relaxed atomic
 //!   load — no clock read, no allocation.
+//! * [`flight`] — the per-transfer flight recorder: a lock-free bounded
+//!   ring of structured lifecycle events (post/match/fragments/modeled
+//!   wire/complete/error), each tagged with a process-unique transfer id.
+//!   Off by default at the same one-relaxed-load cost discipline; enabled
+//!   with `MPICD_FLIGHT=1`, which also arms dump-on-error and a
+//!   panic-hook dump. Dumps are JSON lines readable by the
+//!   `mpicd-inspect` analyzer (in `crates/bench`).
 //! * [`metrics`] — a process-global registry of named [`Counter`]s and
 //!   log2-bucketed [`Histogram`]s with p50/p99/max summaries. Counters are
 //!   plain relaxed atomics and stay on even when tracing is off (they are
@@ -46,6 +53,7 @@
 
 pub mod config;
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod rng;
 pub mod sync;
@@ -80,16 +88,50 @@ macro_rules! span {
     };
 }
 
-/// Flush observability output: when tracing is enabled, write the Chrome
-/// trace-event file (path from [`ObsConfig`], default `mpicd-trace.json`)
-/// and print the metrics summary table to stderr. No-op when disabled.
+/// Flush observability output:
 ///
+/// * when a metrics JSON path is configured (`MPICD_METRICS_JSON`), write
+///   the metrics snapshot there — counters are always on, so this works
+///   even with tracing disabled;
+/// * when the flight recorder is enabled (`MPICD_FLIGHT=1` or
+///   [`flight::set_enabled`]), dump the flight ring as JSON lines (path
+///   from [`ObsConfig`], default `mpicd-flight.jsonl`);
+/// * when span tracing is enabled, write the Chrome trace-event file
+///   (default `mpicd-trace.json`) and print the metrics summary table to
+///   stderr.
+///
+/// Ring-buffer truncation (trace drops, flight overflow) is warned about
+/// on stderr so a truncated recording is never silently read as complete.
 /// Returns the trace file path if one was written.
 pub fn flush() -> Option<std::path::PathBuf> {
+    let cfg = config::current();
+    if let Some(mpath) = &cfg.metrics_file {
+        match export::write_metrics_json(mpath) {
+            Ok(()) => eprintln!("[mpicd-obs] wrote metrics snapshot to {}", mpath.display()),
+            Err(e) => eprintln!("[mpicd-obs] failed to write {}: {e}", mpath.display()),
+        }
+    }
+    if flight::enabled() {
+        let fpath = cfg.flight_path();
+        match flight::dump_jsonl(&fpath) {
+            Ok(n) => eprintln!(
+                "[mpicd-obs] wrote {n} flight events to {}",
+                fpath.display()
+            ),
+            Err(e) => eprintln!("[mpicd-obs] failed to write {}: {e}", fpath.display()),
+        }
+        let lost = flight::overflowed();
+        if lost > 0 {
+            eprintln!(
+                "[mpicd-obs] WARNING: flight ring overwrote {lost} events; \
+                 dumped timelines may be incomplete (raise MPICD_FLIGHT_CAP)"
+            );
+        }
+    }
     if !enabled() {
         return None;
     }
-    let path = config::current().trace_path();
+    let path = cfg.trace_path();
     let written = match export::write_chrome_trace(&path) {
         Ok(n) => {
             eprintln!("[mpicd-obs] wrote {n} trace events to {}", path.display());
@@ -100,6 +142,13 @@ pub fn flush() -> Option<std::path::PathBuf> {
             false
         }
     };
+    let dropped = trace::dropped_events();
+    if dropped > 0 {
+        eprintln!(
+            "[mpicd-obs] WARNING: trace ring buffers overwrote {dropped} events; \
+             the trace window is incomplete (raise MPICD_TRACE_CAP)"
+        );
+    }
     eprintln!("{}", export::summary());
     written.then_some(path)
 }

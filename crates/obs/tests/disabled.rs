@@ -1,7 +1,8 @@
 //! Disabled-mode behaviour — runs in its own process (no other test here
-//! may enable tracing) so the default-off state is actually observable.
+//! may enable tracing or the flight recorder) so the default-off state is
+//! actually observable.
 
-use mpicd_obs::trace;
+use mpicd_obs::{flight, trace};
 
 #[test]
 fn disabled_spans_record_nothing() {
@@ -36,6 +37,21 @@ fn disabled_span_acc_leaves_counter_at_zero() {
 #[test]
 fn disabled_flush_is_noop() {
     assert!(mpicd_obs::flush().is_none(), "flush writes nothing when off");
+}
+
+#[test]
+fn disabled_flight_recorder_records_nothing() {
+    assert!(!flight::enabled(), "flight recorder must default to off");
+    assert_eq!(flight::next_id(), 0, "disabled ids are 0");
+    assert_eq!(flight::clock(7), 0, "clock never read when disabled");
+
+    flight::record(
+        flight::FlightEvent::new(flight::EventKind::PostSend, 7).bytes(64),
+    );
+    flight::record_frag(flight::EventKind::FragPacked, 7, 1, 64, 0);
+
+    assert!(flight::events().is_empty(), "no events when disabled");
+    assert_eq!(flight::overflowed(), 0);
 }
 
 #[test]
