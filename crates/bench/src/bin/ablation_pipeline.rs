@@ -113,7 +113,13 @@ fn main() {
                     assert_eq!(pipelined, 0, "{name}/{frag}: serial config pipelined");
                 }
 
-                cells.push(Some(throughput(&world, &*sender, &mut *receiver, reps, runs)));
+                cells.push(Some(throughput(
+                    &world,
+                    &*sender,
+                    &mut *receiver,
+                    reps,
+                    runs,
+                )));
             }
             let speedup = Sample {
                 mean: cells[3].as_ref().unwrap().mean / cells[0].as_ref().unwrap().mean,

@@ -53,7 +53,10 @@ fn main() -> ExitCode {
         }
     };
     let analysis = analyze(&dump);
-    print!("{}", render_report(&analysis, &opts, &path.display().to_string()));
+    print!(
+        "{}",
+        render_report(&analysis, &opts, &path.display().to_string())
+    );
     if analysis.malformed.is_empty() {
         ExitCode::SUCCESS
     } else {

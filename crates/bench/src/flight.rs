@@ -37,7 +37,10 @@ fn parse_flat_object(line: &str) -> Option<Vec<(&str, Val<'_>)>> {
         rest = rest.strip_prefix('"')?;
         let kend = rest.find('"')?;
         let key = &rest[..kend];
-        rest = rest[kend + 1..].trim_start().strip_prefix(':')?.trim_start();
+        rest = rest[kend + 1..]
+            .trim_start()
+            .strip_prefix(':')?
+            .trim_start();
         if let Some(r) = rest.strip_prefix('"') {
             let vend = r.find('"')?;
             out.push((key, Val::Str(&r[..vend])));
@@ -183,8 +186,7 @@ pub fn parse_dump(text: &str) -> Result<Dump, String> {
 
 /// Read and parse a dump file.
 pub fn read_dump(path: &Path) -> Result<Dump, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     parse_dump(&text)
 }
 
@@ -472,7 +474,9 @@ pub fn analyze(dump: &Dump) -> Analysis {
             post_recv_ns: recv_post,
             match_ns: m.t_ns,
             end_ns: end.t_ns,
-            error: error.map(|e| e.aux).or_else(|| recv_errors.get(&recv_id).copied()),
+            error: error
+                .map(|e| e.aux)
+                .or_else(|| recv_errors.get(&recv_id).copied()),
             frags_packed: 0,
             frags_unpacked: 0,
             pack_ns: 0,
@@ -483,15 +487,14 @@ pub fn analyze(dump: &Dump) -> Analysis {
         // Ordering invariants: posts precede the match, the terminal event
         // follows it, and every fragment lies inside [match, terminal].
         let mut bad = false;
-        if post.is_some_and(|p| p.t_ns > t.match_ns)
-            || recv_post.is_some_and(|r| r > t.match_ns)
-        {
+        if post.is_some_and(|p| p.t_ns > t.match_ns) || recv_post.is_some_and(|r| r > t.match_ns) {
             a.malformed
                 .push(format!("id {id}: post after match (clock went backwards?)"));
             bad = true;
         }
         if t.end_ns < t.match_ns {
-            a.malformed.push(format!("id {id}: terminal event before match"));
+            a.malformed
+                .push(format!("id {id}: terminal event before match"));
             bad = true;
         }
         for e in evs {
@@ -628,9 +631,13 @@ pub fn render_report(a: &Analysis, opts: &ReportOptions, source: &str) -> String
     // Per-method phase percentiles.
     let _ = writeln!(out, "\nphase latency by method [p50 / p99 / max]:");
     const PHASES: [&str; 6] = ["e2e", "wait", "pack", "wire", "unpack", "copy"];
-    for method in [Method::Eager, Method::Rendezvous, Method::Pipelined, Method::Unknown] {
-        let of_method: Vec<&Timeline> =
-            a.completed.iter().filter(|t| t.method == method).collect();
+    for method in [
+        Method::Eager,
+        Method::Rendezvous,
+        Method::Pipelined,
+        Method::Unknown,
+    ] {
+        let of_method: Vec<&Timeline> = a.completed.iter().filter(|t| t.method == method).collect();
         if of_method.is_empty() {
             continue;
         }
@@ -666,7 +673,11 @@ pub fn render_report(a: &Analysis, opts: &ReportOptions, source: &str) -> String
     let mut by_e2e: Vec<&Timeline> = a.completed.iter().collect();
     by_e2e.sort_by_key(|t| std::cmp::Reverse(t.phases().e2e));
     if !by_e2e.is_empty() && opts.top > 0 {
-        let _ = writeln!(out, "\ntop {} slowest transfers (by e2e):", opts.top.min(by_e2e.len()));
+        let _ = writeln!(
+            out,
+            "\ntop {} slowest transfers (by e2e):",
+            opts.top.min(by_e2e.len())
+        );
         for (i, t) in by_e2e.iter().take(opts.top).enumerate() {
             let p = t.phases();
             let _ = writeln!(
@@ -748,15 +759,7 @@ pub fn render_report(a: &Analysis, opts: &ReportOptions, source: &str) -> String
 mod tests {
     use super::*;
 
-    fn line(
-        kind: &str,
-        id: u64,
-        t: u64,
-        dur: u64,
-        bytes: u64,
-        method: &str,
-        aux: u64,
-    ) -> String {
+    fn line(kind: &str, id: u64, t: u64, dur: u64, bytes: u64, method: &str, aux: u64) -> String {
         format!(
             "{{\"kind\":\"{kind}\",\"id\":{id},\"t_ns\":{t},\"dur_ns\":{dur},\"src\":0,\
              \"dst\":1,\"tag\":7,\"bytes\":{bytes},\"method\":\"{method}\",\"aux\":{aux}}}"
@@ -924,7 +927,10 @@ mod tests {
         assert!(report.contains("top 3 slowest"));
         assert!(report.contains("id 10"), "{report}");
         assert!(report.contains("stragglers"));
-        assert!(report.contains("33.7x") || report.contains("(none)") == false, "{report}");
+        assert!(
+            report.contains("33.7x") || !report.contains("(none)"),
+            "{report}"
+        );
         assert!(report.contains("malformed timelines: 0"));
     }
 

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 //! # mpicd-bench — the paper's evaluation harness
 //!
 //! One binary per figure/table of the paper (see `src/bin/`); this library

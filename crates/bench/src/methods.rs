@@ -9,6 +9,9 @@
 //! * [`bytes_oneway`] — raw preallocated bytes (the `rsmpi-bytes-baseline`
 //!   of Fig 1 and the roofline of Figs 8–9).
 
+// Audited unsafe: typed-buffer byte views for benchmark drivers; every unsafe block carries a SAFETY note.
+#![allow(unsafe_code)]
+
 use mpicd::types::{
     as_bytes, pack_struct_simple, pack_struct_vec, unpack_struct_simple, unpack_struct_vec,
     StructSimple, StructSimpleNoGap, StructVec,

@@ -1,0 +1,227 @@
+//! Workspace conformance lints, run as ordinary tests.
+//!
+//! Three source-scanning checks that keep code and documentation from
+//! drifting apart (PRs 2–4 each added env knobs and obs counters by hand;
+//! these tests close that hole):
+//!
+//! 1. every `MPICD_*` env knob referenced in source appears in the knob
+//!    documentation in `DESIGN.md`;
+//! 2. every `obs` counter/histogram name emitted by production code
+//!    appears in `docs/ARCHITECTURE.md`;
+//! 3. memory-ordering audit: `Ordering::SeqCst` is forbidden outside a
+//!    justified allowlist, and the model-checked modules
+//!    (`obs::flight`, `fabric::pipeline`) must not import
+//!    `std::sync::atomic` directly — atomics there have to come through
+//!    the `mpicd_obs::sync::atomic` seam so `--cfg mpicd_check` can swap
+//!    in the instrumented primitives.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // crates/bench -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+/// Every `.rs` file under the workspace's source trees (skips `target/`).
+fn rust_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack: Vec<PathBuf> = ["crates", "tests", "examples"]
+        .iter()
+        .map(|d| root.join(d))
+        .collect();
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                if p.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    assert!(out.len() > 20, "source walk found too few files: {out:?}");
+    out.sort();
+    out
+}
+
+fn read(p: &Path) -> String {
+    std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+/// All matches of a simple scanner over `text`: `prefix` followed by
+/// characters from `set`.
+fn scan(text: &str, prefix: &str, set: impl Fn(char) -> bool) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for (i, _) in text.match_indices(prefix) {
+        let rest = &text[i..];
+        let end = rest
+            .char_indices()
+            .skip(prefix.len())
+            .find(|&(_, c)| !set(c))
+            .map_or(rest.len(), |(j, _)| j);
+        out.insert(rest[..end].to_string());
+    }
+    out
+}
+
+/// Strip the conventional trailing `#[cfg(test)] mod … { … }` block plus
+/// doc-comment lines, leaving production code only.
+fn production_code(src: &str) -> String {
+    let cut = src.find("#[cfg(test)]").unwrap_or(src.len());
+    src[..cut]
+        .lines()
+        .filter(|l| {
+            let t = l.trim_start();
+            !t.starts_with("//")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn every_env_knob_is_documented_in_design_md() {
+    let root = workspace_root();
+    let design = read(&root.join("DESIGN.md"));
+    let documented = scan(&design, "MPICD_", |c| {
+        c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_'
+    });
+
+    let mut undocumented = BTreeSet::new();
+    for f in rust_sources(&root) {
+        let src = read(&f);
+        for knob in scan(&src, "MPICD_", |c| {
+            c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_'
+        }) {
+            // `MPICD_` alone is the scanner's own prefix, not a knob.
+            if knob != "MPICD_" && !documented.contains(&knob) {
+                undocumented.insert(format!("{knob} (first seen in {})", f.display()));
+            }
+        }
+    }
+    assert!(
+        undocumented.is_empty(),
+        "env knobs read in source but missing from the DESIGN.md knob tables:\n  {}",
+        undocumented.into_iter().collect::<Vec<_>>().join("\n  ")
+    );
+}
+
+#[test]
+fn every_obs_counter_is_documented_in_architecture_md() {
+    let root = workspace_root();
+    let arch = read(&root.join("docs/ARCHITECTURE.md"));
+
+    let mut undocumented = BTreeSet::new();
+    for f in rust_sources(&root) {
+        let code = production_code(&read(&f));
+        for (pat, skip) in [
+            ("counter(\"", "counter(\"".len()),
+            ("histogram(\"", "histogram(\"".len()),
+        ] {
+            for (i, _) in code.match_indices(pat) {
+                let rest = &code[i + skip..];
+                let Some(end) = rest.find('"') else { continue };
+                let name = &rest[..end];
+                // Only audit namespaced metric names (`area.metric`);
+                // single-word names are throwaway locals in examples.
+                if name.contains('.') && !arch.contains(name) {
+                    undocumented.insert(format!("{name} (emitted in {})", f.display()));
+                }
+            }
+        }
+    }
+    assert!(
+        undocumented.is_empty(),
+        "obs metrics emitted by production code but missing from \
+         docs/ARCHITECTURE.md:\n  {}",
+        undocumented.into_iter().collect::<Vec<_>>().join("\n  ")
+    );
+}
+
+/// Paths (workspace-relative prefixes) allowed to use `Ordering::SeqCst`,
+/// each with a standing justification.
+const SEQCST_ALLOWLIST: &[(&str, &str)] = &[
+    (
+        "crates/bench/tests/conformance.rs",
+        "the audit itself must name the pattern it scans for",
+    ),
+    (
+        "crates/check/",
+        "the model checker implements and litmus-tests SeqCst semantics",
+    ),
+    (
+        "crates/capi/",
+        "FFI boundary keeps conservative orderings; exempt like the unsafe wall",
+    ),
+    (
+        "crates/core/src/communicator.rs",
+        "test-only helper counter in the in-file test module",
+    ),
+    (
+        "tests/tests/",
+        "cross-crate integration harnesses use conservative orderings, not \
+         protocol code",
+    ),
+];
+
+#[test]
+fn seqcst_is_confined_to_the_allowlist() {
+    let root = workspace_root();
+    let mut violations = Vec::new();
+    for f in rust_sources(&root) {
+        let rel = f
+            .strip_prefix(&root)
+            .expect("source under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        if SEQCST_ALLOWLIST.iter().any(|(p, _)| rel.starts_with(p)) {
+            continue;
+        }
+        for (n, line) in read(&f).lines().enumerate() {
+            let t = line.trim_start();
+            if t.starts_with("//") {
+                continue;
+            }
+            if t.contains("SeqCst") {
+                violations.push(format!("{rel}:{}: {}", n + 1, t));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "SeqCst outside the allowlist — prefer Acquire/Release (and extend \
+         SEQCST_ALLOWLIST with a justification if it is truly needed):\n  {}",
+        violations.join("\n  ")
+    );
+}
+
+#[test]
+fn checked_modules_use_the_sync_seam_not_raw_atomics() {
+    let root = workspace_root();
+    for rel in ["crates/obs/src/flight.rs", "crates/fabric/src/pipeline.rs"] {
+        let src = read(&root.join(rel));
+        for (n, line) in src.lines().enumerate() {
+            let t = line.trim_start();
+            if t.starts_with("//") {
+                continue;
+            }
+            assert!(
+                !t.contains("std::sync::atomic"),
+                "{rel}:{}: model-checked module must import atomics from \
+                 `mpicd_obs::sync::atomic` (the `--cfg mpicd_check` seam), \
+                 not `std::sync::atomic`: {t}",
+                n + 1
+            );
+        }
+    }
+}

@@ -10,17 +10,16 @@
 use mpicd::World;
 use mpicd_bench::ddt::{one_way, DdtMethod, DdtScratch};
 use mpicd_bench::flight::{analyze, read_dump};
+use mpicd_ddtbench::{make, BENCHMARKS};
 use mpicd_fabric::{PipelineConfig, WireModel};
 use mpicd_obs::flight;
-use mpicd_ddtbench::{make, BENCHMARKS};
 
 #[test]
 fn inspect_reconstructs_every_ddtbench_transfer() {
     flight::set_enabled(true);
     let size = 32 * 1024;
 
-    let world =
-        World::with_model_and_pipeline(2, WireModel::default(), PipelineConfig::serial());
+    let world = World::with_model_and_pipeline(2, WireModel::default(), PipelineConfig::serial());
     let (a, b) = world.pair();
     for name in BENCHMARKS {
         let sender = make(name, size);
@@ -35,10 +34,7 @@ fn inspect_reconstructs_every_ddtbench_transfer() {
     }
     flight::set_enabled(false);
 
-    let path = std::env::temp_dir().join(format!(
-        "mpicd-flight-e2e-{}.jsonl",
-        std::process::id()
-    ));
+    let path = std::env::temp_dir().join(format!("mpicd-flight-e2e-{}.jsonl", std::process::id()));
     let n = flight::dump_jsonl(&path).unwrap();
     assert!(n > 0, "the run recorded events");
     let dump = read_dump(&path).unwrap();

@@ -1,0 +1,76 @@
+//! Race-checked plain data.
+//!
+//! [`RaceCell`] wraps a value the *protocol under test* claims is
+//! protected by synchronization the checker can see (locks, acquire
+//! loads, fences…). Accesses inside a model are checked FastTrack-style
+//! against vector clocks: a read/write or write/write pair not ordered by
+//! happens-before fails the model, reporting **both** access sites.
+//! Outside a model, accesses are simply serialized through an internal
+//! lock (no detection, no unsafety — this crate forbids `unsafe`).
+
+use crate::sched;
+use std::panic::Location;
+
+/// A plain-data cell whose accesses are checked for data races inside a
+/// model. The closure-based API (`with` / `with_mut`) keeps borrows
+/// scoped to a single checked access.
+#[derive(Debug, Default)]
+pub struct RaceCell<T: ?Sized> {
+    data: std::sync::Mutex<T>,
+}
+
+impl<T> RaceCell<T> {
+    /// New cell holding `t`.
+    pub const fn new(t: T) -> Self {
+        Self {
+            data: std::sync::Mutex::new(t),
+        }
+    }
+
+    /// Consume, returning the value.
+    pub fn into_inner(self) -> T {
+        match self.data.into_inner() {
+            Ok(t) => t,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RaceCell<T> {
+    fn addr(&self) -> usize {
+        std::ptr::from_ref(&self.data).cast::<()>() as usize
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, T> {
+        match self.data.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Read access: fails the model if unordered with a write.
+    #[track_caller]
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        if let Some((exec, tid)) = sched::current() {
+            exec.cell_read(tid, self.addr(), Location::caller());
+        }
+        f(&self.locked())
+    }
+
+    /// Write access: fails the model if unordered with a read or write.
+    #[track_caller]
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        if let Some((exec, tid)) = sched::current() {
+            exec.cell_write(tid, self.addr(), Location::caller());
+        }
+        f(&mut self.locked())
+    }
+
+    /// Exclusive access (no race check needed: `&mut` proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.data.get_mut() {
+            Ok(t) => t,
+            Err(p) => p.into_inner(),
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! `mpicd-check` — deterministic concurrency model checking for the
+//! mpicd workspace, with zero external dependencies.
+//!
+//! The crate provides instrumented mirrors of the std synchronization
+//! vocabulary ([`sync::AtomicU64`], [`sync::Mutex`], [`sync::Condvar`],
+//! [`thread::spawn`], …) plus a [`model`] runner that executes a closure
+//! under a *controlled scheduler*: every instrumented operation is a
+//! yield point, only one logical thread runs between yield points, and
+//! the scheduler re-runs the closure over many interleavings —
+//! bounded-exhaustive DFS (with a preemption bound) and seeded PCT-style
+//! randomized priority schedules. On top of the schedule exploration sit
+//! two detectors:
+//!
+//! * a **weak-memory model**: non-SeqCst atomic loads may observe any
+//!   coherence-eligible stale store, so a missing `Release`/`Acquire`
+//!   pair produces a real assertion failure instead of compiling to an
+//!   invisible x86 accident;
+//! * a **happens-before race detector** ([`RaceCell`]): conflicting
+//!   accesses not ordered by the synchronization the checker observed
+//!   fail the model with *both* access sites.
+//!
+//! Failures print the decision trace and a replay recipe
+//! (`MPICD_CHECK_REPLAY=<decisions>` / `MPICD_CHECK_SEED=<seed>`), so a
+//! failing schedule can be re-executed deterministically under a
+//! debugger.
+//!
+//! Production crates adopt the instrumented types through type aliases
+//! gated on `--cfg mpicd_check` (see `mpicd-obs::sync`), so release
+//! builds keep the raw std primitives with zero overhead.
+//!
+//! ```
+//! use mpicd_check::{Model, RaceCell, thread};
+//! use std::sync::Arc;
+//!
+//! // Two unsynchronized writers: the checker finds the race and names
+//! // both access sites.
+//! let failure = Model::new().find_bug(|| {
+//!     let cell = Arc::new(RaceCell::new(0u32));
+//!     let c2 = cell.clone();
+//!     let t = thread::spawn(move || c2.with_mut(|v| *v += 1));
+//!     cell.with_mut(|v| *v += 1);
+//!     t.join();
+//! });
+//! assert!(failure.unwrap().message.contains("data race"));
+//! ```
+//!
+//! The closure must be **deterministic** apart from scheduling: no wall
+//! clock, no OS randomness, no real I/O. Iteration-varying behavior
+//! breaks DFS replay (debug builds assert divergence).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod rng;
+mod sched;
+mod strategy;
+pub mod sync;
+pub mod thread;
+pub mod vclock;
+
+pub use cell::RaceCell;
+pub use rng::XorShift64Star;
+
+use std::panic::Location;
+use std::sync::{Arc, Mutex, Once};
+
+use strategy::{Decision, DfsPrefix, Pct, Replay, Strategy};
+
+/// Env var: comma-separated decision list; replays exactly one schedule.
+pub const ENV_REPLAY: &str = "MPICD_CHECK_REPLAY";
+/// Env var: u64 seed; runs exactly one PCT iteration with that seed.
+pub const ENV_SEED: &str = "MPICD_CHECK_SEED";
+
+static QUIET_ABORT_HOOK: Once = Once::new();
+
+/// Teardown of a failed iteration unwinds every parked thread with a
+/// private payload; keep the default panic hook from spamming stderr
+/// with those.
+fn install_quiet_abort_hook() {
+    QUIET_ABORT_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<sched::Abort>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// A schedule on which the model failed, with everything needed to
+/// reproduce it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong (assertion, race with both sites, deadlock with
+    /// blocked sites, …) plus the trailing operation trace.
+    pub message: String,
+    /// The decision sequence of the failing iteration (schedule picks and
+    /// value picks, in order).
+    pub decisions: Vec<usize>,
+    /// The PCT seed of the failing iteration, when randomized search
+    /// found it.
+    pub seed: Option<u64>,
+    /// 1-based iteration number on which the failure surfaced.
+    pub iteration: usize,
+}
+
+impl Failure {
+    /// Human-readable report with a deterministic replay recipe.
+    pub fn report(&self) -> String {
+        let decisions: Vec<String> = self.decisions.iter().map(|d| d.to_string()).collect();
+        let mut out = format!(
+            "concurrency model failed (iteration {}):\n{}\n\nreplay exactly: {}={}",
+            self.iteration,
+            self.message,
+            ENV_REPLAY,
+            decisions.join(",")
+        );
+        if let Some(s) = self.seed {
+            out.push_str(&format!("\n  (or re-search: {ENV_SEED}={s})"));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.report())
+    }
+}
+
+enum Kind {
+    Dfs,
+    Pct { iterations: usize, seed: u64 },
+}
+
+/// Configured model checker; run it with [`Model::check`] (panic on
+/// failure) or [`Model::find_bug`] (return the failure — for tests that
+/// *expect* one).
+pub struct Model {
+    kind: Kind,
+    preemption_bound: Option<usize>,
+    max_steps: usize,
+    max_iterations: usize,
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Model {
+    /// Bounded-exhaustive DFS over schedules, preemption bound 2 —
+    /// exhaustive for the bug classes that need at most two forced
+    /// context switches, which per Musuvathi & Qadeer covers most real
+    /// concurrency bugs at a tractable schedule count.
+    pub fn new() -> Self {
+        Self {
+            kind: Kind::Dfs,
+            preemption_bound: Some(2),
+            max_steps: 20_000,
+            max_iterations: 50_000,
+        }
+    }
+
+    /// Seeded PCT-style randomized priority search, `iterations` runs.
+    /// No preemption bound: random change points reach bug depths DFS's
+    /// bound excludes.
+    pub fn pct(iterations: usize, seed: u64) -> Self {
+        Self {
+            kind: Kind::Pct { iterations, seed },
+            preemption_bound: None,
+            max_steps: 20_000,
+            max_iterations: iterations,
+        }
+    }
+
+    /// Set the preemption bound for DFS (`None` = unbounded: full
+    /// exhaustive, exponentially larger).
+    pub fn preemption_bound(mut self, bound: Option<usize>) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Cap scheduling steps per iteration (livelock guard).
+    pub fn max_steps(mut self, steps: usize) -> Self {
+        self.max_steps = steps;
+        self
+    }
+
+    /// Cap DFS iterations; exceeding the cap panics loudly rather than
+    /// silently truncating exploration.
+    pub fn max_iterations(mut self, iterations: usize) -> Self {
+        self.max_iterations = iterations;
+        self
+    }
+
+    /// Explore schedules of `f`; panic with a replayable report on the
+    /// first failing one.
+    ///
+    /// Honors [`ENV_REPLAY`] (run exactly that decision sequence) and
+    /// [`ENV_SEED`] (run exactly one PCT iteration with that seed) for
+    /// reproducing a printed failure; filter to a single test when using
+    /// them, since they apply to every model in the process.
+    #[track_caller]
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let caller = Location::caller();
+        if let Ok(spec) = std::env::var(ENV_REPLAY) {
+            let decisions: Vec<usize> = spec
+                .split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad {ENV_REPLAY} entry {s:?}"))
+                })
+                .collect();
+            if let Some(failure) = self.replay(decisions, f) {
+                panic!("{} [model at {caller}]", failure.report());
+            }
+            return; // replay passed (e.g. after a fix): fine
+        }
+        let env_seed = std::env::var(ENV_SEED).ok().map(|s| {
+            s.parse::<u64>()
+                .unwrap_or_else(|_| panic!("bad {ENV_SEED} value {s:?}"))
+        });
+        let result = if let Some(seed) = env_seed {
+            Model::pct(1, seed).run(f)
+        } else {
+            self.run(f)
+        };
+        if let Some(failure) = result {
+            panic!("{} [model at {caller}]", failure.report());
+        }
+    }
+
+    /// Explore schedules of `f`; return the first failure instead of
+    /// panicking. This is how negative tests assert the checker *catches*
+    /// a seeded bug. Ignores the replay env vars (hermetic).
+    pub fn find_bug<F>(&self, f: F) -> Option<Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        self.run(f)
+    }
+
+    /// Run exactly one iteration following `decisions` verbatim (as
+    /// printed in a [`Failure`] report) and return the failure it
+    /// reproduces, if any.
+    pub fn replay<F>(&self, decisions: Vec<usize>, f: F) -> Option<Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let shown = decisions.clone();
+        // Replay must not be re-bounded: the recorded schedule already
+        // respected whatever bound produced it.
+        let (failure, _) = run_once(&f, Box::new(Replay::new(decisions)), None, self.max_steps);
+        failure.map(|message| Failure {
+            message,
+            decisions: shown,
+            seed: None,
+            iteration: 1,
+        })
+    }
+
+    fn run<F>(&self, f: F) -> Option<Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        assert!(
+            sched::current().is_none(),
+            "nested model() is not supported"
+        );
+        install_quiet_abort_hook();
+        let f = Arc::new(f);
+        match self.kind {
+            Kind::Dfs => {
+                let mut prefix: Vec<Decision> = Vec::new();
+                let mut iteration = 0usize;
+                loop {
+                    iteration += 1;
+                    assert!(
+                        iteration <= self.max_iterations,
+                        "DFS did not exhaust the schedule space within {} iterations; \
+                         shrink the model, lower the preemption bound, or raise \
+                         max_iterations",
+                        self.max_iterations
+                    );
+                    let (failure, decisions) = run_once(
+                        &f,
+                        Box::new(DfsPrefix::new(std::mem::take(&mut prefix))),
+                        self.preemption_bound,
+                        self.max_steps,
+                    );
+                    if let Some(message) = failure {
+                        return Some(Failure {
+                            message,
+                            decisions: decisions.iter().map(|d| d.chosen).collect(),
+                            seed: None,
+                            iteration,
+                        });
+                    }
+                    match DfsPrefix::advance(decisions) {
+                        Some(p) => prefix = p,
+                        None => return None,
+                    }
+                }
+            }
+            Kind::Pct { iterations, seed } => {
+                for i in 0..iterations {
+                    // Spread per-iteration seeds with the golden-ratio
+                    // increment so adjacent iterations decorrelate.
+                    let s = seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let (failure, decisions) = run_once(
+                        &f,
+                        Box::new(Pct::new(s)),
+                        self.preemption_bound,
+                        self.max_steps,
+                    );
+                    if let Some(message) = failure {
+                        return Some(Failure {
+                            message,
+                            decisions: decisions.iter().map(|d| d.chosen).collect(),
+                            seed: Some(s),
+                            iteration: i + 1,
+                        });
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+/// Check `f` under the default search: bounded-exhaustive DFS
+/// (preemption bound 2), then 100 seeded PCT iterations for bugs beyond
+/// the bound. Panics with a replayable report on the first failure.
+#[track_caller]
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let g = Arc::clone(&f);
+    Model::new().check(move || g());
+    // "mpicd!" as a seed: arbitrary but stable across runs.
+    Model::pct(100, 0x6D70_6963_6421).check(move || f());
+}
+
+/// One model iteration: spawn the root logical thread, run it under
+/// `strategy`, return (failure, decisions).
+fn run_once<F>(
+    f: &Arc<F>,
+    strategy: Box<dyn Strategy>,
+    preemption_bound: Option<usize>,
+    max_steps: usize,
+) -> (Option<String>, Vec<Decision>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let exec = sched::Execution::new(strategy, preemption_bound, max_steps);
+    let root = exec.register_thread(None);
+    debug_assert_eq!(root, 0);
+    let result: Arc<Mutex<Option<()>>> = Arc::new(Mutex::new(None));
+    let (e2, f2, r2) = (Arc::clone(&exec), Arc::clone(f), Arc::clone(&result));
+    let h = std::thread::Builder::new()
+        .name("mpicd-check-0".into())
+        .spawn(move || thread::trampoline(&e2, 0, &r2, move || f2()))
+        .expect("spawn model root thread");
+    exec.attach_handle(0, h);
+    exec.kick(0);
+    let failure = exec.run_to_completion();
+    let decisions = exec.take_decisions();
+    (failure, decisions)
+}

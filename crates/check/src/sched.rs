@@ -1,0 +1,981 @@
+//! The deterministic scheduler: one logical thread runs at a time.
+//!
+//! Every instrumented operation (atomic access, lock, unlock, wait,
+//! notify, spawn, join, cell access) is a *yield point*: the executing
+//! thread asks the active [`Strategy`](crate::strategy::Strategy) which
+//! runnable thread performs the next operation, parks itself on a shared
+//! condvar gate if it was not chosen, and performs the operation's effect
+//! only once it is the active thread. Because only the active thread ever
+//! runs between yield points, a run is fully determined by the sequence
+//! of choices — which is what makes schedules explorable, replayable and
+//! the memory-model bookkeeping race-free.
+//!
+//! The same module owns the model's object state:
+//!
+//! * **Atomics** keep a bounded modification-order history of stores,
+//!   each stamped with the writer's vector clock and (for
+//!   release-flavored stores, or relaxed stores after a release fence)
+//!   the published *release clock*. Non-SeqCst loads may read any
+//!   *eligible* stale store — one not superseded by a store that
+//!   happens-before the load and not older than the thread's
+//!   per-location coherence floor — with the choice of store being one
+//!   more explored decision. This is how a missing `Release`/`Acquire`
+//!   pair becomes an observable test failure instead of an invisible
+//!   x86 accident.
+//! * **Mutexes / condvars** track owners and waiter queues; blocked
+//!   threads leave the runnable set, and a schedule point with no
+//!   runnable thread is reported as a deadlock with every thread's
+//!   blocking site.
+//! * **[`RaceCell`](crate::cell::RaceCell) data** carries FastTrack-style
+//!   read/write vector-clock summaries; an unordered conflicting pair
+//!   panics the model with **both** access sites.
+//!
+//! Failure handling: the first panic (assertion, race, deadlock,
+//! step-budget blowout) records a message plus the op/decision trace and
+//! flips the execution into *abort* mode — every parked thread is woken
+//! and unwinds with a private [`Abort`] payload so the whole iteration
+//! tears down cleanly before the runner re-reports the failure.
+
+use crate::strategy::{Decision, Strategy};
+use crate::vclock::VClock;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Atomic-op memory orderings, mirroring `std::sync::atomic::Ordering`.
+pub use std::sync::atomic::Ordering;
+
+/// Max stores kept per atomic location; older stores become unreadable
+/// (bounded under-exploration, never unsoundness).
+const STORE_HISTORY: usize = 64;
+
+/// Sentinel for "no active thread".
+const NONE: usize = usize::MAX;
+
+/// Private panic payload used to unwind logical threads when the
+/// execution aborts; recognized (and swallowed) by the thread trampoline.
+pub(crate) struct Abort;
+
+// ---- thread-local execution context -----------------------------------------
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The executing logical thread's context, if this OS thread is part of a
+/// running model.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(ctx: Option<(Arc<Execution>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+// ---- per-object model state -------------------------------------------------
+
+struct StoreRec {
+    val: u64,
+    /// Writer's clock at the store — "is this store visible/superseding".
+    clock: VClock,
+    /// Clock published to acquire-readers (None for plain relaxed stores).
+    release: Option<VClock>,
+}
+
+#[derive(Default)]
+struct AtomicState {
+    /// Modification order (serialized execution order); index 0 is
+    /// absolute index `base`.
+    stores: Vec<StoreRec>,
+    base: usize,
+}
+
+#[derive(Default)]
+struct MutexState {
+    owner: Option<usize>,
+    /// Release clock of the last unlock.
+    clock: VClock,
+    /// Threads parked in `lock`.
+    waiters: Vec<usize>,
+}
+
+#[derive(Default)]
+struct CondvarState {
+    /// Threads parked in `wait`/`wait_timeout` (tid, timed).
+    waiters: Vec<(usize, bool)>,
+}
+
+#[derive(Default)]
+struct CellState {
+    /// Last write: (tid, that thread's clock component, full clock, site).
+    write: Option<(usize, u32, VClock, &'static Location<'static>)>,
+    /// Reads since the last write: tid → (epoch, site).
+    reads: HashMap<usize, (u32, &'static Location<'static>)>,
+}
+
+// ---- per-thread model state -------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunState {
+    Runnable,
+    /// Parked in `Mutex::lock` on the mutex keyed by this address.
+    BlockedMutex(usize),
+    /// Parked in `Condvar::wait` (`timed` ⇒ a scheduler pick fires the
+    /// timeout, so the thread stays schedulable).
+    BlockedCondvar {
+        cv: usize,
+        timed: bool,
+    },
+    /// Parked in `JoinHandle::join` on this tid.
+    BlockedJoin(usize),
+    Finished,
+}
+
+/// Why a condvar waiter resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Wake {
+    Notified,
+    TimedOut,
+}
+
+struct ThreadState {
+    clock: VClock,
+    run: RunState,
+    /// Where the thread last blocked (for deadlock reports).
+    blocked_at: Option<&'static Location<'static>>,
+    /// Coherence floor per atomic address: absolute store index below
+    /// which this thread may no longer read.
+    seen: HashMap<usize, usize>,
+    /// Clock snapshot taken at the last `fence(Release)`; attached to
+    /// subsequent relaxed stores.
+    fence_release: Option<VClock>,
+    /// Release clocks picked up by relaxed loads; a `fence(Acquire)`
+    /// folds them into the thread clock.
+    deferred: VClock,
+    wake: Option<Wake>,
+}
+
+impl ThreadState {
+    fn new() -> Self {
+        Self {
+            clock: VClock::new(),
+            run: RunState::Runnable,
+            blocked_at: None,
+            seen: HashMap::new(),
+            fence_release: None,
+            deferred: VClock::new(),
+            wake: None,
+        }
+    }
+}
+
+// ---- the execution ----------------------------------------------------------
+
+struct TraceEntry {
+    tid: usize,
+    desc: String,
+    site: &'static Location<'static>,
+}
+
+pub(crate) struct ExecState {
+    threads: Vec<ThreadState>,
+    active: usize,
+    strategy: Box<dyn Strategy>,
+    /// Every decision taken, for DFS advancement and replay lines.
+    pub(crate) decisions: Vec<Decision>,
+    trace: Vec<TraceEntry>,
+    pub(crate) failure: Option<String>,
+    aborting: bool,
+    atomics: HashMap<usize, AtomicState>,
+    mutexes: HashMap<usize, MutexState>,
+    condvars: HashMap<usize, CondvarState>,
+    cells: HashMap<usize, CellState>,
+    preemptions: usize,
+    preemption_bound: Option<usize>,
+    steps: usize,
+    max_steps: usize,
+    os_handles: Vec<Option<std::thread::JoinHandle<()>>>,
+    finished: usize,
+}
+
+/// One model iteration: the shared state plus the scheduling gate.
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    gate: Condvar,
+}
+
+impl Execution {
+    pub(crate) fn new(
+        strategy: Box<dyn Strategy>,
+        preemption_bound: Option<usize>,
+        max_steps: usize,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(ExecState {
+                threads: Vec::new(),
+                active: NONE,
+                strategy,
+                decisions: Vec::new(),
+                trace: Vec::new(),
+                failure: None,
+                aborting: false,
+                atomics: HashMap::new(),
+                mutexes: HashMap::new(),
+                condvars: HashMap::new(),
+                cells: HashMap::new(),
+                preemptions: 0,
+                preemption_bound,
+                steps: 0,
+                max_steps,
+                os_handles: Vec::new(),
+                finished: 0,
+            }),
+            gate: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ExecState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    // ---- thread lifecycle ---------------------------------------------------
+
+    /// Register a new logical thread (clock seeded from the spawner) and
+    /// return its tid. The OS handle is attached via [`Self::attach_handle`].
+    pub(crate) fn register_thread(&self, parent: Option<usize>) -> usize {
+        let mut st = self.lock();
+        let tid = st.threads.len();
+        let mut ts = ThreadState::new();
+        if let Some(p) = parent {
+            st.threads[p].clock.tick(p);
+            let pc = st.threads[p].clock.clone();
+            ts.clock.join(&pc);
+        }
+        ts.clock.tick(tid);
+        st.threads.push(ts);
+        st.os_handles.push(None);
+        tid
+    }
+
+    pub(crate) fn attach_handle(&self, tid: usize, h: std::thread::JoinHandle<()>) {
+        self.lock().os_handles[tid] = Some(h);
+    }
+
+    /// Hand the baton to `tid` (used by the runner to start thread 0).
+    pub(crate) fn kick(&self, tid: usize) {
+        let mut st = self.lock();
+        st.active = tid;
+        self.gate.notify_all();
+    }
+
+    /// Block until `tid` is the active thread (the first thing a spawned
+    /// thread does). Unwinds with [`Abort`] if the execution is tearing
+    /// down.
+    pub(crate) fn wait_until_active(&self, tid: usize) {
+        let mut st = self.lock();
+        loop {
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            if st.active == tid {
+                return;
+            }
+            st = match self.gate.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// Mark `tid` finished, wake its joiners and pass the baton.
+    pub(crate) fn finish_thread(&self, tid: usize) {
+        let mut st = self.lock();
+        st.threads[tid].clock.tick(tid);
+        st.threads[tid].run = RunState::Finished;
+        st.finished += 1;
+        for ts in st.threads.iter_mut() {
+            if ts.run == RunState::BlockedJoin(tid) {
+                ts.run = RunState::Runnable;
+                ts.blocked_at = None;
+            }
+        }
+        self.reschedule(st, tid, "thread exit", Location::caller());
+    }
+
+    /// Logical join: park until `target` finishes, then acquire its final
+    /// clock.
+    #[track_caller]
+    pub(crate) fn join_thread(&self, tid: usize, target: usize) {
+        let site = Location::caller();
+        self.yield_point(tid, site);
+        let mut st = self.lock();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        if st.threads[target].run != RunState::Finished {
+            st.threads[tid].run = RunState::BlockedJoin(target);
+            st.threads[tid].blocked_at = Some(site);
+            let st2 = self.reschedule_keep(st, tid, "join (blocked)", site);
+            drop(st2);
+            self.wait_until_active(tid);
+            st = self.lock();
+        }
+        let tc = st.threads[target].clock.clone();
+        let me = &mut st.threads[tid];
+        me.clock.join(&tc);
+        me.clock.tick(tid);
+        st.trace_push(tid, "join".into(), site);
+    }
+
+    /// Park the runner until every logical thread finished or aborted,
+    /// then join the OS threads and return the failure, if any.
+    pub(crate) fn run_to_completion(&self) -> Option<String> {
+        {
+            let mut st = self.lock();
+            while !(st.aborting && st.active == NONE || st.finished == st.threads.len()) {
+                // On abort every parked thread self-wakes; the runner just
+                // needs the queue to drain, which `finish`/abort signal.
+                st = match self.gate.wait(st) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                if st.aborting {
+                    break;
+                }
+            }
+        }
+        let handles: Vec<_> = {
+            let mut st = self.lock();
+            st.os_handles.iter_mut().map(|h| h.take()).collect()
+        };
+        for h in handles.into_iter().flatten() {
+            let _ = h.join();
+        }
+        let mut st = self.lock();
+        st.strategy.finished();
+        st.failure.take()
+    }
+
+    pub(crate) fn take_decisions(&self) -> Vec<Decision> {
+        std::mem::take(&mut self.lock().decisions)
+    }
+
+    // ---- scheduling core ----------------------------------------------------
+
+    /// The schedule point run before every operation's effect: pick the
+    /// thread that performs the next operation; park the caller if it was
+    /// not chosen. Returns with the caller active.
+    pub(crate) fn yield_point(&self, tid: usize, site: &'static Location<'static>) {
+        if std::thread::panicking() {
+            return; // unwinding through user destructors — stay out of the way
+        }
+        let st = self.lock();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        let st = self.schedule_next(st, tid, site);
+        drop(st);
+        self.wait_until_active(tid);
+    }
+
+    /// Choose and publish the next active thread. Caller keeps `tid`'s
+    /// run-state as-is (used for blocking ops that already parked
+    /// themselves). Returns the guard.
+    fn schedule_next<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, ExecState>,
+        tid: usize,
+        site: &'static Location<'static>,
+    ) -> MutexGuard<'a, ExecState> {
+        if st.aborting {
+            st.active = NONE;
+            self.gate.notify_all();
+            return st;
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            let msg = format!(
+                "model exceeded {} scheduling steps (livelock or unbounded loop?)",
+                st.max_steps
+            );
+            self.fail_locked(st, msg, site);
+        }
+        // Runnable set: Runnable threads, plus timed condvar waiters
+        // (scheduling one of those fires its timeout).
+        let mut candidates: Vec<usize> = Vec::new();
+        for (t, ts) in st.threads.iter().enumerate() {
+            match ts.run {
+                RunState::Runnable => candidates.push(t),
+                RunState::BlockedCondvar { timed: true, .. } => candidates.push(t),
+                _ => {}
+            }
+        }
+        if candidates.is_empty() {
+            if st.finished == st.threads.len() {
+                st.active = NONE;
+                self.gate.notify_all();
+                return st;
+            }
+            let mut lines = String::new();
+            for (t, ts) in st.threads.iter().enumerate() {
+                if ts.run != RunState::Finished {
+                    lines.push_str(&format!(
+                        "\n  thread {t} blocked ({:?}) at {}",
+                        ts.run,
+                        ts.blocked_at.map_or("?".to_string(), |l| l.to_string())
+                    ));
+                }
+            }
+            self.fail_locked(st, format!("deadlock: no runnable thread{lines}"), site);
+        }
+        // Preemption bounding: once the budget is spent, a still-runnable
+        // current thread must keep running.
+        let caller_runnable = candidates.contains(&tid);
+        let bounded = st
+            .preemption_bound
+            .is_some_and(|b| st.preemptions >= b && caller_runnable);
+        let chosen = if bounded || candidates.len() == 1 {
+            if bounded {
+                tid
+            } else {
+                candidates[0]
+            }
+        } else {
+            let idx = st.strategy.choose_schedule(&candidates, tid);
+            let c = candidates[idx];
+            let n = candidates.len();
+            st.decisions.push(Decision { chosen: idx, n });
+            c
+        };
+        if caller_runnable && chosen != tid {
+            st.preemptions += 1;
+        }
+        // A timed condvar waiter scheduled directly: its timeout fires.
+        if let RunState::BlockedCondvar { cv, timed: true } = st.threads[chosen].run {
+            if let Some(cvs) = st.condvars.get_mut(&cv) {
+                cvs.waiters.retain(|&(t, _)| t != chosen);
+            }
+            st.threads[chosen].run = RunState::Runnable;
+            st.threads[chosen].blocked_at = None;
+            st.threads[chosen].wake = Some(Wake::TimedOut);
+        }
+        st.active = chosen;
+        self.gate.notify_all();
+        st
+    }
+
+    /// `schedule_next` for callers that already hold the lock and have
+    /// parked themselves (blocking ops).
+    fn reschedule_keep<'a>(
+        &'a self,
+        st: MutexGuard<'a, ExecState>,
+        tid: usize,
+        desc: &str,
+        site: &'static Location<'static>,
+    ) -> MutexGuard<'a, ExecState> {
+        let mut st = st;
+        st.trace_push(tid, desc.to_string(), site);
+        self.schedule_next(st, tid, site)
+    }
+
+    /// Park-free baton pass used by `finish_thread`.
+    fn reschedule(
+        &self,
+        st: MutexGuard<'_, ExecState>,
+        tid: usize,
+        desc: &str,
+        site: &'static Location<'static>,
+    ) {
+        let st = self.reschedule_keep(st, tid, desc, site);
+        drop(st);
+    }
+
+    /// Record a failure, flip into abort mode, wake everyone. Unwinds the
+    /// calling logical thread with [`Abort`] (the runner re-reports).
+    fn fail_locked(
+        &self,
+        mut st: MutexGuard<'_, ExecState>,
+        msg: String,
+        site: &'static Location<'static>,
+    ) -> ! {
+        if st.failure.is_none() {
+            let mut full = format!("{msg}\n    at {site}\n--- last operations ---");
+            let lo = st.trace.len().saturating_sub(40);
+            for e in &st.trace[lo..] {
+                full.push_str(&format!("\n  [t{}] {} at {}", e.tid, e.desc, e.site));
+            }
+            st.failure = Some(full);
+        }
+        st.aborting = true;
+        st.active = NONE;
+        self.gate.notify_all();
+        drop(st);
+        std::panic::panic_any(Abort);
+    }
+
+    /// Record an externally-caught panic (from a logical thread closure).
+    pub(crate) fn report_panic(&self, tid: usize, msg: String) {
+        let mut st = self.lock();
+        if st.failure.is_none() {
+            let mut full = format!("thread {tid} panicked: {msg}\n--- last operations ---");
+            let lo = st.trace.len().saturating_sub(40);
+            for e in &st.trace[lo..] {
+                full.push_str(&format!("\n  [t{}] {} at {}", e.tid, e.desc, e.site));
+            }
+            st.failure = Some(full);
+        }
+        st.aborting = true;
+        st.active = NONE;
+        self.gate.notify_all();
+    }
+
+    fn value_choice(st: &mut ExecState, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let idx = st.strategy.choose_value(n);
+        st.decisions.push(Decision { chosen: idx, n });
+        idx
+    }
+
+    // ---- atomic semantics ---------------------------------------------------
+
+    /// Ensure `addr` has model state, seeding the history with the
+    /// location's current (pre-model or post-reset) value.
+    fn atomic_entry(st: &mut ExecState, addr: usize, init: u64) -> &mut AtomicState {
+        st.atomics.entry(addr).or_insert_with(|| AtomicState {
+            stores: vec![StoreRec {
+                val: init,
+                clock: VClock::new(),
+                release: None,
+            }],
+            base: 0,
+        })
+    }
+
+    /// Instrumented load. `init` is the location's live value, used to
+    /// seed history on first contact.
+    pub(crate) fn atomic_load(
+        &self,
+        tid: usize,
+        addr: usize,
+        init: u64,
+        ord: Ordering,
+        site: &'static Location<'static>,
+    ) -> u64 {
+        self.yield_point(tid, site);
+        let mut st = self.lock();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        st.trace_push(tid, format!("load({ord:?})"), site);
+        let reader_clock = st.threads[tid].clock.clone();
+        let (newest, mut floor) = {
+            let a = Self::atomic_entry(&mut st, addr, init);
+            let newest = a.base + a.stores.len() - 1;
+            // Coherence floor: nothing older than the newest store that
+            // happens-before this load, nor older than what we already read.
+            let mut floor = a.base;
+            for (i, s) in a.stores.iter().enumerate().rev() {
+                if s.clock.le(&reader_clock) {
+                    floor = a.base + i;
+                    break;
+                }
+            }
+            (newest, floor)
+        };
+        let seen = st.threads[tid].seen.get(&addr).copied().unwrap_or(0);
+        floor = floor.max(seen);
+        let chosen_abs = if matches!(ord, Ordering::SeqCst) {
+            newest
+        } else {
+            let n = newest - floor + 1;
+            let pick = Self::value_choice(&mut st, n);
+            floor + pick
+        };
+        let a = st.atomics.get(&addr).expect("seeded above");
+        let rec = &a.stores[chosen_abs - a.base];
+        let val = rec.val;
+        let release = rec.release.clone();
+        st.threads[tid].seen.insert(addr, chosen_abs);
+        if let Some(rc) = release {
+            match ord {
+                Ordering::Relaxed => st.threads[tid].deferred.join(&rc),
+                _ => st.threads[tid].clock.join(&rc),
+            }
+        }
+        st.threads[tid].clock.tick(tid);
+        val
+    }
+
+    /// Instrumented store. Returns nothing; the caller writes `val` back
+    /// to the live location after this returns.
+    pub(crate) fn atomic_store(
+        &self,
+        tid: usize,
+        addr: usize,
+        init: u64,
+        val: u64,
+        ord: Ordering,
+        site: &'static Location<'static>,
+    ) {
+        self.yield_point(tid, site);
+        let mut st = self.lock();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        st.trace_push(tid, format!("store({ord:?}, {val})"), site);
+        st.threads[tid].clock.tick(tid);
+        let release = match ord {
+            Ordering::Release | Ordering::SeqCst | Ordering::AcqRel => {
+                Some(st.threads[tid].clock.clone())
+            }
+            _ => st.threads[tid].fence_release.clone(),
+        };
+        let clock = st.threads[tid].clock.clone();
+        Self::atomic_entry(&mut st, addr, init);
+        let a = st.atomics.get_mut(&addr).expect("seeded above");
+        a.stores.push(StoreRec {
+            val,
+            clock,
+            release,
+        });
+        if a.stores.len() > STORE_HISTORY {
+            a.stores.remove(0);
+            a.base += 1;
+        }
+        let newest = a.base + a.stores.len() - 1;
+        st.threads[tid].seen.insert(addr, newest);
+    }
+
+    /// Instrumented read-modify-write: applies `op` to the newest value
+    /// (RMW atomicity), with optional compare gating for CAS. Returns
+    /// `(old, stored)` where `stored` says whether the new value was
+    /// written (CAS success).
+    #[allow(clippy::too_many_arguments)] // atomic RMW carries op+orderings+site; bundling would obscure call sites
+    pub(crate) fn atomic_rmw(
+        &self,
+        tid: usize,
+        addr: usize,
+        init: u64,
+        expect: Option<u64>,
+        new: impl FnOnce(u64) -> u64,
+        success: Ordering,
+        failure: Ordering,
+        site: &'static Location<'static>,
+    ) -> (u64, bool) {
+        self.yield_point(tid, site);
+        let mut st = self.lock();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        let (newest_idx, old, prev_release) = {
+            let a = Self::atomic_entry(&mut st, addr, init);
+            let last = a.stores.last().expect("history never empty");
+            (a.base + a.stores.len() - 1, last.val, last.release.clone())
+        };
+        let ok = expect.is_none_or(|e| e == old);
+        let ord = if ok { success } else { failure };
+        st.trace_push(tid, format!("rmw({ord:?}, old={old}, ok={ok})"), site);
+        st.threads[tid].seen.insert(addr, newest_idx);
+        // Acquire side.
+        if let Some(rc) = &prev_release {
+            match ord {
+                Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst => {
+                    st.threads[tid].clock.join(rc)
+                }
+                Ordering::Relaxed | Ordering::Release => st.threads[tid].deferred.join(rc),
+                _ => {}
+            }
+        }
+        st.threads[tid].clock.tick(tid);
+        if !ok {
+            return (old, false);
+        }
+        // Release side: an RMW continues the release sequence it read.
+        let mut release = match success {
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst => {
+                Some(st.threads[tid].clock.clone())
+            }
+            _ => st.threads[tid].fence_release.clone(),
+        };
+        if let Some(pr) = prev_release {
+            match &mut release {
+                Some(r) => r.join(&pr),
+                None => release = Some(pr),
+            }
+        }
+        let clock = st.threads[tid].clock.clone();
+        let val = new(old);
+        let a = st.atomics.get_mut(&addr).expect("seeded above");
+        a.stores.push(StoreRec {
+            val,
+            clock,
+            release,
+        });
+        if a.stores.len() > STORE_HISTORY {
+            a.stores.remove(0);
+            a.base += 1;
+        }
+        let newest = a.base + a.stores.len() - 1;
+        st.threads[tid].seen.insert(addr, newest);
+        (old, true)
+    }
+
+    /// Instrumented `fence`.
+    pub(crate) fn fence(&self, tid: usize, ord: Ordering, site: &'static Location<'static>) {
+        self.yield_point(tid, site);
+        let mut st = self.lock();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        st.trace_push(tid, format!("fence({ord:?})"), site);
+        st.threads[tid].clock.tick(tid);
+        if matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst) {
+            let d = std::mem::take(&mut st.threads[tid].deferred);
+            st.threads[tid].clock.join(&d);
+        }
+        if matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst) {
+            st.threads[tid].fence_release = Some(st.threads[tid].clock.clone());
+        }
+    }
+
+    // ---- mutex / condvar semantics ------------------------------------------
+
+    /// Model-acquire the mutex keyed by `addr`, parking while contended.
+    pub(crate) fn mutex_lock(&self, tid: usize, addr: usize, site: &'static Location<'static>) {
+        loop {
+            self.yield_point(tid, site);
+            let mut st = self.lock();
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            let m = st.mutexes.entry(addr).or_default();
+            if m.owner.is_none() {
+                m.owner = Some(tid);
+                m.waiters.retain(|&t| t != tid);
+                let mc = m.clock.clone();
+                let me = &mut st.threads[tid];
+                me.clock.join(&mc);
+                me.clock.tick(tid);
+                st.trace_push(tid, "lock".into(), site);
+                return;
+            }
+            if !m.waiters.contains(&tid) {
+                m.waiters.push(tid);
+            }
+            st.threads[tid].run = RunState::BlockedMutex(addr);
+            st.threads[tid].blocked_at = Some(site);
+            let st = self.reschedule_keep(st, tid, "lock (blocked)", site);
+            drop(st);
+            self.wait_until_active(tid);
+        }
+    }
+
+    /// Model-release the mutex keyed by `addr`; wakes all waiters to
+    /// re-contend (barging explores acquisition orders).
+    pub(crate) fn mutex_unlock(&self, tid: usize, addr: usize, site: &'static Location<'static>) {
+        self.yield_point(tid, site);
+        let mut st = self.lock();
+        if st.aborting {
+            return; // effect is moot mid-teardown
+        }
+        st.threads[tid].clock.tick(tid);
+        let release = st.threads[tid].clock.clone();
+        let m = st.mutexes.entry(addr).or_default();
+        debug_assert_eq!(m.owner, Some(tid), "unlock by non-owner");
+        m.owner = None;
+        m.clock.join(&release);
+        let waiters = std::mem::take(&mut m.waiters);
+        for w in waiters {
+            if matches!(st.threads[w].run, RunState::BlockedMutex(a) if a == addr) {
+                st.threads[w].run = RunState::Runnable;
+                st.threads[w].blocked_at = None;
+            }
+        }
+        st.trace_push(tid, "unlock".into(), site);
+    }
+
+    /// Atomically release `mutex_addr` and park on `cv_addr`. Returns the
+    /// wake reason once rescheduled; the caller then re-acquires the
+    /// mutex via [`Self::mutex_lock`].
+    pub(crate) fn condvar_wait(
+        &self,
+        tid: usize,
+        cv_addr: usize,
+        mutex_addr: usize,
+        timed: bool,
+        site: &'static Location<'static>,
+    ) -> Wake {
+        self.yield_point(tid, site);
+        {
+            let mut st = self.lock();
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            // Release the mutex (same effect as unlock, minus the yield).
+            st.threads[tid].clock.tick(tid);
+            let release = st.threads[tid].clock.clone();
+            let m = st.mutexes.entry(mutex_addr).or_default();
+            debug_assert_eq!(m.owner, Some(tid), "wait with mutex not held");
+            m.owner = None;
+            m.clock.join(&release);
+            let waiters = std::mem::take(&mut m.waiters);
+            for w in waiters {
+                if matches!(st.threads[w].run, RunState::BlockedMutex(a) if a == mutex_addr) {
+                    st.threads[w].run = RunState::Runnable;
+                    st.threads[w].blocked_at = None;
+                }
+            }
+            let cv = st.condvars.entry(cv_addr).or_default();
+            cv.waiters.push((tid, timed));
+            st.threads[tid].run = RunState::BlockedCondvar { cv: cv_addr, timed };
+            st.threads[tid].blocked_at = Some(site);
+            st.threads[tid].wake = None;
+            let desc = if timed { "wait_timeout" } else { "wait" };
+            let st = self.reschedule_keep(st, tid, desc, site);
+            drop(st);
+        }
+        self.wait_until_active(tid);
+        let mut st = self.lock();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        let wake = st.threads[tid].wake.take().unwrap_or(Wake::Notified);
+        st.trace_push(tid, format!("woke ({wake:?})"), site);
+        wake
+    }
+
+    /// Wake one waiter on `cv_addr` (which one is an explored decision).
+    pub(crate) fn condvar_notify(
+        &self,
+        tid: usize,
+        cv_addr: usize,
+        all: bool,
+        site: &'static Location<'static>,
+    ) {
+        self.yield_point(tid, site);
+        let mut st = self.lock();
+        if st.aborting {
+            return;
+        }
+        st.threads[tid].clock.tick(tid);
+        let n_waiters = st.condvars.get(&cv_addr).map_or(0, |cv| cv.waiters.len());
+        let desc = if all { "notify_all" } else { "notify_one" };
+        st.trace_push(tid, format!("{desc} ({n_waiters} waiting)"), site);
+        if n_waiters == 0 {
+            return;
+        }
+        let picked: Vec<usize> = if all {
+            let cv = st.condvars.get_mut(&cv_addr).expect("checked above");
+            cv.waiters.drain(..).map(|(t, _)| t).collect()
+        } else {
+            let idx = Self::value_choice(&mut st, n_waiters);
+            let cv = st.condvars.get_mut(&cv_addr).expect("checked above");
+            vec![cv.waiters.remove(idx).0]
+        };
+        for t in picked {
+            if matches!(st.threads[t].run, RunState::BlockedCondvar { cv, .. } if cv == cv_addr) {
+                st.threads[t].run = RunState::Runnable;
+                st.threads[t].blocked_at = None;
+                st.threads[t].wake = Some(Wake::Notified);
+            }
+        }
+    }
+
+    // ---- race-checked plain data --------------------------------------------
+
+    /// Record a read of the `RaceCell` keyed by `addr`; fails the model if
+    /// it conflicts with an unordered write.
+    pub(crate) fn cell_read(&self, tid: usize, addr: usize, site: &'static Location<'static>) {
+        self.yield_point(tid, site);
+        let mut st = self.lock();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        st.threads[tid].clock.tick(tid);
+        let clock = st.threads[tid].clock.clone();
+        let epoch = clock.get(tid);
+        let c = st.cells.entry(addr).or_default();
+        if let Some((wt, wep, wclock, wsite)) = &c.write {
+            if !wclock.le(&clock) {
+                let (wt, wep, wsite) = (*wt, *wep, *wsite);
+                let msg = format!(
+                    "data race: read by thread {tid} at {site} is unordered with \
+                     write by thread {wt} (epoch {wep}) at {wsite}"
+                );
+                self.fail_locked(st, msg, site);
+            }
+        }
+        c.reads.insert(tid, (epoch, site));
+        st.trace_push(tid, "cell read".into(), site);
+    }
+
+    /// Record a write of the `RaceCell` keyed by `addr`; fails the model
+    /// if it conflicts with an unordered read or write.
+    pub(crate) fn cell_write(&self, tid: usize, addr: usize, site: &'static Location<'static>) {
+        self.yield_point(tid, site);
+        let mut st = self.lock();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        st.threads[tid].clock.tick(tid);
+        let clock = st.threads[tid].clock.clone();
+        let c = st.cells.entry(addr).or_default();
+        if let Some((wt, wep, wclock, wsite)) = &c.write {
+            if !wclock.le(&clock) {
+                let (wt, wep, wsite) = (*wt, *wep, *wsite);
+                let msg = format!(
+                    "data race: write by thread {tid} at {site} is unordered with \
+                     write by thread {wt} (epoch {wep}) at {wsite}"
+                );
+                self.fail_locked(st, msg, site);
+            }
+        }
+        // Lowest-tid pick keeps the report deterministic across replays
+        // (HashMap iteration order is not).
+        let stale = c
+            .reads
+            .iter()
+            .map(|(&t, &(ep, s))| (t, ep, s))
+            .filter(|&(t, ep, _)| ep > clock.get(t))
+            .min_by_key(|&(t, _, _)| t);
+        if let Some((rt, rep, rsite)) = stale {
+            let msg = format!(
+                "data race: write by thread {tid} at {site} is unordered with \
+                 read by thread {rt} (epoch {rep}) at {rsite}"
+            );
+            self.fail_locked(st, msg, site);
+        }
+        let c = st.cells.entry(addr).or_default();
+        c.write = Some((tid, clock.get(tid), clock, site));
+        c.reads.clear();
+        st.trace_push(tid, "cell write".into(), site);
+    }
+}
+
+impl ExecState {
+    fn trace_push(&mut self, tid: usize, desc: String, site: &'static Location<'static>) {
+        // Bound the trace: keep the most recent window only.
+        if self.trace.len() >= 4096 {
+            self.trace.drain(..2048);
+        }
+        self.trace.push(TraceEntry { tid, desc, site });
+    }
+}

@@ -1,0 +1,716 @@
+//! Instrumented synchronization primitives.
+//!
+//! Drop-in mirrors of `std::sync::atomic::*`, `std::sync::Mutex` and
+//! `std::sync::Condvar` that route every operation through the
+//! deterministic scheduler **when the calling OS thread belongs to a
+//! running [`model`](crate::model)** — and behave exactly like their std
+//! counterparts otherwise (poison-ignoring for locks, real orderings for
+//! atomics). The fallback matters: production crates alias these types in
+//! under `cfg(mpicd_check)`, and their ordinary unit tests must keep
+//! passing unmodified while only the `model(...)` tests explore
+//! schedules.
+//!
+//! Inside a model:
+//!
+//! * atomics keep their *live* value in the underlying std atomic (so
+//!   `const fn new` works and the newest value is always materialized)
+//!   while the scheduler tracks the store history, release clocks and
+//!   per-thread coherence floors that make weak orderings observable;
+//! * `Mutex`/`Condvar` park logical threads in the scheduler — the real
+//!   lock is only ever taken by the active thread, so it is never
+//!   contended — and lock/unlock edges carry vector clocks for the race
+//!   detector;
+//! * `compare_exchange_weak` never fails spuriously (a deliberate
+//!   under-approximation; CAS retry loops still explore all interleavings
+//!   through genuine value conflicts).
+
+use crate::sched;
+use crate::sched::Execution;
+use std::panic::Location;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Atomic-op memory orderings, mirroring `std::sync::atomic::Ordering`.
+pub use std::sync::atomic::Ordering;
+
+fn ignore_poison<G>(r: Result<G, std::sync::PoisonError<G>>) -> G {
+    match r {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// An atomic fence; a scheduler-visible event inside a model.
+#[track_caller]
+pub fn fence(ord: Ordering) {
+    match sched::current() {
+        Some((exec, tid)) => exec.fence(tid, ord, Location::caller()),
+        None => std::sync::atomic::fence(ord),
+    }
+}
+
+// ---- atomics ----------------------------------------------------------------
+
+macro_rules! int_atomic {
+    ($name:ident, $std:ty, $ty:ty) => {
+        /// Instrumented mirror of the std atomic of the same name.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// New atomic holding `v`.
+            pub const fn new(v: $ty) -> Self {
+                Self {
+                    inner: <$std>::new(v),
+                }
+            }
+
+            fn addr(&self) -> usize {
+                std::ptr::from_ref(&self.inner).cast::<()>() as usize
+            }
+
+            // The argument list mirrors `Execution::atomic_rmw`; bundling
+            // would just move the count into a struct literal at one call
+            // site.
+            #[allow(clippy::too_many_arguments)]
+            fn model_rmw(
+                &self,
+                exec: &Arc<Execution>,
+                tid: usize,
+                expect: Option<$ty>,
+                success: Ordering,
+                failure: Ordering,
+                f: impl Fn($ty) -> $ty,
+                site: &'static Location<'static>,
+            ) -> ($ty, bool) {
+                let init = self.inner.load(Ordering::Relaxed) as u64;
+                let (old, ok) = exec.atomic_rmw(
+                    tid,
+                    self.addr(),
+                    init,
+                    expect.map(|e| e as u64),
+                    |o| f(o as $ty) as u64,
+                    success,
+                    failure,
+                    site,
+                );
+                let old = old as $ty;
+                if ok {
+                    self.inner.store(f(old), Ordering::Relaxed);
+                }
+                (old, ok)
+            }
+
+            /// Load; inside a model a weak ordering may observe an
+            /// eligible stale store (an explored decision).
+            #[track_caller]
+            pub fn load(&self, ord: Ordering) -> $ty {
+                match sched::current() {
+                    Some((exec, tid)) => {
+                        let init = self.inner.load(Ordering::Relaxed) as u64;
+                        exec.atomic_load(tid, self.addr(), init, ord, Location::caller()) as $ty
+                    }
+                    None => self.inner.load(ord),
+                }
+            }
+
+            /// Store.
+            #[track_caller]
+            pub fn store(&self, v: $ty, ord: Ordering) {
+                match sched::current() {
+                    Some((exec, tid)) => {
+                        let init = self.inner.load(Ordering::Relaxed) as u64;
+                        exec.atomic_store(
+                            tid,
+                            self.addr(),
+                            init,
+                            v as u64,
+                            ord,
+                            Location::caller(),
+                        );
+                        self.inner.store(v, Ordering::Relaxed);
+                    }
+                    None => self.inner.store(v, ord),
+                }
+            }
+
+            /// Swap, returning the previous value.
+            #[track_caller]
+            pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
+                match sched::current() {
+                    Some((exec, tid)) => {
+                        self.model_rmw(&exec, tid, None, ord, ord, |_| v, Location::caller())
+                            .0
+                    }
+                    None => self.inner.swap(v, ord),
+                }
+            }
+
+            /// Compare-and-exchange (strong).
+            #[track_caller]
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                match sched::current() {
+                    Some((exec, tid)) => {
+                        let (old, ok) = self.model_rmw(
+                            &exec,
+                            tid,
+                            Some(current),
+                            success,
+                            failure,
+                            move |_| new,
+                            Location::caller(),
+                        );
+                        if ok {
+                            Ok(old)
+                        } else {
+                            Err(old)
+                        }
+                    }
+                    None => self.inner.compare_exchange(current, new, success, failure),
+                }
+            }
+
+            /// Compare-and-exchange; inside a model this never fails
+            /// spuriously (deliberate under-approximation).
+            #[track_caller]
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                match sched::current() {
+                    Some(_) => self.compare_exchange(current, new, success, failure),
+                    None => self
+                        .inner
+                        .compare_exchange_weak(current, new, success, failure),
+                }
+            }
+
+            /// Wrapping add, returning the previous value.
+            #[track_caller]
+            pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+                match sched::current() {
+                    Some((exec, tid)) => {
+                        self.model_rmw(
+                            &exec,
+                            tid,
+                            None,
+                            ord,
+                            ord,
+                            |o| o.wrapping_add(v),
+                            Location::caller(),
+                        )
+                        .0
+                    }
+                    None => self.inner.fetch_add(v, ord),
+                }
+            }
+
+            /// Wrapping subtract, returning the previous value.
+            #[track_caller]
+            pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
+                match sched::current() {
+                    Some((exec, tid)) => {
+                        self.model_rmw(
+                            &exec,
+                            tid,
+                            None,
+                            ord,
+                            ord,
+                            |o| o.wrapping_sub(v),
+                            Location::caller(),
+                        )
+                        .0
+                    }
+                    None => self.inner.fetch_sub(v, ord),
+                }
+            }
+
+            /// Bitwise AND, returning the previous value.
+            #[track_caller]
+            pub fn fetch_and(&self, v: $ty, ord: Ordering) -> $ty {
+                match sched::current() {
+                    Some((exec, tid)) => {
+                        self.model_rmw(&exec, tid, None, ord, ord, |o| o & v, Location::caller())
+                            .0
+                    }
+                    None => self.inner.fetch_and(v, ord),
+                }
+            }
+
+            /// Bitwise OR, returning the previous value.
+            #[track_caller]
+            pub fn fetch_or(&self, v: $ty, ord: Ordering) -> $ty {
+                match sched::current() {
+                    Some((exec, tid)) => {
+                        self.model_rmw(&exec, tid, None, ord, ord, |o| o | v, Location::caller())
+                            .0
+                    }
+                    None => self.inner.fetch_or(v, ord),
+                }
+            }
+
+            /// Bitwise XOR, returning the previous value.
+            #[track_caller]
+            pub fn fetch_xor(&self, v: $ty, ord: Ordering) -> $ty {
+                match sched::current() {
+                    Some((exec, tid)) => {
+                        self.model_rmw(&exec, tid, None, ord, ord, |o| o ^ v, Location::caller())
+                            .0
+                    }
+                    None => self.inner.fetch_xor(v, ord),
+                }
+            }
+
+            /// Maximum, returning the previous value.
+            #[track_caller]
+            pub fn fetch_max(&self, v: $ty, ord: Ordering) -> $ty {
+                match sched::current() {
+                    Some((exec, tid)) => {
+                        self.model_rmw(&exec, tid, None, ord, ord, |o| o.max(v), Location::caller())
+                            .0
+                    }
+                    None => self.inner.fetch_max(v, ord),
+                }
+            }
+
+            /// Minimum, returning the previous value.
+            #[track_caller]
+            pub fn fetch_min(&self, v: $ty, ord: Ordering) -> $ty {
+                match sched::current() {
+                    Some((exec, tid)) => {
+                        self.model_rmw(&exec, tid, None, ord, ord, |o| o.min(v), Location::caller())
+                            .0
+                    }
+                    None => self.inner.fetch_min(v, ord),
+                }
+            }
+
+            /// Exclusive access to the value (no model interaction: `&mut`
+            /// proves no concurrency).
+            pub fn get_mut(&mut self) -> &mut $ty {
+                self.inner.get_mut()
+            }
+
+            /// Consume, returning the value.
+            pub fn into_inner(self) -> $ty {
+                self.inner.into_inner()
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicU8, std::sync::atomic::AtomicU8, u8);
+int_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+int_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+int_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+/// Instrumented mirror of `std::sync::atomic::AtomicBool`.
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// New atomic holding `v`.
+    pub const fn new(v: bool) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        std::ptr::from_ref(&self.inner).cast::<()>() as usize
+    }
+
+    // See the note on the macro-generated `model_rmw` above.
+    #[allow(clippy::too_many_arguments)]
+    fn model_rmw(
+        &self,
+        exec: &Arc<Execution>,
+        tid: usize,
+        expect: Option<bool>,
+        success: Ordering,
+        failure: Ordering,
+        f: impl Fn(bool) -> bool,
+        site: &'static Location<'static>,
+    ) -> (bool, bool) {
+        let init = self.inner.load(Ordering::Relaxed) as u64;
+        let (old, ok) = exec.atomic_rmw(
+            tid,
+            self.addr(),
+            init,
+            expect.map(u64::from),
+            |o| u64::from(f(o != 0)),
+            success,
+            failure,
+            site,
+        );
+        let old = old != 0;
+        if ok {
+            self.inner.store(f(old), Ordering::Relaxed);
+        }
+        (old, ok)
+    }
+
+    /// Load; inside a model a weak ordering may observe an eligible stale
+    /// store (an explored decision).
+    #[track_caller]
+    pub fn load(&self, ord: Ordering) -> bool {
+        match sched::current() {
+            Some((exec, tid)) => {
+                let init = self.inner.load(Ordering::Relaxed) as u64;
+                exec.atomic_load(tid, self.addr(), init, ord, Location::caller()) != 0
+            }
+            None => self.inner.load(ord),
+        }
+    }
+
+    /// Store.
+    #[track_caller]
+    pub fn store(&self, v: bool, ord: Ordering) {
+        match sched::current() {
+            Some((exec, tid)) => {
+                let init = self.inner.load(Ordering::Relaxed) as u64;
+                exec.atomic_store(
+                    tid,
+                    self.addr(),
+                    init,
+                    u64::from(v),
+                    ord,
+                    Location::caller(),
+                );
+                self.inner.store(v, Ordering::Relaxed);
+            }
+            None => self.inner.store(v, ord),
+        }
+    }
+
+    /// Swap, returning the previous value.
+    #[track_caller]
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        match sched::current() {
+            Some((exec, tid)) => {
+                self.model_rmw(&exec, tid, None, ord, ord, |_| v, Location::caller())
+                    .0
+            }
+            None => self.inner.swap(v, ord),
+        }
+    }
+
+    /// Compare-and-exchange (strong).
+    #[track_caller]
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        match sched::current() {
+            Some((exec, tid)) => {
+                let (old, ok) = self.model_rmw(
+                    &exec,
+                    tid,
+                    Some(current),
+                    success,
+                    failure,
+                    move |_| new,
+                    Location::caller(),
+                );
+                if ok {
+                    Ok(old)
+                } else {
+                    Err(old)
+                }
+            }
+            None => self.inner.compare_exchange(current, new, success, failure),
+        }
+    }
+
+    /// Compare-and-exchange; inside a model this never fails spuriously.
+    #[track_caller]
+    pub fn compare_exchange_weak(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        match sched::current() {
+            Some(_) => self.compare_exchange(current, new, success, failure),
+            None => self
+                .inner
+                .compare_exchange_weak(current, new, success, failure),
+        }
+    }
+
+    /// Logical AND, returning the previous value.
+    #[track_caller]
+    pub fn fetch_and(&self, v: bool, ord: Ordering) -> bool {
+        match sched::current() {
+            Some((exec, tid)) => {
+                self.model_rmw(&exec, tid, None, ord, ord, |o| o & v, Location::caller())
+                    .0
+            }
+            None => self.inner.fetch_and(v, ord),
+        }
+    }
+
+    /// Logical OR, returning the previous value.
+    #[track_caller]
+    pub fn fetch_or(&self, v: bool, ord: Ordering) -> bool {
+        match sched::current() {
+            Some((exec, tid)) => {
+                self.model_rmw(&exec, tid, None, ord, ord, |o| o | v, Location::caller())
+                    .0
+            }
+            None => self.inner.fetch_or(v, ord),
+        }
+    }
+
+    /// Exclusive access to the value.
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.inner.get_mut()
+    }
+
+    /// Consume, returning the value.
+    pub fn into_inner(self) -> bool {
+        self.inner.into_inner()
+    }
+}
+
+// ---- mutex ------------------------------------------------------------------
+
+/// Instrumented, poison-ignoring mutex. Inside a model, lock acquisition
+/// parks the logical thread in the scheduler; outside one it is exactly
+/// `std::sync::Mutex` minus poisoning.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; releases the model lock (when in a model)
+/// on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    /// `(execution, tid, lock site)` when acquired inside a model.
+    model: Option<(Arc<Execution>, usize, &'static Location<'static>)>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// New mutex holding `t`.
+    pub const fn new(t: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    /// Consume, returning the value (poison ignored).
+    pub fn into_inner(self) -> T {
+        ignore_poison(self.inner.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn addr(&self) -> usize {
+        std::ptr::from_ref(&self.inner).cast::<()>() as usize
+    }
+
+    /// Acquire the lock (poison ignored); a schedule point inside a model.
+    #[track_caller]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let site = Location::caller();
+        match sched::current() {
+            Some((exec, tid)) => {
+                exec.mutex_lock(tid, self.addr(), site);
+                let g = ignore_poison(self.inner.lock());
+                MutexGuard {
+                    lock: self,
+                    model: Some((exec, tid, site)),
+                    inner: Some(g),
+                }
+            }
+            None => MutexGuard {
+                lock: self,
+                model: None,
+                inner: Some(ignore_poison(self.inner.lock())),
+            },
+        }
+    }
+
+    /// Exclusive access to the value (poison ignored; no model
+    /// interaction — `&mut` proves no concurrency).
+    pub fn get_mut(&mut self) -> &mut T {
+        ignore_poison(self.inner.get_mut())
+    }
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// Dismantle the guard without running its release logic (used by
+    /// `Condvar::wait`, which releases the lock through the scheduler).
+    #[allow(clippy::type_complexity)] // destructured immediately at both call sites
+    fn into_parts(
+        mut self,
+    ) -> (
+        &'a Mutex<T>,
+        Option<(Arc<Execution>, usize, &'static Location<'static>)>,
+        Option<std::sync::MutexGuard<'a, T>>,
+    ) {
+        (self.lock, self.model.take(), self.inner.take())
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first; the model release is the
+        // scheduler-visible event.
+        drop(self.inner.take());
+        if let Some((exec, tid, site)) = self.model.take() {
+            exec.mutex_unlock(tid, self.lock.addr(), site);
+        }
+    }
+}
+
+// ---- condvar ----------------------------------------------------------------
+
+/// Instrumented condition variable. Inside a model, waits park the
+/// logical thread and `notify_one`'s choice of waiter is an explored
+/// decision; `wait_timeout`'s timeout is a schedulable event, so both the
+/// notified and the timed-out path are checked.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// New condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        std::ptr::from_ref(&self.inner).cast::<()>() as usize
+    }
+
+    /// Atomically release the guard and wait for a notification (poison
+    /// ignored).
+    #[track_caller]
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let site = Location::caller();
+        let (lock, model, std_g) = guard.into_parts();
+        match model {
+            Some((exec, tid, _)) => {
+                drop(std_g);
+                exec.condvar_wait(tid, self.addr(), lock.addr(), false, site);
+                exec.mutex_lock(tid, lock.addr(), site);
+                let g = ignore_poison(lock.inner.lock());
+                MutexGuard {
+                    lock,
+                    model: Some((exec, tid, site)),
+                    inner: Some(g),
+                }
+            }
+            None => {
+                let g = ignore_poison(self.inner.wait(std_g.expect("guard holds the lock")));
+                MutexGuard {
+                    lock,
+                    model: None,
+                    inner: Some(g),
+                }
+            }
+        }
+    }
+
+    /// Like [`Self::wait`] with a timeout; returns the reacquired guard
+    /// and whether the wait timed out. Inside a model the duration is
+    /// ignored — the timeout firing is a scheduling decision, so both
+    /// outcomes get explored.
+    #[track_caller]
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let site = Location::caller();
+        let (lock, model, std_g) = guard.into_parts();
+        match model {
+            Some((exec, tid, _)) => {
+                drop(std_g);
+                let wake = exec.condvar_wait(tid, self.addr(), lock.addr(), true, site);
+                exec.mutex_lock(tid, lock.addr(), site);
+                let g = ignore_poison(lock.inner.lock());
+                (
+                    MutexGuard {
+                        lock,
+                        model: Some((exec, tid, site)),
+                        inner: Some(g),
+                    },
+                    wake == sched::Wake::TimedOut,
+                )
+            }
+            None => {
+                let (g, res) = match self
+                    .inner
+                    .wait_timeout(std_g.expect("guard holds the lock"), dur)
+                {
+                    Ok(x) => x,
+                    Err(p) => p.into_inner(),
+                };
+                (
+                    MutexGuard {
+                        lock,
+                        model: None,
+                        inner: Some(g),
+                    },
+                    res.timed_out(),
+                )
+            }
+        }
+    }
+
+    /// Wake one waiter (inside a model, *which* one is an explored
+    /// decision).
+    #[track_caller]
+    pub fn notify_one(&self) {
+        match sched::current() {
+            Some((exec, tid)) => exec.condvar_notify(tid, self.addr(), false, Location::caller()),
+            None => self.inner.notify_one(),
+        }
+    }
+
+    /// Wake all waiters.
+    #[track_caller]
+    pub fn notify_all(&self) {
+        match sched::current() {
+            Some((exec, tid)) => exec.condvar_notify(tid, self.addr(), true, Location::caller()),
+            None => self.inner.notify_all(),
+        }
+    }
+}

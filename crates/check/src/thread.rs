@@ -1,0 +1,131 @@
+//! Instrumented thread spawn/join.
+//!
+//! Inside a model, `spawn` registers a new *logical* thread with the
+//! scheduler — it still runs on its own OS thread, but only executes
+//! while it holds the scheduler's baton, and `join` is a blocking model
+//! event (deadlock-detected, vector-clock-propagating). Outside a model
+//! these delegate to `std::thread`.
+
+use crate::sched::{self, Abort, Execution};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe, Location};
+use std::sync::{Arc, Mutex};
+
+fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Run a model thread's closure and report its outcome to the execution.
+/// Shared by `spawn` and the model runner (thread 0).
+pub(crate) fn trampoline<T: Send + 'static>(
+    exec: &Arc<Execution>,
+    tid: usize,
+    result: &Mutex<Option<T>>,
+    f: impl FnOnce() -> T,
+) {
+    sched::set_current(Some((exec.clone(), tid)));
+    // Everything — including the initial park — runs under catch_unwind
+    // so an `Abort` teardown never escapes to the OS thread boundary.
+    match catch_unwind(AssertUnwindSafe(|| {
+        exec.wait_until_active(tid);
+        f()
+    })) {
+        Ok(v) => {
+            if let Ok(mut slot) = result.lock() {
+                *slot = Some(v);
+            }
+        }
+        Err(p) => {
+            if !p.is::<Abort>() {
+                exec.report_panic(tid, payload_msg(p.as_ref()));
+            }
+            return; // torn down; the runner reports the failure
+        }
+    }
+    // `finish_thread` reschedules and can itself detect a deadlock
+    // (unwinding with `Abort`), so it needs the same containment.
+    let _ = catch_unwind(AssertUnwindSafe(|| exec.finish_thread(tid)));
+}
+
+enum Inner<T> {
+    Model {
+        exec: Arc<Execution>,
+        tid: usize,
+        result: Arc<Mutex<Option<T>>>,
+    },
+    Std(std::thread::JoinHandle<T>),
+}
+
+/// Handle to a spawned (logical or real) thread.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread and return its result. Inside a model this is
+    /// a blocking model event; a child panic aborts the whole iteration,
+    /// so on return the result is always present.
+    #[track_caller]
+    pub fn join(self) -> T {
+        match self.inner {
+            Inner::Model { exec, tid, result } => {
+                let (_, me) = sched::current().expect("model JoinHandle joined outside its model");
+                exec.join_thread(me, tid);
+                let v = match result.lock() {
+                    Ok(mut g) => g.take(),
+                    Err(p) => p.into_inner().take(),
+                };
+                v.expect("joined thread finished without a result (teardown?)")
+            }
+            Inner::Std(h) => match h.join() {
+                Ok(v) => v,
+                Err(p) => resume_unwind(p),
+            },
+        }
+    }
+}
+
+/// Spawn a thread; a logical (scheduler-controlled) one inside a model.
+#[track_caller]
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match sched::current() {
+        Some((exec, parent)) => {
+            // The spawn itself is a schedule point and a happens-before
+            // edge from parent to child (clock seeding in register).
+            exec.yield_point(parent, Location::caller());
+            let tid = exec.register_thread(Some(parent));
+            let result = Arc::new(Mutex::new(None));
+            let (e2, r2) = (exec.clone(), result.clone());
+            let h = std::thread::Builder::new()
+                .name(format!("mpicd-check-{tid}"))
+                .spawn(move || trampoline(&e2, tid, &r2, f))
+                .expect("spawn model thread");
+            exec.attach_handle(tid, h);
+            JoinHandle {
+                inner: Inner::Model { exec, tid, result },
+            }
+        }
+        None => JoinHandle {
+            inner: Inner::Std(std::thread::spawn(f)),
+        },
+    }
+}
+
+/// Voluntary schedule point inside a model; `std::thread::yield_now`
+/// outside one.
+#[track_caller]
+pub fn yield_now() {
+    match sched::current() {
+        Some((exec, tid)) => exec.yield_point(tid, Location::caller()),
+        None => std::thread::yield_now(),
+    }
+}

@@ -1,0 +1,99 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! Logical threads get dense per-execution ids, so a clock is a plain
+//! vector of per-thread counters. `join` is the component-wise max;
+//! `le` is the partial order used both by the race detector ("are these
+//! two accesses ordered?") and by the weak-memory model ("is this store
+//! visibly superseded at this load?").
+
+/// A vector clock over dense logical-thread ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    /// This thread's own component.
+    pub fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advance `tid`'s component by one (a new local event).
+    pub fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Component-wise max with `other` (acquire / join).
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Whether every component of `self` is ≤ the matching component of
+    /// `other` — i.e. the event stamped `self` happens-before (or equals)
+    /// the point stamped `other`.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(i, &v)| v <= other.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VClock::new();
+        assert_eq!(c.get(2), 0);
+        c.tick(2);
+        c.tick(2);
+        assert_eq!(c.get(2), 2);
+        assert_eq!(c.get(0), 0);
+    }
+
+    #[test]
+    fn join_is_component_max() {
+        let mut a = VClock::new();
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        b.tick(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 1);
+        assert_eq!(a.get(1), 2);
+    }
+
+    #[test]
+    fn le_partial_order() {
+        let mut a = VClock::new();
+        a.tick(0);
+        let mut b = a.clone();
+        b.tick(1);
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        let mut c = VClock::new();
+        c.tick(1);
+        // a and c are concurrent.
+        assert!(!a.le(&c));
+        assert!(!c.le(&a));
+    }
+
+    #[test]
+    fn zero_le_everything() {
+        let z = VClock::new();
+        let mut a = VClock::new();
+        a.tick(3);
+        assert!(z.le(&a));
+        assert!(z.le(&z));
+    }
+}

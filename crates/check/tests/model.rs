@@ -1,0 +1,459 @@
+//! End-to-end tests of the model checker itself: known-racy protocols
+//! must fail (with actionable reports), known-correct ones must survive
+//! exhaustive exploration, and failures must replay deterministically.
+
+use mpicd_check::sync::{fence, AtomicU64, Condvar, Mutex, Ordering};
+use mpicd_check::{thread, Model, RaceCell};
+use std::sync::Arc;
+
+// ---- race detector ----------------------------------------------------------
+
+#[test]
+fn unsynchronized_writes_race() {
+    let failure = Model::new()
+        .find_bug(|| {
+            let cell = Arc::new(RaceCell::new(0u32));
+            let c2 = cell.clone();
+            let t = thread::spawn(move || c2.with_mut(|v| *v += 1));
+            cell.with_mut(|v| *v += 1);
+            t.join();
+        })
+        .expect("two unsynchronized writers must race");
+    assert!(failure.message.contains("data race"), "{failure}");
+    // Both access sites named, pointing into this file.
+    assert!(
+        failure.message.matches("tests/model.rs").count() >= 2,
+        "both sites reported: {failure}"
+    );
+}
+
+#[test]
+fn read_write_race_is_caught() {
+    let failure = Model::new()
+        .find_bug(|| {
+            let cell = Arc::new(RaceCell::new(0u32));
+            let c2 = cell.clone();
+            let t = thread::spawn(move || c2.with(|v| *v));
+            cell.with_mut(|v| *v = 7);
+            t.join();
+        })
+        .expect("unsynchronized read/write must race");
+    assert!(failure.message.contains("data race"), "{failure}");
+}
+
+#[test]
+fn mutex_protected_writes_do_not_race() {
+    let ok = Model::new().find_bug(|| {
+        let shared = Arc::new((Mutex::new(()), RaceCell::new(0u32)));
+        let s2 = shared.clone();
+        let t = thread::spawn(move || {
+            let _g = s2.0.lock();
+            s2.1.with_mut(|v| *v += 1);
+        });
+        {
+            let _g = shared.0.lock();
+            shared.1.with_mut(|v| *v += 1);
+        }
+        t.join();
+        let _g = shared.0.lock();
+        assert_eq!(shared.1.with(|v| *v), 2);
+    });
+    assert!(ok.is_none(), "lock discipline is race-free: {ok:?}");
+}
+
+#[test]
+fn join_establishes_happens_before() {
+    let ok = Model::new().find_bug(|| {
+        let cell = Arc::new(RaceCell::new(0u32));
+        let c2 = cell.clone();
+        let t = thread::spawn(move || c2.with_mut(|v| *v = 5));
+        t.join();
+        // Ordered by the join edge: not a race.
+        assert_eq!(cell.with(|v| *v), 5);
+    });
+    assert!(ok.is_none(), "join-ordered access flagged: {ok:?}");
+}
+
+// ---- weak-memory model ------------------------------------------------------
+
+/// Message passing with Release/Acquire is correct: the flag's release
+/// store publishes the payload.
+#[test]
+fn release_acquire_message_passing_passes() {
+    let ok = Model::new().find_bug(|| {
+        let shared = Arc::new((AtomicU64::new(0), RaceCell::new(0u64)));
+        let s2 = shared.clone();
+        let t = thread::spawn(move || {
+            s2.1.with_mut(|v| *v = 42);
+            s2.0.store(1, Ordering::Release);
+        });
+        if shared.0.load(Ordering::Acquire) == 1 {
+            assert_eq!(shared.1.with(|v| *v), 42, "payload published by flag");
+        }
+        t.join();
+    });
+    assert!(ok.is_none(), "release/acquire handoff flagged: {ok:?}");
+}
+
+/// The same protocol with Relaxed on the flag is broken — the checker
+/// must find the schedule where the reader sees the flag but not the
+/// payload (a race, since no happens-before edge exists).
+#[test]
+fn relaxed_message_passing_fails() {
+    let failure = Model::new()
+        .find_bug(|| {
+            let shared = Arc::new((AtomicU64::new(0), RaceCell::new(0u64)));
+            let s2 = shared.clone();
+            let t = thread::spawn(move || {
+                s2.1.with_mut(|v| *v = 42);
+                s2.0.store(1, Ordering::Relaxed);
+            });
+            if shared.0.load(Ordering::Relaxed) == 1 {
+                assert_eq!(shared.1.with(|v| *v), 42);
+            }
+            t.join();
+        })
+        .expect("relaxed flag cannot publish the payload");
+    assert!(failure.message.contains("data race"), "{failure}");
+}
+
+/// Fences restore correctness: release fence before the relaxed store,
+/// acquire fence after the relaxed load.
+#[test]
+fn fence_synchronized_message_passing_passes() {
+    let ok = Model::new().find_bug(|| {
+        let shared = Arc::new((AtomicU64::new(0), RaceCell::new(0u64)));
+        let s2 = shared.clone();
+        let t = thread::spawn(move || {
+            s2.1.with_mut(|v| *v = 42);
+            fence(Ordering::Release);
+            s2.0.store(1, Ordering::Relaxed);
+        });
+        if shared.0.load(Ordering::Relaxed) == 1 {
+            fence(Ordering::Acquire);
+            assert_eq!(shared.1.with(|v| *v), 42);
+        }
+        t.join();
+    });
+    assert!(ok.is_none(), "fence-synchronized handoff flagged: {ok:?}");
+}
+
+/// Store-buffering litmus (Dekker): with SeqCst both threads cannot read
+/// the other's flag as 0.
+#[test]
+fn seqcst_store_buffering_is_sequentially_consistent() {
+    let ok = Model::new().find_bug(|| {
+        let shared = Arc::new((AtomicU64::new(0), AtomicU64::new(0)));
+        let s2 = shared.clone();
+        let t = thread::spawn(move || {
+            s2.0.store(1, Ordering::SeqCst);
+            s2.1.load(Ordering::SeqCst)
+        });
+        shared.1.store(1, Ordering::SeqCst);
+        let saw_x = shared.0.load(Ordering::SeqCst);
+        let saw_y = t.join();
+        assert!(saw_x == 1 || saw_y == 1, "SC forbids both reading 0");
+    });
+    assert!(ok.is_none(), "SeqCst store-buffering violated SC: {ok:?}");
+}
+
+/// The same litmus with Relaxed must exhibit the both-read-0 outcome.
+#[test]
+fn relaxed_store_buffering_observes_stale_reads() {
+    let failure = Model::new()
+        .find_bug(|| {
+            let shared = Arc::new((AtomicU64::new(0), AtomicU64::new(0)));
+            let s2 = shared.clone();
+            let t = thread::spawn(move || {
+                s2.0.store(1, Ordering::Relaxed);
+                s2.1.load(Ordering::Relaxed)
+            });
+            shared.1.store(1, Ordering::Relaxed);
+            let saw_x = shared.0.load(Ordering::Relaxed);
+            let saw_y = t.join();
+            assert!(saw_x == 1 || saw_y == 1);
+        })
+        .expect("relaxed store-buffering must allow both threads to read 0");
+    assert!(failure.message.contains("assert"), "{failure}");
+}
+
+/// Lost update: load-then-store increments are not atomic; DFS must find
+/// the interleaving where one increment vanishes. RMW increments can't
+/// lose updates and must pass.
+#[test]
+fn lost_update_found_rmw_safe() {
+    let racy = Model::new().find_bug(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = n.clone();
+        let t = thread::spawn(move || {
+            let v = n2.load(Ordering::SeqCst);
+            n2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = n.load(Ordering::SeqCst);
+        n.store(v + 1, Ordering::SeqCst);
+        t.join();
+        assert_eq!(n.load(Ordering::SeqCst), 2, "an increment was lost");
+    });
+    assert!(racy.is_some(), "load+store increment must lose an update");
+
+    let safe = Model::new().find_bug(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = n.clone();
+        let t = thread::spawn(move || n2.fetch_add(1, Ordering::SeqCst));
+        n.fetch_add(1, Ordering::SeqCst);
+        t.join();
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    });
+    assert!(safe.is_none(), "fetch_add lost an update: {safe:?}");
+}
+
+// ---- mutex / condvar --------------------------------------------------------
+
+#[test]
+fn lock_order_inversion_deadlocks() {
+    let failure = Model::new()
+        .find_bug(|| {
+            let locks = Arc::new((Mutex::new(()), Mutex::new(())));
+            let l2 = locks.clone();
+            let t = thread::spawn(move || {
+                let _a = l2.0.lock();
+                let _b = l2.1.lock();
+            });
+            let _b = locks.1.lock();
+            let _a = locks.0.lock();
+            drop((_a, _b));
+            t.join();
+        })
+        .expect("AB-BA locking must deadlock on some schedule");
+    assert!(failure.message.contains("deadlock"), "{failure}");
+    assert!(
+        failure.message.contains("blocked"),
+        "blocked sites listed: {failure}"
+    );
+}
+
+/// Wait without a predicate loop: the notify can fire before the wait,
+/// and the waiter sleeps forever — a lost wakeup the checker reports as
+/// a deadlock.
+#[test]
+fn lost_wakeup_detected() {
+    let failure = Model::new()
+        .find_bug(|| {
+            let shared = Arc::new((Mutex::new(false), Condvar::new()));
+            let s2 = shared.clone();
+            let t = thread::spawn(move || {
+                let _unused = s2.1.wait(s2.0.lock()); // BUG: no predicate re-check
+            });
+            *shared.0.lock() = true;
+            shared.1.notify_one();
+            t.join();
+        })
+        .expect("unconditional wait must miss the early notify");
+    assert!(failure.message.contains("deadlock"), "{failure}");
+}
+
+/// The textbook predicate loop is correct under every schedule.
+#[test]
+fn predicate_loop_wakeup_passes() {
+    let ok = Model::new().find_bug(|| {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = shared.clone();
+        let t = thread::spawn(move || {
+            let mut ready = s2.0.lock();
+            while !*ready {
+                ready = s2.1.wait(ready);
+            }
+        });
+        *shared.0.lock() = true;
+        shared.1.notify_one();
+        t.join();
+    });
+    assert!(ok.is_none(), "predicate-loop wait flagged: {ok:?}");
+}
+
+/// With no notifier, a timed wait must take its timeout path rather than
+/// deadlock — the timeout is a schedulable event.
+#[test]
+fn wait_timeout_fires_without_notify() {
+    let ok = Model::new().find_bug(|| {
+        let shared = (Mutex::new(()), Condvar::new());
+        let (g, timed_out) = shared
+            .1
+            .wait_timeout(shared.0.lock(), std::time::Duration::from_millis(1));
+        drop(g);
+        assert!(
+            timed_out,
+            "nobody notifies, so only the timeout path exists"
+        );
+    });
+    assert!(ok.is_none(), "timed wait deadlocked or mis-woke: {ok:?}");
+}
+
+/// `notify_one` with two waiters: which waiter wakes (and hence records
+/// itself first) varies across explored schedules, so an assertion that
+/// a *specific* one is always first must fail. No spin-waiting: models
+/// may not rely on fair scheduling, so the arming handshake uses a
+/// condvar too.
+#[test]
+fn notify_one_target_is_explored() {
+    struct State {
+        armed: u32,
+        go: bool,
+        woken: Vec<u32>,
+    }
+    let failure = Model::new()
+        .find_bug(|| {
+            let shared = Arc::new((
+                Mutex::new(State {
+                    armed: 0,
+                    go: false,
+                    woken: Vec::new(),
+                }),
+                Condvar::new(), // armed changed
+                Condvar::new(), // go flag set
+            ));
+            let waiter = |id: u32| {
+                let s = shared.clone();
+                thread::spawn(move || {
+                    let mut st = s.0.lock();
+                    st.armed += 1;
+                    s.1.notify_all();
+                    while !st.go {
+                        st = s.2.wait(st);
+                    }
+                    st.woken.push(id);
+                    // Chain the single wakeup to the other waiter.
+                    s.2.notify_one();
+                })
+            };
+            let t1 = waiter(1);
+            let t2 = waiter(2);
+            {
+                let mut st = shared.0.lock();
+                while st.armed < 2 {
+                    st = shared.1.wait(st);
+                }
+                st.go = true;
+            }
+            shared.2.notify_one();
+            t1.join();
+            t2.join();
+            let st = shared.0.lock();
+            assert_eq!(st.woken[0], 1, "assume waiter 1 always wakes first");
+        })
+        .expect("notify_one must be able to wake either waiter first");
+    assert!(failure.message.contains("assume waiter 1"), "{failure}");
+}
+
+// ---- search & replay machinery ----------------------------------------------
+
+/// A failing schedule replays deterministically from its decision list.
+#[test]
+fn failure_replays_from_decisions() {
+    let scenario = || {
+        let cell = Arc::new(RaceCell::new(0u32));
+        let c2 = cell.clone();
+        let t = thread::spawn(move || c2.with_mut(|v| *v += 1));
+        cell.with_mut(|v| *v += 1);
+        t.join();
+    };
+    let failure = Model::new().find_bug(scenario).expect("race exists");
+    let replayed = Model::new()
+        .replay(failure.decisions.clone(), scenario)
+        .expect("replaying the recorded decisions must reproduce the failure");
+    assert_eq!(failure.message, replayed.message);
+}
+
+/// A PCT failure carries its seed, and one iteration with that seed
+/// reproduces it.
+#[test]
+fn pct_failure_reproduces_from_seed() {
+    let scenario = || {
+        let cell = Arc::new(RaceCell::new(0u32));
+        let c2 = cell.clone();
+        let t = thread::spawn(move || c2.with_mut(|v| *v += 1));
+        cell.with_mut(|v| *v += 1);
+        t.join();
+    };
+    let failure = Model::pct(64, 0xC0FFEE)
+        .find_bug(scenario)
+        .expect("race exists");
+    let seed = failure.seed.expect("PCT failures carry their seed");
+    let again = Model::pct(1, seed)
+        .find_bug(scenario)
+        .expect("the failing seed must reproduce the failure");
+    assert_eq!(failure.message, again.message);
+}
+
+/// The failure report contains a copy-pasteable replay recipe.
+#[test]
+fn report_contains_replay_recipe() {
+    let failure = Model::new()
+        .find_bug(|| {
+            let cell = Arc::new(RaceCell::new(0u32));
+            let c2 = cell.clone();
+            let t = thread::spawn(move || c2.with_mut(|v| *v += 1));
+            cell.with_mut(|v| *v += 1);
+            t.join();
+        })
+        .expect("race exists");
+    let report = failure.report();
+    assert!(report.contains(mpicd_check::ENV_REPLAY), "{report}");
+    assert!(report.contains("iteration"), "{report}");
+}
+
+/// A spin loop with no writer blows the step budget and is reported as a
+/// livelock instead of hanging the test process.
+#[test]
+fn livelock_hits_step_budget() {
+    let failure = Model::pct(1, 1)
+        .max_steps(300)
+        .find_bug(|| {
+            let flag = AtomicU64::new(0);
+            while flag.load(Ordering::Acquire) == 0 {
+                thread::yield_now();
+            }
+        })
+        .expect("spin without writer must exceed the step budget");
+    assert!(failure.message.contains("scheduling steps"), "{failure}");
+}
+
+/// An explicit panic inside the model surfaces as a failure with the
+/// panic message and an operation trace.
+#[test]
+fn user_panic_is_reported_with_trace() {
+    let failure = Model::new()
+        .find_bug(|| {
+            let n = AtomicU64::new(1);
+            let v = n.load(Ordering::SeqCst);
+            assert_eq!(v, 2, "deliberate model assertion");
+        })
+        .expect("assertion must fail");
+    assert!(
+        failure.message.contains("deliberate model assertion"),
+        "{failure}"
+    );
+    assert!(failure.message.contains("last operations"), "{failure}");
+}
+
+/// Outside a model, the instrumented primitives behave like std: this
+/// test uses them directly with real threads.
+#[test]
+fn primitives_fall_back_to_std_outside_models() {
+    let n = Arc::new(AtomicU64::new(0));
+    let m = Arc::new(Mutex::new(0u32));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let (n2, m2) = (n.clone(), m.clone());
+            thread::spawn(move || {
+                n2.fetch_add(1, Ordering::SeqCst);
+                *m2.lock() += 1;
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+    assert_eq!(n.load(Ordering::SeqCst), 4);
+    assert_eq!(*m.lock(), 4);
+}

@@ -6,6 +6,9 @@
 //! This corresponds to the `Buffer`/`PackMethod` traits of the original
 //! mpicd prototype.
 
+// Audited unsafe: raw user-buffer views behind the paper send/recv traits; every unsafe block carries a SAFETY note.
+#![allow(unsafe_code)]
+
 use crate::datatype::{CustomPack, CustomUnpack};
 use crate::error::Result;
 use mpicd_datatype::primitive::Scalar;

@@ -14,6 +14,9 @@
 //!    sent directly, gapped ones stream through the type-map pack engine
 //!    (the `rsmpi`/Open MPI baseline).
 
+// Audited unsafe: FFI-style buffer handoff into the fabric; every unsafe block carries a SAFETY note.
+#![allow(unsafe_code)]
+
 use crate::buffer::{Buffer, BufferMut, RecvView, SendView};
 use crate::datatype::{
     recv_regions_to_iov, send_regions_to_iov, CustomPack, CustomUnpack, PackAdapter,

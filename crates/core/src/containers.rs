@@ -12,6 +12,9 @@
 //! ("storing the size of each vector… resizing each vector to be able to
 //! hold the data").
 
+// Audited unsafe: container memory exposed to the pack engine; every unsafe block carries a SAFETY note.
+#![allow(unsafe_code)]
+
 use crate::buffer::{Buffer, BufferMut, RecvView, SendView};
 use crate::datatype::{CustomPack, CustomUnpack, RecvRegion, SendRegion};
 use crate::error::{Error, Result};

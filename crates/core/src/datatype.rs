@@ -8,6 +8,9 @@
 //! (constructed by [`Buffer::send_view`](crate::Buffer::send_view), dropped
 //! when the operation completes).
 
+// Audited unsafe: datatype access to caller-owned memory; every unsafe block carries a SAFETY note.
+#![allow(unsafe_code)]
+
 use crate::error::Result;
 use mpicd_fabric::{FragmentPacker, IovEntry, IovEntryMut};
 pub use mpicd_fabric::{RandomAccessPacker, RandomAccessUnpacker};

@@ -7,6 +7,9 @@
 //! post both sides nonblocking, then wait — the safe composition of the
 //! unsafe `post_*` entry points.
 
+// Audited unsafe: raw base-pointer exchange plumbing; every unsafe block carries a SAFETY note.
+#![allow(unsafe_code)]
+
 use crate::buffer::{Buffer, BufferMut, RecvView, SendView};
 use crate::communicator::{Communicator, Status};
 use crate::error::Result;

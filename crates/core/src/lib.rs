@@ -1,4 +1,5 @@
 #![deny(missing_docs)]
+#![deny(unsafe_code)]
 //! # mpicd — MPI with custom datatype serialization
 //!
 //! Rust reproduction of the prototype from *"Improving MPI Language Support

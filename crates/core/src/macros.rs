@@ -30,6 +30,9 @@
 //! assert_eq!(recv.left, send.left);
 //! ```
 
+// Audited unsafe: macro-generated raw-memory trait impls; every unsafe block carries a SAFETY note.
+#![allow(unsafe_code)]
+
 /// Marker for field types the generated packers may copy bytewise.
 ///
 /// # Safety

@@ -16,6 +16,9 @@
 //!   Listing 9's suspended coroutine, and is what the DDTBench custom
 //!   packers use for their 2–5-deep nests.
 
+// Audited unsafe: offset-addressed cursors over raw memory; every unsafe block carries a SAFETY note.
+#![allow(unsafe_code)]
+
 use crate::error::{Error, Result};
 use mpicd_obs::Counter;
 use std::sync::{Arc, OnceLock};
@@ -181,10 +184,10 @@ impl LoopNest {
         let mut indices = vec![0usize; self.dims.len()];
         let mut mem = 0isize;
         let mut r = run;
-        for d in 0..self.dims.len() {
+        for (d, slot) in indices.iter_mut().enumerate() {
             let idx = (r / self.suffix[d]) % self.dims[d];
             r %= self.suffix[d];
-            indices[d] = idx;
+            *slot = idx;
             mem += idx as isize * self.strides[d];
         }
         let mut done = 0usize;

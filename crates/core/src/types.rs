@@ -13,6 +13,9 @@
 //! Listing 6/7 — a 4-byte gap forms between `c` and `d` in [`StructVec`]
 //! and [`StructSimple`], while [`StructSimpleNoGap`] is dense.
 
+// Audited unsafe: byte-view casts of plain-old-data types; every unsafe block carries a SAFETY note.
+#![allow(unsafe_code)]
+
 use crate::buffer::{Buffer, BufferMut, RecvView, SendView};
 use crate::datatype::{CustomPack, CustomUnpack, RecvRegion, SendRegion};
 use crate::error::Result;

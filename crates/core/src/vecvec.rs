@@ -13,6 +13,9 @@
 //! paper's receive-length limitation, §VI); `finish()` validates the header
 //! against the actual allocation and fails the receive on mismatch.
 
+// Audited unsafe: ragged-buffer raw views; every unsafe block carries a SAFETY note.
+#![allow(unsafe_code)]
+
 use crate::buffer::{Buffer, BufferMut, RecvView, SendView};
 use crate::datatype::{CustomPack, CustomUnpack, RecvRegion, SendRegion};
 use crate::error::{Error, Result};

@@ -7,6 +7,9 @@
 //! the packed stream can be produced independently, which is what pipelined
 //! fragment protocols need.
 
+// Audited unsafe: pack/unpack over caller-described memory; every unsafe block carries a SAFETY note.
+#![allow(unsafe_code)]
+
 use crate::error::{DatatypeError, DatatypeResult};
 use crate::plan::{self, PackPlan};
 use crate::typ::Datatype;

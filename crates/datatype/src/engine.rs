@@ -6,6 +6,9 @@
 //! through a fragmented send. The higher `mpicd` layer plugs them directly
 //! into the fabric's generic-datatype path.
 
+// Audited unsafe: serial pack engine pointer walks; every unsafe block carries a SAFETY note.
+#![allow(unsafe_code)]
+
 use crate::committed::Committed;
 use std::sync::Arc;
 

@@ -1,4 +1,5 @@
 #![deny(missing_docs)]
+#![deny(unsafe_code)]
 //! # mpicd-datatype — an MPI derived-datatype engine
 //!
 //! This crate implements the *classic* MPI datatype machinery that the

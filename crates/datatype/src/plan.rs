@@ -33,6 +33,9 @@
 //! disables only the registry, `MPICD_PLAN_CACHE_CAP` bounds it
 //! (default 1024 plans).
 
+// Audited unsafe: compiled-plan kernels over raw memory; every unsafe block carries a SAFETY note.
+#![allow(unsafe_code)]
+
 use crate::equivalence::{structural_key, StructuralKey};
 use crate::typ::Datatype;
 use mpicd_obs::metrics::Counter;
@@ -315,7 +318,13 @@ impl PackPlan {
         packed_off: usize,
         dst: &mut [u8],
     ) -> usize {
-        self.run::<true>(base as *mut u8, count, packed_off, dst.as_mut_ptr(), dst.len())
+        self.run::<true>(
+            base as *mut u8,
+            count,
+            packed_off,
+            dst.as_mut_ptr(),
+            dst.len(),
+        )
     }
 
     /// Consume packed bytes `[packed_off, packed_off + src.len())`,
@@ -364,7 +373,7 @@ impl PackPlan {
             Err(i) => i - 1,
         };
         while remaining > 0 && elem < count {
-            let elem_base = base.offset((elem * self.extent) as isize);
+            let elem_base = base.add(elem * self.extent);
             while remaining > 0 && oi < self.ops.len() {
                 let skip = within - self.prefix[oi];
                 let op = &self.ops[oi];
@@ -440,6 +449,9 @@ unsafe fn strided_generic<const PACK: bool>(
 /// Execute (part of) one strided block array: skip `skip` packed bytes in,
 /// move at most `want` bytes, return bytes moved. Partial head/tail blocks
 /// go through the generic copy; whole blocks through the selected kernel.
+// Hot-path kernel dispatch: the flat argument list keeps the call free
+// of a params-struct build in the per-op loop.
+#[allow(clippy::too_many_arguments)]
 unsafe fn strided_part<const PACK: bool>(
     mem0: *mut u8,
     stride: isize,
@@ -756,7 +768,11 @@ mod tests {
     fn resumable_at_every_offset() {
         // A shape that exercises Contig, Strided and partial blocks.
         let t = Datatype::structure(vec![
-            (1, 0, Datatype::vector(5, 1, 3, Datatype::Predefined(Primitive::Int32))),
+            (
+                1,
+                0,
+                Datatype::vector(5, 1, 3, Datatype::Predefined(Primitive::Int32)),
+            ),
             (3, 64, Datatype::Predefined(Primitive::Double)),
         ]);
         let c = crate::Committed::new_interpreted(&t).unwrap();
@@ -786,6 +802,6 @@ mod tests {
         let pb = lookup_or_compile(&b, ca.blocks(), ca.size(), ca.extent());
         let after = mpicd_obs::global().snapshot().counter("plan.cache.hits");
         assert!(Arc::ptr_eq(&pa, &pb), "equivalent types share one plan");
-        assert!(after >= before + 1, "second lookup hit the cache");
+        assert!(after > before, "second lookup hit the cache");
     }
 }

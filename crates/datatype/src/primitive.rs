@@ -4,6 +4,9 @@
 //! natural alignment. The alignment participates in the MPI extent rule for
 //! `MPI_Type_create_struct` (the "alignment epsilon").
 
+// Audited unsafe: primitive memcpy kernels; every unsafe block carries a SAFETY note.
+#![allow(unsafe_code)]
+
 /// A predefined MPI datatype (the usual C correspondents).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Primitive {

@@ -8,6 +8,9 @@
 //!   contiguous run is exposed as a memory region (the "custom regions"
 //!   variant of Fig 10).
 
+// Audited unsafe: benchmark datatype raw-memory callbacks; every unsafe block carries a SAFETY note.
+#![allow(unsafe_code)]
+
 use mpicd::datatype::{
     CustomPack, CustomUnpack, RandomAccessPacker, RandomAccessUnpacker, RecvRegion, SendRegion,
 };

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 //! # mpicd-ddtbench — the DDTBench subset of the paper (§V-C)
 //!
 //! DDTBench (Schneider, Gerstenberger, Hoefler — EuroMPI 2012) collects the

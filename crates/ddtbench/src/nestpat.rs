@@ -3,6 +3,9 @@
 //! [`LoopNest`]) plus the matching derived datatype; everything else —
 //! manual packing, custom contexts, region extraction — is shared here.
 
+// Audited unsafe: nested-pattern raw-memory callbacks; every unsafe block carries a SAFETY note.
+#![allow(unsafe_code)]
+
 use crate::custom::{merge_runs, NestPack, NestUnpack, RegionsPack, RegionsUnpack};
 use crate::pattern::{fill_slab, Pattern, PatternInfo};
 use mpicd::datatype::{CustomPack, CustomUnpack};

@@ -17,6 +17,9 @@
 //!   the paper's note that the custom path "uses the UCX iovec API
 //!   internally" and is unaffected by the eager/rendezvous switch.
 
+// Audited unsafe: transfer execution over posted raw regions; every unsafe block carries a SAFETY note.
+#![allow(unsafe_code)]
+
 use crate::clock::WireLedger;
 use crate::config::{bounce_pool_cap, PipelineConfig, WireModel};
 use crate::error::{FabricError, FabricResult};
@@ -116,7 +119,11 @@ impl Fabric {
     /// explicit pipeline configuration, ignoring the environment knobs.
     /// Benchmarks and tests use this to sweep thread counts;
     /// [`PipelineConfig::serial`] pins every transfer to the serial engine.
-    pub fn with_model_and_pipeline(size: usize, model: WireModel, pipeline: PipelineConfig) -> Self {
+    pub fn with_model_and_pipeline(
+        size: usize,
+        model: WireModel,
+        pipeline: PipelineConfig,
+    ) -> Self {
         assert!(size > 0, "fabric needs at least one rank");
         Self {
             inner: Arc::new(Inner {
@@ -575,7 +582,10 @@ impl Endpoint {
         if rfid != 0 {
             flight::record(
                 FlightEvent::new(EventKind::PostRecv, rfid)
-                    .ranks(msg.pending.as_ref().map_or(-1, |p| p.source as i32), self.rank as i32)
+                    .ranks(
+                        msg.pending.as_ref().map_or(-1, |p| p.source as i32),
+                        self.rank as i32,
+                    )
                     .tag(msg.pending.as_ref().map_or(0, |p| p.tag))
                     .bytes(desc.capacity() as u64),
             );
@@ -680,6 +690,9 @@ impl Inner {
     /// Execute a matched transfer. Called with the match lock held; user
     /// callbacks therefore must not re-enter the fabric (documented on the
     /// post functions), the same rule UCX imposes inside progress callbacks.
+    // One argument per matched-transfer ingredient; a params struct
+    // would be built and destructured at the single call site.
+    #[allow(clippy::too_many_arguments)]
     fn run_matched_transfer(
         &self,
         source: usize,

@@ -1,4 +1,5 @@
 #![deny(missing_docs)]
+#![deny(unsafe_code)]
 //! # mpicd-fabric — UCP-like transport substrate
 //!
 //! This crate stands in for UCX/UCP in the paper *"Improving MPI Language

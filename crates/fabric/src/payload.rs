@@ -9,6 +9,9 @@
 //! exact contract of the paper's `MPI_Type_custom_pack_function` /
 //! `MPI_Type_custom_unpack_function` (Listing 4).
 
+// Audited unsafe: iovec raw-pointer segment views; every unsafe block carries a SAFETY note.
+#![allow(unsafe_code)]
+
 use std::fmt;
 
 /// One contiguous, readable memory region of a send payload.

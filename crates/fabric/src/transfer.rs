@@ -7,6 +7,9 @@
 //! walks iov lists and invokes generic-datatype pack/unpack callbacks per
 //! fragment.
 
+// Audited unsafe: serial copy engine over posted raw regions; every unsafe block carries a SAFETY note.
+#![allow(unsafe_code)]
+
 use crate::config::WireModel;
 use crate::error::{FabricError, FabricResult};
 use crate::payload::{FragmentPacker, FragmentUnpacker, IovEntry, IovEntryMut};
@@ -174,7 +177,13 @@ pub(crate) fn copy_stream(
                             .unpack(d_off, bytes)
                             .map_err(FabricError::UnpackFailed)?;
                     }
-                    flight::record_frag(EventKind::FragUnpacked, fid, t0, want as u64, d_off as u64);
+                    flight::record_frag(
+                        EventKind::FragUnpacked,
+                        fid,
+                        t0,
+                        want as u64,
+                        d_off as u64,
+                    );
                 }
                 want
             }
@@ -226,7 +235,13 @@ pub(crate) fn copy_stream(
                             .unpack(d_off, &scratch.buf[..used])
                             .map_err(FabricError::UnpackFailed)?;
                     }
-                    flight::record_frag(EventKind::FragUnpacked, fid, t1, used as u64, d_off as u64);
+                    flight::record_frag(
+                        EventKind::FragUnpacked,
+                        fid,
+                        t1,
+                        used as u64,
+                        d_off as u64,
+                    );
                 }
                 used
             }
@@ -258,7 +273,13 @@ pub(crate) fn copy_stream(
                     .unpack(off, &data)
                     .map_err(FabricError::UnpackFailed)?;
             }
-            flight::record_frag(EventKind::FragUnpacked, fid, t0, data.len() as u64, off as u64);
+            flight::record_frag(
+                EventKind::FragUnpacked,
+                fid,
+                t0,
+                data.len() as u64,
+                off as u64,
+            );
             if scratch.spare.len() < SPARE_CAP {
                 scratch.spare.push(data);
             }
@@ -294,7 +315,16 @@ mod tests {
             DstSeg::Mem(IovEntryMut::from_slice(&mut out1)),
             DstSeg::Mem(IovEntryMut::from_slice(&mut out2)),
         ];
-        let moved = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default(), 0).unwrap();
+        let moved = copy_stream(
+            &model,
+            &mut src,
+            &mut dst,
+            false,
+            &FabricMetrics::detached(),
+            &mut TransferScratch::default(),
+            0,
+        )
+        .unwrap();
         assert_eq!(moved, 8);
         assert_eq!(out1, [1, 2]);
         assert_eq!(out2, [3, 4, 5, 6, 7, 8]);
@@ -317,7 +347,16 @@ mod tests {
             len: 20,
         }];
         let mut dst = [DstSeg::Mem(IovEntryMut::from_slice(&mut out))];
-        let moved = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default(), 0).unwrap();
+        let moved = copy_stream(
+            &model,
+            &mut src,
+            &mut dst,
+            false,
+            &FabricMetrics::detached(),
+            &mut TransferScratch::default(),
+            0,
+        )
+        .unwrap();
         assert_eq!(moved, 20);
         assert_eq!(out, data);
     }
@@ -350,7 +389,16 @@ mod tests {
             unpacker: &mut unpacker,
             len: 50,
         }];
-        let moved = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default(), 0).unwrap();
+        let moved = copy_stream(
+            &model,
+            &mut src,
+            &mut dst,
+            false,
+            &FabricMetrics::detached(),
+            &mut TransferScratch::default(),
+            0,
+        )
+        .unwrap();
         assert_eq!(moved, 50);
         received.copy_from_slice(&out.lock());
         assert_eq!(received, data);
@@ -381,7 +429,16 @@ mod tests {
             unpacker: &mut unpacker,
             len: 32,
         }];
-        copy_stream(&model, &mut src, &mut dst, true, &FabricMetrics::detached(), &mut TransferScratch::default(), 0).unwrap();
+        copy_stream(
+            &model,
+            &mut src,
+            &mut dst,
+            true,
+            &FabricMetrics::detached(),
+            &mut TransferScratch::default(),
+            0,
+        )
+        .unwrap();
         assert_eq!(unpacker.out, data, "offset-addressed unpack reassembles");
         assert_eq!(offsets_seen, vec![24, 16, 8, 0], "reverse-order delivery");
     }
@@ -396,7 +453,16 @@ mod tests {
             len: 16,
         }];
         let mut dst = [DstSeg::Mem(IovEntryMut::from_slice(&mut out))];
-        let err = copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default(), 0).unwrap_err();
+        let err = copy_stream(
+            &model,
+            &mut src,
+            &mut dst,
+            false,
+            &FabricMetrics::detached(),
+            &mut TransferScratch::default(),
+            0,
+        )
+        .unwrap_err();
         assert!(matches!(err, FabricError::PackStalled { .. }));
     }
 
@@ -417,7 +483,15 @@ mod tests {
             len: 16,
         }];
         assert_eq!(
-            copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default(), 0),
+            copy_stream(
+                &model,
+                &mut src,
+                &mut dst,
+                false,
+                &FabricMetrics::detached(),
+                &mut TransferScratch::default(),
+                0
+            ),
             Err(FabricError::UnpackFailed(42))
         );
     }
@@ -462,6 +536,18 @@ mod tests {
         let model = model_with_frag(8);
         let mut src: [SrcSeg<'_>; 0] = [];
         let mut dst: [DstSeg<'_>; 0] = [];
-        assert_eq!(copy_stream(&model, &mut src, &mut dst, false, &FabricMetrics::detached(), &mut TransferScratch::default(), 0).unwrap(), 0);
+        assert_eq!(
+            copy_stream(
+                &model,
+                &mut src,
+                &mut dst,
+                false,
+                &FabricMetrics::detached(),
+                &mut TransferScratch::default(),
+                0
+            )
+            .unwrap(),
+            0
+        );
     }
 }

@@ -126,7 +126,12 @@ fn pipeline_event_sequences_are_well_formed() {
         );
         let mut ids = Vec::new();
         for (i, seed) in (0..4u64).enumerate() {
-            ids.push(roundtrip(&fabric, 10 + i as i32, seed + 7 * threads as u64, len));
+            ids.push(roundtrip(
+                &fabric,
+                10 + i as i32,
+                seed + 7 * threads as u64,
+                len,
+            ));
         }
         assert_eq!(fabric.stats().pipelined, 4, "{threads} threads: pipelined");
 
@@ -144,7 +149,10 @@ fn pipeline_event_sequences_are_well_formed() {
             assert_eq!(count(EventKind::Complete), 1, "{threads}t id {sfid}");
             assert_eq!(count(EventKind::Error), 0, "{threads}t id {sfid}");
             assert_eq!(
-                of_recv.iter().filter(|e| e.kind == EventKind::PostRecv).count(),
+                of_recv
+                    .iter()
+                    .filter(|e| e.kind == EventKind::PostRecv)
+                    .count(),
                 1,
                 "{threads}t recv id {rfid}"
             );
@@ -158,8 +166,14 @@ fn pipeline_event_sequences_are_well_formed() {
             assert_eq!((m.src, m.dst), (0, 1));
 
             // Timestamp ordering: post ≤ match ≤ every fragment ≤ complete.
-            let post = of_send.iter().find(|e| e.kind == EventKind::PostSend).unwrap();
-            let done = of_send.iter().find(|e| e.kind == EventKind::Complete).unwrap();
+            let post = of_send
+                .iter()
+                .find(|e| e.kind == EventKind::PostSend)
+                .unwrap();
+            let done = of_send
+                .iter()
+                .find(|e| e.kind == EventKind::Complete)
+                .unwrap();
             let rpost = &of_recv[0];
             assert!(post.t_ns <= m.t_ns && rpost.t_ns <= m.t_ns);
             assert!(m.t_ns <= done.t_ns);

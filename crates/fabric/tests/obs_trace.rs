@@ -106,7 +106,11 @@ fn custom_send_emits_pack_wire_unpack_spans_and_metrics() {
     assert!(d("fabric.pack_ns") > 0, "pack timer advanced under tracing");
     assert!(d("fabric.unpack_ns") > 0, "unpack timer advanced");
     assert!(d("fabric.wire_ns") > 0, "modeled wire time recorded");
-    assert_eq!(d("fabric.copy_bytes"), 0, "custom path avoids the bounce copy");
+    assert_eq!(
+        d("fabric.copy_bytes"),
+        0,
+        "custom path avoids the bounce copy"
+    );
     let hist = after.histogram("fabric.msg_size").expect("size histogram");
     assert!(hist.count >= 1);
 }

@@ -121,7 +121,10 @@ fn serial_config_never_pipelines_and_matches() {
     let out2 = roundtrip(&par, &payload);
     assert_eq!(out2, out);
     let (s, p) = (serial.stats(), par.stats());
-    assert_eq!((s.messages, s.bytes, s.fragments), (p.messages, p.bytes, p.fragments));
+    assert_eq!(
+        (s.messages, s.bytes, s.fragments),
+        (p.messages, p.bytes, p.fragments)
+    );
     assert_eq!(p.pipelined, 1);
 }
 
@@ -162,7 +165,11 @@ fn inorder_sender_stays_serial() {
     send.wait().unwrap();
     recv.wait().unwrap();
     assert_eq!(out, payload);
-    assert_eq!(fabric.stats().pipelined, 0, "inorder sender never pipelines");
+    assert_eq!(
+        fabric.stats().pipelined,
+        0,
+        "inorder sender never pipelines"
+    );
 }
 
 #[test]
@@ -177,12 +184,8 @@ fn streaming_callbacks_stay_serial() {
     let src = payload.clone();
     // SAFETY: buffers outlive the waits.
     let recv = unsafe {
-        b.post_recv(
-            RecvDesc::Contig(IovEntryMut::from_slice(&mut out)),
-            0,
-            3,
-        )
-        .unwrap()
+        b.post_recv(RecvDesc::Contig(IovEntryMut::from_slice(&mut out)), 0, 3)
+            .unwrap()
     };
     let send = unsafe {
         a.post_send(
@@ -204,7 +207,11 @@ fn streaming_callbacks_stay_serial() {
     send.wait().unwrap();
     recv.wait().unwrap();
     assert_eq!(out, payload);
-    assert_eq!(fabric.stats().pipelined, 0, "no random-access view → serial");
+    assert_eq!(
+        fabric.stats().pipelined,
+        0,
+        "no random-access view → serial"
+    );
 }
 
 #[test]

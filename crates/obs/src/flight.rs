@@ -36,9 +36,9 @@
 //! [`EventKind::Error`] event dumps the ring to the configured path, and a
 //! panic-hook dump is installed so aborts leave a readable trace.
 
+use crate::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use crate::time::now_ns;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::{Once, OnceLock};
 
 /// Payload words per ring slot (one encoded [`FlightEvent`]).
@@ -598,7 +598,9 @@ mod tests {
             assert_eq!(FlightEvent::decode(&e.encode()), Some(e));
         }
         // Negative ranks and tags survive the packing.
-        let e = FlightEvent::new(EventKind::PostRecv, 1).ranks(-1, 5).tag(-2);
+        let e = FlightEvent::new(EventKind::PostRecv, 1)
+            .ranks(-1, 5)
+            .tag(-2);
         let d = FlightEvent::decode(&e.encode()).unwrap();
         assert_eq!((d.src, d.dst, d.tag), (-1, 5, -2));
     }
@@ -669,5 +671,150 @@ mod tests {
         assert!(s.contains("\"tag\":-7"));
         assert!(s.contains("\"method\":\"pipelined\""));
         assert!(s.ends_with("\"aux\":99}"));
+    }
+}
+
+/// Model-checked seqlock protocol tests. Run with
+/// `RUSTFLAGS="--cfg mpicd_check" cargo test -p mpicd-obs`; under that cfg
+/// the ring's atomics resolve to `mpicd-check` instrumented primitives and
+/// these tests explore thread interleavings and weak-memory outcomes.
+#[cfg(all(test, mpicd_check))]
+mod model_tests {
+    use super::*;
+    use mpicd_check::{model, thread as mthread, Model};
+    use std::sync::Arc;
+
+    /// A distinguishable payload: word `i` holds `base + i`, so any mix of
+    /// two payloads (a torn read) breaks the pattern.
+    fn pat(base: u64) -> [u64; WORDS] {
+        std::array::from_fn(|i| base + i as u64)
+    }
+
+    /// Two writers race for the single slot of a capacity-1 ring. Whatever
+    /// the interleaving, exactly one ticket ends up readable, its payload is
+    /// untorn, and `lost()` accounts for the evicted/dropped event.
+    #[test]
+    fn concurrent_writers_preserve_slot_integrity() {
+        model(|| {
+            let ring = Arc::new(Ring::new(1));
+            let (r1, r2) = (Arc::clone(&ring), Arc::clone(&ring));
+            let t1 = mthread::spawn(move || r1.push(pat(1000)));
+            let t2 = mthread::spawn(move || r2.push(pat(2000)));
+            t1.join();
+            t2.join();
+            let reads = [ring.read(0), ring.read(1)];
+            let intact: Vec<_> = reads.iter().flatten().collect();
+            assert_eq!(
+                intact.len(),
+                1,
+                "a capacity-1 ring keeps exactly one published ticket"
+            );
+            let words = *intact[0];
+            assert!(
+                words == pat(1000) || words == pat(2000),
+                "published payload is one complete event, never a mix: {words:?}"
+            );
+            let lost = ring.lost();
+            assert!(
+                (1..=2).contains(&lost),
+                "loss accounting covers the overwritten ticket (and a \
+                 contention drop if the CAS lost): lost={lost}"
+            );
+        });
+    }
+
+    /// Ticket 0 is published, then a second writer overwrites the slot while
+    /// the main thread reads ticket 0. The double-checked seqlock read must
+    /// return either the complete ticket-0 payload or `None` — the
+    /// `fence(Acquire)` + seq recheck forbids observing the overwrite
+    /// half-done.
+    #[test]
+    fn reader_sees_complete_payload_or_nothing_under_overwrite() {
+        model(|| {
+            let ring = Arc::new(Ring::new(1));
+            ring.push(pat(1000)); // ticket 0, published synchronously
+            let r = Arc::clone(&ring);
+            let w = mthread::spawn(move || r.push(pat(2000))); // laps ticket 0
+            if let Some(words) = ring.read(0) {
+                assert_eq!(
+                    words,
+                    pat(1000),
+                    "an accepted ticket-0 read is the ticket-0 payload"
+                );
+            }
+            w.join();
+        });
+    }
+
+    /// A writer publishes concurrently with a reader polling its ticket: an
+    /// accepted read carries the complete payload (release publish /
+    /// acquire observe).
+    #[test]
+    fn concurrent_publish_is_all_or_nothing() {
+        model(|| {
+            let ring = Arc::new(Ring::new(2));
+            let r = Arc::clone(&ring);
+            let w = mthread::spawn(move || r.push(pat(7000)));
+            if let Some(words) = ring.read(0) {
+                assert_eq!(words, pat(7000), "publish is all-or-nothing");
+            }
+            w.join();
+        });
+    }
+
+    /// `Ring::push` with the ISSUE-specified seeded mutation: the publishing
+    /// `seq` store downgraded from `Release` to `Relaxed`. Everything else is
+    /// identical to the real implementation.
+    fn push_publish_relaxed(ring: &Ring, words: [u64; WORDS]) {
+        let n = ring.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &ring.slots[(n % ring.slots.len() as u64) as usize];
+        let cur = slot.seq.load(Ordering::Relaxed);
+        let claimed = cur & 1 == 0
+            && slot
+                .seq
+                .compare_exchange(
+                    cur,
+                    n.wrapping_mul(2).wrapping_add(1),
+                    Ordering::Acquire,
+                    Ordering::Relaxed,
+                )
+                .is_ok();
+        if !claimed {
+            ring.contended.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        fence(Ordering::Release);
+        for (w, v) in slot.words.iter().zip(words) {
+            w.store(v, Ordering::Relaxed);
+        }
+        // BUG under test: `Relaxed` where the real code uses `Release`, so
+        // the payload stores are no longer ordered before the publish.
+        slot.seq
+            .store(n.wrapping_mul(2).wrapping_add(2), Ordering::Relaxed);
+    }
+
+    /// Negative test: the checker must catch the downgraded publish. With a
+    /// `Relaxed` publish a reader that observes `seq == 2n+2` is *not*
+    /// guaranteed to see the payload stores, so it can accept a stale
+    /// (zeroed/partial) payload — the model checker must find such a
+    /// schedule and report our assertion.
+    #[test]
+    fn checker_catches_relaxed_publish_mutation() {
+        let failure = Model::new()
+            .find_bug(|| {
+                let ring = Arc::new(Ring::new(2));
+                let r = Arc::clone(&ring);
+                let w = mthread::spawn(move || push_publish_relaxed(&r, pat(7000)));
+                if let Some(words) = ring.read(0) {
+                    assert_eq!(words, pat(7000), "accepted read must be complete");
+                }
+                w.join();
+            })
+            .expect("the relaxed publish must be caught as a torn/stale read");
+        assert!(
+            failure.message.contains("accepted read must be complete"),
+            "failure is our torn-read assertion: {}",
+            failure.message
+        );
     }
 }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # mpicd-obs — tracing & metrics for the mpicd stack
 //!
 //! The paper's argument is a *breakdown* claim: custom serialization wins
@@ -114,10 +115,7 @@ pub fn flush() -> Option<std::path::PathBuf> {
     if flight::enabled() {
         let fpath = cfg.flight_path();
         match flight::dump_jsonl(&fpath) {
-            Ok(n) => eprintln!(
-                "[mpicd-obs] wrote {n} flight events to {}",
-                fpath.display()
-            ),
+            Ok(n) => eprintln!("[mpicd-obs] wrote {n} flight events to {}", fpath.display()),
             Err(e) => eprintln!("[mpicd-obs] failed to write {}: {e}", fpath.display()),
         }
         let lost = flight::overflowed();

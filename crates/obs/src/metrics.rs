@@ -185,8 +185,11 @@ impl HistSummary {
     /// `max` keeps this summary's value as an upper bound for the window).
     pub fn since(&self, earlier: &HistSummary) -> HistSummary {
         let mut buckets = [0u64; HIST_BUCKETS];
-        for i in 0..HIST_BUCKETS {
-            buckets[i] = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        for (b, (s, e)) in buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(&earlier.buckets))
+        {
+            *b = s.saturating_sub(*e);
         }
         HistSummary {
             count: self.count.saturating_sub(earlier.count),

@@ -1,20 +1,54 @@
-//! Poison-ignoring wrappers over `std::sync` primitives.
+//! Poison-ignoring wrappers over `std::sync` primitives — and the
+//! workspace's *model-checking seam*.
 //!
 //! The workspace previously used `parking_lot`; with the dependency gone,
 //! these wrappers keep call sites terse (`lock()` returns the guard
 //! directly) while deliberately ignoring lock poisoning: a panic while
 //! holding a fabric lock already aborts the owning test/benchmark, and the
 //! protected state (match queues, handle tables) stays structurally valid.
+//!
+//! Under `--cfg mpicd_check` the lock types and the [`atomic`] module
+//! resolve to the instrumented primitives from `mpicd-check` instead, so
+//! every crate that takes its synchronization vocabulary from here
+//! (`obs::flight`, `fabric::pipeline`, …) becomes model-checkable without
+//! touching its protocol code. Normal builds keep the raw std types —
+//! the seam is type aliasing, not indirection, so it costs nothing.
 
+#[cfg(not(mpicd_check))]
 use std::sync::{self, LockResult};
+#[cfg(not(mpicd_check))]
+use std::time::Duration;
+
+/// Atomics for lock-free protocol code. Import from here (not
+/// `std::sync::atomic`) in any module that wants its protocols
+/// model-checked; the ordering-audit test in `mpicd-bench` enforces this
+/// for the checked modules.
+pub mod atomic {
+    #[cfg(mpicd_check)]
+    pub use mpicd_check::sync::{
+        fence, AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+    };
+    #[cfg(not(mpicd_check))]
+    pub use std::sync::atomic::{
+        fence, AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+    };
+}
+
+/// Instrumented lock types under `--cfg mpicd_check` (same poison-ignoring
+/// API, plus every operation is a model schedule point).
+#[cfg(mpicd_check)]
+pub use mpicd_check::sync::{Condvar, Mutex, MutexGuard};
 
 /// A mutex whose `lock` ignores poisoning and returns the guard directly.
+#[cfg(not(mpicd_check))]
 #[derive(Debug, Default)]
 pub struct Mutex<T>(sync::Mutex<T>);
 
 /// Guard type returned by [`Mutex::lock`].
+#[cfg(not(mpicd_check))]
 pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
 
+#[cfg(not(mpicd_check))]
 fn ignore_poison<G>(r: LockResult<G>) -> G {
     match r {
         Ok(g) => g,
@@ -22,6 +56,7 @@ fn ignore_poison<G>(r: LockResult<G>) -> G {
     }
 }
 
+#[cfg(not(mpicd_check))]
 impl<T> Mutex<T> {
     /// New mutex around `value`.
     pub const fn new(value: T) -> Self {
@@ -45,9 +80,11 @@ impl<T> Mutex<T> {
 }
 
 /// Condition variable paired with [`Mutex`]; `wait` ignores poisoning.
+#[cfg(not(mpicd_check))]
 #[derive(Debug, Default)]
 pub struct Condvar(sync::Condvar);
 
+#[cfg(not(mpicd_check))]
 impl Condvar {
     /// New condition variable.
     pub const fn new() -> Self {
@@ -58,6 +95,20 @@ impl Condvar {
     /// Consumes and returns the guard (std style).
     pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
         ignore_poison(self.0.wait(guard))
+    }
+
+    /// Like [`Self::wait`] with a timeout; returns the reacquired guard
+    /// and whether the wait timed out (poison ignored).
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (g, res) = match self.0.wait_timeout(guard, dur) {
+            Ok(x) => x,
+            Err(p) => p.into_inner(),
+        };
+        (g, res.timed_out())
     }
 
     /// Wake one waiter.
@@ -71,24 +122,32 @@ impl Condvar {
     }
 }
 
-/// A reader-writer lock whose accessors ignore poisoning.
+/// A reader-writer lock whose accessors ignore poisoning. Always the std
+/// lock: no checked protocol uses reader-writer locking, so it has no
+/// instrumented counterpart.
 #[derive(Debug, Default)]
-pub struct RwLock<T>(sync::RwLock<T>);
+pub struct RwLock<T>(std::sync::RwLock<T>);
 
 impl<T> RwLock<T> {
     /// New lock around `value`.
     pub const fn new(value: T) -> Self {
-        Self(sync::RwLock::new(value))
+        Self(std::sync::RwLock::new(value))
     }
 
     /// Acquire shared read access.
-    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
-        ignore_poison(self.0.read())
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        match self.0.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
     }
 
     /// Acquire exclusive write access.
-    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
-        ignore_poison(self.0.write())
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        match self.0.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
     }
 }
 
@@ -96,6 +155,7 @@ impl<T> RwLock<T> {
 mod tests {
     use super::*;
     use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn mutex_roundtrip() {
@@ -125,6 +185,35 @@ mod tests {
     }
 
     #[test]
+    fn wait_timeout_times_out_without_notify() {
+        let pair = (Mutex::new(()), Condvar::new());
+        let (g, timed_out) = pair.1.wait_timeout(pair.0.lock(), Duration::from_millis(5));
+        drop(g);
+        assert!(timed_out, "nobody notifies, so the wait must time out");
+    }
+
+    #[test]
+    fn wait_timeout_returns_on_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock();
+            let mut timed_out = false;
+            while !*ready && !timed_out {
+                let (g, to) = cv.wait_timeout(ready, Duration::from_secs(60));
+                ready = g;
+                timed_out = to;
+            }
+            assert!(*ready, "woken by the notify, not the 60s timeout");
+        });
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        *pair.0.lock() = true;
+        pair.1.notify_all();
+        t.join().unwrap();
+    }
+
+    #[test]
     fn poisoned_lock_still_usable() {
         let m = Arc::new(Mutex::new(7));
         let m2 = Arc::clone(&m);
@@ -137,10 +226,33 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_get_mut_and_into_inner_still_usable() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        let mut m = Arc::into_inner(m).expect("sole owner after join");
+        *m.get_mut() += 1;
+        assert_eq!(m.into_inner(), 8, "get_mut/into_inner ignore poisoning");
+    }
+
+    #[test]
     fn rwlock_read_write() {
         let l = RwLock::new(5);
         assert_eq!(*l.read(), 5);
         *l.write() = 6;
         assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn atomic_module_resolves() {
+        use super::atomic::{fence, AtomicU64, Ordering};
+        let a = AtomicU64::new(1);
+        a.fetch_add(1, Ordering::AcqRel);
+        fence(Ordering::Acquire);
+        assert_eq!(a.load(Ordering::Acquire), 2);
     }
 }

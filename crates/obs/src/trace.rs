@@ -154,7 +154,11 @@ pub fn take_events() -> Vec<Event> {
 
 /// Total events overwritten (lost) across all ring buffers so far.
 pub fn dropped_events() -> u64 {
-    registry().lock().iter().map(|b| b.ring.lock().dropped).sum()
+    registry()
+        .lock()
+        .iter()
+        .map(|b| b.ring.lock().dropped)
+        .sum()
 }
 
 struct ActiveSpan<'a> {
@@ -204,7 +208,12 @@ pub fn span(name: &'static str, cat: &'static str, bytes: u64) -> SpanGuard<'sta
 /// bridge between tracing and the metrics registry used for per-phase
 /// breakdowns (pack-ns / wire-ns) without draining the trace.
 #[inline]
-pub fn span_acc<'a>(name: &'static str, cat: &'static str, bytes: u64, acc: &'a Counter) -> SpanGuard<'a> {
+pub fn span_acc<'a>(
+    name: &'static str,
+    cat: &'static str,
+    bytes: u64,
+    acc: &'a Counter,
+) -> SpanGuard<'a> {
     if !enabled() {
         return SpanGuard { inner: None };
     }

@@ -36,7 +36,10 @@ fn disabled_span_acc_leaves_counter_at_zero() {
 
 #[test]
 fn disabled_flush_is_noop() {
-    assert!(mpicd_obs::flush().is_none(), "flush writes nothing when off");
+    assert!(
+        mpicd_obs::flush().is_none(),
+        "flush writes nothing when off"
+    );
 }
 
 #[test]
@@ -45,9 +48,7 @@ fn disabled_flight_recorder_records_nothing() {
     assert_eq!(flight::next_id(), 0, "disabled ids are 0");
     assert_eq!(flight::clock(7), 0, "clock never read when disabled");
 
-    flight::record(
-        flight::FlightEvent::new(flight::EventKind::PostSend, 7).bytes(64),
-    );
+    flight::record(flight::FlightEvent::new(flight::EventKind::PostSend, 7).bytes(64));
     flight::record_frag(flight::EventKind::FragPacked, 7, 1, 64, 0);
 
     assert!(flight::events().is_empty(), "no events when disabled");

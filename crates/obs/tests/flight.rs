@@ -60,10 +60,7 @@ fn flight_ring_end_to_end() {
     assert!(n_live <= 64, "ring is bounded ({n_live} events)");
 
     // Dump: one meta header line plus one JSON line per intact event.
-    let path = std::env::temp_dir().join(format!(
-        "mpicd-flight-test-{}.jsonl",
-        std::process::id()
-    ));
+    let path = std::env::temp_dir().join(format!("mpicd-flight-test-{}.jsonl", std::process::id()));
     let n = flight::dump_jsonl(&path).unwrap();
     let text = std::fs::read_to_string(&path).unwrap();
     let _ = std::fs::remove_file(&path);

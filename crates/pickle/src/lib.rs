@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # mpicd-pickle — pickle-style object serialization over mpicd
 //!
 //! Reproduces the Python side of the paper's evaluation (§V-B) without

@@ -148,7 +148,11 @@ fn out_of_order_unpack_segments() {
             c.unpack_segment(dst.as_mut_ptr(), count, cut, &packed[cut..]);
             c.unpack_segment(dst.as_mut_ptr(), count, 0, &packed[..cut]);
         }
-        assert_eq!(c.pack_slice(&dst, count).unwrap(), packed, "case {case}: cut={cut}");
+        assert_eq!(
+            c.pack_slice(&dst, count).unwrap(),
+            packed,
+            "case {case}: cut={cut}"
+        );
     }
 }
 
@@ -200,7 +204,11 @@ fn marshal_truncation_never_panics() {
         let bytes = marshal(&t);
         let cut = ((bytes.len() as f64) * frac) as usize;
         if cut < bytes.len() {
-            assert!(unmarshal(&bytes[..cut]).is_err(), "cut={cut} of {}", bytes.len());
+            assert!(
+                unmarshal(&bytes[..cut]).is_err(),
+                "cut={cut} of {}",
+                bytes.len()
+            );
         }
     }
 }

@@ -59,7 +59,10 @@ fn iov_to_iov_streams_bytes() {
         }
 
         let rreq = unsafe { b.post_recv(RecvDesc::Iov(recv_chunks), 0, 0).unwrap() };
-        let entries: Vec<IovEntry> = send_chunks.iter().map(|c| IovEntry::from_slice(c)).collect();
+        let entries: Vec<IovEntry> = send_chunks
+            .iter()
+            .map(|c| IovEntry::from_slice(c))
+            .collect();
         let sreq = unsafe { a.post_send(SendDesc::Iov(entries), 1, 0).unwrap() };
         sreq.wait().unwrap();
         rreq.wait().unwrap();
@@ -180,7 +183,10 @@ fn generic_pack_survives_any_fragmentation() {
         };
         sreq.wait().unwrap();
         rreq.wait().unwrap();
-        assert_eq!(out_header, header, "case {case}: packed={packed} frag={frag}");
+        assert_eq!(
+            out_header, header,
+            "case {case}: packed={packed} frag={frag}"
+        );
         assert_eq!(out_body, body, "case {case}: packed={packed} frag={frag}");
     }
 }

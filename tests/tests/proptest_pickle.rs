@@ -51,8 +51,16 @@ fn pyobject(rng: &mut XorShift64Star, depth: u32) -> PyObject {
         };
     }
     match rng.range(0, 3) {
-        0 => PyObject::List((0..rng.range(0, 4)).map(|_| pyobject(rng, depth - 1)).collect()),
-        1 => PyObject::Tuple((0..rng.range(0, 4)).map(|_| pyobject(rng, depth - 1)).collect()),
+        0 => PyObject::List(
+            (0..rng.range(0, 4))
+                .map(|_| pyobject(rng, depth - 1))
+                .collect(),
+        ),
+        1 => PyObject::Tuple(
+            (0..rng.range(0, 4))
+                .map(|_| pyobject(rng, depth - 1))
+                .collect(),
+        ),
         _ => PyObject::Dict(
             (0..rng.range(0, 3))
                 .map(|_| {

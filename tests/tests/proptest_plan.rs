@@ -77,7 +77,10 @@ fn compiled_plan_matches_interpreted_and_convertor() {
         let compiled = t.commit().unwrap();
         let interpreted = t.commit_interpreted().unwrap();
         let convertor = t.commit_convertor().unwrap();
-        assert!(compiled.plan().is_some() || compiled.size() == 0, "case {case}");
+        assert!(
+            compiled.plan().is_some() || compiled.size() == 0,
+            "case {case}"
+        );
         assert!(interpreted.plan().is_none() && convertor.plan().is_none());
         if compiled.size() == 0 {
             continue;
@@ -100,7 +103,9 @@ fn compiled_plan_matches_interpreted_and_convertor() {
         // construction, gap bytes untouched by all three engines.
         let mut via_plan = vec![0xA5u8; span];
         let mut via_interp = vec![0xA5u8; span];
-        compiled.unpack_slice(&reference, &mut via_plan, count).unwrap();
+        compiled
+            .unpack_slice(&reference, &mut via_plan, count)
+            .unwrap();
         interpreted
             .unpack_slice(&reference, &mut via_interp, count)
             .unwrap();
@@ -121,7 +126,11 @@ fn compiled_plan_suspends_and_resumes_mid_fragment() {
         let count = 3usize;
         let span = compiled.required_span(count);
         let src: Vec<u8> = (0..span).map(|i| (i % 247) as u8).collect();
-        let full = t.commit_interpreted().unwrap().pack_slice(&src, count).unwrap();
+        let full = t
+            .commit_interpreted()
+            .unwrap()
+            .pack_slice(&src, count)
+            .unwrap();
 
         // Pack through arbitrary fragment sizes: every fragment boundary is
         // a suspend/resume point, usually mid-block.
@@ -204,9 +213,13 @@ fn kernel_byte_counters_attribute_packed_bytes() {
     let t = Datatype::vector(64, 1, 2, Datatype::Predefined(Primitive::Double));
     let c = t.commit().unwrap();
     let src = vec![3u8; c.required_span(1)];
-    let before = mpicd_obs::global().snapshot().counter("plan.kernel.fixed8_bytes");
+    let before = mpicd_obs::global()
+        .snapshot()
+        .counter("plan.kernel.fixed8_bytes");
     let packed = c.pack_slice(&src, 1).unwrap();
-    let after = mpicd_obs::global().snapshot().counter("plan.kernel.fixed8_bytes");
+    let after = mpicd_obs::global()
+        .snapshot()
+        .counter("plan.kernel.fixed8_bytes");
     assert_eq!(packed.len(), 512);
     assert!(
         after >= before + 512,

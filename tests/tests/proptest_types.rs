@@ -131,7 +131,10 @@ fn loop_nest_offset_and_cursor_agree() {
             acc.extend_from_slice(&buf[..n]);
             frag = frag % 7 + 1;
         }
-        assert_eq!(acc, reference, "case {case}: dims={dims:?} run={run} gap={gap}");
+        assert_eq!(
+            acc, reference,
+            "case {case}: dims={dims:?} run={run} gap={gap}"
+        );
     }
 }
 
