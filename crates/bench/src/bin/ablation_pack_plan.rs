@@ -108,14 +108,8 @@ fn main() {
         let conv = throughput(&convertor, base, reps, runs);
         let interp = throughput(&interpreted, base, reps, runs);
         let comp = throughput(&compiled, base, reps, runs);
-        let vs_interp = Sample {
-            mean: comp.mean / interp.mean,
-            std: 0.0,
-        };
-        let vs_conv = Sample {
-            mean: comp.mean / conv.mean,
-            std: 0.0,
-        };
+        let vs_interp = Sample::point(comp.mean / interp.mean, 0.0);
+        let vs_conv = Sample::point(comp.mean / conv.mean, 0.0);
         tput.push(
             name,
             vec![
@@ -130,14 +124,8 @@ fn main() {
         shape.push(
             name,
             vec![
-                Some(Sample {
-                    mean: interpreted.block_count() as f64,
-                    std: 0.0,
-                }),
-                Some(Sample {
-                    mean: plan.op_count() as f64,
-                    std: 0.0,
-                }),
+                Some(Sample::point(interpreted.block_count() as f64, 0.0)),
+                Some(Sample::point(plan.op_count() as f64, 0.0)),
             ],
         );
     }

@@ -121,10 +121,10 @@ fn main() {
                     runs,
                 )));
             }
-            let speedup = Sample {
-                mean: cells[3].as_ref().unwrap().mean / cells[0].as_ref().unwrap().mean,
-                std: 0.0,
-            };
+            let speedup = Sample::point(
+                cells[3].as_ref().unwrap().mean / cells[0].as_ref().unwrap().mean,
+                0.0,
+            );
             cells.push(Some(speedup));
             table.push(format!("{name}/{}", size_label(frag)), cells);
         }

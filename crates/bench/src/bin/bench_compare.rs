@@ -1,0 +1,148 @@
+//! `bench_compare` — CI bench-regression gate.
+//!
+//! Compares every `BENCH_*.json` in a baseline directory against the same
+//! file in a current-run directory and fails if any cell's p50 or p99
+//! regressed beyond the tolerance (default 15%).
+//!
+//! ```text
+//! bench_compare <baseline-dir> <current-dir> [--tolerance PCT] [--absolute]
+//! ```
+//!
+//! By default the comparator divides out the machine-speed scale (median
+//! p50 ratio per table) so a committed baseline recorded on different
+//! hardware still gates *relative* regressions — one method falling
+//! behind the others, a speedup ratio collapsing, a plan growing extra
+//! ops. `--absolute` disables the normalization for same-machine runs.
+//!
+//! Exit codes: 0 = within tolerance, 1 = regression / missing file /
+//! usage error.
+
+use mpicd_bench::regress::{compare_tables, parse_table};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bench_compare <baseline-dir> <current-dir> \
+                     [--tolerance PCT] [--absolute]";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut tolerance = 0.15;
+    let mut normalize = true;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--tolerance" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(p) if p > 0.0 => tolerance = p / 100.0,
+                _ => return usage_error("--tolerance needs a percentage > 0"),
+            },
+            "--absolute" => normalize = false,
+            _ if !arg.starts_with('-') => dirs.push(PathBuf::from(arg)),
+            _ => return usage_error(&format!("unexpected argument `{arg}`")),
+        }
+    }
+    let [baseline_dir, current_dir] = dirs.as_slice() else {
+        return usage_error("need exactly a baseline dir and a current dir");
+    };
+
+    let baselines = match bench_files(baseline_dir) {
+        Ok(files) if !files.is_empty() => files,
+        Ok(_) => {
+            eprintln!(
+                "bench_compare: no BENCH_*.json in {}",
+                baseline_dir.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("bench_compare: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+    let mut checked = 0usize;
+    for path in &baselines {
+        let name = path.file_name().unwrap_or_default();
+        let cur_path = current_dir.join(name);
+        let pair = std::fs::read_to_string(path)
+            .map_err(|e| format!("read {}: {e}", path.display()))
+            .and_then(|b| {
+                std::fs::read_to_string(&cur_path)
+                    .map_err(|e| format!("read {}: {e}", cur_path.display()))
+                    .map(|c| (b, c))
+            })
+            .and_then(|(b, c)| {
+                Ok((
+                    parse_table(&b).map_err(|e| format!("{}: {e}", path.display()))?,
+                    parse_table(&c).map_err(|e| format!("{}: {e}", cur_path.display()))?,
+                ))
+            });
+        let (base, cur) = match pair {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("bench_compare: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let cmp = compare_tables(&base, &cur, tolerance, normalize);
+        checked += cmp.checked;
+        let name = name.to_string_lossy();
+        if cmp.regressions.is_empty() {
+            println!(
+                "ok   {name}: {} cells within {:.0}% (machine scale ×{:.3}, \
+                 {} cell outlier(s) below gate)",
+                cmp.checked,
+                tolerance * 100.0,
+                cmp.scale,
+                cmp.outliers.len()
+            );
+        } else {
+            failed = true;
+            println!(
+                "FAIL {name}: {} regression(s) (machine scale ×{:.3})",
+                cmp.regressions.len(),
+                cmp.scale
+            );
+            for r in &cmp.regressions {
+                println!("     {r}");
+            }
+            for o in &cmp.outliers {
+                println!("     outlier: {o}");
+            }
+        }
+    }
+    println!(
+        "bench_compare: {} table(s), {checked} cell(s) checked",
+        baselines.len()
+    );
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `BENCH_*.json` files under `dir`, sorted for stable output.
+fn bench_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        let name = path.file_name().unwrap_or_default().to_string_lossy();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("bench_compare: {msg}\n{USAGE}");
+    ExitCode::FAILURE
+}

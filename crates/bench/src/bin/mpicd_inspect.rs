@@ -1,34 +1,66 @@
 //! `mpicd-inspect` — offline analyzer for flight-recorder dumps.
 //!
-//! Reads a JSONL dump written by the flight recorder (`MPICD_FLIGHT=1`,
-//! `MPICD_FLIGHT_PATH=...`), reconstructs per-transfer timelines, and
-//! prints latency attribution (wait / pack / wire / unpack / copy),
-//! per-method percentiles, the slowest transfers with their critical
-//! path, and straggler flags.
+//! Reads one or more JSONL dumps written by the flight recorder
+//! (`MPICD_FLIGHT=1`, `MPICD_FLIGHT_PATH=...`), reconstructs per-transfer
+//! timelines, and reports on them. Multiple dumps (one per process) are
+//! merged into a single cross-rank view before analysis.
 //!
 //! ```text
-//! mpicd-inspect <dump.jsonl> [--top N] [--straggler-factor F]
+//! mpicd-inspect [report] <dump.jsonl>... [--top N] [--straggler-factor F] [--json]
+//! mpicd-inspect critical-path <dump.jsonl>... [--json]
 //! ```
+//!
+//! * **report** (default): latency attribution (wait / pack / wire /
+//!   unpack / copy), per-method percentiles, the slowest transfers, and
+//!   straggler flags.
+//! * **critical-path**: builds the cross-rank happens-before DAG from the
+//!   merged timelines, walks the binding-constraint chain from the last
+//!   event back to the origin, and prints the longest weighted path with
+//!   per-rank blame, per-transfer slack, and per-collective spines.
+//! * `--json` switches either mode to a single machine-readable JSON
+//!   object on stdout.
 //!
 //! Exit codes: 0 = healthy dump, 1 = usage or I/O error, 2 = the dump
 //! parsed but contains malformed timelines (CI treats this as a failure).
 
-use mpicd_bench::flight::{analyze, read_dump, render_report, ReportOptions};
+use mpicd_bench::critical::{critical_path, render_critical, render_critical_json};
+use mpicd_bench::flight::{
+    analyze, merge_dumps, read_dump, render_json, render_report, Analysis, ReportOptions,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: mpicd-inspect <dump.jsonl> [--top N] [--straggler-factor F]";
+const USAGE: &str = "usage: mpicd-inspect [report|critical-path] <dump.jsonl>... \
+                     [--top N] [--straggler-factor F] [--json]";
+
+enum Mode {
+    Report,
+    CriticalPath,
+}
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let mut path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1).peekable();
+    let mode = match args.peek().map(String::as_str) {
+        Some("report") => {
+            args.next();
+            Mode::Report
+        }
+        Some("critical-path") => {
+            args.next();
+            Mode::CriticalPath
+        }
+        _ => Mode::Report,
+    };
+    let mut paths: Vec<PathBuf> = Vec::new();
     let mut opts = ReportOptions::default();
+    let mut json = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
+            "--json" => json = true,
             "--top" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => opts.top = n,
                 None => return usage_error("--top needs an integer"),
@@ -37,26 +69,52 @@ fn main() -> ExitCode {
                 Some(f) if f > 1.0 => opts.straggler_factor = f,
                 _ => return usage_error("--straggler-factor needs a number > 1"),
             },
-            _ if path.is_none() && !arg.starts_with('-') => path = Some(PathBuf::from(arg)),
+            _ if !arg.starts_with('-') => paths.push(PathBuf::from(arg)),
             _ => return usage_error(&format!("unexpected argument `{arg}`")),
         }
     }
-    let Some(path) = path else {
+    if paths.is_empty() {
         return usage_error("missing dump path");
-    };
+    }
 
-    let dump = match read_dump(&path) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("mpicd-inspect: {e}");
-            return ExitCode::FAILURE;
+    let mut dumps = Vec::with_capacity(paths.len());
+    for path in &paths {
+        match read_dump(path) {
+            Ok(d) => dumps.push(d),
+            Err(e) => {
+                eprintln!("mpicd-inspect: {e}");
+                return ExitCode::FAILURE;
+            }
         }
-    };
-    let analysis = analyze(&dump);
-    print!(
-        "{}",
-        render_report(&analysis, &opts, &path.display().to_string())
-    );
+    }
+    let source = paths
+        .iter()
+        .map(|p| p.display().to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let analysis = analyze(&merge_dumps(dumps));
+
+    match mode {
+        Mode::Report => {
+            if json {
+                print!("{}", render_json(&analysis, &source));
+            } else {
+                print!("{}", render_report(&analysis, &opts, &source));
+            }
+        }
+        Mode::CriticalPath => {
+            let report = critical_path(&analysis);
+            if json {
+                print!("{}", render_critical_json(&analysis, &report, &source));
+            } else {
+                print!("{}", render_critical(&analysis, &report, &source));
+            }
+        }
+    }
+    exit_for(&analysis)
+}
+
+fn exit_for(analysis: &Analysis) -> ExitCode {
     if analysis.malformed.is_empty() {
         ExitCode::SUCCESS
     } else {

@@ -115,6 +115,12 @@ pub struct Event {
     /// Kind-specific extra (receive-post id on `match`, segment offset on
     /// fragments, error code on `error`).
     pub aux: u64,
+    /// Lamport clock of the recording rank at the event (0 = unstamped,
+    /// including every event of a v1 dump).
+    pub lc: u64,
+    /// Causal parent: the sender's clock carried in the transfer header
+    /// (receive-side events only; 0 = none).
+    pub parent: u64,
 }
 
 /// The `flight_meta` header line of a dump.
@@ -137,57 +143,132 @@ pub struct Dump {
     pub meta: Option<DumpMeta>,
     /// All events, in the writer's (timestamp, id) order.
     pub events: Vec<Event>,
+    /// Lines that failed to parse (corruption, a truncated tail from a
+    /// crashed writer). Carried into [`Analysis::malformed`] so the
+    /// exit-2 contract fires, without losing the readable remainder.
+    pub bad_lines: Vec<String>,
 }
 
-/// Parse dump text. Any unparseable non-empty line is an error — the dump
-/// is machine-written, so corruption should be loud, not skipped.
+/// Parse dump text. Unparseable non-empty lines are recorded in
+/// [`Dump::bad_lines`] — corruption is loud (the analyzer reports it and
+/// `mpicd-inspect` exits 2) but does not hide the readable remainder of a
+/// partially-written dump. Only a dump with corrupt lines and *no* valid
+/// events at all is rejected outright: that is not a flight dump.
 pub fn parse_dump(text: &str) -> Result<Dump, String> {
     let mut dump = Dump::default();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let fields = parse_flat_object(line)
-            .ok_or_else(|| format!("line {}: not a flat JSON object", lineno + 1))?;
-        let kind = get_str(&fields, "kind")
-            .ok_or_else(|| format!("line {}: missing \"kind\"", lineno + 1))?;
-        if kind == "flight_meta" {
-            dump.meta = Some(DumpMeta {
-                version: get_num(&fields, "version").unwrap_or(0) as u64,
-                events: get_num(&fields, "events").unwrap_or(0) as u64,
-                overflowed: get_num(&fields, "overflowed").unwrap_or(0) as u64,
-                trace_dropped: get_num(&fields, "trace_dropped").unwrap_or(0) as u64,
-            });
-            continue;
+        match parse_line(line, lineno + 1) {
+            Ok(Line::Meta(meta)) => dump.meta = Some(meta),
+            Ok(Line::Event(e)) => dump.events.push(e),
+            Err(reason) => dump.bad_lines.push(reason),
         }
-        let kind = kind_from_str(kind)
-            .ok_or_else(|| format!("line {}: unknown kind \"{kind}\"", lineno + 1))?;
-        let num = |key: &str| {
-            get_num(&fields, key).ok_or_else(|| format!("line {}: missing \"{key}\"", lineno + 1))
-        };
-        let method = get_str(&fields, "method")
-            .and_then(method_from_str)
-            .ok_or_else(|| format!("line {}: bad \"method\"", lineno + 1))?;
-        dump.events.push(Event {
-            kind,
-            id: num("id")? as u64,
-            t_ns: num("t_ns")? as u64,
-            dur_ns: num("dur_ns")? as u64,
-            src: num("src")? as i64,
-            dst: num("dst")? as i64,
-            tag: num("tag")? as i64,
-            bytes: num("bytes")? as u64,
-            method,
-            aux: num("aux")? as u64,
-        });
+    }
+    if dump.events.is_empty() && dump.meta.is_none() && !dump.bad_lines.is_empty() {
+        return Err(format!(
+            "no valid flight events ({}; first: {})",
+            match dump.bad_lines.len() {
+                1 => "1 unreadable line".to_string(),
+                n => format!("{n} unreadable lines"),
+            },
+            dump.bad_lines[0]
+        ));
     }
     Ok(dump)
+}
+
+enum Line {
+    Meta(DumpMeta),
+    Event(Event),
+}
+
+fn parse_line(line: &str, lineno: usize) -> Result<Line, String> {
+    let fields =
+        parse_flat_object(line).ok_or_else(|| format!("line {lineno}: not a flat JSON object"))?;
+    let kind =
+        get_str(&fields, "kind").ok_or_else(|| format!("line {lineno}: missing \"kind\""))?;
+    if kind == "flight_meta" {
+        return Ok(Line::Meta(DumpMeta {
+            version: get_num(&fields, "version").unwrap_or(0) as u64,
+            events: get_num(&fields, "events").unwrap_or(0) as u64,
+            overflowed: get_num(&fields, "overflowed").unwrap_or(0) as u64,
+            trace_dropped: get_num(&fields, "trace_dropped").unwrap_or(0) as u64,
+        }));
+    }
+    let kind =
+        kind_from_str(kind).ok_or_else(|| format!("line {lineno}: unknown kind \"{kind}\""))?;
+    let num = |key: &str| {
+        get_num(&fields, key).ok_or_else(|| format!("line {lineno}: missing \"{key}\""))
+    };
+    let method = get_str(&fields, "method")
+        .and_then(method_from_str)
+        .ok_or_else(|| format!("line {lineno}: bad \"method\""))?;
+    Ok(Line::Event(Event {
+        kind,
+        id: num("id")? as u64,
+        t_ns: num("t_ns")? as u64,
+        dur_ns: num("dur_ns")? as u64,
+        src: num("src")? as i64,
+        dst: num("dst")? as i64,
+        tag: num("tag")? as i64,
+        bytes: num("bytes")? as u64,
+        method,
+        aux: num("aux")? as u64,
+        // Absent from v1 dumps; default 0 keeps them readable.
+        lc: get_num(&fields, "lc").unwrap_or(0) as u64,
+        parent: get_num(&fields, "parent").unwrap_or(0) as u64,
+    }))
 }
 
 /// Read and parse a dump file.
 pub fn read_dump(path: &Path) -> Result<Dump, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     parse_dump(&text)
+}
+
+/// Id-namespace shift used when merging multiple dumps: dump `i`'s ids
+/// become `(i + 1) << 48 | id`, so per-process sequential ids from
+/// different processes never collide.
+pub const MERGE_ID_SHIFT: u32 = 48;
+
+/// Merge per-process dumps (e.g. one JSONL file per rank) into one.
+///
+/// Transfer ids are process-local sequence numbers, so each dump's ids are
+/// remapped into a disjoint namespace (see [`MERGE_ID_SHIFT`]). The only
+/// cross-referencing `aux` field — the receive-post id on `match` events —
+/// is remapped with them; fragment offsets and error codes are untouched.
+/// Header metadata is summed (version = max). A single dump passes through
+/// unmodified.
+pub fn merge_dumps(dumps: Vec<Dump>) -> Dump {
+    if dumps.len() <= 1 {
+        return dumps.into_iter().next().unwrap_or_default();
+    }
+    let mut out = Dump::default();
+    let mut meta: Option<DumpMeta> = None;
+    for (i, d) in dumps.into_iter().enumerate() {
+        let ns = (i as u64 + 1) << MERGE_ID_SHIFT;
+        if let Some(m) = d.meta {
+            let acc = meta.get_or_insert(DumpMeta::default());
+            acc.version = acc.version.max(m.version);
+            acc.events += m.events;
+            acc.overflowed += m.overflowed;
+            acc.trace_dropped += m.trace_dropped;
+        }
+        for mut e in d.events {
+            e.id |= ns;
+            if e.kind == EventKind::Match && e.aux != 0 {
+                e.aux |= ns;
+            }
+            out.events.push(e);
+        }
+        out.bad_lines
+            .extend(d.bad_lines.into_iter().map(|b| format!("dump {i}: {b}")));
+    }
+    out.meta = meta;
+    out.events.sort_by_key(|e| (e.t_ns, e.id));
+    out
 }
 
 // ---- timeline reconstruction -------------------------------------------------
@@ -326,6 +407,8 @@ pub fn analyze(dump: &Dump) -> Analysis {
         meta: dump.meta,
         ..Analysis::default()
     };
+    // Unreadable dump lines are malformed input by definition.
+    a.malformed.extend(dump.bad_lines.iter().cloned());
     // With a reported ring overflow, incomplete timelines are expected
     // (their early events were dropped) and counted as truncated instead
     // of malformed. Internal inconsistencies stay malformed regardless.
@@ -755,6 +838,103 @@ pub fn render_report(a: &Analysis, opts: &ReportOptions, source: &str) -> String
     out
 }
 
+// ---- JSON output -------------------------------------------------------------
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// enough for the reason strings this module generates.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the analysis as one machine-readable JSON object (the `--json`
+/// flag of `mpicd-inspect`): summary counts, malformed reasons, and every
+/// reconstructed timeline with its phase attribution.
+pub fn render_json(a: &Analysis, source: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\"source\":\"");
+    out.push_str(&json_escape(source));
+    out.push_str("\",\"meta\":");
+    match a.meta {
+        Some(m) => {
+            let _ = write!(
+                out,
+                "{{\"version\":{},\"events\":{},\"overflowed\":{},\"trace_dropped\":{}}}",
+                m.version, m.events, m.overflowed, m.trace_dropped
+            );
+        }
+        None => out.push_str("null"),
+    }
+    let _ = write!(
+        out,
+        ",\"summary\":{{\"completed\":{},\"errored\":{},\"pending_sends\":{},\
+         \"pending_recvs\":{},\"failed_posts\":{},\"truncated\":{},\"malformed\":{}}}",
+        a.completed.len(),
+        a.errored.len(),
+        a.pending_sends,
+        a.pending_recvs,
+        a.failed_posts,
+        a.truncated,
+        a.malformed.len()
+    );
+    out.push_str(",\"malformed\":[");
+    for (i, m) in a.malformed.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&json_escape(m));
+        out.push('"');
+    }
+    out.push_str("],\"transfers\":[");
+    for (i, t) in a.completed.iter().chain(a.errored.iter()).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let p = t.phases();
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"recv_id\":{},\"src\":{},\"dst\":{},\"tag\":{},\"bytes\":{},\
+             \"method\":\"{}\",\"post_send_ns\":{},\"post_recv_ns\":{},\"match_ns\":{},\
+             \"end_ns\":{},\"error\":{},\"frags_packed\":{},\"frags_unpacked\":{},\
+             \"phases\":{{\"wait\":{},\"pack\":{},\"wire\":{},\"unpack\":{},\"copy\":{},\
+             \"e2e\":{}}}}}",
+            t.id,
+            t.recv_id,
+            t.src,
+            t.dst,
+            t.tag,
+            t.bytes,
+            t.method.as_str(),
+            t.post_send_ns,
+            t.post_recv_ns.map_or("null".to_string(), |v| v.to_string()),
+            t.match_ns,
+            t.end_ns,
+            t.error.map_or("null".to_string(), |v| v.to_string()),
+            t.frags_packed,
+            t.frags_unpacked,
+            p.wait,
+            p.pack,
+            p.wire,
+            p.unpack,
+            p.copy,
+            p.e2e
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -932,6 +1112,48 @@ mod tests {
             "{report}"
         );
         assert!(report.contains("malformed timelines: 0"));
+    }
+
+    #[test]
+    fn causal_fields_parse_and_default() {
+        let text = "{\"kind\":\"match\",\"id\":1,\"t_ns\":5,\"dur_ns\":0,\"src\":0,\"dst\":1,\
+                    \"tag\":7,\"bytes\":8,\"method\":\"eager\",\"aux\":2,\"lc\":9,\"parent\":4}";
+        let d = parse_dump(text).unwrap();
+        assert_eq!((d.events[0].lc, d.events[0].parent), (9, 4));
+        // v1 dumps (no causal fields) stay readable with lc = parent = 0.
+        let d1 = parse_dump(&healthy()).unwrap();
+        assert!(d1.events.iter().all(|e| e.lc == 0 && e.parent == 0));
+    }
+
+    #[test]
+    fn merge_namespaces_ids_and_remaps_match_aux() {
+        let d1 = parse_dump(&healthy()).unwrap();
+        let d2 = parse_dump(&healthy()).unwrap();
+        let merged = merge_dumps(vec![d1, d2]);
+        assert_eq!(merged.meta.unwrap().events, 14, "meta counters summed");
+        let a = analyze(&merged);
+        assert!(a.malformed.is_empty(), "{:?}", a.malformed);
+        assert_eq!(a.completed.len(), 2);
+        let ids: Vec<u64> = a.completed.iter().map(|t| t.id).collect();
+        assert!(ids.contains(&((1u64 << MERGE_ID_SHIFT) | 1)));
+        assert!(ids.contains(&((2u64 << MERGE_ID_SHIFT) | 1)));
+        // The recv-post join survived the remap in both namespaces.
+        assert!(a
+            .completed
+            .iter()
+            .all(|t| t.recv_id & ((1 << MERGE_ID_SHIFT) - 1) == 2));
+    }
+
+    #[test]
+    fn json_output_is_well_formed_and_complete() {
+        let a = analyze(&parse_dump(&healthy()).unwrap());
+        let j = render_json(&a, "x\"y");
+        assert!(j.contains("\"source\":\"x\\\"y\""));
+        assert!(j.contains("\"completed\":1"));
+        assert!(j.contains("\"malformed\":0"));
+        assert!(j.contains("\"e2e\":900"));
+        assert!(j.contains("\"post_recv_ns\":100"));
+        assert_eq!(json_escape("a\\b\nc"), "a\\\\b\\u000ac");
     }
 
     #[test]

@@ -47,13 +47,20 @@ impl Config {
     }
 }
 
-/// A mean ± standard deviation over the configured runs.
+/// A mean ± standard deviation over the configured runs, plus
+/// nearest-rank percentiles for the CI regression gate (noise-tolerant:
+/// p50 ignores outlier runs entirely, p99 pins the worst run).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sample {
     /// Mean value.
     pub mean: f64,
     /// Standard deviation (the paper's error bars).
     pub std: f64,
+    /// Median of the per-run values (nearest-rank).
+    pub p50: f64,
+    /// 99th percentile of the per-run values (nearest-rank; with few runs
+    /// this is the worst run).
+    pub p99: f64,
 }
 
 impl Sample {
@@ -62,11 +69,35 @@ impl Sample {
         let n = vals.len().max(1) as f64;
         let mean = vals.iter().sum::<f64>() / n;
         let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let mut sorted = vals.to_vec();
+        sorted.sort_by(f64::total_cmp);
         Self {
             mean,
             std: var.sqrt(),
+            p50: percentile(&sorted, 50.0),
+            p99: percentile(&sorted, 99.0),
         }
     }
+
+    /// A derived point value (speedup ratio, count) with no per-run
+    /// distribution behind it: percentiles collapse onto the value.
+    pub fn point(mean: f64, std: f64) -> Self {
+        Self {
+            mean,
+            std,
+            p50: mean,
+            p99: mean,
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// One-way latency in microseconds. `pingpong` must perform one full
@@ -203,6 +234,13 @@ mod tests {
         let s = Sample::from_values(&[1.0, 3.0]);
         assert_eq!(s.mean, 2.0);
         assert_eq!(s.std, 1.0);
+        assert_eq!(s.p50, 1.0, "nearest-rank median of two runs");
+        assert_eq!(s.p99, 3.0, "p99 pins the worst run");
+        let s = Sample::from_values(&[5.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.p99, 5.0);
+        let p = Sample::point(2.5, 0.0);
+        assert_eq!((p.p50, p.p99), (2.5, 2.5));
     }
 
     #[test]

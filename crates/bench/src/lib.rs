@@ -19,18 +19,25 @@
 //! * [`flight`] — flight-recorder dump analysis behind the
 //!   `mpicd-inspect` binary: timeline reconstruction, per-transfer
 //!   latency attribution, and the straggler report.
+//! * [`critical`] — cross-rank happens-before DAG over the reconstructed
+//!   timelines and the critical-path / slack / per-rank-blame report
+//!   (`mpicd-inspect critical-path`).
+//! * [`regress`] — `BENCH_*.json` parsing and the p50/p99 regression
+//!   comparator behind the `bench_compare` CI gate.
 //!
 //! All binaries accept `MPICD_BENCH_QUICK=1` to run a fast smoke sweep
 //! (used by tests) and print the same table shape as the full run. With
 //! `MPICD_TRACE=1` they additionally write a Chrome trace (see
 //! [`obs_finish`]) and populate the CPU columns of the phase tables.
 
+pub mod critical;
 pub mod ddt;
 pub mod flight;
 pub mod harness;
 pub mod methods;
 pub mod phase;
 pub mod pickle_run;
+pub mod regress;
 pub mod report;
 
 pub use harness::{Config, Sample};

@@ -125,9 +125,11 @@ impl Table {
                 }
                 match cell {
                     Some(s) => out.push_str(&format!(
-                        "{{\"mean\": {}, \"std\": {}}}",
+                        "{{\"mean\": {}, \"std\": {}, \"p50\": {}, \"p99\": {}}}",
                         num(s.mean),
-                        num(s.std)
+                        num(s.std),
+                        num(s.p50),
+                        num(s.p99)
                     )),
                     None => out.push_str("null"),
                 }
@@ -161,16 +163,7 @@ mod tests {
     #[test]
     fn renders_with_gaps() {
         let mut t = Table::new("Fig X", "size", "us", vec!["a".into(), "b".into()]);
-        t.push(
-            "64",
-            vec![
-                Some(Sample {
-                    mean: 1.5,
-                    std: 0.1,
-                }),
-                None,
-            ],
-        );
+        t.push("64", vec![Some(Sample::point(1.5, 0.1)), None]);
         let s = t.render();
         assert!(s.contains("Fig X"));
         assert!(s.contains("1.50"));

@@ -16,6 +16,8 @@ use crate::buffer::{Buffer, BufferMut};
 use crate::communicator::Communicator;
 use crate::error::{Error, Result};
 use mpicd_fabric::Tag;
+use mpicd_obs::telemetry;
+use std::sync::{Arc, OnceLock};
 
 /// Reserved tag for broadcast traffic.
 const BCAST_TAG: Tag = i32::MAX - 11;
@@ -25,6 +27,64 @@ const GATHER_TAG: Tag = i32::MAX - 12;
 const SCATTER_TAG: Tag = i32::MAX - 13;
 /// Reserved tag for reduce traffic.
 const REDUCE_TAG: Tag = i32::MAX - 14;
+
+/// Name of the collective that owns a reserved tag, if any.
+///
+/// `mpicd-inspect` uses this mapping to group flight-recorder transfers
+/// into collective operations (a bcast tree's hops all carry the
+/// reserved bcast tag) when reconstructing per-collective critical
+/// paths.
+pub fn collective_tag_name(tag: Tag) -> Option<&'static str> {
+    match tag {
+        BCAST_TAG => Some("bcast"),
+        GATHER_TAG => Some("gather"),
+        SCATTER_TAG => Some("scatter"),
+        REDUCE_TAG => Some("reduce"),
+        _ => None,
+    }
+}
+
+/// Lazily-registered per-collective latency sketch (entry-to-exit wall
+/// time of this rank's participation). One relaxed load when telemetry
+/// is off; the registry lock is only ever taken once per op name.
+fn coll_sketch(
+    cell: &'static OnceLock<Arc<telemetry::Sketch>>,
+    name: &'static str,
+) -> &'static telemetry::Sketch {
+    cell.get_or_init(|| telemetry::sketch(name))
+}
+
+static BCAST_NS: OnceLock<Arc<telemetry::Sketch>> = OnceLock::new();
+static GATHER_NS: OnceLock<Arc<telemetry::Sketch>> = OnceLock::new();
+static SCATTER_NS: OnceLock<Arc<telemetry::Sketch>> = OnceLock::new();
+static ALLREDUCE_NS: OnceLock<Arc<telemetry::Sketch>> = OnceLock::new();
+
+/// Time one collective invocation into its latency sketch. Returns a
+/// guard so every `?`-exit records too (failures are the interesting
+/// latencies).
+struct CollTimer {
+    t0: u64,
+    cell: &'static OnceLock<Arc<telemetry::Sketch>>,
+    name: &'static str,
+}
+
+impl CollTimer {
+    fn start(cell: &'static OnceLock<Arc<telemetry::Sketch>>, name: &'static str) -> Self {
+        Self {
+            t0: telemetry::clock(),
+            cell,
+            name,
+        }
+    }
+}
+
+impl Drop for CollTimer {
+    fn drop(&mut self) {
+        if self.t0 != 0 {
+            coll_sketch(self.cell, self.name).record(telemetry::clock().saturating_sub(self.t0));
+        }
+    }
+}
 
 /// Binomial-tree broadcast of any buffer that can be both sent and
 /// received (root sends its contents; everyone else's `buf` is
@@ -46,6 +106,7 @@ pub fn bcast<B: Buffer + BufferMut + ?Sized>(
         return Ok(());
     }
     let _sp = mpicd_obs::span!("coll.bcast", "core");
+    let _tm = CollTimer::start(&BCAST_NS, "coll.bcast_ns");
     // Rotate ranks so the root is virtual rank 0 (MPICH's binomial tree).
     let vrank = (comm.rank() + size - root) % size;
 
@@ -83,6 +144,7 @@ pub fn gather_bytes(
 ) -> Result<()> {
     let size = comm.size();
     let _sp = mpicd_obs::span!("coll.gather", "core", send.len());
+    let _tm = CollTimer::start(&GATHER_NS, "coll.gather_ns");
     if comm.rank() == root {
         let out = recv.ok_or(Error::Unsupported("root must supply a receive buffer"))?;
         out.clear();
@@ -117,6 +179,7 @@ pub fn scatter_bytes(
 ) -> Result<()> {
     let size = comm.size();
     let _sp = mpicd_obs::span!("coll.scatter", "core", recv.len());
+    let _tm = CollTimer::start(&SCATTER_NS, "coll.scatter_ns");
     if comm.rank() == root {
         let all = send.ok_or(Error::Unsupported("root must supply the send buffer"))?;
         if all.len() != size * recv.len() {
@@ -174,6 +237,7 @@ pub fn allreduce_f64(comm: &Communicator, buf: &mut [f64], op: ReduceOp) -> Resu
         return Ok(());
     }
     let _sp = mpicd_obs::span!("coll.allreduce", "core", buf.len() * 8);
+    let _tm = CollTimer::start(&ALLREDUCE_NS, "coll.allreduce_ns");
     if comm.rank() == 0 {
         let mut incoming = vec![0f64; buf.len()];
         for r in 1..size {

@@ -61,7 +61,9 @@ pub mod types;
 pub mod vecvec;
 
 pub use buffer::{Buffer, BufferMut, RecvView, SendView};
-pub use collective::{allreduce_f64, bcast, gather_bytes, scatter_bytes, ReduceOp};
+pub use collective::{
+    allreduce_f64, bcast, collective_tag_name, gather_bytes, scatter_bytes, ReduceOp,
+};
 pub use communicator::{Communicator, MatchedMessage, Scope, Status, World};
 pub use datatype::{
     CustomPack, CustomUnpack, RandomAccessPacker, RandomAccessUnpacker, RecvRegion, SendRegion,

@@ -10,6 +10,7 @@
 use crate::error::{DatatypeError, DatatypeResult};
 use crate::primitive::Primitive;
 use crate::typ::Datatype;
+use mpicd_obs::causal::{CausalContext, CONTEXT_BYTES};
 
 const TAG_PREDEFINED: u8 = 0;
 const TAG_CONTIGUOUS: u8 = 1;
@@ -49,6 +50,44 @@ pub fn marshal(t: &Datatype) -> Vec<u8> {
     let mut out = Vec::new();
     encode(t, &mut out);
     out
+}
+
+/// Leading byte of a context-framed marshalled datatype. Constructor tags
+/// occupy 0..=7, so a framed buffer can never be confused with the plain
+/// [`marshal`] encoding.
+pub const CONTEXT_MAGIC: u8 = 0xC5;
+
+/// Serialize a datatype description together with the sender's causal
+/// context (flight id + Lamport clock + origin rank).
+///
+/// This is the cross-process "transfer header": a receiver that unmarshals
+/// the description also learns which transfer shipped it and the sender's
+/// logical clock at post time, so receive-side flight events can record
+/// their causal parent. Costs [`CONTEXT_BYTES`] + 1 bytes over [`marshal`].
+pub fn marshal_with_context(t: &Datatype, ctx: CausalContext) -> Vec<u8> {
+    let _sp = mpicd_obs::span!("dt.marshal", "datatype");
+    let mut out = Vec::with_capacity(1 + CONTEXT_BYTES);
+    out.push(CONTEXT_MAGIC);
+    out.extend_from_slice(&ctx.encode());
+    encode(t, &mut out);
+    out
+}
+
+/// Reconstruct a datatype description plus the causal context framed by
+/// [`marshal_with_context`].
+///
+/// A plain [`marshal`] buffer (no frame) is accepted and yields the
+/// default (empty) context, so readers interoperate with senders that do
+/// not stamp causal headers.
+pub fn unmarshal_with_context(bytes: &[u8]) -> DatatypeResult<(Datatype, CausalContext)> {
+    match bytes.first() {
+        Some(&CONTEXT_MAGIC) => {
+            let ctx = CausalContext::decode(&bytes[1..])
+                .ok_or(DatatypeError::InvalidArgument("truncated causal context"))?;
+            Ok((unmarshal(&bytes[1 + CONTEXT_BYTES..])?, ctx))
+        }
+        _ => Ok((unmarshal(bytes)?, CausalContext::default())),
+    }
 }
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
@@ -301,6 +340,40 @@ mod tests {
     fn unknown_tag_detected() {
         assert!(unmarshal(&[0xFF]).is_err());
         assert!(unmarshal(&[TAG_PREDEFINED, 99]).is_err());
+    }
+
+    #[test]
+    fn context_frame_roundtrips() {
+        let t = sample();
+        let ctx = CausalContext {
+            fid: 0xdead_beef,
+            lc: 42,
+            origin: 3,
+        };
+        let bytes = marshal_with_context(&t, ctx);
+        assert_eq!(bytes[0], CONTEXT_MAGIC);
+        assert_eq!(bytes.len(), marshal(&t).len() + 1 + CONTEXT_BYTES);
+        let (back, rctx) = unmarshal_with_context(&bytes).unwrap();
+        assert!(equivalent(&t, &back));
+        assert_eq!(rctx, ctx);
+    }
+
+    #[test]
+    fn plain_buffer_yields_empty_context() {
+        let t = sample();
+        let (back, ctx) = unmarshal_with_context(&marshal(&t)).unwrap();
+        assert!(equivalent(&t, &back));
+        assert_eq!(ctx, CausalContext::default());
+        // The magic byte can never collide with a constructor tag.
+        assert!(marshal(&t)[0] < CONTEXT_MAGIC);
+    }
+
+    #[test]
+    fn truncated_context_frame_detected() {
+        let bytes = marshal_with_context(&sample(), CausalContext::default());
+        for cut in 1..=CONTEXT_BYTES {
+            assert!(unmarshal_with_context(&bytes[..cut]).is_err(), "cut {cut}");
+        }
     }
 
     #[test]

@@ -29,8 +29,10 @@ use crate::pipeline::{self, PipelinePool};
 use crate::request::{ReqState, Request};
 use crate::stats::{FabricMetrics, FabricStats, StatsView};
 use crate::transfer::{copy_stream, DstSeg, SrcSeg, TransferScratch};
+use mpicd_obs::causal;
 use mpicd_obs::flight::{self, EventKind, FlightEvent, Method};
 use mpicd_obs::sync::{Condvar, Mutex};
+use mpicd_obs::telemetry;
 use std::sync::{Arc, OnceLock};
 
 /// A pending (unmatched) send sitting in the unexpected queue.
@@ -40,6 +42,9 @@ struct PendingSend {
     total: usize,
     /// Flight-recorder transfer id allocated at post time (0 = off).
     fid: u64,
+    /// Sender's Lamport clock at post time — the causal header that travels
+    /// with the transfer so the receive side can merge clocks at match.
+    lc: u64,
     kind: PendKind,
 }
 
@@ -313,8 +318,15 @@ impl Endpoint {
         }
         let total = desc.total_bytes();
         // Flight: allocate the send-side transfer id (the canonical id every
-        // lifecycle event of this transfer is keyed by) and log the post.
+        // lifecycle event of this transfer is keyed by), tick this rank's
+        // Lamport clock, and log the post. The clock value is the causal
+        // header that travels with the transfer.
         let fid = flight::next_id();
+        let lc = if fid != 0 {
+            causal::tick(self.rank as i32)
+        } else {
+            0
+        };
         if fid != 0 {
             let method = match &desc {
                 SendDesc::Contig(_) if self.inner.model.is_rendezvous(total) => Method::Rendezvous,
@@ -326,7 +338,8 @@ impl Endpoint {
                     .ranks(self.rank as i32, dest as i32)
                     .tag(tag)
                     .bytes(total as u64)
-                    .method(method),
+                    .method(method)
+                    .lc(lc),
             );
         }
         let mut state = self.inner.state.lock();
@@ -351,6 +364,7 @@ impl Endpoint {
                     &mut state,
                     fid,
                     recv.fid,
+                    lc,
                 );
                 recv.req.complete(outcome.clone());
                 return Ok(match outcome {
@@ -384,6 +398,7 @@ impl Endpoint {
                     tag,
                     total,
                     fid,
+                    lc,
                     kind: PendKind::Eager { data: bounce },
                 });
                 self.inner.stats.record_unexpected();
@@ -403,6 +418,7 @@ impl Endpoint {
                     tag,
                     total,
                     fid,
+                    lc,
                     kind: PendKind::Deferred {
                         desc,
                         req: Arc::clone(&req),
@@ -433,7 +449,8 @@ impl Endpoint {
                 FlightEvent::new(EventKind::PostRecv, rfid)
                     .ranks(source, self.rank as i32)
                     .tag(tag)
-                    .bytes(desc.capacity() as u64),
+                    .bytes(desc.capacity() as u64)
+                    .lc(causal::tick(self.rank as i32)),
             );
         }
         let mut state = self.inner.state.lock();
@@ -460,6 +477,7 @@ impl Endpoint {
                 &mut state,
                 pending.fid,
                 rfid,
+                pending.lc,
             );
             if let Some(req) = send_req {
                 req.complete(match &outcome {
@@ -587,7 +605,8 @@ impl Endpoint {
                         self.rank as i32,
                     )
                     .tag(msg.pending.as_ref().map_or(0, |p| p.tag))
-                    .bytes(desc.capacity() as u64),
+                    .bytes(desc.capacity() as u64)
+                    .lc(causal::tick(self.rank as i32)),
             );
         }
         let mut state = self.inner.state.lock();
@@ -605,6 +624,7 @@ impl Endpoint {
             &mut state,
             pending.fid,
             rfid,
+            pending.lc,
         );
         if let Some(req) = send_req {
             req.complete(match &outcome {
@@ -703,6 +723,7 @@ impl Inner {
         state: &mut MatchState,
         send_fid: u64,
         recv_fid: u64,
+        send_lc: u64,
     ) -> FabricResult<Envelope> {
         let (total, send_regions, rendezvous) = match &send {
             SendSide::Bounce { data } => (data.len(), 1, false),
@@ -723,10 +744,18 @@ impl Inner {
             SendSide::Direct(_) => Method::Pipelined,
         };
         let flight_on = send_fid != 0 && flight::enabled();
+        // Causal merge: the receive rank observes the sender's clock carried
+        // in the transfer header. The Match event is the cross-rank
+        // happens-before edge — `parent` names the sender-side clock value.
+        let mlc = if flight_on {
+            causal::observe(dest as i32, send_lc)
+        } else {
+            0
+        };
 
         // The synthetic wire span starts at match time; its duration is the
         // modeled wire time, recorded below once the transfer size is final.
-        let match_start_ns = if mpicd_obs::enabled() || flight_on {
+        let match_start_ns = if mpicd_obs::enabled() || flight_on || telemetry::enabled() {
             mpicd_obs::now_ns()
         } else {
             0
@@ -739,7 +768,9 @@ impl Inner {
                     .tag(tag)
                     .bytes(total as u64)
                     .method(method)
-                    .aux(recv_fid),
+                    .aux(recv_fid)
+                    .lc(mlc)
+                    .parent(send_lc),
             );
         }
         // Every error exit funnels through here so a failing transfer always
@@ -752,7 +783,9 @@ impl Inner {
                         .tag(tag)
                         .bytes(total as u64)
                         .method(method)
-                        .aux(e.flight_code()),
+                        .aux(e.flight_code())
+                        .lc(causal::tick(dest as i32))
+                        .parent(send_lc),
                 );
             }
             e
@@ -834,6 +867,7 @@ impl Inner {
                         pd,
                         &self.metrics,
                         send_fid,
+                        mlc,
                     ));
                 }
             }
@@ -847,6 +881,7 @@ impl Inner {
                     &self.metrics,
                     &mut state.xfer_scratch,
                     send_fid,
+                    mlc,
                 ),
             };
             drop(src_segs);
@@ -885,15 +920,25 @@ impl Inner {
                     .ranks(source as i32, dest as i32)
                     .tag(tag)
                     .bytes(total as u64)
-                    .method(method),
+                    .method(method)
+                    .lc(mlc)
+                    .parent(send_lc),
             );
             flight::record(
                 FlightEvent::new(EventKind::Complete, send_fid)
                     .ranks(source as i32, dest as i32)
                     .tag(tag)
                     .bytes(total as u64)
-                    .method(method),
+                    .method(method)
+                    .lc(causal::tick(dest as i32))
+                    .parent(send_lc),
             );
+        }
+        // Continuous telemetry: match-to-complete wall time of the transfer.
+        if match_start_ns != 0 {
+            self.metrics
+                .tele_active_ns
+                .record(mpicd_obs::now_ns().saturating_sub(match_start_ns));
         }
 
         Ok(Envelope {

@@ -181,6 +181,8 @@ struct JobShared<'a> {
     metrics: &'a FabricMetrics,
     /// Flight-recorder transfer id (0 = not recording).
     fid: u64,
+    /// Merged Lamport clock of the transfer, stamped on fragment events.
+    lc: u64,
     /// Lowest-stream-position callback error (position, error).
     error: Mutex<Option<(usize, FabricError)>>,
     /// Fragments not yet finished; guarded decrement, last one notifies.
@@ -270,6 +272,7 @@ impl JobShared<'_> {
                         t0,
                         n as u64,
                         d_off as u64,
+                        self.lc,
                     );
                 }
                 (ParSrc::Packer { packer, len }, ParDst::Mem(d)) => {
@@ -284,6 +287,7 @@ impl JobShared<'_> {
                         t0,
                         n as u64,
                         s_off as u64,
+                        self.lc,
                     );
                 }
                 (ParSrc::Packer { packer, len }, ParDst::Unpacker { unpacker, .. }) => {
@@ -300,6 +304,7 @@ impl JobShared<'_> {
                                 t0,
                                 n as u64,
                                 s_off as u64,
+                                self.lc,
                             );
                             let t1 = flight::clock(self.fid);
                             {
@@ -315,6 +320,7 @@ impl JobShared<'_> {
                                 t1,
                                 n as u64,
                                 d_off as u64,
+                                self.lc,
                             );
                             Ok(())
                         });
@@ -498,7 +504,8 @@ fn worker_loop(shared: &PoolShared) {
 /// moved or the lowest-stream-position callback error.
 ///
 /// `fid` is the send-side flight-recorder transfer id (0 = no recording);
-/// workers emit `FragPacked`/`FragUnpacked` events against it.
+/// workers emit `FragPacked`/`FragUnpacked` events against it, stamped
+/// with the transfer's merged Lamport clock `lc`.
 pub(crate) fn run_parallel(
     pool: &PipelinePool,
     frag_size: usize,
@@ -506,6 +513,7 @@ pub(crate) fn run_parallel(
     dst: Vec<ParDst<'_>>,
     metrics: &FabricMetrics,
     fid: u64,
+    lc: u64,
 ) -> FabricResult<usize> {
     let total: usize = src.iter().map(src_len).sum();
     let frag = frag_size.max(1);
@@ -539,6 +547,7 @@ pub(crate) fn run_parallel(
         scratch: &pool.scratch,
         metrics,
         fid,
+        lc,
         error: Mutex::new(None),
         remaining: Mutex::new(frags),
         done: Condvar::new(),
@@ -823,11 +832,12 @@ mod tests {
                 &metrics,
                 &mut TransferScratch::default(),
                 0,
+                0,
             ),
             Some(pool) => {
                 let (ps, pd) =
                     parallel_view(&src_segs, &dst_segs).expect("test segments are random-access");
-                run_parallel(pool, model.frag_size, ps, pd, &metrics, 0)
+                run_parallel(pool, model.frag_size, ps, pd, &metrics, 0, 0)
             }
         };
         drop(src_segs);
@@ -927,7 +937,7 @@ mod tests {
             len: 64,
         }];
         let dst = vec![ParDst::Mem(IovEntryMut::from_slice(&mut out))];
-        let err = run_parallel(&pool, 16, src, dst, &metrics, 0).unwrap_err();
+        let err = run_parallel(&pool, 16, src, dst, &metrics, 0, 0).unwrap_err();
         assert!(matches!(err, FabricError::PackStalled { .. }));
     }
 }

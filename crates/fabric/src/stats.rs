@@ -12,6 +12,7 @@
 //! handle.
 
 use mpicd_obs::metrics::{global, Counter, Histogram};
+use mpicd_obs::telemetry;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -147,6 +148,13 @@ pub(crate) struct FabricMetrics {
     /// Wall time inside the parallel engine, submit to completion
     /// (tracing only, fed by a `span_acc` guard like `pack_ns`).
     pub pipeline_ns: Arc<Counter>,
+    /// Continuous telemetry (`MPICD_TELEMETRY=1`): message traffic as a
+    /// windowed time series (count = messages, sum = payload bytes).
+    pub tele_traffic: Arc<telemetry::Series>,
+    /// Continuous telemetry: modeled per-message wire latency sketch.
+    pub tele_wire_ns: Arc<telemetry::Sketch>,
+    /// Continuous telemetry: match-to-complete wall time per transfer.
+    pub tele_active_ns: Arc<telemetry::Sketch>,
 }
 
 impl FabricMetrics {
@@ -170,6 +178,9 @@ impl FabricMetrics {
             pipeline_frags: r.counter("fabric.pipeline.frags"),
             pipeline_threads: r.counter("fabric.pipeline.threads"),
             pipeline_ns: r.counter("fabric.pipeline.ns"),
+            tele_traffic: telemetry::series("fabric.traffic"),
+            tele_wire_ns: telemetry::sketch("fabric.wire_latency_ns"),
+            tele_active_ns: telemetry::sketch("fabric.transfer_active_ns"),
         }
     }
 
@@ -194,6 +205,9 @@ impl FabricMetrics {
             pipeline_frags: Arc::new(Counter::new()),
             pipeline_threads: Arc::new(Counter::new()),
             pipeline_ns: Arc::new(Counter::new()),
+            tele_traffic: Arc::new(telemetry::Series::standalone(1_000_000_000)),
+            tele_wire_ns: Arc::new(telemetry::Sketch::standalone()),
+            tele_active_ns: Arc::new(telemetry::Sketch::standalone()),
         }
     }
 
@@ -218,6 +232,10 @@ impl FabricMetrics {
         self.regions.add(regions as u64);
         self.wire_ns.add(wire_ns as u64);
         self.msg_size.record(bytes as u64);
+        // Continuous telemetry mirror; each call is one relaxed load when
+        // MPICD_TELEMETRY is off.
+        self.tele_traffic.add(bytes as u64);
+        self.tele_wire_ns.record(wire_ns as u64);
     }
 }
 

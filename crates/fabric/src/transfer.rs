@@ -114,7 +114,10 @@ fn fill_frag_buf(spare: &mut Vec<Vec<u8>>, bytes: &[u8]) -> Vec<u8> {
 ///
 /// `fid` is the send-side flight-recorder transfer id; pack/unpack callback
 /// invocations emit `FragPacked`/`FragUnpacked` events against it (0 = no
-/// recording, the cost of one relaxed load per fragment).
+/// recording, the cost of one relaxed load per fragment). `lc` is the
+/// transfer's merged Lamport clock, stamped on every fragment event so the
+/// causal-DAG analyzer can order fragments inside the transfer.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn copy_stream(
     model: &WireModel,
     src_segs: &mut [SrcSeg<'_>],
@@ -123,6 +126,7 @@ pub(crate) fn copy_stream(
     metrics: &FabricMetrics,
     scratch: &mut TransferScratch,
     fid: u64,
+    lc: u64,
 ) -> FabricResult<usize> {
     let total: usize = src_segs.iter().map(|s| s.len()).sum();
     let frag = model.frag_size.max(1);
@@ -183,6 +187,7 @@ pub(crate) fn copy_stream(
                         t0,
                         want as u64,
                         d_off as u64,
+                        lc,
                     );
                 }
                 want
@@ -204,7 +209,14 @@ pub(crate) fn copy_stream(
                         remaining: s_rem,
                     });
                 }
-                flight::record_frag(EventKind::FragPacked, fid, t0, used as u64, s_off as u64);
+                flight::record_frag(
+                    EventKind::FragPacked,
+                    fid,
+                    t0,
+                    used as u64,
+                    s_off as u64,
+                    lc,
+                );
                 used
             }
             (SrcSeg::Packer { packer, .. }, DstSeg::Unpacker { unpacker, .. }) => {
@@ -223,7 +235,14 @@ pub(crate) fn copy_stream(
                         remaining: s_rem,
                     });
                 }
-                flight::record_frag(EventKind::FragPacked, fid, t0, used as u64, s_off as u64);
+                flight::record_frag(
+                    EventKind::FragPacked,
+                    fid,
+                    t0,
+                    used as u64,
+                    s_off as u64,
+                    lc,
+                );
                 if allow_ooo {
                     let b = fill_frag_buf(&mut scratch.spare, &scratch.buf[..used]);
                     scratch.ooo.push((d_off, b));
@@ -241,6 +260,7 @@ pub(crate) fn copy_stream(
                         t1,
                         used as u64,
                         d_off as u64,
+                        lc,
                     );
                 }
                 used
@@ -279,6 +299,7 @@ pub(crate) fn copy_stream(
                 t0,
                 data.len() as u64,
                 off as u64,
+                lc,
             );
             if scratch.spare.len() < SPARE_CAP {
                 scratch.spare.push(data);
@@ -323,6 +344,7 @@ mod tests {
             &FabricMetrics::detached(),
             &mut TransferScratch::default(),
             0,
+            0,
         )
         .unwrap();
         assert_eq!(moved, 8);
@@ -354,6 +376,7 @@ mod tests {
             false,
             &FabricMetrics::detached(),
             &mut TransferScratch::default(),
+            0,
             0,
         )
         .unwrap();
@@ -397,6 +420,7 @@ mod tests {
             &FabricMetrics::detached(),
             &mut TransferScratch::default(),
             0,
+            0,
         )
         .unwrap();
         assert_eq!(moved, 50);
@@ -437,6 +461,7 @@ mod tests {
             &FabricMetrics::detached(),
             &mut TransferScratch::default(),
             0,
+            0,
         )
         .unwrap();
         assert_eq!(unpacker.out, data, "offset-addressed unpack reassembles");
@@ -460,6 +485,7 @@ mod tests {
             false,
             &FabricMetrics::detached(),
             &mut TransferScratch::default(),
+            0,
             0,
         )
         .unwrap_err();
@@ -490,6 +516,7 @@ mod tests {
                 false,
                 &FabricMetrics::detached(),
                 &mut TransferScratch::default(),
+                0,
                 0
             ),
             Err(FabricError::UnpackFailed(42))
@@ -523,6 +550,7 @@ mod tests {
                 &FabricMetrics::detached(),
                 &mut scratch,
                 0,
+                0,
             )
             .unwrap();
             assert_eq!(unpacker.0, data, "round {round}");
@@ -544,6 +572,7 @@ mod tests {
                 false,
                 &FabricMetrics::detached(),
                 &mut TransferScratch::default(),
+                0,
                 0
             )
             .unwrap(),

@@ -1,0 +1,204 @@
+//! Cross-rank causal tracing: per-rank Lamport clocks and the causal
+//! context that travels with every transfer.
+//!
+//! The flight recorder (see [`crate::flight`]) gives each transfer a
+//! timeline *within* one rank; it cannot say whether rank 1's unpack was
+//! actually waiting on rank 0's pack. This module supplies the missing
+//! happens-before structure: every rank carries a Lamport clock, ticked on
+//! each fabric lifecycle event, and the send-side clock value travels with
+//! the transfer (the [`CausalContext`] header) so the receive side can
+//! merge it on match. Flight events then record the clock (`lc`) and the
+//! causal parent (`parent`), turning a multi-rank flight dump into a
+//! cross-rank happens-before DAG that `mpicd-inspect critical-path`
+//! reconstructs offline.
+//!
+//! **Clock rules** (standard Lamport):
+//!
+//! * local event on rank *r*: `clock[r] += 1` ([`tick`]);
+//! * message receipt on rank *r* carrying clock `seen`:
+//!   `clock[r] = max(clock[r], seen) + 1` ([`observe`]).
+//!
+//! Both operations are single relaxed atomic RMWs on a per-rank slot; the
+//! fabric only calls them for transfers that hold a non-zero flight id, so
+//! the disabled-mode cost of the whole layer stays at the flight
+//! recorder's one-relaxed-load discipline.
+//!
+//! In this single-process fabric the "wire" between ranks is a matched
+//! in-memory transfer, so the context rides in the pending-send entry; the
+//! serialized form ([`CausalContext::encode`], [`CONTEXT_BYTES`] bytes) is
+//! what a real wire or the datatype marshal path
+//! (`mpicd-datatype::marshal_with_context`) carries.
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Number of per-rank clock slots. Ranks hash into this table modulo
+/// [`MAX_RANKS`]; aliasing two ranks onto one slot keeps the clocks
+/// *valid* (still monotone, still merged) at a small precision cost, so a
+/// fixed table is safe at any world size.
+pub const MAX_RANKS: usize = 1024;
+
+/// Serialized size of a [`CausalContext`] in bytes (fid + clock + origin).
+pub const CONTEXT_BYTES: usize = 20;
+
+fn table() -> &'static [AtomicU64] {
+    static TABLE: OnceLock<Box<[AtomicU64]>> = OnceLock::new();
+    TABLE.get_or_init(|| (0..MAX_RANKS).map(|_| AtomicU64::new(0)).collect())
+}
+
+fn slot(rank: i32) -> &'static AtomicU64 {
+    &table()[rank.rem_euclid(MAX_RANKS as i32) as usize]
+}
+
+/// Advance rank `rank`'s Lamport clock for a local event and return the
+/// new value (always ≥ 1).
+#[inline]
+pub fn tick(rank: i32) -> u64 {
+    slot(rank).fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// Merge a clock value observed from an incoming message into rank
+/// `rank`'s clock (`max(local, seen) + 1`) and return the new value. The
+/// result is strictly greater than both the previous local value and
+/// `seen`, which is the happens-before guarantee the DAG relies on.
+#[inline]
+pub fn observe(rank: i32, seen: u64) -> u64 {
+    let s = slot(rank);
+    // The clock is monotone non-decreasing, so after the fetch_max the
+    // slot holds ≥ seen forever; the subsequent increment therefore
+    // returns a value > seen even if other ticks interleave.
+    s.fetch_max(seen, Ordering::Relaxed);
+    s.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// Read rank `rank`'s clock without advancing it.
+#[inline]
+pub fn current(rank: i32) -> u64 {
+    slot(rank).load(Ordering::Relaxed)
+}
+
+/// The causal header that travels with a transfer: the sender's flight id
+/// and Lamport clock at post time, plus the origin rank. This is the
+/// cross-rank join key — the receive side records `lc` as the `parent` of
+/// its `match`/`complete` flight events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CausalContext {
+    /// Send-side flight-recorder transfer id (0 = recorder disabled).
+    pub fid: u64,
+    /// Sender's Lamport clock at post time.
+    pub lc: u64,
+    /// Origin (sender) rank.
+    pub origin: i32,
+}
+
+impl CausalContext {
+    /// Capture the context for a send posted on `rank` under flight id
+    /// `fid`: ticks the rank's clock when the transfer is recorded
+    /// (`fid != 0`) and returns an all-zero context otherwise, preserving
+    /// the disabled-mode cost discipline.
+    pub fn capture(rank: i32, fid: u64) -> Self {
+        if fid == 0 {
+            return Self::default();
+        }
+        Self {
+            fid,
+            lc: tick(rank),
+            origin: rank,
+        }
+    }
+
+    /// Serialize as [`CONTEXT_BYTES`] little-endian bytes
+    /// (`fid · lc · origin`).
+    pub fn encode(&self) -> [u8; CONTEXT_BYTES] {
+        let mut out = [0u8; CONTEXT_BYTES];
+        out[0..8].copy_from_slice(&self.fid.to_le_bytes());
+        out[8..16].copy_from_slice(&self.lc.to_le_bytes());
+        out[16..20].copy_from_slice(&self.origin.to_le_bytes());
+        out
+    }
+
+    /// Deserialize from the first [`CONTEXT_BYTES`] bytes of `bytes`;
+    /// `None` if `bytes` is too short.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < CONTEXT_BYTES {
+            return None;
+        }
+        Some(Self {
+            fid: u64::from_le_bytes(bytes[0..8].try_into().ok()?),
+            lc: u64::from_le_bytes(bytes[8..16].try_into().ok()?),
+            origin: i32::from_le_bytes(bytes[16..20].try_into().ok()?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Clocks are process-global; tests use high rank numbers unlikely to
+    // collide with other tests in this binary and assert only relative
+    // properties (monotonicity, merge dominance), never absolute values.
+
+    #[test]
+    fn tick_is_monotone() {
+        let r = 900;
+        let a = tick(r);
+        let b = tick(r);
+        let c = tick(r);
+        assert!(a < b && b < c);
+        assert!(current(r) >= c);
+    }
+
+    #[test]
+    fn observe_dominates_both_inputs() {
+        let r = 901;
+        let local = tick(r);
+        let merged = observe(r, local + 1000);
+        assert!(merged > local + 1000, "merge exceeds the observed clock");
+        let again = observe(r, 1);
+        assert!(again > merged, "stale observations still advance the clock");
+    }
+
+    #[test]
+    fn ranks_are_independent() {
+        let a0 = tick(902);
+        let _ = tick(903);
+        let a1 = tick(902);
+        assert_eq!(a1, a0 + 1, "another rank's tick does not advance ours");
+    }
+
+    #[test]
+    fn negative_ranks_alias_safely() {
+        // Wildcard (-1) ranks map onto a valid slot rather than panicking.
+        let v = tick(-1);
+        assert!(v >= 1);
+        assert!(current(-1) >= v);
+    }
+
+    #[test]
+    fn context_roundtrip() {
+        let ctx = CausalContext {
+            fid: 0xdead_beef_1234,
+            lc: 42,
+            origin: -1,
+        };
+        let bytes = ctx.encode();
+        assert_eq!(CausalContext::decode(&bytes), Some(ctx));
+        // Longer buffers decode their prefix; short ones are rejected.
+        let mut longer = bytes.to_vec();
+        longer.push(0xff);
+        assert_eq!(CausalContext::decode(&longer), Some(ctx));
+        assert_eq!(CausalContext::decode(&bytes[..CONTEXT_BYTES - 1]), None);
+    }
+
+    #[test]
+    fn capture_is_zero_when_disabled() {
+        let ctx = CausalContext::capture(904, 0);
+        assert_eq!(ctx, CausalContext::default());
+        assert_eq!(current(904), 0, "no tick without a flight id");
+        let live = CausalContext::capture(904, 7);
+        assert_eq!(live.fid, 7);
+        assert_eq!(live.origin, 904);
+        assert!(live.lc >= 1);
+    }
+}

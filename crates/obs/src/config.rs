@@ -11,6 +11,14 @@
 //! | `MPICD_FLIGHT_PATH` | flight-recorder JSONL dump path | `mpicd-flight.jsonl` |
 //! | `MPICD_FLIGHT_CAP` | flight ring capacity (events, process-global) | `65536` |
 //! | `MPICD_METRICS_JSON` | write the metrics snapshot as JSON at flush (a path, or `1` for `mpicd-metrics.json`) | off |
+//! | `MPICD_TELEMETRY` | enable the continuous telemetry registry (`1`/`true`/`on`) | off |
+//! | `MPICD_TELEMETRY_WINDOW_MS` | telemetry time-series window width (ms) | `1000` |
+//! | `MPICD_TELEMETRY_PATH` | Prometheus-style exposition path written at flush | `mpicd-telemetry.prom` |
+//!
+//! Capacity and window knobs are validated at parse time: `0`, absurdly
+//! large values, or unparseable input produce a stderr warning and fall
+//! back to the default (capacities above [`MAX_CAPACITY`] are clamped)
+//! instead of silently misbehaving.
 //!
 //! Programmatic control overrides the environment:
 //! [`ObsConfig::install`] (builder) or [`crate::set_enabled`] /
@@ -26,11 +34,47 @@ pub const DEFAULT_RING_CAPACITY: usize = 65_536;
 /// Default flight-recorder ring capacity (events, whole process).
 pub const DEFAULT_FLIGHT_CAPACITY: usize = 65_536;
 
+/// Default telemetry time-series window width (ms).
+pub const DEFAULT_TELEMETRY_WINDOW_MS: u64 = 1_000;
+
+/// Upper bound accepted for ring capacities (`MPICD_TRACE_CAP` /
+/// `MPICD_FLIGHT_CAP`): 64 Mi events. A flight ring alone costs ~88 bytes
+/// per event, so anything larger is a typo, not a tuning choice; larger
+/// requests are clamped here with a warning.
+pub const MAX_CAPACITY: usize = 1 << 26;
+
+/// Upper bound accepted for `MPICD_TELEMETRY_WINDOW_MS`: one day.
+pub const MAX_TELEMETRY_WINDOW_MS: u64 = 86_400_000;
+
 /// `1`/`true`/`on`-style boolean environment parse (empty/`0`/`false`/
 /// `off` are false).
 fn env_flag(value: &str) -> bool {
     let v = value.trim().to_ascii_lowercase();
     !v.is_empty() && v != "0" && v != "false" && v != "off"
+}
+
+/// Parse a positive integer knob with loud validation: unset uses the
+/// default silently; `0`, garbage, or values above `max` warn on stderr
+/// and fall back (clamping to `max` for oversized values).
+fn env_bounded(var: &str, default: u64, max: u64) -> u64 {
+    let Ok(raw) = std::env::var(var) else {
+        return default;
+    };
+    match raw.trim().parse::<u64>() {
+        Ok(0) => {
+            eprintln!("[mpicd-obs] WARNING: {var}=0 is invalid (must be >= 1); using {default}");
+            default
+        }
+        Ok(v) if v > max => {
+            eprintln!("[mpicd-obs] WARNING: {var}={v} exceeds the maximum {max}; clamping");
+            max
+        }
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("[mpicd-obs] WARNING: {var}={raw:?} is not a number; using {default}");
+            default
+        }
+    }
 }
 
 /// Observability settings.
@@ -54,6 +98,14 @@ pub struct ObsConfig {
     /// Metrics-snapshot JSON path written by [`crate::flush`]
     /// (`None` disables the file).
     pub metrics_file: Option<PathBuf>,
+    /// Whether the continuous telemetry registry is enabled.
+    pub telemetry: bool,
+    /// Telemetry time-series window width in milliseconds. Applies to
+    /// instruments registered after installation.
+    pub telemetry_window_ms: u64,
+    /// Prometheus-style exposition path written by [`crate::flush`]
+    /// (`None` uses the default `mpicd-telemetry.prom`).
+    pub telemetry_file: Option<PathBuf>,
 }
 
 impl Default for ObsConfig {
@@ -66,6 +118,9 @@ impl Default for ObsConfig {
             flight_file: None,
             flight_capacity: DEFAULT_FLIGHT_CAPACITY,
             metrics_file: None,
+            telemetry: false,
+            telemetry_window_ms: DEFAULT_TELEMETRY_WINDOW_MS,
+            telemetry_file: None,
         }
     }
 }
@@ -78,20 +133,20 @@ impl ObsConfig {
             .map(|v| env_flag(&v))
             .unwrap_or(false);
         let trace_file = std::env::var("MPICD_TRACE_FILE").ok().map(PathBuf::from);
-        let ring_capacity = std::env::var("MPICD_TRACE_CAP")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .filter(|c| *c > 0)
-            .unwrap_or(DEFAULT_RING_CAPACITY);
+        let ring_capacity = env_bounded(
+            "MPICD_TRACE_CAP",
+            DEFAULT_RING_CAPACITY as u64,
+            MAX_CAPACITY as u64,
+        ) as usize;
         let flight = std::env::var("MPICD_FLIGHT")
             .map(|v| env_flag(&v))
             .unwrap_or(false);
         let flight_file = std::env::var("MPICD_FLIGHT_PATH").ok().map(PathBuf::from);
-        let flight_capacity = std::env::var("MPICD_FLIGHT_CAP")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .filter(|c| *c > 0)
-            .unwrap_or(DEFAULT_FLIGHT_CAPACITY);
+        let flight_capacity = env_bounded(
+            "MPICD_FLIGHT_CAP",
+            DEFAULT_FLIGHT_CAPACITY as u64,
+            MAX_CAPACITY as u64,
+        ) as usize;
         // MPICD_METRICS_JSON is a path, or a bare truthy flag for the
         // default filename.
         let metrics_file = std::env::var("MPICD_METRICS_JSON").ok().and_then(|v| {
@@ -104,6 +159,17 @@ impl ObsConfig {
                 Some(PathBuf::from(v))
             }
         });
+        let telemetry = std::env::var("MPICD_TELEMETRY")
+            .map(|v| env_flag(&v))
+            .unwrap_or(false);
+        let telemetry_window_ms = env_bounded(
+            "MPICD_TELEMETRY_WINDOW_MS",
+            DEFAULT_TELEMETRY_WINDOW_MS,
+            MAX_TELEMETRY_WINDOW_MS,
+        );
+        let telemetry_file = std::env::var("MPICD_TELEMETRY_PATH")
+            .ok()
+            .map(PathBuf::from);
         Self {
             enabled,
             trace_file,
@@ -112,6 +178,9 @@ impl ObsConfig {
             flight_file,
             flight_capacity,
             metrics_file,
+            telemetry,
+            telemetry_window_ms,
+            telemetry_file,
         }
     }
 
@@ -157,6 +226,24 @@ impl ObsConfig {
         self
     }
 
+    /// Builder: enable/disable the telemetry registry.
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
+    /// Builder: telemetry window width in milliseconds.
+    pub fn telemetry_window_ms(mut self, ms: u64) -> Self {
+        self.telemetry_window_ms = ms.max(1);
+        self
+    }
+
+    /// Builder: telemetry exposition path.
+    pub fn telemetry_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.telemetry_file = Some(path.into());
+        self
+    }
+
     /// The trace output path ([`Self::trace_file`] or the default).
     pub fn trace_path(&self) -> PathBuf {
         self.trace_file
@@ -171,11 +258,20 @@ impl ObsConfig {
             .unwrap_or_else(|| PathBuf::from("mpicd-flight.jsonl"))
     }
 
+    /// The telemetry exposition path ([`Self::telemetry_file`] or the
+    /// default).
+    pub fn telemetry_path(&self) -> PathBuf {
+        self.telemetry_file
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("mpicd-telemetry.prom"))
+    }
+
     /// Install as the process-wide configuration (overrides the
     /// environment) and apply the enable flags.
     pub fn install(self) {
         crate::trace::set_enabled(self.enabled);
         crate::flight::set_enabled(self.flight);
+        crate::telemetry::set_enabled(self.telemetry);
         *store().lock() = self;
     }
 }
@@ -204,6 +300,9 @@ mod tests {
         assert_eq!(c.trace_path(), PathBuf::from("mpicd-trace.json"));
         assert_eq!(c.flight_path(), PathBuf::from("mpicd-flight.jsonl"));
         assert!(c.metrics_file.is_none());
+        assert!(!c.telemetry);
+        assert_eq!(c.telemetry_window_ms, DEFAULT_TELEMETRY_WINDOW_MS);
+        assert_eq!(c.telemetry_path(), PathBuf::from("mpicd-telemetry.prom"));
     }
 
     #[test]
@@ -215,7 +314,10 @@ mod tests {
             .flight(true)
             .flight_file("/tmp/f.jsonl")
             .flight_capacity(32)
-            .metrics_file("/tmp/m.json");
+            .metrics_file("/tmp/m.json")
+            .telemetry(true)
+            .telemetry_window_ms(250)
+            .telemetry_file("/tmp/tele.prom");
         assert!(c.enabled);
         assert!(c.flight);
         assert_eq!(c.trace_path(), PathBuf::from("/tmp/t.json"));
@@ -223,6 +325,9 @@ mod tests {
         assert_eq!(c.ring_capacity, 16);
         assert_eq!(c.flight_capacity, 32);
         assert_eq!(c.metrics_file, Some(PathBuf::from("/tmp/m.json")));
+        assert!(c.telemetry);
+        assert_eq!(c.telemetry_window_ms, 250);
+        assert_eq!(c.telemetry_path(), PathBuf::from("/tmp/tele.prom"));
     }
 
     #[test]
@@ -233,5 +338,26 @@ mod tests {
         for off in ["", "0", "false", "OFF"] {
             assert!(!env_flag(off), "{off:?}");
         }
+    }
+
+    #[test]
+    fn env_bounded_validates() {
+        // Env mutation is process-wide; this test owns a variable name no
+        // other code reads and restores it before returning.
+        const VAR: &str = "MPICDTEST_CAP_KNOB";
+        let check = |val: Option<&str>, expect: u64| {
+            match val {
+                Some(v) => std::env::set_var(VAR, v),
+                None => std::env::remove_var(VAR),
+            }
+            assert_eq!(env_bounded(VAR, 64, 1024), expect, "value {val:?}");
+        };
+        check(None, 64);
+        check(Some("128"), 128);
+        check(Some("0"), 64);
+        check(Some("not-a-number"), 64);
+        check(Some("999999999"), 1024);
+        check(Some("1024"), 1024);
+        std::env::remove_var(VAR);
     }
 }

@@ -42,7 +42,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Once, OnceLock};
 
 /// Payload words per ring slot (one encoded [`FlightEvent`]).
-const WORDS: usize = 8;
+const WORDS: usize = 10;
 
 // ---- enable flag ------------------------------------------------------------
 
@@ -183,7 +183,7 @@ impl Method {
     }
 }
 
-/// One structured lifecycle event. Fixed-size, encodable into 8 atomic
+/// One structured lifecycle event. Fixed-size, encodable into 10 atomic
 /// words (the ring's slot payload).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlightEvent {
@@ -208,6 +208,13 @@ pub struct FlightEvent {
     /// Kind-specific extra: receive-post id on `Match`, segment offset on
     /// fragments, error code on `Error`.
     pub aux: u64,
+    /// Lamport clock of the rank that executed this event (see
+    /// [`crate::causal`]); 0 when causal tracing did not stamp the event.
+    pub lc: u64,
+    /// Lamport clock of this event's causal parent — for receive-side
+    /// events (`match`/`wire_modeled`/`complete`) the send-side clock that
+    /// travelled in the transfer's causal header; 0 for root events.
+    pub parent: u64,
 }
 
 impl FlightEvent {
@@ -225,6 +232,8 @@ impl FlightEvent {
             bytes: 0,
             method: Method::Unknown,
             aux: 0,
+            lc: 0,
+            parent: 0,
         }
     }
 
@@ -271,6 +280,18 @@ impl FlightEvent {
         self
     }
 
+    /// Builder: Lamport clock of the executing rank.
+    pub fn lc(mut self, lc: u64) -> Self {
+        self.lc = lc;
+        self
+    }
+
+    /// Builder: Lamport clock of the causal parent event.
+    pub fn parent(mut self, parent: u64) -> Self {
+        self.parent = parent;
+        self
+    }
+
     fn encode(&self) -> [u64; WORDS] {
         [
             self.id,
@@ -281,6 +302,8 @@ impl FlightEvent {
             (self.kind as u64) | ((self.method as u64) << 8),
             (self.src as u32 as u64) | ((self.dst as u32 as u64) << 32),
             self.tag as i64 as u64,
+            self.lc,
+            self.parent,
         ]
     }
 
@@ -296,6 +319,8 @@ impl FlightEvent {
             src: w[6] as u32 as i32,
             dst: (w[6] >> 32) as u32 as i32,
             tag: (w[7] as i64) as i32,
+            lc: w[8],
+            parent: w[9],
         })
     }
 
@@ -303,7 +328,7 @@ impl FlightEvent {
     /// numeric or fixed enum names, so no string escaping is needed.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"kind\":\"{}\",\"id\":{},\"t_ns\":{},\"dur_ns\":{},\"src\":{},\"dst\":{},\"tag\":{},\"bytes\":{},\"method\":\"{}\",\"aux\":{}}}",
+            "{{\"kind\":\"{}\",\"id\":{},\"t_ns\":{},\"dur_ns\":{},\"src\":{},\"dst\":{},\"tag\":{},\"bytes\":{},\"method\":\"{}\",\"aux\":{},\"lc\":{},\"parent\":{}}}",
             self.kind.as_str(),
             self.id,
             self.t_ns,
@@ -314,6 +339,8 @@ impl FlightEvent {
             self.bytes,
             self.method.as_str(),
             self.aux,
+            self.lc,
+            self.parent,
         )
     }
 }
@@ -476,9 +503,11 @@ pub fn record(mut ev: FlightEvent) {
 }
 
 /// Record one pack/unpack fragment with an externally-measured start
-/// (`start_ns` from [`clock`]). No-op when disabled or `id == 0`.
+/// (`start_ns` from [`clock`]) and the transfer's Lamport clock (`lc`,
+/// 0 when causal tracing is not stamping). No-op when disabled or
+/// `id == 0`.
 #[inline]
-pub fn record_frag(kind: EventKind, id: u64, start_ns: u64, bytes: u64, offset: u64) {
+pub fn record_frag(kind: EventKind, id: u64, start_ns: u64, bytes: u64, offset: u64, lc: u64) {
     if id == 0 || !enabled() {
         return;
     }
@@ -493,7 +522,8 @@ pub fn record_frag(kind: EventKind, id: u64, start_ns: u64, bytes: u64, offset: 
             .at(if start_ns == 0 { now } else { start_ns })
             .dur(dur)
             .bytes(bytes)
-            .aux(offset),
+            .aux(offset)
+            .lc(lc),
     );
 }
 
@@ -540,7 +570,7 @@ pub fn dump_jsonl(path: &Path) -> std::io::Result<usize> {
     evs.sort_by_key(|e| (e.t_ns, e.id));
     let mut out = String::with_capacity(128 + evs.len() * 128);
     out.push_str(&format!(
-        "{{\"kind\":\"flight_meta\",\"version\":1,\"events\":{},\"overflowed\":{},\"trace_dropped\":{}}}\n",
+        "{{\"kind\":\"flight_meta\",\"version\":2,\"events\":{},\"overflowed\":{},\"trace_dropped\":{}}}\n",
         evs.len(),
         overflowed(),
         crate::trace::dropped_events(),
@@ -580,6 +610,8 @@ mod tests {
             .bytes(4096)
             .method(Method::Pipelined)
             .aux(99)
+            .lc(17)
+            .parent(11)
     }
 
     #[test]
@@ -670,7 +702,8 @@ mod tests {
         assert!(s.starts_with("{\"kind\":\"frag_packed\",\"id\":9,"));
         assert!(s.contains("\"tag\":-7"));
         assert!(s.contains("\"method\":\"pipelined\""));
-        assert!(s.ends_with("\"aux\":99}"));
+        assert!(s.contains("\"aux\":99"));
+        assert!(s.ends_with("\"lc\":17,\"parent\":11}"));
     }
 }
 

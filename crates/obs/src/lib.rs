@@ -20,6 +20,13 @@
 //!   with `MPICD_FLIGHT=1`, which also arms dump-on-error and a
 //!   panic-hook dump. Dumps are JSON lines readable by the
 //!   `mpicd-inspect` analyzer (in `crates/bench`).
+//! * [`causal`] — per-rank Lamport clocks and the causal context header
+//!   that travels with each transfer, turning multi-rank flight dumps
+//!   into a cross-rank happens-before DAG (`mpicd-inspect critical-path`).
+//! * [`telemetry`] — continuous telemetry: windowed time-series counters
+//!   and streaming p50/p99 quantile sketches with Prometheus-style text
+//!   exposition (`MPICD_TELEMETRY=1`), at the same disabled-mode
+//!   one-relaxed-load cost discipline as the flight recorder.
 //! * [`metrics`] — a process-global registry of named [`Counter`]s and
 //!   log2-bucketed [`Histogram`]s with p50/p99/max summaries. Counters are
 //!   plain relaxed atomics and stay on even when tracing is off (they are
@@ -52,12 +59,14 @@
 //! obs::set_enabled(false);
 //! ```
 
+pub mod causal;
 pub mod config;
 pub mod export;
 pub mod flight;
 pub mod metrics;
 pub mod rng;
 pub mod sync;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -97,6 +106,9 @@ macro_rules! span {
 /// * when the flight recorder is enabled (`MPICD_FLIGHT=1` or
 ///   [`flight::set_enabled`]), dump the flight ring as JSON lines (path
 ///   from [`ObsConfig`], default `mpicd-flight.jsonl`);
+/// * when telemetry is enabled (`MPICD_TELEMETRY=1` or
+///   [`telemetry::set_enabled`]), write the Prometheus-style exposition
+///   (default `mpicd-telemetry.prom`);
 /// * when span tracing is enabled, write the Chrome trace-event file
 ///   (default `mpicd-trace.json`) and print the metrics summary table to
 ///   stderr.
@@ -110,6 +122,16 @@ pub fn flush() -> Option<std::path::PathBuf> {
         match export::write_metrics_json(mpath) {
             Ok(()) => eprintln!("[mpicd-obs] wrote metrics snapshot to {}", mpath.display()),
             Err(e) => eprintln!("[mpicd-obs] failed to write {}: {e}", mpath.display()),
+        }
+    }
+    if telemetry::enabled() {
+        let tpath = cfg.telemetry_path();
+        match telemetry::write_prometheus(&tpath) {
+            Ok(()) => eprintln!(
+                "[mpicd-obs] wrote telemetry exposition to {}",
+                tpath.display()
+            ),
+            Err(e) => eprintln!("[mpicd-obs] failed to write {}: {e}", tpath.display()),
         }
     }
     if flight::enabled() {

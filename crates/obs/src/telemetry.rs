@@ -1,0 +1,550 @@
+//! Continuous telemetry: windowed time-series counters and streaming
+//! p50/p99 quantile sketches with a Prometheus-style text exposition.
+//!
+//! The span tracer and flight recorder are *post-mortem* tools: they
+//! record, the run ends, an analyzer replays the dump. Soak runs and
+//! scale-out experiments need the opposite — cheap, always-on series that
+//! can be scraped while the process lives. This module provides exactly
+//! two primitives:
+//!
+//! * [`Series`] — a windowed time-series counter. Each add lands in the
+//!   wall-clock window of width `MPICD_TELEMETRY_WINDOW_MS` (default
+//!   1000 ms); the last [`WINDOWS`] windows are retained in a fixed ring,
+//!   alongside cumulative totals.
+//! * [`Sketch`] — a streaming quantile sketch over `u64` samples:
+//!   log-linear buckets (exact below 16, then 4 sub-buckets per octave,
+//!   ≤ 25% relative error) plus count/sum/max, answering p50/p99 at any
+//!   moment without storing samples.
+//!
+//! **Cost model.** Disabled (the default), [`Series::add`] and
+//! [`Sketch::record`] are one relaxed atomic load — the same discipline
+//! as [`crate::flight`]. Enabled, they are a handful of relaxed atomic
+//! RMWs on pre-allocated slots: registration ([`series`]/[`sketch`])
+//! allocates once behind a lock, the hot path never allocates and never
+//! locks. Handles are `Arc`s; cache them, don't re-look them up per
+//! event.
+//!
+//! [`crate::flush`] renders every registered instrument in Prometheus
+//! text-exposition format to `MPICD_TELEMETRY_PATH` (default
+//! `mpicd-telemetry.prom`) when telemetry is enabled
+//! (`MPICD_TELEMETRY=1` or [`set_enabled`]).
+
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::Mutex;
+use crate::time::now_ns;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Once, OnceLock};
+
+/// Windows retained by a [`Series`] ring (current plus history).
+pub const WINDOWS: usize = 8;
+
+/// Quantile-sketch bucket count: 16 exact values, then 4 sub-buckets per
+/// octave up to `u64::MAX`.
+pub const SKETCH_BUCKETS: usize = 256;
+
+// ---- enable flag ------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+
+fn init_from_env() {
+    ENV_INIT.call_once(|| {
+        if crate::config::current().telemetry {
+            ENABLED.store(true, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Whether telemetry is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    init_from_env();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enable or disable telemetry at runtime (overrides `MPICD_TELEMETRY`).
+pub fn set_enabled(on: bool) {
+    ENV_INIT.call_once(|| {});
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Timestamp helper for externally-timed sections: [`now_ns`] when
+/// telemetry is on, else 0 without touching the clock (one relaxed load,
+/// mirroring [`crate::flight::clock`]).
+#[inline]
+pub fn clock() -> u64 {
+    if enabled() {
+        now_ns()
+    } else {
+        0
+    }
+}
+
+// ---- windowed counter -------------------------------------------------------
+
+struct Window {
+    /// Wall-clock window index this slot currently holds, or `u64::MAX`
+    /// when never written.
+    epoch: AtomicU64,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A windowed time-series counter with cumulative totals.
+///
+/// Adds are attributed to the wall-clock window `now_ns / window_ns`;
+/// the ring keeps the [`WINDOWS`] most recent windows. Window turnover is
+/// advisory: an add racing a turnover may land in either neighbouring
+/// window (never lost from the cumulative totals). Obtain instances via
+/// [`series`].
+pub struct Series {
+    window_ns: u64,
+    windows: [Window; WINDOWS],
+    total_count: AtomicU64,
+    total_sum: AtomicU64,
+}
+
+impl std::fmt::Debug for Series {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (count, sum) = self.totals();
+        f.debug_struct("Series")
+            .field("window_ns", &self.window_ns)
+            .field("count", &count)
+            .field("sum", &sum)
+            .finish()
+    }
+}
+
+impl Series {
+    /// A standalone series not registered anywhere (unit tests, detached
+    /// metrics); `window_ns` is the window width in nanoseconds.
+    pub fn standalone(window_ns: u64) -> Self {
+        Self::new(window_ns)
+    }
+
+    fn new(window_ns: u64) -> Self {
+        Self {
+            window_ns: window_ns.max(1),
+            windows: std::array::from_fn(|_| Window {
+                epoch: AtomicU64::new(u64::MAX),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+            total_count: AtomicU64::new(0),
+            total_sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Add `v` to the current window. One relaxed atomic load when
+    /// telemetry is disabled.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.observe(v);
+    }
+
+    /// Ungated [`Self::add`] — records regardless of the enable flag.
+    /// The enabled-path implementation, and the seam unit tests use.
+    pub fn observe(&self, v: u64) {
+        let epoch = now_ns() / self.window_ns;
+        let w = &self.windows[(epoch % WINDOWS as u64) as usize];
+        let cur = w.epoch.load(Ordering::Relaxed);
+        if cur != epoch
+            && w.epoch
+                .compare_exchange(cur, epoch, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            // This thread turned the window over; reset its accumulators.
+            w.count.store(0, Ordering::Relaxed);
+            w.sum.store(0, Ordering::Relaxed);
+        }
+        w.count.fetch_add(1, Ordering::Relaxed);
+        w.sum.fetch_add(v, Ordering::Relaxed);
+        self.total_count.fetch_add(1, Ordering::Relaxed);
+        self.total_sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Cumulative `(count, sum)` since process start.
+    pub fn totals(&self) -> (u64, u64) {
+        (
+            self.total_count.load(Ordering::Relaxed),
+            self.total_sum.load(Ordering::Relaxed),
+        )
+    }
+
+    /// `(count, sum)` of the most recent *complete* window, i.e. the
+    /// window before the one `now` falls in — `(0, 0)` if it recorded
+    /// nothing.
+    pub fn last_window(&self) -> (u64, u64) {
+        let epoch = (now_ns() / self.window_ns).wrapping_sub(1);
+        self.window(epoch)
+    }
+
+    /// `(count, sum)` of the window currently being filled.
+    pub fn current_window(&self) -> (u64, u64) {
+        self.window(now_ns() / self.window_ns)
+    }
+
+    fn window(&self, epoch: u64) -> (u64, u64) {
+        let w = &self.windows[(epoch % WINDOWS as u64) as usize];
+        if w.epoch.load(Ordering::Acquire) != epoch {
+            return (0, 0);
+        }
+        (
+            w.count.load(Ordering::Relaxed),
+            w.sum.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The configured window width in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+}
+
+// ---- streaming quantile sketch ----------------------------------------------
+
+/// Bucket index for sample `v`: exact below 16, then 4 log-linear
+/// sub-buckets per power of two (≤ 25% relative error on the bound).
+fn sketch_bucket(v: u64) -> usize {
+    if v < 16 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros() as usize; // >= 4
+    let sub = ((v >> (octave - 2)) & 3) as usize;
+    (16 + (octave - 4) * 4 + sub).min(SKETCH_BUCKETS - 1)
+}
+
+/// Largest sample that lands in bucket `i` (inclusive upper bound).
+fn sketch_bound(i: usize) -> u64 {
+    if i < 16 {
+        return i as u64;
+    }
+    let octave = 4 + (i - 16) / 4;
+    let sub = ((i - 16) % 4) as u128;
+    // Bucket covers [ (4+sub) << (octave-2), (5+sub) << (octave-2) );
+    // the top bucket's open end exceeds u64, so compute in u128 and clamp.
+    let bound = ((5 + sub) << (octave - 2)) - 1;
+    bound.min(u64::MAX as u128) as u64
+}
+
+/// A streaming p50/p99 quantile sketch over `u64` samples.
+///
+/// Fixed [`SKETCH_BUCKETS`] log-linear buckets plus count/sum/max; no
+/// per-sample allocation, wait-free recording. Quantiles come back as the
+/// bucket's inclusive upper bound (≤ 25% above the true value), clamped
+/// to the exact observed maximum. Obtain instances via [`sketch`].
+pub struct Sketch {
+    buckets: Box<[AtomicU64; SKETCH_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for Sketch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sketch")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Sketch {
+    /// A standalone sketch not registered anywhere (unit tests, detached
+    /// metrics).
+    pub fn standalone() -> Self {
+        Self::new()
+    }
+
+    fn new() -> Self {
+        Self {
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a sample. One relaxed atomic load when telemetry is
+    /// disabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.observe(v);
+    }
+
+    /// Ungated [`Self::record`] — records regardless of the enable flag.
+    pub fn observe(&self, v: u64) {
+        self.buckets[sketch_bucket(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample observed (exact).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as a bucket upper bound clamped
+    /// to the exact max; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return sketch_bound(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+// ---- registry ---------------------------------------------------------------
+
+enum Instrument {
+    Series(Arc<Series>),
+    Sketch(Arc<Sketch>),
+}
+
+struct Registry {
+    instruments: Mutex<BTreeMap<&'static str, Instrument>>,
+    window_ns: u64,
+}
+
+fn registry() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    REG.get_or_init(|| Registry {
+        instruments: Mutex::new(BTreeMap::new()),
+        window_ns: crate::config::current()
+            .telemetry_window_ms
+            .saturating_mul(1_000_000)
+            .max(1),
+    })
+}
+
+/// The windowed counter registered under `name` (dotted lowercase, e.g.
+/// `"fabric.messages"`), creating it on first use. Registration takes a
+/// lock; cache the handle. Panics if `name` is already a sketch.
+pub fn series(name: &'static str) -> Arc<Series> {
+    let reg = registry();
+    let mut map = reg.instruments.lock();
+    match map
+        .entry(name)
+        .or_insert_with(|| Instrument::Series(Arc::new(Series::new(reg.window_ns))))
+    {
+        Instrument::Series(s) => Arc::clone(s),
+        Instrument::Sketch(_) => panic!("telemetry name {name:?} is already a sketch"),
+    }
+}
+
+/// The quantile sketch registered under `name` (dotted lowercase, e.g.
+/// `"fabric.wire_ns"`), creating it on first use. Registration takes a
+/// lock; cache the handle. Panics if `name` is already a series.
+pub fn sketch(name: &'static str) -> Arc<Sketch> {
+    let reg = registry();
+    let mut map = reg.instruments.lock();
+    match map
+        .entry(name)
+        .or_insert_with(|| Instrument::Sketch(Arc::new(Sketch::new())))
+    {
+        Instrument::Sketch(s) => Arc::clone(s),
+        Instrument::Series(_) => panic!("telemetry name {name:?} is already a series"),
+    }
+}
+
+// ---- Prometheus exposition --------------------------------------------------
+
+/// `fabric.wire_ns` → `mpicd_fabric_wire_ns` (metric-name charset).
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("mpicd_");
+    for c in name.chars() {
+        out.push(match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' => c,
+            _ => '_',
+        });
+    }
+    out
+}
+
+/// Render every registered instrument in Prometheus text-exposition
+/// format. Sketches render as `summary` metrics (p50/p99 quantiles, sum,
+/// count, max gauge); series render as `counter` totals plus a
+/// `_window` gauge pair (count/sum of the last complete window).
+pub fn render_prometheus() -> String {
+    let reg = registry();
+    let map = reg.instruments.lock();
+    let mut out = String::with_capacity(256 + map.len() * 256);
+    out.push_str(&format!(
+        "# mpicd telemetry exposition (window_ms={})\n",
+        reg.window_ns / 1_000_000
+    ));
+    for (name, inst) in map.iter() {
+        let p = prom_name(name);
+        match inst {
+            Instrument::Sketch(s) => {
+                out.push_str(&format!("# TYPE {p} summary\n"));
+                out.push_str(&format!("{p}{{quantile=\"0.5\"}} {}\n", s.p50()));
+                out.push_str(&format!("{p}{{quantile=\"0.99\"}} {}\n", s.p99()));
+                out.push_str(&format!("{p}_sum {}\n", s.sum()));
+                out.push_str(&format!("{p}_count {}\n", s.count()));
+                out.push_str(&format!("# TYPE {p}_max gauge\n{p}_max {}\n", s.max()));
+            }
+            Instrument::Series(s) => {
+                let (count, sum) = s.totals();
+                let (wc, ws) = s.last_window();
+                out.push_str(&format!("# TYPE {p}_total counter\n{p}_total {count}\n"));
+                out.push_str(&format!("# TYPE {p}_sum counter\n{p}_sum {sum}\n"));
+                out.push_str(&format!("# TYPE {p}_window gauge\n"));
+                out.push_str(&format!("{p}_window{{stat=\"count\"}} {wc}\n"));
+                out.push_str(&format!("{p}_window{{stat=\"sum\"}} {ws}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Write [`render_prometheus`] to `path`.
+pub fn write_prometheus(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, render_prometheus())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The enable flag is process-wide; unit tests exercise the ungated
+    // `observe` paths and pure bucket math. Gated end-to-end behaviour
+    // lives in the crate's integration tests (own processes).
+
+    #[test]
+    fn bucket_math_brackets_every_octave() {
+        let mut prev_bound = None;
+        for i in 0..SKETCH_BUCKETS {
+            let b = sketch_bound(i);
+            if let Some(p) = prev_bound {
+                assert!(b > p, "bounds strictly increase at bucket {i}");
+            }
+            prev_bound = Some(b);
+            // The bound itself must land in its own bucket.
+            assert_eq!(sketch_bucket(b), i, "bound of bucket {i} roundtrips");
+        }
+        for v in [0u64, 1, 15, 16, 17, 100, 1024, 1 << 20, u64::MAX / 2] {
+            let i = sketch_bucket(v);
+            assert!(sketch_bound(i) >= v, "upper bound covers {v}");
+            if i > 0 {
+                assert!(sketch_bound(i - 1) < v, "lower neighbour excludes {v}");
+            }
+            // ≤ 25% relative error from the log-linear sub-buckets.
+            assert!(sketch_bound(i) as f64 <= v as f64 * 1.25 + 1.0);
+        }
+        assert_eq!(sketch_bucket(u64::MAX), SKETCH_BUCKETS - 1);
+    }
+
+    #[test]
+    fn sketch_quantiles_track_a_known_distribution() {
+        let s = Sketch::new();
+        for v in 1..=100u64 {
+            s.observe(v * 10);
+        }
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.sum(), 50_500);
+        assert_eq!(s.max(), 1000);
+        let p50 = s.p50();
+        assert!((450..=650).contains(&p50), "p50 ≈ 500, got {p50}");
+        let p99 = s.p99();
+        assert!((950..=1000).contains(&p99), "p99 ≈ 990, got {p99}");
+        assert_eq!(s.quantile(1.0), 1000, "p100 is the exact max");
+    }
+
+    #[test]
+    fn empty_sketch_is_zeroed() {
+        let s = Sketch::new();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.max(), 0);
+    }
+
+    #[test]
+    fn series_accumulates_and_windows() {
+        // A huge window keeps every add in the current window.
+        let s = Series::new(u64::MAX);
+        s.observe(5);
+        s.observe(7);
+        assert_eq!(s.totals(), (2, 12));
+        assert_eq!(s.current_window(), (2, 12));
+        assert_eq!(s.last_window(), (0, 0), "no previous window yet");
+    }
+
+    #[test]
+    fn series_turns_windows_over() {
+        // A 1ns window: consecutive adds land in different windows, but
+        // the cumulative totals never lose an add.
+        let s = Series::new(1);
+        for _ in 0..50 {
+            s.observe(1);
+        }
+        assert_eq!(s.totals(), (50, 50));
+        let (cur_count, _) = s.current_window();
+        assert!(cur_count <= 50);
+    }
+
+    #[test]
+    fn prom_name_sanitizes() {
+        assert_eq!(prom_name("fabric.wire_ns"), "mpicd_fabric_wire_ns");
+        assert_eq!(prom_name("coll.op-rate"), "mpicd_coll_op_rate");
+    }
+
+    #[test]
+    fn exposition_contains_registered_instruments() {
+        sketch("test.expo_sketch").observe(42);
+        series("test.expo_series").observe(7);
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE mpicd_test_expo_sketch summary"));
+        assert!(text.contains("mpicd_test_expo_sketch{quantile=\"0.99\"}"));
+        assert!(text.contains("mpicd_test_expo_series_total 1"));
+        assert!(text.contains("mpicd_test_expo_series_sum 7"));
+    }
+
+    #[test]
+    fn registry_returns_same_instance() {
+        let a = sketch("test.same_sketch");
+        let b = sketch("test.same_sketch");
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = series("test.same_series");
+        let d = series("test.same_series");
+        assert!(Arc::ptr_eq(&c, &d));
+    }
+}

@@ -2,7 +2,7 @@
 //! may enable tracing or the flight recorder) so the default-off state is
 //! actually observable.
 
-use mpicd_obs::{flight, trace};
+use mpicd_obs::{causal, flight, telemetry, trace};
 
 #[test]
 fn disabled_spans_record_nothing() {
@@ -49,10 +49,39 @@ fn disabled_flight_recorder_records_nothing() {
     assert_eq!(flight::clock(7), 0, "clock never read when disabled");
 
     flight::record(flight::FlightEvent::new(flight::EventKind::PostSend, 7).bytes(64));
-    flight::record_frag(flight::EventKind::FragPacked, 7, 1, 64, 0);
+    flight::record_frag(flight::EventKind::FragPacked, 7, 1, 64, 0, 0);
 
     assert!(flight::events().is_empty(), "no events when disabled");
     assert_eq!(flight::overflowed(), 0);
+}
+
+#[test]
+fn disabled_telemetry_records_nothing() {
+    // Mirrors the flight.rs discipline: off by default, every hot-path
+    // entry point short-circuits on one relaxed atomic load, and nothing
+    // is accumulated while disabled.
+    assert!(!telemetry::enabled(), "telemetry must default to off");
+    assert_eq!(telemetry::clock(), 0, "clock never read when disabled");
+
+    let sk = telemetry::sketch("disabled.sketch");
+    let se = telemetry::series("disabled.series");
+    for v in [1u64, 1000, 1_000_000] {
+        sk.record(v);
+        se.add(v);
+    }
+    assert_eq!(sk.count(), 0, "disabled sketch records nothing");
+    assert_eq!(sk.p99(), 0);
+    assert_eq!(se.totals(), (0, 0), "disabled series accumulates nothing");
+}
+
+#[test]
+fn disabled_causal_capture_never_ticks() {
+    // A disabled flight recorder hands out id 0; capture must then be a
+    // pure zero-cost no-op that leaves the rank clock untouched.
+    let rank = 777; // owned by this test; no other test ticks it
+    let ctx = causal::CausalContext::capture(rank, flight::next_id());
+    assert_eq!(ctx, causal::CausalContext::default());
+    assert_eq!(causal::current(rank), 0, "no tick without a flight id");
 }
 
 #[test]

@@ -44,10 +44,22 @@ fn flight_ring_end_to_end() {
     let mark = flight::mark();
     let t0 = flight::clock(a);
     assert!(t0 > 0);
-    flight::record_frag(EventKind::FragPacked, a, t0, 512, 64);
+    flight::record_frag(EventKind::FragPacked, a, t0, 512, 64, 9);
     let evs = flight::events_since(mark);
     assert_eq!(evs.len(), 1);
     assert_eq!((evs[0].t_ns, evs[0].bytes, evs[0].aux), (t0, 512, 64));
+    assert_eq!(evs[0].lc, 9, "fragments carry the transfer's Lamport clock");
+
+    // Causal fields survive the ring.
+    let mark = flight::mark();
+    flight::record(
+        FlightEvent::new(EventKind::Match, a)
+            .ranks(0, 1)
+            .lc(21)
+            .parent(20),
+    );
+    let evs = flight::events_since(mark);
+    assert_eq!((evs[0].lc, evs[0].parent), (21, 20));
 
     // Overflow: write far past capacity; old events are lost, counted,
     // and the ring never yields more than its capacity.
@@ -66,7 +78,7 @@ fn flight_ring_end_to_end() {
     let _ = std::fs::remove_file(&path);
     let mut lines = text.lines();
     let meta = lines.next().unwrap();
-    assert!(meta.starts_with("{\"kind\":\"flight_meta\",\"version\":1,"));
+    assert!(meta.starts_with("{\"kind\":\"flight_meta\",\"version\":2,"));
     assert!(meta.contains(&format!("\"events\":{n}")));
     let body: Vec<&str> = lines.collect();
     assert_eq!(body.len(), n);

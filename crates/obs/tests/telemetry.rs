@@ -1,0 +1,59 @@
+//! Telemetry-registry behaviour with telemetry enabled. Runs in its own
+//! process (the enable flag is process-global and `disabled.rs` asserts
+//! the default-off state).
+
+use mpicd_obs::{telemetry, ObsConfig};
+
+#[test]
+fn telemetry_end_to_end() {
+    ObsConfig::default()
+        .telemetry(true)
+        .telemetry_window_ms(1_000)
+        .install();
+    assert!(telemetry::enabled());
+    assert!(telemetry::clock() > 0, "clock reads while enabled");
+
+    // Sketch: gated recording works and quantiles come back sane.
+    let lat = telemetry::sketch("test.lat_ns");
+    for v in 1..=100u64 {
+        lat.record(v * 1_000);
+    }
+    assert_eq!(lat.count(), 100);
+    assert_eq!(lat.max(), 100_000);
+    let p50 = lat.p50();
+    assert!((45_000..=65_000).contains(&p50), "p50 ≈ 50k, got {p50}");
+    assert!(lat.p99() >= p50, "quantiles are monotone");
+
+    // Series: adds accumulate into totals and the current window.
+    let msgs = telemetry::series("test.msgs");
+    for _ in 0..10 {
+        msgs.add(64);
+    }
+    assert_eq!(msgs.totals(), (10, 640));
+    let (wc, ws) = msgs.current_window();
+    assert_eq!((wc, ws), (10, 640), "1s window holds the whole burst");
+
+    // Exposition covers both instruments; flush writes it to the
+    // configured path.
+    let path = std::env::temp_dir().join(format!("mpicd-tele-test-{}.prom", std::process::id()));
+    ObsConfig::default()
+        .telemetry(true)
+        .telemetry_file(&path)
+        .install();
+    mpicd_obs::flush();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert!(text.contains("# TYPE mpicd_test_lat_ns summary"));
+    assert!(text.contains("mpicd_test_lat_ns{quantile=\"0.5\"}"));
+    assert!(text.contains("mpicd_test_lat_ns_count 100"));
+    assert!(text.contains("mpicd_test_msgs_total 10"));
+    assert!(text.contains("mpicd_test_msgs_sum 640"));
+
+    // Toggling off restores the disabled discipline.
+    telemetry::set_enabled(false);
+    lat.record(1);
+    msgs.add(1);
+    assert_eq!(lat.count(), 100, "no recording once disabled");
+    assert_eq!(msgs.totals(), (10, 640));
+    assert_eq!(telemetry::clock(), 0);
+}
