@@ -1,0 +1,176 @@
+//! Ablation: pack-kernel generations inside the plan compiler.
+//!
+//! Where `ablation_pack_plan` compares *engines* (convertor vs.
+//! interpreted vs. compiled), this binary holds the engine fixed — the
+//! compiled plan — and compares *kernel policies* on it:
+//!
+//! * **interpreted** — `commit_interpreted()`, the merged-block engine;
+//!   the Träff-style reference (a plan should never lose to it);
+//! * **legacy** — `MPICD_PLAN_KERNEL=legacy`: the PR 2 kernel set
+//!   (fixed4/8/16 for 4/8/16-byte blocks, byte-loop generic otherwise),
+//!   autotuner off;
+//! * **wide** — the static wide-word mapping (gather64/gather128/wide
+//!   for small blocks, software prefetch down long strides), autotuner
+//!   off (`MPICD_PLAN_TUNE=0`);
+//! * **tuned** — the same mapping with the autotuner racing candidate
+//!   kernels on the first large execution of each cached plan
+//!   (`MPICD_PLAN_TUNE=1`, the default).
+//!
+//! Patterns are the DDTBench set plus `REGISTER`, an array-of-struct
+//! record (3×i32 + f64 with trailing padding) whose alternating runs
+//! exercise the two-block `Pair` fusion. Byte identity against the
+//! interpreted engine is asserted for every pattern under every policy
+//! before anything is timed.
+
+use mpicd_bench::harness::Sample;
+use mpicd_bench::{emit_json, obs_finish, quick_mode, Table};
+use mpicd_datatype::{plan, Committed, Datatype, KernelPolicy};
+use std::time::Instant;
+
+/// Fragment size of the timed pack loop — the fabric's generic-payload
+/// default granularity.
+const FRAG: usize = 64 * 1024;
+
+/// Pack the full stream once through `FRAG`-sized fragments.
+fn pack_once(c: &Committed, base: &[u8], buf: &mut [u8]) -> usize {
+    let mut off = 0usize;
+    loop {
+        // SAFETY: `base` spans the committed type (asserted by the caller
+        // via `required_span` before timing).
+        let n = unsafe { c.pack_segment(base.as_ptr(), 1, off, buf) };
+        if n == 0 {
+            return off;
+        }
+        off += n;
+    }
+}
+
+/// Mean pack throughput in MB/s over `runs` timed repetitions.
+fn throughput(c: &Committed, base: &[u8], reps: usize, runs: usize) -> Sample {
+    let mut buf = vec![0u8; FRAG];
+    let bytes = (c.size() * reps) as f64;
+    let vals: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(pack_once(c, base, &mut buf));
+            }
+            bytes / t0.elapsed().as_secs_f64() / 1e6
+        })
+        .collect();
+    Sample::from_values(&vals)
+}
+
+/// The kernel-policy columns, in measurement order.
+fn policies() -> [(&'static str, KernelPolicy, bool); 3] {
+    [
+        ("legacy", KernelPolicy::Legacy, false),
+        ("wide", KernelPolicy::Auto, false),
+        ("tuned", KernelPolicy::Auto, true),
+    ]
+}
+
+/// One benchmarked pattern: name, datatype, and a backing buffer.
+fn patterns(target: usize) -> Vec<(String, Datatype, Vec<u8>)> {
+    let mut out = Vec::new();
+    for name in mpicd_ddtbench::BENCHMARKS {
+        let p = mpicd_ddtbench::make(name, target);
+        out.push((name.to_string(), p.datatype(), p.base().to_vec()));
+    }
+    // Array-of-struct record stream (SNIPPETS.md traffic-detector shape):
+    // {3×i32, pad, f64, pad} resized to a 32-byte extent — alternating
+    // 12/8-byte runs that fuse into one `Pair` op per record batch.
+    let field = Datatype::structure(vec![
+        (3, 0, Datatype::of::<i32>()),
+        (1, 16, Datatype::of::<f64>()),
+    ]);
+    let records = (target / 20).max(1);
+    let dt = Datatype::contiguous(records, Datatype::resized(0, 32, field));
+    let span = records * 32;
+    let base: Vec<u8> = (0..span).map(|i| (i % 251) as u8).collect();
+    out.push(("REGISTER".to_string(), dt, base));
+    out
+}
+
+fn main() {
+    let target = if quick_mode() { 128 * 1024 } else { 1 << 20 };
+    let runs = 4; // the paper's 4-run averaging
+    let mut tput = Table::new(
+        &format!("Ablation: pack kernel policy throughput ({target} B payloads)"),
+        "pattern",
+        "MB/s",
+        vec![
+            "interpreted".into(),
+            "legacy".into(),
+            "wide".into(),
+            "tuned".into(),
+            "× tuned vs legacy".into(),
+            "× tuned vs interp".into(),
+        ],
+    );
+
+    for (name, dt, base) in patterns(target) {
+        let interpreted = dt.commit_interpreted().expect("valid datatype");
+        let compiled = dt.commit().expect("valid datatype");
+        assert!(compiled.required_span(1) <= base.len());
+        let reference = interpreted.pack_slice(&base, 1).expect("interpreted pack");
+
+        // Byte identity under every policy before timing anything.
+        for (col, policy, tune) in policies() {
+            plan::set_kernel_policy(policy);
+            plan::set_tuning(tune);
+            assert_eq!(
+                compiled.pack_slice(&base, 1).expect("compiled pack"),
+                reference,
+                "{name}: compiled plan diverges under {col} policy"
+            );
+        }
+
+        // Calibrate repetitions to ~payload-independent wall time.
+        let reps = if quick_mode() {
+            4
+        } else {
+            ((256 << 20) / compiled.size().max(1)).clamp(8, 512)
+        };
+        let interp = throughput(&interpreted, &base, reps, runs);
+        let mut cols = vec![Some(interp)];
+        let mut by_policy = Vec::new();
+        for (_, policy, tune) in policies() {
+            plan::set_kernel_policy(policy);
+            plan::set_tuning(tune);
+            let s = throughput(&compiled, &base, reps, runs);
+            by_policy.push(s);
+            cols.push(Some(s));
+        }
+        let tuned = &by_policy[2];
+        cols.push(Some(Sample::point(tuned.mean / by_policy[0].mean, 0.0)));
+        cols.push(Some(Sample::point(tuned.mean / interp.mean, 0.0)));
+        tput.push(&name, cols);
+    }
+    plan::set_kernel_policy(KernelPolicy::Auto);
+    plan::set_tuning(true);
+
+    tput.print();
+    emit_json("ablation_kernel", &tput);
+
+    // Kernel observability: which kernel moved the bytes, and what the
+    // autotuner decided (see docs/PERFORMANCE.md).
+    let snap = mpicd_obs::global().snapshot();
+    println!("# kernel counters");
+    for name in [
+        "plan.kernel.memcpy_bytes",
+        "plan.kernel.fixed4_bytes",
+        "plan.kernel.fixed8_bytes",
+        "plan.kernel.fixed16_bytes",
+        "plan.kernel.gather64_bytes",
+        "plan.kernel.gather128_bytes",
+        "plan.kernel.wide_bytes",
+        "plan.kernel.generic_bytes",
+        "plan.tune.races",
+        "plan.tune.kept",
+        "plan.tune.switched",
+    ] {
+        println!("{name:<30} {}", snap.counter(name));
+    }
+    obs_finish();
+}

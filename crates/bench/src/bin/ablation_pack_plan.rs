@@ -145,6 +145,9 @@ fn main() {
         "plan.kernel.fixed4_bytes",
         "plan.kernel.fixed8_bytes",
         "plan.kernel.fixed16_bytes",
+        "plan.kernel.gather64_bytes",
+        "plan.kernel.gather128_bytes",
+        "plan.kernel.wide_bytes",
         "plan.kernel.generic_bytes",
     ] {
         println!("{name:<28} {}", snap.counter(name));

@@ -12,7 +12,7 @@ use std::path::PathBuf;
 use std::process::Command;
 
 /// Every figure/table binary, paper order.
-const BINARIES: [&str; 12] = [
+const BINARIES: [&str; 14] = [
     "fig01_double_vec_latency",
     "fig02_double_vec_bw",
     "fig03_struct_vec_latency",
@@ -25,6 +25,8 @@ const BINARIES: [&str; 12] = [
     "fig10_ddtbench",
     "table1_characteristics",
     "ablation_wire_model",
+    "ablation_pack_plan",
+    "ablation_kernel",
 ];
 
 fn main() {

@@ -117,6 +117,34 @@ fn every_env_knob_is_documented_in_design_md() {
 }
 
 #[test]
+fn every_env_knob_is_documented_in_performance_md() {
+    // docs/PERFORMANCE.md is the single-page tuning guide; its knob
+    // tables must cover the full `MPICD_*` surface, not a subset.
+    let root = workspace_root();
+    let perf = read(&root.join("docs/PERFORMANCE.md"));
+    let documented = scan(&perf, "MPICD_", |c| {
+        c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_'
+    });
+
+    let mut undocumented = BTreeSet::new();
+    for f in rust_sources(&root) {
+        let src = read(&f);
+        for knob in scan(&src, "MPICD_", |c| {
+            c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_'
+        }) {
+            if knob != "MPICD_" && !documented.contains(&knob) {
+                undocumented.insert(format!("{knob} (first seen in {})", f.display()));
+            }
+        }
+    }
+    assert!(
+        undocumented.is_empty(),
+        "env knobs read in source but missing from the docs/PERFORMANCE.md tables:\n  {}",
+        undocumented.into_iter().collect::<Vec<_>>().join("\n  ")
+    );
+}
+
+#[test]
 fn every_obs_counter_is_documented_in_architecture_md() {
     let root = workspace_root();
     let arch = read(&root.join("docs/ARCHITECTURE.md"));

@@ -39,6 +39,6 @@ pub use committed::Committed;
 pub use equivalence::{compatible, equivalent, signature, structural_key, type_map, StructuralKey};
 pub use error::{DatatypeError, DatatypeResult};
 pub use marshal::{marshal, marshal_with_context, unmarshal, unmarshal_with_context};
-pub use plan::{Kernel, PackPlan, PlanOp};
+pub use plan::{Kernel, KernelPolicy, PackPlan, PlanOp};
 pub use primitive::Primitive;
 pub use typ::Datatype;

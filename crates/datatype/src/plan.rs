@@ -11,27 +11,43 @@
 //! This module does the same at `commit()` time:
 //!
 //! 1. **Lower** the flattened block list into a short canonical list of
-//!    [`PlanOp`]s — contiguous run, 1-D constant-stride block array, or 2-D
-//!    nest of block arrays. A million-block NAS face collapses to one op.
-//! 2. **Select a copy kernel** per op at compile time: a straight `memcpy`
-//!    for contiguous runs, fixed-size copies for the ubiquitous 4/8/16-byte
-//!    blocks (a single load/store pair instead of a variable-length copy),
-//!    and a generic fallback for everything else.
-//! 3. **Cache** compiled plans in a process-wide registry keyed by the
+//!    [`PlanOp`]s — contiguous run, 1-D constant-stride block array, fused
+//!    two-block interleave, or 2-D nest of block arrays. A million-block
+//!    NAS face collapses to one op, and an array-of-struct layout whose
+//!    runs alternate between two lengths fuses into one [`PlanOp::Pair`].
+//! 2. **Select a copy kernel** per op at compile time ([`Kernel`]): a
+//!    straight `memcpy` for contiguous runs, fixed-size copies for the
+//!    ubiquitous 4/8/16-byte blocks, wide-word (u64/u128-chunked)
+//!    gather/scatter kernels for the remaining small blocks, and a generic
+//!    fallback for everything else.
+//! 3. **Autotune** the choice at run time: the first large execution of a
+//!    cached plan races the legal candidate kernels over disjoint chunks
+//!    of the real work (no byte is copied twice) and caches the winner
+//!    per (op, size class) alongside the plan — see [`set_tuning`] and
+//!    [`set_kernel_policy`].
+//! 4. **Cache** compiled plans in a process-wide registry keyed by the
 //!    structural type signature ([`crate::equivalence::structural_key`]),
 //!    so recommitting an equivalent type — benchmark harnesses and
-//!    long-running applications do this constantly — skips compilation.
+//!    long-running applications do this constantly — skips compilation
+//!    *and* inherits the tuned kernel choices.
 //!
 //! The executor keeps the engine's resumable contract: any byte range of
 //! the packed stream can be produced or consumed independently, so plans
 //! drop straight into the fabric's fragmented generic-payload path.
+//! Wide-word kernels only ever touch whole blocks; partial head/tail
+//! blocks of a segment go through the byte-accurate generic path, so a
+//! fragment boundary can fall anywhere — including mid-word.
 //!
 //! Observability: `plan.cache.hits` / `plan.cache.misses` count registry
-//! lookups and `plan.kernel.*_bytes` attribute every copied byte to the
-//! kernel that moved it (see `mpicd-obs`). Knobs: `MPICD_PLAN=0` disables
-//! compilation (interpreted engine everywhere), `MPICD_PLAN_CACHE=0`
-//! disables only the registry, `MPICD_PLAN_CACHE_CAP` bounds it
-//! (default 1024 plans).
+//! lookups, `plan.kernel.*_bytes` attribute every copied byte to the
+//! kernel that moved it, and `plan.tune.*` count autotuner races and
+//! their outcomes (see `mpicd-obs` and `docs/PERFORMANCE.md`). Knobs:
+//! `MPICD_PLAN=0` disables compilation (interpreted engine everywhere),
+//! `MPICD_PLAN_CACHE=0` disables only the registry,
+//! `MPICD_PLAN_CACHE_CAP` bounds it (default 1024 plans),
+//! `MPICD_PLAN_TUNE=0` freezes kernel choices at the static mapping, and
+//! `MPICD_PLAN_KERNEL` forces one kernel (or the `legacy` pre-wide-word
+//! mapping) everywhere it is legal — the ablation/debugging override.
 
 // Audited unsafe: compiled-plan kernels over raw memory; every unsafe block carries a SAFETY note.
 #![allow(unsafe_code)]
@@ -41,9 +57,12 @@ use crate::typ::Datatype;
 use mpicd_obs::metrics::Counter;
 use mpicd_obs::sync::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
-/// Copy kernel selected for an op when the plan is compiled.
+/// Copy kernel selected for an op when the plan is compiled (and possibly
+/// replaced at run time by the autotuner — see [`set_tuning`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Kernel {
     /// Unit-stride run: one `memcpy` of the whole op.
@@ -54,13 +73,51 @@ pub enum Kernel {
     Fixed8,
     /// Strided copy of 16-byte blocks (one 16-byte load/store per block).
     Fixed16,
+    /// Wide-word gather/scatter: groups of blocks that divide 8 bytes move
+    /// through one `u64` of the packed stream, with software prefetch
+    /// down long strides.
+    Gather64,
+    /// Wide-word gather/scatter through `u128` packed words — for blocks
+    /// dividing 16 bytes (e.g. two 8-byte doubles per packed store).
+    Gather128,
+    /// Per-block chunked wide copy (overlapping unaligned u128/u64/u32/u16
+    /// pieces) for arbitrary small blocks — a 12-byte block is two
+    /// overlapping 8-byte moves instead of a byte loop.
+    Wide,
     /// Strided copy of arbitrary-length blocks (variable-length copy).
     Generic,
 }
 
 impl Kernel {
-    /// Kernel for a strided op whose blocks are `block` bytes long.
-    fn for_block(block: usize) -> Self {
+    /// Static kernel mapping for a strided op whose blocks are `block`
+    /// bytes long. The autotuner ([`set_tuning`]) may override this at
+    /// run time; `MPICD_PLAN_KERNEL=legacy` restores the pre-wide-word
+    /// mapping (4/8/16 fixed, everything else generic).
+    ///
+    /// ```
+    /// use mpicd_datatype::Kernel;
+    /// assert_eq!(Kernel::for_block(8), Kernel::Fixed8);
+    /// // Small odd blocks ride the wide-word kernels, not the byte loop:
+    /// assert_eq!(Kernel::for_block(2), Kernel::Gather64);
+    /// assert_eq!(Kernel::for_block(12), Kernel::Wide);
+    /// // Very large blocks stay variable-length copies (memcpy wins).
+    /// assert_eq!(Kernel::for_block(4096), Kernel::Generic);
+    /// ```
+    pub fn for_block(block: usize) -> Self {
+        match block {
+            4 => Kernel::Fixed4,
+            8 => Kernel::Fixed8,
+            16 => Kernel::Fixed16,
+            1 | 2 => Kernel::Gather64,
+            b if b <= 64 => Kernel::Wide,
+            _ => Kernel::Generic,
+        }
+    }
+
+    /// The pre-wide-word mapping (PR 2): fixed kernels for 4/8/16-byte
+    /// blocks, the generic byte loop for everything else. Kept for the
+    /// `legacy` ablation policy.
+    fn legacy_for_block(block: usize) -> Self {
         match block {
             4 => Kernel::Fixed4,
             8 => Kernel::Fixed8,
@@ -76,8 +133,26 @@ impl Kernel {
             Kernel::Fixed4 => 1,
             Kernel::Fixed8 => 2,
             Kernel::Fixed16 => 3,
-            Kernel::Generic => 4,
+            Kernel::Gather64 => 4,
+            Kernel::Gather128 => 5,
+            Kernel::Wide => 6,
+            Kernel::Generic => 7,
         }
+    }
+
+    /// Inverse of [`Kernel::index`].
+    fn from_index(i: usize) -> Option<Kernel> {
+        Some(match i {
+            0 => Kernel::Memcpy,
+            1 => Kernel::Fixed4,
+            2 => Kernel::Fixed8,
+            3 => Kernel::Fixed16,
+            4 => Kernel::Gather64,
+            5 => Kernel::Gather128,
+            6 => Kernel::Wide,
+            7 => Kernel::Generic,
+            _ => return None,
+        })
     }
 
     /// Human-readable name (matches the obs counter suffix).
@@ -87,13 +162,365 @@ impl Kernel {
             Kernel::Fixed4 => "fixed4",
             Kernel::Fixed8 => "fixed8",
             Kernel::Fixed16 => "fixed16",
+            Kernel::Gather64 => "gather64",
+            Kernel::Gather128 => "gather128",
+            Kernel::Wide => "wide",
             Kernel::Generic => "generic",
+        }
+    }
+
+    /// Kernel for a `MPICD_PLAN_KERNEL`-style name.
+    fn parse(name: &str) -> Option<Kernel> {
+        Some(match name {
+            "memcpy" => Kernel::Memcpy,
+            "fixed4" => Kernel::Fixed4,
+            "fixed8" => Kernel::Fixed8,
+            "fixed16" => Kernel::Fixed16,
+            "gather64" => Kernel::Gather64,
+            "gather128" => Kernel::Gather128,
+            "wide" => Kernel::Wide,
+            "generic" => Kernel::Generic,
+            _ => return None,
+        })
+    }
+
+    /// Whether this kernel can execute a strided op with `block`-byte
+    /// blocks (the gathers need the block to divide their packed word).
+    fn legal_for_block(self, block: usize) -> bool {
+        match self {
+            Kernel::Memcpy => false, // contiguous runs only
+            Kernel::Fixed4 => block == 4,
+            Kernel::Fixed8 => block == 8,
+            Kernel::Fixed16 => block == 16,
+            Kernel::Gather64 => block != 0 && 8 % block == 0,
+            Kernel::Gather128 => block != 0 && 16 % block == 0,
+            Kernel::Wide | Kernel::Generic => true,
+        }
+    }
+
+    /// The kernels worth racing for a strided op with `block`-byte blocks,
+    /// static choice first. (`Gather64`/`Gather128` with `block == word`
+    /// degenerate to the fixed kernels plus software prefetch, which is
+    /// why they appear as candidates for 8- and 16-byte blocks.)
+    fn candidates(block: usize) -> &'static [Kernel] {
+        match block {
+            1 | 2 => &[Kernel::Gather64, Kernel::Gather128, Kernel::Generic],
+            4 => &[
+                Kernel::Fixed4,
+                Kernel::Gather64,
+                Kernel::Gather128,
+                Kernel::Generic,
+            ],
+            8 => &[
+                Kernel::Fixed8,
+                Kernel::Gather64,
+                Kernel::Gather128,
+                Kernel::Generic,
+            ],
+            16 => &[
+                Kernel::Fixed16,
+                Kernel::Gather128,
+                Kernel::Wide,
+                Kernel::Generic,
+            ],
+            b if b <= 64 => &[Kernel::Wide, Kernel::Generic],
+            _ => &[Kernel::Generic, Kernel::Wide],
         }
     }
 }
 
+/// Candidate kernels for a fused [`PlanOp::Pair`] op.
+const PAIR_CANDIDATES: &[Kernel] = &[Kernel::Wide, Kernel::Generic];
+
 /// Number of distinct [`Kernel`]s (size of the byte tallies).
-const KERNELS: usize = 5;
+const KERNELS: usize = 8;
+
+// ---- kernel-selection policy and autotuner state ---------------------------
+
+/// Run-time kernel-selection policy — see [`set_kernel_policy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPolicy {
+    /// Static block-size mapping ([`Kernel::for_block`]) plus the
+    /// autotuner when enabled. The default.
+    Auto,
+    /// The pre-wide-word mapping (fixed4/8/16 for 4/8/16-byte blocks,
+    /// generic byte loop otherwise), autotuner off. The ablation baseline.
+    Legacy,
+    /// Force one kernel everywhere it is legal; ops where it is illegal
+    /// keep their static choice. Deterministic — for ablation and debug.
+    Force(Kernel),
+}
+
+/// Encoded policy: `0` = environment not read yet.
+static POLICY: AtomicU8 = AtomicU8::new(0);
+/// Tuning toggle: `0` = environment not read yet, `1` = on, `2` = off.
+static TUNING: AtomicU8 = AtomicU8::new(0);
+
+fn encode_policy(p: KernelPolicy) -> u8 {
+    match p {
+        KernelPolicy::Auto => 1,
+        KernelPolicy::Legacy => 2,
+        KernelPolicy::Force(k) => 3 + k.index() as u8,
+    }
+}
+
+fn decode_policy(v: u8) -> Option<KernelPolicy> {
+    match v {
+        0 => None,
+        1 => Some(KernelPolicy::Auto),
+        2 => Some(KernelPolicy::Legacy),
+        v => Some(KernelPolicy::Force(Kernel::from_index(v as usize - 3)?)),
+    }
+}
+
+/// Accepted `MPICD_PLAN_KERNEL` values (validated loudly on first read).
+const POLICY_CHOICES: &[&str] = &[
+    "auto",
+    "legacy",
+    "memcpy",
+    "fixed4",
+    "fixed8",
+    "fixed16",
+    "gather64",
+    "gather128",
+    "wide",
+    "generic",
+];
+
+fn policy_from_env() -> KernelPolicy {
+    match mpicd_obs::config::env_choice("MPICD_PLAN_KERNEL", POLICY_CHOICES, "auto") {
+        "auto" => KernelPolicy::Auto,
+        "legacy" => KernelPolicy::Legacy,
+        name => KernelPolicy::Force(Kernel::parse(name).expect("choice list names kernels")),
+    }
+}
+
+/// The process-wide kernel-selection policy (`MPICD_PLAN_KERNEL` unless
+/// overridden programmatically).
+pub fn kernel_policy() -> KernelPolicy {
+    if let Some(p) = decode_policy(POLICY.load(Ordering::Relaxed)) {
+        return p;
+    }
+    let p = policy_from_env();
+    POLICY.store(encode_policy(p), Ordering::Relaxed);
+    p
+}
+
+/// Override the kernel-selection policy for this process (takes
+/// precedence over `MPICD_PLAN_KERNEL`). Plans already tuned keep their
+/// cached choices; the policy only controls how future executions pick.
+///
+/// ```
+/// use mpicd_datatype::{plan, Kernel, KernelPolicy};
+/// plan::set_kernel_policy(KernelPolicy::Force(Kernel::Gather128));
+/// assert_eq!(plan::kernel_policy(), KernelPolicy::Force(Kernel::Gather128));
+/// plan::set_kernel_policy(KernelPolicy::Auto);
+/// ```
+pub fn set_kernel_policy(p: KernelPolicy) {
+    POLICY.store(encode_policy(p), Ordering::Relaxed);
+}
+
+/// Whether the per-plan autotuner is enabled (`MPICD_PLAN_TUNE`, default
+/// on, unless overridden via [`set_tuning`]). When off, every op uses its
+/// static [`Kernel::for_block`] choice.
+pub fn tuning_enabled() -> bool {
+    match TUNING.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on = mpicd_obs::config::env_toggle("MPICD_PLAN_TUNE", true);
+            TUNING.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Enable/disable the autotuner for this process (takes precedence over
+/// `MPICD_PLAN_TUNE`).
+pub fn set_tuning(on: bool) {
+    TUNING.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Number of tuner size classes per op (see [`size_class`]).
+const SIZE_CLASSES: usize = 4;
+
+/// Bucket a per-call byte volume into a tuner size class: the kernel that
+/// wins on a 4 KiB fragment is not necessarily the winner on a 16 MiB
+/// stream, so choices are cached per (op, class).
+fn size_class(bytes: usize) -> usize {
+    if bytes < (16 << 10) {
+        0
+    } else if bytes < (256 << 10) {
+        1
+    } else if bytes < (4 << 20) {
+        2
+    } else {
+        3
+    }
+}
+
+/// Minimum bytes one call must move through an op before the tuner races
+/// candidates on it: below this, timing noise beats any kernel delta and
+/// the static choice is used (without caching a decision).
+const RACE_MIN_BYTES: usize = 64 * 1024;
+
+/// Per-op tuned-kernel slots, one per size class. `0` = undecided,
+/// `k + 1` = kernel with index `k` won the race. Lives inside the cached
+/// plan, so every user of the structural-signature cache shares the
+/// decision.
+#[derive(Debug, Default)]
+struct TuneBank {
+    slots: [AtomicU8; SIZE_CLASSES],
+}
+
+impl TuneBank {
+    fn get(&self, class: usize) -> Option<Kernel> {
+        let v = self.slots[class].load(Ordering::Relaxed);
+        Kernel::from_index(v.checked_sub(1)? as usize)
+    }
+
+    fn set(&self, class: usize, k: Kernel) {
+        self.slots[class].store(k.index() as u8 + 1, Ordering::Relaxed);
+    }
+}
+
+/// Per-run dispatch context, resolved once per `run()` call.
+#[derive(Clone, Copy)]
+struct Dispatch {
+    policy: KernelPolicy,
+    tune: bool,
+}
+
+/// Outcome of kernel selection for one op call.
+#[derive(Clone, Copy)]
+enum Choice {
+    /// Execute with this kernel.
+    Use(Kernel),
+    /// Undecided: race these candidates, cache under this size class.
+    Race(&'static [Kernel], usize),
+}
+
+/// Select the kernel for one op call. `block` is the pair length for
+/// `Pair` ops (`pair == true`), the block length otherwise; `bytes` is
+/// what this call will move through the op.
+fn choose(
+    ctx: Dispatch,
+    bank: &TuneBank,
+    static_k: Kernel,
+    block: usize,
+    pair: bool,
+    bytes: usize,
+) -> Choice {
+    match ctx.policy {
+        KernelPolicy::Legacy => Choice::Use(if pair {
+            Kernel::Generic
+        } else {
+            Kernel::legacy_for_block(block)
+        }),
+        KernelPolicy::Force(k) => {
+            let legal = if pair {
+                matches!(k, Kernel::Wide | Kernel::Generic)
+            } else {
+                k.legal_for_block(block)
+            };
+            Choice::Use(if legal { k } else { static_k })
+        }
+        KernelPolicy::Auto => {
+            if !ctx.tune {
+                return Choice::Use(static_k);
+            }
+            let class = size_class(bytes);
+            if let Some(k) = bank.get(class) {
+                return Choice::Use(k);
+            }
+            let cands = if pair {
+                PAIR_CANDIDATES
+            } else {
+                Kernel::candidates(block)
+            };
+            if bytes >= RACE_MIN_BYTES && cands.len() >= 2 {
+                Choice::Race(cands, class)
+            } else {
+                Choice::Use(static_k)
+            }
+        }
+    }
+}
+
+/// A challenger must beat the static kernel's ns/byte by this margin to
+/// overturn it — a sub-margin win on one fragment is indistinguishable
+/// from timing noise, and a wrong switch is sticky.
+const RACE_SWITCH_MARGIN: f64 = 0.9;
+
+/// Race candidate kernels over disjoint leading chunks of one op call.
+/// Each chunk is real work — no byte is copied twice — and `exec` is
+/// called as `exec(kernel, byte_offset, byte_budget) -> bytes_moved` with
+/// `byte_offset`/`byte_budget` both multiples of `unit`. Returns the
+/// winner (by ns/byte), the bytes already moved, and whether the race
+/// actually measured anything (a call too small to feed every candidate a
+/// meaningful share falls straight back to the static choice).
+fn race(
+    cands: &[Kernel],
+    static_k: Kernel,
+    unit: usize,
+    bytes: usize,
+    mut exec: impl FnMut(Kernel, usize, usize) -> usize,
+) -> (Kernel, usize, bool) {
+    let units = bytes / unit;
+    if units < cands.len() {
+        return (static_k, 0, false);
+    }
+    let share = (units / cands.len()) * unit;
+    let mut done = 0usize;
+    let mut best = (f64::INFINITY, static_k);
+    let mut static_score = f64::INFINITY;
+    for &k in cands {
+        if done >= bytes {
+            break;
+        }
+        let budget = share.min(bytes - done);
+        let t0 = Instant::now();
+        let n = exec(k, done, budget);
+        let dt = t0.elapsed().as_nanos() as f64;
+        if n == 0 {
+            break;
+        }
+        let score = dt / n as f64;
+        if k == static_k {
+            static_score = score;
+        }
+        if score < best.0 {
+            best = (score, k);
+        }
+        done += n;
+    }
+    let winner = if best.1 == static_k || best.0 < static_score * RACE_SWITCH_MARGIN {
+        best.1
+    } else {
+        static_k
+    };
+    (winner, done, true)
+}
+
+/// Record a race outcome: cache the winner and — when the race actually
+/// measured candidates — bump the `plan.tune.*` counters (`kept` when
+/// the static mapping already had it right, `switched` when the race
+/// overturned it).
+fn finish_race(bank: &TuneBank, class: usize, winner: Kernel, static_k: Kernel, measured: bool) {
+    bank.set(class, winner);
+    if !measured {
+        return;
+    }
+    let c = counters();
+    c.tune_races.inc();
+    if winner == static_k {
+        c.tune_kept.inc();
+    } else {
+        c.tune_switched.inc();
+    }
+}
+
+// ---- plan representation ---------------------------------------------------
 
 /// One strided-copy operation of a compiled plan, relative to the element
 /// base address. Ops appear in pack order; their packed lengths sum to the
@@ -118,6 +545,25 @@ pub enum PlanOp {
         /// Number of blocks.
         count: usize,
         /// Copy kernel selected for the block length.
+        kernel: Kernel,
+    },
+    /// `count` interleaved pairs of two runs (`block_a` then `block_b`
+    /// bytes) repeating at a constant period — the array-of-struct layout
+    /// whose runs alternate between two lengths, fused into one op.
+    Pair {
+        /// Byte offset of pair 0's first run from the element base.
+        mem: isize,
+        /// Offset of the second run within a pair, relative to the first.
+        delta: isize,
+        /// Distance between consecutive pair starts, in bytes.
+        stride: isize,
+        /// Bytes in the first run of each pair.
+        block_a: usize,
+        /// Bytes in the second run of each pair.
+        block_b: usize,
+        /// Number of pairs.
+        count: usize,
+        /// Copy kernel selected for the fused pair.
         kernel: Kernel,
     },
     /// `rows` repetitions of a strided block array — the doubly-nested
@@ -146,32 +592,44 @@ impl PlanOp {
         match *self {
             PlanOp::Contig { len, .. } => len,
             PlanOp::Strided { block, count, .. } => block * count,
+            PlanOp::Pair {
+                block_a,
+                block_b,
+                count,
+                ..
+            } => (block_a + block_b) * count,
             PlanOp::Nest2 {
                 rows, cols, block, ..
             } => rows * cols * block,
         }
     }
 
-    /// The copy kernel this op executes with.
+    /// The copy kernel this op executes with (statically; the autotuner
+    /// may pick a different one at run time).
     pub fn kernel(&self) -> Kernel {
         match *self {
             PlanOp::Contig { .. } => Kernel::Memcpy,
-            PlanOp::Strided { kernel, .. } | PlanOp::Nest2 { kernel, .. } => kernel,
+            PlanOp::Strided { kernel, .. }
+            | PlanOp::Pair { kernel, .. }
+            | PlanOp::Nest2 { kernel, .. } => kernel,
         }
     }
 }
 
 /// A compiled pack plan: the canonical op list for one element, plus the
-/// placement facts needed to execute over `count` consecutive elements.
+/// placement facts needed to execute over `count` consecutive elements,
+/// plus the autotuner's cached kernel choices.
 ///
 /// Byte-for-byte, a plan's output is identical to the interpreted engine's
-/// (asserted by the workspace property tests); only the loop structure and
-/// copy kernels differ.
+/// (asserted by the workspace property tests) under every kernel policy;
+/// only the loop structure and copy kernels differ.
 #[derive(Debug)]
 pub struct PackPlan {
     ops: Vec<PlanOp>,
     /// `prefix[i]` = packed bytes preceding op `i` within one element.
     prefix: Vec<usize>,
+    /// Per-op tuned-kernel slots (see [`TuneBank`]).
+    tune: Vec<TuneBank>,
     /// Packed bytes per element.
     size: usize,
     /// Element-to-element spacing in memory.
@@ -181,7 +639,8 @@ pub struct PackPlan {
 impl PackPlan {
     /// Compile a plan from a merged block list (see
     /// [`crate::Committed::blocks`]): coalesce adjacent runs, recognize
-    /// 1-D and 2-D strided groups, and select copy kernels.
+    /// 1-D strided groups, fuse alternating two-length runs, recognize
+    /// 2-D nests, and select copy kernels.
     pub fn compile(blocks: &[(isize, usize)], size: usize, extent: usize) -> Self {
         let _sp = mpicd_obs::span!("dt.plan_compile", "datatype", size);
         // Pass 0: re-coalesce defensively (inputs from `Committed::new` are
@@ -227,6 +686,60 @@ impl PackPlan {
             ops.push(PlanOp::Contig { mem, len: block });
             i += n;
         }
+
+        // Pass 1.5: fuse alternating two-length contiguous runs at a
+        // constant period into `Pair` ops — the array-of-struct layout
+        // (e.g. `{3×i32, f64}` with padding) whose unequal runs pass 1's
+        // equal-length grouping cannot touch.
+        let contig = |ops: &[PlanOp], j: usize| -> Option<(isize, usize)> {
+            match ops.get(j) {
+                Some(&PlanOp::Contig { mem, len }) => Some((mem, len)),
+                _ => None,
+            }
+        };
+        let mut fused: Vec<PlanOp> = Vec::with_capacity(ops.len());
+        let mut i = 0usize;
+        while i < ops.len() {
+            if let (Some((m0, a)), Some((m1, b)), Some((m2, a2)), Some((m3, b2))) = (
+                contig(&ops, i),
+                contig(&ops, i + 1),
+                contig(&ops, i + 2),
+                contig(&ops, i + 3),
+            ) {
+                let delta = m1 - m0;
+                let stride = m2 - m0;
+                if a2 == a && b2 == b && m3 - m2 == delta && stride != 0 {
+                    let mut pairs = 2usize;
+                    while let (Some((ma, la)), Some((mb, lb))) =
+                        (contig(&ops, i + 2 * pairs), contig(&ops, i + 2 * pairs + 1))
+                    {
+                        if la == a
+                            && lb == b
+                            && ma - m0 == stride * pairs as isize
+                            && mb - ma == delta
+                        {
+                            pairs += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    fused.push(PlanOp::Pair {
+                        mem: m0,
+                        delta,
+                        stride,
+                        block_a: a,
+                        block_b: b,
+                        count: pairs,
+                        kernel: Kernel::Wide,
+                    });
+                    i += 2 * pairs;
+                    continue;
+                }
+            }
+            fused.push(ops[i].clone());
+            i += 1;
+        }
+        let ops = fused;
 
         // Pass 2: fold repeated identical `Strided` ops at a constant row
         // stride into `Nest2` — the doubly-nested loop of a face exchange.
@@ -281,9 +794,11 @@ impl PackPlan {
             acc += op.packed_len();
         }
         debug_assert_eq!(acc, size, "plan covers exactly the packed size");
+        let tune = folded.iter().map(|_| TuneBank::default()).collect();
         Self {
             ops: folded,
             prefix,
+            tune,
             size,
             extent,
         }
@@ -361,6 +876,10 @@ impl PackPlan {
         if packed_off >= total {
             return 0;
         }
+        let ctx = Dispatch {
+            policy: kernel_policy(),
+            tune: tuning_enabled(),
+        };
         let goal = buf_len.min(total - packed_off);
         let mut remaining = goal;
         let mut tally = [0u64; KERNELS];
@@ -377,7 +896,16 @@ impl PackPlan {
             while remaining > 0 && oi < self.ops.len() {
                 let skip = within - self.prefix[oi];
                 let op = &self.ops[oi];
-                let n = exec_op::<PACK>(op, elem_base, skip, buf, remaining, &mut tally);
+                let n = exec_op::<PACK>(
+                    op,
+                    &self.tune[oi],
+                    ctx,
+                    elem_base,
+                    skip,
+                    buf,
+                    remaining,
+                    &mut tally,
+                );
                 buf = buf.add(n);
                 remaining -= n;
                 within += n;
@@ -404,6 +932,26 @@ fn strided_mem(op: &PlanOp) -> isize {
     }
 }
 
+// ---- copy kernels ----------------------------------------------------------
+
+/// Strides at or above this issue software prefetch in the wide-word
+/// kernels (short strides are already covered by hardware prefetchers).
+const PF_MIN_STRIDE: usize = 128;
+
+/// Prefetch distance, in blocks, for the wide-word kernels.
+const PF_AHEAD: isize = 16;
+
+/// Best-effort software prefetch of the cache line holding `p`.
+#[inline(always)]
+#[allow(unused_variables)]
+fn prefetch(p: *const u8) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint; it never faults, any address is fine.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(p.cast())
+    };
+}
+
 /// Direction-parametric byte copy between memory and the packed buffer.
 #[inline(always)]
 unsafe fn copy<const PACK: bool>(mem: *mut u8, buf: *mut u8, n: usize) {
@@ -411,6 +959,52 @@ unsafe fn copy<const PACK: bool>(mem: *mut u8, buf: *mut u8, n: usize) {
         std::ptr::copy_nonoverlapping(mem as *const u8, buf, n);
     } else {
         std::ptr::copy_nonoverlapping(buf as *const u8, mem, n);
+    }
+}
+
+/// Chunked wide copy of one block: unaligned `u128`/`u64`/`u32`/`u16`
+/// pieces with overlapping tails, so e.g. a 12-byte block is two
+/// overlapping 8-byte moves instead of a byte loop. Source and
+/// destination never overlap (user memory vs. the packed buffer).
+#[inline(always)]
+unsafe fn copy_wide<const PACK: bool>(mem: *mut u8, buf: *mut u8, n: usize) {
+    let (src, dst): (*const u8, *mut u8) = if PACK {
+        (mem as *const u8, buf)
+    } else {
+        (buf as *const u8, mem)
+    };
+    if n >= 16 {
+        let mut off = 0usize;
+        while off + 16 <= n {
+            (dst.add(off) as *mut u128)
+                .write_unaligned((src.add(off) as *const u128).read_unaligned());
+            off += 16;
+        }
+        if off < n {
+            let off = n - 16;
+            (dst.add(off) as *mut u128)
+                .write_unaligned((src.add(off) as *const u128).read_unaligned());
+        }
+    } else if n >= 8 {
+        let hi = n - 8;
+        let a = (src as *const u64).read_unaligned();
+        let b = (src.add(hi) as *const u64).read_unaligned();
+        (dst as *mut u64).write_unaligned(a);
+        (dst.add(hi) as *mut u64).write_unaligned(b);
+    } else if n >= 4 {
+        let hi = n - 4;
+        let a = (src as *const u32).read_unaligned();
+        let b = (src.add(hi) as *const u32).read_unaligned();
+        (dst as *mut u32).write_unaligned(a);
+        (dst.add(hi) as *mut u32).write_unaligned(b);
+    } else if n >= 2 {
+        let hi = n - 2;
+        let a = (src as *const u16).read_unaligned();
+        let b = (src.add(hi) as *const u16).read_unaligned();
+        (dst as *mut u16).write_unaligned(a);
+        (dst.add(hi) as *mut u16).write_unaligned(b);
+    } else if n == 1 {
+        *dst = *src;
     }
 }
 
@@ -427,6 +1021,71 @@ unsafe fn strided_fixed<const N: usize, const PACK: bool>(
         copy::<PACK>(mem, buf, N);
         mem = mem.offset(stride);
         buf = buf.add(N);
+    }
+}
+
+/// Wide-word gather/scatter: `W / B` blocks of `B` bytes share one
+/// `W`-byte word of the packed stream — fewer, wider packed-side accesses
+/// — with software prefetch down long strides. Remainder blocks (fewer
+/// than a full word) move individually; packed-stream chunk boundaries
+/// need no alignment because partial blocks never reach this kernel.
+#[inline(always)]
+unsafe fn strided_gather<const B: usize, const W: usize, const PACK: bool>(
+    mut mem: *mut u8,
+    stride: isize,
+    blocks: usize,
+    mut buf: *mut u8,
+) {
+    let lanes = W / B;
+    let pf = stride.unsigned_abs() >= PF_MIN_STRIDE;
+    for _ in 0..blocks / lanes {
+        let mut word = [0u8; W];
+        if PACK {
+            for l in 0..lanes {
+                if pf {
+                    prefetch(mem.wrapping_offset(stride * PF_AHEAD));
+                }
+                std::ptr::copy_nonoverlapping(mem as *const u8, word.as_mut_ptr().add(l * B), B);
+                mem = mem.offset(stride);
+            }
+            (buf as *mut [u8; W]).write(word);
+        } else {
+            word = (buf as *const [u8; W]).read();
+            for l in 0..lanes {
+                if pf {
+                    prefetch(mem.wrapping_offset(stride * PF_AHEAD));
+                }
+                std::ptr::copy_nonoverlapping(word.as_ptr().add(l * B), mem, B);
+                mem = mem.offset(stride);
+            }
+        }
+        buf = buf.add(W);
+    }
+    for _ in 0..blocks % lanes {
+        copy::<PACK>(mem, buf, B);
+        mem = mem.offset(stride);
+        buf = buf.add(B);
+    }
+}
+
+/// Arbitrary-block strided copy through [`copy_wide`], with software
+/// prefetch down long strides.
+#[inline(always)]
+unsafe fn strided_wide<const PACK: bool>(
+    mut mem: *mut u8,
+    stride: isize,
+    block: usize,
+    blocks: usize,
+    mut buf: *mut u8,
+) {
+    let pf = stride.unsigned_abs() >= PF_MIN_STRIDE;
+    for _ in 0..blocks {
+        if pf {
+            prefetch(mem.wrapping_offset(stride * PF_AHEAD));
+        }
+        copy_wide::<PACK>(mem, buf, block);
+        mem = mem.offset(stride);
+        buf = buf.add(block);
     }
 }
 
@@ -487,7 +1146,25 @@ unsafe fn strided_part<const PACK: bool>(
             Kernel::Fixed4 => strided_fixed::<4, PACK>(mem, stride, full, buf),
             Kernel::Fixed8 => strided_fixed::<8, PACK>(mem, stride, full, buf),
             Kernel::Fixed16 => strided_fixed::<16, PACK>(mem, stride, full, buf),
-            _ => strided_generic::<PACK>(mem, stride, block, full, buf),
+            Kernel::Gather64 => match block {
+                1 => strided_gather::<1, 8, PACK>(mem, stride, full, buf),
+                2 => strided_gather::<2, 8, PACK>(mem, stride, full, buf),
+                4 => strided_gather::<4, 8, PACK>(mem, stride, full, buf),
+                8 => strided_gather::<8, 8, PACK>(mem, stride, full, buf),
+                _ => strided_generic::<PACK>(mem, stride, block, full, buf),
+            },
+            Kernel::Gather128 => match block {
+                1 => strided_gather::<1, 16, PACK>(mem, stride, full, buf),
+                2 => strided_gather::<2, 16, PACK>(mem, stride, full, buf),
+                4 => strided_gather::<4, 16, PACK>(mem, stride, full, buf),
+                8 => strided_gather::<8, 16, PACK>(mem, stride, full, buf),
+                16 => strided_gather::<16, 16, PACK>(mem, stride, full, buf),
+                _ => strided_generic::<PACK>(mem, stride, block, full, buf),
+            },
+            Kernel::Wide => strided_wide::<PACK>(mem, stride, block, full, buf),
+            Kernel::Memcpy | Kernel::Generic => {
+                strided_generic::<PACK>(mem, stride, block, full, buf)
+            }
         }
         tally[kernel.index()] += (full * block) as u64;
         done += full * block;
@@ -504,10 +1181,188 @@ unsafe fn strided_part<const PACK: bool>(
     done
 }
 
+/// Copy packed bytes `[from, from + len)` of one pair (the `a` run
+/// followed by the `b` run) — the byte-accurate partial-pair path.
+/// Caller guarantees `from + len <= block_a + block_b`.
+unsafe fn pair_slice<const PACK: bool>(
+    pbase: *mut u8,
+    delta: isize,
+    block_a: usize,
+    block_b: usize,
+    mut from: usize,
+    mut len: usize,
+    mut buf: *mut u8,
+) {
+    debug_assert!(from + len <= block_a + block_b);
+    if from < block_a {
+        let n = (block_a - from).min(len);
+        copy::<PACK>(pbase.add(from), buf, n);
+        buf = buf.add(n);
+        from += n;
+        len -= n;
+    }
+    if len > 0 {
+        copy::<PACK>(pbase.offset(delta).add(from - block_a), buf, len);
+    }
+}
+
+/// Execute (part of) one fused two-run `Pair` op: skip `skip` packed
+/// bytes in, move at most `want` bytes, return bytes moved. Partial
+/// head/tail pairs are byte-accurate; whole pairs run the fused kernel.
+#[allow(clippy::too_many_arguments)]
+unsafe fn pair_part<const PACK: bool>(
+    mem0: *mut u8,
+    delta: isize,
+    stride: isize,
+    block_a: usize,
+    block_b: usize,
+    count: usize,
+    kernel: Kernel,
+    skip: usize,
+    want: usize,
+    mut buf: *mut u8,
+    tally: &mut [u64; KERNELS],
+) -> usize {
+    let pair_len = block_a + block_b;
+    let avail = pair_len * count - skip;
+    let want = want.min(avail);
+    let mut done = 0usize;
+    let mut pi = skip / pair_len;
+    let prem = skip % pair_len;
+    // Head: finish a partially consumed pair.
+    if prem != 0 {
+        let n = (pair_len - prem).min(want);
+        pair_slice::<PACK>(
+            mem0.offset(pi as isize * stride),
+            delta,
+            block_a,
+            block_b,
+            prem,
+            n,
+            buf,
+        );
+        tally[Kernel::Generic.index()] += n as u64;
+        done += n;
+        buf = buf.add(n);
+        if prem + n < pair_len {
+            return done;
+        }
+        pi += 1;
+    }
+    // Body: whole pairs through the fused kernel.
+    let full = (want - done) / pair_len;
+    if full > 0 {
+        let mut mem = mem0.offset(pi as isize * stride);
+        let pf = stride.unsigned_abs() >= PF_MIN_STRIDE;
+        let wide = matches!(kernel, Kernel::Wide);
+        for _ in 0..full {
+            if pf {
+                prefetch(mem.wrapping_offset(stride * 8));
+            }
+            if wide {
+                copy_wide::<PACK>(mem, buf, block_a);
+                copy_wide::<PACK>(mem.offset(delta), buf.add(block_a), block_b);
+            } else {
+                copy::<PACK>(mem, buf, block_a);
+                copy::<PACK>(mem.offset(delta), buf.add(block_a), block_b);
+            }
+            mem = mem.offset(stride);
+            buf = buf.add(pair_len);
+        }
+        let ki = if wide { Kernel::Wide } else { Kernel::Generic };
+        tally[ki.index()] += (full * pair_len) as u64;
+        done += full * pair_len;
+        pi += full;
+    }
+    // Tail: start of the next pair.
+    if done < want {
+        let n = want - done;
+        pair_slice::<PACK>(
+            mem0.offset(pi as isize * stride),
+            delta,
+            block_a,
+            block_b,
+            0,
+            n,
+            buf,
+        );
+        tally[Kernel::Generic.index()] += n as u64;
+        done += n;
+    }
+    done
+}
+
+/// Execute `nrows` whole rows of a `Nest2` op with kernel `k`, returning
+/// the bytes moved (`nrows * cols * block`). The wide-word kernels run a
+/// dedicated row loop — single dispatch, next-row prefetch, none of the
+/// per-row partial-block bookkeeping — which is where fine-grained nests
+/// like LAMMPS (6 blocks of 8 bytes per row) recover their loop overhead.
+/// The fixed/generic kernels keep the historical per-row path.
+#[allow(clippy::too_many_arguments)]
+unsafe fn nest2_rows<const PACK: bool>(
+    k: Kernel,
+    mem0: *mut u8,
+    row_stride: isize,
+    nrows: usize,
+    col_stride: isize,
+    cols: usize,
+    block: usize,
+    mut buf: *mut u8,
+    tally: &mut [u64; KERNELS],
+) -> usize {
+    let row_len = cols * block;
+    match k {
+        Kernel::Gather64 | Kernel::Gather128 => {
+            debug_assert!(k.legal_for_block(block));
+            let f: unsafe fn(*mut u8, isize, usize, *mut u8) = match (k, block) {
+                (Kernel::Gather64, 1) => strided_gather::<1, 8, PACK>,
+                (Kernel::Gather64, 2) => strided_gather::<2, 8, PACK>,
+                (Kernel::Gather64, 4) => strided_gather::<4, 8, PACK>,
+                (Kernel::Gather64, _) => strided_gather::<8, 8, PACK>,
+                (Kernel::Gather128, 1) => strided_gather::<1, 16, PACK>,
+                (Kernel::Gather128, 2) => strided_gather::<2, 16, PACK>,
+                (Kernel::Gather128, 4) => strided_gather::<4, 16, PACK>,
+                (Kernel::Gather128, 8) => strided_gather::<8, 16, PACK>,
+                _ => strided_gather::<16, 16, PACK>,
+            };
+            let mut mem = mem0;
+            for _ in 0..nrows {
+                prefetch(mem.wrapping_offset(row_stride));
+                f(mem, col_stride, cols, buf);
+                mem = mem.offset(row_stride);
+                buf = buf.add(row_len);
+            }
+            tally[k.index()] += (nrows * row_len) as u64;
+        }
+        Kernel::Wide => {
+            let mut mem = mem0;
+            for _ in 0..nrows {
+                prefetch(mem.wrapping_offset(row_stride));
+                strided_wide::<PACK>(mem, col_stride, block, cols, buf);
+                mem = mem.offset(row_stride);
+                buf = buf.add(row_len);
+            }
+            tally[Kernel::Wide.index()] += (nrows * row_len) as u64;
+        }
+        _ => {
+            let mut mem = mem0;
+            for _ in 0..nrows {
+                strided_part::<PACK>(mem, col_stride, block, cols, k, 0, row_len, buf, tally);
+                mem = mem.offset(row_stride);
+                buf = buf.add(row_len);
+            }
+        }
+    }
+    nrows * row_len
+}
+
 /// Execute (part of) one op at `skip` packed bytes in; returns bytes moved
 /// (`> 0` whenever `want > 0` and the op has bytes past `skip`).
+#[allow(clippy::too_many_arguments)]
 unsafe fn exec_op<const PACK: bool>(
     op: &PlanOp,
+    bank: &TuneBank,
+    ctx: Dispatch,
     elem_base: *mut u8,
     skip: usize,
     buf: *mut u8,
@@ -527,17 +1382,105 @@ unsafe fn exec_op<const PACK: bool>(
             block,
             count,
             kernel,
-        } => strided_part::<PACK>(
-            elem_base.offset(mem),
+        } => {
+            let mem0 = elem_base.offset(mem);
+            let bytes = want.min(block * count - skip);
+            match choose(ctx, bank, kernel, block, false, bytes) {
+                Choice::Race(cands, class) if skip.is_multiple_of(block) => {
+                    let (winner, mut done, measured) =
+                        race(cands, kernel, block, bytes, |k, off, budget| {
+                            strided_part::<PACK>(
+                                mem0,
+                                stride,
+                                block,
+                                count,
+                                k,
+                                skip + off,
+                                budget,
+                                buf.add(off),
+                                tally,
+                            )
+                        });
+                    finish_race(bank, class, winner, kernel, measured);
+                    if done < bytes {
+                        done += strided_part::<PACK>(
+                            mem0,
+                            stride,
+                            block,
+                            count,
+                            winner,
+                            skip + done,
+                            bytes - done,
+                            buf.add(done),
+                            tally,
+                        );
+                    }
+                    done
+                }
+                Choice::Race(..) => {
+                    strided_part::<PACK>(mem0, stride, block, count, kernel, skip, want, buf, tally)
+                }
+                Choice::Use(k) => {
+                    strided_part::<PACK>(mem0, stride, block, count, k, skip, want, buf, tally)
+                }
+            }
+        }
+        PlanOp::Pair {
+            mem,
+            delta,
             stride,
-            block,
+            block_a,
+            block_b,
             count,
             kernel,
-            skip,
-            want,
-            buf,
-            tally,
-        ),
+        } => {
+            let mem0 = elem_base.offset(mem);
+            let pair_len = block_a + block_b;
+            let bytes = want.min(pair_len * count - skip);
+            match choose(ctx, bank, kernel, pair_len, true, bytes) {
+                Choice::Race(cands, class) if skip.is_multiple_of(pair_len) => {
+                    let (winner, mut done, measured) =
+                        race(cands, kernel, pair_len, bytes, |k, off, budget| {
+                            pair_part::<PACK>(
+                                mem0,
+                                delta,
+                                stride,
+                                block_a,
+                                block_b,
+                                count,
+                                k,
+                                skip + off,
+                                budget,
+                                buf.add(off),
+                                tally,
+                            )
+                        });
+                    finish_race(bank, class, winner, kernel, measured);
+                    if done < bytes {
+                        done += pair_part::<PACK>(
+                            mem0,
+                            delta,
+                            stride,
+                            block_a,
+                            block_b,
+                            count,
+                            winner,
+                            skip + done,
+                            bytes - done,
+                            buf.add(done),
+                            tally,
+                        );
+                    }
+                    done
+                }
+                Choice::Race(..) => pair_part::<PACK>(
+                    mem0, delta, stride, block_a, block_b, count, kernel, skip, want, buf, tally,
+                ),
+                Choice::Use(k) => pair_part::<PACK>(
+                    mem0, delta, stride, block_a, block_b, count, k, skip, want, buf, tally,
+                ),
+            }
+        }
         PlanOp::Nest2 {
             mem,
             row_stride,
@@ -548,24 +1491,83 @@ unsafe fn exec_op<const PACK: bool>(
             kernel,
         } => {
             let row_len = cols * block;
+            let bytes = want.min(rows * row_len - skip);
             let mut row = skip / row_len;
-            let mut rskip = skip % row_len;
+            let rskip = skip % row_len;
             let mut done = 0usize;
-            while done < want && row < rows {
+            let choice = choose(ctx, bank, kernel, block, false, bytes);
+            let mut k = match choice {
+                Choice::Use(k) => k,
+                Choice::Race(..) => kernel,
+            };
+            // Head: finish a partially consumed row.
+            if rskip != 0 {
+                let m = elem_base.offset(mem + row as isize * row_stride);
+                let n =
+                    strided_part::<PACK>(m, col_stride, block, cols, k, rskip, bytes, buf, tally);
+                done += n;
+                if rskip + n < row_len {
+                    return done;
+                }
+                row += 1;
+            }
+            // Body: whole rows (racing candidates over row ranges first,
+            // if the tuner has no decision for this op yet).
+            let mut full = ((bytes - done) / row_len).min(rows - row);
+            if let Choice::Race(cands, class) = choice {
+                if full > 0 {
+                    let r0 = row;
+                    let base_done = done;
+                    let (winner, raced, measured) =
+                        race(cands, kernel, row_len, full * row_len, |kk, off, budget| {
+                            nest2_rows::<PACK>(
+                                kk,
+                                elem_base.offset(mem + (r0 + off / row_len) as isize * row_stride),
+                                row_stride,
+                                budget / row_len,
+                                col_stride,
+                                cols,
+                                block,
+                                buf.add(base_done + off),
+                                tally,
+                            )
+                        });
+                    finish_race(bank, class, winner, kernel, measured);
+                    k = winner;
+                    done += raced;
+                    row += raced / row_len;
+                    full = ((bytes - done) / row_len).min(rows - row);
+                }
+            }
+            if full > 0 {
+                let m = elem_base.offset(mem + row as isize * row_stride);
+                done += nest2_rows::<PACK>(
+                    k,
+                    m,
+                    row_stride,
+                    full,
+                    col_stride,
+                    cols,
+                    block,
+                    buf.add(done),
+                    tally,
+                );
+                row += full;
+            }
+            // Tail: start of the next row.
+            if done < bytes && row < rows {
                 let m = elem_base.offset(mem + row as isize * row_stride);
                 done += strided_part::<PACK>(
                     m,
                     col_stride,
                     block,
                     cols,
-                    kernel,
-                    rskip,
-                    want - done,
+                    k,
+                    0,
+                    bytes - done,
                     buf.add(done),
                     tally,
                 );
-                rskip = 0;
-                row += 1;
             }
             done
         }
@@ -580,6 +1582,9 @@ struct PlanCounters {
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     kernel_bytes: [Arc<Counter>; KERNELS],
+    tune_races: Arc<Counter>,
+    tune_kept: Arc<Counter>,
+    tune_switched: Arc<Counter>,
 }
 
 fn counters() -> &'static PlanCounters {
@@ -594,8 +1599,14 @@ fn counters() -> &'static PlanCounters {
                 r.counter("plan.kernel.fixed4_bytes"),
                 r.counter("plan.kernel.fixed8_bytes"),
                 r.counter("plan.kernel.fixed16_bytes"),
+                r.counter("plan.kernel.gather64_bytes"),
+                r.counter("plan.kernel.gather128_bytes"),
+                r.counter("plan.kernel.wide_bytes"),
                 r.counter("plan.kernel.generic_bytes"),
             ],
+            tune_races: r.counter("plan.tune.races"),
+            tune_kept: r.counter("plan.tune.kept"),
+            tune_switched: r.counter("plan.tune.switched"),
         }
     })
 }
@@ -612,28 +1623,25 @@ fn flush_tally(tally: &[u64; KERNELS]) {
 
 // ---- process-wide plan cache -----------------------------------------------
 
-/// Runtime knobs, read once from the environment.
+/// Runtime knobs, read once from the environment (all validated loudly —
+/// see `mpicd_obs::config`).
 struct PlanConfig {
-    /// `MPICD_PLAN` != "0": compile plans at `commit()` at all.
+    /// `MPICD_PLAN` (default on): compile plans at `commit()` at all.
     enabled: bool,
-    /// `MPICD_PLAN_CACHE` != "0": share compiled plans across commits.
+    /// `MPICD_PLAN_CACHE` (default on): share compiled plans across
+    /// commits.
     cache: bool,
-    /// `MPICD_PLAN_CACHE_CAP`: max cached plans (insertions stop beyond it).
+    /// `MPICD_PLAN_CACHE_CAP`: max cached plans (insertions stop beyond
+    /// it).
     cache_cap: usize,
 }
 
 fn config() -> &'static PlanConfig {
     static CFG: OnceLock<PlanConfig> = OnceLock::new();
-    CFG.get_or_init(|| {
-        let off = |var: &str| std::env::var(var).is_ok_and(|v| v == "0");
-        PlanConfig {
-            enabled: !off("MPICD_PLAN"),
-            cache: !off("MPICD_PLAN_CACHE"),
-            cache_cap: std::env::var("MPICD_PLAN_CACHE_CAP")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(1024),
-        }
+    CFG.get_or_init(|| PlanConfig {
+        enabled: mpicd_obs::config::env_toggle("MPICD_PLAN", true),
+        cache: mpicd_obs::config::env_toggle("MPICD_PLAN_CACHE", true),
+        cache_cap: mpicd_obs::config::env_bounded("MPICD_PLAN_CACHE_CAP", 1024, 1 << 24) as usize,
     })
 }
 
@@ -658,7 +1666,8 @@ pub fn cache_len() -> usize {
 /// `blocks`/`size`/`extent` are the already-flattened facts from
 /// [`crate::Committed`] (so a cache miss does not re-walk the tree). Two
 /// structurally equivalent types — same type map, extent and lower bound,
-/// regardless of which constructors described them — share one plan.
+/// regardless of which constructors described them — share one plan (and
+/// with it, the autotuner's kernel decisions).
 pub fn lookup_or_compile(
     t: &Datatype,
     blocks: &[(isize, usize)],
@@ -749,6 +1758,85 @@ mod tests {
     }
 
     #[test]
+    fn block_size_to_kernel_mapping_is_pinned() {
+        // The static mapping: fixed kernels for the ubiquitous power-of-two
+        // blocks, wide-word kernels for every other small block (the old
+        // mapping silently routed 2- and 12-byte blocks — traffic-detector
+        // struct fields — to the generic byte loop), memcpy-sized blocks
+        // stay generic.
+        let expect = [
+            (1, Kernel::Gather64),
+            (2, Kernel::Gather64),
+            (3, Kernel::Wide),
+            (4, Kernel::Fixed4),
+            (5, Kernel::Wide),
+            (6, Kernel::Wide),
+            (7, Kernel::Wide),
+            (8, Kernel::Fixed8),
+            (12, Kernel::Wide),
+            (16, Kernel::Fixed16),
+            (24, Kernel::Wide),
+            (64, Kernel::Wide),
+            (65, Kernel::Generic),
+            (4096, Kernel::Generic),
+        ];
+        for (block, kernel) in expect {
+            assert_eq!(Kernel::for_block(block), kernel, "block {block}");
+        }
+        // Every static choice must be legal for its block size.
+        for block in 1..=128usize {
+            assert!(
+                Kernel::for_block(block).legal_for_block(block),
+                "block {block}"
+            );
+            for k in Kernel::candidates(block) {
+                assert!(k.legal_for_block(block), "candidate {k:?} for {block}");
+            }
+        }
+    }
+
+    #[test]
+    fn alternating_runs_fuse_into_pair_op() {
+        // Array-of-struct: {3×i32 (12 B), pad, f64 (8 B), pad} per element,
+        // resized to a 32-byte extent — runs alternate 12/8 at a constant
+        // period, which pass 1 cannot group (unequal lengths) but pass 1.5
+        // fuses into one Pair op.
+        let field = Datatype::structure(vec![
+            (3, 0, Datatype::Predefined(Primitive::Int32)),
+            (1, 16, Datatype::Predefined(Primitive::Double)),
+        ]);
+        let t = Datatype::contiguous(32, Datatype::resized(0, 32, field));
+        let p = plan_of(&t);
+        assert_eq!(
+            p.ops(),
+            &[PlanOp::Pair {
+                mem: 0,
+                delta: 16,
+                stride: 32,
+                block_a: 12,
+                block_b: 8,
+                count: 32,
+                kernel: Kernel::Wide,
+            }]
+        );
+
+        // And the fused op is byte-identical to the interpreted engine,
+        // including suspend/resume at every packed offset.
+        let c = crate::Committed::new_interpreted(&t).unwrap();
+        let span = c.required_span(1);
+        let src: Vec<u8> = (0..span).map(|i| (i % 251) as u8).collect();
+        let full = c.pack_slice(&src, 1).unwrap();
+        for cut in 0..full.len() {
+            let mut out = vec![0u8; full.len()];
+            unsafe {
+                p.pack_segment(src.as_ptr(), 1, cut, &mut out[cut..]);
+                p.pack_segment(src.as_ptr(), 1, 0, &mut out[..cut]);
+            }
+            assert_eq!(out, full, "cut={cut}");
+        }
+    }
+
+    #[test]
     fn plan_pack_matches_interpreted_pack() {
         let t = Datatype::structure(vec![
             (3, 0, Datatype::Predefined(Primitive::Int32)),
@@ -789,6 +1877,99 @@ mod tests {
             }
             assert_eq!(out, full, "cut={cut}");
         }
+    }
+
+    #[test]
+    fn every_forced_kernel_is_byte_identical() {
+        // Byte identity must hold under every kernel policy — forced
+        // kernels (legal or not), the legacy mapping, and wide-word
+        // suspend/resume at every packed offset. This is the executor-side
+        // guarantee that lets the autotuner race candidates on live data.
+        let shapes = [
+            // Strided 8-byte blocks (gather lanes, mid-word resume).
+            Datatype::vector(37, 1, 2, Datatype::Predefined(Primitive::Double)),
+            // Strided 2-byte blocks (gather64's deepest lane count).
+            Datatype::vector(61, 1, 3, Datatype::Predefined(Primitive::Int16)),
+            // Nest2 of 8-byte blocks (row loop + gather).
+            Datatype::hvector(
+                5,
+                1,
+                96,
+                Datatype::hvector(4, 1, 16, Datatype::Predefined(Primitive::Double)),
+            ),
+            // 12-byte blocks (wide chunked copy).
+            Datatype::vector(23, 3, 5, Datatype::Predefined(Primitive::Int32)),
+        ];
+        let policies = [
+            KernelPolicy::Auto,
+            KernelPolicy::Legacy,
+            KernelPolicy::Force(Kernel::Fixed8),
+            KernelPolicy::Force(Kernel::Gather64),
+            KernelPolicy::Force(Kernel::Gather128),
+            KernelPolicy::Force(Kernel::Wide),
+            KernelPolicy::Force(Kernel::Generic),
+        ];
+        for t in &shapes {
+            let c = crate::Committed::new_interpreted(t).unwrap();
+            let p = plan_of(t);
+            let count = 2;
+            let span = c.required_span(count);
+            let src: Vec<u8> = (0..span).map(|i| (i % 241) as u8).collect();
+            let full = c.pack_slice(&src, count).unwrap();
+            for policy in policies {
+                set_kernel_policy(policy);
+                let step = (full.len() / 7).max(1);
+                for cut in (0..full.len()).step_by(step) {
+                    let mut out = vec![0u8; full.len()];
+                    unsafe {
+                        p.pack_segment(src.as_ptr(), count, cut, &mut out[cut..]);
+                        p.pack_segment(src.as_ptr(), count, 0, &mut out[..cut]);
+                    }
+                    assert_eq!(out, full, "{policy:?} cut={cut}");
+                    // And scatter back: unpack must invert pack bytewise.
+                    let mut dst = vec![0u8; span];
+                    unsafe {
+                        p.unpack_segment(dst.as_mut_ptr(), count, cut, &full[cut..]);
+                        p.unpack_segment(dst.as_mut_ptr(), count, 0, &full[..cut]);
+                    }
+                    assert_eq!(
+                        p_pack(&p, &dst, count, full.len()),
+                        full,
+                        "{policy:?} unpack cut={cut}"
+                    );
+                }
+            }
+            set_kernel_policy(KernelPolicy::Auto);
+        }
+    }
+
+    fn p_pack(p: &PackPlan, src: &[u8], count: usize, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        let n = unsafe { p.pack_segment(src.as_ptr(), count, 0, &mut out) };
+        assert_eq!(n, len);
+        out
+    }
+
+    #[test]
+    fn autotuner_races_once_and_caches_the_winner() {
+        set_tuning(true);
+        set_kernel_policy(KernelPolicy::Auto);
+        // One big strided op (512 KiB packed) — crosses RACE_MIN_BYTES.
+        let t = Datatype::vector(65_536, 1, 2, Datatype::Predefined(Primitive::Double));
+        let c = crate::Committed::new_interpreted(&t).unwrap();
+        let p = plan_of(&t);
+        let span = c.required_span(1);
+        let src: Vec<u8> = (0..span).map(|i| (i % 239) as u8).collect();
+        let reference = c.pack_slice(&src, 1).unwrap();
+
+        let races_before = mpicd_obs::global().snapshot().counter("plan.tune.races");
+        assert_eq!(p_pack(&p, &src, 1, reference.len()), reference);
+        let races_mid = mpicd_obs::global().snapshot().counter("plan.tune.races");
+        assert!(races_mid > races_before, "first large pack races");
+        // The decision is cached: repacking must not race again on this op.
+        assert_eq!(p_pack(&p, &src, 1, reference.len()), reference);
+        let races_after = mpicd_obs::global().snapshot().counter("plan.tune.races");
+        assert_eq!(races_mid, races_after, "winner cached in the plan");
     }
 
     #[test]

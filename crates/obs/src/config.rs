@@ -53,10 +53,52 @@ fn env_flag(value: &str) -> bool {
     !v.is_empty() && v != "0" && v != "false" && v != "off"
 }
 
+/// Parse an on/off knob with loud validation: unset (or empty) uses the
+/// default silently; `1`/`true`/`on`/`yes` enable and `0`/`false`/`off`/
+/// `no` disable (case-insensitive); anything else warns on stderr and
+/// falls back to the default instead of silently misbehaving.
+pub fn env_toggle(var: &str, default: bool) -> bool {
+    let Ok(raw) = std::env::var(var) else {
+        return default;
+    };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "" => default,
+        "1" | "true" | "on" | "yes" => true,
+        "0" | "false" | "off" | "no" => false,
+        _ => {
+            eprintln!(
+                "[mpicd-obs] WARNING: {var}={raw:?} is not a boolean \
+                 (1/0/true/false/on/off); using {default}"
+            );
+            default
+        }
+    }
+}
+
+/// Parse an enumerated knob with loud validation: returns the matching
+/// entry of `choices` (case-insensitive); unset or empty uses `default`
+/// silently, anything unrecognized warns on stderr and falls back.
+pub fn env_choice(var: &str, choices: &[&'static str], default: &'static str) -> &'static str {
+    let Ok(raw) = std::env::var(var) else {
+        return default;
+    };
+    let v = raw.trim().to_ascii_lowercase();
+    if v.is_empty() {
+        return default;
+    }
+    for c in choices {
+        if *c == v {
+            return c;
+        }
+    }
+    eprintln!("[mpicd-obs] WARNING: {var}={raw:?} is not one of {choices:?}; using {default:?}");
+    default
+}
+
 /// Parse a positive integer knob with loud validation: unset uses the
 /// default silently; `0`, garbage, or values above `max` warn on stderr
 /// and fall back (clamping to `max` for oversized values).
-fn env_bounded(var: &str, default: u64, max: u64) -> u64 {
+pub fn env_bounded(var: &str, default: u64, max: u64) -> u64 {
     let Ok(raw) = std::env::var(var) else {
         return default;
     };
@@ -358,6 +400,49 @@ mod tests {
         check(Some("not-a-number"), 64);
         check(Some("999999999"), 1024);
         check(Some("1024"), 1024);
+        std::env::remove_var(VAR);
+    }
+
+    #[test]
+    fn env_toggle_validates() {
+        // Env mutation is process-wide; this test owns its variable name.
+        const VAR: &str = "MPICDTEST_TOGGLE_KNOB";
+        let check = |val: Option<&str>, default: bool, expect: bool| {
+            match val {
+                Some(v) => std::env::set_var(VAR, v),
+                None => std::env::remove_var(VAR),
+            }
+            assert_eq!(env_toggle(VAR, default), expect, "value {val:?}");
+        };
+        check(None, true, true);
+        check(None, false, false);
+        check(Some("1"), false, true);
+        check(Some("ON"), false, true);
+        check(Some("0"), true, false);
+        check(Some("off"), true, false);
+        check(Some(""), false, false);
+        check(Some(""), true, true);
+        check(Some("banana"), true, true);
+        check(Some("banana"), false, false);
+        std::env::remove_var(VAR);
+    }
+
+    #[test]
+    fn env_choice_validates() {
+        const VAR: &str = "MPICDTEST_CHOICE_KNOB";
+        const CHOICES: &[&str] = &["auto", "legacy", "wide"];
+        let check = |val: Option<&str>, expect: &str| {
+            match val {
+                Some(v) => std::env::set_var(VAR, v),
+                None => std::env::remove_var(VAR),
+            }
+            assert_eq!(env_choice(VAR, CHOICES, "auto"), expect, "value {val:?}");
+        };
+        check(None, "auto");
+        check(Some("legacy"), "legacy");
+        check(Some(" WIDE "), "wide");
+        check(Some(""), "auto");
+        check(Some("nope"), "auto");
         std::env::remove_var(VAR);
     }
 }

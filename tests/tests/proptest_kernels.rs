@@ -1,0 +1,137 @@
+//! Byte-identity of the wide-word/autotuned pack kernels across every
+//! DDTBench pattern: the compiled plan must match the interpreted engine
+//! and the convertor baseline under every kernel policy — the static
+//! mapping, the legacy mapping, every forced kernel, and the autotuner —
+//! including suspend/resume at fragment boundaries that fall mid-word
+//! inside the gather kernels' packed chunks.
+//!
+//! The kernel policy is process-global, so all policy-sweeping logic
+//! lives in one `#[test]` (test threads share the globals).
+
+use mpicd_datatype::{plan, Kernel, KernelPolicy};
+
+#[test]
+fn ddtbench_identity_under_every_kernel_policy() {
+    let target = 32 * 1024;
+    let policies = [
+        KernelPolicy::Auto,
+        KernelPolicy::Legacy,
+        KernelPolicy::Force(Kernel::Fixed4),
+        KernelPolicy::Force(Kernel::Fixed8),
+        KernelPolicy::Force(Kernel::Fixed16),
+        KernelPolicy::Force(Kernel::Gather64),
+        KernelPolicy::Force(Kernel::Gather128),
+        KernelPolicy::Force(Kernel::Wide),
+        KernelPolicy::Force(Kernel::Generic),
+    ];
+
+    for name in mpicd_ddtbench::BENCHMARKS {
+        let p = mpicd_ddtbench::make(name, target);
+        let dt = p.datatype();
+        let convertor = dt.commit_convertor().unwrap();
+        let interpreted = dt.commit_interpreted().unwrap();
+        let compiled = dt.commit().unwrap();
+        let base = p.base();
+        assert!(compiled.required_span(1) <= base.len());
+
+        let reference = convertor.pack_slice(base, 1).unwrap();
+        assert_eq!(
+            interpreted.pack_slice(base, 1).unwrap(),
+            reference,
+            "{name}: interpreted diverges from convertor"
+        );
+
+        for policy in policies {
+            for tune in [false, true] {
+                plan::set_kernel_policy(policy);
+                plan::set_tuning(tune);
+                assert_eq!(
+                    compiled.pack_slice(base, 1).unwrap(),
+                    reference,
+                    "{name}: whole-stream pack diverges under {policy:?} tune={tune}"
+                );
+            }
+        }
+
+        // Suspend/resume at every flavor of awkward boundary: fragment
+        // sizes that are prime (never aligned to a block or packed word),
+        // exactly one wide word, and page-crossing. Under the gather
+        // kernels a 13-byte fragment ends mid-u64/mid-u128 constantly.
+        for policy in [
+            KernelPolicy::Force(Kernel::Gather64),
+            KernelPolicy::Force(Kernel::Gather128),
+            KernelPolicy::Force(Kernel::Wide),
+            KernelPolicy::Auto,
+        ] {
+            plan::set_kernel_policy(policy);
+            plan::set_tuning(false);
+            for frag in [13usize, 16, 4099] {
+                let mut acc = Vec::with_capacity(reference.len());
+                let mut off = 0usize;
+                loop {
+                    let mut buf = vec![0u8; frag];
+                    // SAFETY: `base` spans the committed type (asserted
+                    // via `required_span` above).
+                    let n = unsafe { compiled.pack_segment(base.as_ptr(), 1, off, &mut buf) };
+                    if n == 0 {
+                        break;
+                    }
+                    acc.extend_from_slice(&buf[..n]);
+                    off += n;
+                }
+                assert_eq!(
+                    acc, reference,
+                    "{name}: fragmented pack diverges under {policy:?} frag={frag}"
+                );
+
+                // Scatter the same fragments back out of order; repacking
+                // the result must reproduce the stream.
+                let mut dst = vec![0u8; compiled.required_span(1)];
+                let mut cuts: Vec<usize> = (0..reference.len()).step_by(frag).collect();
+                cuts.reverse();
+                for &c in &cuts {
+                    let end = (c + frag).min(reference.len());
+                    // SAFETY: `dst` spans the committed type.
+                    unsafe {
+                        compiled.unpack_segment(dst.as_mut_ptr(), 1, c, &reference[c..end]);
+                    }
+                }
+                assert_eq!(
+                    compiled.pack_slice(&dst, 1).unwrap(),
+                    reference,
+                    "{name}: fragmented unpack diverges under {policy:?} frag={frag}"
+                );
+            }
+        }
+
+        plan::set_kernel_policy(KernelPolicy::Auto);
+        plan::set_tuning(true);
+    }
+
+    // The autotuner itself: a large fine-grained pattern races candidates
+    // on its first big execution and the raced output is still identical.
+    let p = mpicd_ddtbench::make("LAMMPS", 1 << 20);
+    let dt = p.datatype();
+    let compiled = dt.commit().unwrap();
+    let reference = dt
+        .commit_interpreted()
+        .unwrap()
+        .pack_slice(p.base(), 1)
+        .unwrap();
+    let races_before = mpicd_obs::global().snapshot().counter("plan.tune.races");
+    assert_eq!(
+        compiled.pack_slice(p.base(), 1).unwrap(),
+        reference,
+        "LAMMPS: raced pack diverges"
+    );
+    assert_eq!(
+        compiled.pack_slice(p.base(), 1).unwrap(),
+        reference,
+        "LAMMPS: post-race pack diverges"
+    );
+    let races_after = mpicd_obs::global().snapshot().counter("plan.tune.races");
+    assert!(
+        races_after > races_before,
+        "large pack races candidates ({races_before} -> {races_after})"
+    );
+}
