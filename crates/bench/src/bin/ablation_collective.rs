@@ -1,0 +1,200 @@
+//! Ablation: collective algorithm scaling, 256–4096 simulated ranks.
+//!
+//! Running a real 4096-thread world is infeasible, so this binary replays
+//! each algorithm's communication *schedule* (`mpicd::coll_sched`) against
+//! the virtual clock costed by the 100 Gb/s InfiniBand wire model — the
+//! same machinery the `auto` collectives use for selection. A consistency
+//! test in `mpicd` pins the schedules to the real implementations
+//! message-for-message, and this binary additionally re-runs every
+//! algorithm in a real (thread-per-rank) world at a modest rank count and
+//! checks the results numerically before any table prints.
+//!
+//! Two tables:
+//!
+//! * **allreduce** — central (reduce-to-root + broadcast, the naive
+//!   baseline) vs ring (reduce-scatter + allgather) vs recursive
+//!   doubling, with the `auto` pick per row;
+//! * **tree** — flat (root serializes) vs binomial for broadcast and
+//!   gather, with the `auto` pick for gather rows.
+//!
+//! Self-checks (Träff self-consistency, asserted per row): the `auto`
+//! pick is never modeled slower than the naive baseline, and at ≥256
+//! ranks the best smart allreduce strictly beats central.
+
+use mpicd::coll_sched::{
+    makespan_ns, sched_allreduce_central, sched_allreduce_rd, sched_allreduce_ring,
+    sched_bcast_binomial, sched_gather_binomial, sched_gather_flat, sched_scatter_flat,
+};
+use mpicd::{
+    allreduce_f64_with, gather_bytes_with, scatter_bytes_with, select_allreduce, select_tree,
+    AllreduceAlgo, ReduceOp, TreeAlgo, World,
+};
+use mpicd_bench::harness::Sample;
+use mpicd_bench::{emit_json, obs_finish, quick_mode, Table};
+use mpicd_fabric::WireModel;
+
+/// Modeled makespan in microseconds.
+fn us(ns: f64) -> Sample {
+    Sample::point(ns / 1e3, 0.0)
+}
+
+/// Re-run every algorithm in a real thread-per-rank world and check the
+/// numbers; the schedules being benchmarked mirror these implementations.
+fn validate_real_execution(p: usize) {
+    let world = World::new(p);
+    let comms = world.comms();
+    std::thread::scope(|s| {
+        for c in &comms {
+            s.spawn(move || {
+                let r = c.rank() as f64;
+                let rank_sum: f64 = (0..p).map(|q| q as f64).sum();
+                for algo in [
+                    AllreduceAlgo::Central,
+                    AllreduceAlgo::Ring,
+                    AllreduceAlgo::RecursiveDoubling,
+                ] {
+                    let n = 3 * p + 1;
+                    let mut buf: Vec<f64> = (0..n).map(|i| r + i as f64).collect();
+                    allreduce_f64_with(c, &mut buf, ReduceOp::Sum, algo).unwrap();
+                    for (i, v) in buf.iter().enumerate() {
+                        assert!(
+                            (v - (rank_sum + (i * p) as f64)).abs() < 1e-9,
+                            "{algo:?} wrong at p={p} rank {} elem {i}",
+                            c.rank()
+                        );
+                    }
+                }
+                let mine = vec![c.rank() as u8; 8];
+                let mut back = vec![0u8; 8];
+                if c.rank() == 0 {
+                    let mut all = Vec::new();
+                    gather_bytes_with(c, &mine, Some(&mut all), 0, TreeAlgo::Binomial).unwrap();
+                    for q in 0..p {
+                        assert_eq!(&all[q * 8..(q + 1) * 8], vec![q as u8; 8].as_slice());
+                    }
+                    scatter_bytes_with(c, Some(&all), &mut back, 0, TreeAlgo::Binomial).unwrap();
+                } else {
+                    gather_bytes_with(c, &mine, None, 0, TreeAlgo::Binomial).unwrap();
+                    scatter_bytes_with(c, None, &mut back, 0, TreeAlgo::Binomial).unwrap();
+                }
+                assert_eq!(back, mine);
+            });
+        }
+    });
+}
+
+fn main() {
+    let (ranks, real_p): (&[usize], usize) = if quick_mode() {
+        (&[256], 16)
+    } else {
+        (&[256, 1024, 4096], 64)
+    };
+    validate_real_execution(real_p);
+    println!("real-execution validation ok (p={real_p})\n");
+
+    let model = WireModel::infiniband_100g();
+
+    let mut ar = Table::new(
+        "Ablation: allreduce scaling (modeled, 100 Gb/s InfiniBand)",
+        "ranks/vector",
+        "µs",
+        vec![
+            "central".into(),
+            "ring".into(),
+            "recursive-doubling".into(),
+            "auto pick".into(),
+            "× central vs auto".into(),
+        ],
+    );
+    for &p in ranks {
+        // Per-rank f64 vectors: latency-bound (one element per rank),
+        // medium, and bandwidth-bound.
+        for n in [p, 8 * 1024, 128 * 1024] {
+            let central = makespan_ns(p, &model, |c| sched_allreduce_central(p, n, 8, c));
+            let ring = makespan_ns(p, &model, |c| sched_allreduce_ring(p, n, 8, c));
+            let rd = makespan_ns(p, &model, |c| sched_allreduce_rd(p, n, 8, c));
+            let pick = select_allreduce(p, n, 8, &model);
+            let pick_ns = match pick {
+                AllreduceAlgo::Ring => ring,
+                AllreduceAlgo::RecursiveDoubling => rd,
+                _ => central,
+            };
+            // Träff self-consistency: auto must never lose to naive.
+            assert!(
+                pick_ns <= central,
+                "auto picked {pick:?} but it is modeled slower than central at p={p} n={n}"
+            );
+            // The scaling claim: smart allreduce wins at every 256+ point.
+            assert!(
+                ring.min(rd) < central,
+                "no smart allreduce beats central at p={p} n={n}"
+            );
+            ar.push(
+                format!("p={p}/{}", mpicd_bench::report::size_label(8 * n)),
+                vec![
+                    Some(us(central)),
+                    Some(us(ring)),
+                    Some(us(rd)),
+                    Some(us(pick_ns)),
+                    Some(Sample::point(central / pick_ns, 0.0)),
+                ],
+            );
+        }
+    }
+    ar.print();
+    emit_json("ablation_collective", &ar);
+
+    let mut tree = Table::new(
+        "Ablation: tree vs flat collectives (modeled, 100 Gb/s InfiniBand)",
+        "op/ranks/size",
+        "µs",
+        vec![
+            "flat".into(),
+            "binomial".into(),
+            "× flat vs binomial".into(),
+        ],
+    );
+    for &p in ranks {
+        for bytes in [256usize, 64 * 1024] {
+            // Broadcast: flat is the root serializing p-1 sends (the
+            // scatter-flat round structure with the full payload).
+            let bflat = makespan_ns(p, &model, |c| sched_scatter_flat(p, 0, bytes, c));
+            let btree = makespan_ns(p, &model, |c| sched_bcast_binomial(p, 0, bytes, c));
+            assert!(
+                btree < bflat,
+                "binomial bcast loses to flat at p={p} bytes={bytes}"
+            );
+            tree.push(
+                format!("bcast/p={p}/{}", mpicd_bench::report::size_label(bytes)),
+                vec![
+                    Some(us(bflat)),
+                    Some(us(btree)),
+                    Some(Sample::point(bflat / btree, 0.0)),
+                ],
+            );
+
+            let gflat = makespan_ns(p, &model, |c| sched_gather_flat(p, 0, bytes, c));
+            let gtree = makespan_ns(p, &model, |c| sched_gather_binomial(p, 0, bytes, c));
+            let gpick = select_tree(p, bytes, &model);
+            let gpick_ns = match gpick {
+                TreeAlgo::Binomial => gtree,
+                _ => gflat,
+            };
+            assert!(
+                gpick_ns <= gflat,
+                "auto picked {gpick:?} but it is modeled slower than flat at p={p} bytes={bytes}"
+            );
+            tree.push(
+                format!("gather/p={p}/{}", mpicd_bench::report::size_label(bytes)),
+                vec![
+                    Some(us(gflat)),
+                    Some(us(gtree)),
+                    Some(Sample::point(gflat / gtree, 0.0)),
+                ],
+            );
+        }
+    }
+    tree.print();
+    emit_json("ablation_collective_tree", &tree);
+    obs_finish();
+}

@@ -1,0 +1,467 @@
+//! Round-based communication schedules and a virtual-clock cost model for
+//! the collective algorithms in [`crate::collective`].
+//!
+//! Running a real 4096-thread world to compare collective algorithms is
+//! infeasible; instead, each algorithm's communication pattern is expressed
+//! as a *schedule* — a sequence of rounds, each a set of messages that
+//! proceed concurrently — and replayed against a [`VirtualClock`] whose
+//! per-hop costs come from the fabric's [`WireModel`]. The schedules mirror
+//! the real implementations message-for-message (a consistency test in
+//! `collective.rs` pins schedule message/byte counts to actual fabric
+//! traffic), so a schedule makespan is the modeled completion time of the
+//! real code at that scale.
+//!
+//! The same machinery powers algorithm *selection*: `auto` collectives
+//! compute candidate makespans at the actual (rank count, size) point and
+//! pick the winner, which makes the Träff-style self-consistency guideline
+//! ("a smarter algorithm must never lose to the naive one where it is
+//! selected") hold by construction.
+
+use mpicd_fabric::WireModel;
+
+/// One modeled point-to-point message within a schedule round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Msg {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Payload bytes.
+    pub bytes: usize,
+}
+
+/// Consumer of a schedule: receives each round's concurrent message set in
+/// schedule order. Implemented by [`VirtualClock`] (cost model) and
+/// [`MsgCounter`] (traffic accounting).
+pub trait RoundSink {
+    /// Observe one round. Messages within a round are concurrent;
+    /// successive rounds are dependent (a rank's round-`k + 1` traffic
+    /// starts after its round-`k` traffic).
+    fn round(&mut self, msgs: &[Msg]);
+}
+
+/// Per-rank virtual clocks advanced by replaying a schedule.
+///
+/// Each round is costed against a snapshot of the clocks at round entry: a
+/// message starts at `max(clock[src], clock[dst])` under the snapshot,
+/// takes [`WireModel::message_time_ns`] (eager/rendezvous chosen by size),
+/// and advances both endpoints to its end time. The makespan is the
+/// maximum clock after the last round.
+pub struct VirtualClock {
+    model: WireModel,
+    clock: Vec<f64>,
+    snap: Vec<f64>,
+}
+
+impl VirtualClock {
+    /// Zeroed clocks for `ranks` ranks costed under `model`.
+    pub fn new(ranks: usize, model: WireModel) -> Self {
+        Self {
+            model,
+            clock: vec![0.0; ranks],
+            snap: vec![0.0; ranks],
+        }
+    }
+
+    /// The modeled completion time (ns) of everything replayed so far.
+    pub fn makespan_ns(&self) -> f64 {
+        self.clock.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+impl RoundSink for VirtualClock {
+    fn round(&mut self, msgs: &[Msg]) {
+        self.snap.copy_from_slice(&self.clock);
+        for m in msgs {
+            let start = self.snap[m.src].max(self.snap[m.dst]);
+            let end = start
+                + self
+                    .model
+                    .message_time_ns(m.bytes, 1, self.model.is_rendezvous(m.bytes));
+            self.clock[m.src] = self.clock[m.src].max(end);
+            self.clock[m.dst] = self.clock[m.dst].max(end);
+        }
+    }
+}
+
+/// Message and byte totals of a schedule (for consistency checks against
+/// real fabric traffic).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MsgCounter {
+    /// Total messages across all rounds.
+    pub messages: u64,
+    /// Total payload bytes across all rounds.
+    pub bytes: u64,
+}
+
+impl RoundSink for MsgCounter {
+    fn round(&mut self, msgs: &[Msg]) {
+        self.messages += msgs.len() as u64;
+        self.bytes += msgs.iter().map(|m| m.bytes as u64).sum::<u64>();
+    }
+}
+
+/// Element range of ring chunk `c` when `n` elements split across `p`
+/// ranks (chunks differ by at most one element).
+fn chunk_bounds(n: usize, p: usize, c: usize) -> (usize, usize) {
+    (c * n / p, (c + 1) * n / p)
+}
+
+fn chunk_len(n: usize, p: usize, c: usize) -> usize {
+    let (lo, hi) = chunk_bounds(n, p, c);
+    hi - lo
+}
+
+/// Binomial-tree broadcast of `bytes` from `root` (the `bcast`
+/// implementation's tree, MPICH vrank rotation).
+pub fn sched_bcast_binomial(p: usize, root: usize, bytes: usize, sink: &mut impl RoundSink) {
+    if p <= 1 {
+        return;
+    }
+    let real = |v: usize| (v + root) % p;
+    let mut mask = 1usize;
+    let mut round = Vec::new();
+    while mask < p {
+        round.clear();
+        for v in 0..mask.min(p) {
+            if v + mask < p {
+                round.push(Msg {
+                    src: real(v),
+                    dst: real(v + mask),
+                    bytes,
+                });
+            }
+        }
+        sink.round(&round);
+        mask <<= 1;
+    }
+}
+
+/// Flat gather of one `block`-byte block per rank to `root`: the root
+/// receives serially, one message per round (the central loop in
+/// `gather_bytes`).
+pub fn sched_gather_flat(p: usize, root: usize, block: usize, sink: &mut impl RoundSink) {
+    for r in 0..p {
+        if r != root {
+            sink.round(&[Msg {
+                src: r,
+                dst: root,
+                bytes: block,
+            }]);
+        }
+    }
+}
+
+/// Binomial-tree gather: subtree leaders forward their accumulated blocks,
+/// doubling the payload per level (log₂ p rounds).
+pub fn sched_gather_binomial(p: usize, root: usize, block: usize, sink: &mut impl RoundSink) {
+    if p <= 1 {
+        return;
+    }
+    let real = |v: usize| (v + root) % p;
+    let mut mask = 1usize;
+    let mut round = Vec::new();
+    while mask < p {
+        round.clear();
+        // At level `mask`, every vrank with that bit set sends its subtree
+        // (min(mask, p - v) blocks) to vrank v - mask.
+        let mut v = mask;
+        while v < p {
+            if v & mask != 0 {
+                round.push(Msg {
+                    src: real(v),
+                    dst: real(v - mask),
+                    bytes: mask.min(p - v) * block,
+                });
+            }
+            v += mask;
+        }
+        sink.round(&round);
+        mask <<= 1;
+    }
+}
+
+/// Flat scatter from `root`, one message per round (the central loop in
+/// `scatter_bytes`).
+pub fn sched_scatter_flat(p: usize, root: usize, block: usize, sink: &mut impl RoundSink) {
+    for r in 0..p {
+        if r != root {
+            sink.round(&[Msg {
+                src: root,
+                dst: r,
+                bytes: block,
+            }]);
+        }
+    }
+}
+
+/// Binomial-tree scatter: the mirror of [`sched_gather_binomial`], payload
+/// halving per level from the root outward.
+pub fn sched_scatter_binomial(p: usize, root: usize, block: usize, sink: &mut impl RoundSink) {
+    if p <= 1 {
+        return;
+    }
+    let real = |v: usize| (v + root) % p;
+    let mut top = 1usize;
+    while top < p {
+        top <<= 1;
+    }
+    let mut mask = top >> 1;
+    let mut round = Vec::new();
+    while mask > 0 {
+        round.clear();
+        let mut v = 0usize;
+        while v < p {
+            // v is a subtree leader holding its children's blocks; at this
+            // level it peels off the upper half for child v + mask.
+            if v & mask == 0 && v + mask < p {
+                round.push(Msg {
+                    src: real(v),
+                    dst: real(v + mask),
+                    bytes: mask.min(p - (v + mask)) * block,
+                });
+            }
+            v += mask;
+        }
+        sink.round(&round);
+        mask >>= 1;
+    }
+}
+
+/// Central allreduce over `n` elements of `elem` bytes: everyone sends to
+/// rank 0 (received serially), followed by a binomial broadcast — the
+/// original `allreduce_f64` pattern.
+pub fn sched_allreduce_central(p: usize, n: usize, elem: usize, sink: &mut impl RoundSink) {
+    if p <= 1 {
+        return;
+    }
+    for r in 1..p {
+        sink.round(&[Msg {
+            src: r,
+            dst: 0,
+            bytes: n * elem,
+        }]);
+    }
+    sched_bcast_binomial(p, 0, n * elem, sink);
+}
+
+/// Ring allreduce: a reduce-scatter pass then an allgather pass, each
+/// `p - 1` rounds of `p` concurrent neighbor messages carrying one chunk
+/// (`≈ n / p` elements).
+pub fn sched_allreduce_ring(p: usize, n: usize, elem: usize, sink: &mut impl RoundSink) {
+    if p <= 1 {
+        return;
+    }
+    let mut round = Vec::with_capacity(p);
+    // Reduce-scatter: step s, rank r sends chunk (r - s) mod p rightward.
+    for s in 0..p - 1 {
+        round.clear();
+        for r in 0..p {
+            let c = (r + p - s % p) % p;
+            round.push(Msg {
+                src: r,
+                dst: (r + 1) % p,
+                bytes: chunk_len(n, p, c) * elem,
+            });
+        }
+        sink.round(&round);
+    }
+    // Allgather: step s, rank r sends chunk (r + 1 - s) mod p rightward.
+    for s in 0..p - 1 {
+        round.clear();
+        for r in 0..p {
+            let c = (r + 1 + p - s % p) % p;
+            round.push(Msg {
+                src: r,
+                dst: (r + 1) % p,
+                bytes: chunk_len(n, p, c) * elem,
+            });
+        }
+        sink.round(&round);
+    }
+}
+
+/// Recursive-doubling allreduce (MPICH non-power-of-two variant): the
+/// first `2 × rem` ranks fold even→odd, the surviving power-of-two group
+/// pairwise-exchanges full vectors for log₂ rounds, then the fold unwinds.
+pub fn sched_allreduce_rd(p: usize, n: usize, elem: usize, sink: &mut impl RoundSink) {
+    if p <= 1 {
+        return;
+    }
+    let bytes = n * elem;
+    let mut pof2 = 1usize;
+    while pof2 * 2 <= p {
+        pof2 *= 2;
+    }
+    let rem = p - pof2;
+    let mut round = Vec::new();
+    if rem > 0 {
+        round.clear();
+        for e in (0..2 * rem).step_by(2) {
+            round.push(Msg {
+                src: e,
+                dst: e + 1,
+                bytes,
+            });
+        }
+        sink.round(&round);
+    }
+    let real = |v: usize| if v < rem { v * 2 + 1 } else { v + rem };
+    let mut mask = 1usize;
+    while mask < pof2 {
+        round.clear();
+        for v in 0..pof2 {
+            let peer = v ^ mask;
+            // A sendrecv exchange is two messages; emit the v < peer pair
+            // once with both directions.
+            if v < peer {
+                round.push(Msg {
+                    src: real(v),
+                    dst: real(peer),
+                    bytes,
+                });
+                round.push(Msg {
+                    src: real(peer),
+                    dst: real(v),
+                    bytes,
+                });
+            }
+        }
+        sink.round(&round);
+        mask <<= 1;
+    }
+    if rem > 0 {
+        round.clear();
+        for e in (0..2 * rem).step_by(2) {
+            round.push(Msg {
+                src: e + 1,
+                dst: e,
+                bytes,
+            });
+        }
+        sink.round(&round);
+    }
+}
+
+/// Makespan (ns) of a schedule builder at `p` ranks under `model`.
+pub fn makespan_ns(p: usize, model: &WireModel, build: impl FnOnce(&mut VirtualClock)) -> f64 {
+    let mut clock = VirtualClock::new(p, *model);
+    build(&mut clock);
+    clock.makespan_ns()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count(f: impl FnOnce(&mut MsgCounter)) -> MsgCounter {
+        let mut c = MsgCounter::default();
+        f(&mut c);
+        c
+    }
+
+    #[test]
+    fn bcast_binomial_message_count() {
+        // A broadcast reaches p - 1 ranks with exactly p - 1 messages.
+        for p in [1usize, 2, 3, 5, 8, 13, 64] {
+            for root in [0, p - 1] {
+                let c = count(|s| sched_bcast_binomial(p, root, 100, s));
+                assert_eq!(c.messages, (p - 1) as u64, "p={p} root={root}");
+                assert_eq!(c.bytes, 100 * (p - 1) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_schedules_carry_every_block_once() {
+        for p in [1usize, 2, 3, 6, 8, 17] {
+            for root in [0, p / 2] {
+                let flat = count(|s| sched_gather_flat(p, root, 8, s));
+                let tree = count(|s| sched_gather_binomial(p, root, 8, s));
+                // Every non-root block crosses the wire; the tree forwards
+                // blocks multiple times, so only flat equals p - 1 blocks.
+                assert_eq!(flat.bytes, 8 * (p - 1) as u64);
+                assert!(tree.bytes >= flat.bytes);
+                // Binomial has ⌈log₂ p⌉ levels ⇒ far fewer serialized
+                // root receives. Message totals still cover every subtree.
+                assert_eq!(flat.messages, (p - 1) as u64);
+                // Each vrank sends to its parent exactly once.
+                assert_eq!(tree.messages, (p - 1) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_binomial_mirrors_gather() {
+        for p in [2usize, 3, 6, 8, 17] {
+            for root in [0, p - 1] {
+                let g = count(|s| sched_gather_binomial(p, root, 8, s));
+                let sc = count(|s| sched_scatter_binomial(p, root, 8, s));
+                assert_eq!(g.messages, sc.messages, "p={p} root={root}");
+                assert_eq!(g.bytes, sc.bytes, "p={p} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_moves_two_passes_of_the_vector() {
+        // Reduce-scatter + allgather each carry (p-1)/p of the vector per
+        // rank: total bytes = 2 (p-1) n elem.
+        for p in [2usize, 4, 5, 8] {
+            let n = 40;
+            let c = count(|s| sched_allreduce_ring(p, n, 8, s));
+            assert_eq!(c.messages, (2 * p * (p - 1)) as u64);
+            assert_eq!(c.bytes, (2 * (p - 1) * n * 8) as u64);
+        }
+    }
+
+    #[test]
+    fn rd_exchanges_full_vectors_per_level() {
+        for p in [2usize, 4, 8, 16] {
+            let c = count(|s| sched_allreduce_rd(p, 16, 8, s));
+            // Power of two: log2(p) rounds of p messages.
+            assert_eq!(c.messages, (p * p.ilog2() as usize) as u64);
+        }
+        // Non-power-of-two adds the fold and unfold messages.
+        let c = count(|s| sched_allreduce_rd(6, 16, 8, s));
+        assert_eq!(c.messages, 2 + 4 * 2 + 2);
+    }
+
+    #[test]
+    fn virtual_clock_respects_round_dependencies() {
+        // Two dependent rounds on the same pair cost twice one message;
+        // two concurrent disjoint messages cost the same as one.
+        let m = WireModel::default();
+        let one = m.message_time_ns(100, 1, false);
+        let mut vc = VirtualClock::new(4, m);
+        vc.round(&[
+            Msg {
+                src: 0,
+                dst: 1,
+                bytes: 100,
+            },
+            Msg {
+                src: 2,
+                dst: 3,
+                bytes: 100,
+            },
+        ]);
+        assert!((vc.makespan_ns() - one).abs() < 1e-6);
+        vc.round(&[Msg {
+            src: 1,
+            dst: 2,
+            bytes: 100,
+        }]);
+        assert!((vc.makespan_ns() - 2.0 * one).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binomial_bcast_beats_flat_serialization_in_model() {
+        // log p concurrent rounds vs p - 1 serialized sends.
+        let m = WireModel::default();
+        let p = 256;
+        let tree = makespan_ns(p, &m, |c| sched_bcast_binomial(p, 0, 1024, c));
+        let flat = makespan_ns(p, &m, |c| sched_scatter_flat(p, 0, 1024, c));
+        assert!(tree < flat / 4.0, "tree {tree} flat {flat}");
+    }
+}

@@ -219,6 +219,53 @@ impl PipelineConfig {
     }
 }
 
+/// Configuration of the tag-matching engine (the `matching` module).
+///
+/// Environment knob, read once per process by [`MatchConfig::from_env`]:
+///
+/// * `MPICD_MATCH_BUCKETS` — hash-bucket count of the exact-match
+///   `(source, tag)` index in each per-destination queue, rounded up to a
+///   power of two and clamped to `1..=65536`. `1` degenerates to the old
+///   linear-scan matcher (every envelope shares one bucket). Default: 64.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchConfig {
+    /// Exact-match hash buckets per queue (power of two, `1..=65536`).
+    pub buckets: usize,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        Self { buckets: 64 }
+    }
+}
+
+impl MatchConfig {
+    /// The process-wide default, from `MPICD_MATCH_BUCKETS` (read once and
+    /// cached, like the other `MPICD_*` knob families; garbage values warn
+    /// on stderr and fall back to the default).
+    pub fn from_env() -> Self {
+        static CFG: std::sync::OnceLock<MatchConfig> = std::sync::OnceLock::new();
+        *CFG.get_or_init(|| MatchConfig {
+            buckets: mpicd_obs::config::env_bounded("MPICD_MATCH_BUCKETS", 64, 1 << 16) as usize,
+        })
+    }
+
+    /// The degenerate single-bucket engine: exact matches share one queue
+    /// with the wildcard sideline, reproducing the old linear matcher's
+    /// scan cost. Benchmarks use this as the comparison baseline.
+    pub fn linear() -> Self {
+        Self { buckets: 1 }
+    }
+
+    /// An explicit bucket count (benchmarks and tests sweeping the knob
+    /// without touching the environment).
+    pub fn with_buckets(buckets: usize) -> Self {
+        Self {
+            buckets: buckets.max(1),
+        }
+    }
+}
+
 /// Bound on the eager bounce-buffer freelist (buffer count). A burst of
 /// eager sends would otherwise retain peak memory forever. Knob:
 /// `MPICD_BOUNCE_POOL_CAP` (read once per process; default 64, `0` disables
@@ -246,6 +293,14 @@ mod tests {
         assert_eq!(p.threads, 4);
         assert_eq!(p.depth, 8);
         assert_eq!(PipelineConfig::with_threads(0).threads, 1);
+    }
+
+    #[test]
+    fn match_config_constructors() {
+        assert_eq!(MatchConfig::default().buckets, 64);
+        assert_eq!(MatchConfig::linear().buckets, 1);
+        assert_eq!(MatchConfig::with_buckets(0).buckets, 1);
+        assert_eq!(MatchConfig::with_buckets(256).buckets, 256);
     }
 
     #[test]

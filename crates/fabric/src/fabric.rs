@@ -21,9 +21,9 @@
 #![allow(unsafe_code)]
 
 use crate::clock::WireLedger;
-use crate::config::{bounce_pool_cap, PipelineConfig, WireModel};
+use crate::config::{bounce_pool_cap, MatchConfig, PipelineConfig, WireModel};
 use crate::error::{FabricError, FabricResult};
-use crate::matching::{Envelope, Selector, Tag};
+use crate::matching::{Envelope, RecvQueue, Selector, SendQueue, Tag};
 use crate::payload::{IovEntry, IovEntryMut, RecvDesc, SendDesc};
 use crate::pipeline::{self, PipelinePool};
 use crate::request::{ReqState, Request};
@@ -57,20 +57,32 @@ enum PendKind {
     Deferred { desc: SendDesc, req: Arc<ReqState> },
 }
 
-/// A posted receive waiting for a matching send.
+/// A posted receive waiting for a matching send. The selector lives in the
+/// matching engine (it is the queue key), not here.
 struct PostedRecv {
-    sel: Selector,
     desc: RecvDesc,
     req: Arc<ReqState>,
     /// Flight-recorder id of the receive post (0 = off).
     fid: u64,
 }
 
+/// A send whose deferred request has completed (cancelled) is dead weight
+/// in the unexpected queue; the engine tombstones it when scanned past.
+fn send_is_dead(p: &PendingSend) -> bool {
+    matches!(&p.kind, PendKind::Deferred { req, .. } if req.is_done())
+}
+
+/// A posted receive whose request has completed (cancelled) must never
+/// match — its buffers may be gone.
+fn recv_is_dead(r: &PostedRecv) -> bool {
+    r.req.is_done()
+}
+
 struct MatchState {
-    /// Unexpected sends, indexed by destination rank, in arrival order.
-    unexpected: Vec<Vec<PendingSend>>,
-    /// Posted receives, indexed by receiving rank, in post order.
-    posted: Vec<Vec<PostedRecv>>,
+    /// Unexpected sends, one matching engine per destination rank.
+    unexpected: Vec<SendQueue<PendingSend>>,
+    /// Posted receives, one matching engine per receiving rank.
+    posted: Vec<RecvQueue<PostedRecv>>,
     /// Bounce-buffer freelist (eager protocol) to keep allocator noise out
     /// of latency measurements, like UCX's preregistered eager buffers.
     /// Bounded by `MPICD_BOUNCE_POOL_CAP` (default 64 buffers).
@@ -124,10 +136,23 @@ impl Fabric {
     /// explicit pipeline configuration, ignoring the environment knobs.
     /// Benchmarks and tests use this to sweep thread counts;
     /// [`PipelineConfig::serial`] pins every transfer to the serial engine.
+    /// The matching engine follows `MPICD_MATCH_BUCKETS`.
     pub fn with_model_and_pipeline(
         size: usize,
         model: WireModel,
         pipeline: PipelineConfig,
+    ) -> Self {
+        Self::with_config(size, model, pipeline, MatchConfig::from_env())
+    }
+
+    /// The fully-explicit constructor: wire model, pipeline, *and* matching
+    /// engine configuration. [`MatchConfig::linear`] reproduces the old
+    /// single-queue linear-scan matcher (the `ablation_msgrate` baseline).
+    pub fn with_config(
+        size: usize,
+        model: WireModel,
+        pipeline: PipelineConfig,
+        matching: MatchConfig,
     ) -> Self {
         assert!(size > 0, "fabric needs at least one rank");
         Self {
@@ -138,8 +163,12 @@ impl Fabric {
                 stats: FabricStats::default(),
                 metrics: FabricMetrics::from_global(),
                 state: Mutex::new(MatchState {
-                    unexpected: (0..size).map(|_| Vec::new()).collect(),
-                    posted: (0..size).map(|_| Vec::new()).collect(),
+                    unexpected: (0..size)
+                        .map(|_| SendQueue::new(matching.buckets))
+                        .collect(),
+                    posted: (0..size)
+                        .map(|_| RecvQueue::new(matching.buckets))
+                        .collect(),
                     bounce_pool: Vec::new(),
                     xfer_scratch: TransferScratch::default(),
                 }),
@@ -202,7 +231,7 @@ impl Drop for Inner {
         // Fail any requests still pending so waiters on other threads wake.
         let state = self.state.get_mut();
         for q in &state.unexpected {
-            for p in q {
+            for p in q.iter_live() {
                 if let PendKind::Deferred { req, .. } = &p.kind {
                     if !req.is_done() && p.fid != 0 {
                         flight::record(
@@ -215,7 +244,7 @@ impl Drop for Inner {
             }
         }
         for q in &state.posted {
-            for r in q {
+            for r in q.iter_live() {
                 if !r.req.is_done() && r.fid != 0 {
                     flight::record(
                         FlightEvent::new(EventKind::Error, r.fid)
@@ -344,39 +373,34 @@ impl Endpoint {
         }
         let mut state = self.inner.state.lock();
 
-        // Try to match an already-posted receive (earliest first).
-        let posted = &mut state.posted[dest];
-        let mut idx = 0;
-        while idx < posted.len() {
-            if posted[idx].req.is_done() {
-                // Cancelled receive: drop it lazily.
-                posted.remove(idx);
-                continue;
-            }
-            if posted[idx].sel.matches(self.rank, tag) {
-                let recv = posted.remove(idx);
-                let outcome = self.inner.run_matched_transfer(
-                    self.rank,
-                    dest,
-                    tag,
-                    SendSide::Direct(desc),
-                    recv.desc,
-                    &mut state,
-                    fid,
-                    recv.fid,
-                    lc,
-                );
-                recv.req.complete(outcome.clone());
-                return Ok(match outcome {
-                    Ok(env) => Request::ready(env).with_flight(fid),
-                    Err(e) => {
-                        let st = ReqState::new();
-                        st.complete(Err(e));
-                        Request::new(st).with_flight(fid)
-                    }
-                });
-            }
-            idx += 1;
+        // Try to match the earliest eligible posted receive: O(1) through
+        // the (source, tag) bucket, merged by post order with the wildcard
+        // sideline. Cancelled posts on the way are drained lazily.
+        let mut drained = 0;
+        let hit = state.posted[dest].take_match(self.rank, tag, recv_is_dead, &mut drained);
+        self.inner.note_drained(drained);
+        if let Some((recv, wildcard)) = hit {
+            self.inner.note_match(wildcard);
+            let outcome = self.inner.run_matched_transfer(
+                self.rank,
+                dest,
+                tag,
+                SendSide::Direct(desc),
+                recv.desc,
+                &mut state,
+                fid,
+                recv.fid,
+                lc,
+            );
+            recv.req.complete(outcome.clone());
+            return Ok(match outcome {
+                Ok(env) => Request::ready(env).with_flight(fid),
+                Err(e) => {
+                    let st = ReqState::new();
+                    st.complete(Err(e));
+                    Request::new(st).with_flight(fid)
+                }
+            });
         }
 
         // No receive yet: eager-copy small contiguous payloads, defer the rest.
@@ -393,14 +417,18 @@ impl Endpoint {
                     bounce.extend_from_slice(unsafe { entry.as_slice() });
                 }
                 self.inner.metrics.copy_bytes.add(total as u64);
-                state.unexpected[dest].push(PendingSend {
-                    source: self.rank,
+                state.unexpected[dest].push(
+                    self.rank,
                     tag,
-                    total,
-                    fid,
-                    lc,
-                    kind: PendKind::Eager { data: bounce },
-                });
+                    PendingSend {
+                        source: self.rank,
+                        tag,
+                        total,
+                        fid,
+                        lc,
+                        kind: PendKind::Eager { data: bounce },
+                    },
+                );
                 self.inner.stats.record_unexpected();
                 self.inner.metrics.unexpected.inc();
                 self.inner.arrivals.notify_all();
@@ -413,17 +441,21 @@ impl Endpoint {
             }
             desc => {
                 let req = ReqState::new();
-                state.unexpected[dest].push(PendingSend {
-                    source: self.rank,
+                state.unexpected[dest].push(
+                    self.rank,
                     tag,
-                    total,
-                    fid,
-                    lc,
-                    kind: PendKind::Deferred {
-                        desc,
-                        req: Arc::clone(&req),
+                    PendingSend {
+                        source: self.rank,
+                        tag,
+                        total,
+                        fid,
+                        lc,
+                        kind: PendKind::Deferred {
+                            desc,
+                            req: Arc::clone(&req),
+                        },
                     },
-                });
+                );
                 self.inner.stats.record_unexpected();
                 self.inner.metrics.unexpected.inc();
                 self.inner.arrivals.notify_all();
@@ -455,15 +487,13 @@ impl Endpoint {
         }
         let mut state = self.inner.state.lock();
 
-        // Try to match the earliest unexpected send, dropping cancelled
-        // deferred sends along the way (their buffers may be gone).
-        let queue = &mut state.unexpected[self.rank];
-        queue.retain(|p| match &p.kind {
-            PendKind::Deferred { req, .. } => !req.is_done(),
-            PendKind::Eager { .. } => true,
-        });
-        if let Some(pos) = queue.iter().position(|p| sel.matches(p.source, p.tag)) {
-            let pending = queue.remove(pos);
+        // Try to match the earliest unexpected send, lazily draining
+        // cancelled deferred sends scanned past (their buffers may be gone).
+        let mut drained = 0;
+        let hit = state.unexpected[self.rank].take(sel, send_is_dead, &mut drained);
+        self.inner.note_drained(drained);
+        if let Some((pending, wildcard)) = hit {
+            self.inner.note_match(wildcard);
             let (send_side, send_req) = match pending.kind {
                 PendKind::Eager { data } => (SendSide::Bounce { data }, None),
                 PendKind::Deferred { desc, req } => (SendSide::Direct(desc), Some(req)),
@@ -498,30 +528,33 @@ impl Endpoint {
         }
 
         let req = ReqState::new();
-        state.posted[self.rank].push(PostedRecv {
+        state.posted[self.rank].push(
             sel,
-            desc,
-            req: Arc::clone(&req),
-            fid: rfid,
-        });
+            PostedRecv {
+                desc,
+                req: Arc::clone(&req),
+                fid: rfid,
+            },
+        );
         Ok(Request::new(req).with_flight(rfid))
     }
 
-    /// Nonblocking probe: envelope of the earliest matching unexpected send.
+    /// Nonblocking probe: envelope of the earliest matching unexpected send,
+    /// through the engine's ordered view (the same entry a receive posted
+    /// now would match).
     pub fn iprobe(&self, source: i32, tag: Tag) -> Option<Envelope> {
         let sel = Selector::new(source, tag);
-        let state = self.inner.state.lock();
-        state.unexpected[self.rank]
-            .iter()
-            .find(|p| {
-                sel.matches(p.source, p.tag)
-                    && !matches!(&p.kind, PendKind::Deferred { req, .. } if req.is_done())
-            })
-            .map(|p| Envelope {
-                source: p.source,
-                tag: p.tag,
+        let mut state = self.inner.state.lock();
+        let mut drained = 0;
+        let env = state.unexpected[self.rank]
+            .peek(sel, send_is_dead, &mut drained)
+            .map(|(source, tag, p)| Envelope {
+                source,
+                tag,
                 bytes: p.total,
-            })
+            });
+        self.inner.note_drained(drained);
+        env
     }
 
     /// Blocking probe: wait until a matching send arrives (like `MPI_Probe`).
@@ -529,15 +562,17 @@ impl Endpoint {
         let sel = Selector::new(source, tag);
         let mut state = self.inner.state.lock();
         loop {
-            if let Some(p) = state.unexpected[self.rank].iter().find(|p| {
-                sel.matches(p.source, p.tag)
-                    && !matches!(&p.kind, PendKind::Deferred { req, .. } if req.is_done())
-            }) {
-                return Envelope {
-                    source: p.source,
-                    tag: p.tag,
+            let mut drained = 0;
+            let env = state.unexpected[self.rank]
+                .peek(sel, send_is_dead, &mut drained)
+                .map(|(source, tag, p)| Envelope {
+                    source,
+                    tag,
                     bytes: p.total,
-                };
+                });
+            self.inner.note_drained(drained);
+            if let Some(env) = env {
+                return env;
             }
             state = self.inner.arrivals.wait(state);
         }
@@ -551,12 +586,11 @@ impl Endpoint {
     pub fn improbe(&self, source: i32, tag: Tag) -> Option<(Envelope, Message)> {
         let sel = Selector::new(source, tag);
         let mut state = self.inner.state.lock();
-        let queue = &mut state.unexpected[self.rank];
-        let pos = queue.iter().position(|p| {
-            sel.matches(p.source, p.tag)
-                && !matches!(&p.kind, PendKind::Deferred { req, .. } if req.is_done())
-        })?;
-        let pending = queue.remove(pos);
+        let mut drained = 0;
+        let hit = state.unexpected[self.rank].take(sel, send_is_dead, &mut drained);
+        self.inner.note_drained(drained);
+        let (pending, wildcard) = hit?;
+        self.inner.note_match(wildcard);
         let env = Envelope {
             source: pending.source,
             tag: pending.tag,
@@ -570,21 +604,31 @@ impl Endpoint {
         ))
     }
 
-    /// Blocking matched probe (`MPI_Mprobe`).
+    /// Blocking matched probe (`MPI_Mprobe`): take-or-wait under one lock
+    /// hold per attempt, so an arrival between the check and the wait
+    /// cannot be missed.
     pub fn mprobe(&self, source: i32, tag: Tag) -> (Envelope, Message) {
+        let sel = Selector::new(source, tag);
+        let mut state = self.inner.state.lock();
         loop {
-            if let Some(hit) = self.improbe(source, tag) {
-                return hit;
+            let mut drained = 0;
+            let hit = state.unexpected[self.rank].take(sel, send_is_dead, &mut drained);
+            self.inner.note_drained(drained);
+            if let Some((pending, wildcard)) = hit {
+                self.inner.note_match(wildcard);
+                let env = Envelope {
+                    source: pending.source,
+                    tag: pending.tag,
+                    bytes: pending.total,
+                };
+                return (
+                    env,
+                    Message {
+                        pending: Some(pending),
+                    },
+                );
             }
-            // Wait for the next arrival, then retry.
-            let state = self.inner.state.lock();
-            let sel = Selector::new(source, tag);
-            let available = state.unexpected[self.rank]
-                .iter()
-                .any(|p| sel.matches(p.source, p.tag));
-            if !available {
-                drop(self.inner.arrivals.wait(state));
-            }
+            state = self.inner.arrivals.wait(state);
         }
     }
 
@@ -707,6 +751,21 @@ enum SendSide {
 }
 
 impl Inner {
+    /// Record one send/recv pairing (exact path or wildcard sideline) in
+    /// the per-fabric stats, the global registry, and telemetry.
+    fn note_match(&self, wildcard: bool) {
+        self.stats.record_match(wildcard);
+        self.metrics.record_match(wildcard);
+    }
+
+    /// Record `n` lazily-drained dead queue entries.
+    fn note_drained(&self, n: u64) {
+        if n > 0 {
+            self.stats.record_drained(n);
+            self.metrics.record_drained(n);
+        }
+    }
+
     /// Execute a matched transfer. Called with the match lock held; user
     /// callbacks therefore must not re-enter the fabric (documented on the
     /// post functions), the same rule UCX imposes inside progress callbacks.
@@ -1228,6 +1287,182 @@ mod tests {
         let expected = fabric.model().message_time_ns(1024, 1, false);
         assert!((fabric.ledger().delta_ns(&snap) - expected).abs() < 0.01);
         assert_eq!(fabric.ledger().delta_messages(&snap), 1);
+    }
+
+    #[test]
+    fn many_completed_recvs_ahead_of_match_drain_amortized() {
+        // Regression (the old `remove(idx)` sweep): thousands of cancelled
+        // receives queued ahead of the live one were shifted out one at a
+        // time inside the match loop. The engine drains them lazily —
+        // each dead entry is visited once, counted once, and the match
+        // still lands on the live post.
+        let fabric = Fabric::new(2);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        const DEAD: usize = 5000;
+        let mut bufs = vec![[0u8; 4]; DEAD];
+        for buf in &mut bufs {
+            let r = unsafe {
+                b.post_recv(RecvDesc::Contig(IovEntryMut::from_slice(buf)), 0, 0)
+                    .unwrap()
+            };
+            r.cancel();
+        }
+        let mut live = [0u8; 4];
+        let r = unsafe {
+            b.post_recv(RecvDesc::Contig(IovEntryMut::from_slice(&mut live)), 0, 0)
+                .unwrap()
+        };
+        a.send_bytes(&[9, 9, 9, 9], 1, 0).unwrap();
+        r.wait().unwrap();
+        assert_eq!(live, [9, 9, 9, 9]);
+        let stats = fabric.stats();
+        assert_eq!(
+            stats.match_drained, DEAD as u64,
+            "each dead post drained once"
+        );
+        assert_eq!(stats.match_exact, 1);
+        // The drained entries are gone: a second exchange drains nothing new.
+        let r2 = unsafe {
+            b.post_recv(RecvDesc::Contig(IovEntryMut::from_slice(&mut live)), 0, 0)
+                .unwrap()
+        };
+        a.send_bytes(&[7, 7, 7, 7], 1, 0).unwrap();
+        r2.wait().unwrap();
+        assert_eq!(fabric.stats().match_drained, DEAD as u64);
+    }
+
+    #[test]
+    fn improbe_consumes_earliest_match() {
+        let fabric = Fabric::new(2);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        a.send_bytes(&[1], 1, 5).unwrap();
+        a.send_bytes(&[2, 2], 1, 9).unwrap();
+        a.send_bytes(&[3, 3, 3], 1, 5).unwrap();
+        // Wildcard matched probe takes the earliest arrival (tag 5, 1 byte).
+        let (env, msg) = b.improbe(ANY_SOURCE, ANY_TAG).unwrap();
+        assert_eq!((env.tag, env.bytes), (5, 1));
+        let mut buf = [0u8; 4];
+        unsafe { b.post_mrecv(RecvDesc::Contig(IovEntryMut::from_slice(&mut buf)), msg) }
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(buf[0], 1);
+        // Exact matched probe skips the tag-9 message and takes the
+        // earliest tag-5 one.
+        let (env, msg) = b.improbe(0, 5).unwrap();
+        assert_eq!((env.tag, env.bytes), (5, 3));
+        unsafe { b.post_mrecv(RecvDesc::Contig(IovEntryMut::from_slice(&mut buf)), msg) }
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(&buf[..3], &[3, 3, 3]);
+        assert!(b.improbe(0, 5).is_none(), "tag 5 drained");
+        assert!(b.iprobe(0, 9).is_some(), "tag 9 still queued");
+    }
+
+    #[test]
+    fn probe_skips_cancelled_deferred_send() {
+        let fabric = Fabric::new(2);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        // A rendezvous send stays deferred; cancelling it makes it dead.
+        let big = vec![1u8; 64 * 1024];
+        let dead = unsafe {
+            a.post_send(SendDesc::Contig(IovEntry::from_slice(&big)), 1, 4)
+                .unwrap()
+        };
+        dead.cancel();
+        a.send_bytes(&[42], 1, 4).unwrap();
+        // Every probe flavor must report the live eager send, not the corpse.
+        let env = b.iprobe(ANY_SOURCE, 4).unwrap();
+        assert_eq!(env.bytes, 1);
+        let env = b.probe(0, ANY_TAG);
+        assert_eq!(env.bytes, 1);
+        let (env, msg) = b.improbe(0, 4).unwrap();
+        assert_eq!(env.bytes, 1);
+        let mut buf = [0u8; 1];
+        unsafe { b.post_mrecv(RecvDesc::Contig(IovEntryMut::from_slice(&mut buf)), msg) }
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(buf[0], 42);
+        assert!(fabric.stats().match_drained >= 1);
+    }
+
+    #[test]
+    fn wildcard_recv_preserves_cross_tag_arrival_order() {
+        // Sends with different tags land in different hash buckets; a
+        // wildcard receive must still see them in arrival order (the
+        // sideline merge).
+        let fabric = Fabric::new(2);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        for (i, tag) in [900, 3, 77, 12].into_iter().enumerate() {
+            a.send_bytes(&[i as u8], 1, tag).unwrap();
+        }
+        for want in 0..4u8 {
+            let mut buf = [0u8; 1];
+            b.recv_bytes(&mut buf, ANY_SOURCE, ANY_TAG).unwrap();
+            assert_eq!(buf[0], want);
+        }
+        let stats = fabric.stats();
+        assert_eq!(stats.match_wildcard, 4);
+        assert_eq!(stats.match_exact, 0);
+    }
+
+    #[test]
+    fn wildcard_posted_before_exact_wins_the_race() {
+        // Posted-receive side of the seq merge: an ANY_SOURCE post made
+        // *before* an exact post must match first (MPI post order), even
+        // though the exact post sits in the O(1) bucket.
+        let fabric = Fabric::new(2);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        let mut wild = [0u8; 1];
+        let rw = unsafe {
+            b.post_recv(
+                RecvDesc::Contig(IovEntryMut::from_slice(&mut wild)),
+                ANY_SOURCE,
+                6,
+            )
+            .unwrap()
+        };
+        let mut exact = [0u8; 1];
+        let re = unsafe {
+            b.post_recv(RecvDesc::Contig(IovEntryMut::from_slice(&mut exact)), 0, 6)
+                .unwrap()
+        };
+        a.send_bytes(&[1], 1, 6).unwrap();
+        a.send_bytes(&[2], 1, 6).unwrap();
+        rw.wait().unwrap();
+        re.wait().unwrap();
+        assert_eq!((wild[0], exact[0]), (1, 2));
+        let stats = fabric.stats();
+        assert_eq!(stats.match_wildcard, 1);
+        assert_eq!(stats.match_exact, 1);
+    }
+
+    #[test]
+    fn linear_config_is_functionally_identical() {
+        // MatchConfig::linear (one bucket) must behave exactly like the
+        // default engine — it is the ablation baseline.
+        let fabric = Fabric::with_config(
+            2,
+            WireModel::default(),
+            PipelineConfig::serial(),
+            MatchConfig::linear(),
+        );
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        a.send_bytes(&[1], 1, 5).unwrap();
+        a.send_bytes(&[2], 1, 5).unwrap();
+        let mut x = [0u8; 1];
+        let mut y = [0u8; 1];
+        b.recv_bytes(&mut x, 0, 5).unwrap();
+        b.recv_bytes(&mut y, ANY_SOURCE, ANY_TAG).unwrap();
+        assert_eq!((x[0], y[0]), (1, 2));
     }
 
     #[test]

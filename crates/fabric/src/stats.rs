@@ -28,6 +28,9 @@ pub struct FabricStats {
     regions: AtomicU64,
     unexpected: AtomicU64,
     pipelined: AtomicU64,
+    match_exact: AtomicU64,
+    match_wildcard: AtomicU64,
+    match_drained: AtomicU64,
 }
 
 /// A copied-out, plain view of [`FabricStats`].
@@ -50,6 +53,14 @@ pub struct StatsView {
     /// Messages whose payload moved through the parallel fragment pipeline
     /// (zero whenever `MPICD_PIPELINE=0` or the transfer was ineligible).
     pub pipelined: u64,
+    /// Send/recv pairings found through the O(1) exact-match hash path.
+    pub match_exact: u64,
+    /// Pairings that required the ordered wildcard sideline (ANY_SOURCE /
+    /// ANY_TAG on either side of the match).
+    pub match_wildcard: u64,
+    /// Cancelled or already-completed queue entries lazily drained while
+    /// matching (each entry counted once).
+    pub match_drained: u64,
 }
 
 impl FabricStats {
@@ -80,6 +91,20 @@ impl FabricStats {
         self.pipelined.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_match(&self, wildcard: bool) {
+        if wildcard {
+            self.match_wildcard.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.match_exact.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_drained(&self, n: u64) {
+        if n > 0 {
+            self.match_drained.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Copy out the current counter values.
     pub fn view(&self) -> StatsView {
         StatsView {
@@ -91,6 +116,9 @@ impl FabricStats {
             regions: self.regions.load(Ordering::Relaxed),
             unexpected: self.unexpected.load(Ordering::Relaxed),
             pipelined: self.pipelined.load(Ordering::Relaxed),
+            match_exact: self.match_exact.load(Ordering::Relaxed),
+            match_wildcard: self.match_wildcard.load(Ordering::Relaxed),
+            match_drained: self.match_drained.load(Ordering::Relaxed),
         }
     }
 }
@@ -109,6 +137,9 @@ impl StatsView {
             regions: self.regions.saturating_sub(earlier.regions),
             unexpected: self.unexpected.saturating_sub(earlier.unexpected),
             pipelined: self.pipelined.saturating_sub(earlier.pipelined),
+            match_exact: self.match_exact.saturating_sub(earlier.match_exact),
+            match_wildcard: self.match_wildcard.saturating_sub(earlier.match_wildcard),
+            match_drained: self.match_drained.saturating_sub(earlier.match_drained),
         }
     }
 }
@@ -148,6 +179,12 @@ pub(crate) struct FabricMetrics {
     /// Wall time inside the parallel engine, submit to completion
     /// (tracing only, fed by a `span_acc` guard like `pack_ns`).
     pub pipeline_ns: Arc<Counter>,
+    /// Pairings found through the exact-match hash path (always on).
+    pub match_exact: Arc<Counter>,
+    /// Pairings that needed the wildcard sideline (always on).
+    pub match_wildcard: Arc<Counter>,
+    /// Dead queue entries lazily drained while matching (always on).
+    pub match_drained: Arc<Counter>,
     /// Continuous telemetry (`MPICD_TELEMETRY=1`): message traffic as a
     /// windowed time series (count = messages, sum = payload bytes).
     pub tele_traffic: Arc<telemetry::Series>,
@@ -155,6 +192,9 @@ pub(crate) struct FabricMetrics {
     pub tele_wire_ns: Arc<telemetry::Sketch>,
     /// Continuous telemetry: match-to-complete wall time per transfer.
     pub tele_active_ns: Arc<telemetry::Sketch>,
+    /// Continuous telemetry: match events as a windowed series (count =
+    /// pairings; rate over a window is matches/sec).
+    pub tele_match: Arc<telemetry::Series>,
 }
 
 impl FabricMetrics {
@@ -178,9 +218,13 @@ impl FabricMetrics {
             pipeline_frags: r.counter("fabric.pipeline.frags"),
             pipeline_threads: r.counter("fabric.pipeline.threads"),
             pipeline_ns: r.counter("fabric.pipeline.ns"),
+            match_exact: r.counter("fabric.match.exact"),
+            match_wildcard: r.counter("fabric.match.wildcard"),
+            match_drained: r.counter("fabric.match.drained"),
             tele_traffic: telemetry::series("fabric.traffic"),
             tele_wire_ns: telemetry::sketch("fabric.wire_latency_ns"),
             tele_active_ns: telemetry::sketch("fabric.transfer_active_ns"),
+            tele_match: telemetry::series("fabric.match.rate"),
         }
     }
 
@@ -205,9 +249,13 @@ impl FabricMetrics {
             pipeline_frags: Arc::new(Counter::new()),
             pipeline_threads: Arc::new(Counter::new()),
             pipeline_ns: Arc::new(Counter::new()),
+            match_exact: Arc::new(Counter::new()),
+            match_wildcard: Arc::new(Counter::new()),
+            match_drained: Arc::new(Counter::new()),
             tele_traffic: Arc::new(telemetry::Series::standalone(1_000_000_000)),
             tele_wire_ns: Arc::new(telemetry::Sketch::standalone()),
             tele_active_ns: Arc::new(telemetry::Sketch::standalone()),
+            tele_match: Arc::new(telemetry::Series::standalone(1_000_000_000)),
         }
     }
 
@@ -236,6 +284,24 @@ impl FabricMetrics {
         // MPICD_TELEMETRY is off.
         self.tele_traffic.add(bytes as u64);
         self.tele_wire_ns.record(wire_ns as u64);
+    }
+
+    /// Mirror of [`FabricStats::record_match`] into the global registry and
+    /// the `fabric.match.rate` telemetry series.
+    pub(crate) fn record_match(&self, wildcard: bool) {
+        if wildcard {
+            self.match_wildcard.inc();
+        } else {
+            self.match_exact.inc();
+        }
+        self.tele_match.add(1);
+    }
+
+    /// Mirror of [`FabricStats::record_drained`].
+    pub(crate) fn record_drained(&self, n: u64) {
+        if n > 0 {
+            self.match_drained.add(n);
+        }
     }
 }
 
@@ -284,12 +350,36 @@ mod tests {
             regions: 9,
             unexpected: 1,
             pipelined: 4,
+            match_exact: 6,
+            match_wildcard: 2,
+            match_drained: 3,
         };
         let fresh = StatsView::default();
         let d = fresh.since(&busy);
         assert_eq!(d, StatsView::default(), "negative deltas clamp to zero");
         // The sane direction still subtracts exactly.
         assert_eq!(busy.since(&fresh), busy);
+    }
+
+    #[test]
+    fn match_counters_split_exact_and_wildcard() {
+        let s = FabricStats::default();
+        s.record_match(false);
+        s.record_match(false);
+        s.record_match(true);
+        s.record_drained(5);
+        s.record_drained(0);
+        let v = s.view();
+        assert_eq!(v.match_exact, 2);
+        assert_eq!(v.match_wildcard, 1);
+        assert_eq!(v.match_drained, 5);
+
+        let m = FabricMetrics::detached();
+        m.record_match(true);
+        m.record_drained(7);
+        assert_eq!(m.match_wildcard.get(), 1);
+        assert_eq!(m.match_exact.get(), 0);
+        assert_eq!(m.match_drained.get(), 7);
     }
 
     #[test]
