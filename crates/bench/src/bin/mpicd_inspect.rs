@@ -8,6 +8,7 @@
 //! ```text
 //! mpicd-inspect [report] <dump.jsonl>... [--top N] [--straggler-factor F] [--json]
 //! mpicd-inspect critical-path <dump.jsonl>... [--json]
+//! mpicd-inspect health <health.jsonl> [--flight dump.jsonl]... [--json]
 //! ```
 //!
 //! * **report** (default): latency attribution (wait / pack / wire /
@@ -17,25 +18,34 @@
 //!   merged timelines, walks the binding-constraint chain from the last
 //!   event back to the origin, and prints the longest weighted path with
 //!   per-rank blame, per-transfer slack, and per-collective spines.
-//! * `--json` switches either mode to a single machine-readable JSON
+//! * **health**: reads the periodic health-snapshot stream written under
+//!   `MPICD_HEALTH_MS` (gauge levels/high-waters, series and sketch
+//!   summaries over the run) and, with `--flight`, joins it with a
+//!   sampled flight dump so live health and sampled timelines land in
+//!   one report.
+//! * `--json` switches any mode to a single machine-readable JSON
 //!   object on stdout.
 //!
-//! Exit codes: 0 = healthy dump, 1 = usage or I/O error, 2 = the dump
-//! parsed but contains malformed timelines (CI treats this as a failure).
+//! Exit codes: 0 = healthy dump, 1 = usage or I/O error, 2 = the input
+//! parsed but contains malformed timelines or health lines (CI treats
+//! this as a failure).
 
 use mpicd_bench::critical::{critical_path, render_critical, render_critical_json};
 use mpicd_bench::flight::{
     analyze, merge_dumps, read_dump, render_json, render_report, Analysis, ReportOptions,
 };
+use mpicd_bench::healthview::{read_health, render_health, render_health_json};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: mpicd-inspect [report|critical-path] <dump.jsonl>... \
-                     [--top N] [--straggler-factor F] [--json]";
+                     [--top N] [--straggler-factor F] [--json]\n       \
+                     mpicd-inspect health <health.jsonl> [--flight dump.jsonl]... [--json]";
 
 enum Mode {
     Report,
     CriticalPath,
+    Health,
 }
 
 fn main() -> ExitCode {
@@ -49,9 +59,14 @@ fn main() -> ExitCode {
             args.next();
             Mode::CriticalPath
         }
+        Some("health") => {
+            args.next();
+            Mode::Health
+        }
         _ => Mode::Report,
     };
     let mut paths: Vec<PathBuf> = Vec::new();
+    let mut flight_paths: Vec<PathBuf> = Vec::new();
     let mut opts = ReportOptions::default();
     let mut json = false;
     while let Some(arg) = args.next() {
@@ -69,12 +84,21 @@ fn main() -> ExitCode {
                 Some(f) if f > 1.0 => opts.straggler_factor = f,
                 _ => return usage_error("--straggler-factor needs a number > 1"),
             },
+            "--flight" => match (matches!(mode, Mode::Health), args.next()) {
+                (true, Some(p)) => flight_paths.push(PathBuf::from(p)),
+                (true, None) => return usage_error("--flight needs a dump path"),
+                (false, _) => return usage_error("--flight only applies to health mode"),
+            },
             _ if !arg.starts_with('-') => paths.push(PathBuf::from(arg)),
             _ => return usage_error(&format!("unexpected argument `{arg}`")),
         }
     }
     if paths.is_empty() {
-        return usage_error("missing dump path");
+        return usage_error("missing input path");
+    }
+
+    if let Mode::Health = mode {
+        return run_health(&paths, &flight_paths, json);
     }
 
     let mut dumps = Vec::with_capacity(paths.len());
@@ -110,8 +134,50 @@ fn main() -> ExitCode {
                 print!("{}", render_critical(&analysis, &report, &source));
             }
         }
+        // Handled (and returned from) above; kept explicit so a new mode
+        // can't silently fall into the dump pipeline.
+        Mode::Health => unreachable!("health mode returns early"),
     }
     exit_for(&analysis)
+}
+
+/// `mpicd-inspect health`: the snapshot stream, joined with sampled
+/// flight dumps when given.
+fn run_health(paths: &[PathBuf], flight_paths: &[PathBuf], json: bool) -> ExitCode {
+    if paths.len() != 1 {
+        return usage_error("health mode takes exactly one snapshot stream");
+    }
+    let log = match read_health(&paths[0]) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("mpicd-inspect: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut dumps = Vec::with_capacity(flight_paths.len());
+    for path in flight_paths {
+        match read_dump(path) {
+            Ok(d) => dumps.push(d),
+            Err(e) => {
+                eprintln!("mpicd-inspect: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let analysis = (!dumps.is_empty()).then(|| analyze(&merge_dumps(dumps)));
+    let source = paths[0].display().to_string();
+    if json {
+        print!("{}", render_health_json(&log, analysis.as_ref(), &source));
+    } else {
+        print!("{}", render_health(&log, analysis.as_ref(), &source));
+    }
+    let defective =
+        !log.bad_lines.is_empty() || analysis.as_ref().is_some_and(|a| !a.malformed.is_empty());
+    if defective {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn exit_for(analysis: &Analysis) -> ExitCode {

@@ -1,0 +1,60 @@
+//! `mpicd-soak` — record-stream soak harness with live health reporting.
+//!
+//! Streams `Register` batches from many client ranks to a few aggregator
+//! ranks for a configurable duration, printing a live health line every
+//! window (throughput, windowed active p50/p99, stragglers, gauge levels)
+//! and an end-of-run verdict CI can grep:
+//!
+//! ```text
+//! mpicd-soak [--duration 60s] [--warmup 2s] [--clients 8] \
+//!            [--aggregators 2] [--batch 64] [--window 1s] \
+//!            [--report PATH|-]
+//! ```
+//!
+//! Run with `MPICD_FLIGHT=1 MPICD_FLIGHT_SAMPLE=N` to keep the flight
+//! recorder on at a sustainable cost — the harness re-reads its own dump
+//! and fails on any malformed sampled timeline. `MPICD_HEALTH_MS=N` adds
+//! the periodic health-snapshot stream (`mpicd-inspect health` reads it).
+//! `MPICD_BENCH_JSON` emits `BENCH_soak.json` for the regression gate.
+//!
+//! Exit codes: 0 = healthy soak, 1 = usage error, 2 = freelist growth or
+//! malformed sampled timelines.
+
+use mpicd_bench::soak;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        println!(
+            "usage: mpicd-soak [--duration D] [--warmup D] [--clients N] \
+             [--aggregators N] [--batch N] [--window D] [--report PATH|-]"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let base = soak::SoakConfig::defaults(mpicd_bench::quick_mode());
+    let cfg = match soak::parse_args(args.into_iter(), base) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("mpicd-soak: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = soak::run(&cfg);
+    print!("{}", soak::render_report(&report, &cfg));
+
+    mpicd_bench::emit_json("soak", &soak::table(&report));
+    if let Some(path) = &cfg.report {
+        match soak::write_report_json(path, &report, &cfg) {
+            Ok(()) => eprintln!("wrote soak report to {}", path.display()),
+            Err(e) => eprintln!("mpicd-soak: could not write {}: {e}", path.display()),
+        }
+    }
+
+    if report.growth > 0 || report.malformed > 0 {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,296 @@
+//! Health-snapshot stream analysis behind `mpicd-inspect health`.
+//!
+//! `MPICD_HEALTH_MS=N` makes the obs layer append one JSON object per
+//! period to a JSONL file — gauges (value + high-water), windowed series
+//! and sketch summaries, stamped with the capture time. This module reads
+//! that stream back, summarizes how each instrument moved over the run,
+//! and (optionally) joins the view with a sampled flight dump so one
+//! report answers both "was the process healthy while it ran?" and "what
+//! did the sampled transfers actually look like?".
+
+use crate::flight::Analysis;
+use crate::regress::{parse_json, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One parsed health snapshot (one line of the stream).
+#[derive(Debug, Clone, Default)]
+pub struct HealthSnap {
+    /// Capture time (ns, monotonic process clock).
+    pub t_ns: u64,
+    /// Snapshot cadence recorded by the writer (ms).
+    pub window_ms: u64,
+    /// Gauge name → (value, high-water).
+    pub gauges: BTreeMap<String, (u64, u64)>,
+    /// Series name → (total count, total sum, last-window count, last-window sum).
+    pub series: BTreeMap<String, (u64, u64, u64, u64)>,
+    /// Sketch name → (count, sum, p50, p99, max).
+    pub sketches: BTreeMap<String, (u64, u64, u64, u64, u64)>,
+}
+
+/// A parsed health stream: the snapshots in capture order plus every
+/// line that failed to parse (nonempty means a defective stream and a
+/// nonzero `mpicd-inspect` exit).
+#[derive(Debug, Clone, Default)]
+pub struct HealthLog {
+    /// Snapshots in file order.
+    pub snapshots: Vec<HealthSnap>,
+    /// Unparseable or non-health lines, with reasons.
+    pub bad_lines: Vec<String>,
+}
+
+fn num(v: Option<&Json>) -> u64 {
+    v.and_then(Json::as_f64).unwrap_or(0.0) as u64
+}
+
+fn parse_snap(obj: &Json) -> Option<HealthSnap> {
+    if obj.get("kind").and_then(Json::as_str) != Some("health") {
+        return None;
+    }
+    let mut snap = HealthSnap {
+        t_ns: num(obj.get("t_ns")),
+        window_ms: num(obj.get("window_ms")),
+        ..HealthSnap::default()
+    };
+    if let Some(Json::Obj(fields)) = obj.get("gauges") {
+        for (name, g) in fields {
+            snap.gauges
+                .insert(name.clone(), (num(g.get("value")), num(g.get("hwm"))));
+        }
+    }
+    if let Some(Json::Obj(fields)) = obj.get("series") {
+        for (name, s) in fields {
+            snap.series.insert(
+                name.clone(),
+                (
+                    num(s.get("count")),
+                    num(s.get("sum")),
+                    num(s.get("window_count")),
+                    num(s.get("window_sum")),
+                ),
+            );
+        }
+    }
+    if let Some(Json::Obj(fields)) = obj.get("sketches") {
+        for (name, s) in fields {
+            snap.sketches.insert(
+                name.clone(),
+                (
+                    num(s.get("count")),
+                    num(s.get("sum")),
+                    num(s.get("p50")),
+                    num(s.get("p99")),
+                    num(s.get("max")),
+                ),
+            );
+        }
+    }
+    Some(snap)
+}
+
+/// Parse a health JSONL stream. Blank lines are skipped; anything else
+/// that is not a `"kind":"health"` object lands in `bad_lines`.
+pub fn parse_health(text: &str) -> HealthLog {
+    let mut log = HealthLog::default();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_json(line) {
+            Ok(obj) => match parse_snap(&obj) {
+                Some(s) => log.snapshots.push(s),
+                None => log
+                    .bad_lines
+                    .push(format!("line {}: not a health snapshot", i + 1)),
+            },
+            Err(e) => log.bad_lines.push(format!("line {}: {e}", i + 1)),
+        }
+    }
+    log
+}
+
+/// Read and parse a health stream from disk.
+pub fn read_health(path: &Path) -> Result<HealthLog, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(parse_health(&text))
+}
+
+/// Human report: per-gauge first/last/high-water, per-series and
+/// per-sketch end-of-run summaries, and (when given) the joined flight
+/// analysis so sampled timeline health sits next to the live gauges.
+pub fn render_health(log: &HealthLog, flight: Option<&Analysis>, source: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "health snapshots — {source}");
+    if log.snapshots.is_empty() {
+        let _ = writeln!(out, "no snapshots parsed");
+    } else {
+        let first = &log.snapshots[0];
+        let last = &log.snapshots[log.snapshots.len() - 1];
+        let span_s = last.t_ns.saturating_sub(first.t_ns) as f64 / 1e9;
+        let _ = writeln!(
+            out,
+            "snapshots: {} over {:.1}s (series window {} ms)",
+            log.snapshots.len(),
+            span_s,
+            last.window_ms
+        );
+        if !last.gauges.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<26} {:>8} {:>8} {:>8}",
+                "gauge", "first", "last", "hwm"
+            );
+            for (name, &(lv, lh)) in &last.gauges {
+                let fv = first.gauges.get(name).map_or(0, |&(v, _)| v);
+                let _ = writeln!(out, "{name:<26} {fv:>8} {lv:>8} {lh:>8}");
+            }
+        }
+        if !last.series.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<26} {:>12} {:>12} {:>12}",
+                "series", "count", "sum", "last-window"
+            );
+            for (name, &(c, s, wc, _)) in &last.series {
+                let _ = writeln!(out, "{name:<26} {c:>12} {s:>12} {wc:>12}");
+            }
+        }
+        if !last.sketches.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<26} {:>10} {:>10} {:>10} {:>10}",
+                "sketch", "count", "p50", "p99", "max"
+            );
+            for (name, &(c, _, p50, p99, max)) in &last.sketches {
+                let _ = writeln!(out, "{name:<26} {c:>10} {p50:>10} {p99:>10} {max:>10}");
+            }
+        }
+    }
+    for b in &log.bad_lines {
+        let _ = writeln!(out, "BAD {b}");
+    }
+    if let Some(a) = flight {
+        let _ = writeln!(
+            out,
+            "sampled flight: {} completed, {} errored, {} pending, malformed timelines: {}",
+            a.completed.len(),
+            a.errored.len(),
+            a.pending_sends + a.pending_recvs,
+            a.malformed.len()
+        );
+    }
+    out
+}
+
+/// Machine-readable rendering of [`render_health`]'s content.
+pub fn render_health_json(log: &HealthLog, flight: Option<&Analysis>, source: &str) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"source\": \"{}\",", esc(source));
+    let _ = writeln!(out, "  \"snapshots\": {},", log.snapshots.len());
+    let _ = writeln!(out, "  \"bad_lines\": {},", log.bad_lines.len());
+    if let Some(last) = log.snapshots.last() {
+        let _ = writeln!(out, "  \"t_ns\": {},", last.t_ns);
+        let _ = writeln!(out, "  \"gauges\": {{");
+        for (i, (name, &(v, h))) in last.gauges.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    \"{}\": {{\"value\": {v}, \"hwm\": {h}}}{}",
+                esc(name),
+                if i + 1 < last.gauges.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "  }},");
+    }
+    match flight {
+        Some(a) => {
+            let _ = writeln!(
+                out,
+                "  \"flight\": {{\"completed\": {}, \"errored\": {}, \"malformed\": {}}}",
+                a.completed.len(),
+                a.errored.len(),
+                a.malformed.len()
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  \"flight\": null");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: &str = r#"{"kind":"health","t_ns":1000,"window_ms":250,"gauges":{"fabric.bounce_pool":{"value":8,"hwm":9}},"series":{"fabric.traffic":{"count":3,"sum":300,"window_count":1,"window_sum":100}},"sketches":{"fabric.transfer_active_ns":{"count":3,"sum":900,"p50":300,"p99":400,"max":410}}}"#;
+
+    #[test]
+    fn parses_writer_format_lines() {
+        let text = format!(
+            "{LINE}\n{}\n",
+            LINE.replace("\"t_ns\":1000", "\"t_ns\":2000")
+        );
+        let log = parse_health(&text);
+        assert_eq!(log.snapshots.len(), 2);
+        assert!(log.bad_lines.is_empty());
+        let s = &log.snapshots[0];
+        assert_eq!(s.t_ns, 1000);
+        assert_eq!(s.window_ms, 250);
+        assert_eq!(s.gauges["fabric.bounce_pool"], (8, 9));
+        assert_eq!(s.series["fabric.traffic"], (3, 300, 1, 100));
+        assert_eq!(
+            s.sketches["fabric.transfer_active_ns"],
+            (3, 900, 300, 400, 410)
+        );
+    }
+
+    #[test]
+    fn parses_live_renderer_output() {
+        // Round-trip against the actual writer, not just a fixture.
+        mpicd_obs::telemetry::gauge("healthview.test.gauge").observe_set(5);
+        let line = mpicd_obs::telemetry::render_health_json();
+        let log = parse_health(&line);
+        assert!(
+            log.bad_lines.is_empty(),
+            "writer line parses: {:?}",
+            log.bad_lines
+        );
+        assert_eq!(log.snapshots.len(), 1);
+        assert!(log.snapshots[0]
+            .gauges
+            .contains_key("healthview.test.gauge"));
+    }
+
+    #[test]
+    fn flags_bad_and_foreign_lines() {
+        let log = parse_health("not json\n{\"kind\":\"other\"}\n\n");
+        assert_eq!(log.snapshots.len(), 0);
+        assert_eq!(log.bad_lines.len(), 2, "blank line skipped, two defects");
+    }
+
+    #[test]
+    fn renders_first_last_hwm_rows() {
+        let later = LINE
+            .replace("\"t_ns\":1000", "\"t_ns\":2000000000")
+            .replace("\"value\":8", "\"value\":6");
+        let log = parse_health(&format!("{LINE}\n{later}\n"));
+        let text = render_health(&log, None, "test.jsonl");
+        assert!(text.contains("snapshots: 2"));
+        // first=8, last=6, hwm=9 on one row.
+        assert!(text.lines().any(|l| {
+            l.contains("fabric.bounce_pool")
+                && l.contains('8')
+                && l.contains('6')
+                && l.contains('9')
+        }));
+        let json = render_health_json(&log, None, "test.jsonl");
+        let back = parse_json(&json).expect("render_health_json parses back");
+        assert_eq!(back.get("snapshots").and_then(Json::as_f64), Some(2.0));
+    }
+}

@@ -24,6 +24,12 @@
 //!   (`mpicd-inspect critical-path`).
 //! * [`regress`] — `BENCH_*.json` parsing and the p50/p99 regression
 //!   comparator behind the `bench_compare` CI gate.
+//! * [`soak`] — the record-stream soak harness behind `mpicd-soak`:
+//!   client ranks streaming `Register` batches to aggregators under live
+//!   telemetry, with the freelist zero-growth and sampled-flight
+//!   well-formedness verdicts CI gates on.
+//! * [`healthview`] — health-snapshot stream (`MPICD_HEALTH_MS`) parsing
+//!   and rendering behind `mpicd-inspect health`.
 //!
 //! All binaries accept `MPICD_BENCH_QUICK=1` to run a fast smoke sweep
 //! (used by tests) and print the same table shape as the full run. With
@@ -34,11 +40,13 @@ pub mod critical;
 pub mod ddt;
 pub mod flight;
 pub mod harness;
+pub mod healthview;
 pub mod methods;
 pub mod phase;
 pub mod pickle_run;
 pub mod regress;
 pub mod report;
+pub mod soak;
 
 pub use harness::{Config, Sample};
 pub use phase::{PhaseProbe, PhaseTable, Phases};

@@ -164,6 +164,7 @@ fn every_obs_counter_is_documented_in_architecture_md() {
             ("histogram(\"", "histogram(\"".len()),
             ("series(\"", "series(\"".len()),
             ("sketch(\"", "sketch(\"".len()),
+            ("gauge(\"", "gauge(\"".len()),
         ] {
             for (i, _) in code.match_indices(pat) {
                 let rest = &code[i + skip..];

@@ -296,6 +296,31 @@ macro_rules! int_atomic {
                 }
             }
 
+            /// Fetch-and-update via a CAS loop, mirroring the std method:
+            /// `Ok(previous)` once `f` returns `Some` and the exchange
+            /// lands, `Err(previous)` when `f` returns `None`. Built on the
+            /// instrumented load/CAS, so a model explores every retry
+            /// interleaving.
+            #[track_caller]
+            pub fn fetch_update<F>(
+                &self,
+                set_order: Ordering,
+                fetch_order: Ordering,
+                mut f: F,
+            ) -> Result<$ty, $ty>
+            where
+                F: FnMut($ty) -> Option<$ty>,
+            {
+                let mut prev = self.load(fetch_order);
+                while let Some(next) = f(prev) {
+                    match self.compare_exchange_weak(prev, next, set_order, fetch_order) {
+                        Ok(x) => return Ok(x),
+                        Err(next_prev) => prev = next_prev,
+                    }
+                }
+                Err(prev)
+            }
+
             /// Exclusive access to the value (no model interaction: `&mut`
             /// proves no concurrency).
             pub fn get_mut(&mut self) -> &mut $ty {

@@ -27,7 +27,7 @@ use crate::matching::{Envelope, RecvQueue, Selector, SendQueue, Tag};
 use crate::payload::{IovEntry, IovEntryMut, RecvDesc, SendDesc};
 use crate::pipeline::{self, PipelinePool};
 use crate::request::{ReqState, Request};
-use crate::stats::{FabricMetrics, FabricStats, StatsView};
+use crate::stats::{gauge_shift, FabricMetrics, FabricStats, StatsView};
 use crate::transfer::{copy_stream, DstSeg, SrcSeg, TransferScratch};
 use mpicd_obs::causal;
 use mpicd_obs::flight::{self, EventKind, FlightEvent, Method};
@@ -377,7 +377,10 @@ impl Endpoint {
         // the (source, tag) bucket, merged by post order with the wildcard
         // sideline. Cancelled posts on the way are drained lazily.
         let mut drained = 0;
+        let qb = state.posted[dest].counts();
         let hit = state.posted[dest].take_match(self.rank, tag, recv_is_dead, &mut drained);
+        self.inner
+            .note_queue_shift(qb, state.posted[dest].counts(), false);
         self.inner.note_drained(drained);
         if let Some((recv, wildcard)) = hit {
             self.inner.note_match(wildcard);
@@ -395,6 +398,15 @@ impl Endpoint {
             recv.req.complete(outcome.clone());
             return Ok(match outcome {
                 Ok(env) => Request::ready(env).with_flight(fid),
+                // The sender's data went out even if the receiver
+                // truncated — same contract as the unexpected-path match
+                // sites, so which side arrived first stays unobservable.
+                Err(FabricError::Truncated { .. }) => Request::ready(Envelope {
+                    source: self.rank,
+                    tag,
+                    bytes: total,
+                })
+                .with_flight(fid),
                 Err(e) => {
                     let st = ReqState::new();
                     st.complete(Err(e));
@@ -407,6 +419,10 @@ impl Endpoint {
         match desc {
             SendDesc::Contig(entry) if total <= self.inner.model.rndv_threshold => {
                 let mut bounce = state.bounce_pool.pop().unwrap_or_default();
+                self.inner
+                    .metrics
+                    .g_bounce_pool
+                    .set(state.bounce_pool.len() as u64);
                 bounce.clear();
                 {
                     // The eager bounce copy — the extra memcpy the custom
@@ -417,6 +433,7 @@ impl Endpoint {
                     bounce.extend_from_slice(unsafe { entry.as_slice() });
                 }
                 self.inner.metrics.copy_bytes.add(total as u64);
+                let qb = state.unexpected[dest].counts();
                 state.unexpected[dest].push(
                     self.rank,
                     tag,
@@ -429,6 +446,8 @@ impl Endpoint {
                         kind: PendKind::Eager { data: bounce },
                     },
                 );
+                self.inner
+                    .note_queue_shift(qb, state.unexpected[dest].counts(), true);
                 self.inner.stats.record_unexpected();
                 self.inner.metrics.unexpected.inc();
                 self.inner.arrivals.notify_all();
@@ -441,6 +460,7 @@ impl Endpoint {
             }
             desc => {
                 let req = ReqState::new();
+                let qb = state.unexpected[dest].counts();
                 state.unexpected[dest].push(
                     self.rank,
                     tag,
@@ -456,6 +476,8 @@ impl Endpoint {
                         },
                     },
                 );
+                self.inner
+                    .note_queue_shift(qb, state.unexpected[dest].counts(), true);
                 self.inner.stats.record_unexpected();
                 self.inner.metrics.unexpected.inc();
                 self.inner.arrivals.notify_all();
@@ -490,7 +512,10 @@ impl Endpoint {
         // Try to match the earliest unexpected send, lazily draining
         // cancelled deferred sends scanned past (their buffers may be gone).
         let mut drained = 0;
+        let qb = state.unexpected[self.rank].counts();
         let hit = state.unexpected[self.rank].take(sel, send_is_dead, &mut drained);
+        self.inner
+            .note_queue_shift(qb, state.unexpected[self.rank].counts(), true);
         self.inner.note_drained(drained);
         if let Some((pending, wildcard)) = hit {
             self.inner.note_match(wildcard);
@@ -528,6 +553,7 @@ impl Endpoint {
         }
 
         let req = ReqState::new();
+        let qb = state.posted[self.rank].counts();
         state.posted[self.rank].push(
             sel,
             PostedRecv {
@@ -536,6 +562,8 @@ impl Endpoint {
                 fid: rfid,
             },
         );
+        self.inner
+            .note_queue_shift(qb, state.posted[self.rank].counts(), false);
         Ok(Request::new(req).with_flight(rfid))
     }
 
@@ -546,6 +574,7 @@ impl Endpoint {
         let sel = Selector::new(source, tag);
         let mut state = self.inner.state.lock();
         let mut drained = 0;
+        let qb = state.unexpected[self.rank].counts();
         let env = state.unexpected[self.rank]
             .peek(sel, send_is_dead, &mut drained)
             .map(|(source, tag, p)| Envelope {
@@ -553,6 +582,8 @@ impl Endpoint {
                 tag,
                 bytes: p.total,
             });
+        self.inner
+            .note_queue_shift(qb, state.unexpected[self.rank].counts(), true);
         self.inner.note_drained(drained);
         env
     }
@@ -563,6 +594,7 @@ impl Endpoint {
         let mut state = self.inner.state.lock();
         loop {
             let mut drained = 0;
+            let qb = state.unexpected[self.rank].counts();
             let env = state.unexpected[self.rank]
                 .peek(sel, send_is_dead, &mut drained)
                 .map(|(source, tag, p)| Envelope {
@@ -570,6 +602,8 @@ impl Endpoint {
                     tag,
                     bytes: p.total,
                 });
+            self.inner
+                .note_queue_shift(qb, state.unexpected[self.rank].counts(), true);
             self.inner.note_drained(drained);
             if let Some(env) = env {
                 return env;
@@ -587,7 +621,10 @@ impl Endpoint {
         let sel = Selector::new(source, tag);
         let mut state = self.inner.state.lock();
         let mut drained = 0;
+        let qb = state.unexpected[self.rank].counts();
         let hit = state.unexpected[self.rank].take(sel, send_is_dead, &mut drained);
+        self.inner
+            .note_queue_shift(qb, state.unexpected[self.rank].counts(), true);
         self.inner.note_drained(drained);
         let (pending, wildcard) = hit?;
         self.inner.note_match(wildcard);
@@ -612,7 +649,10 @@ impl Endpoint {
         let mut state = self.inner.state.lock();
         loop {
             let mut drained = 0;
+            let qb = state.unexpected[self.rank].counts();
             let hit = state.unexpected[self.rank].take(sel, send_is_dead, &mut drained);
+            self.inner
+                .note_queue_shift(qb, state.unexpected[self.rank].counts(), true);
             self.inner.note_drained(drained);
             if let Some((pending, wildcard)) = hit {
                 self.inner.note_match(wildcard);
@@ -763,6 +803,18 @@ impl Inner {
         if n > 0 {
             self.stats.record_drained(n);
             self.metrics.record_drained(n);
+        }
+    }
+
+    /// Refresh the matching-depth gauges from one queue's `counts()`
+    /// before/after an operation. O(1) per call: only the touched queue's
+    /// occupancy shift is applied — never a sum over all per-rank queues,
+    /// which would turn every post into an O(world) walk.
+    fn note_queue_shift(&self, before: (usize, usize), after: (usize, usize), unexpected: bool) {
+        gauge_shift(&self.metrics.g_match_live, before.0, after.0);
+        gauge_shift(&self.metrics.g_match_tombstones, before.1, after.1);
+        if unexpected {
+            gauge_shift(&self.metrics.g_unexpected, before.0, after.0);
         }
     }
 
@@ -948,6 +1000,9 @@ impl Inner {
             if let SendSide::Bounce { data } = send {
                 if state.bounce_pool.len() < bounce_pool_cap() {
                     state.bounce_pool.push(data);
+                    self.metrics
+                        .g_bounce_pool
+                        .set(state.bounce_pool.len() as u64);
                 }
             }
             r
@@ -993,11 +1048,14 @@ impl Inner {
                     .parent(send_lc),
             );
         }
-        // Continuous telemetry: match-to-complete wall time of the transfer.
+        // Continuous telemetry: match-to-complete wall time of the transfer,
+        // fed through the online straggler gate so a transfer beyond the
+        // previous window's p99-derived threshold is counted as it happens.
         if match_start_ns != 0 {
-            self.metrics
-                .tele_active_ns
-                .record(mpicd_obs::now_ns().saturating_sub(match_start_ns));
+            let end_ns = mpicd_obs::now_ns();
+            let active_ns = end_ns.saturating_sub(match_start_ns);
+            self.metrics.tele_active_ns.record(active_ns);
+            self.metrics.record_straggler_check(end_ns, active_ns);
         }
 
         Ok(Envelope {
@@ -1123,6 +1181,24 @@ mod tests {
         a.send_bytes(&[0u8; 100], 1, 0).unwrap();
         let mut small = [0u8; 10];
         let err = b.recv_bytes(&mut small, 0, 0).unwrap_err();
+        assert!(matches!(err, FabricError::Truncated { .. }));
+    }
+
+    #[test]
+    fn truncation_errors_receiver_when_recv_posted_first() {
+        // Same contract in the opposite arrival order: a pre-posted small
+        // receive truncates, but the matched sender still succeeds — which
+        // side won the race must be unobservable to the sender.
+        let fabric = Fabric::new(2);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        let mut small = [0u8; 10];
+        let recv = unsafe {
+            b.post_recv(RecvDesc::Contig(IovEntryMut::from_slice(&mut small)), 0, 0)
+                .unwrap()
+        };
+        a.send_bytes(&[0u8; 100], 1, 0).unwrap();
+        let err = recv.wait().unwrap_err();
         assert!(matches!(err, FabricError::Truncated { .. }));
     }
 

@@ -120,6 +120,11 @@ pub(crate) struct SendQueue<T> {
     /// Wildcard sideline: every entry in arrival order.
     order: VecDeque<usize>,
     mask: usize,
+    /// Live (non-tombstoned) entries, maintained incrementally so
+    /// [`Self::counts`] is O(1) — the fabric reads it on every operation
+    /// to keep depth gauges current, and a slab rescan there would turn
+    /// each post into an O(queue) walk.
+    live: usize,
 }
 
 /// Pop tombstones and freshly-dead entries off a send-index front.
@@ -196,11 +201,13 @@ impl<T> SendQueue<T> {
             buckets: (0..n).map(|_| VecDeque::new()).collect(),
             order: VecDeque::new(),
             mask: n - 1,
+            live: 0,
         }
     }
 
     /// Append an arrived send with its concrete envelope key.
     pub(crate) fn push(&mut self, source: usize, tag: Tag, val: T) {
+        self.live += 1;
         let slot = SendSlot {
             source,
             tag,
@@ -232,7 +239,11 @@ impl<T> SendQueue<T> {
         drained: &mut u64,
     ) -> Option<(T, bool)> {
         let wildcard = !is_exact(&sel);
-        let found = self.scan(sel, &dead, drained)?;
+        let d0 = *drained;
+        let found = self.scan(sel, &dead, drained);
+        self.live -= (*drained - d0) as usize;
+        let found = found?;
+        self.live -= 1;
         Some((self.remove_at(found, wildcard), wildcard))
     }
 
@@ -244,7 +255,10 @@ impl<T> SendQueue<T> {
         dead: impl Fn(&T) -> bool,
         drained: &mut u64,
     ) -> Option<(usize, Tag, &T)> {
-        let (_, idx) = self.scan(sel, &dead, drained)?;
+        let d0 = *drained;
+        let found = self.scan(sel, &dead, drained);
+        self.live -= (*drained - d0) as usize;
+        let (_, idx) = found?;
         let s = &self.slab[idx];
         s.val.as_ref().map(|v| (s.source, s.tag, v))
     }
@@ -335,6 +349,14 @@ impl<T> SendQueue<T> {
         self.slab.iter().filter_map(|s| s.val.as_ref())
     }
 
+    /// `(live, tombstones)` occupancy in O(1): live entries awaiting a
+    /// match and tombstoned slab slots not yet recycled. Feeds the
+    /// `fabric.match.live` / `fabric.match.tombstones` gauges.
+    pub(crate) fn counts(&self) -> (usize, usize) {
+        let occupied = self.slab.len() - self.free.len();
+        (self.live, occupied.saturating_sub(self.live))
+    }
+
     /// Live entries currently queued (test observability).
     #[cfg(test)]
     pub(crate) fn live(&self) -> usize {
@@ -362,6 +384,8 @@ pub(crate) struct RecvQueue<T> {
     sideline: VecDeque<usize>,
     mask: usize,
     next_seq: u64,
+    /// Live (non-tombstoned) entries; see [`SendQueue::counts`].
+    live: usize,
 }
 
 /// Pop tombstones and freshly-dead entries off a receive-index front.
@@ -450,11 +474,13 @@ impl<T> RecvQueue<T> {
             sideline: VecDeque::new(),
             mask: n - 1,
             next_seq: 0,
+            live: 0,
         }
     }
 
     /// Append a posted receive under its selector.
     pub(crate) fn push(&mut self, sel: Selector, val: T) {
+        self.live += 1;
         let seq = self.next_seq;
         self.next_seq += 1;
         let slot = RecvSlot {
@@ -492,15 +518,20 @@ impl<T> RecvQueue<T> {
         drained: &mut u64,
     ) -> Option<(T, bool)> {
         let b = bucket_of(source, tag, self.mask);
-        let Self {
-            slab,
-            free,
-            buckets,
-            sideline,
-            ..
-        } = self;
-        let exact = recv_scan(&mut buckets[b], slab, free, source, tag, &dead, drained);
-        let wild = recv_scan(sideline, slab, free, source, tag, &dead, drained);
+        let d0 = *drained;
+        let (exact, wild) = {
+            let Self {
+                slab,
+                free,
+                buckets,
+                sideline,
+                ..
+            } = &mut *self;
+            let exact = recv_scan(&mut buckets[b], slab, free, source, tag, &dead, drained);
+            let wild = recv_scan(sideline, slab, free, source, tag, &dead, drained);
+            (exact, wild)
+        };
+        self.live -= (*drained - d0) as usize;
         let (from_wild, (_, pos, idx)) = match (exact, wild) {
             (None, None) => return None,
             (Some(e), None) => (false, e),
@@ -513,11 +544,16 @@ impl<T> RecvQueue<T> {
                 }
             }
         };
-        let val = slab[idx].val.take().expect("scan returned live entry");
+        let val = self.slab[idx].val.take().expect("scan returned live entry");
+        self.live -= 1;
         if pos == 0 {
-            let q = if from_wild { sideline } else { &mut buckets[b] };
+            let q = if from_wild {
+                &mut self.sideline
+            } else {
+                &mut self.buckets[b]
+            };
             q.pop_front();
-            free.push(idx);
+            self.free.push(idx);
         }
         Some((val, from_wild))
     }
@@ -525,6 +561,12 @@ impl<T> RecvQueue<T> {
     /// Every live entry, slab order (shutdown sweeps only).
     pub(crate) fn iter_live(&self) -> impl Iterator<Item = &T> {
         self.slab.iter().filter_map(|s| s.val.as_ref())
+    }
+
+    /// `(live, tombstones)` occupancy in O(1); see [`SendQueue::counts`].
+    pub(crate) fn counts(&self) -> (usize, usize) {
+        let occupied = self.slab.len() - self.free.len();
+        (self.live, occupied.saturating_sub(self.live))
     }
 
     /// Live entries currently queued (test observability).
@@ -845,6 +887,18 @@ mod tests {
                             }
                         }
                     }
+                    // The O(1) occupancy counters must always agree with a
+                    // full slab walk — they feed the depth gauges.
+                    assert_eq!(
+                        sendq.counts().0,
+                        sendq.live(),
+                        "seed {seed} buckets {buckets}: send live count drift"
+                    );
+                    assert_eq!(
+                        recvq.counts().0,
+                        recvq.live(),
+                        "seed {seed} buckets {buckets}: recv live count drift"
+                    );
                 }
                 assert_eq!(
                     engine_pairs, ref_pairs,

@@ -41,6 +41,7 @@ use crate::stats::FabricMetrics;
 use crate::transfer::{DstSeg, SrcSeg};
 use mpicd_obs::flight::{self, EventKind};
 use mpicd_obs::sync::{Condvar, Mutex};
+use mpicd_obs::telemetry;
 use mpicd_obs::trace::span_acc;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -123,6 +124,10 @@ fn dst_len(d: &ParDst<'_>) -> usize {
 struct ScratchRing {
     state: Mutex<RingState>,
     returned: Condvar,
+    /// Level gauge (`fabric.scratch_free`): slots still available for
+    /// checkout. A sustained low reading means fragments are stalling on
+    /// staging buffers (raise `MPICD_PIPELINE_DEPTH`).
+    gauge: Arc<telemetry::Gauge>,
 }
 
 struct RingState {
@@ -131,15 +136,27 @@ struct RingState {
     depth: usize,
 }
 
+impl RingState {
+    /// Slots a checkout could take right now without blocking.
+    fn free_slots(&self) -> u64 {
+        (self.depth - self.issued + self.free.len()) as u64
+    }
+}
+
 impl ScratchRing {
-    fn new(depth: usize) -> Self {
+    fn new(depth: usize, gauge: Arc<telemetry::Gauge>) -> Self {
+        let depth = depth.max(1);
+        // Structural baseline, recorded even before telemetry is enabled
+        // so the gauge never reads 0-free on an idle ring.
+        gauge.observe_set(depth as u64);
         Self {
             state: Mutex::new(RingState {
                 free: Vec::new(),
                 issued: 0,
-                depth: depth.max(1),
+                depth,
             }),
             returned: Condvar::new(),
+            gauge,
         }
     }
 
@@ -147,10 +164,12 @@ impl ScratchRing {
         let mut st = self.state.lock();
         loop {
             if let Some(b) = st.free.pop() {
+                self.gauge.set(st.free_slots());
                 return b;
             }
             if st.issued < st.depth {
                 st.issued += 1;
+                self.gauge.set(st.free_slots());
                 return Vec::new();
             }
             st = self.returned.wait(st);
@@ -158,7 +177,10 @@ impl ScratchRing {
     }
 
     fn checkin(&self, buf: Vec<u8>) {
-        self.state.lock().free.push(buf);
+        let mut st = self.state.lock();
+        st.free.push(buf);
+        self.gauge.set(st.free_slots());
+        drop(st);
         self.returned.notify_one();
     }
 }
@@ -402,6 +424,9 @@ struct QueuedJob {
 struct PoolQueue {
     jobs: VecDeque<QueuedJob>,
     shutdown: bool,
+    /// Level gauge (`fabric.pipeline.queue`): jobs with unclaimed
+    /// fragments. Updated at the push and pop sites, under the queue lock.
+    depth_gauge: Arc<telemetry::Gauge>,
 }
 
 struct PoolShared {
@@ -418,6 +443,7 @@ fn claim(q: &mut PoolQueue) -> Option<(JobRef, usize)> {
     qj.next += 1;
     if qj.next == qj.frags {
         q.jobs.pop_front();
+        q.depth_gauge.set(q.jobs.len() as u64);
     }
     Some((job, idx))
 }
@@ -440,6 +466,7 @@ impl PipelinePool {
             queue: Mutex::new(PoolQueue {
                 jobs: VecDeque::new(),
                 shutdown: false,
+                depth_gauge: Arc::clone(&metrics.g_pipeline_queue),
             }),
             work: Condvar::new(),
         });
@@ -455,7 +482,7 @@ impl PipelinePool {
         metrics.pipeline_threads.add(threads as u64);
         Self {
             shared,
-            scratch: ScratchRing::new(cfg.depth),
+            scratch: ScratchRing::new(cfg.depth, Arc::clone(&metrics.g_scratch_free)),
             workers,
         }
     }
@@ -565,6 +592,7 @@ pub(crate) fn run_parallel(
             next: 0,
             frags,
         });
+        q.depth_gauge.set(q.jobs.len() as u64);
         pool.shared.work.notify_all();
     }
 
@@ -910,7 +938,7 @@ mod tests {
 
     #[test]
     fn scratch_ring_is_bounded_and_recycles() {
-        let ring = ScratchRing::new(2);
+        let ring = ScratchRing::new(2, Arc::new(telemetry::Gauge::standalone()));
         let b1 = ring.checkout();
         let b2 = ring.checkout();
         ring.checkin(b1);
@@ -958,7 +986,10 @@ mod model_tests {
     #[test]
     fn scratch_ring_hands_single_buffer_across_threads() {
         model(|| {
-            let ring = Arc::new(ScratchRing::new(1));
+            let ring = Arc::new(ScratchRing::new(
+                1,
+                Arc::new(telemetry::Gauge::standalone()),
+            ));
             let r = Arc::clone(&ring);
             let t = mthread::spawn(move || {
                 let mut b = r.checkout();
@@ -1027,6 +1058,7 @@ mod model_tests {
                 queue: Mutex::new(PoolQueue {
                     jobs: VecDeque::new(),
                     shutdown: false,
+                    depth_gauge: Arc::new(telemetry::Gauge::standalone()),
                 }),
                 work: Condvar::new(),
             });
@@ -1079,6 +1111,7 @@ mod model_tests {
                 queue: Mutex::new(PoolQueue {
                     jobs: VecDeque::new(),
                     shutdown: false,
+                    depth_gauge: Arc::new(telemetry::Gauge::standalone()),
                 }),
                 work: Condvar::new(),
             });

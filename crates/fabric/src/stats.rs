@@ -16,6 +16,120 @@ use mpicd_obs::telemetry;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Samples a windowed latency distribution has to hold before the
+/// straggler threshold arms. Below this the p99 of the previous window
+/// is noise and flagging against it would tag healthy transfers.
+const MIN_WINDOW_SAMPLES: u64 = 100;
+
+/// Width of the straggler gate's rotating window (1 s: long enough to
+/// collect [`MIN_WINDOW_SAMPLES`] under any sustained load, short
+/// enough that the threshold tracks shifting traffic).
+const STRAGGLER_WINDOW_NS: u64 = 1_000_000_000;
+
+/// Online straggler detector: log2-bucketed latency histogram over a
+/// rotating wall-clock window. Each completed transfer's active time is
+/// recorded into the current window; when the window rolls over, the
+/// p99 of the *closed* window sets the straggler threshold (2x the
+/// p99 bucket's upper bound) for the next one. A transfer is flagged
+/// the moment it completes — no post-mortem pass.
+///
+/// The gate is advisory: rotation races with concurrent `observe`
+/// calls can misplace a handful of samples across a window boundary,
+/// which shifts the p99 by at most a bucket. It disarms (threshold 0)
+/// whenever the previous window is stale (a gap of idle windows) or
+/// too thin ([`MIN_WINDOW_SAMPLES`]).
+#[derive(Debug)]
+pub(crate) struct StragglerGate {
+    window_ns: u64,
+    epoch: AtomicU64,
+    buckets: [AtomicU64; 64],
+    threshold_ns: AtomicU64,
+}
+
+impl StragglerGate {
+    pub(crate) fn new(window_ns: u64) -> Self {
+        Self {
+            window_ns: window_ns.max(1),
+            epoch: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            threshold_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Upper bound of log2 bucket `idx` (the largest value that maps there).
+    fn bucket_upper(idx: usize) -> u64 {
+        if idx >= 63 {
+            u64::MAX
+        } else {
+            (2u64 << idx) - 1
+        }
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        63 - (v | 1).leading_zeros() as usize
+    }
+
+    /// Record one completed transfer's active time; returns `true` when
+    /// it exceeds the armed threshold from the previous window.
+    pub(crate) fn observe(&self, now_ns: u64, active_ns: u64) -> bool {
+        let epoch = now_ns / self.window_ns;
+        let cur = self.epoch.load(Ordering::Relaxed);
+        if epoch != cur
+            && self
+                .epoch
+                .compare_exchange(cur, epoch, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            // This thread won the rotation: close the previous window,
+            // derive the next threshold from its p99, and reset.
+            let counts: Vec<u64> = self
+                .buckets
+                .iter()
+                .map(|b| b.swap(0, Ordering::Relaxed))
+                .collect();
+            let total: u64 = counts.iter().sum();
+            let thr = if epoch == cur + 1 && total >= MIN_WINDOW_SAMPLES {
+                let rank = (total * 99).div_ceil(100);
+                let mut cum = 0u64;
+                let mut p99_idx = counts.len() - 1;
+                for (i, c) in counts.iter().enumerate() {
+                    cum += c;
+                    if cum >= rank {
+                        p99_idx = i;
+                        break;
+                    }
+                }
+                Self::bucket_upper(p99_idx).saturating_mul(2)
+            } else {
+                // Idle gap or thin window: disarm rather than flag
+                // against stale statistics.
+                0
+            };
+            self.threshold_ns.store(thr, Ordering::Relaxed);
+        }
+        self.buckets[Self::bucket_index(active_ns)].fetch_add(1, Ordering::Relaxed);
+        let thr = self.threshold_ns.load(Ordering::Relaxed);
+        thr != 0 && active_ns > thr
+    }
+
+    /// Currently armed threshold in ns (0 = disarmed).
+    #[cfg(test)]
+    pub(crate) fn threshold(&self) -> u64 {
+        self.threshold_ns.load(Ordering::Relaxed)
+    }
+}
+
+/// Move `gauge` by the difference between a resource's occupancy before
+/// and after an operation, issuing only the one delta (O(1) per call —
+/// never a rescan of the structure).
+pub(crate) fn gauge_shift(gauge: &telemetry::Gauge, before: usize, after: usize) {
+    if after > before {
+        gauge.add((after - before) as u64);
+    } else if before > after {
+        gauge.sub((before - after) as u64);
+    }
+}
+
 /// Monotonic counters describing all traffic a [`Fabric`](crate::Fabric)
 /// has carried.
 #[derive(Debug, Default)]
@@ -195,6 +309,27 @@ pub(crate) struct FabricMetrics {
     /// Continuous telemetry: match events as a windowed series (count =
     /// pairings; rate over a window is matches/sec).
     pub tele_match: Arc<telemetry::Series>,
+    /// Transfers flagged by the online straggler gate (always on).
+    pub stragglers: Arc<Counter>,
+    /// Continuous telemetry: stragglers as a windowed series (count =
+    /// flagged transfers, sum = their active ns), so a live scraper sees
+    /// the current window's straggler rate, not just the lifetime total.
+    pub tele_stragglers: Arc<telemetry::Series>,
+    /// Windowed p99 gate feeding `stragglers`.
+    pub straggler_gate: Arc<StragglerGate>,
+    /// Level gauge: eager bounce-buffer freelist occupancy.
+    pub g_bounce_pool: Arc<telemetry::Gauge>,
+    /// Level gauge: pending unexpected sends across all destinations.
+    pub g_unexpected: Arc<telemetry::Gauge>,
+    /// Level gauge: live entries across matching slabs (posted + unexpected).
+    pub g_match_live: Arc<telemetry::Gauge>,
+    /// Level gauge: tombstoned (matched/cancelled, not yet compacted)
+    /// matching-slab entries.
+    pub g_match_tombstones: Arc<telemetry::Gauge>,
+    /// Level gauge: free scratch-ring slots in the pipeline pool.
+    pub g_scratch_free: Arc<telemetry::Gauge>,
+    /// Level gauge: jobs queued to the pipeline worker pool.
+    pub g_pipeline_queue: Arc<telemetry::Gauge>,
 }
 
 impl FabricMetrics {
@@ -225,6 +360,15 @@ impl FabricMetrics {
             tele_wire_ns: telemetry::sketch("fabric.wire_latency_ns"),
             tele_active_ns: telemetry::sketch("fabric.transfer_active_ns"),
             tele_match: telemetry::series("fabric.match.rate"),
+            stragglers: r.counter("fabric.stragglers"),
+            tele_stragglers: telemetry::series("fabric.stragglers"),
+            straggler_gate: Arc::new(StragglerGate::new(STRAGGLER_WINDOW_NS)),
+            g_bounce_pool: telemetry::gauge("fabric.bounce_pool"),
+            g_unexpected: telemetry::gauge("fabric.unexpected_depth"),
+            g_match_live: telemetry::gauge("fabric.match.live"),
+            g_match_tombstones: telemetry::gauge("fabric.match.tombstones"),
+            g_scratch_free: telemetry::gauge("fabric.scratch_free"),
+            g_pipeline_queue: telemetry::gauge("fabric.pipeline.queue"),
         }
     }
 
@@ -256,6 +400,15 @@ impl FabricMetrics {
             tele_wire_ns: Arc::new(telemetry::Sketch::standalone()),
             tele_active_ns: Arc::new(telemetry::Sketch::standalone()),
             tele_match: Arc::new(telemetry::Series::standalone(1_000_000_000)),
+            stragglers: Arc::new(Counter::new()),
+            tele_stragglers: Arc::new(telemetry::Series::standalone(1_000_000_000)),
+            straggler_gate: Arc::new(StragglerGate::new(STRAGGLER_WINDOW_NS)),
+            g_bounce_pool: Arc::new(telemetry::Gauge::standalone()),
+            g_unexpected: Arc::new(telemetry::Gauge::standalone()),
+            g_match_live: Arc::new(telemetry::Gauge::standalone()),
+            g_match_tombstones: Arc::new(telemetry::Gauge::standalone()),
+            g_scratch_free: Arc::new(telemetry::Gauge::standalone()),
+            g_pipeline_queue: Arc::new(telemetry::Gauge::standalone()),
         }
     }
 
@@ -301,6 +454,15 @@ impl FabricMetrics {
     pub(crate) fn record_drained(&self, n: u64) {
         if n > 0 {
             self.match_drained.add(n);
+        }
+    }
+
+    /// Feed one completed transfer's active time through the straggler
+    /// gate, counting it live if it exceeds the windowed p99 threshold.
+    pub(crate) fn record_straggler_check(&self, now_ns: u64, active_ns: u64) {
+        if self.straggler_gate.observe(now_ns, active_ns) {
+            self.stragglers.inc();
+            self.tele_stragglers.add(active_ns);
         }
     }
 }
@@ -380,6 +542,72 @@ mod tests {
         assert_eq!(m.match_wildcard.get(), 1);
         assert_eq!(m.match_exact.get(), 0);
         assert_eq!(m.match_drained.get(), 7);
+    }
+
+    #[test]
+    fn straggler_gate_arms_from_previous_window_p99() {
+        let g = StragglerGate::new(1_000);
+        // Window 0: 200 samples around 100 ns (bucket 6, upper bound 127).
+        for i in 0..200u64 {
+            assert!(!g.observe(i, 100), "gate must stay disarmed in window 0");
+        }
+        assert_eq!(g.threshold(), 0);
+        // First observe in window 1 rotates; threshold = 2 * 127 = 254.
+        assert!(!g.observe(1_000, 100));
+        assert_eq!(g.threshold(), 254);
+        // A 10 µs transfer in window 1 is flagged live.
+        assert!(g.observe(1_100, 10_000));
+        // A sub-threshold one is not.
+        assert!(!g.observe(1_200, 200));
+    }
+
+    #[test]
+    fn straggler_gate_disarms_on_thin_or_stale_windows() {
+        let g = StragglerGate::new(1_000);
+        // Thin window: below MIN_WINDOW_SAMPLES, never arms.
+        for i in 0..10u64 {
+            g.observe(i, 100);
+        }
+        g.observe(1_000, 100);
+        assert_eq!(g.threshold(), 0, "thin window must not arm");
+        // Arm it properly in window 1...
+        for i in 0..200u64 {
+            g.observe(1_000 + i, 100);
+        }
+        g.observe(2_000, 100);
+        assert_ne!(g.threshold(), 0);
+        // ...then skip straight to window 9: the gap disarms the gate.
+        assert!(!g.observe(9_000, 1 << 40));
+        assert_eq!(g.threshold(), 0, "idle gap must disarm");
+    }
+
+    #[test]
+    fn straggler_check_counts_into_metrics() {
+        let m = FabricMetrics::detached();
+        for i in 0..200u64 {
+            m.record_straggler_check(i, 100);
+        }
+        m.record_straggler_check(STRAGGLER_WINDOW_NS, 100);
+        assert_eq!(m.stragglers.get(), 0);
+        m.record_straggler_check(STRAGGLER_WINDOW_NS + 1, 1 << 30);
+        assert_eq!(m.stragglers.get(), 1);
+    }
+
+    #[test]
+    fn gauge_shift_moves_by_delta_only() {
+        let g = telemetry::Gauge::standalone();
+        g.observe_set(10);
+        gauge_shift(&g, 3, 7);
+        // Standalone gauges bypass the enabled() gate only via observe_*;
+        // gauge_shift goes through add/sub, so force telemetry on.
+        telemetry::set_enabled(true);
+        gauge_shift(&g, 3, 7);
+        assert_eq!(g.get(), 14);
+        gauge_shift(&g, 7, 2);
+        assert_eq!(g.get(), 9);
+        gauge_shift(&g, 5, 5);
+        assert_eq!(g.get(), 9);
+        telemetry::set_enabled(false);
     }
 
     #[test]

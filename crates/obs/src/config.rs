@@ -10,6 +10,9 @@
 //! | `MPICD_FLIGHT` | enable the per-transfer flight recorder, with dump-on-error and a panic-hook dump | off |
 //! | `MPICD_FLIGHT_PATH` | flight-recorder JSONL dump path | `mpicd-flight.jsonl` |
 //! | `MPICD_FLIGHT_CAP` | flight ring capacity (events, process-global) | `65536` |
+//! | `MPICD_FLIGHT_SAMPLE` | record every Nth transfer end-to-end (whole timelines; 1 = all) | `1` |
+//! | `MPICD_HEALTH_MS` | when set, write periodic health snapshots every N ms (invalid values use 1000) | off |
+//! | `MPICD_HEALTH_PATH` | health-snapshot JSONL path | `mpicd-health.jsonl` |
 //! | `MPICD_METRICS_JSON` | write the metrics snapshot as JSON at flush (a path, or `1` for `mpicd-metrics.json`) | off |
 //! | `MPICD_TELEMETRY` | enable the continuous telemetry registry (`1`/`true`/`on`) | off |
 //! | `MPICD_TELEMETRY_WINDOW_MS` | telemetry time-series window width (ms) | `1000` |
@@ -45,6 +48,20 @@ pub const MAX_CAPACITY: usize = 1 << 26;
 
 /// Upper bound accepted for `MPICD_TELEMETRY_WINDOW_MS`: one day.
 pub const MAX_TELEMETRY_WINDOW_MS: u64 = 86_400_000;
+
+/// Default flight-recorder sampling rate: every transfer is recorded.
+pub const DEFAULT_FLIGHT_SAMPLE: u64 = 1;
+
+/// Upper bound accepted for `MPICD_FLIGHT_SAMPLE` (one in a billion —
+/// anything sparser is a typo, not a tuning choice).
+pub const MAX_FLIGHT_SAMPLE: u64 = 1_000_000_000;
+
+/// Default health-snapshot cadence (ms) when `MPICD_HEALTH_MS` is set but
+/// unparseable or 0.
+pub const DEFAULT_HEALTH_MS: u64 = 1_000;
+
+/// Upper bound accepted for `MPICD_HEALTH_MS`: one hour.
+pub const MAX_HEALTH_MS: u64 = 3_600_000;
 
 /// `1`/`true`/`on`-style boolean environment parse (empty/`0`/`false`/
 /// `off` are false).
@@ -137,6 +154,16 @@ pub struct ObsConfig {
     /// Flight ring capacity in events (one ring for the whole process).
     /// Applies only before the first flight event is recorded.
     pub flight_capacity: usize,
+    /// Flight-recorder sampling rate: record every Nth transfer
+    /// end-to-end (1 = record all). Sampled transfers keep their whole
+    /// timeline; unsampled transfers are wholly absent from the ring.
+    pub flight_sample: u64,
+    /// Health-snapshot cadence in milliseconds; 0 disables the
+    /// background health thread (the default).
+    pub health_ms: u64,
+    /// Health-snapshot JSONL path (`None` uses the default
+    /// `mpicd-health.jsonl`).
+    pub health_file: Option<PathBuf>,
     /// Metrics-snapshot JSON path written by [`crate::flush`]
     /// (`None` disables the file).
     pub metrics_file: Option<PathBuf>,
@@ -159,6 +186,9 @@ impl Default for ObsConfig {
             flight: false,
             flight_file: None,
             flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            flight_sample: DEFAULT_FLIGHT_SAMPLE,
+            health_ms: 0,
+            health_file: None,
             metrics_file: None,
             telemetry: false,
             telemetry_window_ms: DEFAULT_TELEMETRY_WINDOW_MS,
@@ -189,6 +219,20 @@ impl ObsConfig {
             DEFAULT_FLIGHT_CAPACITY as u64,
             MAX_CAPACITY as u64,
         ) as usize;
+        let flight_sample = env_bounded(
+            "MPICD_FLIGHT_SAMPLE",
+            DEFAULT_FLIGHT_SAMPLE,
+            MAX_FLIGHT_SAMPLE,
+        );
+        // MPICD_HEALTH_MS arms the health thread by being set at all;
+        // 0/garbage degrade to the documented default cadence rather than
+        // silently disabling the snapshots the operator asked for.
+        let health_ms = if std::env::var("MPICD_HEALTH_MS").is_ok() {
+            env_bounded("MPICD_HEALTH_MS", DEFAULT_HEALTH_MS, MAX_HEALTH_MS)
+        } else {
+            0
+        };
+        let health_file = std::env::var("MPICD_HEALTH_PATH").ok().map(PathBuf::from);
         // MPICD_METRICS_JSON is a path, or a bare truthy flag for the
         // default filename.
         let metrics_file = std::env::var("MPICD_METRICS_JSON").ok().and_then(|v| {
@@ -219,6 +263,9 @@ impl ObsConfig {
             flight,
             flight_file,
             flight_capacity,
+            flight_sample,
+            health_ms,
+            health_file,
             metrics_file,
             telemetry,
             telemetry_window_ms,
@@ -259,6 +306,25 @@ impl ObsConfig {
     /// Builder: flight ring capacity.
     pub fn flight_capacity(mut self, cap: usize) -> Self {
         self.flight_capacity = cap.max(1);
+        self
+    }
+
+    /// Builder: flight-recorder sampling rate (record every `n`th
+    /// transfer; 1 = all).
+    pub fn flight_sample(mut self, n: u64) -> Self {
+        self.flight_sample = n.max(1);
+        self
+    }
+
+    /// Builder: health-snapshot cadence in milliseconds (0 disables).
+    pub fn health_ms(mut self, ms: u64) -> Self {
+        self.health_ms = ms;
+        self
+    }
+
+    /// Builder: health-snapshot JSONL path.
+    pub fn health_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.health_file = Some(path.into());
         self
     }
 
@@ -308,13 +374,25 @@ impl ObsConfig {
             .unwrap_or_else(|| PathBuf::from("mpicd-telemetry.prom"))
     }
 
+    /// The health-snapshot path ([`Self::health_file`] or the default).
+    pub fn health_path(&self) -> PathBuf {
+        self.health_file
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("mpicd-health.jsonl"))
+    }
+
     /// Install as the process-wide configuration (overrides the
     /// environment) and apply the enable flags.
     pub fn install(self) {
         crate::trace::set_enabled(self.enabled);
         crate::flight::set_enabled(self.flight);
+        crate::flight::set_sample(self.flight_sample);
         crate::telemetry::set_enabled(self.telemetry);
+        let health_ms = self.health_ms;
         *store().lock() = self;
+        if health_ms > 0 {
+            crate::health::ensure_started();
+        }
     }
 }
 
@@ -345,6 +423,9 @@ mod tests {
         assert!(!c.telemetry);
         assert_eq!(c.telemetry_window_ms, DEFAULT_TELEMETRY_WINDOW_MS);
         assert_eq!(c.telemetry_path(), PathBuf::from("mpicd-telemetry.prom"));
+        assert_eq!(c.flight_sample, DEFAULT_FLIGHT_SAMPLE);
+        assert_eq!(c.health_ms, 0, "health thread is off by default");
+        assert_eq!(c.health_path(), PathBuf::from("mpicd-health.jsonl"));
     }
 
     #[test]
@@ -359,7 +440,10 @@ mod tests {
             .metrics_file("/tmp/m.json")
             .telemetry(true)
             .telemetry_window_ms(250)
-            .telemetry_file("/tmp/tele.prom");
+            .telemetry_file("/tmp/tele.prom")
+            .flight_sample(16)
+            .health_ms(500)
+            .health_file("/tmp/h.jsonl");
         assert!(c.enabled);
         assert!(c.flight);
         assert_eq!(c.trace_path(), PathBuf::from("/tmp/t.json"));
@@ -370,6 +454,9 @@ mod tests {
         assert!(c.telemetry);
         assert_eq!(c.telemetry_window_ms, 250);
         assert_eq!(c.telemetry_path(), PathBuf::from("/tmp/tele.prom"));
+        assert_eq!(c.flight_sample, 16);
+        assert_eq!(c.health_ms, 500);
+        assert_eq!(c.health_path(), PathBuf::from("/tmp/h.jsonl"));
     }
 
     #[test]

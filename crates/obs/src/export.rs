@@ -8,7 +8,6 @@
 use crate::metrics::{self, HistSummary};
 use crate::trace::{self, Event};
 use std::fmt::Write as _;
-use std::io::Write as _;
 use std::path::Path;
 
 /// Minimal JSON string escaping (names/categories are ASCII literals, but
@@ -60,13 +59,13 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
     out
 }
 
-/// Drain all recorded spans and write them to `path` as Chrome trace JSON.
-/// Returns the number of events written.
+/// Drain all recorded spans and write them to `path` as Chrome trace
+/// JSON, replacing the file atomically (staged as `<path>.tmp`, then
+/// renamed). Returns the number of events written.
 pub fn write_chrome_trace(path: &Path) -> std::io::Result<usize> {
     let events = trace::take_events();
     let json = chrome_trace_json(&events);
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(json.as_bytes())?;
+    crate::fsio::write_atomic(path, json.as_bytes())?;
     Ok(events.len())
 }
 
@@ -156,11 +155,11 @@ pub fn metrics_json(snapshot: &metrics::Snapshot) -> String {
 }
 
 /// Write the process-global metrics snapshot to `path` as JSON
-/// (the `MPICD_METRICS_JSON` artifact).
+/// (the `MPICD_METRICS_JSON` artifact), replacing the file atomically
+/// (staged as `<path>.tmp`, then renamed).
 pub fn write_metrics_json(path: &Path) -> std::io::Result<()> {
     let json = metrics_json(&metrics::global().snapshot());
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(json.as_bytes())
+    crate::fsio::write_atomic(path, json.as_bytes())
 }
 
 #[cfg(test)]

@@ -51,10 +51,18 @@ static ENV_INIT: Once = Once::new();
 /// Dump-on-error / panic-hook behaviour; armed only by `MPICD_FLIGHT`
 /// (environment) so programmatic test toggles never write files.
 static AUTODUMP: AtomicBool = AtomicBool::new(false);
+/// Sampling rate: [`next_id`] hands out a real id to every `SAMPLE`th
+/// transfer and 0 to the rest (1 = record everything).
+static SAMPLE: AtomicU64 = AtomicU64::new(1);
+/// Transfers seen since the recorder was enabled; drives the every-Nth
+/// sampling decision.
+static SAMPLE_TICK: AtomicU64 = AtomicU64::new(0);
 
 fn init_from_env() {
     ENV_INIT.call_once(|| {
-        if crate::config::current().flight {
+        let cfg = crate::config::current();
+        SAMPLE.store(cfg.flight_sample.max(1), Ordering::Relaxed);
+        if cfg.flight {
             ENABLED.store(true, Ordering::Relaxed);
             AUTODUMP.store(true, Ordering::Relaxed);
             install_panic_hook();
@@ -75,6 +83,21 @@ pub fn enabled() -> bool {
 pub fn set_enabled(on: bool) {
     ENV_INIT.call_once(|| {});
     ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Set the sampling rate at runtime (overrides `MPICD_FLIGHT_SAMPLE`):
+/// record every `n`th transfer end-to-end, 1 records everything. Sampling
+/// happens at id-allocation time, so a sampled transfer keeps its *whole*
+/// timeline and an unsampled one is wholly absent — never partial.
+pub fn set_sample(n: u64) {
+    ENV_INIT.call_once(|| {});
+    SAMPLE.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The current sampling rate (`n` as in "record every `n`th transfer").
+pub fn sample() -> u64 {
+    init_from_env();
+    SAMPLE.load(Ordering::Relaxed)
 }
 
 fn install_panic_hook() {
@@ -458,8 +481,22 @@ fn ring() -> &'static Ring {
 /// Allocate a process-unique transfer id, or 0 when the recorder is
 /// disabled (id 0 short-circuits every later recording call, keeping the
 /// disabled hot path at one relaxed atomic load per call site).
+///
+/// With sampling enabled (`MPICD_FLIGHT_SAMPLE=N` / [`set_sample`]),
+/// every `N`th transfer gets a real id and the rest get 0 — so sampled
+/// transfers record complete timelines while unsampled ones stay wholly
+/// absent, and the recorder can stay on under soak-level traffic. The
+/// disabled path is untouched: still the single relaxed load.
 pub fn next_id() -> u64 {
     if !enabled() {
+        return 0;
+    }
+    let n = SAMPLE.load(Ordering::Relaxed);
+    if n > 1
+        && !SAMPLE_TICK
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(n)
+    {
         return 0;
     }
     static NEXT: AtomicU64 = AtomicU64::new(1);
@@ -562,25 +599,27 @@ pub fn overflowed() -> u64 {
 }
 
 /// Write the ring to `path` as JSON lines: one `flight_meta` header line
-/// (event count, overflow count, trace-ring drops), then one line per
-/// event in timestamp order. Returns the number of events written.
+/// (event count, overflow count, trace-ring drops, sampling rate), then
+/// one line per event in timestamp order. The file is replaced atomically
+/// (staged as `<path>.tmp`, then renamed), so a reader racing the dump
+/// sees a previous complete dump or this one — never a torn file.
+/// Returns the number of events written.
 pub fn dump_jsonl(path: &Path) -> std::io::Result<usize> {
-    use std::io::Write as _;
     let mut evs = events();
     evs.sort_by_key(|e| (e.t_ns, e.id));
     let mut out = String::with_capacity(128 + evs.len() * 128);
     out.push_str(&format!(
-        "{{\"kind\":\"flight_meta\",\"version\":2,\"events\":{},\"overflowed\":{},\"trace_dropped\":{}}}\n",
+        "{{\"kind\":\"flight_meta\",\"version\":2,\"events\":{},\"overflowed\":{},\"trace_dropped\":{},\"sample\":{}}}\n",
         evs.len(),
         overflowed(),
         crate::trace::dropped_events(),
+        SAMPLE.load(Ordering::Relaxed),
     ));
     for e in &evs {
         out.push_str(&e.to_json());
         out.push('\n');
     }
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(out.as_bytes())?;
+    crate::fsio::write_atomic(path, out.as_bytes())?;
     Ok(evs.len())
 }
 

@@ -1,0 +1,57 @@
+//! Atomic file replacement for observability artifacts.
+//!
+//! Every file the crate flushes (metrics JSON, telemetry exposition,
+//! flight dumps, Chrome traces, health snapshots) may be read by an
+//! external scraper *while the process is still running* — the health
+//! thread rewrites them continuously. A plain `File::create` + write
+//! exposes a torn half-file to any concurrent reader; writing the whole
+//! payload to a `<path>.tmp` sibling and renaming it into place makes
+//! each flush all-or-nothing (rename is atomic within a filesystem).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The `<path>.tmp` sibling used as the staging file.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Replace `path` with `contents` atomically: write a `<path>.tmp`
+/// sibling, then rename it over `path`. A concurrent reader sees either
+/// the previous complete file or the new complete file, never a torn mix.
+pub(crate) fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let tmp = tmp_sibling(path);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tmp_sibling_appends_suffix() {
+        assert_eq!(
+            tmp_sibling(Path::new("/tmp/a/mpicd-flight.jsonl")),
+            PathBuf::from("/tmp/a/mpicd-flight.jsonl.tmp")
+        );
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_removes_staging() {
+        let dir = std::env::temp_dir().join("mpicd-obs-fsio-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.txt");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        assert!(
+            !tmp_sibling(&path).exists(),
+            "staging file is renamed away, not left behind"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -23,10 +23,17 @@
 //! * [`causal`] — per-rank Lamport clocks and the causal context header
 //!   that travels with each transfer, turning multi-rank flight dumps
 //!   into a cross-rank happens-before DAG (`mpicd-inspect critical-path`).
-//! * [`telemetry`] — continuous telemetry: windowed time-series counters
-//!   and streaming p50/p99 quantile sketches with Prometheus-style text
-//!   exposition (`MPICD_TELEMETRY=1`), at the same disabled-mode
-//!   one-relaxed-load cost discipline as the flight recorder.
+//! * [`telemetry`] — continuous telemetry: windowed time-series counters,
+//!   streaming p50/p99 quantile sketches and level gauges (with
+//!   high-water marks) with Prometheus-style text exposition
+//!   (`MPICD_TELEMETRY=1`), at the same disabled-mode one-relaxed-load
+//!   cost discipline as the flight recorder.
+//! * [`health`] — a background thread (`MPICD_HEALTH_MS=N`) that writes
+//!   periodic health-snapshot JSONL (every registered gauge/series/
+//!   sketch) and refreshes the Prometheus exposition while the process
+//!   runs, instead of waiting for the exit-time [`flush`]. All
+//!   observability files are replaced atomically (tmp + rename), so
+//!   concurrent scrapers never see torn output.
 //! * [`metrics`] — a process-global registry of named [`Counter`]s and
 //!   log2-bucketed [`Histogram`]s with p50/p99/max summaries. Counters are
 //!   plain relaxed atomics and stay on even when tracing is off (they are
@@ -63,6 +70,8 @@ pub mod causal;
 pub mod config;
 pub mod export;
 pub mod flight;
+mod fsio;
+pub mod health;
 pub mod metrics;
 pub mod rng;
 pub mod sync;
@@ -118,6 +127,10 @@ macro_rules! span {
 /// Returns the trace file path if one was written.
 pub fn flush() -> Option<std::path::PathBuf> {
     let cfg = config::current();
+    if health::running() {
+        // Capture the end-of-run state in the snapshot stream too.
+        health::tick();
+    }
     if let Some(mpath) = &cfg.metrics_file {
         match export::write_metrics_json(mpath) {
             Ok(()) => eprintln!("[mpicd-obs] wrote metrics snapshot to {}", mpath.display()),

@@ -15,9 +15,14 @@
 //!   log-linear buckets (exact below 16, then 4 sub-buckets per octave,
 //!   ≤ 25% relative error) plus count/sum/max, answering p50/p99 at any
 //!   moment without storing samples.
+//! * [`Gauge`] — an instantaneous level with a high-water mark: bounded
+//!   resources (freelists, queue depths, slab occupancy) report their
+//!   current value via set/add/sub, and the exposition carries both the
+//!   live level and the highest level ever observed.
 //!
-//! **Cost model.** Disabled (the default), [`Series::add`] and
-//! [`Sketch::record`] are one relaxed atomic load — the same discipline
+//! **Cost model.** Disabled (the default), [`Series::add`],
+//! [`Sketch::record`] and the gauge mutators are one relaxed atomic load
+//! — the same discipline
 //! as [`crate::flight`]. Enabled, they are a handful of relaxed atomic
 //! RMWs on pre-allocated slots: registration ([`series`]/[`sketch`])
 //! allocates once behind a lock, the hot path never allocates and never
@@ -52,6 +57,11 @@ fn init_from_env() {
         if crate::config::current().telemetry {
             ENABLED.store(true, Ordering::Relaxed);
         }
+        // MPICD_HEALTH_MS rides the first telemetry touch: the health
+        // thread only reports registry contents, so starting it here
+        // (rather than at some explicit init call nobody makes) means
+        // env-only runs get live snapshots too.
+        crate::health::ensure_started();
     });
 }
 
@@ -329,6 +339,137 @@ impl Sketch {
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }
+
+    /// Snapshot of the raw bucket counters (cumulative). Two snapshots
+    /// taken a window apart can be differenced and fed to
+    /// [`quantile_from_counts`] to answer *windowed* quantiles — the live
+    /// p50/p99 a soak harness reports per reporting interval.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// The `q`-quantile of a bucket-count vector in [`Sketch`] bucket space
+/// (e.g. the element-wise difference of two [`Sketch::bucket_counts`]
+/// snapshots). Returns the bucket's inclusive upper bound; 0 when the
+/// counts are empty.
+pub fn quantile_from_counts(counts: &[u64], q: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return sketch_bound(i.min(SKETCH_BUCKETS - 1));
+        }
+    }
+    sketch_bound(SKETCH_BUCKETS - 1)
+}
+
+// ---- gauge ------------------------------------------------------------------
+
+/// An instantaneous level with a high-water mark.
+///
+/// Gauges track bounded resources — freelist occupancy, queue depth, slab
+/// live counts — where the *current* value and the *highest value ever
+/// reached* both matter: the former for zero-growth assertions, the
+/// latter for capacity sizing. Values are non-negative; [`Gauge::sub`]
+/// saturates at 0 rather than wrapping. Obtain instances via [`gauge`].
+pub struct Gauge {
+    value: AtomicU64,
+    hwm: AtomicU64,
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gauge")
+            .field("value", &self.get())
+            .field("hwm", &self.high_water())
+            .finish()
+    }
+}
+
+impl Gauge {
+    /// A standalone gauge not registered anywhere (unit tests, detached
+    /// metrics).
+    pub fn standalone() -> Self {
+        Self::new()
+    }
+
+    fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+            hwm: AtomicU64::new(0),
+        }
+    }
+
+    /// Set the level to `v`. One relaxed atomic load when telemetry is
+    /// disabled.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.observe_set(v);
+    }
+
+    /// Raise the level by `v`. One relaxed atomic load when telemetry is
+    /// disabled.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.observe_add(v);
+    }
+
+    /// Lower the level by `v` (saturating at 0). One relaxed atomic load
+    /// when telemetry is disabled.
+    #[inline]
+    pub fn sub(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.observe_sub(v);
+    }
+
+    /// Ungated [`Self::set`] — applies regardless of the enable flag.
+    pub fn observe_set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.hwm.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Ungated [`Self::add`] — applies regardless of the enable flag.
+    pub fn observe_add(&self, v: u64) {
+        let now = self.value.fetch_add(v, Ordering::Relaxed).wrapping_add(v);
+        self.hwm.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Ungated [`Self::sub`] — applies regardless of the enable flag,
+    /// saturating at 0.
+    pub fn observe_sub(&self, v: u64) {
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                Some(c.saturating_sub(v))
+            });
+    }
+
+    /// The current level.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The highest level ever observed.
+    pub fn high_water(&self) -> u64 {
+        self.hwm.load(Ordering::Relaxed)
+    }
 }
 
 // ---- registry ---------------------------------------------------------------
@@ -336,6 +477,17 @@ impl Sketch {
 enum Instrument {
     Series(Arc<Series>),
     Sketch(Arc<Sketch>),
+    Gauge(Arc<Gauge>),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Self::Series(_) => "series",
+            Self::Sketch(_) => "sketch",
+            Self::Gauge(_) => "gauge",
+        }
+    }
 }
 
 struct Registry {
@@ -356,7 +508,7 @@ fn registry() -> &'static Registry {
 
 /// The windowed counter registered under `name` (dotted lowercase, e.g.
 /// `"fabric.messages"`), creating it on first use. Registration takes a
-/// lock; cache the handle. Panics if `name` is already a sketch.
+/// lock; cache the handle. Panics if `name` is already a different kind.
 pub fn series(name: &'static str) -> Arc<Series> {
     let reg = registry();
     let mut map = reg.instruments.lock();
@@ -365,13 +517,13 @@ pub fn series(name: &'static str) -> Arc<Series> {
         .or_insert_with(|| Instrument::Series(Arc::new(Series::new(reg.window_ns))))
     {
         Instrument::Series(s) => Arc::clone(s),
-        Instrument::Sketch(_) => panic!("telemetry name {name:?} is already a sketch"),
+        other => panic!("telemetry name {name:?} is already a {}", other.kind()),
     }
 }
 
 /// The quantile sketch registered under `name` (dotted lowercase, e.g.
 /// `"fabric.wire_ns"`), creating it on first use. Registration takes a
-/// lock; cache the handle. Panics if `name` is already a series.
+/// lock; cache the handle. Panics if `name` is already a different kind.
 pub fn sketch(name: &'static str) -> Arc<Sketch> {
     let reg = registry();
     let mut map = reg.instruments.lock();
@@ -380,7 +532,23 @@ pub fn sketch(name: &'static str) -> Arc<Sketch> {
         .or_insert_with(|| Instrument::Sketch(Arc::new(Sketch::new())))
     {
         Instrument::Sketch(s) => Arc::clone(s),
-        Instrument::Series(_) => panic!("telemetry name {name:?} is already a series"),
+        other => panic!("telemetry name {name:?} is already a {}", other.kind()),
+    }
+}
+
+/// The gauge registered under `name` (dotted lowercase, e.g.
+/// `"fabric.bounce_pool"`), creating it on first use. Registration takes
+/// a lock; cache the handle. Panics if `name` is already a different
+/// kind.
+pub fn gauge(name: &'static str) -> Arc<Gauge> {
+    let reg = registry();
+    let mut map = reg.instruments.lock();
+    match map
+        .entry(name)
+        .or_insert_with(|| Instrument::Gauge(Arc::new(Gauge::new())))
+    {
+        Instrument::Gauge(g) => Arc::clone(g),
+        other => panic!("telemetry name {name:?} is already a {}", other.kind()),
     }
 }
 
@@ -402,7 +570,8 @@ fn prom_name(name: &str) -> String {
 /// Render every registered instrument in Prometheus text-exposition
 /// format. Sketches render as `summary` metrics (p50/p99 quantiles, sum,
 /// count, max gauge); series render as `counter` totals plus a
-/// `_window` gauge pair (count/sum of the last complete window).
+/// `_window` gauge pair (count/sum of the last complete window); gauges
+/// render as a `gauge` pair (live level plus `_hwm` high-water mark).
 pub fn render_prometheus() -> String {
     let reg = registry();
     let map = reg.instruments.lock();
@@ -431,14 +600,84 @@ pub fn render_prometheus() -> String {
                 out.push_str(&format!("{p}_window{{stat=\"count\"}} {wc}\n"));
                 out.push_str(&format!("{p}_window{{stat=\"sum\"}} {ws}\n"));
             }
+            Instrument::Gauge(g) => {
+                out.push_str(&format!("# TYPE {p} gauge\n{p} {}\n", g.get()));
+                out.push_str(&format!(
+                    "# TYPE {p}_hwm gauge\n{p}_hwm {}\n",
+                    g.high_water()
+                ));
+            }
         }
     }
     out
 }
 
-/// Write [`render_prometheus`] to `path`.
+/// Render every registered instrument as one health-snapshot JSON object
+/// (no trailing newline): the line format of the `MPICD_HEALTH_MS`
+/// snapshot stream read back by `mpicd-inspect health`.
+pub fn render_health_json() -> String {
+    use std::fmt::Write as _;
+    let reg = registry();
+    let map = reg.instruments.lock();
+    let mut gauges = String::new();
+    let mut series_out = String::new();
+    let mut sketches = String::new();
+    for (name, inst) in map.iter() {
+        match inst {
+            Instrument::Gauge(g) => {
+                if !gauges.is_empty() {
+                    gauges.push(',');
+                }
+                let _ = write!(
+                    gauges,
+                    "\"{name}\":{{\"value\":{},\"hwm\":{}}}",
+                    g.get(),
+                    g.high_water()
+                );
+            }
+            Instrument::Series(s) => {
+                if !series_out.is_empty() {
+                    series_out.push(',');
+                }
+                let (count, sum) = s.totals();
+                let (wc, ws) = s.last_window();
+                let _ = write!(
+                    series_out,
+                    "\"{name}\":{{\"count\":{count},\"sum\":{sum},\
+                     \"window_count\":{wc},\"window_sum\":{ws}}}"
+                );
+            }
+            Instrument::Sketch(s) => {
+                if !sketches.is_empty() {
+                    sketches.push(',');
+                }
+                let _ = write!(
+                    sketches,
+                    "\"{name}\":{{\"count\":{},\"sum\":{},\"p50\":{},\
+                     \"p99\":{},\"max\":{}}}",
+                    s.count(),
+                    s.sum(),
+                    s.p50(),
+                    s.p99(),
+                    s.max()
+                );
+            }
+        }
+    }
+    format!(
+        "{{\"kind\":\"health\",\"t_ns\":{},\"window_ms\":{},\
+         \"gauges\":{{{gauges}}},\"series\":{{{series_out}}},\
+         \"sketches\":{{{sketches}}}}}",
+        now_ns(),
+        reg.window_ns / 1_000_000,
+    )
+}
+
+/// Write [`render_prometheus`] to `path` atomically (staged as
+/// `<path>.tmp`, then renamed — a concurrent scraper never sees a torn
+/// exposition).
 pub fn write_prometheus(path: &std::path::Path) -> std::io::Result<()> {
-    std::fs::write(path, render_prometheus())
+    crate::fsio::write_atomic(path, render_prometheus().as_bytes())
 }
 
 #[cfg(test)]
@@ -546,5 +785,61 @@ mod tests {
         let c = series("test.same_series");
         let d = series("test.same_series");
         assert!(Arc::ptr_eq(&c, &d));
+        let e = gauge("test.same_gauge");
+        let f = gauge("test.same_gauge");
+        assert!(Arc::ptr_eq(&e, &f));
+    }
+
+    #[test]
+    fn gauge_tracks_level_and_high_water() {
+        let g = Gauge::standalone();
+        g.observe_add(5);
+        g.observe_add(3);
+        assert_eq!(g.get(), 8);
+        assert_eq!(g.high_water(), 8);
+        g.observe_sub(6);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.high_water(), 8, "hwm is sticky");
+        g.observe_sub(100);
+        assert_eq!(g.get(), 0, "sub saturates at zero");
+        g.observe_set(4);
+        assert_eq!(g.get(), 4);
+        assert_eq!(g.high_water(), 8, "set below hwm leaves it");
+        g.observe_set(20);
+        assert_eq!(g.high_water(), 20, "set above hwm raises it");
+    }
+
+    #[test]
+    fn gauge_renders_in_exposition_and_health_json() {
+        let g = gauge("test.expo_gauge");
+        g.observe_add(7);
+        g.observe_sub(3);
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE mpicd_test_expo_gauge gauge"));
+        assert!(text.contains("mpicd_test_expo_gauge 4\n"));
+        assert!(text.contains("mpicd_test_expo_gauge_hwm 7\n"));
+        let health = render_health_json();
+        assert!(health.starts_with("{\"kind\":\"health\","));
+        assert!(health.contains("\"test.expo_gauge\":{\"value\":4,\"hwm\":7}"));
+    }
+
+    #[test]
+    fn windowed_quantiles_from_bucket_deltas() {
+        let s = Sketch::standalone();
+        for v in 1..=100u64 {
+            s.observe(v * 10);
+        }
+        let before = s.bucket_counts();
+        for _ in 0..900 {
+            s.observe(50); // a second batch at a much lower latency
+        }
+        let after = s.bucket_counts();
+        let delta: Vec<u64> = after.iter().zip(&before).map(|(a, b)| a - b).collect();
+        let p50 = quantile_from_counts(&delta, 0.50);
+        assert!(p50 <= 64, "window delta is dominated by the 50s: {p50}");
+        let full_p50 = quantile_from_counts(&after, 0.50);
+        assert!(full_p50 <= 64);
+        assert_eq!(quantile_from_counts(&[], 0.5), 0);
+        assert_eq!(quantile_from_counts(&[0, 0, 0], 0.99), 0);
     }
 }

@@ -1,0 +1,38 @@
+//! Sampling-knob cost discipline — runs in its own process so the
+//! recorder's global enable flag and sample tick are observable from a
+//! known-clean state (one sequential test; no other test file shares
+//! this process).
+
+use mpicd_obs::flight;
+
+#[test]
+fn disabled_sampling_path_is_one_relaxed_load() {
+    assert!(!flight::enabled(), "recorder must default to off");
+
+    // With a sample rate armed but the recorder off, next_id() must take
+    // the disabled early-out: id 0, and — the part a timing test can't
+    // see — *no* sample-tick consumption. The tick counter is private,
+    // so pin it observationally: tick 0 is always sampled, so if the
+    // disabled calls below consumed ticks, the first enabled call would
+    // land mid-cycle and miss its sample slot.
+    flight::set_sample(4);
+    for _ in 0..13 {
+        assert_eq!(flight::next_id(), 0, "disabled ids are 0");
+    }
+
+    flight::set_enabled(true);
+    let first = flight::next_id();
+    assert_ne!(
+        first, 0,
+        "disabled next_id() calls must not advance the sample tick"
+    );
+    // And the cycle continues from there: the next rate-1 ids are again
+    // unsampled until the tick wraps the rate.
+    assert_eq!(flight::next_id(), 0, "tick 1 of 4 is unsampled");
+    assert_eq!(flight::next_id(), 0, "tick 2 of 4 is unsampled");
+    assert_eq!(flight::next_id(), 0, "tick 3 of 4 is unsampled");
+    assert_ne!(flight::next_id(), 0, "tick 4 of 4 starts the next cycle");
+
+    flight::set_enabled(false);
+    flight::set_sample(1);
+}
