@@ -1,0 +1,134 @@
+//! Zero-dependency compile-fail harness for `derive_datatype!`'s const
+//! layout proofs.
+//!
+//! Each `.rs` file in `tests/compile_fail/` is compiled with plain `rustc
+//! --edition 2021 --crate-type lib` against the already-built `mpicd`
+//! rlib (no trybuild, no extra deps). Lines of the form
+//!
+//! ```text
+//! //~ ERROR: <substring>
+//! ```
+//!
+//! pin the expected diagnostics: the case must fail to compile and the
+//! compiler's stderr must contain every annotated substring. A case with
+//! no annotations is a compile-**pass** control and must build cleanly —
+//! this keeps the harness honest (a broken macro that rejects everything
+//! would fail the control, not silently "pass" the fail cases).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// `target/<profile>/deps` — where this test binary and every rlib live.
+fn deps_dir() -> PathBuf {
+    let exe = std::env::current_exe().expect("test binary path");
+    let dir = exe.parent().expect("parent of test binary");
+    if dir.file_name().is_some_and(|n| n == "deps") {
+        dir.to_path_buf()
+    } else {
+        dir.join("deps")
+    }
+}
+
+/// The newest `lib<stem>-<hash>.rlib` in `deps` (stale hashes may linger).
+fn newest_rlib(deps: &Path, stem: &str) -> PathBuf {
+    let prefix = format!("lib{stem}-");
+    let mut best: Option<(std::time::SystemTime, PathBuf)> = None;
+    for entry in std::fs::read_dir(deps).expect("read deps dir") {
+        let path = entry.expect("deps entry").path();
+        let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+            continue;
+        };
+        if !(name.starts_with(&prefix) && name.ends_with(".rlib")) {
+            continue;
+        }
+        let modified = path
+            .metadata()
+            .and_then(|m| m.modified())
+            .expect("rlib mtime");
+        if best.as_ref().is_none_or(|(t, _)| modified > *t) {
+            best = Some((modified, path));
+        }
+    }
+    best.unwrap_or_else(|| panic!("no lib{stem}-*.rlib in {}", deps.display()))
+        .1
+}
+
+/// Expected-error substrings annotated in a case file.
+fn expected_errors(source: &str) -> Vec<String> {
+    source
+        .lines()
+        .filter_map(|l| l.trim().strip_prefix("//~ ERROR:"))
+        .map(|s| s.trim().to_string())
+        .collect()
+}
+
+#[test]
+fn derive_datatype_layout_proofs_are_compile_errors() {
+    let deps = deps_dir();
+    let rlib = newest_rlib(&deps, "mpicd");
+    let cases_dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("compile_fail");
+    let out_dir = std::env::temp_dir().join(format!("mpicd-compile-fail-{}", std::process::id()));
+    std::fs::create_dir_all(&out_dir).expect("create out dir");
+
+    let mut cases: Vec<PathBuf> = std::fs::read_dir(&cases_dir)
+        .expect("compile_fail cases dir")
+        .map(|e| e.expect("case entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    cases.sort();
+    assert!(
+        cases.len() >= 4,
+        "expected the pinned case set, found {cases:?}"
+    );
+
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    let mut failures = Vec::new();
+    for case in &cases {
+        let name = case.file_stem().unwrap().to_string_lossy().into_owned();
+        let source = std::fs::read_to_string(case).expect("read case");
+        let expected = expected_errors(&source);
+
+        let output = Command::new(&rustc)
+            .arg("--edition")
+            .arg("2021")
+            .arg("--crate-type")
+            .arg("lib")
+            .arg("--emit=metadata")
+            .arg("--out-dir")
+            .arg(&out_dir)
+            .arg("--extern")
+            .arg(format!("mpicd={}", rlib.display()))
+            .arg("-L")
+            .arg(format!("dependency={}", deps.display()))
+            .arg(case)
+            .output()
+            .expect("spawn rustc");
+        let stderr = String::from_utf8_lossy(&output.stderr);
+
+        if expected.is_empty() {
+            if !output.status.success() {
+                failures.push(format!(
+                    "{name}: compile-pass control failed to build:\n{stderr}"
+                ));
+            }
+            continue;
+        }
+        if output.status.success() {
+            failures.push(format!(
+                "{name}: expected a compile error ({expected:?}) but the case built"
+            ));
+            continue;
+        }
+        for want in &expected {
+            if !stderr.contains(want.as_str()) {
+                failures.push(format!(
+                    "{name}: diagnostic missing expected substring {want:?}; stderr was:\n{stderr}"
+                ));
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&out_dir);
+    assert!(failures.is_empty(), "{}", failures.join("\n---\n"));
+}

@@ -1,0 +1,13 @@
+//! Compile-fail: the declaration omits field `b`, so the exhaustiveness
+//! proof (rebuild from exactly the declared fields) must reject it.
+//~ ERROR: missing field `b` in initializer
+
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gapped {
+    pub a: f64,
+    pub b: i32,
+    pub c: i32,
+}
+
+mpicd::derive_datatype!(for Gapped { a: f64, c: i32 });

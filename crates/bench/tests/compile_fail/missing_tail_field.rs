@@ -1,0 +1,14 @@
+//! Compile-fail: the omitted trailing `pad` field hides entirely inside
+//! what the size accounting would take for repr(C) tail padding — only the
+//! exhaustiveness proof can catch it.
+//~ ERROR: missing field `pad` in initializer
+
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Padded {
+    pub value: f64,
+    pub id: i32,
+    pub pad: [u8; 2],
+}
+
+mpicd::derive_datatype!(for Padded { value: f64, id: i32 });

@@ -1,0 +1,10 @@
+//! Compile-fail: `bool` is not a DatatypeField (receiving arbitrary bytes
+//! into a bool is undefined behaviour), so the POD proof must reject it.
+//~ ERROR: DatatypeField` is not satisfied
+
+mpicd::derive_datatype! {
+    pub struct Flagged {
+        on: bool,
+        value: f64,
+    }
+}

@@ -1,0 +1,21 @@
+//! Compile-pass control: a correct nested declaration (both macro forms)
+//! sails through every layout proof. No `//~ ERROR` annotations — the
+//! harness asserts this case compiles cleanly.
+
+mpicd::derive_datatype! {
+    /// Inner struct with tail padding (f64 + i32 + 4 bytes).
+    pub struct Inner {
+        rho: f64,
+        mat: i32,
+    }
+}
+
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outer {
+    pub pos: [f64; 3],
+    pub cell: Inner,
+    pub id: i64,
+}
+
+mpicd::derive_datatype!(for Outer { pos: [f64; 3], cell: Inner, id: i64 });

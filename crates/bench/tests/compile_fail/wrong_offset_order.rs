@@ -1,0 +1,12 @@
+//! Compile-fail: fields listed out of declaration order, so the repr(C)
+//! offset replay disagrees with the real `offset_of!` values.
+//~ ERROR: is not at its declared repr(C) offset
+
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    pub x: f64,
+    pub y: i32,
+}
+
+mpicd::derive_datatype!(for Point { y: i32, x: f64 });

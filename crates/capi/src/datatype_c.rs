@@ -222,6 +222,38 @@ pub unsafe extern "C" fn MPI_Type_free(datatype: *mut MPI_Datatype) -> c_int {
     MPI_SUCCESS
 }
 
+/// `MPIX_Type_signature` (extension): the 64-bit structural signature of a
+/// datatype — the token the fabric compares under `MPICD_TYPECHECK`.
+///
+/// Works on predefined handles, derived (uncommitted) types, and committed
+/// types. Custom-callback types have no declared type map and report `0`
+/// ("unchecked"), matching how their sends travel on the wire.
+///
+/// # Safety
+/// `signature` must be a valid pointer.
+#[allow(non_snake_case)]
+pub unsafe extern "C" fn MPIX_Type_signature(datatype: MPI_Datatype, signature: *mut u64) -> c_int {
+    if signature.is_null() {
+        return MPI_ERR_ARG;
+    }
+    if let Ok(t) = resolve_element_type(datatype) {
+        *signature = mpicd_datatype::signature64(&t);
+        return MPI_SUCCESS;
+    }
+    match crate::handles::lookup_type(datatype) {
+        Ok(TypeEntry::Committed(c)) => {
+            *signature = c.signature64();
+            MPI_SUCCESS
+        }
+        Ok(TypeEntry::Custom(_)) => {
+            *signature = 0;
+            MPI_SUCCESS
+        }
+        Ok(TypeEntry::Derived(_)) => unreachable!("resolved above"),
+        Err(e) => e,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,5 +353,74 @@ mod tests {
             )
         };
         assert_eq!(rc, MPI_ERR_ARG);
+    }
+
+    /// Build `{bl × type @ displ}` struct handles for signature tests.
+    unsafe fn struct_handle(fields: &[(MPI_Count, MPI_Count, MPI_Datatype)]) -> MPI_Datatype {
+        let bl: Vec<MPI_Count> = fields.iter().map(|f| f.0).collect();
+        let d: Vec<MPI_Count> = fields.iter().map(|f| f.1).collect();
+        let t: Vec<MPI_Datatype> = fields.iter().map(|f| f.2).collect();
+        let mut ty: MPI_Datatype = 0;
+        assert_eq!(
+            MPI_Type_create_struct(
+                fields.len() as MPI_Count,
+                bl.as_ptr(),
+                d.as_ptr(),
+                t.as_ptr(),
+                &mut ty,
+            ),
+            MPI_SUCCESS
+        );
+        ty
+    }
+
+    #[test]
+    fn type_signature_survives_commit_and_separates_layouts() {
+        unsafe {
+            // The acceptance-criteria pair: {f64,f64,i32} vs {f64,i32,f64}.
+            let mut a = struct_handle(&[(2, 0, MPI_DOUBLE), (1, 16, MPI_INT)]);
+            let b = struct_handle(&[(1, 0, MPI_DOUBLE), (1, 8, MPI_INT), (1, 16, MPI_DOUBLE)]);
+            let mut sig_a = 0u64;
+            let mut sig_b = 0u64;
+            assert_eq!(MPIX_Type_signature(a, &mut sig_a), MPI_SUCCESS);
+            assert_eq!(MPIX_Type_signature(b, &mut sig_b), MPI_SUCCESS);
+            assert_ne!(sig_a, 0, "declared type maps are always checked");
+            assert_ne!(sig_a, sig_b, "reordered fields get distinct tokens");
+            // Committing must not change the wire token.
+            assert_eq!(MPI_Type_commit(&mut a), MPI_SUCCESS);
+            let mut sig_committed = 0u64;
+            assert_eq!(MPIX_Type_signature(a, &mut sig_committed), MPI_SUCCESS);
+            assert_eq!(sig_committed, sig_a);
+            // Predefined handles work too.
+            let mut sig_int = 0u64;
+            assert_eq!(MPIX_Type_signature(MPI_INT, &mut sig_int), MPI_SUCCESS);
+            assert_ne!(sig_int, 0);
+        }
+    }
+
+    #[test]
+    fn custom_types_report_unchecked_signature() {
+        let mut ty: MPI_Datatype = 0;
+        unsafe {
+            assert_eq!(
+                MPI_Type_create_custom(
+                    Some(sf),
+                    None,
+                    Some(qf),
+                    None,
+                    None,
+                    None,
+                    None,
+                    std::ptr::null_mut(),
+                    1,
+                    &mut ty,
+                ),
+                MPI_SUCCESS
+            );
+            let mut sig = 1u64;
+            assert_eq!(MPIX_Type_signature(ty, &mut sig), MPI_SUCCESS);
+            assert_eq!(sig, 0, "no declared type map, so unchecked on the wire");
+            assert_eq!(MPIX_Type_signature(ty, std::ptr::null_mut()), MPI_ERR_ARG);
+        }
     }
 }

@@ -31,8 +31,8 @@ pub mod pt2pt;
 
 pub use ctypes::*;
 pub use datatype_c::{
-    MPI_Get_count, MPI_Type_commit, MPI_Type_contiguous, MPI_Type_create_custom,
-    MPI_Type_create_struct, MPI_Type_free, MPI_Type_vector,
+    MPIX_Type_signature, MPI_Get_count, MPI_Type_commit, MPI_Type_contiguous,
+    MPI_Type_create_custom, MPI_Type_create_struct, MPI_Type_free, MPI_Type_vector,
 };
 pub use handles::{mpi_attach_rank, mpi_finalize_sim, mpi_init_sim};
 pub use pt2pt::{

@@ -106,6 +106,21 @@ impl World {
         }
     }
 
+    /// The fully-explicit constructor: wire model, pipeline, and matching
+    /// configuration (match buckets + `MPICD_TYPECHECK` mode), ignoring the
+    /// environment. Tests pin the typecheck mode through this so parallel
+    /// test binaries never race on the process environment.
+    pub fn with_config(
+        size: usize,
+        model: WireModel,
+        pipeline: mpicd_fabric::PipelineConfig,
+        matching: mpicd_fabric::MatchConfig,
+    ) -> Self {
+        Self {
+            fabric: Fabric::with_config(size, model, pipeline, matching),
+        }
+    }
+
     /// World size.
     pub fn size(&self) -> usize {
         self.fabric.size()
@@ -461,11 +476,12 @@ impl Communicator {
         let packed_size = ctx.packed_size()?;
         let regions = ctx.regions()?;
         let inorder = ctx.inorder();
+        let sig = ctx.type_signature();
         let iov = send_regions_to_iov(&regions);
         let packer: Box<dyn FragmentPacker + 'a> = Box::new(PackAdapter(ctx));
         // SAFETY: lifetime extension justified by this function's contract.
         let packer: Box<dyn FragmentPacker + 'static> = std::mem::transmute(packer);
-        Ok(self.ep.post_send(
+        Ok(self.ep.post_send_sig(
             SendDesc::Generic {
                 packer,
                 packed_size,
@@ -474,6 +490,7 @@ impl Communicator {
             },
             dest,
             tag,
+            sig,
         )?)
     }
 
@@ -491,11 +508,12 @@ impl Communicator {
     ) -> Result<Request> {
         let packed_size = ctx.packed_size()?;
         let regions = ctx.regions()?;
+        let sig = ctx.type_signature();
         let iov = recv_regions_to_iov(&regions);
         let ptr: *mut (dyn CustomUnpack + '_) = ctx;
         // SAFETY: lifetime extension justified by this function's contract.
         let ptr: *mut (dyn CustomUnpack + 'static) = std::mem::transmute(ptr);
-        Ok(self.ep.post_recv(
+        Ok(self.ep.post_recv_sig(
             RecvDesc::Generic {
                 unpacker: Box::new(UnpackPtr(ptr)),
                 packed_size,
@@ -503,6 +521,7 @@ impl Communicator {
             },
             source,
             tag,
+            sig,
         )?)
     }
 
@@ -520,6 +539,10 @@ impl Communicator {
         dest: usize,
         tag: Tag,
     ) -> Result<Request> {
+        // The committed type's structural signature rides along so the
+        // receiver can verify the pair under MPICD_TYPECHECK — on the fast
+        // path too: dense bytes through the wrong type map are still wrong.
+        let sig = ty.signature64();
         if ty.is_contiguous() {
             // Fast path: dense types go out as raw bytes (what Open MPI does
             // for `struct-simple-no-gap` in Fig 6).
@@ -527,7 +550,9 @@ impl Communicator {
                 ptr: base,
                 len: ty.size() * count,
             };
-            Ok(self.ep.post_send(SendDesc::Contig(entry), dest, tag)?)
+            Ok(self
+                .ep
+                .post_send_sig(SendDesc::Contig(entry), dest, tag, sig)?)
         } else {
             // Gapped types stream through the type-map pack engine, fragment
             // by fragment — Open MPI's convertor behaviour (slow in Fig 5).
@@ -536,7 +561,7 @@ impl Communicator {
             // `inorder: false`: the type-map engine addresses any stream
             // offset directly, so fragments may arrive (or be produced by
             // the parallel pipeline) in any order.
-            Ok(self.ep.post_send(
+            Ok(self.ep.post_send_sig(
                 SendDesc::Generic {
                     packer: Box::new(DtPack(packer)),
                     packed_size,
@@ -545,6 +570,7 @@ impl Communicator {
                 },
                 dest,
                 tag,
+                sig,
             )?)
         }
     }
@@ -562,16 +588,19 @@ impl Communicator {
         source: i32,
         tag: Tag,
     ) -> Result<Request> {
+        let sig = ty.signature64();
         if ty.is_contiguous() {
             let entry = IovEntryMut {
                 ptr: base,
                 len: ty.size() * count,
             };
-            Ok(self.ep.post_recv(RecvDesc::Contig(entry), source, tag)?)
+            Ok(self
+                .ep
+                .post_recv_sig(RecvDesc::Contig(entry), source, tag, sig)?)
         } else {
             let unpacker = DatatypeUnpacker::new(Arc::clone(ty), base, count);
             let packed_size = unpacker.packed_size();
-            Ok(self.ep.post_recv(
+            Ok(self.ep.post_recv_sig(
                 RecvDesc::Generic {
                     unpacker: Box::new(DtUnpack(unpacker)),
                     packed_size,
@@ -579,6 +608,7 @@ impl Communicator {
                 },
                 source,
                 tag,
+                sig,
             )?)
         }
     }

@@ -176,6 +176,14 @@ pub trait CustomPack: Send {
     fn random_access(&self) -> Option<&dyn RandomAccessPacker> {
         None
     }
+
+    /// 64-bit structural signature of the datatype this context serializes,
+    /// compared against the receiver's under `MPICD_TYPECHECK` (see
+    /// `mpicd_datatype::signature64`). The default `0` means "unchecked" —
+    /// hand-written contexts with no declared type map opt out.
+    fn type_signature(&self) -> u64 {
+        0
+    }
 }
 
 /// Receive-side custom serialization context (unpack state).
@@ -208,6 +216,13 @@ pub trait CustomUnpack: Send {
     /// serial engine.
     fn random_access(&self) -> Option<&dyn RandomAccessUnpacker> {
         None
+    }
+
+    /// 64-bit structural signature of the datatype this context expects,
+    /// compared against the sender's under `MPICD_TYPECHECK`. The default
+    /// `0` means "unchecked".
+    fn type_signature(&self) -> u64 {
+        0
     }
 }
 

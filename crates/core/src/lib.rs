@@ -54,6 +54,7 @@ pub mod collective;
 pub mod communicator;
 pub mod containers;
 pub mod datatype;
+pub mod derive;
 pub mod error;
 pub mod exchange;
 pub mod macros;
@@ -71,6 +72,7 @@ pub use communicator::{Communicator, MatchedMessage, Scope, Status, World};
 pub use datatype::{
     CustomPack, CustomUnpack, RandomAccessPacker, RandomAccessUnpacker, RecvRegion, SendRegion,
 };
+pub use derive::{DatatypeField, StaticDatatype};
 pub use error::{Error, Result};
 pub use exchange::{transfer, transfer_custom, transfer_typed};
 pub use resumable::LoopNest;

@@ -37,6 +37,10 @@ pub struct Committed {
     /// Compiled pack plan (see [`mod@crate::plan`]); `None` on the
     /// interpreted and convertor paths.
     plan: Option<Arc<PackPlan>>,
+    /// Stable 64-bit structural signature ([`crate::equivalence::key64`] of
+    /// the type's structural key), computed once at commit time because the
+    /// flattened form does not retain the type tree. Never zero.
+    sig64: u64,
 }
 
 impl Committed {
@@ -124,6 +128,7 @@ impl Committed {
             max_end,
             convertor: false,
             plan: None,
+            sig64: crate::equivalence::signature64(t),
         })
     }
 
@@ -146,6 +151,15 @@ impl Committed {
     /// Lower bound in bytes.
     pub fn lb(&self) -> isize {
         self.lb
+    }
+
+    /// The stable 64-bit structural signature of the committed type (see
+    /// [`crate::equivalence::signature64`]). Identical across the plan,
+    /// interpreted and convertor commit paths, and across processes, so
+    /// the fabric can compare a sender's token against the posted
+    /// receive's under `MPICD_TYPECHECK`.
+    pub fn signature64(&self) -> u64 {
+        self.sig64
     }
 
     /// Number of merged blocks per element.
@@ -549,6 +563,22 @@ mod tests {
         let c = t.commit_convertor().unwrap();
         assert!(c.is_contiguous());
         assert_eq!(c.block_count(), 1);
+    }
+
+    #[test]
+    fn signature64_agrees_across_commit_paths() {
+        let t = Datatype::structure(vec![(3, 0, int()), (1, 16, dbl())]);
+        let plan = t.commit().unwrap();
+        let interp = t.commit_interpreted().unwrap();
+        let conv = t.commit_convertor().unwrap();
+        assert_ne!(plan.signature64(), 0);
+        assert_eq!(plan.signature64(), interp.signature64());
+        assert_eq!(plan.signature64(), conv.signature64());
+        assert_eq!(
+            plan.signature64(),
+            crate::equivalence::signature64(&t),
+            "commit stores the tree's digest verbatim"
+        );
     }
 
     #[test]

@@ -135,6 +135,55 @@ pub fn structural_key(t: &Datatype) -> StructuralKey {
     }
 }
 
+/// Stable 64-bit digest of a [`StructuralKey`], used as the wire-level
+/// type-matching token (the `MPICD_TYPECHECK` enforcement described in
+/// DESIGN.md §6i).
+///
+/// Properties the enforcement layer relies on:
+///
+/// * **deterministic across processes** — hand-rolled FNV-1a over a fixed
+///   little-endian serialization, no `std::hash` randomization;
+/// * **structural, not nominal** — two types with identical maps, extents
+///   and lower bounds digest identically even when built from different
+///   constructors (see `different_constructors_same_key64`);
+/// * **never zero** — `0` is reserved as the "unchecked" sentinel for raw
+///   byte transfers, so a digest landing on 0 is nudged to 1.
+///
+/// Note this token is *stricter* than MPI's signature-compatibility rule:
+/// it also commits displacements and extent, so a send/recv pair with the
+/// same primitive sequence but different layouts mismatches. That is
+/// deliberate — the fabric moves type maps, not just signatures.
+pub fn key64(k: &StructuralKey) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(&(k.map.len() as u64).to_le_bytes());
+    for (p, displ) in &k.map {
+        eat(&[*p as u8]);
+        eat(&(*displ as i64).to_le_bytes());
+    }
+    eat(&(k.extent as u64).to_le_bytes());
+    eat(&(k.lb as i64).to_le_bytes());
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+/// The 64-bit structural signature of a datatype: [`key64`] of its
+/// [`structural_key`]. This is what [`crate::Committed::signature64`]
+/// stores at commit time and what the fabric compares per transfer.
+pub fn signature64(t: &Datatype) -> u64 {
+    key64(&structural_key(t))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +240,116 @@ mod tests {
         );
         let v = Datatype::vector(1, 2, 2, int());
         assert_eq!(structural_key(&t), structural_key(&v));
+    }
+
+    #[test]
+    fn different_constructors_same_key64() {
+        let a = Datatype::contiguous(4, int());
+        let b = Datatype::vector(2, 2, 2, int());
+        let c = Datatype::indexed(vec![(4, 0)], int());
+        assert_eq!(signature64(&a), signature64(&b));
+        assert_eq!(signature64(&b), signature64(&c));
+    }
+
+    #[test]
+    fn key64_separates_layouts_and_reorderings() {
+        // Same primitive sequence, different displacement → different digest
+        // (the token is stricter than MPI signature compatibility).
+        let packed = Datatype::structure(vec![(3, 0, int()), (1, 12, dbl())]);
+        let gapped = Datatype::structure(vec![(3, 0, int()), (1, 16, dbl())]);
+        assert!(compatible(&packed, &gapped));
+        assert_ne!(signature64(&packed), signature64(&gapped));
+        // Field reordering (the acceptance-criteria pair).
+        let ffi = Datatype::structure(vec![(2, 0, dbl()), (1, 16, int())]);
+        let fif = Datatype::structure(vec![(1, 0, dbl()), (1, 8, int()), (1, 16, dbl())]);
+        assert_ne!(signature64(&ffi), signature64(&fif));
+        // Resizing changes extent → different digest.
+        let t = Datatype::contiguous(2, int());
+        let r = Datatype::resized(0, 64, Datatype::contiguous(2, int()));
+        assert_ne!(signature64(&t), signature64(&r));
+    }
+
+    #[test]
+    fn key64_is_never_zero() {
+        // Zero is the "unchecked" sentinel; even the empty type digests
+        // to a nonzero token.
+        let empty = Datatype::contiguous(0, int());
+        assert_ne!(signature64(&empty), 0);
+    }
+
+    #[test]
+    fn key64_collisions_imply_identical_maps_seeded_random() {
+        // The safety property behind MPICD_TYPECHECK: a 64-bit key
+        // collision must only ever pair types with byte-identical type
+        // maps (and extents). Exercised over a seeded (deterministic,
+        // zero-dep) population of random constructor trees.
+        struct XorShift(u64);
+        impl XorShift {
+            fn next(&mut self) -> u64 {
+                self.0 ^= self.0 << 13;
+                self.0 ^= self.0 >> 7;
+                self.0 ^= self.0 << 17;
+                self.0
+            }
+            fn pick(&mut self, n: u64) -> u64 {
+                self.next() % n
+            }
+        }
+        fn random_type(rng: &mut XorShift, depth: u32) -> Datatype {
+            let leaf = match rng.pick(4) {
+                0 => Datatype::predefined(Primitive::Byte),
+                1 => Datatype::predefined(Primitive::Int32),
+                2 => Datatype::predefined(Primitive::Double),
+                _ => Datatype::predefined(Primitive::Float),
+            };
+            if depth == 0 {
+                return leaf;
+            }
+            let child = random_type(rng, depth - 1);
+            match rng.pick(5) {
+                0 => Datatype::contiguous(1 + rng.pick(4) as usize, child),
+                1 => Datatype::vector(
+                    1 + rng.pick(3) as usize,
+                    1 + rng.pick(2) as usize,
+                    2 + rng.pick(3) as isize,
+                    child,
+                ),
+                2 => Datatype::indexed(
+                    (0..1 + rng.pick(3))
+                        .map(|i| (1 + rng.pick(2) as usize, (i * 8) as isize))
+                        .collect(),
+                    child,
+                ),
+                3 => {
+                    let extent = child.extent().max(1) * (1 + rng.pick(2) as usize);
+                    Datatype::resized(0, extent, child)
+                }
+                _ => Datatype::structure(vec![
+                    (1, 0, child),
+                    (1 + rng.pick(2) as usize, 64, random_type(rng, depth - 1)),
+                ]),
+            }
+        }
+
+        let mut rng = XorShift(0x9E37_79B9_7F4A_7C15);
+        let population: Vec<Datatype> = (0..200).map(|_| random_type(&mut rng, 3)).collect();
+        let mut by_key: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for (i, t) in population.iter().enumerate() {
+            let k = signature64(t);
+            assert_ne!(k, 0, "key64 never returns the unchecked sentinel");
+            if let Some(&j) = by_key.get(&k) {
+                let prev = &population[j];
+                assert_eq!(
+                    type_map(prev),
+                    type_map(t),
+                    "types {j} and {i} collide on key64 with different maps"
+                );
+                assert_eq!(prev.extent(), t.extent(), "extent is committed by the key");
+            } else {
+                by_key.insert(k, i);
+            }
+        }
+        assert!(by_key.len() > 100, "generator must produce diverse layouts");
     }
 
     #[test]

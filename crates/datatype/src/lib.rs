@@ -36,9 +36,14 @@ pub mod primitive;
 pub mod typ;
 
 pub use committed::Committed;
-pub use equivalence::{compatible, equivalent, signature, structural_key, type_map, StructuralKey};
+pub use equivalence::{
+    compatible, equivalent, key64, signature, signature64, structural_key, type_map, StructuralKey,
+};
 pub use error::{DatatypeError, DatatypeResult};
-pub use marshal::{marshal, marshal_with_context, unmarshal, unmarshal_with_context};
+pub use marshal::{
+    marshal, marshal_with_context, marshal_with_header, unmarshal, unmarshal_with_context,
+    unmarshal_with_header,
+};
 pub use plan::{Kernel, KernelPolicy, PackPlan, PlanOp};
 pub use primitive::Primitive;
 pub use typ::Datatype;

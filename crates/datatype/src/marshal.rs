@@ -78,16 +78,65 @@ pub fn marshal_with_context(t: &Datatype, ctx: CausalContext) -> Vec<u8> {
 ///
 /// A plain [`marshal`] buffer (no frame) is accepted and yields the
 /// default (empty) context, so readers interoperate with senders that do
-/// not stamp causal headers.
+/// not stamp causal headers. A signature frame ([`SIG_MAGIC`]) is
+/// accepted and skipped; use [`unmarshal_with_header`] to read it.
 pub fn unmarshal_with_context(bytes: &[u8]) -> DatatypeResult<(Datatype, CausalContext)> {
-    match bytes.first() {
-        Some(&CONTEXT_MAGIC) => {
-            let ctx = CausalContext::decode(&bytes[1..])
-                .ok_or(DatatypeError::InvalidArgument("truncated causal context"))?;
-            Ok((unmarshal(&bytes[1 + CONTEXT_BYTES..])?, ctx))
-        }
-        _ => Ok((unmarshal(bytes)?, CausalContext::default())),
+    let (t, ctx, _sig) = unmarshal_with_header(bytes)?;
+    Ok((t, ctx))
+}
+
+/// Leading byte of a structural-signature frame: [`SIG_MAGIC`] followed by
+/// the sender's 64-bit structural signature
+/// ([`crate::equivalence::signature64`]) in little-endian order. Like
+/// [`CONTEXT_MAGIC`], the value sits outside the constructor-tag range
+/// 0..=7 so framed and plain buffers are unambiguous.
+pub const SIG_MAGIC: u8 = 0xC6;
+
+/// Serialize the full transfer header for a marshalled send: causal
+/// context frame (`0xC5`), structural signature frame (`0xC6`), then the
+/// datatype description.
+///
+/// A zero `sig` means "unchecked" (the raw-byte sentinel) and suppresses
+/// the signature frame. The receive side recovers all three parts with
+/// [`unmarshal_with_header`] and hands the signature to the fabric's
+/// `MPICD_TYPECHECK` comparison before unpacking any payload.
+pub fn marshal_with_header(t: &Datatype, ctx: CausalContext, sig: u64) -> Vec<u8> {
+    let _sp = mpicd_obs::span!("dt.marshal", "datatype");
+    let mut out = Vec::with_capacity(2 + CONTEXT_BYTES + 8);
+    out.push(CONTEXT_MAGIC);
+    out.extend_from_slice(&ctx.encode());
+    if sig != 0 {
+        out.push(SIG_MAGIC);
+        out.extend_from_slice(&sig.to_le_bytes());
     }
+    encode(t, &mut out);
+    out
+}
+
+/// Reconstruct a datatype description plus the optional causal-context and
+/// structural-signature frames written by [`marshal_with_header`].
+///
+/// Both frames are optional and ordered (`0xC5` before `0xC6`); absent
+/// frames yield the default context and signature `0` ("unchecked"), so
+/// plain [`marshal`] buffers and [`marshal_with_context`] buffers decode
+/// unchanged.
+pub fn unmarshal_with_header(bytes: &[u8]) -> DatatypeResult<(Datatype, CausalContext, u64)> {
+    let mut rest = bytes;
+    let mut ctx = CausalContext::default();
+    if rest.first() == Some(&CONTEXT_MAGIC) {
+        ctx = CausalContext::decode(&rest[1..])
+            .ok_or(DatatypeError::InvalidArgument("truncated causal context"))?;
+        rest = &rest[1 + CONTEXT_BYTES..];
+    }
+    let mut sig = 0u64;
+    if rest.first() == Some(&SIG_MAGIC) {
+        if rest.len() < 1 + 8 {
+            return Err(DatatypeError::InvalidArgument("truncated signature frame"));
+        }
+        sig = u64::from_le_bytes(rest[1..9].try_into().unwrap());
+        rest = &rest[9..];
+    }
+    Ok((unmarshal(rest)?, ctx, sig))
 }
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
@@ -331,9 +380,29 @@ mod tests {
 
     #[test]
     fn trailing_garbage_detected() {
+        // Pin the *typed* error, not just `is_err()`: extra bytes after a
+        // well-formed description must never be silently ignored, on any
+        // of the three decode entry points.
         let mut bytes = marshal(&Datatype::of::<i32>());
         bytes.push(0);
-        assert!(unmarshal(&bytes).is_err());
+        let expect = |r: DatatypeResult<()>| {
+            assert!(
+                matches!(
+                    r,
+                    Err(DatatypeError::InvalidArgument(
+                        "trailing bytes after marshalled datatype"
+                    ))
+                ),
+                "want the pinned trailing-bytes error, got {r:?}"
+            );
+        };
+        expect(unmarshal(&bytes).map(|_| ()));
+        expect(unmarshal_with_context(&bytes).map(|_| ()));
+        expect(unmarshal_with_header(&bytes).map(|_| ()));
+        // Same for a framed buffer with garbage after the description.
+        let mut framed = marshal_with_header(&Datatype::of::<i32>(), CausalContext::default(), 7);
+        framed.push(0xAB);
+        expect(unmarshal_with_header(&framed).map(|_| ()));
     }
 
     #[test]
@@ -373,6 +442,49 @@ mod tests {
         let bytes = marshal_with_context(&sample(), CausalContext::default());
         for cut in 1..=CONTEXT_BYTES {
             assert!(unmarshal_with_context(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn header_frame_roundtrips() {
+        let t = sample();
+        let ctx = CausalContext {
+            fid: 7,
+            lc: 9,
+            origin: 1,
+        };
+        let sig = crate::equivalence::signature64(&t);
+        let bytes = marshal_with_header(&t, ctx, sig);
+        assert_eq!(bytes[0], CONTEXT_MAGIC);
+        assert_eq!(bytes[1 + CONTEXT_BYTES], SIG_MAGIC);
+        let (back, rctx, rsig) = unmarshal_with_header(&bytes).unwrap();
+        assert!(equivalent(&t, &back));
+        assert_eq!(rctx, ctx);
+        assert_eq!(rsig, sig);
+        // The legacy entry point skips the signature frame.
+        let (back2, rctx2) = unmarshal_with_context(&bytes).unwrap();
+        assert!(equivalent(&t, &back2));
+        assert_eq!(rctx2, ctx);
+    }
+
+    #[test]
+    fn zero_signature_suppresses_the_frame() {
+        let t = sample();
+        let bytes = marshal_with_header(&t, CausalContext::default(), 0);
+        assert_eq!(bytes.len(), marshal(&t).len() + 1 + CONTEXT_BYTES);
+        let (_, _, sig) = unmarshal_with_header(&bytes).unwrap();
+        assert_eq!(sig, 0, "absent frame decodes as the unchecked sentinel");
+        // Plain and context-framed buffers also yield signature 0.
+        let (_, _, sig) = unmarshal_with_header(&marshal(&t)).unwrap();
+        assert_eq!(sig, 0);
+    }
+
+    #[test]
+    fn truncated_signature_frame_detected() {
+        let bytes = marshal_with_header(&sample(), CausalContext::default(), 0x1234);
+        let frame_end = 1 + CONTEXT_BYTES + 9;
+        for cut in 1 + CONTEXT_BYTES..frame_end {
+            assert!(unmarshal_with_header(&bytes[..cut]).is_err(), "cut {cut}");
         }
     }
 

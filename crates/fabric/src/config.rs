@@ -219,34 +219,87 @@ impl PipelineConfig {
     }
 }
 
+/// How the fabric reacts when a sender's structural type signature
+/// disagrees with the posted receive's (DESIGN.md §6i).
+///
+/// The comparison only fires when *both* sides carry a nonzero signature;
+/// raw byte transfers (signature `0`, the "unchecked" sentinel) never
+/// mismatch. Knob: `MPICD_TYPECHECK=off|warn|enforce`, default `warn`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TypecheckMode {
+    /// Skip the comparison entirely (zero cost, pre-PR-10 behavior).
+    Off,
+    /// Compare, count `fabric.type_mismatch`, log one line on stderr, and
+    /// proceed with the transfer (the default: observability without
+    /// changing program behavior).
+    #[default]
+    Warn,
+    /// Compare and fail the receive with
+    /// [`FabricError::TypeMismatch`](crate::FabricError::TypeMismatch)
+    /// before any payload is unpacked. The sender completes normally
+    /// (arrival order must stay unobservable, exactly like `Truncated`).
+    Enforce,
+}
+
+impl TypecheckMode {
+    /// The process-wide default from `MPICD_TYPECHECK` (read once and
+    /// cached; unrecognized values warn on stderr and fall back to
+    /// `warn`).
+    pub fn from_env() -> Self {
+        static MODE: std::sync::OnceLock<TypecheckMode> = std::sync::OnceLock::new();
+        *MODE.get_or_init(|| {
+            match mpicd_obs::config::env_choice(
+                "MPICD_TYPECHECK",
+                &["off", "warn", "enforce"],
+                "warn",
+            ) {
+                "off" => TypecheckMode::Off,
+                "enforce" => TypecheckMode::Enforce,
+                _ => TypecheckMode::Warn,
+            }
+        })
+    }
+}
+
 /// Configuration of the tag-matching engine (the `matching` module).
 ///
-/// Environment knob, read once per process by [`MatchConfig::from_env`]:
+/// Environment knobs, read once per process by [`MatchConfig::from_env`]:
 ///
 /// * `MPICD_MATCH_BUCKETS` — hash-bucket count of the exact-match
 ///   `(source, tag)` index in each per-destination queue, rounded up to a
 ///   power of two and clamped to `1..=65536`. `1` degenerates to the old
 ///   linear-scan matcher (every envelope shares one bucket). Default: 64.
+/// * `MPICD_TYPECHECK` — signature-enforcement mode applied at match time
+///   (see [`TypecheckMode`]). Default: `warn`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MatchConfig {
     /// Exact-match hash buckets per queue (power of two, `1..=65536`).
     pub buckets: usize,
+    /// Structural-signature enforcement mode (programmatic override of the
+    /// `MPICD_TYPECHECK` knob, so parallel in-process tests can pin a mode
+    /// without racing on the environment).
+    pub typecheck: TypecheckMode,
 }
 
 impl Default for MatchConfig {
     fn default() -> Self {
-        Self { buckets: 64 }
+        Self {
+            buckets: 64,
+            typecheck: TypecheckMode::default(),
+        }
     }
 }
 
 impl MatchConfig {
-    /// The process-wide default, from `MPICD_MATCH_BUCKETS` (read once and
-    /// cached, like the other `MPICD_*` knob families; garbage values warn
-    /// on stderr and fall back to the default).
+    /// The process-wide default, from `MPICD_MATCH_BUCKETS` and
+    /// `MPICD_TYPECHECK` (read once and cached, like the other `MPICD_*`
+    /// knob families; garbage values warn on stderr and fall back to the
+    /// defaults).
     pub fn from_env() -> Self {
         static CFG: std::sync::OnceLock<MatchConfig> = std::sync::OnceLock::new();
         *CFG.get_or_init(|| MatchConfig {
             buckets: mpicd_obs::config::env_bounded("MPICD_MATCH_BUCKETS", 64, 1 << 16) as usize,
+            typecheck: TypecheckMode::from_env(),
         })
     }
 
@@ -254,7 +307,10 @@ impl MatchConfig {
     /// with the wildcard sideline, reproducing the old linear matcher's
     /// scan cost. Benchmarks use this as the comparison baseline.
     pub fn linear() -> Self {
-        Self { buckets: 1 }
+        Self {
+            buckets: 1,
+            typecheck: TypecheckMode::default(),
+        }
     }
 
     /// An explicit bucket count (benchmarks and tests sweeping the knob
@@ -262,7 +318,13 @@ impl MatchConfig {
     pub fn with_buckets(buckets: usize) -> Self {
         Self {
             buckets: buckets.max(1),
+            typecheck: TypecheckMode::default(),
         }
+    }
+
+    /// Builder: pin the signature-enforcement mode.
+    pub fn with_typecheck(self, typecheck: TypecheckMode) -> Self {
+        Self { typecheck, ..self }
     }
 }
 
@@ -301,6 +363,13 @@ mod tests {
         assert_eq!(MatchConfig::linear().buckets, 1);
         assert_eq!(MatchConfig::with_buckets(0).buckets, 1);
         assert_eq!(MatchConfig::with_buckets(256).buckets, 256);
+        // Every constructor defaults the typecheck mode to warn; the
+        // builder overrides it without touching the bucket count.
+        assert_eq!(MatchConfig::default().typecheck, TypecheckMode::Warn);
+        assert_eq!(MatchConfig::linear().typecheck, TypecheckMode::Warn);
+        let c = MatchConfig::with_buckets(256).with_typecheck(TypecheckMode::Enforce);
+        assert_eq!(c.buckets, 256);
+        assert_eq!(c.typecheck, TypecheckMode::Enforce);
     }
 
     #[test]

@@ -55,6 +55,15 @@ pub enum FabricError {
     Cancelled,
     /// The fabric was shut down while requests were pending.
     ShutDown,
+    /// The sender's structural type signature disagrees with the posted
+    /// receive's (`MPICD_TYPECHECK=enforce`): the pair would silently
+    /// interleave wrong bytes, so the receive fails before unpacking.
+    TypeMismatch {
+        /// The sender's 64-bit structural signature.
+        sent: u64,
+        /// The signature of the datatype the receive was posted with.
+        expected: u64,
+    },
 }
 
 impl fmt::Display for FabricError {
@@ -84,6 +93,10 @@ impl fmt::Display for FabricError {
             ),
             Self::Cancelled => write!(f, "request cancelled"),
             Self::ShutDown => write!(f, "fabric shut down with pending requests"),
+            Self::TypeMismatch { sent, expected } => write!(
+                f,
+                "datatype signature mismatch: sender packed {sent:#018x}, receive posted {expected:#018x}"
+            ),
         }
     }
 }
@@ -104,6 +117,7 @@ impl FabricError {
             Self::IovMismatch { .. } => 8,
             Self::Cancelled => 9,
             Self::ShutDown => 10,
+            Self::TypeMismatch { .. } => 11,
         }
     }
 }
@@ -147,6 +161,10 @@ mod tests {
             },
             FabricError::Cancelled,
             FabricError::ShutDown,
+            FabricError::TypeMismatch {
+                sent: 1,
+                expected: 2,
+            },
         ];
         let mut codes: Vec<u64> = all.iter().map(|e| e.flight_code()).collect();
         codes.sort_unstable();

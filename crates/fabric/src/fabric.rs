@@ -21,7 +21,7 @@
 #![allow(unsafe_code)]
 
 use crate::clock::WireLedger;
-use crate::config::{bounce_pool_cap, MatchConfig, PipelineConfig, WireModel};
+use crate::config::{bounce_pool_cap, MatchConfig, PipelineConfig, TypecheckMode, WireModel};
 use crate::error::{FabricError, FabricResult};
 use crate::matching::{Envelope, RecvQueue, Selector, SendQueue, Tag};
 use crate::payload::{IovEntry, IovEntryMut, RecvDesc, SendDesc};
@@ -45,6 +45,10 @@ struct PendingSend {
     /// Sender's Lamport clock at post time — the causal header that travels
     /// with the transfer so the receive side can merge clocks at match.
     lc: u64,
+    /// Sender's 64-bit structural type signature (0 = unchecked raw bytes).
+    /// Travels with the in-process transfer the way the `0xC6` marshal
+    /// frame travels with out-of-band datatype descriptions.
+    sig: u64,
     kind: PendKind,
 }
 
@@ -64,6 +68,9 @@ struct PostedRecv {
     req: Arc<ReqState>,
     /// Flight-recorder id of the receive post (0 = off).
     fid: u64,
+    /// Structural signature of the datatype the receive was posted with
+    /// (0 = unchecked raw bytes).
+    sig: u64,
 }
 
 /// A send whose deferred request has completed (cancelled) is dead weight
@@ -103,6 +110,9 @@ struct Inner {
     metrics: FabricMetrics,
     state: Mutex<MatchState>,
     arrivals: Condvar,
+    /// Signature-enforcement mode applied at match time (`MPICD_TYPECHECK`
+    /// unless the fabric was built with an explicit [`MatchConfig`]).
+    typecheck: TypecheckMode,
     /// Parallel fragment pipeline configuration (env knobs unless the
     /// fabric was built with [`Fabric::with_model_and_pipeline`]).
     pipeline_cfg: PipelineConfig,
@@ -173,6 +183,7 @@ impl Fabric {
                     xfer_scratch: TransferScratch::default(),
                 }),
                 arrivals: Condvar::new(),
+                typecheck: matching.typecheck,
                 pipeline_cfg: pipeline,
                 pipeline: OnceLock::new(),
             }),
@@ -339,6 +350,25 @@ impl Endpoint {
     /// # Ok::<(), mpicd_fabric::FabricError>(())
     /// ```
     pub unsafe fn post_send(&self, desc: SendDesc, dest: usize, tag: Tag) -> FabricResult<Request> {
+        // SAFETY: same contract as post_send_sig; 0 = unchecked raw bytes.
+        unsafe { self.post_send_sig(desc, dest, tag, 0) }
+    }
+
+    /// [`Self::post_send`] with the sender's 64-bit structural type
+    /// signature attached. The signature travels with the pending send
+    /// (the in-process analogue of the `0xC6` marshal frame) and is
+    /// compared against the posted receive's signature at match time under
+    /// `MPICD_TYPECHECK`. `0` means "unchecked" and never mismatches.
+    ///
+    /// # Safety
+    /// Same contract as [`Self::post_send`].
+    pub unsafe fn post_send_sig(
+        &self,
+        desc: SendDesc,
+        dest: usize,
+        tag: Tag,
+        sig: u64,
+    ) -> FabricResult<Request> {
         if dest >= self.inner.size {
             return Err(FabricError::InvalidRank {
                 rank: dest,
@@ -394,19 +424,24 @@ impl Endpoint {
                 fid,
                 recv.fid,
                 lc,
+                sig,
+                recv.sig,
             );
             recv.req.complete(outcome.clone());
             return Ok(match outcome {
                 Ok(env) => Request::ready(env).with_flight(fid),
                 // The sender's data went out even if the receiver
-                // truncated — same contract as the unexpected-path match
-                // sites, so which side arrived first stays unobservable.
-                Err(FabricError::Truncated { .. }) => Request::ready(Envelope {
-                    source: self.rank,
-                    tag,
-                    bytes: total,
-                })
-                .with_flight(fid),
+                // truncated or rejected the type — same contract as the
+                // unexpected-path match sites, so which side arrived first
+                // stays unobservable.
+                Err(FabricError::Truncated { .. } | FabricError::TypeMismatch { .. }) => {
+                    Request::ready(Envelope {
+                        source: self.rank,
+                        tag,
+                        bytes: total,
+                    })
+                    .with_flight(fid)
+                }
                 Err(e) => {
                     let st = ReqState::new();
                     st.complete(Err(e));
@@ -443,6 +478,7 @@ impl Endpoint {
                         total,
                         fid,
                         lc,
+                        sig,
                         kind: PendKind::Eager { data: bounce },
                     },
                 );
@@ -470,6 +506,7 @@ impl Endpoint {
                         total,
                         fid,
                         lc,
+                        sig,
                         kind: PendKind::Deferred {
                             desc,
                             req: Arc::clone(&req),
@@ -494,6 +531,23 @@ impl Endpoint {
     /// exclusively available to the fabric until the returned request
     /// completes. Unpack callbacks must not re-enter the fabric.
     pub unsafe fn post_recv(&self, desc: RecvDesc, source: i32, tag: Tag) -> FabricResult<Request> {
+        // SAFETY: same contract as post_recv_sig; 0 = unchecked raw bytes.
+        unsafe { self.post_recv_sig(desc, source, tag, 0) }
+    }
+
+    /// [`Self::post_recv`] with the structural signature of the datatype
+    /// the receive is posted with. Compared against the matched sender's
+    /// signature under `MPICD_TYPECHECK`; `0` means "unchecked".
+    ///
+    /// # Safety
+    /// Same contract as [`Self::post_recv`].
+    pub unsafe fn post_recv_sig(
+        &self,
+        desc: RecvDesc,
+        source: i32,
+        tag: Tag,
+        sig: u64,
+    ) -> FabricResult<Request> {
         let sel = Selector::new(source, tag);
         // Flight: the receive post gets its own id; the match event on the
         // send-side id carries this id in `aux`, joining the two timelines.
@@ -533,17 +587,22 @@ impl Endpoint {
                 pending.fid,
                 rfid,
                 pending.lc,
+                pending.sig,
+                sig,
             );
             if let Some(req) = send_req {
                 req.complete(match &outcome {
                     // The sender's data went out even if the receiver
-                    // truncated; only callback failures abort the send too.
+                    // truncated or rejected the type; only callback
+                    // failures abort the send too.
                     Ok(env) => Ok(*env),
-                    Err(FabricError::Truncated { .. }) => Ok(Envelope {
-                        source: pending.source,
-                        tag: pending.tag,
-                        bytes: pending.total,
-                    }),
+                    Err(FabricError::Truncated { .. } | FabricError::TypeMismatch { .. }) => {
+                        Ok(Envelope {
+                            source: pending.source,
+                            tag: pending.tag,
+                            bytes: pending.total,
+                        })
+                    }
                     Err(e) => Err(e.clone()),
                 });
             }
@@ -560,6 +619,7 @@ impl Endpoint {
                 desc,
                 req: Arc::clone(&req),
                 fid: rfid,
+                sig,
             },
         );
         self.inner
@@ -678,6 +738,22 @@ impl Endpoint {
     /// # Safety
     /// Same buffer contract as [`Self::post_recv`].
     pub unsafe fn post_mrecv(&self, desc: RecvDesc, msg: Message) -> FabricResult<Request> {
+        // SAFETY: same contract as post_mrecv_sig; 0 = unchecked raw bytes.
+        unsafe { self.post_mrecv_sig(desc, msg, 0) }
+    }
+
+    /// [`Self::post_mrecv`] with the structural signature of the datatype
+    /// the receive is posted with (see [`Self::post_recv_sig`]). The
+    /// sender's signature rode along on the probed message.
+    ///
+    /// # Safety
+    /// Same buffer contract as [`Self::post_recv`].
+    pub unsafe fn post_mrecv_sig(
+        &self,
+        desc: RecvDesc,
+        msg: Message,
+        sig: u64,
+    ) -> FabricResult<Request> {
         // Flight: the matched receive is posted here, so the PostRecv event
         // is logged here (the probe that detached the message has no buffer).
         let rfid = flight::next_id();
@@ -709,15 +785,19 @@ impl Endpoint {
             pending.fid,
             rfid,
             pending.lc,
+            pending.sig,
+            sig,
         );
         if let Some(req) = send_req {
             req.complete(match &outcome {
                 Ok(env) => Ok(*env),
-                Err(FabricError::Truncated { .. }) => Ok(Envelope {
-                    source: pending.source,
-                    tag: pending.tag,
-                    bytes: pending.total,
-                }),
+                Err(FabricError::Truncated { .. } | FabricError::TypeMismatch { .. }) => {
+                    Ok(Envelope {
+                        source: pending.source,
+                        tag: pending.tag,
+                        bytes: pending.total,
+                    })
+                }
                 Err(e) => Err(e.clone()),
             });
         }
@@ -835,6 +915,8 @@ impl Inner {
         send_fid: u64,
         recv_fid: u64,
         send_lc: u64,
+        send_sig: u64,
+        recv_sig: u64,
     ) -> FabricResult<Envelope> {
         let (total, send_regions, rendezvous) = match &send {
             SendSide::Bounce { data } => (data.len(), 1, false),
@@ -901,6 +983,34 @@ impl Inner {
             }
             e
         };
+
+        // Cross-rank signature check: both sides declared a structural
+        // signature (0 = unchecked raw bytes) and they disagree, so the
+        // receiver would unpack the sender's bytes through the wrong type
+        // map. Checked before the capacity test — a type error is
+        // semantically prior to a length error.
+        if send_sig != 0 && recv_sig != 0 && send_sig != recv_sig {
+            match self.typecheck {
+                TypecheckMode::Off => {}
+                TypecheckMode::Warn => {
+                    self.stats.record_type_mismatch();
+                    self.metrics.type_mismatch.inc();
+                    eprintln!(
+                        "mpicd: datatype signature mismatch {source}->{dest} tag {tag}: \
+                         sender {send_sig:#018x}, receiver {recv_sig:#018x} \
+                         (MPICD_TYPECHECK=warn; proceeding)"
+                    );
+                }
+                TypecheckMode::Enforce => {
+                    self.stats.record_type_mismatch();
+                    self.metrics.type_mismatch.inc();
+                    return Err(fail(FabricError::TypeMismatch {
+                        sent: send_sig,
+                        expected: recv_sig,
+                    }));
+                }
+            }
+        }
 
         if total > recv.capacity() {
             return Err(fail(FabricError::Truncated {
@@ -1561,5 +1671,224 @@ mod tests {
         r2.wait().unwrap();
         assert_eq!(buf2, [1, 2, 3, 4]);
         assert_eq!(buf1, [0; 4], "cancelled receive got no data");
+    }
+
+    fn typecheck_fabric(mode: TypecheckMode) -> Fabric {
+        Fabric::with_config(
+            2,
+            WireModel::default(),
+            PipelineConfig::serial(),
+            MatchConfig::default().with_typecheck(mode),
+        )
+    }
+
+    #[test]
+    fn typecheck_enforce_fails_mismatched_pair_posted_first() {
+        let fabric = typecheck_fabric(TypecheckMode::Enforce);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        let mut buf = [0u8; 8];
+        // Receive posted first: the check fires inside post_send_sig.
+        let r = unsafe {
+            b.post_recv_sig(
+                RecvDesc::Contig(IovEntryMut::from_slice(&mut buf)),
+                0,
+                0,
+                0xB,
+            )
+            .unwrap()
+        };
+        let data = [1u8; 8];
+        let s = unsafe {
+            a.post_send_sig(SendDesc::Contig(IovEntry::from_slice(&data)), 1, 0, 0xA)
+                .unwrap()
+        };
+        assert_eq!(
+            r.wait(),
+            Err(FabricError::TypeMismatch {
+                sent: 0xA,
+                expected: 0xB
+            })
+        );
+        // The sender's bytes went out; like Truncated, the send completes.
+        assert_eq!(s.wait().unwrap().bytes, 8);
+        assert_eq!(fabric.stats().type_mismatch, 1);
+        assert_eq!(buf, [0u8; 8], "rejected receive got no data");
+    }
+
+    #[test]
+    fn typecheck_enforce_fails_mismatched_pair_unexpected() {
+        let fabric = typecheck_fabric(TypecheckMode::Enforce);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        // Send lands on the unexpected queue; the check fires in
+        // post_recv_sig with the signature that rode along on PendingSend.
+        let data = [2u8; 8];
+        let s = unsafe {
+            a.post_send_sig(SendDesc::Contig(IovEntry::from_slice(&data)), 1, 0, 0xA)
+                .unwrap()
+        };
+        s.wait().unwrap();
+        let mut buf = [0u8; 8];
+        let r = unsafe {
+            b.post_recv_sig(
+                RecvDesc::Contig(IovEntryMut::from_slice(&mut buf)),
+                0,
+                0,
+                0xB,
+            )
+            .unwrap()
+        };
+        assert_eq!(
+            r.wait(),
+            Err(FabricError::TypeMismatch {
+                sent: 0xA,
+                expected: 0xB
+            })
+        );
+        assert_eq!(fabric.stats().type_mismatch, 1);
+    }
+
+    #[test]
+    fn typecheck_enforce_fails_mismatched_mrecv() {
+        let fabric = typecheck_fabric(TypecheckMode::Enforce);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        let data = [3u8; 4];
+        unsafe {
+            a.post_send_sig(SendDesc::Contig(IovEntry::from_slice(&data)), 1, 0, 0xA)
+                .unwrap()
+        }
+        .wait()
+        .unwrap();
+        let (_env, msg) = b.improbe(0, 0).unwrap();
+        let mut buf = [0u8; 4];
+        let r = unsafe {
+            b.post_mrecv_sig(
+                RecvDesc::Contig(IovEntryMut::from_slice(&mut buf)),
+                msg,
+                0xB,
+            )
+            .unwrap()
+        };
+        assert_eq!(
+            r.wait(),
+            Err(FabricError::TypeMismatch {
+                sent: 0xA,
+                expected: 0xB
+            })
+        );
+        assert_eq!(fabric.stats().type_mismatch, 1);
+    }
+
+    #[test]
+    fn typecheck_warn_counts_and_proceeds() {
+        // Warn is the static default MatchConfig.
+        let fabric = Fabric::with_config(
+            2,
+            WireModel::default(),
+            PipelineConfig::serial(),
+            MatchConfig::default(),
+        );
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        let data = [4u8; 4];
+        unsafe {
+            a.post_send_sig(SendDesc::Contig(IovEntry::from_slice(&data)), 1, 0, 0xA)
+                .unwrap()
+        }
+        .wait()
+        .unwrap();
+        let mut buf = [0u8; 4];
+        let env = unsafe {
+            b.post_recv_sig(
+                RecvDesc::Contig(IovEntryMut::from_slice(&mut buf)),
+                0,
+                0,
+                0xB,
+            )
+            .unwrap()
+        }
+        .wait()
+        .unwrap();
+        assert_eq!(env.bytes, 4);
+        assert_eq!(buf, data, "warn mode still delivers the bytes");
+        assert_eq!(fabric.stats().type_mismatch, 1, "but the mismatch counts");
+    }
+
+    #[test]
+    fn typecheck_off_is_silent() {
+        let fabric = typecheck_fabric(TypecheckMode::Off);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        let data = [5u8; 4];
+        unsafe {
+            a.post_send_sig(SendDesc::Contig(IovEntry::from_slice(&data)), 1, 0, 0xA)
+                .unwrap()
+        }
+        .wait()
+        .unwrap();
+        let mut buf = [0u8; 4];
+        unsafe {
+            b.post_recv_sig(
+                RecvDesc::Contig(IovEntryMut::from_slice(&mut buf)),
+                0,
+                0,
+                0xB,
+            )
+            .unwrap()
+        }
+        .wait()
+        .unwrap();
+        assert_eq!(buf, data);
+        assert_eq!(fabric.stats().type_mismatch, 0, "off mode never counts");
+    }
+
+    #[test]
+    fn typecheck_zero_signature_is_unchecked() {
+        // A raw-bytes side (sig 0) never trips the check, even in enforce:
+        // send_bytes/recv_bytes interop with typed peers stays legal.
+        let fabric = typecheck_fabric(TypecheckMode::Enforce);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        let data = [6u8; 4];
+        unsafe {
+            a.post_send_sig(SendDesc::Contig(IovEntry::from_slice(&data)), 1, 0, 0xA)
+                .unwrap()
+        }
+        .wait()
+        .unwrap();
+        let mut buf = [0u8; 4];
+        b.recv_bytes(&mut buf, 0, 0).unwrap();
+        assert_eq!(buf, data);
+        assert_eq!(fabric.stats().type_mismatch, 0);
+    }
+
+    #[test]
+    fn typecheck_matching_signatures_pass_enforce() {
+        let fabric = typecheck_fabric(TypecheckMode::Enforce);
+        let a = fabric.endpoint(0).unwrap();
+        let b = fabric.endpoint(1).unwrap();
+        let data = [7u8; 4];
+        unsafe {
+            a.post_send_sig(SendDesc::Contig(IovEntry::from_slice(&data)), 1, 0, 0xA)
+                .unwrap()
+        }
+        .wait()
+        .unwrap();
+        let mut buf = [0u8; 4];
+        unsafe {
+            b.post_recv_sig(
+                RecvDesc::Contig(IovEntryMut::from_slice(&mut buf)),
+                0,
+                0,
+                0xA,
+            )
+            .unwrap()
+        }
+        .wait()
+        .unwrap();
+        assert_eq!(buf, data);
+        assert_eq!(fabric.stats().type_mismatch, 0);
     }
 }

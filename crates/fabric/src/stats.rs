@@ -145,6 +145,7 @@ pub struct FabricStats {
     match_exact: AtomicU64,
     match_wildcard: AtomicU64,
     match_drained: AtomicU64,
+    type_mismatch: AtomicU64,
 }
 
 /// A copied-out, plain view of [`FabricStats`].
@@ -175,6 +176,9 @@ pub struct StatsView {
     /// Cancelled or already-completed queue entries lazily drained while
     /// matching (each entry counted once).
     pub match_drained: u64,
+    /// Matched pairs whose structural type signatures disagreed (counted
+    /// in `warn` and `enforce` modes; see `MPICD_TYPECHECK`).
+    pub type_mismatch: u64,
 }
 
 impl FabricStats {
@@ -219,6 +223,10 @@ impl FabricStats {
         }
     }
 
+    pub(crate) fn record_type_mismatch(&self) {
+        self.type_mismatch.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copy out the current counter values.
     pub fn view(&self) -> StatsView {
         StatsView {
@@ -233,6 +241,7 @@ impl FabricStats {
             match_exact: self.match_exact.load(Ordering::Relaxed),
             match_wildcard: self.match_wildcard.load(Ordering::Relaxed),
             match_drained: self.match_drained.load(Ordering::Relaxed),
+            type_mismatch: self.type_mismatch.load(Ordering::Relaxed),
         }
     }
 }
@@ -254,6 +263,7 @@ impl StatsView {
             match_exact: self.match_exact.saturating_sub(earlier.match_exact),
             match_wildcard: self.match_wildcard.saturating_sub(earlier.match_wildcard),
             match_drained: self.match_drained.saturating_sub(earlier.match_drained),
+            type_mismatch: self.type_mismatch.saturating_sub(earlier.type_mismatch),
         }
     }
 }
@@ -299,6 +309,9 @@ pub(crate) struct FabricMetrics {
     pub match_wildcard: Arc<Counter>,
     /// Dead queue entries lazily drained while matching (always on).
     pub match_drained: Arc<Counter>,
+    /// Matched pairs whose structural signatures disagreed (always on;
+    /// counted in `warn` and `enforce` typecheck modes).
+    pub type_mismatch: Arc<Counter>,
     /// Continuous telemetry (`MPICD_TELEMETRY=1`): message traffic as a
     /// windowed time series (count = messages, sum = payload bytes).
     pub tele_traffic: Arc<telemetry::Series>,
@@ -356,6 +369,7 @@ impl FabricMetrics {
             match_exact: r.counter("fabric.match.exact"),
             match_wildcard: r.counter("fabric.match.wildcard"),
             match_drained: r.counter("fabric.match.drained"),
+            type_mismatch: r.counter("fabric.type_mismatch"),
             tele_traffic: telemetry::series("fabric.traffic"),
             tele_wire_ns: telemetry::sketch("fabric.wire_latency_ns"),
             tele_active_ns: telemetry::sketch("fabric.transfer_active_ns"),
@@ -396,6 +410,7 @@ impl FabricMetrics {
             match_exact: Arc::new(Counter::new()),
             match_wildcard: Arc::new(Counter::new()),
             match_drained: Arc::new(Counter::new()),
+            type_mismatch: Arc::new(Counter::new()),
             tele_traffic: Arc::new(telemetry::Series::standalone(1_000_000_000)),
             tele_wire_ns: Arc::new(telemetry::Sketch::standalone()),
             tele_active_ns: Arc::new(telemetry::Sketch::standalone()),
@@ -515,6 +530,7 @@ mod tests {
             match_exact: 6,
             match_wildcard: 2,
             match_drained: 3,
+            type_mismatch: 1,
         };
         let fresh = StatsView::default();
         let d = fresh.since(&busy);
